@@ -1,0 +1,25 @@
+//! Criterion bench over the full experiment pipeline for one small
+//! workload (solve + trace + simulate), the unit of every paper figure.
+
+use belenos::experiment::Experiment;
+use belenos_uarch::CoreConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let spec = belenos_workloads::by_id("pd").expect("pd workload");
+    c.bench_function("experiment_prepare_pd", |b| {
+        b.iter(|| black_box(Experiment::prepare(black_box(&spec)).unwrap()))
+    });
+    let exp = Experiment::prepare(&spec).unwrap();
+    c.bench_function("experiment_simulate_pd_100k", |b| {
+        b.iter(|| black_box(exp.simulate(&CoreConfig::gem5_baseline(), 100_000)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation of the fill-reducing ordering (DESIGN.md §6): how much does
+//! RCM matter for factorization fill and bandwidth on an anatomically
+//! shuffled mesh? This is the cache-locality lever behind the paper's
+//! recommendation that solvers be reordering-aware.
+use belenos_fem::assembly::build_pattern;
+use belenos_fem::mesh::Mesh;
+use belenos_sparse::reorder::rcm;
+use belenos_sparse::solver::ldl::SymbolicLdl;
+use belenos_sparse::{CooMatrix, CsrMatrix};
+
+fn laplacian_like(pattern: &belenos_sparse::CsrPattern) -> CsrMatrix {
+    let n = pattern.nrows();
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n {
+        let row = pattern.row(r);
+        coo.push(r, r, row.len() as f64 + 1.0);
+        for &c in row {
+            if c as usize != r {
+                coo.push(r, c as usize, -1.0);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+fn main() {
+    println!("RCM reordering ablation (shuffled anatomical numbering)\n");
+    println!("{:<10} {:>12} {:>12} {:>12} {:>10}", "mesh", "bw (orig)", "bw (rcm)", "fill(orig)", "fill(rcm)");
+    for (label, nx) in [("box4", 4usize), ("box6", 6), ("box8", 8)] {
+        let mut mesh = Mesh::box_hex(nx, nx, nx, 1.0, 1.0, 1.0);
+        mesh.shuffle_nodes(99);
+        let pattern = build_pattern(&mesh, 1);
+        let a = laplacian_like(&pattern);
+        let bw0 = a.pattern().bandwidth();
+        let sym0 = SymbolicLdl::analyze(&a).expect("spd");
+        let p = rcm(a.pattern());
+        let b = p.apply_matrix(&a).expect("square");
+        let bw1 = b.pattern().bandwidth();
+        let sym1 = SymbolicLdl::analyze(&b).expect("spd");
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>10}",
+            label,
+            bw0,
+            bw1,
+            sym0.l_nnz(),
+            sym1.l_nnz()
+        );
+    }
+    println!("\nLower bandwidth/fill = better cache locality in factor sweeps.");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 5: simulation time vs model size over the catalog.
+use belenos_bench::prepare_or_die;
+
+fn main() {
+    let exps = prepare_or_die(&belenos_workloads::catalog());
+    println!("{}", belenos::figures::fig05_scaling(&exps));
+}

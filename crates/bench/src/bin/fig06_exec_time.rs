@@ -1,0 +1,7 @@
+//! Regenerates Fig. 6: execution time by model group (BP / FL / MA).
+use belenos_bench::prepare_or_die;
+
+fn main() {
+    let exps = prepare_or_die(&belenos_workloads::vtune_set());
+    println!("{}", belenos::figures::fig06_exec_time(&exps));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I (dataset models breakdown).
+fn main() {
+    println!("{}", belenos::figures::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table II (baseline gem5 configuration).
+fn main() {
+    println!("{}", belenos::figures::table2());
+}

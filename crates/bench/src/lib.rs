@@ -1,0 +1,27 @@
+//! # belenos-bench
+//!
+//! The benchmark harness: one binary per paper table/figure (run with
+//! `cargo run -p belenos-bench --release --bin <name>`), plus Criterion
+//! benches over the computational kernels and the simulator itself.
+//!
+//! The `BELENOS_MAX_OPS` environment variable caps the number of micro-ops
+//! simulated per run (default 1M): raise it for higher-fidelity numbers,
+//! lower it for quick smoke runs.
+
+use belenos::experiment::{prepare_all, Experiment};
+use belenos_workloads::WorkloadSpec;
+
+/// Micro-op budget per simulation, from `BELENOS_MAX_OPS` (default 1M).
+pub fn max_ops() -> usize {
+    std::env::var("BELENOS_MAX_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// Prepares workloads, printing progress, and panics with a clear message
+/// if any model fails to solve (the harness cannot proceed without it).
+pub fn prepare_or_die(specs: &[WorkloadSpec]) -> Vec<Experiment> {
+    eprintln!("solving {} workload model(s)...", specs.len());
+    prepare_all(specs).unwrap_or_else(|e| panic!("workload preparation failed: {e}"))
+}

@@ -1,0 +1,137 @@
+//! One workload through the full pipeline: numeric solve → phase log →
+//! micro-op expansion → cycle-level simulation.
+
+use belenos_fem::FemError;
+use belenos_trace::expand::{ExpandConfig, Expander};
+use belenos_trace::PhaseLog;
+use belenos_uarch::{CoreConfig, O3Core, SimStats};
+use belenos_workloads::WorkloadSpec;
+use std::time::Duration;
+
+/// Summary of the numeric solve that produced the phase log.
+#[derive(Debug, Clone)]
+pub struct SolveSummary {
+    /// Wall-clock time of the numeric FE solve (Fig. 5/6 y-axis).
+    pub wall_time: Duration,
+    /// Degrees of freedom.
+    pub n_dofs: usize,
+    /// Total Newton/Picard iterations.
+    pub iterations: usize,
+    /// Estimated input-file size in kB (Fig. 5 x-axis).
+    pub size_kb: f64,
+    /// Whether all steps converged.
+    pub converged: bool,
+}
+
+/// A prepared experiment: the workload was solved once; the recorded
+/// phase log can be replayed under any machine configuration.
+#[derive(Debug)]
+pub struct Experiment {
+    /// Workload identifier.
+    pub id: String,
+    /// Numeric-solve summary.
+    pub solve: SolveSummary,
+    log: PhaseLog,
+    expand: ExpandConfig,
+}
+
+impl Experiment {
+    /// Solves the workload model and captures its phase log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction and solver failures from the FE
+    /// substrate.
+    pub fn prepare(spec: &WorkloadSpec) -> Result<Self, FemError> {
+        let mut model = (spec.build)();
+        let size_kb = model.input_size_kb();
+        let report = model.solve()?;
+        Ok(Experiment {
+            id: spec.id.to_string(),
+            solve: SolveSummary {
+                wall_time: report.wall_time,
+                n_dofs: report.n_dofs,
+                iterations: report.total_iterations,
+                size_kb,
+                converged: report.converged,
+            },
+            log: report.log,
+            expand: spec.expand.clone(),
+        })
+    }
+
+    /// The recorded phase log.
+    pub fn log(&self) -> &PhaseLog {
+        &self.log
+    }
+
+    /// Expands the log and runs it on a core configuration, simulating at
+    /// most `max_ops` micro-ops (0 = unlimited).
+    pub fn simulate(&self, cfg: &CoreConfig, max_ops: usize) -> SimStats {
+        let expander = Expander::with_config(&self.log, self.expand.clone());
+        let mut core = O3Core::new(cfg.clone());
+        if max_ops == 0 {
+            core.run(expander)
+        } else {
+            // Discard the first quarter as measurement warmup (cold caches
+            // and untrained predictors), as gem5 checkpointed runs do.
+            core.run_warm(expander.take(max_ops), max_ops as u64 / 4)
+        }
+    }
+
+    /// Convenience: simulate on the Table II gem5 baseline.
+    pub fn simulate_baseline(&self, max_ops: usize) -> SimStats {
+        self.simulate(&CoreConfig::gem5_baseline(), max_ops)
+    }
+
+    /// Convenience: simulate on the host-like (VTune workstation) config.
+    pub fn simulate_host(&self, max_ops: usize) -> SimStats {
+        self.simulate(&CoreConfig::host_like(), max_ops)
+    }
+}
+
+/// Prepares a list of workloads, returning `(spec.id, Experiment)` pairs;
+/// failures abort with the failing workload named.
+///
+/// # Errors
+///
+/// The first preparation failure, annotated with the workload id.
+pub fn prepare_all(specs: &[WorkloadSpec]) -> Result<Vec<Experiment>, FemError> {
+    specs.iter().map(Experiment::prepare).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use belenos_workloads::by_id;
+
+    #[test]
+    fn prepare_and_simulate_smallest_workload() {
+        let spec = by_id("pd").expect("pd exists");
+        let exp = Experiment::prepare(&spec).unwrap();
+        assert!(exp.solve.converged);
+        assert!(!exp.log().is_empty());
+        let stats = exp.simulate_baseline(50_000);
+        assert!(stats.committed_ops > 10_000);
+        assert!(stats.ipc() > 0.05);
+        let (r, fe, bs, be) = stats.topdown();
+        assert!((r + fe + bs + be - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_log_different_configs() {
+        let spec = by_id("pd").expect("pd exists");
+        let exp = Experiment::prepare(&spec).unwrap();
+        let slow = exp.simulate(&CoreConfig::gem5_baseline().with_frequency(1.0), 30_000);
+        let fast = exp.simulate(&CoreConfig::gem5_baseline().with_frequency(4.0), 30_000);
+        // Warmup snapshots land on commit-group boundaries, so counts can
+        // differ by less than one commit group across configs.
+        assert!(
+            slow.committed_ops.abs_diff(fast.committed_ops) < 8,
+            "same trace must replay: {} vs {}",
+            slow.committed_ops,
+            fast.committed_ops
+        );
+        assert!(fast.seconds() < slow.seconds());
+    }
+}

@@ -1,0 +1,487 @@
+//! Regeneration of every table and figure in the paper's evaluation.
+//!
+//! Each function renders plain-text tables whose rows/series match what
+//! the paper plots; the `belenos-bench` binaries print them and
+//! EXPERIMENTS.md records paper-vs-measured comparisons.
+
+use crate::experiment::Experiment;
+use crate::sweep;
+use belenos_profiler::report::{fmt, Table};
+use belenos_profiler::{HotspotProfile, MemoryProfile, TopDown};
+use belenos_trace::FnCategory;
+use belenos_uarch::config::BranchPredictorKind;
+use belenos_uarch::CoreConfig;
+use belenos_workloads::{catalog, WorkloadSpec};
+
+/// Table I: workload categories with paper vs generated input sizes.
+pub fn table1() -> String {
+    let mut t = Table::new(&[
+        "Category",
+        "Label",
+        "Paper lower (kB)",
+        "Paper upper (kB)",
+        "Ours (kB)",
+    ]);
+    for spec in catalog() {
+        let model = (spec.build)();
+        let (lo, hi) = spec.category.paper_size_bounds_kb();
+        t.row(vec![
+            spec.category.name().to_string(),
+            spec.category.label().to_string(),
+            fmt(lo, 1),
+            fmt(hi, 1),
+            fmt(model.input_size_kb(), 1),
+        ]);
+    }
+    format!("Table I: Dataset Models Breakdown\n\n{}", t.render())
+}
+
+/// Table II: the gem5 baseline configuration.
+pub fn table2() -> String {
+    let c = CoreConfig::gem5_baseline();
+    let mut t = Table::new(&["Parameter", "Value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("ISA", "x86 (micro-op trace)".into()),
+        ("CPU model", "O3 (out-of-order)".into()),
+        ("Core clock frequency", format!("{} GHz", c.freq_ghz)),
+        (
+            "Pipeline width (fetch/dispatch/issue/commit)",
+            format!("{} / {} / {} / {}", c.fetch_width, c.dispatch_width, c.issue_width, c.commit_width),
+        ),
+        ("Rename width", format!("{}", c.rename_width)),
+        ("Writeback / squash width", format!("{} / {}", c.writeback_width, c.squash_width)),
+        ("Reorder Buffer (ROB) entries", format!("{}", c.rob_entries)),
+        ("Issue Queue (IQ) entries", format!("{}", c.iq_entries)),
+        ("Load Queue / Store Queue entries", format!("{} / {}", c.lq_entries, c.sq_entries)),
+        ("Integer / FP physical registers", format!("{} / {}", c.int_regs, c.fp_regs)),
+        (
+            "L1I / L1D cache",
+            format!("{} kB, {}-way", c.l1i.size_bytes / 1024, c.l1i.assoc),
+        ),
+        ("L2 cache", format!("{} MB, {}-way", c.l2.size_bytes / (1024 * 1024), c.l2.assoc)),
+        ("MSHRs (L1I / L1D)", format!("{} / {}", c.l1i.mshrs, c.l1d.mshrs)),
+        ("Cache line size", format!("{} B", c.l1d.line_bytes)),
+        ("Memory type", "DDR4-2400 (latency/bandwidth model)".into()),
+        ("Branch predictor", c.predictor.label().into()),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_string(), v]);
+    }
+    format!("Table II: Baseline CPU and system configuration\n\n{}", t.render())
+}
+
+/// Fig. 2: top-down pipeline breakdown per VTune workload.
+pub fn fig02_topdown(experiments: &[Experiment], max_ops: usize) -> String {
+    // VTune-style profiles need windows spanning several Newton iterations
+    // of the larger models; widen the budget accordingly.
+    let max_ops = max_ops.saturating_mul(3);
+    let mut t = Table::new(&["Model", "Retiring%", "FrontEnd%", "BadSpec%", "BackEnd%"]);
+    for exp in experiments {
+        let stats = exp.simulate_host(max_ops);
+        let td = TopDown::from_stats(&exp.id, &stats);
+        let p = td.percents();
+        t.row(vec![exp.id.clone(), fmt(p[0], 1), fmt(p[1], 1), fmt(p[2], 1), fmt(p[3], 1)]);
+    }
+    format!("Fig. 2: Top-down pipeline breakdown (host-like config)\n\n{}", t.render())
+}
+
+/// Fig. 3: front-end / back-end stall split per VTune workload.
+pub fn fig03_stalls(experiments: &[Experiment], max_ops: usize) -> String {
+    // VTune-style profiles need windows spanning several Newton iterations
+    // of the larger models; widen the budget accordingly.
+    let max_ops = max_ops.saturating_mul(3);
+    let mut t =
+        Table::new(&["Model", "FE Latency%", "FE Bandwidth%", "BE Core%", "BE Memory%"]);
+    for exp in experiments {
+        let stats = exp.simulate_host(max_ops);
+        let td = TopDown::from_stats(&exp.id, &stats);
+        let s = td.stall_percents();
+        t.row(vec![exp.id.clone(), fmt(s[0], 1), fmt(s[1], 1), fmt(s[2], 1), fmt(s[3], 1)]);
+    }
+    format!(
+        "Fig. 3: FE/BE stall breakdown (bad speculation negligible, as in the paper)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 4: hotspot-category prevalence dots per workload.
+pub fn fig04_hotspots(experiments: &[Experiment], max_ops: usize) -> String {
+    // VTune-style profiles need windows spanning several Newton iterations
+    // of the larger models; widen the budget accordingly.
+    let max_ops = max_ops.saturating_mul(3);
+    let mut t = Table::new(&[
+        "Model",
+        "Internal",
+        "Sparsity",
+        "DenseMat",
+        "FEBioSpec",
+        "MKL-BLAS",
+        "Pardiso",
+    ]);
+    for exp in experiments {
+        let stats = exp.simulate_host(max_ops);
+        let p = HotspotProfile::from_stats(&exp.id, &stats);
+        let dots = p.dots();
+        let mut row = vec![exp.id.clone()];
+        for (d, f) in dots.iter().zip(&p.fractions) {
+            row.push(format!("{} {:>4.1}%", d.glyph(), f * 100.0));
+        }
+        t.row(row);
+    }
+    format!(
+        "Fig. 4: Function-category share of clockticks\n\
+         (R >75%, O 50-75%, Y 25-50%, G <25%, . absent)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 5: numeric solve time vs model size over the full catalog.
+pub fn fig05_scaling(experiments: &[Experiment]) -> String {
+    let mut t = Table::new(&["Model", "Size (kB)", "Sim time (ms)", "ms per kB"]);
+    for exp in experiments {
+        let ms = exp.solve.wall_time.as_secs_f64() * 1e3;
+        t.row(vec![
+            exp.id.clone(),
+            fmt(exp.solve.size_kb, 1),
+            fmt(ms, 2),
+            fmt(ms / exp.solve.size_kb, 3),
+        ]);
+    }
+    format!(
+        "Fig. 5: Simulation time vs model size (log-log in the paper; the eye \
+         model sits above the trend)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 6: execution time grouped by biphasic / fluid / material models.
+pub fn fig06_exec_time(experiments: &[Experiment]) -> String {
+    let mut t = Table::new(&["Group", "Model", "CPU time (ms)"]);
+    for exp in experiments {
+        let group = if exp.id.starts_with("bp") {
+            "Biphasic"
+        } else if exp.id.starts_with("fl") {
+            "Fluid"
+        } else if exp.id.starts_with("ma") {
+            "Material"
+        } else {
+            continue;
+        };
+        t.row(vec![
+            group.to_string(),
+            exp.id.clone(),
+            fmt(exp.solve.wall_time.as_secs_f64() * 1e3, 2),
+        ]);
+    }
+    format!("Fig. 6: Execution time by model group\n\n{}", t.render())
+}
+
+/// Fig. 7: fetch / execute / commit stage breakdowns on the gem5 baseline.
+pub fn fig07_pipeline(experiments: &[Experiment], max_ops: usize) -> String {
+    let mut fetch = Table::new(&[
+        "Model",
+        "activeFetch%",
+        "icacheStall%",
+        "miscStall%",
+        "squash%",
+        "tlb%",
+    ]);
+    let mut exec =
+        Table::new(&["Model", "branches%", "fp%", "int%", "loads%", "stores%"]);
+    let mut commit =
+        Table::new(&["Model", "fp%", "int%", "loads%", "stores%"]);
+    for exp in experiments {
+        let s = exp.simulate_baseline(max_ops);
+        let fetch_total = (s.active_fetch_cycles
+            + s.icache_stall_cycles
+            + s.misc_stall_cycles
+            + s.squash_cycles
+            + s.tlb_stall_cycles)
+            .max(1) as f64;
+        fetch.row(vec![
+            exp.id.clone(),
+            fmt(s.active_fetch_cycles as f64 / fetch_total * 100.0, 1),
+            fmt(s.icache_stall_cycles as f64 / fetch_total * 100.0, 1),
+            fmt(s.misc_stall_cycles as f64 / fetch_total * 100.0, 1),
+            fmt(s.squash_cycles as f64 / fetch_total * 100.0, 1),
+            fmt(s.tlb_stall_cycles as f64 / fetch_total * 100.0, 1),
+        ]);
+        let m = &s.exec_mix;
+        exec.row(vec![
+            exp.id.clone(),
+            fmt(m.fraction(m.branches) * 100.0, 1),
+            fmt(m.fraction(m.fp) * 100.0, 1),
+            fmt(m.fraction(m.int) * 100.0, 1),
+            fmt(m.fraction(m.loads) * 100.0, 1),
+            fmt(m.fraction(m.stores) * 100.0, 1),
+        ]);
+        let c = &s.commit_mix;
+        commit.row(vec![
+            exp.id.clone(),
+            fmt(c.fraction(c.fp) * 100.0, 1),
+            fmt(c.fraction(c.int) * 100.0, 1),
+            fmt(c.fraction(c.loads) * 100.0, 1),
+            fmt(c.fraction(c.stores) * 100.0, 1),
+        ]);
+    }
+    format!(
+        "Fig. 7a: Fetch stage activity\n\n{}\nFig. 7b: Execute stage mix\n\n{}\n\
+         Fig. 7c: Commit stage mix\n\n{}",
+        fetch.render(),
+        exec.render(),
+        commit.render()
+    )
+}
+
+/// Fig. 8: execution time and IPC vs core frequency.
+pub fn fig08_frequency(experiments: &[Experiment], max_ops: usize) -> String {
+    let freqs = [1.0, 2.0, 3.0, 4.0];
+    let pts = sweep::frequency(experiments, &freqs, max_ops);
+    let mut time = Table::new(&["Model", "1GHz (ms)", "2GHz", "3GHz", "4GHz", "speedup@3", "speedup@4"]);
+    let mut ipc = Table::new(&["Model", "IPC@1GHz", "IPC@2GHz", "IPC@3GHz", "IPC@4GHz"]);
+    for exp in experiments {
+        let series: Vec<&sweep::SweepPoint> =
+            pts.iter().filter(|p| p.workload == exp.id).collect();
+        let secs: Vec<f64> = series.iter().map(|p| p.stats.seconds()).collect();
+        time.row(vec![
+            exp.id.clone(),
+            fmt(secs[0] * 1e3, 3),
+            fmt(secs[1] * 1e3, 3),
+            fmt(secs[2] * 1e3, 3),
+            fmt(secs[3] * 1e3, 3),
+            fmt(secs[0] / secs[2], 2),
+            fmt(secs[0] / secs[3], 2),
+        ]);
+        ipc.row(vec![
+            exp.id.clone(),
+            fmt(series[0].stats.ipc(), 3),
+            fmt(series[1].stats.ipc(), 3),
+            fmt(series[2].stats.ipc(), 3),
+            fmt(series[3].stats.ipc(), 3),
+        ]);
+    }
+    format!(
+        "Fig. 8a: Execution time vs frequency\n\n{}\nFig. 8b: IPC vs frequency\n\n{}",
+        time.render(),
+        ipc.render()
+    )
+}
+
+/// Fig. 9: cache sensitivity (L1I/L1D MPKI, L2 MPKI, normalized times).
+pub fn fig09_cache(experiments: &[Experiment], max_ops: usize) -> String {
+    let l1_sizes = [8usize, 16, 32, 64];
+    let l2_sizes = [256usize, 512, 1024, 2048];
+    let l1_pts = sweep::l1_size(experiments, &l1_sizes, max_ops);
+    let l2_pts = sweep::l2_size(experiments, &l2_sizes, max_ops);
+    let mut l1i = Table::new(&["Model", "8kB", "16kB", "32kB", "64kB"]);
+    let mut l1d = Table::new(&["Model", "8kB", "16kB", "32kB", "64kB"]);
+    let mut l1t = Table::new(&["Model", "t(8k)/t(64k)", "t(16k)/t(64k)", "t(32k)/t(64k)"]);
+    let mut l2m = Table::new(&["Model", "256kB", "512kB", "1MB", "2MB"]);
+    let mut l2t = Table::new(&["Model", "t(256k)/t(2M)", "t(512k)/t(2M)", "t(1M)/t(2M)"]);
+    for exp in experiments {
+        let s1: Vec<&sweep::SweepPoint> =
+            l1_pts.iter().filter(|p| p.workload == exp.id).collect();
+        l1i.row(vec![
+            exp.id.clone(),
+            fmt(s1[0].stats.l1i_mpki(), 2),
+            fmt(s1[1].stats.l1i_mpki(), 2),
+            fmt(s1[2].stats.l1i_mpki(), 2),
+            fmt(s1[3].stats.l1i_mpki(), 2),
+        ]);
+        l1d.row(vec![
+            exp.id.clone(),
+            fmt(s1[0].stats.l1d_mpki(), 2),
+            fmt(s1[1].stats.l1d_mpki(), 2),
+            fmt(s1[2].stats.l1d_mpki(), 2),
+            fmt(s1[3].stats.l1d_mpki(), 2),
+        ]);
+        let t64 = s1[3].stats.seconds();
+        l1t.row(vec![
+            exp.id.clone(),
+            fmt(s1[0].stats.seconds() / t64, 3),
+            fmt(s1[1].stats.seconds() / t64, 3),
+            fmt(s1[2].stats.seconds() / t64, 3),
+        ]);
+        let s2: Vec<&sweep::SweepPoint> =
+            l2_pts.iter().filter(|p| p.workload == exp.id).collect();
+        l2m.row(vec![
+            exp.id.clone(),
+            fmt(s2[0].stats.l2_mpki(), 2),
+            fmt(s2[1].stats.l2_mpki(), 2),
+            fmt(s2[2].stats.l2_mpki(), 2),
+            fmt(s2[3].stats.l2_mpki(), 2),
+        ]);
+        let t2m = s2[3].stats.seconds();
+        l2t.row(vec![
+            exp.id.clone(),
+            fmt(s2[0].stats.seconds() / t2m, 3),
+            fmt(s2[1].stats.seconds() / t2m, 3),
+            fmt(s2[2].stats.seconds() / t2m, 3),
+        ]);
+    }
+    format!(
+        "Fig. 9a: L1I MPKI\n\n{}\nFig. 9b: L1D MPKI\n\n{}\nFig. 9c: L1 exec time (normalized to 64kB)\n\n{}\n\
+         Fig. 9d: L2 MPKI\n\n{}\nFig. 9e: L2 exec time (normalized to 2MB)\n\n{}",
+        l1i.render(),
+        l1d.render(),
+        l1t.render(),
+        l2m.render(),
+        l2t.render()
+    )
+}
+
+/// Fig. 10: execution-time delta vs pipeline width (baseline 6).
+pub fn fig10_width(experiments: &[Experiment], max_ops: usize) -> String {
+    let pts = sweep::width(experiments, &[2, 4, 6, 8], max_ops);
+    let diffs = sweep::percent_diff_vs(&pts, "6");
+    let mut t = Table::new(&["Model", "width=2 (%)", "width=4 (%)", "width=8 (%)"]);
+    for exp in experiments {
+        let d = |w: &str| {
+            diffs
+                .iter()
+                .find(|(m, v, _)| m == &exp.id && v == w)
+                .map(|&(_, _, d)| d)
+                .unwrap_or(0.0)
+        };
+        t.row(vec![exp.id.clone(), fmt(d("2"), 1), fmt(d("4"), 1), fmt(d("8"), 1)]);
+    }
+    format!(
+        "Fig. 10: Execution time difference vs baseline pipeline width 6\n\
+         (positive = slower than baseline)\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 11: execution-time delta vs LQ/SQ depth (baseline 72/56).
+pub fn fig11_lsq(experiments: &[Experiment], max_ops: usize) -> String {
+    let pts =
+        sweep::lsq(experiments, &[(32, 24), (48, 40), (72, 56), (96, 72)], max_ops);
+    let diffs = sweep::percent_diff_vs(&pts, "72_56");
+    let mut t = Table::new(&["Model", "32_24 (%)", "48_40 (%)", "96_72 (%)"]);
+    for exp in experiments {
+        let d = |w: &str| {
+            diffs
+                .iter()
+                .find(|(m, v, _)| m == &exp.id && v == w)
+                .map(|&(_, _, d)| d)
+                .unwrap_or(0.0)
+        };
+        t.row(vec![
+            exp.id.clone(),
+            fmt(d("32_24"), 1),
+            fmt(d("48_40"), 1),
+            fmt(d("96_72"), 1),
+        ]);
+    }
+    format!(
+        "Fig. 11: Execution time difference vs baseline LQ_SQ = 72_56\n\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 12: execution-time delta per branch predictor (vs TournamentBP).
+pub fn fig12_branch(experiments: &[Experiment], max_ops: usize) -> String {
+    let pts = sweep::branch_predictors(
+        experiments,
+        &[
+            BranchPredictorKind::Tournament,
+            BranchPredictorKind::Local,
+            BranchPredictorKind::Ltage,
+            BranchPredictorKind::Perceptron,
+        ],
+        max_ops,
+    );
+    let diffs = sweep::percent_diff_vs(&pts, "TournamentBP");
+    let mut t = Table::new(&["Model", "LocalBP (%)", "LTAGE (%)", "MPP64KB (%)"]);
+    for exp in experiments {
+        let d = |w: &str| {
+            diffs
+                .iter()
+                .find(|(m, v, _)| m == &exp.id && v == w)
+                .map(|&(_, _, d)| d)
+                .unwrap_or(0.0)
+        };
+        t.row(vec![
+            exp.id.clone(),
+            fmt(d("LocalBP"), 2),
+            fmt(d("LTAGE"), 2),
+            fmt(d("MultiperspectivePerceptron64KB"), 2),
+        ]);
+    }
+    format!(
+        "Fig. 12: Execution time difference vs TournamentBP baseline\n\n{}",
+        t.render()
+    )
+}
+
+/// Supplementary: memory profile of each workload (bandwidth, MPKIs) —
+/// the paper quotes the eye model's DRAM pressure in §III-C.
+pub fn memory_profiles(experiments: &[Experiment], max_ops: usize) -> String {
+    // VTune-style profiles need windows spanning several Newton iterations
+    // of the larger models; widen the budget accordingly.
+    let max_ops = max_ops.saturating_mul(3);
+    let mut t = Table::new(&[
+        "Model",
+        "L1I MPKI",
+        "L1D MPKI",
+        "L2 MPKI",
+        "MemBound%",
+        "DRAM GB/s",
+    ]);
+    for exp in experiments {
+        let stats = exp.simulate_host(max_ops);
+        let m = MemoryProfile::from_stats(&exp.id, &stats);
+        t.row(vec![
+            exp.id.clone(),
+            fmt(m.l1i_mpki, 2),
+            fmt(m.l1d_mpki, 2),
+            fmt(m.l2_mpki, 2),
+            fmt(m.memory_bound * 100.0, 1),
+            fmt(m.dram_gbps, 2),
+        ]);
+    }
+    format!("Memory profiles (host-like config)\n\n{}", t.render())
+}
+
+/// Returns the default VTune-set specs (11 models + eye).
+pub fn vtune_specs() -> Vec<WorkloadSpec> {
+    belenos_workloads::vtune_set()
+}
+
+/// Returns the default gem5-set specs.
+pub fn gem5_specs() -> Vec<WorkloadSpec> {
+    belenos_workloads::gem5_set()
+}
+
+/// Dominant hotspot sanity used by tests: internal functions should lead
+/// most workloads, as the paper observes.
+pub fn dominant_category(exp: &Experiment, max_ops: usize) -> FnCategory {
+    let stats = exp.simulate_host(max_ops);
+    HotspotProfile::from_stats(&exp.id, &stats).dominant()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_without_simulation() {
+        let t1 = table1();
+        assert!(t1.contains("Arterial Tissue"));
+        assert!(t1.contains("98600.0"));
+        let t2 = table2();
+        assert!(t2.contains("224"));
+        assert!(t2.contains("4 / 6 / 6 / 4"));
+        assert!(t2.contains("TournamentBP"));
+    }
+
+    #[test]
+    fn small_figure_pipeline_end_to_end() {
+        // One tiny workload through fig-7-style reporting.
+        let spec = belenos_workloads::by_id("pd").expect("pd");
+        let exp = Experiment::prepare(&spec).unwrap();
+        let out = fig07_pipeline(&[exp], 30_000);
+        assert!(out.contains("Fig. 7a"));
+        assert!(out.contains("pd"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # belenos
+//!
+//! Bottleneck Evaluation to Link Biomechanics to Novel Computing
+//! Optimizations — the experiment harness reproducing the IISWC 2025
+//! Belenos paper.
+//!
+//! The paper characterizes FEBio finite-element biomechanics workloads with
+//! Intel VTune (real hardware) and gem5 (microarchitectural sensitivity).
+//! This crate ties the reproduction's substrates together:
+//!
+//! * `belenos-fem` solves the workload models numerically and records a
+//!   kernel-level phase log;
+//! * `belenos-trace` expands the log into a micro-op stream;
+//! * `belenos-uarch` executes the stream on a cycle-level out-of-order
+//!   core (the gem5 substitute);
+//! * `belenos-profiler` produces the VTune-style analyses.
+//!
+//! [`experiment`] runs one workload through that pipeline; [`sweep`] runs
+//! the paper's sensitivity studies (frequency, cache sizes, pipeline
+//! width, load/store queues, branch predictors); [`figures`] regenerates
+//! every table and figure of the paper as text tables.
+//!
+//! ```no_run
+//! use belenos::experiment::Experiment;
+//! use belenos_uarch::CoreConfig;
+//!
+//! let spec = belenos_workloads::by_id("ar").expect("known workload");
+//! let exp = Experiment::prepare(&spec).expect("model solves");
+//! let stats = exp.simulate(&CoreConfig::gem5_baseline(), 200_000);
+//! println!("ar: IPC {:.2}", stats.ipc());
+//! ```
+
+pub mod experiment;
+pub mod figures;
+pub mod sweep;
+
+pub use experiment::Experiment;

@@ -1,0 +1,163 @@
+//! The paper's gem5 sensitivity sweeps (Figs. 8-12): each isolates one
+//! hardware parameter while holding the Table II baseline fixed.
+
+use crate::experiment::Experiment;
+use belenos_uarch::config::BranchPredictorKind;
+use belenos_uarch::{CoreConfig, SimStats};
+
+/// One sweep sample: workload, swept value label, and the run statistics.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// Workload id.
+    pub workload: String,
+    /// Human-readable swept value ("2GHz", "32kB", "LTAGE", ...).
+    pub value: String,
+    /// Statistics of the run.
+    pub stats: SimStats,
+}
+
+fn run_sweep<F>(experiments: &[Experiment], values: &[(String, CoreConfig)], max_ops: usize, mut each: F) -> Vec<SweepPoint>
+where
+    F: FnMut(&SweepPoint),
+{
+    let mut out = Vec::with_capacity(experiments.len() * values.len());
+    for exp in experiments {
+        for (label, cfg) in values {
+            let stats = exp.simulate(cfg, max_ops);
+            let point =
+                SweepPoint { workload: exp.id.clone(), value: label.clone(), stats };
+            each(&point);
+            out.push(point);
+        }
+    }
+    out
+}
+
+/// Fig. 8: core frequency 1-4 GHz.
+pub fn frequency(experiments: &[Experiment], freqs: &[f64], max_ops: usize) -> Vec<SweepPoint> {
+    let values: Vec<(String, CoreConfig)> = freqs
+        .iter()
+        .map(|&f| (format!("{f}GHz"), CoreConfig::gem5_baseline().with_frequency(f)))
+        .collect();
+    run_sweep(experiments, &values, max_ops, |_| {})
+}
+
+/// Fig. 9a-c: L1 (I+D) capacity sweep.
+pub fn l1_size(experiments: &[Experiment], sizes_kb: &[usize], max_ops: usize) -> Vec<SweepPoint> {
+    let values: Vec<(String, CoreConfig)> = sizes_kb
+        .iter()
+        .map(|&kb| (format!("{kb}kB"), CoreConfig::gem5_baseline().with_l1_size(kb * 1024)))
+        .collect();
+    run_sweep(experiments, &values, max_ops, |_| {})
+}
+
+/// Fig. 9d-e: L2 capacity sweep.
+pub fn l2_size(experiments: &[Experiment], sizes_kb: &[usize], max_ops: usize) -> Vec<SweepPoint> {
+    let values: Vec<(String, CoreConfig)> = sizes_kb
+        .iter()
+        .map(|&kb| {
+            let label =
+                if kb >= 1024 { format!("{}MB", kb / 1024) } else { format!("{kb}kB") };
+            (label, CoreConfig::gem5_baseline().with_l2_size(kb * 1024))
+        })
+        .collect();
+    run_sweep(experiments, &values, max_ops, |_| {})
+}
+
+/// Fig. 10: pipeline width sweep (baseline width 6).
+pub fn width(experiments: &[Experiment], widths: &[usize], max_ops: usize) -> Vec<SweepPoint> {
+    let values: Vec<(String, CoreConfig)> = widths
+        .iter()
+        .map(|&w| (format!("{w}"), CoreConfig::gem5_baseline().with_pipeline_width(w)))
+        .collect();
+    run_sweep(experiments, &values, max_ops, |_| {})
+}
+
+/// Fig. 11: load/store-queue depth sweep (baseline 72/56).
+pub fn lsq(experiments: &[Experiment], depths: &[(usize, usize)], max_ops: usize) -> Vec<SweepPoint> {
+    let values: Vec<(String, CoreConfig)> = depths
+        .iter()
+        .map(|&(l, s)| (format!("{l}_{s}"), CoreConfig::gem5_baseline().with_lsq(l, s)))
+        .collect();
+    run_sweep(experiments, &values, max_ops, |_| {})
+}
+
+/// Instruction-window ablation (paper §IV-C4 text): ROB/IQ sizes.
+pub fn rob_iq(experiments: &[Experiment], sizes: &[(usize, usize)], max_ops: usize) -> Vec<SweepPoint> {
+    let values: Vec<(String, CoreConfig)> = sizes
+        .iter()
+        .map(|&(r, q)| (format!("{r}_{q}"), CoreConfig::gem5_baseline().with_rob_iq(r, q)))
+        .collect();
+    run_sweep(experiments, &values, max_ops, |_| {})
+}
+
+/// Fig. 12: branch predictor sweep (baseline TournamentBP).
+pub fn branch_predictors(
+    experiments: &[Experiment],
+    predictors: &[BranchPredictorKind],
+    max_ops: usize,
+) -> Vec<SweepPoint> {
+    let values: Vec<(String, CoreConfig)> = predictors
+        .iter()
+        .map(|&p| (p.label().to_string(), CoreConfig::gem5_baseline().with_predictor(p)))
+        .collect();
+    run_sweep(experiments, &values, max_ops, |_| {})
+}
+
+/// Percent execution-time difference of each point against the point with
+/// `baseline_label` for the same workload: `(time - base) / base * 100`.
+pub fn percent_diff_vs(points: &[SweepPoint], baseline_label: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for p in points {
+        if p.value == baseline_label {
+            continue;
+        }
+        let base = points
+            .iter()
+            .find(|q| q.workload == p.workload && q.value == baseline_label)
+            .expect("baseline point present");
+        let d = (p.stats.seconds() - base.stats.seconds()) / base.stats.seconds() * 100.0;
+        out.push((p.workload.clone(), p.value.clone(), d));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use belenos_workloads::by_id;
+
+    fn tiny_experiment() -> Experiment {
+        Experiment::prepare(&by_id("pd").expect("pd")).unwrap()
+    }
+
+    #[test]
+    fn frequency_sweep_monotone_seconds() {
+        let exps = vec![tiny_experiment()];
+        let pts = frequency(&exps, &[1.0, 4.0], 20_000);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].stats.seconds() > pts[1].stats.seconds());
+    }
+
+    #[test]
+    fn percent_diff_math() {
+        let exps = vec![tiny_experiment()];
+        let pts = width(&exps, &[2, 6], 20_000);
+        let diffs = percent_diff_vs(&pts, "6");
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].1, "2");
+        assert!(diffs[0].2 > -50.0);
+    }
+
+    #[test]
+    fn predictor_sweep_labels() {
+        let exps = vec![tiny_experiment()];
+        let pts = branch_predictors(
+            &exps,
+            &[BranchPredictorKind::Tournament, BranchPredictorKind::Local],
+            10_000,
+        );
+        assert_eq!(pts[0].value, "TournamentBP");
+        assert_eq!(pts[1].value, "LocalBP");
+    }
+}

@@ -1,0 +1,229 @@
+//! Boundary conditions: load curves, nodal loads, prescribed displacements
+//! and penalty contact against a rigid plane.
+
+use crate::mesh::Mesh;
+use crate::Result;
+
+/// Time modulation of a boundary condition (FEBio's load curves).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadCurve {
+    /// Linear ramp from 0 at `t = 0` to 1 at `t = t_end`, then constant.
+    Ramp {
+        /// Time at which the full value is reached.
+        t_end: f64,
+    },
+    /// Constant factor 1 for all `t > 0`.
+    Step,
+    /// Smooth (cosine) ramp to 1 at `t_end`.
+    Smooth {
+        /// Time at which the full value is reached.
+        t_end: f64,
+    },
+}
+
+impl LoadCurve {
+    /// Load factor at time `t`.
+    pub fn factor(&self, t: f64) -> f64 {
+        match *self {
+            LoadCurve::Ramp { t_end } => (t / t_end).clamp(0.0, 1.0),
+            LoadCurve::Step => {
+                if t > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            LoadCurve::Smooth { t_end } => {
+                let x = (t / t_end).clamp(0.0, 1.0);
+                0.5 - 0.5 * (std::f64::consts::PI * x).cos()
+            }
+        }
+    }
+}
+
+/// A concentrated load applied to every node of a set.
+#[derive(Debug, Clone)]
+pub struct NodalLoad {
+    /// Target node-set name.
+    pub set: String,
+    /// Dof component the force acts on.
+    pub comp: usize,
+    /// Force per node at full load factor.
+    pub value: f64,
+    /// Time modulation.
+    pub curve: LoadCurve,
+}
+
+/// A prescribed dof value over a node set.
+#[derive(Debug, Clone)]
+pub struct PrescribedBc {
+    /// Target node-set name.
+    pub set: String,
+    /// Dof component.
+    pub comp: usize,
+    /// Value at full load factor (0 = fixed).
+    pub value: f64,
+    /// Time modulation.
+    pub curve: LoadCurve,
+}
+
+/// Penalty contact of a node set against a rigid plane moving along an
+/// axis: plane position `offset(t) = start + speed * t`, contact when the
+/// node coordinate passes the plane.
+#[derive(Debug, Clone)]
+pub struct RigidPlaneContact {
+    /// Slave node-set name.
+    pub set: String,
+    /// Axis the plane is normal to (0 = x, 1 = y, 2 = z).
+    pub axis: usize,
+    /// Plane position at `t = 0`.
+    pub start: f64,
+    /// Plane speed (negative = advancing into the body from above).
+    pub speed: f64,
+    /// Penalty stiffness.
+    pub penalty: f64,
+    /// Plane acts from above (nodes must stay below) when true.
+    pub from_above: bool,
+}
+
+/// Result of one contact evaluation pass.
+#[derive(Debug, Clone)]
+pub struct ContactResult {
+    /// Per-candidate penetration flags (recorded into the phase log).
+    pub outcomes: Vec<bool>,
+    /// `(dof, force)` contributions to the residual.
+    pub forces: Vec<(usize, f64)>,
+    /// `(dof, stiffness)` diagonal penalty contributions.
+    pub stiffness: Vec<(usize, f64)>,
+}
+
+impl RigidPlaneContact {
+    /// Evaluates gap states for all slave nodes at time `t` given current
+    /// displacements `u` (node-major, `dofs_per_node` stride).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown node-set errors from the mesh.
+    pub fn evaluate(
+        &self,
+        mesh: &Mesh,
+        u: &[f64],
+        dofs_per_node: usize,
+        t: f64,
+    ) -> Result<ContactResult> {
+        let nodes = mesh.node_set(&self.set)?;
+        let plane = self.start + self.speed * t;
+        let mut outcomes = Vec::with_capacity(nodes.len());
+        let mut forces = Vec::new();
+        let mut stiffness = Vec::new();
+        for &n in nodes {
+            let n = n as usize;
+            let x = mesh.coords()[n][self.axis] + u[n * dofs_per_node + self.axis];
+            let gap = if self.from_above { plane - x } else { x - plane };
+            let hit = gap < 0.0;
+            outcomes.push(hit);
+            if hit {
+                let dof = n * dofs_per_node + self.axis;
+                let sign = if self.from_above { 1.0 } else { -1.0 };
+                forces.push((dof, sign * self.penalty * gap));
+                stiffness.push((dof, self.penalty));
+            }
+        }
+        Ok(ContactResult { outcomes, forces, stiffness })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Mesh;
+
+    #[test]
+    fn ramp_curve() {
+        let c = LoadCurve::Ramp { t_end: 2.0 };
+        assert_eq!(c.factor(0.0), 0.0);
+        assert_eq!(c.factor(1.0), 0.5);
+        assert_eq!(c.factor(5.0), 1.0);
+    }
+
+    #[test]
+    fn step_curve() {
+        let c = LoadCurve::Step;
+        assert_eq!(c.factor(0.0), 0.0);
+        assert_eq!(c.factor(0.01), 1.0);
+    }
+
+    #[test]
+    fn smooth_curve_monotone_and_bounded() {
+        let c = LoadCurve::Smooth { t_end: 1.0 };
+        let mut last = -1.0;
+        for i in 0..=10 {
+            let f = c.factor(i as f64 / 10.0);
+            assert!(f >= last && (0.0..=1.0).contains(&f));
+            last = f;
+        }
+        assert!((c.factor(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contact_detects_penetration() {
+        let mesh = Mesh::box_hex(1, 1, 1, 1.0, 1.0, 1.0);
+        // Plane starts at z = 1.1 above the top face, moving down at 1/s.
+        let contact = RigidPlaneContact {
+            set: "z1".into(),
+            axis: 2,
+            start: 1.1,
+            speed: -1.0,
+            penalty: 1e5,
+            from_above: true,
+        };
+        let u = vec![0.0; mesh.num_nodes() * 3];
+        // t = 0: no contact yet.
+        let r0 = contact.evaluate(&mesh, &u, 3, 0.0).unwrap();
+        assert!(r0.outcomes.iter().all(|&h| !h));
+        assert!(r0.forces.is_empty());
+        // t = 0.3: plane at 0.8, top face (z = 1) penetrated by 0.2.
+        let r1 = contact.evaluate(&mesh, &u, 3, 0.3).unwrap();
+        assert!(r1.outcomes.iter().all(|&h| h));
+        assert_eq!(r1.forces.len(), 4);
+        for &(_, f) in &r1.forces {
+            // Pushing nodes down (negative gap * penalty, sign from above).
+            assert!(f < 0.0);
+            assert!((f + 1e5 * 0.2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn contact_respects_displacement() {
+        let mesh = Mesh::box_hex(1, 1, 1, 1.0, 1.0, 1.0);
+        let contact = RigidPlaneContact {
+            set: "z1".into(),
+            axis: 2,
+            start: 1.05,
+            speed: 0.0,
+            penalty: 1e3,
+            from_above: true,
+        };
+        let mut u = vec![0.0; mesh.num_nodes() * 3];
+        // Move top nodes up by 0.1: they cross the static plane.
+        for &n in mesh.node_set("z1").unwrap() {
+            u[n as usize * 3 + 2] = 0.1;
+        }
+        let r = contact.evaluate(&mesh, &u, 3, 0.0).unwrap();
+        assert!(r.outcomes.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn unknown_set_is_an_error() {
+        let mesh = Mesh::box_hex(1, 1, 1, 1.0, 1.0, 1.0);
+        let contact = RigidPlaneContact {
+            set: "missing".into(),
+            axis: 2,
+            start: 0.0,
+            speed: 0.0,
+            penalty: 1.0,
+            from_above: true,
+        };
+        assert!(contact.evaluate(&mesh, &[0.0; 24], 3, 0.0).is_err());
+    }
+}

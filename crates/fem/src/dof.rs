@@ -1,0 +1,137 @@
+//! Degree-of-freedom management.
+//!
+//! Global dofs are numbered node-major: dof `node * dofs_per_node + comp`.
+//! Displacement-only models use 3 dofs/node; biphasic adds pore pressure
+//! (4), multiphasic adds a solute concentration (5); fluid models carry 3
+//! velocity dofs.
+
+use crate::error::FemError;
+use crate::Result;
+
+/// Map between (node, component) pairs and global equation numbers, with
+/// Dirichlet bookkeeping.
+#[derive(Debug, Clone)]
+pub struct DofMap {
+    n_nodes: usize,
+    dofs_per_node: usize,
+    /// Prescribed *increment per unit load factor* for constrained dofs
+    /// (`None` = free).
+    prescribed: Vec<Option<f64>>,
+}
+
+impl DofMap {
+    /// Creates a map with all dofs free.
+    pub fn new(n_nodes: usize, dofs_per_node: usize) -> Self {
+        DofMap { n_nodes, dofs_per_node, prescribed: vec![None; n_nodes * dofs_per_node] }
+    }
+
+    /// Total dof count (free + constrained).
+    pub fn len(&self) -> usize {
+        self.n_nodes * self.dofs_per_node
+    }
+
+    /// True for an empty mesh.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dofs carried by each node.
+    pub fn dofs_per_node(&self) -> usize {
+        self.dofs_per_node
+    }
+
+    /// Global dof index for `(node, comp)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp >= dofs_per_node` or `node` is out of range.
+    pub fn dof(&self, node: usize, comp: usize) -> usize {
+        assert!(node < self.n_nodes && comp < self.dofs_per_node);
+        node * self.dofs_per_node + comp
+    }
+
+    /// Constrains `(node, comp)` to the given total prescribed value
+    /// (applied through the load curve by the stepper).
+    ///
+    /// # Errors
+    ///
+    /// [`FemError::InvalidModel`] on out-of-range indices.
+    pub fn constrain(&mut self, node: usize, comp: usize, value: f64) -> Result<()> {
+        if node >= self.n_nodes || comp >= self.dofs_per_node {
+            return Err(FemError::InvalidModel(format!(
+                "constraint on node {node} comp {comp} out of range \
+                 ({} nodes x {} dofs)",
+                self.n_nodes, self.dofs_per_node
+            )));
+        }
+        let d = self.dof(node, comp);
+        self.prescribed[d] = Some(value);
+        Ok(())
+    }
+
+    /// True when the dof is Dirichlet-constrained.
+    pub fn is_constrained(&self, dof: usize) -> bool {
+        self.prescribed[dof].is_some()
+    }
+
+    /// Prescribed total value for a dof (`None` if free).
+    pub fn prescribed(&self, dof: usize) -> Option<f64> {
+        self.prescribed[dof]
+    }
+
+    /// Number of constrained dofs.
+    pub fn num_constrained(&self) -> usize {
+        self.prescribed.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Number of free dofs.
+    pub fn num_free(&self) -> usize {
+        self.len() - self.num_constrained()
+    }
+
+    /// Iterates `(dof, value)` over constrained dofs.
+    pub fn constraints(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.prescribed.iter().enumerate().filter_map(|(d, p)| p.map(|v| (d, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_is_node_major() {
+        let m = DofMap::new(4, 3);
+        assert_eq!(m.len(), 12);
+        assert_eq!(m.dof(0, 0), 0);
+        assert_eq!(m.dof(1, 0), 3);
+        assert_eq!(m.dof(2, 2), 8);
+    }
+
+    #[test]
+    fn constrain_and_query() {
+        let mut m = DofMap::new(3, 4);
+        m.constrain(1, 3, 0.5).unwrap();
+        assert!(m.is_constrained(m.dof(1, 3)));
+        assert!(!m.is_constrained(m.dof(1, 2)));
+        assert_eq!(m.prescribed(m.dof(1, 3)), Some(0.5));
+        assert_eq!(m.num_constrained(), 1);
+        assert_eq!(m.num_free(), 11);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = DofMap::new(2, 3);
+        assert!(m.constrain(2, 0, 0.0).is_err());
+        assert!(m.constrain(0, 3, 0.0).is_err());
+    }
+
+    #[test]
+    fn constraints_iterator() {
+        let mut m = DofMap::new(2, 2);
+        m.constrain(0, 0, 1.0).unwrap();
+        m.constrain(1, 1, -2.0).unwrap();
+        let cs: Vec<(usize, f64)> = m.constraints().collect();
+        assert_eq!(cs, vec![(0, 1.0), (3, -2.0)]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the FE solver.
+
+use belenos_sparse::SparseError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving a finite-element model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FemError {
+    /// A mesh/model construction problem (bad counts, unknown sets, ...).
+    InvalidModel(String),
+    /// The Newton iteration failed to converge within its budget.
+    NewtonDiverged { step: usize, iterations: usize, residual: f64 },
+    /// An element Jacobian became non-positive (inverted element).
+    InvertedElement { element: usize, detj: f64 },
+    /// A linear-algebra failure from the sparse substrate.
+    Linear(SparseError),
+}
+
+impl fmt::Display for FemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FemError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            FemError::NewtonDiverged { step, iterations, residual } => write!(
+                f,
+                "newton iteration diverged at step {step} after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            FemError::InvertedElement { element, detj } => {
+                write!(f, "element {element} inverted (det J = {detj:.3e})")
+            }
+            FemError::Linear(e) => write!(f, "linear solver failure: {e}"),
+        }
+    }
+}
+
+impl Error for FemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FemError::Linear(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for FemError {
+    fn from(e: SparseError) -> Self {
+        FemError::Linear(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FemError::NewtonDiverged { step: 3, iterations: 25, residual: 1.5 };
+        assert!(e.to_string().contains("step 3"));
+        let e: FemError = SparseError::NotSquare { nrows: 2, ncols: 3 }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FemError>();
+    }
+}

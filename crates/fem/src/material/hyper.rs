@@ -1,0 +1,211 @@
+//! Nonlinear elastic models: compressible neo-Hookean-class stiffening and
+//! exponential fiber reinforcement (arterial / tendon class).
+
+use super::{apply_tangent, deviator, isotropic_tangent, trace, Material, Tangent, Voigt};
+use belenos_trace::MaterialClass;
+
+/// Materially nonlinear isotropic elasticity: shear modulus stiffens with
+/// deviatoric strain magnitude and the pressure response stiffens
+/// cubically with volume change — a small-strain analogue of a
+/// compressible neo-Hookean solid (tissue ground matrix).
+#[derive(Debug, Clone)]
+pub struct NeoHookeanSmall {
+    mu: f64,
+    kappa: f64,
+    /// Dimensionless stiffening coefficient (0 recovers Hooke).
+    beta: f64,
+}
+
+impl NeoHookeanSmall {
+    /// From shear modulus `mu`, bulk modulus `kappa` and stiffening `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive moduli or negative `beta`.
+    pub fn new(mu: f64, kappa: f64, beta: f64) -> Self {
+        assert!(mu > 0.0 && kappa > 0.0, "moduli must be positive");
+        assert!(beta >= 0.0, "stiffening coefficient must be non-negative");
+        NeoHookeanSmall { mu, kappa, beta }
+    }
+
+    /// Construct from (E, ν) with the given stiffening.
+    pub fn from_young(e: f64, nu: f64, beta: f64) -> Self {
+        let mu = e / (2.0 * (1.0 + nu));
+        let kappa = e / (3.0 * (1.0 - 2.0 * nu));
+        Self::new(mu, kappa, beta)
+    }
+}
+
+impl Material for NeoHookeanSmall {
+    fn name(&self) -> &'static str {
+        "neo-hookean (stiffening)"
+    }
+
+    fn class(&self) -> MaterialClass {
+        MaterialClass::Hyperelastic
+    }
+
+    fn stress(&self, eps: &Voigt, _old: &[f64], _new: &mut [f64], _dt: f64, _t: f64) -> Voigt {
+        let dev = deviator(eps);
+        let j = trace(eps);
+        // Strain-consistent squared magnitude: engineering shears enter the
+        // energy with a factor 1/2, which keeps the law hyperelastic (the
+        // tangent is then the symmetric Hessian of a stored energy).
+        let m2 = dev[0] * dev[0]
+            + dev[1] * dev[1]
+            + dev[2] * dev[2]
+            + 0.5 * (dev[3] * dev[3] + dev[4] * dev[4] + dev[5] * dev[5]);
+        let mu_eff = self.mu * (1.0 + self.beta * m2);
+        let p = self.kappa * j * (1.0 + self.beta * j * j);
+        let mut s = [0.0; 6];
+        for i in 0..3 {
+            s[i] = 2.0 * mu_eff * dev[i] + p;
+        }
+        for i in 3..6 {
+            s[i] = mu_eff * dev[i];
+        }
+        s
+    }
+}
+
+/// Transversely isotropic fiber reinforcement with exponential stiffening
+/// (Holzapfel-class; the arterial-tissue workload family). Fibers carry
+/// load only in tension — the data-dependent branch in the constitutive
+/// loop.
+#[derive(Debug, Clone)]
+pub struct FiberExponential {
+    matrix: Tangent,
+    /// Unit fiber direction.
+    a: [f64; 3],
+    k1: f64,
+    k2: f64,
+}
+
+impl FiberExponential {
+    /// Isotropic matrix (E, ν) reinforced by fibers along `dir` with
+    /// Holzapfel coefficients `k1` (stress-like) and `k2` (dimensionless).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir` is (near) zero or `k1 < 0` / `k2 < 0`.
+    pub fn new(e: f64, nu: f64, dir: [f64; 3], k1: f64, k2: f64) -> Self {
+        let norm = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]).sqrt();
+        assert!(norm > 1e-12, "fiber direction must be non-zero");
+        assert!(k1 >= 0.0 && k2 >= 0.0, "fiber coefficients must be non-negative");
+        FiberExponential {
+            matrix: isotropic_tangent(e, nu),
+            a: [dir[0] / norm, dir[1] / norm, dir[2] / norm],
+            k1,
+            k2,
+        }
+    }
+
+    /// Fiber strain ε_f = aᵀ ε a for a Voigt strain.
+    pub fn fiber_strain(&self, eps: &Voigt) -> f64 {
+        let a = self.a;
+        eps[0] * a[0] * a[0]
+            + eps[1] * a[1] * a[1]
+            + eps[2] * a[2] * a[2]
+            + eps[3] * a[0] * a[1]
+            + eps[4] * a[1] * a[2]
+            + eps[5] * a[0] * a[2]
+    }
+}
+
+impl Material for FiberExponential {
+    fn name(&self) -> &'static str {
+        "fiber exponential"
+    }
+
+    fn class(&self) -> MaterialClass {
+        MaterialClass::FiberExponential
+    }
+
+    fn stress(&self, eps: &Voigt, _old: &[f64], _new: &mut [f64], _dt: f64, _t: f64) -> Voigt {
+        let mut s = apply_tangent(&self.matrix, eps);
+        let ef = self.fiber_strain(eps);
+        if ef > 0.0 {
+            // σ_f = k1 ε_f exp(k2 ε_f²) a⊗a (tension only).
+            let sf = self.k1 * ef * (self.k2 * ef * ef).exp();
+            let a = self.a;
+            s[0] += sf * a[0] * a[0];
+            s[1] += sf * a[1] * a[1];
+            s[2] += sf * a[2] * a[2];
+            s[3] += sf * a[0] * a[1];
+            s[4] += sf * a[1] * a[2];
+            s[5] += sf * a[0] * a[2];
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neo_hookean_reduces_to_hooke_at_beta_zero() {
+        let nh = NeoHookeanSmall::from_young(1000.0, 0.3, 0.0);
+        let le = super::super::LinearElastic::new(1000.0, 0.3);
+        let eps: Voigt = [0.01, -0.004, 0.002, 0.006, -0.001, 0.003];
+        let s1 = nh.stress(&eps, &[], &mut [], 1.0, 0.0);
+        let s2 = le.stress(&eps, &[], &mut [], 1.0, 0.0);
+        for i in 0..6 {
+            assert!((s1[i] - s2[i]).abs() < 1e-9, "component {i}: {} vs {}", s1[i], s2[i]);
+        }
+    }
+
+    #[test]
+    fn neo_hookean_stiffens_with_strain() {
+        let nh = NeoHookeanSmall::from_young(1000.0, 0.3, 100.0);
+        let small: Voigt = [0.001, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let large: Voigt = [0.1, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let s_small = nh.stress(&small, &[], &mut [], 1.0, 0.0)[0] / 0.001;
+        let s_large = nh.stress(&large, &[], &mut [], 1.0, 0.0)[0] / 0.1;
+        assert!(s_large > 1.5 * s_small, "secant {s_large} vs {s_small}");
+    }
+
+    #[test]
+    fn neo_hookean_tangent_is_symmetric() {
+        let nh = NeoHookeanSmall::from_young(500.0, 0.25, 20.0);
+        let eps: Voigt = [0.02, -0.01, 0.005, 0.01, 0.0, -0.004];
+        let d = nh.tangent(&eps, &[], 1.0, 0.0);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((d[i][j] - d[j][i]).abs() < 1e-1 * (1.0 + d[i][j].abs()), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn fiber_only_loads_in_tension() {
+        let f = FiberExponential::new(100.0, 0.3, [1.0, 0.0, 0.0], 1000.0, 10.0);
+        let tension: Voigt = [0.05, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let compression: Voigt = [-0.05, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let st = f.stress(&tension, &[], &mut [], 1.0, 0.0);
+        let sc = f.stress(&compression, &[], &mut [], 1.0, 0.0);
+        // Tension picks up the fiber term; compression is matrix-only.
+        assert!(st[0].abs() > 3.0 * sc[0].abs());
+    }
+
+    #[test]
+    fn fiber_strain_projects_correctly() {
+        let f = FiberExponential::new(100.0, 0.3, [0.0, 1.0, 0.0], 10.0, 1.0);
+        let eps: Voigt = [0.1, 0.2, 0.3, 0.0, 0.0, 0.0];
+        assert!((f.fiber_strain(&eps) - 0.2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn fiber_exponential_grows_superlinearly() {
+        let f = FiberExponential::new(10.0, 0.3, [1.0, 0.0, 0.0], 100.0, 50.0);
+        let s1 = f.stress(&[0.05, 0.0, 0.0, 0.0, 0.0, 0.0], &[], &mut [], 1.0, 0.0)[0];
+        let s2 = f.stress(&[0.10, 0.0, 0.0, 0.0, 0.0, 0.0], &[], &mut [], 1.0, 0.0)[0];
+        assert!(s2 > 2.5 * s1, "exponential stiffening absent: {s2} vs {s1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_fiber_direction_rejected() {
+        let _ = FiberExponential::new(1.0, 0.3, [0.0; 3], 1.0, 1.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Inelastic models: continuum damage and J2 plasticity with radial
+//! return — the `dm` (damage) and `pd` (plasti-damage) workload families.
+
+use super::{apply_tangent, deviator, isotropic_tangent, Material, Tangent, Voigt};
+use belenos_trace::MaterialClass;
+
+/// Isotropic elasticity degraded by a scalar damage variable driven by the
+/// maximum stored energy ever reached (history dependence + a
+/// data-dependent threshold branch per Gauss point).
+#[derive(Debug, Clone)]
+pub struct DamageElastic {
+    d: Tangent,
+    /// Energy threshold below which no damage accumulates.
+    y0: f64,
+    /// Energy scale of the exponential damage evolution.
+    yc: f64,
+    /// Cap on the damage variable (keeps the tangent non-singular).
+    d_max: f64,
+}
+
+impl DamageElastic {
+    /// Elastic backbone (E, ν) with damage threshold `y0` and scale `yc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y0 < 0`, `yc <= 0`.
+    pub fn new(e: f64, nu: f64, y0: f64, yc: f64) -> Self {
+        assert!(y0 >= 0.0 && yc > 0.0, "invalid damage parameters");
+        DamageElastic { d: isotropic_tangent(e, nu), y0, yc, d_max: 0.95 }
+    }
+
+    /// Strain energy density ½ εᵀ D ε.
+    pub fn energy(&self, eps: &Voigt) -> f64 {
+        let s = apply_tangent(&self.d, eps);
+        0.5 * (s[0] * eps[0]
+            + s[1] * eps[1]
+            + s[2] * eps[2]
+            + s[3] * eps[3]
+            + s[4] * eps[4]
+            + s[5] * eps[5])
+    }
+}
+
+impl Material for DamageElastic {
+    fn name(&self) -> &'static str {
+        "damage elastic"
+    }
+
+    fn class(&self) -> MaterialClass {
+        MaterialClass::Damage
+    }
+
+    /// State: `[max energy seen, current damage]`.
+    fn state_size(&self) -> usize {
+        2
+    }
+
+    fn stress(&self, eps: &Voigt, old: &[f64], new: &mut [f64], _dt: f64, _t: f64) -> Voigt {
+        let y = self.energy(eps);
+        let y_max = y.max(old[0]);
+        let dmg = if y_max > self.y0 {
+            (1.0 - (-(y_max - self.y0) / self.yc).exp()).min(self.d_max)
+        } else {
+            0.0
+        };
+        let dmg = dmg.max(old[1]); // damage never heals
+        new[0] = y_max;
+        new[1] = dmg;
+        let s = apply_tangent(&self.d, eps);
+        let f = 1.0 - dmg;
+        [s[0] * f, s[1] * f, s[2] * f, s[3] * f, s[4] * f, s[5] * f]
+    }
+}
+
+/// Small-strain J2 plasticity with linear isotropic hardening, integrated
+/// by radial return (the classic branchy return-mapping kernel).
+#[derive(Debug, Clone)]
+pub struct J2Plasticity {
+    mu: f64,
+    kappa: f64,
+    sigma_y: f64,
+    hardening: f64,
+}
+
+impl J2Plasticity {
+    /// From (E, ν), initial yield stress and linear hardening modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive `e` or `sigma_y`.
+    pub fn new(e: f64, nu: f64, sigma_y: f64, hardening: f64) -> Self {
+        assert!(e > 0.0 && sigma_y > 0.0, "invalid plasticity parameters");
+        J2Plasticity {
+            mu: e / (2.0 * (1.0 + nu)),
+            kappa: e / (3.0 * (1.0 - 2.0 * nu)),
+            sigma_y,
+            hardening,
+        }
+    }
+}
+
+impl Material for J2Plasticity {
+    fn name(&self) -> &'static str {
+        "j2 plasticity"
+    }
+
+    fn class(&self) -> MaterialClass {
+        MaterialClass::Plasticity
+    }
+
+    /// State: plastic strain (6) + accumulated plastic multiplier (1).
+    fn state_size(&self) -> usize {
+        7
+    }
+
+    fn stress(&self, eps: &Voigt, old: &[f64], new: &mut [f64], _dt: f64, _t: f64) -> Voigt {
+        let eps_p: Voigt = [old[0], old[1], old[2], old[3], old[4], old[5]];
+        let alpha = old[6];
+        // Elastic trial: ε_e = ε - ε_p (engineering shears in both).
+        let mut eps_e = [0.0; 6];
+        for i in 0..6 {
+            eps_e[i] = eps[i] - eps_p[i];
+        }
+        let vol = super::trace(&eps_e);
+        let dev = deviator(&eps_e);
+        // Trial deviatoric stress (tensor components; shear entries in dev
+        // are engineering strains, so σ_dev shear = μ γ).
+        let mut s_tr = [0.0; 6];
+        for i in 0..3 {
+            s_tr[i] = 2.0 * self.mu * dev[i];
+        }
+        for i in 3..6 {
+            s_tr[i] = self.mu * dev[i];
+        }
+        let s_norm = (s_tr[0] * s_tr[0]
+            + s_tr[1] * s_tr[1]
+            + s_tr[2] * s_tr[2]
+            + 2.0 * (s_tr[3] * s_tr[3] + s_tr[4] * s_tr[4] + s_tr[5] * s_tr[5]))
+            .sqrt();
+        let flow = (2.0 / 3.0_f64).sqrt() * (self.sigma_y + self.hardening * alpha);
+        let f_trial = s_norm - flow;
+        let p = self.kappa * vol;
+        if f_trial <= 0.0 {
+            // Elastic step.
+            new[..6].copy_from_slice(&eps_p);
+            new[6] = alpha;
+            return [s_tr[0] + p, s_tr[1] + p, s_tr[2] + p, s_tr[3], s_tr[4], s_tr[5]];
+        }
+        // Radial return.
+        let dgamma = f_trial / (2.0 * self.mu + 2.0 / 3.0 * self.hardening);
+        let scale = 1.0 - 2.0 * self.mu * dgamma / s_norm;
+        let mut s = [0.0; 6];
+        for i in 0..6 {
+            s[i] = s_tr[i] * scale;
+        }
+        // Update plastic strain along the flow direction n = s_tr / |s_tr|.
+        for i in 0..3 {
+            new[i] = eps_p[i] + dgamma * s_tr[i] / s_norm;
+        }
+        for i in 3..6 {
+            new[i] = eps_p[i] + 2.0 * dgamma * s_tr[i] / s_norm;
+        }
+        new[6] = alpha + (2.0 / 3.0_f64).sqrt() * dgamma;
+        [s[0] + p, s[1] + p, s[2] + p, s[3], s[4], s[5]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn damage_inactive_below_threshold() {
+        let m = DamageElastic::new(1000.0, 0.3, 10.0, 5.0);
+        let eps: Voigt = [0.001, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let mut new = [0.0; 2];
+        let s = m.stress(&eps, &[0.0, 0.0], &mut new, 1.0, 0.0);
+        assert_eq!(new[1], 0.0, "damage should not start below y0");
+        let le = super::super::LinearElastic::new(1000.0, 0.3);
+        let se = le.stress(&eps, &[], &mut [], 1.0, 0.0);
+        assert!((s[0] - se[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damage_softens_and_never_heals() {
+        let m = DamageElastic::new(1000.0, 0.3, 0.0, 0.01);
+        let big: Voigt = [0.2, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let mut s1_state = [0.0; 2];
+        let _ = m.stress(&big, &[0.0, 0.0], &mut s1_state, 1.0, 0.0);
+        assert!(s1_state[1] > 0.3, "damage {}", s1_state[1]);
+        // Unload to small strain: damage persists.
+        let small: Voigt = [0.001, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let mut s2_state = [0.0; 2];
+        let s_dam = m.stress(&small, &s1_state, &mut s2_state, 1.0, 0.0);
+        assert!((s2_state[1] - s1_state[1]).abs() < 1e-12, "damage healed");
+        let le = super::super::LinearElastic::new(1000.0, 0.3);
+        let se = le.stress(&small, &[], &mut [], 1.0, 0.0);
+        assert!(s_dam[0] < se[0], "softening missing");
+    }
+
+    #[test]
+    fn damage_is_capped() {
+        let m = DamageElastic::new(1000.0, 0.3, 0.0, 1e-6);
+        let huge: Voigt = [0.5, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let mut st = [0.0; 2];
+        let _ = m.stress(&huge, &[0.0, 0.0], &mut st, 1.0, 0.0);
+        assert!(st[1] <= 0.95 + 1e-12);
+    }
+
+    #[test]
+    fn plasticity_elastic_below_yield() {
+        let m = J2Plasticity::new(1000.0, 0.3, 100.0, 10.0);
+        let eps: Voigt = [0.01, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let mut new = [0.0; 7];
+        let _ = m.stress(&eps, &[0.0; 7], &mut new, 1.0, 0.0);
+        assert_eq!(new[6], 0.0, "plastic flow below yield");
+    }
+
+    #[test]
+    fn plasticity_returns_to_yield_surface() {
+        let m = J2Plasticity::new(1000.0, 0.3, 5.0, 0.0); // perfect plasticity
+        let eps: Voigt = [0.05, -0.02, -0.02, 0.0, 0.0, 0.0];
+        let mut new = [0.0; 7];
+        let s = m.stress(&eps, &[0.0; 7], &mut new, 1.0, 0.0);
+        assert!(new[6] > 0.0, "should have yielded");
+        // Von Mises stress must sit on the yield surface.
+        let p = (s[0] + s[1] + s[2]) / 3.0;
+        let sd = [s[0] - p, s[1] - p, s[2] - p, s[3], s[4], s[5]];
+        let j2 = sd[0] * sd[0]
+            + sd[1] * sd[1]
+            + sd[2] * sd[2]
+            + 2.0 * (sd[3] * sd[3] + sd[4] * sd[4] + sd[5] * sd[5]);
+        let vm = (1.5 * j2).sqrt();
+        assert!((vm - 5.0).abs() < 1e-8, "von mises {vm} should equal yield 5");
+    }
+
+    #[test]
+    fn hardening_raises_flow_stress() {
+        let soft = J2Plasticity::new(1000.0, 0.3, 5.0, 0.0);
+        let hard = J2Plasticity::new(1000.0, 0.3, 5.0, 500.0);
+        let eps: Voigt = [0.05, -0.02, -0.02, 0.0, 0.0, 0.0];
+        let mut st_s = [0.0; 7];
+        let mut st_h = [0.0; 7];
+        let ss = soft.stress(&eps, &[0.0; 7], &mut st_s, 1.0, 0.0);
+        let sh = hard.stress(&eps, &[0.0; 7], &mut st_h, 1.0, 0.0);
+        assert!(sh[0] > ss[0], "hardening had no effect");
+        assert!(st_h[6] < st_s[6], "hardening should reduce plastic flow");
+    }
+
+    #[test]
+    fn pressure_unaffected_by_plastic_flow() {
+        // J2 flow is isochoric: volumetric response stays elastic.
+        let m = J2Plasticity::new(1000.0, 0.3, 1.0, 0.0);
+        let eps: Voigt = [0.05, 0.05, 0.05, 0.0, 0.0, 0.0]; // pure volumetric
+        let mut new = [0.0; 7];
+        let s = m.stress(&eps, &[0.0; 7], &mut new, 1.0, 0.0);
+        assert_eq!(new[6], 0.0, "pure volumetric state must not yield");
+        let kappa = 1000.0 / (3.0 * (1.0 - 0.6));
+        assert!((s[0] - kappa * 0.15).abs() < 1e-9);
+    }
+}

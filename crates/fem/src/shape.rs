@@ -1,0 +1,134 @@
+//! Isoparametric shape functions and their parametric gradients.
+
+use crate::mesh::ElementKind;
+
+/// Shape-function values and parametric derivatives at one point.
+#[derive(Debug, Clone)]
+pub struct ShapeEval {
+    /// N_a(ξ) per node.
+    pub n: Vec<f64>,
+    /// dN_a/dξ_i per node (row-major `[node][dim]`).
+    pub dn: Vec<[f64; 3]>,
+}
+
+/// Evaluates shape functions for `kind` at parametric point `xi`.
+pub fn eval(kind: ElementKind, xi: [f64; 3]) -> ShapeEval {
+    match kind {
+        ElementKind::Hex8 => hex8(xi),
+        ElementKind::Tet4 => tet4(xi),
+    }
+}
+
+/// Trilinear Hex8 shape functions on [-1, 1]³ with the standard
+/// counter-clockwise bottom/top node ordering.
+pub fn hex8(xi: [f64; 3]) -> ShapeEval {
+    // Node parametric signs in the same order as the mesh generator.
+    const S: [[f64; 3]; 8] = [
+        [-1.0, -1.0, -1.0],
+        [1.0, -1.0, -1.0],
+        [1.0, 1.0, -1.0],
+        [-1.0, 1.0, -1.0],
+        [-1.0, -1.0, 1.0],
+        [1.0, -1.0, 1.0],
+        [1.0, 1.0, 1.0],
+        [-1.0, 1.0, 1.0],
+    ];
+    let mut n = Vec::with_capacity(8);
+    let mut dn = Vec::with_capacity(8);
+    for s in &S {
+        let fx = 1.0 + s[0] * xi[0];
+        let fy = 1.0 + s[1] * xi[1];
+        let fz = 1.0 + s[2] * xi[2];
+        n.push(0.125 * fx * fy * fz);
+        dn.push([0.125 * s[0] * fy * fz, 0.125 * fx * s[1] * fz, 0.125 * fx * fy * s[2]]);
+    }
+    ShapeEval { n, dn }
+}
+
+/// Linear Tet4 shape functions with barycentric parametrization
+/// (ξ, η, ζ) and N₀ = 1 - ξ - η - ζ at node 0.
+pub fn tet4(xi: [f64; 3]) -> ShapeEval {
+    let n = vec![1.0 - xi[0] - xi[1] - xi[2], xi[0], xi[1], xi[2]];
+    let dn = vec![
+        [-1.0, -1.0, -1.0],
+        [1.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0],
+    ];
+    ShapeEval { n, dn }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex8_partition_of_unity() {
+        for &xi in &[[0.0, 0.0, 0.0], [0.3, -0.7, 0.5], [-1.0, 1.0, -1.0]] {
+            let s = hex8(xi);
+            let sum: f64 = s.n.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-14);
+            // Gradient of the constant must vanish.
+            for d in 0..3 {
+                let g: f64 = s.dn.iter().map(|dn| dn[d]).sum();
+                assert!(g.abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn hex8_kronecker_at_nodes() {
+        let nodes = [
+            [-1.0, -1.0, -1.0],
+            [1.0, -1.0, -1.0],
+            [1.0, 1.0, -1.0],
+            [-1.0, 1.0, -1.0],
+            [-1.0, -1.0, 1.0],
+            [1.0, -1.0, 1.0],
+            [1.0, 1.0, 1.0],
+            [-1.0, 1.0, 1.0],
+        ];
+        for (a, &xi) in nodes.iter().enumerate() {
+            let s = hex8(xi);
+            for (b, &nb) in s.n.iter().enumerate() {
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((nb - expect).abs() < 1e-14, "N_{b}({a}) = {nb}");
+            }
+        }
+    }
+
+    #[test]
+    fn hex8_derivative_matches_finite_difference() {
+        let xi = [0.2, -0.4, 0.6];
+        let h = 1e-6;
+        let s = hex8(xi);
+        for d in 0..3 {
+            let mut xp = xi;
+            xp[d] += h;
+            let mut xm = xi;
+            xm[d] -= h;
+            let sp = hex8(xp);
+            let sm = hex8(xm);
+            for a in 0..8 {
+                let fd = (sp.n[a] - sm.n[a]) / (2.0 * h);
+                assert!((fd - s.dn[a][d]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn tet4_partition_of_unity_and_kronecker() {
+        let s = tet4([0.25, 0.25, 0.25]);
+        assert!((s.n.iter().sum::<f64>() - 1.0).abs() < 1e-14);
+        let s0 = tet4([0.0, 0.0, 0.0]);
+        assert!((s0.n[0] - 1.0).abs() < 1e-14);
+        let s1 = tet4([1.0, 0.0, 0.0]);
+        assert!((s1.n[1] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn dispatch() {
+        assert_eq!(eval(ElementKind::Hex8, [0.0; 3]).n.len(), 8);
+        assert_eq!(eval(ElementKind::Tet4, [0.25; 3]).n.len(), 4);
+    }
+}

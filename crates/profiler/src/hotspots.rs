@@ -1,0 +1,129 @@
+//! Bottom-up hotspot attribution by function category — the paper's
+//! Figure 4 ("prevalence of common function types within the top 5% of
+//! clockticks", rendered as color-coded dots).
+
+use belenos_trace::FnCategory;
+use belenos_uarch::SimStats;
+
+/// Dot color classes from the paper's legend (fraction of top hotspot
+/// clockticks contributed by a category).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotspotDot {
+    /// > 75 % of hotspot clockticks.
+    Red,
+    /// 50-75 %.
+    Orange,
+    /// 25-50 %.
+    Yellow,
+    /// < 25 % (but present).
+    Green,
+    /// Category absent from the profile.
+    None,
+}
+
+impl HotspotDot {
+    /// Classifies a clocktick fraction.
+    pub fn classify(fraction: f64) -> Self {
+        if fraction <= 1e-6 {
+            HotspotDot::None
+        } else if fraction > 0.75 {
+            HotspotDot::Red
+        } else if fraction > 0.50 {
+            HotspotDot::Orange
+        } else if fraction > 0.25 {
+            HotspotDot::Yellow
+        } else {
+            HotspotDot::Green
+        }
+    }
+
+    /// Single-character cell for text rendering of the figure.
+    pub fn glyph(self) -> &'static str {
+        match self {
+            HotspotDot::Red => "R",
+            HotspotDot::Orange => "O",
+            HotspotDot::Yellow => "Y",
+            HotspotDot::Green => "G",
+            HotspotDot::None => ".",
+        }
+    }
+}
+
+/// Per-workload hotspot profile over the six function categories.
+#[derive(Debug, Clone)]
+pub struct HotspotProfile {
+    /// Workload label.
+    pub name: String,
+    /// Clocktick fraction per category (FnCategory::ALL order).
+    pub fractions: [f64; 6],
+}
+
+impl HotspotProfile {
+    /// Builds the profile from simulator slot attribution.
+    pub fn from_stats(name: &str, stats: &SimStats) -> Self {
+        HotspotProfile { name: name.to_string(), fractions: stats.category_fractions() }
+    }
+
+    /// Dot color per category.
+    pub fn dots(&self) -> [HotspotDot; 6] {
+        let mut out = [HotspotDot::None; 6];
+        for (o, &f) in out.iter_mut().zip(&self.fractions) {
+            *o = HotspotDot::classify(f);
+        }
+        out
+    }
+
+    /// Fraction for a specific category.
+    pub fn fraction(&self, cat: FnCategory) -> f64 {
+        let idx = FnCategory::ALL.iter().position(|&c| c == cat).expect("exhaustive");
+        self.fractions[idx]
+    }
+
+    /// The dominant category of this workload.
+    pub fn dominant(&self) -> FnCategory {
+        let mut best = 0;
+        for i in 1..6 {
+            if self.fractions[i] > self.fractions[best] {
+                best = i;
+            }
+        }
+        FnCategory::ALL[best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(HotspotDot::classify(0.9), HotspotDot::Red);
+        assert_eq!(HotspotDot::classify(0.6), HotspotDot::Orange);
+        assert_eq!(HotspotDot::classify(0.3), HotspotDot::Yellow);
+        assert_eq!(HotspotDot::classify(0.1), HotspotDot::Green);
+        assert_eq!(HotspotDot::classify(0.0), HotspotDot::None);
+        assert_eq!(HotspotDot::Red.glyph(), "R");
+    }
+
+    #[test]
+    fn profile_from_stats() {
+        let stats = SimStats {
+            slots_by_category: [600, 200, 0, 100, 80, 20],
+            ..SimStats::default()
+        };
+        let p = HotspotProfile::from_stats("bp", &stats);
+        assert_eq!(p.dominant(), FnCategory::Internal);
+        assert!((p.fraction(FnCategory::Internal) - 0.6).abs() < 1e-12);
+        let dots = p.dots();
+        assert_eq!(dots[0], HotspotDot::Orange); // 60 %
+        assert_eq!(dots[1], HotspotDot::Green); // 20 %
+        assert_eq!(dots[2], HotspotDot::None);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_when_nonempty() {
+        let stats = SimStats { slots_by_category: [1, 2, 3, 4, 5, 6], ..SimStats::default() };
+        let p = HotspotProfile::from_stats("x", &stats);
+        assert!((p.fractions.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

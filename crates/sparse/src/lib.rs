@@ -1,0 +1,52 @@
+//! # belenos-sparse
+//!
+//! Sparse and dense linear-algebra substrate for the Belenos workload study.
+//!
+//! FEBio (the biomechanics simulator characterized by the Belenos paper)
+//! delegates its linear algebra to Intel MKL: PARDISO / Skyline direct
+//! solvers and FGMRES / conjugate-gradient iterative solvers over large
+//! sparse stiffness matrices. This crate is the from-scratch substitute:
+//! it provides the same algorithm classes with the same data-structure
+//! shapes, so the memory-access patterns that the paper profiles (irregular
+//! gathers through CSR index arrays, triangular-solve dependency chains,
+//! skyline column sweeps) are reproduced faithfully.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use belenos_sparse::{CooMatrix, solver::cg::{self, CgOptions}};
+//!
+//! # fn main() -> Result<(), belenos_sparse::SparseError> {
+//! // Assemble a small SPD system in triplet form, as FE assembly does.
+//! let mut coo = CooMatrix::new(3, 3);
+//! coo.push(0, 0, 4.0); coo.push(1, 1, 4.0); coo.push(2, 2, 4.0);
+//! coo.push(0, 1, 1.0); coo.push(1, 0, 1.0);
+//! let a = coo.to_csr();
+//! let b = vec![1.0, 2.0, 3.0];
+//! let sol = cg::solve(&a, &b, &CgOptions::default())?;
+//! assert!(sol.converged);
+//! # Ok(())
+//! # }
+//! ```
+
+// Index-based loops over CSR/row-pointer structures are the idiomatic
+// form for these numeric kernels; iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod graph;
+pub mod pattern;
+pub mod reorder;
+pub mod solver;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::SparseError;
+pub use pattern::CsrPattern;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,0 +1,432 @@
+//! Sparse LDLᵀ with symbolic analysis — the PARDISO substitute.
+//!
+//! PARDISO performs a symbolic phase (elimination tree, fill-in pattern)
+//! followed by a numeric phase and triangular solves. We implement the
+//! up-looking sparse LDLᵀ of Davis (the algorithm behind the `LDL` package
+//! that informed modern direct solvers). The symbolic structures (etree,
+//! column counts) are exposed so the trace layer can replay the exact
+//! per-column access extents of the numeric factorization.
+
+use crate::csr::CsrMatrix;
+use crate::{Result, SparseError};
+
+/// Symbolic analysis of a symmetric sparse matrix: elimination tree and
+/// per-column nonzero counts of the L factor.
+#[derive(Debug, Clone)]
+pub struct SymbolicLdl {
+    n: usize,
+    /// Parent of each column in the elimination tree (`usize::MAX` = root).
+    parent: Vec<usize>,
+    /// Number of below-diagonal nonzeros per column of L.
+    col_counts: Vec<usize>,
+    /// Column pointers of L (size `n + 1`).
+    lp: Vec<usize>,
+}
+
+impl SymbolicLdl {
+    /// Runs symbolic analysis on the *upper triangle* of `a`.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::NotSquare`] for rectangular input.
+    pub fn analyze(a: &CsrMatrix) -> Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let n = a.nrows();
+        let rp = a.pattern().row_ptr();
+        let ci = a.pattern().col_idx();
+        let mut parent = vec![usize::MAX; n];
+        let mut flag = vec![usize::MAX; n];
+        let mut col_counts = vec![0usize; n];
+        // Davis' LDL symbolic: for each row k, walk up the etree from every
+        // upper-triangle entry (i, k), i < k.
+        for k in 0..n {
+            parent[k] = usize::MAX;
+            flag[k] = k;
+            for p in rp[k]..rp[k + 1] {
+                let mut i = ci[p] as usize;
+                if i >= k {
+                    continue;
+                }
+                while flag[i] != k {
+                    if parent[i] == usize::MAX {
+                        parent[i] = k;
+                    }
+                    col_counts[i] += 1;
+                    flag[i] = k;
+                    i = parent[i];
+                }
+            }
+        }
+        let mut lp = vec![0usize; n + 1];
+        for k in 0..n {
+            lp[k + 1] = lp[k] + col_counts[k];
+        }
+        Ok(SymbolicLdl { n, parent, col_counts, lp })
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Elimination-tree parent array (`usize::MAX` marks roots).
+    pub fn etree(&self) -> &[usize] {
+        &self.parent
+    }
+
+    /// Below-diagonal nonzero count of each column of L.
+    pub fn col_counts(&self) -> &[usize] {
+        &self.col_counts
+    }
+
+    /// Total below-diagonal nonzeros in L (fill-in included).
+    pub fn l_nnz(&self) -> usize {
+        self.lp[self.n]
+    }
+
+    /// Fill-in ratio: `nnz(L)` over below-diagonal `nnz(A)`.
+    pub fn fill_ratio(&self, a: &CsrMatrix) -> f64 {
+        let mut lower = 0usize;
+        let rp = a.pattern().row_ptr();
+        let ci = a.pattern().col_idx();
+        for r in 0..a.nrows() {
+            for k in rp[r]..rp[r + 1] {
+                if (ci[k] as usize) < r {
+                    lower += 1;
+                }
+            }
+        }
+        if lower == 0 {
+            1.0
+        } else {
+            self.l_nnz() as f64 / lower as f64
+        }
+    }
+}
+
+/// Numeric LDLᵀ factors: `A = L D Lᵀ` with unit-diagonal L in CSC.
+#[derive(Debug, Clone)]
+pub struct LdlFactor {
+    n: usize,
+    lp: Vec<usize>,
+    li: Vec<u32>,
+    lx: Vec<f64>,
+    d: Vec<f64>,
+}
+
+impl LdlFactor {
+    /// Numeric factorization following a symbolic analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::SingularPivot`] on a (near-)zero pivot — indefinite
+    /// systems are allowed (D may have negative entries), only exact
+    /// singularity is rejected.
+    pub fn factorize(a: &CsrMatrix, sym: &SymbolicLdl) -> Result<Self> {
+        let n = sym.n;
+        if a.nrows() != n || a.ncols() != n {
+            return Err(SparseError::DimensionMismatch(format!(
+                "matrix is {}x{}, symbolic analysis is for {n}",
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        let rp = a.pattern().row_ptr();
+        let ci = a.pattern().col_idx();
+        let av = a.values();
+        let lp = sym.lp.clone();
+        let mut li = vec![0u32; sym.l_nnz()];
+        let mut lx = vec![0.0f64; sym.l_nnz()];
+        let mut d = vec![0.0f64; n];
+        let mut lnz = vec![0usize; n]; // entries placed so far per column
+        let mut y = vec![0.0f64; n];
+        let mut pattern_stack = vec![0usize; n];
+        let mut flag = vec![usize::MAX; n];
+
+        for k in 0..n {
+            // Compute the k-th row of L: solve L(0:k-1, 0:k-1) y = A(0:k-1, k).
+            let mut top = n;
+            y[k] = 0.0;
+            flag[k] = k;
+            for p in rp[k]..rp[k + 1] {
+                let i = ci[p] as usize;
+                if i > k {
+                    continue;
+                }
+                y[i] = av[p];
+                // Walk up the etree collecting the nonzero pattern of row k of L.
+                let mut len = 0usize;
+                let mut ii = i;
+                while flag[ii] != k {
+                    pattern_stack[len] = ii;
+                    len += 1;
+                    flag[ii] = k;
+                    ii = sym.parent[ii];
+                    debug_assert!(ii != usize::MAX || len <= n);
+                    if ii == usize::MAX {
+                        break;
+                    }
+                }
+                // Reverse onto the top of the stack region.
+                for s in 0..len {
+                    top -= 1;
+                    pattern_stack[top] = pattern_stack[len - 1 - s];
+                }
+            }
+            // Numeric sparse triangular solve over the collected pattern.
+            d[k] = y[k];
+            y[k] = 0.0;
+            for &i in &pattern_stack[top..n] {
+                let yi = y[i];
+                y[i] = 0.0;
+                // y -= L(:, i) * yi  (only entries below row k matter later);
+                // and L(k, i) = yi / d[i].
+                for p in lp[i]..lp[i] + lnz[i] {
+                    y[li[p] as usize] -= lx[p] * yi;
+                }
+                let lki = yi / d[i];
+                d[k] -= lki * yi;
+                li[lp[i] + lnz[i]] = k as u32;
+                lx[lp[i] + lnz[i]] = lki;
+                lnz[i] += 1;
+            }
+            if d[k].abs() < 1e-300 {
+                return Err(SparseError::SingularPivot { index: k, value: d[k] });
+            }
+        }
+        Ok(LdlFactor { n, lp, li, lx, d })
+    }
+
+    /// One-shot convenience: analyze + factorize.
+    ///
+    /// # Errors
+    ///
+    /// As in [`SymbolicLdl::analyze`] and [`LdlFactor::factorize`].
+    pub fn new(a: &CsrMatrix) -> Result<Self> {
+        let sym = SymbolicLdl::analyze(a)?;
+        Self::factorize(a, &sym)
+    }
+
+    /// Solves `A x = b` via `L z = b`, `D w = z`, `Lᵀ x = w`.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(SparseError::DimensionMismatch(format!(
+                "factor is {}-dimensional, rhs has {}",
+                self.n,
+                b.len()
+            )));
+        }
+        let mut x = b.to_vec();
+        // Forward: L z = b (unit diagonal, CSC columns scatter downward).
+        for j in 0..self.n {
+            let xj = x[j];
+            for p in self.lp[j]..self.lp[j + 1] {
+                x[self.li[p] as usize] -= self.lx[p] * xj;
+            }
+        }
+        // Diagonal.
+        for j in 0..self.n {
+            x[j] /= self.d[j];
+        }
+        // Backward: Lᵀ x = w (gather).
+        for j in (0..self.n).rev() {
+            let mut acc = x[j];
+            for p in self.lp[j]..self.lp[j + 1] {
+                acc -= self.lx[p] * x[self.li[p] as usize];
+            }
+            x[j] = acc;
+        }
+        Ok(x)
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Below-diagonal nonzeros of L.
+    pub fn l_nnz(&self) -> usize {
+        self.lx.len()
+    }
+
+    /// The diagonal D.
+    pub fn d(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Column pointers of L (for the trace layer).
+    pub fn l_col_ptr(&self) -> &[usize] {
+        &self.lp
+    }
+
+    /// Row indices of L (for the trace layer).
+    pub fn l_row_idx(&self) -> &[u32] {
+        &self.li
+    }
+
+    /// Reconstructs `L D Lᵀ` densely (tests only — O(n²) memory).
+    pub fn reconstruct(&self) -> crate::DenseMatrix {
+        let n = self.n;
+        let mut l = crate::DenseMatrix::identity(n);
+        for j in 0..n {
+            for p in self.lp[j]..self.lp[j + 1] {
+                l[(self.li[p] as usize, j)] = self.lx[p];
+            }
+        }
+        let mut ld = l.clone();
+        for j in 0..n {
+            for i in 0..n {
+                ld[(i, j)] *= self.d[j];
+            }
+        }
+        ld.matmul(&l.transpose()).expect("square")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn lap2d(nx: usize) -> CsrMatrix {
+        let n = nx * nx;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..nx {
+            for j in 0..nx {
+                let p = i * nx + j;
+                coo.push(p, p, 4.0);
+                if i > 0 {
+                    coo.push(p, p - nx, -1.0);
+                }
+                if i + 1 < nx {
+                    coo.push(p, p + nx, -1.0);
+                }
+                if j > 0 {
+                    coo.push(p, p - 1, -1.0);
+                }
+                if j + 1 < nx {
+                    coo.push(p, p + 1, -1.0);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn etree_of_tridiagonal_is_a_path() {
+        let mut coo = CooMatrix::new(5, 5);
+        for i in 0..5 {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+                coo.push(i - 1, i, -1.0);
+            }
+        }
+        let a = coo.to_csr();
+        let sym = SymbolicLdl::analyze(&a).unwrap();
+        assert_eq!(sym.etree()[..4], [1, 2, 3, 4]);
+        assert_eq!(sym.etree()[4], usize::MAX);
+        // Tridiagonal has no fill: one below-diagonal entry per column except last.
+        assert_eq!(sym.l_nnz(), 4);
+        assert!((sym.fill_ratio(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplacian_has_fill() {
+        let a = lap2d(6);
+        let sym = SymbolicLdl::analyze(&a).unwrap();
+        assert!(sym.fill_ratio(&a) > 1.5, "fill ratio {}", sym.fill_ratio(&a));
+    }
+
+    #[test]
+    fn reconstruction_matches_original() {
+        let a = lap2d(4);
+        let f = LdlFactor::new(&a).unwrap();
+        let rec = f.reconstruct();
+        let err = (&rec - &a.to_dense()).norm();
+        assert!(err < 1e-10, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = lap2d(8);
+        let x_true: Vec<f64> = (0..64).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let b = a.spmv(&x_true).unwrap();
+        let f = LdlFactor::new(&a).unwrap();
+        let x = f.solve(&b).unwrap();
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn indefinite_but_nonsingular_ok() {
+        // LDLᵀ (unlike Cholesky) handles symmetric indefinite matrices that
+        // need no pivoting.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, -2.0);
+        let a = coo.to_csr();
+        let f = LdlFactor::new(&a).unwrap();
+        assert!(f.d()[1] < 0.0);
+        let x = f.solve(&[1.0, 2.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-15);
+        assert!((x[1] + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        let a = coo.to_csr();
+        assert!(matches!(LdlFactor::new(&a), Err(SparseError::SingularPivot { .. })));
+    }
+
+    #[test]
+    fn repeated_solves_with_one_factorization() {
+        let a = lap2d(5);
+        let f = LdlFactor::new(&a).unwrap();
+        for seed in 0..3 {
+            let x_true: Vec<f64> = (0..25).map(|i| ((i + seed) as f64).sin()).collect();
+            let b = a.spmv(&x_true).unwrap();
+            let x = f.solve(&b).unwrap();
+            for (u, v) in x.iter().zip(&x_true) {
+                assert!((u - v).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_reuse_across_numeric_refactorizations() {
+        // Newton iterations refactorize with the same pattern; symbolic
+        // analysis must be reusable.
+        let a = lap2d(5);
+        let sym = SymbolicLdl::analyze(&a).unwrap();
+        let mut a2 = a.clone();
+        a2.scale(2.0);
+        let f1 = LdlFactor::factorize(&a, &sym).unwrap();
+        let f2 = LdlFactor::factorize(&a2, &sym).unwrap();
+        let b = vec![1.0; 25];
+        let x1 = f1.solve(&b).unwrap();
+        let x2 = f2.solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - 2.0 * v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rhs_shape_checked() {
+        let a = lap2d(3);
+        let f = LdlFactor::new(&a).unwrap();
+        assert!(f.solve(&[0.0; 5]).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Linear solvers: the MKL PARDISO / Skyline / FGMRES / CG substitutes.
+//!
+//! FEBio offers direct solvers (PARDISO, Skyline) and iterative ones
+//! (FGMRES, conjugate gradient) — Belenos profiles all of them as the
+//! dominant consumers of Stage-2 runtime. Each submodule implements one
+//! solver class with the same algorithmic structure (and therefore the same
+//! memory-access and dependency-chain shape) as the original.
+
+pub mod cg;
+pub mod fgmres;
+pub mod ldl;
+pub mod precond;
+pub mod skyline;
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterativeSolution {
+    /// The computed solution vector.
+    pub x: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final (preconditioned, where applicable) residual norm.
+    pub residual: f64,
+    /// Whether the tolerance was met within the iteration budget.
+    pub converged: bool,
+}

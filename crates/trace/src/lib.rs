@@ -1,0 +1,47 @@
+//! # belenos-trace
+//!
+//! Micro-op trace layer: the bridge between the Belenos finite-element
+//! solver (`belenos-fem`) and the microarchitecture simulator
+//! (`belenos-uarch`).
+//!
+//! The original paper runs the FEBio binary under Intel VTune (real
+//! hardware) and inside gem5 full-system mode. We cannot boot a guest OS,
+//! so this crate implements the standard substitute: **kernel-synthesized
+//! trace-driven simulation**. While the FE solver runs numerically, it
+//! records a [`PhaseLog`] of every computational kernel it executes —
+//! including live references to the actual sparse structures involved. The
+//! [`expand`] module then replays that log as a lazy stream of
+//! [`MicroOp`]s whose
+//!
+//! * **memory addresses** come from the real CSR/skyline index arrays (so
+//!   gather irregularity and reuse distances match the workload),
+//! * **dependency distances** encode the true kernel dataflow (accumulation
+//!   chains, independent streams, triangular-solve recurrences),
+//! * **branch outcomes** follow actual loop trip counts and data-dependent
+//!   predicates, and
+//! * **PAUSE ops** reproduce the OpenMP spin-wait serialization the paper
+//!   identifies as the root cause of core-bound stalls in material models.
+//!
+//! ```
+//! use belenos_trace::{PhaseLog, KernelCall, expand::Expander};
+//!
+//! let mut log = PhaseLog::new();
+//! log.record(KernelCall::Dot { n: 4 });
+//! let ops: Vec<_> = Expander::new(&log).collect();
+//! assert!(!ops.is_empty());
+//! ```
+
+// Index-based loops over CSR/row-pointer structures are the idiomatic
+// form for these numeric kernels; iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod expand;
+pub mod layout;
+pub mod op;
+pub mod program;
+pub mod stats;
+
+pub use layout::AddressSpace;
+pub use op::{FnCategory, MicroOp, OpKind};
+pub use program::{KernelCall, MaterialClass, PhaseLog, PrecondClass};
+pub use stats::TraceStats;

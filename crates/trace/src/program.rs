@@ -1,0 +1,257 @@
+//! Phase logs: the kernel-level record of a finite-element solve.
+//!
+//! The FE solver appends one [`KernelCall`] per computational kernel it
+//! executes, holding `Arc` references to the *live* sparse structures so
+//! the expansion step can derive authentic memory-access streams.
+
+use belenos_sparse::CsrPattern;
+use std::sync::Arc;
+
+/// Coarse material classes; each has a distinct constitutive-update cost
+/// profile (FP mix, state traffic, chain depth) in the expander.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaterialClass {
+    /// Hookean linear elasticity — cheapest update.
+    LinearElastic,
+    /// Isotropic hyperelastic (neo-Hookean class): moderate FP, some div.
+    Hyperelastic,
+    /// Fiber-reinforced with exponential stiffening (arterial class):
+    /// FP-heavy with long multiply chains (exp series).
+    FiberExponential,
+    /// Reactive viscoelastic (the paper's `ma26–ma31` group): deep Prony
+    /// chains, heavy state traffic, spin-synchronized in FEBio.
+    Viscoelastic,
+    /// Biphasic poroelastic: extra pore-pressure coupling terms.
+    Biphasic,
+    /// Multiphasic (solute transport on top of biphasic).
+    Multiphasic,
+    /// Continuum damage: history lookups + data-dependent evolution.
+    Damage,
+    /// Small-strain plasticity with radial return (branchy).
+    Plasticity,
+    /// Active muscle contraction along a fiber.
+    ActiveMuscle,
+    /// Volumetric growth (tumor class).
+    Growth,
+    /// Incompressible fluid (viscous + convective terms, div-heavy).
+    Fluid,
+    /// Rigid body (negligible constitutive cost).
+    Rigid,
+}
+
+/// Preconditioner used by a recorded iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrecondClass {
+    /// No preconditioning.
+    None,
+    /// Diagonal scaling.
+    Jacobi,
+    /// Incomplete LU with zero fill.
+    Ilu0,
+}
+
+/// One recorded kernel invocation.
+///
+/// Sizes and index structures are captured by value/`Arc` at record time so
+/// the log outlives the solver state.
+#[derive(Debug, Clone)]
+pub enum KernelCall {
+    /// BLAS-1 dot product of length `n`.
+    Dot { n: usize },
+    /// BLAS-1 `y += alpha x` of length `n`.
+    Axpy { n: usize },
+    /// BLAS-1 two-norm of length `n`.
+    Norm { n: usize },
+    /// Vector copy/scale of length `n`.
+    VecOp { n: usize },
+    /// Sparse matrix-vector product over a live pattern.
+    SpMv { pattern: Arc<CsrPattern> },
+    /// Stiffness-matrix assembly over a mesh.
+    AssembleStiffness {
+        /// Element connectivity, `nodes_per_elem` node ids per element.
+        conn: Arc<Vec<u32>>,
+        /// Nodes per element (8 = hex, 4 = tet).
+        nodes_per_elem: usize,
+        /// Unknown fields per node (3 = displacement, 4 = +pressure, ...).
+        dofs_per_node: usize,
+        /// Quadrature points per element.
+        gauss_points: usize,
+        /// Constitutive class (drives per-point FP cost).
+        material: MaterialClass,
+        /// The global matrix pattern scattered into.
+        pattern: Arc<CsrPattern>,
+    },
+    /// Residual (internal force) assembly — same traversal, no matrix
+    /// scatter.
+    AssembleResidual {
+        /// Element connectivity.
+        conn: Arc<Vec<u32>>,
+        /// Nodes per element.
+        nodes_per_elem: usize,
+        /// Unknown fields per node.
+        dofs_per_node: usize,
+        /// Quadrature points per element.
+        gauss_points: usize,
+        /// Constitutive class.
+        material: MaterialClass,
+    },
+    /// Sparse LDLᵀ numeric factorization (PARDISO class). Holds the exact
+    /// factor structure produced by the symbolic phase.
+    LdlFactor {
+        /// Column pointers of L (length `n + 1`).
+        col_ptr: Arc<Vec<usize>>,
+        /// Row indices of L.
+        row_idx: Arc<Vec<u32>>,
+    },
+    /// Forward + diagonal + backward solve with LDLᵀ factors.
+    LdlSolve {
+        /// Column pointers of L.
+        col_ptr: Arc<Vec<usize>>,
+        /// Row indices of L.
+        row_idx: Arc<Vec<u32>>,
+    },
+    /// Skyline LDLᵀ factorization (FEBio's Skyline solver).
+    SkylineFactor {
+        /// Column heights (diagonal inclusive).
+        heights: Arc<Vec<usize>>,
+    },
+    /// Skyline forward/backward solve.
+    SkylineSolve {
+        /// Column heights.
+        heights: Arc<Vec<usize>>,
+    },
+    /// A whole preconditioned-CG solve of `iterations` steps.
+    CgSolve {
+        /// System pattern (drives the per-iteration SpMV).
+        pattern: Arc<CsrPattern>,
+        /// Iterations actually taken.
+        iterations: usize,
+        /// Preconditioner applied per iteration.
+        precond: PrecondClass,
+    },
+    /// A whole restarted-FGMRES solve.
+    FgmresSolve {
+        /// System pattern.
+        pattern: Arc<CsrPattern>,
+        /// Total inner iterations.
+        iterations: usize,
+        /// Restart length (Arnoldi basis bound).
+        restart: usize,
+        /// Preconditioner applied per iteration.
+        precond: PrecondClass,
+    },
+    /// Constitutive (material-point) update sweep.
+    ConstitutiveUpdate {
+        /// Total quadrature points updated.
+        gauss_points: usize,
+        /// Material class.
+        material: MaterialClass,
+    },
+    /// Contact detection sweep with the *actual* hit pattern observed.
+    ContactSearch {
+        /// Per-candidate outcome (true = penetrating) from the real solve.
+        outcomes: Arc<Vec<bool>>,
+    },
+    /// OpenMP-style spin barrier: `spin_iters` PAUSE loop iterations.
+    OmpBarrier {
+        /// Number of spin-loop iterations (imbalance proxy).
+        spin_iters: usize,
+    },
+    /// Dirichlet/Neumann boundary-condition application over `n` dofs.
+    BcApply {
+        /// Constrained dof count.
+        n: usize,
+    },
+    /// Geometry update (coordinates += displacement increment).
+    MeshUpdate {
+        /// Node count.
+        n_nodes: usize,
+    },
+    /// Rigid-body / joint constraint update.
+    RigidUpdate {
+        /// Number of rigid bodies.
+        n_bodies: usize,
+        /// Number of joint constraints.
+        n_joints: usize,
+    },
+    /// Convergence-norm evaluation over `n` dofs.
+    ConvergenceCheck {
+        /// Dof count.
+        n: usize,
+    },
+}
+
+/// Ordered record of every kernel a solve executed.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseLog {
+    calls: Vec<KernelCall>,
+}
+
+impl PhaseLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        PhaseLog { calls: Vec::new() }
+    }
+
+    /// Appends a kernel record.
+    pub fn record(&mut self, call: KernelCall) {
+        self.calls.push(call);
+    }
+
+    /// Recorded calls in execution order.
+    pub fn calls(&self) -> &[KernelCall] {
+        &self.calls
+    }
+
+    /// Number of recorded calls.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Merges another log onto the end of this one.
+    pub fn extend_from(&mut self, other: &PhaseLog) {
+        self.calls.extend_from_slice(&other.calls);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut log = PhaseLog::new();
+        assert!(log.is_empty());
+        log.record(KernelCall::Dot { n: 100 });
+        log.record(KernelCall::OmpBarrier { spin_iters: 32 });
+        assert_eq!(log.len(), 2);
+        assert!(matches!(log.calls()[0], KernelCall::Dot { n: 100 }));
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = PhaseLog::new();
+        a.record(KernelCall::Norm { n: 8 });
+        let mut b = PhaseLog::new();
+        b.record(KernelCall::Axpy { n: 4 });
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn kernel_calls_share_patterns_cheaply() {
+        let p = Arc::new(
+            CsrPattern::new(2, 2, vec![0, 1, 2], vec![0, 1]).unwrap(),
+        );
+        let mut log = PhaseLog::new();
+        for _ in 0..10 {
+            log.record(KernelCall::SpMv { pattern: Arc::clone(&p) });
+        }
+        assert_eq!(Arc::strong_count(&p), 11);
+    }
+}

@@ -1,0 +1,140 @@
+//! Aggregate statistics over a micro-op stream.
+//!
+//! Used by tests and by the experiment harness to report per-workload
+//! instruction mixes (the basis of the paper's Fig. 7 stage breakdowns).
+
+use crate::op::{FnCategory, MicroOp, OpKind};
+use std::collections::HashMap;
+
+/// Histogram of op kinds and categories over a (possibly partial) stream.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Total ops observed.
+    pub total: u64,
+    /// Count per op kind.
+    pub by_kind: HashMap<OpKind, u64>,
+    /// Count per function category.
+    pub by_category: HashMap<FnCategory, u64>,
+    /// Taken branches.
+    pub taken_branches: u64,
+    /// Distinct cache lines touched by loads/stores (coarse footprint).
+    pub touched_lines: u64,
+    line_set: std::collections::HashSet<u64>,
+}
+
+impl TraceStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        TraceStats::default()
+    }
+
+    /// Folds one op into the histogram.
+    pub fn observe(&mut self, op: &MicroOp) {
+        self.total += 1;
+        *self.by_kind.entry(op.kind).or_insert(0) += 1;
+        *self.by_category.entry(op.cat).or_insert(0) += 1;
+        if op.kind == OpKind::Branch && op.taken {
+            self.taken_branches += 1;
+        }
+        if op.kind.is_mem() && self.line_set.insert(op.addr >> 6) {
+            self.touched_lines += 1;
+        }
+    }
+
+    /// Collects stats over an iterator of ops.
+    pub fn from_ops<I: IntoIterator<Item = MicroOp>>(ops: I) -> Self {
+        let mut s = TraceStats::new();
+        for op in ops {
+            s.observe(&op);
+        }
+        s
+    }
+
+    /// Count of a specific kind.
+    pub fn count(&self, kind: OpKind) -> u64 {
+        self.by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Fraction of ops with the given kind.
+    pub fn fraction(&self, kind: OpKind) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(kind) as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of memory ops (loads + stores).
+    pub fn mem_fraction(&self) -> f64 {
+        self.fraction(OpKind::Load) + self.fraction(OpKind::Store)
+    }
+
+    /// Fraction of FP ops.
+    pub fn fp_fraction(&self) -> f64 {
+        self.fraction(OpKind::FpAdd) + self.fraction(OpKind::FpMul) + self.fraction(OpKind::FpDiv)
+    }
+
+    /// Approximate data footprint in bytes (touched lines × 64).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.touched_lines * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::Expander;
+    use crate::program::{KernelCall, PhaseLog};
+
+    #[test]
+    fn histogram_counts() {
+        let mut log = PhaseLog::new();
+        log.record(KernelCall::Axpy { n: 8 });
+        let stats = TraceStats::from_ops(Expander::new(&log));
+        assert_eq!(stats.count(OpKind::Load), 16);
+        assert_eq!(stats.count(OpKind::Store), 8);
+        assert_eq!(stats.count(OpKind::Branch), 8);
+        assert_eq!(stats.taken_branches, 7);
+        assert!(stats.mem_fraction() > 0.3);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_over_kinds() {
+        let mut log = PhaseLog::new();
+        log.record(KernelCall::Dot { n: 32 });
+        log.record(KernelCall::OmpBarrier { spin_iters: 8 });
+        let stats = TraceStats::from_ops(Expander::new(&log));
+        let sum: f64 = [
+            OpKind::IntAlu,
+            OpKind::IntMul,
+            OpKind::FpAdd,
+            OpKind::FpMul,
+            OpKind::FpDiv,
+            OpKind::Load,
+            OpKind::Store,
+            OpKind::Branch,
+            OpKind::Pause,
+            OpKind::Serialize,
+        ]
+        .iter()
+        .map(|&k| stats.fraction(k))
+        .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprint_tracks_touched_lines() {
+        let mut log = PhaseLog::new();
+        log.record(KernelCall::VecOp { n: 64 }); // two 512 B arrays = 16 lines
+        let stats = TraceStats::from_ops(Expander::new(&log));
+        assert!(stats.footprint_bytes() >= 1024);
+        assert!(stats.footprint_bytes() <= 4096);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = TraceStats::new();
+        assert_eq!(s.total, 0);
+        assert_eq!(s.fraction(OpKind::Load), 0.0);
+    }
+}

@@ -1,0 +1,870 @@
+//! The out-of-order core: fetch → decode/rename/dispatch → issue →
+//! writeback → commit over a micro-op trace, with squash-and-replay branch
+//! misprediction recovery and TMA slot accounting.
+//!
+//! Structure follows gem5's `X86O3CPU`: a reorder buffer bounded by
+//! `rob_entries`, an issue queue, split load/store queues, physical
+//! register pools, per-class functional units, and a front end that fights
+//! the icache, iTLB, BTB and branch predictor.
+
+use crate::branch::{build, BranchPredictor, Btb};
+use crate::cache::{Hierarchy, ServiceLevel};
+use crate::config::CoreConfig;
+use crate::stats::SimStats;
+use crate::tlb::Tlb;
+use belenos_trace::{MicroOp, OpKind};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Dependency-tracking window (must exceed any ROB size; producer
+/// distances beyond it are treated as long-retired).
+const DONE_WINDOW: usize = 8192;
+/// Deadlock detector: cycles without a commit before the engine reports a
+/// wedged pipeline (a simulator bug, not a workload condition).
+const STALL_LIMIT: u64 = 1_000_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpState {
+    Waiting,
+    Issued,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    op: MicroOp,
+    idx: u64,
+    dispatch_id: u64,
+    state: OpState,
+    /// Branch fetched with a wrong direction prediction.
+    mispredicted: bool,
+    /// Deepest level that serviced a memory op (TMA classification).
+    mem_level: Option<ServiceLevel>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LsqEntry {
+    idx: u64,
+    addr: u64,
+    issued: bool,
+    done: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchBlock {
+    None,
+    ICache,
+    ITlb,
+    Squash,
+    QueueFull,
+}
+
+/// The out-of-order core simulator.
+pub struct O3Core {
+    cfg: CoreConfig,
+    hierarchy: Hierarchy,
+    itlb: Tlb,
+    dtlb: Tlb,
+    predictor: Box<dyn BranchPredictor>,
+    btb: Btb,
+}
+
+impl std::fmt::Debug for O3Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("O3Core").field("cfg", &self.cfg).finish_non_exhaustive()
+    }
+}
+
+impl O3Core {
+    /// Builds a core for one configuration.
+    pub fn new(cfg: CoreConfig) -> Self {
+        O3Core {
+            hierarchy: Hierarchy::new(&cfg),
+            itlb: Tlb::new(cfg.tlb_entries),
+            dtlb: Tlb::new(cfg.tlb_entries),
+            predictor: build(cfg.predictor),
+            btb: Btb::new(cfg.btb_entries),
+            cfg,
+        }
+    }
+
+    /// Runs the trace to completion and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline wedges (no commit for a very long time),
+    /// which indicates a simulator bug.
+    pub fn run<I: Iterator<Item = MicroOp>>(&mut self, trace: I) -> SimStats {
+        self.run_warm(trace, 0)
+    }
+
+    /// Runs the trace, discarding the first `warmup_ops` committed ops
+    /// from the reported statistics (cache/predictor state persists — this
+    /// is measurement warmup, exactly like gem5's stats reset after
+    /// checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// As in [`O3Core::run`].
+    pub fn run_warm<I: Iterator<Item = MicroOp>>(
+        &mut self,
+        trace: I,
+        warmup_ops: u64,
+    ) -> SimStats {
+        let mut stats = SimStats { freq_ghz: self.cfg.freq_ghz, ..SimStats::default() };
+        let cfg = self.cfg.clone();
+        let fe_width = cfg.decode_width.min(cfg.rename_width).min(cfg.dispatch_width);
+        let fetchq_cap = (cfg.fetch_width * cfg.frontend_depth as usize).max(16);
+
+        let mut trace = trace.fuse();
+        let mut now: u64 = 0;
+        let mut next_idx: u64 = 0;
+        let mut dispatch_counter: u64 = 0;
+
+        let mut rob: VecDeque<InFlight> = VecDeque::with_capacity(cfg.rob_entries);
+        let mut iq: VecDeque<u64> = VecDeque::with_capacity(cfg.iq_entries);
+        let mut lq: VecDeque<LsqEntry> = VecDeque::with_capacity(cfg.lq_entries);
+        let mut sq: VecDeque<LsqEntry> = VecDeque::with_capacity(cfg.sq_entries);
+        let mut fetchq: VecDeque<(MicroOp, u64, bool)> = VecDeque::with_capacity(fetchq_cap);
+        let mut replayq: VecDeque<(MicroOp, u64)> = VecDeque::new();
+        let mut done_ring = vec![false; DONE_WINDOW];
+        let mut events: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+        let mut serializers: VecDeque<u64> = VecDeque::new();
+
+        let mut int_regs_used = 0usize;
+        let mut fp_regs_used = 0usize;
+        let int_pool = cfg.int_regs.saturating_sub(32);
+        let fp_pool = cfg.fp_regs.saturating_sub(32);
+
+        let mut fetch_stall_until: u64 = 0;
+        let mut fetch_block = FetchBlock::None;
+        let mut squash_recovery_until: u64 = 0;
+        let mut icache_pending_until: u64 = 0;
+        let mut cur_fetch_line: u64 = u64::MAX;
+        let mut fpdiv_busy_until: u64 = 0;
+        let mut last_commit_cycle: u64 = 0;
+        let mut warm_snapshot: Option<SimStats> = None;
+
+        let ready = |idx: u64, dep: u32, ring: &[bool], head_idx: u64| -> bool {
+            if dep == 0 {
+                return true;
+            }
+            let dep = dep as u64;
+            if dep > idx {
+                return true; // producer precedes the trace start
+            }
+            let p = idx - dep;
+            if dep as usize >= DONE_WINDOW || p < head_idx {
+                return true; // long retired
+            }
+            ring[(p % DONE_WINDOW as u64) as usize]
+        };
+
+        loop {
+            // ---------------- commit ----------------
+            let mut committed_this_cycle = 0usize;
+            while committed_this_cycle < cfg.commit_width {
+                let Some(head) = rob.front() else { break };
+                if head.state != OpState::Done {
+                    break;
+                }
+                let head = rob.pop_front().expect("checked non-empty");
+                match head.op.kind {
+                    OpKind::Store => {
+                        // Drain the store to the cache at commit.
+                        let entry = sq.pop_front();
+                        debug_assert_eq!(entry.map(|e| e.idx), Some(head.idx));
+                        self.hierarchy.data_access(head.op.addr, true, now);
+                        fp_regs_used = fp_regs_used.saturating_sub(0);
+                    }
+                    OpKind::Load => {
+                        let entry = lq.pop_front();
+                        debug_assert_eq!(entry.map(|e| e.idx), Some(head.idx));
+                        fp_regs_used = fp_regs_used.saturating_sub(1);
+                    }
+                    OpKind::Branch => {
+                        self.predictor.update(head.op.pc, head.op.taken);
+                        if head.op.taken {
+                            self.btb.install(head.op.pc, head.op.target);
+                        }
+                        stats.branches += 1;
+                        if head.mispredicted {
+                            stats.mispredicts += 1;
+                        }
+                    }
+                    OpKind::IntAlu | OpKind::IntMul => {
+                        int_regs_used = int_regs_used.saturating_sub(1);
+                    }
+                    OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv => {
+                        fp_regs_used = fp_regs_used.saturating_sub(1);
+                    }
+                    OpKind::Pause | OpKind::Serialize => {}
+                }
+                stats.commit_mix.count(head.op.kind);
+                stats.slots_by_category[crate::stats::category_index(head.op.cat)] += 1;
+                stats.committed_ops += 1;
+                committed_this_cycle += 1;
+                last_commit_cycle = now;
+            }
+            // TMA slot accounting at the commit boundary.
+            stats.slots_retiring += committed_this_cycle as u64;
+            let missing = (cfg.commit_width - committed_this_cycle) as u64;
+            if missing > 0 {
+                if let Some(head) = rob.front() {
+                    stats.slots_backend += missing;
+                    stats.slots_by_category
+                        [crate::stats::category_index(head.op.cat)] += missing;
+                    let memory_bound = match head.op.kind {
+                        OpKind::Load | OpKind::Store => true,
+                        _ => lq.iter().any(|e| e.issued && !e.done),
+                    };
+                    if memory_bound {
+                        stats.slots_be_memory += missing;
+                    } else {
+                        stats.slots_be_core += missing;
+                    }
+                } else if now < squash_recovery_until {
+                    stats.slots_bad_speculation += missing;
+                } else {
+                    stats.slots_frontend += missing;
+                    match fetch_block {
+                        FetchBlock::ICache | FetchBlock::ITlb => {
+                            stats.slots_fe_latency += missing
+                        }
+                        _ => stats.slots_fe_bandwidth += missing,
+                    }
+                }
+            }
+
+            // ---------------- writeback / branch resolve ----------------
+            let mut written_back = 0usize;
+            while written_back < cfg.writeback_width {
+                let Some(&Reverse((t, idx, did))) = events.peek() else { break };
+                if t > now {
+                    break;
+                }
+                events.pop();
+                let Some(front) = rob.front() else { continue };
+                let head_idx = front.idx;
+                if idx < head_idx {
+                    continue; // stale (already committed or squashed)
+                }
+                let pos = (idx - head_idx) as usize;
+                if pos >= rob.len() {
+                    continue;
+                }
+                let entry = &mut rob[pos];
+                if entry.dispatch_id != did || entry.state != OpState::Issued {
+                    continue; // stale epoch after squash
+                }
+                entry.state = OpState::Done;
+                done_ring[(idx % DONE_WINDOW as u64) as usize] = true;
+                written_back += 1;
+                if entry.op.kind == OpKind::Load {
+                    if let Some(e) = lq.iter_mut().find(|e| e.idx == idx) {
+                        e.done = true;
+                    }
+                }
+                if matches!(entry.op.kind, OpKind::Pause | OpKind::Serialize)
+                    && serializers.front() == Some(&idx)
+                {
+                    serializers.pop_front();
+                }
+                let mispredicted = entry.op.kind == OpKind::Branch && entry.mispredicted;
+                if mispredicted {
+                    // Squash everything younger than the branch.
+                    let mut younger: Vec<(MicroOp, u64)> = Vec::new();
+                    while rob.len() > pos + 1 {
+                        let victim = rob.pop_back().expect("len checked");
+                        done_ring[(victim.idx % DONE_WINDOW as u64) as usize] = false;
+                        match victim.op.kind {
+                            OpKind::IntAlu | OpKind::IntMul => {
+                                int_regs_used = int_regs_used.saturating_sub(1)
+                            }
+                            OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv | OpKind::Load => {
+                                fp_regs_used = fp_regs_used.saturating_sub(1)
+                            }
+                            _ => {}
+                        }
+                        stats.squashed_ops += 1;
+                        younger.push((victim.op, victim.idx));
+                    }
+                    younger.reverse();
+                    let squash_count = younger.len() + fetchq.len();
+                    iq.retain(|&i| i <= idx);
+                    lq.retain(|e| e.idx <= idx);
+                    sq.retain(|e| e.idx <= idx);
+                    serializers.retain(|&i| i <= idx);
+                    // Re-fetch correct-path ops in original order.
+                    for (op, i) in fetchq.drain(..).map(|(op, i, _)| (op, i)).rev() {
+                        replayq.push_front((op, i));
+                    }
+                    for (op, i) in younger.into_iter().rev() {
+                        replayq.push_front((op, i));
+                    }
+                    let squash_cycles =
+                        (squash_count as u64).div_ceil(cfg.squash_width as u64);
+                    fetch_stall_until =
+                        fetch_stall_until.max(now + 1 + squash_cycles);
+                    squash_recovery_until =
+                        now + cfg.frontend_depth + 1 + squash_cycles;
+                    fetch_block = FetchBlock::Squash;
+                    cur_fetch_line = u64::MAX;
+                }
+            }
+
+            // ---------------- issue ----------------
+            let mut issued = 0usize;
+            let mut fu_used = [0usize; 5];
+            if !iq.is_empty() {
+                let head_idx = rob.front().map(|e| e.idx).unwrap_or(0);
+                let barrier = serializers.front().copied();
+                let mut keep: VecDeque<u64> = VecDeque::with_capacity(iq.len());
+                let mut blocked_by_barrier = false;
+                for &idx in iq.iter() {
+                    if issued >= cfg.issue_width || blocked_by_barrier {
+                        keep.push_back(idx);
+                        continue;
+                    }
+                    // Serialization: ops younger than an in-flight
+                    // pause/serialize cannot issue.
+                    if let Some(b) = barrier {
+                        if idx > b {
+                            keep.push_back(idx);
+                            blocked_by_barrier = true;
+                            continue;
+                        }
+                    }
+                    let pos = (idx - head_idx) as usize;
+                    if pos >= rob.len() {
+                        continue; // squashed
+                    }
+                    let (deps_ok, kind, addr, pc, is_head) = {
+                        let e = &rob[pos];
+                        (
+                            ready(idx, e.op.dep1, &done_ring, head_idx)
+                                && ready(idx, e.op.dep2, &done_ring, head_idx),
+                            e.op.kind,
+                            e.op.addr,
+                            e.op.pc,
+                            pos == 0,
+                        )
+                    };
+                    let _ = pc;
+                    if !deps_ok {
+                        keep.push_back(idx);
+                        continue;
+                    }
+                    // Functional-unit mapping: [int alu, int mul, fp add,
+                    // fp mul/div, mem ports].
+                    let (fu, latency): (usize, u64) = match kind {
+                        OpKind::IntAlu => (0, 1),
+                        OpKind::IntMul => (1, 3),
+                        OpKind::FpAdd => (2, 3),
+                        OpKind::FpMul => (3, 4),
+                        OpKind::FpDiv => (3, 18),
+                        OpKind::Load | OpKind::Store => (4, 1),
+                        OpKind::Branch => (0, 1),
+                        OpKind::Pause | OpKind::Serialize => (0, cfg.pause_latency),
+                    };
+                    if fu_used[fu] >= cfg.fu_counts[fu] {
+                        keep.push_back(idx);
+                        continue;
+                    }
+                    if kind == OpKind::FpDiv && fpdiv_busy_until > now {
+                        keep.push_back(idx);
+                        continue;
+                    }
+                    if matches!(kind, OpKind::Pause | OpKind::Serialize) && !is_head {
+                        keep.push_back(idx);
+                        blocked_by_barrier = true;
+                        continue;
+                    }
+                    // Memory-op issue rules.
+                    let mut done_at = now + latency;
+                    let mut mem_level = None;
+                    match kind {
+                        OpKind::Load => {
+                            // Memory-dependence prediction (store sets in
+                            // gem5): loads issue past older stores with
+                            // unknown addresses; known matching stores
+                            // forward.
+                            let fwd = sq.iter().rfind(|s| {
+                                s.idx < idx && s.issued && (s.addr >> 3) == (addr >> 3)
+                            });
+                            if let Some(s) = fwd {
+                                if !s.done && !done_ring[(s.idx % DONE_WINDOW as u64) as usize]
+                                {
+                                    keep.push_back(idx);
+                                    continue;
+                                }
+                                done_at = now + 1;
+                                mem_level = Some(ServiceLevel::L1);
+                            } else {
+                                if !self.hierarchy.l1d.mshr_available(now) {
+                                    keep.push_back(idx);
+                                    continue;
+                                }
+                                let mut penalty = 0;
+                                if !self.dtlb.access(addr) {
+                                    penalty = cfg.tlb_miss_penalty;
+                                    stats.dtlb_misses += 1;
+                                }
+                                let r = self.hierarchy.data_access(addr, false, now + penalty);
+                                done_at = r.done;
+                                mem_level = Some(r.level);
+                            }
+                            if let Some(e) = lq.iter_mut().find(|e| e.idx == idx) {
+                                e.issued = true;
+                                e.addr = addr;
+                            }
+                        }
+                        OpKind::Store => {
+                            if let Some(e) = sq.iter_mut().find(|e| e.idx == idx) {
+                                e.issued = true;
+                                e.addr = addr;
+                            }
+                        }
+                        OpKind::FpDiv => {
+                            fpdiv_busy_until = now + 12; // unpipelined window
+                        }
+                        _ => {}
+                    }
+                    fu_used[fu] += 1;
+                    let e = &mut rob[pos];
+                    e.state = OpState::Issued;
+                    e.mem_level = mem_level;
+                    stats.exec_mix.count(kind);
+                    events.push(Reverse((done_at.max(now + 1), idx, e.dispatch_id)));
+                    issued += 1;
+                }
+                iq = keep;
+            }
+
+            // ---------------- dispatch ----------------
+            for _ in 0..fe_width {
+                let Some(&(op, _, _)) = fetchq.front() else { break };
+                if rob.len() >= cfg.rob_entries || iq.len() >= cfg.iq_entries {
+                    break;
+                }
+                match op.kind {
+                    OpKind::Load if lq.len() >= cfg.lq_entries => break,
+                    OpKind::Store if sq.len() >= cfg.sq_entries => break,
+                    OpKind::IntAlu | OpKind::IntMul if int_regs_used >= int_pool => break,
+                    OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv | OpKind::Load
+                        if fp_regs_used >= fp_pool =>
+                    {
+                        break
+                    }
+                    _ => {}
+                }
+                let (op, idx, pred_taken) = fetchq.pop_front().expect("checked");
+                dispatch_counter += 1;
+                match op.kind {
+                    OpKind::Load => {
+                        lq.push_back(LsqEntry { idx, addr: op.addr, issued: false, done: false });
+                        fp_regs_used += 1;
+                    }
+                    OpKind::Store => {
+                        sq.push_back(LsqEntry { idx, addr: op.addr, issued: false, done: false });
+                    }
+                    OpKind::IntAlu | OpKind::IntMul => int_regs_used += 1,
+                    OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv => fp_regs_used += 1,
+                    OpKind::Pause | OpKind::Serialize => serializers.push_back(idx),
+                    OpKind::Branch => {}
+                }
+                done_ring[(idx % DONE_WINDOW as u64) as usize] = false;
+                rob.push_back(InFlight {
+                    mispredicted: op.kind == OpKind::Branch && pred_taken != op.taken,
+                    op,
+                    idx,
+                    dispatch_id: dispatch_counter,
+                    state: OpState::Waiting,
+                    mem_level: None,
+                });
+                iq.push_back(idx);
+            }
+
+            // ---------------- fetch ----------------
+            let mut fetched = 0usize;
+            if now < fetch_stall_until {
+                if fetch_block != FetchBlock::Squash {
+                    fetch_block = FetchBlock::Squash;
+                }
+                stats.squash_cycles += 1;
+            } else if now < icache_pending_until {
+                match fetch_block {
+                    FetchBlock::ITlb => stats.tlb_stall_cycles += 1,
+                    _ => stats.icache_stall_cycles += 1,
+                }
+            } else if fetchq.len() + cfg.fetch_width > fetchq_cap {
+                // Downstream back-pressure: the fetch stage still ran this
+                // cycle (gem5 counts these as fetch cycles, not stalls).
+                fetch_block = FetchBlock::QueueFull;
+                stats.active_fetch_cycles += 1;
+            } else {
+                fetch_block = FetchBlock::None;
+                while fetched < cfg.fetch_width {
+                    let next = replayq.pop_front().or_else(|| {
+                        trace.next().map(|op| {
+                            let i = next_idx;
+                            next_idx += 1;
+                            (op, i)
+                        })
+                    });
+                    let Some((op, idx)) = next else { break };
+                    // Instruction-side cache/TLB on line crossings.
+                    let line = (op.pc as u64) >> 6;
+                    if line != cur_fetch_line {
+                        if !self.itlb.access(op.pc as u64) {
+                            icache_pending_until = now + cfg.tlb_miss_penalty;
+                            fetch_block = FetchBlock::ITlb;
+                            replayq.push_front((op, idx));
+                            break;
+                        }
+                        let r = self.hierarchy.inst_access(op.pc as u64, now);
+                        if r.level != ServiceLevel::L1 {
+                            icache_pending_until = r.done;
+                            fetch_block = FetchBlock::ICache;
+                            replayq.push_front((op, idx));
+                            break;
+                        }
+                        cur_fetch_line = line;
+                    }
+                    let mut pred_taken = false;
+                    let mut end_group = false;
+                    if op.kind == OpKind::Branch {
+                        pred_taken = self.predictor.predict(op.pc);
+                        if pred_taken {
+                            if self.btb.lookup(op.pc).is_none() {
+                                // Unknown target: bubble until decode fixes it.
+                                fetch_stall_until = now + cfg.btb_miss_penalty;
+                                stats.btb_misses += 1;
+                            }
+                            end_group = true;
+                        }
+                        if op.taken {
+                            end_group = true;
+                            cur_fetch_line = u64::MAX;
+                        }
+                    }
+                    fetchq.push_back((op, idx, pred_taken));
+                    fetched += 1;
+                    if end_group {
+                        break;
+                    }
+                }
+                if fetched > 0 {
+                    stats.active_fetch_cycles += 1;
+                } else if !fetchq.is_empty() || !rob.is_empty() {
+                    stats.misc_stall_cycles += 1;
+                }
+            }
+
+            if warm_snapshot.is_none() && warmup_ops > 0 && stats.committed_ops >= warmup_ops {
+                let mut snap = stats.clone();
+                snap.cycles = now;
+                snap.l1i_accesses = self.hierarchy.l1i.accesses;
+                snap.l1i_misses = self.hierarchy.l1i.misses;
+                snap.l1d_accesses = self.hierarchy.l1d.accesses;
+                snap.l1d_misses = self.hierarchy.l1d.misses;
+                snap.l2_accesses = self.hierarchy.l2.accesses;
+                snap.l2_misses = self.hierarchy.l2.misses;
+                snap.dram_lines = self.hierarchy.dram.lines_transferred;
+                warm_snapshot = Some(snap);
+            }
+
+            now += 1;
+
+            // ---------------- termination & wedge detection ----------------
+            if rob.is_empty() && fetchq.is_empty() && replayq.is_empty() {
+                // Peek the trace: if exhausted, we are done.
+                match trace.next() {
+                    Some(op) => {
+                        let i = next_idx;
+                        next_idx += 1;
+                        replayq.push_front((op, i));
+                    }
+                    None => break,
+                }
+            }
+            if now - last_commit_cycle > STALL_LIMIT && stats.committed_ops > 0 {
+                panic!(
+                    "pipeline wedged at cycle {now}: rob={}, iq={}, lq={}, sq={}",
+                    rob.len(),
+                    iq.len(),
+                    lq.len(),
+                    sq.len()
+                );
+            }
+            if now > STALL_LIMIT && stats.committed_ops == 0 && !rob.is_empty() {
+                panic!("pipeline never committed; head {:?}", rob.front());
+            }
+        }
+
+        stats.cycles = now;
+        stats.l1i_accesses = self.hierarchy.l1i.accesses;
+        stats.l1i_misses = self.hierarchy.l1i.misses;
+        stats.l1d_accesses = self.hierarchy.l1d.accesses;
+        stats.l1d_misses = self.hierarchy.l1d.misses;
+        stats.l2_accesses = self.hierarchy.l2.accesses;
+        stats.l2_misses = self.hierarchy.l2.misses;
+        stats.dram_lines = self.hierarchy.dram.lines_transferred;
+        if let Some(w) = warm_snapshot {
+            subtract_snapshot(&mut stats, &w);
+        }
+        stats
+    }
+}
+
+/// Subtracts a warmup snapshot from final statistics, component-wise.
+fn subtract_snapshot(stats: &mut SimStats, w: &SimStats) {
+    stats.cycles -= w.cycles;
+    stats.committed_ops -= w.committed_ops;
+    stats.squashed_ops -= w.squashed_ops;
+    stats.active_fetch_cycles -= w.active_fetch_cycles;
+    stats.icache_stall_cycles -= w.icache_stall_cycles;
+    stats.tlb_stall_cycles -= w.tlb_stall_cycles;
+    stats.squash_cycles -= w.squash_cycles;
+    stats.misc_stall_cycles -= w.misc_stall_cycles;
+    stats.branches -= w.branches;
+    stats.mispredicts -= w.mispredicts;
+    stats.btb_misses -= w.btb_misses;
+    stats.l1i_accesses -= w.l1i_accesses;
+    stats.l1i_misses -= w.l1i_misses;
+    stats.l1d_accesses -= w.l1d_accesses;
+    stats.l1d_misses -= w.l1d_misses;
+    stats.l2_accesses -= w.l2_accesses;
+    stats.l2_misses -= w.l2_misses;
+    stats.dram_lines -= w.dram_lines;
+    stats.dtlb_misses -= w.dtlb_misses;
+    stats.slots_retiring -= w.slots_retiring;
+    stats.slots_bad_speculation -= w.slots_bad_speculation;
+    stats.slots_frontend -= w.slots_frontend;
+    stats.slots_backend -= w.slots_backend;
+    stats.slots_fe_latency -= w.slots_fe_latency;
+    stats.slots_fe_bandwidth -= w.slots_fe_bandwidth;
+    stats.slots_be_memory -= w.slots_be_memory;
+    stats.slots_be_core -= w.slots_be_core;
+    let sm = [
+        (&mut stats.exec_mix, &w.exec_mix),
+        (&mut stats.commit_mix, &w.commit_mix),
+    ];
+    for (s, ws) in sm {
+        s.branches -= ws.branches;
+        s.fp -= ws.fp;
+        s.int -= ws.int;
+        s.loads -= ws.loads;
+        s.stores -= ws.stores;
+        s.other -= ws.other;
+    }
+    for i in 0..6 {
+        stats.slots_by_category[i] -= w.slots_by_category[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use belenos_trace::FnCategory;
+
+    const CAT: FnCategory = FnCategory::Internal;
+
+    fn run_ops(ops: Vec<MicroOp>, cfg: CoreConfig) -> SimStats {
+        let mut core = O3Core::new(cfg);
+        core.run(ops.into_iter())
+    }
+
+    fn int_stream(n: usize) -> Vec<MicroOp> {
+        (0..n).map(|i| MicroOp::int(0x1000 + (i as u32 % 16) * 4, 0, 0, CAT)).collect()
+    }
+
+    #[test]
+    fn commits_every_op_exactly_once() {
+        let stats = run_ops(int_stream(1000), CoreConfig::gem5_baseline());
+        assert_eq!(stats.committed_ops, 1000);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn independent_ops_achieve_wide_ipc() {
+        let stats = run_ops(int_stream(20_000), CoreConfig::gem5_baseline());
+        // 4 int ALUs, commit width 4: IPC should approach 4.
+        assert!(stats.ipc() > 2.5, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_limits_ipc_to_one() {
+        let ops: Vec<MicroOp> =
+            (0..5000).map(|i| MicroOp::int(0x1000, if i == 0 { 0 } else { 1 }, 0, CAT)).collect();
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(stats.ipc() < 1.2, "serial chain ipc {}", stats.ipc());
+        assert!(stats.ipc() > 0.5, "serial chain ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn fp_div_chain_is_slow() {
+        let ops: Vec<MicroOp> = (0..500)
+            .map(|i| {
+                MicroOp::fp(OpKind::FpDiv, 0x2000, if i == 0 { 0 } else { 1 }, 0, CAT)
+            })
+            .collect();
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(stats.cpi() > 10.0, "fpdiv chain cpi {}", stats.cpi());
+    }
+
+    #[test]
+    fn cold_loads_stall_the_backend() {
+        // Strided loads over a large footprint: every access misses.
+        let ops: Vec<MicroOp> = (0..4000)
+            .map(|i| MicroOp::load(0x3000, 0x100_0000 + i as u64 * 4096, 8, 0, CAT))
+            .collect();
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(stats.l1d_mpki() > 500.0, "mpki {}", stats.l1d_mpki());
+        let (_, _, _, be) = stats.topdown();
+        assert!(be > 0.4, "backend fraction {be}");
+        assert!(stats.slots_be_memory > stats.slots_be_core);
+    }
+
+    #[test]
+    fn cache_resident_loads_are_fast() {
+        // 128 hot lines, revisited: after warmup everything hits L1.
+        let ops: Vec<MicroOp> = (0..20_000)
+            .map(|i| MicroOp::load(0x3000, (i % 128) as u64 * 64, 8, 0, CAT))
+            .collect();
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(stats.l1d_mpki() < 20.0, "mpki {}", stats.l1d_mpki());
+        assert!(stats.ipc() > 1.0, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn pause_ops_serialize_and_count_core_bound() {
+        let mut ops = Vec::new();
+        for _ in 0..200 {
+            ops.push(MicroOp::pause(0x4000, CAT));
+            ops.push(MicroOp::int(0x4004, 0, 0, CAT));
+        }
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        let (retiring, _, _, be) = stats.topdown();
+        assert!(be > 0.6, "pause stream backend {be}");
+        assert!(stats.slots_be_core > stats.slots_be_memory);
+        assert!(retiring < 0.2);
+        // Each pause costs ~pause_latency serialized cycles.
+        assert!(stats.cycles > 200 * 20, "cycles {}", stats.cycles);
+    }
+
+    #[test]
+    fn mispredicted_branches_squash_and_replay() {
+        // Alternating branch direction defeats most predictors early on;
+        // all ops must still commit exactly once.
+        let mut ops = Vec::new();
+        for i in 0..500 {
+            ops.push(MicroOp::int(0x5000, 0, 0, CAT));
+            ops.push(MicroOp::branch(0x5010, 0x5000, i % 2 == 0, 0, CAT));
+            ops.push(MicroOp::int(0x5020, 0, 0, CAT));
+        }
+        let total = ops.len() as u64;
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert_eq!(stats.committed_ops, total);
+        assert!(stats.mispredicts > 0, "alternation must mispredict sometimes");
+        assert!(stats.branches == 500);
+    }
+
+    #[test]
+    fn predictable_loops_have_low_mispredicts() {
+        let mut ops = Vec::new();
+        for i in 0..3000 {
+            ops.push(MicroOp::int(0x6000, 0, 0, CAT));
+            ops.push(MicroOp::branch(0x6010, 0x6000, i % 100 != 99, 0, CAT));
+        }
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(
+            stats.mispredict_rate() < 0.1,
+            "loop branches should predict well: {}",
+            stats.mispredict_rate()
+        );
+    }
+
+    #[test]
+    fn store_to_load_forwarding_works() {
+        // Store then immediately load the same address, repeatedly: loads
+        // must not pay miss latency every time.
+        let mut ops = Vec::new();
+        for i in 0..2000 {
+            let addr = 0x9000 + (i % 4) * 8;
+            ops.push(MicroOp::store(0x7000, addr, 8, 0, CAT));
+            ops.push(MicroOp::load(0x7004, addr, 8, 0, CAT));
+        }
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(stats.ipc() > 0.5, "forwarding ipc {}", stats.ipc());
+        assert_eq!(stats.committed_ops, 4000);
+    }
+
+    #[test]
+    fn icache_pressure_from_large_code_footprint() {
+        // Jump through 4096 distinct lines of code (256 kB footprint >
+        // 32 kB L1I).
+        let ops: Vec<MicroOp> = (0..40_000)
+            .map(|i| MicroOp::int(((i * 64) % (4096 * 64)) as u32, 0, 0, CAT))
+            .collect();
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(stats.l1i_mpki() > 100.0, "l1i mpki {}", stats.l1i_mpki());
+        assert!(stats.icache_stall_cycles > 0);
+    }
+
+    #[test]
+    fn narrower_pipeline_is_slower() {
+        let ops = int_stream(20_000);
+        let wide = run_ops(ops.clone(), CoreConfig::gem5_baseline());
+        let narrow = run_ops(ops, CoreConfig::gem5_baseline().with_pipeline_width(2));
+        assert!(
+            narrow.cycles > wide.cycles,
+            "narrow {} vs wide {}",
+            narrow.cycles,
+            wide.cycles
+        );
+    }
+
+    #[test]
+    fn higher_frequency_does_not_scale_memory_bound_code() {
+        let ops: Vec<MicroOp> = (0..3000)
+            .map(|i| MicroOp::load(0x3000, 0x100_0000 + i as u64 * 4096, 8, 0, CAT))
+            .collect();
+        let slow = run_ops(ops.clone(), CoreConfig::gem5_baseline().with_frequency(1.0));
+        let fast = run_ops(ops, CoreConfig::gem5_baseline().with_frequency(4.0));
+        let speedup = slow.seconds() / fast.seconds();
+        assert!(
+            speedup < 3.0,
+            "memory-bound code must scale sublinearly: {speedup}x at 4x clock"
+        );
+        assert!(fast.ipc() < slow.ipc(), "ipc must drop with frequency");
+    }
+
+    #[test]
+    fn tma_slots_account_every_cycle() {
+        let stats = run_ops(int_stream(5000), CoreConfig::gem5_baseline());
+        let expected = stats.cycles * CoreConfig::gem5_baseline().commit_width as u64;
+        assert_eq!(stats.total_slots(), expected);
+    }
+
+    #[test]
+    fn lsq_pressure_slows_memory_bursts() {
+        let ops: Vec<MicroOp> = (0..8000)
+            .map(|i| MicroOp::load(0x3000, (i as u64 * 64) % (1 << 22), 8, 0, CAT))
+            .collect();
+        let big = run_ops(ops.clone(), CoreConfig::gem5_baseline());
+        let small = run_ops(ops, CoreConfig::gem5_baseline().with_lsq(8, 8));
+        assert!(
+            small.cycles > big.cycles,
+            "tiny lsq {} should be slower than baseline {}",
+            small.cycles,
+            big.cycles
+        );
+    }
+
+    #[test]
+    fn empty_trace_terminates() {
+        let stats = run_ops(Vec::new(), CoreConfig::gem5_baseline());
+        assert_eq!(stats.committed_ops, 0);
+    }
+}

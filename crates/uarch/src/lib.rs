@@ -1,0 +1,45 @@
+//! # belenos-uarch
+//!
+//! Cycle-level out-of-order CPU, cache-hierarchy and DRAM simulator — the
+//! gem5 substitute of the Belenos reproduction.
+//!
+//! The model mirrors gem5's `X86O3CPU` structure at the fidelity the
+//! paper's sensitivity studies need: parameterized fetch/decode/rename/
+//! dispatch/issue/commit widths, ROB / issue-queue / load-store-queue
+//! capacities, physical register pools, functional-unit latencies,
+//! set-associative L1I/L1D/L2 caches with MSHRs, a bandwidth/latency DRAM
+//! model, iTLB/dTLB, and four branch predictors (LocalBP, TournamentBP,
+//! LTAGE, MultiperspectivePerceptron) behind a BTB.
+//!
+//! It executes the micro-op streams produced by `belenos-trace` and
+//! produces gem5-style pipeline-stage counters plus Top-Down
+//! Microarchitecture Analysis slot accounting (the VTune taxonomy), which
+//! the `belenos-profiler` crate turns into the paper's figures.
+//!
+//! ```
+//! use belenos_uarch::{config::CoreConfig, core::O3Core};
+//! use belenos_trace::{PhaseLog, KernelCall, expand::Expander};
+//!
+//! let mut log = PhaseLog::new();
+//! log.record(KernelCall::Dot { n: 256 });
+//! let mut core = O3Core::new(CoreConfig::gem5_baseline());
+//! let stats = core.run(Expander::new(&log));
+//! assert!(stats.committed_ops > 0);
+//! assert!(stats.ipc() > 0.1);
+//! ```
+
+// Index-based loops over CSR/row-pointer structures are the idiomatic
+// form for these numeric kernels; iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod branch;
+pub mod cache;
+pub mod config;
+pub mod core;
+pub mod dram;
+pub mod stats;
+pub mod tlb;
+
+pub use config::CoreConfig;
+pub use core::O3Core;
+pub use stats::SimStats;

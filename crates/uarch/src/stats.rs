@@ -1,0 +1,322 @@
+//! Simulation statistics: gem5-style per-stage counters plus Top-Down
+//! Microarchitecture Analysis (TMA) slot accounting.
+//!
+//! Fig. 7 of the paper comes from the fetch/execute/commit counters;
+//! Figs. 2-3 come from the TMA slots; Figs. 8-12 derive from cycles,
+//! committed instructions and cache miss counts under configuration
+//! sweeps.
+
+/// Per-kind op counts for one pipeline stage (Fig. 7b/7c rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageMix {
+    /// Conditional branches.
+    pub branches: u64,
+    /// Floating-point arithmetic ops.
+    pub fp: u64,
+    /// Integer arithmetic ops.
+    pub int: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Other (pause/serialize).
+    pub other: u64,
+}
+
+impl StageMix {
+    /// Total ops counted at this stage.
+    pub fn total(&self) -> u64 {
+        self.branches + self.fp + self.int + self.loads + self.stores + self.other
+    }
+
+    /// Fraction helper.
+    pub fn fraction(&self, part: u64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            part as f64 / t as f64
+        }
+    }
+
+    pub(crate) fn count(&mut self, kind: belenos_trace::OpKind) {
+        use belenos_trace::OpKind::*;
+        match kind {
+            Branch => self.branches += 1,
+            FpAdd | FpMul | FpDiv => self.fp += 1,
+            IntAlu | IntMul => self.int += 1,
+            Load => self.loads += 1,
+            Store => self.stores += 1,
+            Pause | Serialize => self.other += 1,
+        }
+    }
+}
+
+/// Complete statistics of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Core frequency the run was clocked at (for seconds conversion).
+    pub freq_ghz: f64,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Committed (retired) micro-ops.
+    pub committed_ops: u64,
+    /// Squashed micro-ops (wrong-path work discarded).
+    pub squashed_ops: u64,
+
+    // --- fetch stage (Fig. 7a) ---
+    /// Cycles in which at least one op was fetched.
+    pub active_fetch_cycles: u64,
+    /// Cycles stalled on an instruction-cache miss.
+    pub icache_stall_cycles: u64,
+    /// Cycles stalled on iTLB walks.
+    pub tlb_stall_cycles: u64,
+    /// Cycles lost to squash recovery (redirect + refill).
+    pub squash_cycles: u64,
+    /// Other fetch stalls (queue full / no dispatch space).
+    pub misc_stall_cycles: u64,
+
+    // --- execute / commit stage mixes (Fig. 7b / 7c) ---
+    /// Op mix at issue/execute.
+    pub exec_mix: StageMix,
+    /// Op mix at commit.
+    pub commit_mix: StageMix,
+
+    // --- branch prediction ---
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// BTB misses on taken branches.
+    pub btb_misses: u64,
+
+    // --- caches (Fig. 9) ---
+    /// L1I accesses / misses.
+    pub l1i_accesses: u64,
+    /// L1I misses.
+    pub l1i_misses: u64,
+    /// L1D accesses.
+    pub l1d_accesses: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// DRAM lines transferred.
+    pub dram_lines: u64,
+    /// dTLB misses.
+    pub dtlb_misses: u64,
+
+    // --- TMA slot accounting (Figs. 2-3) ---
+    /// Slots that retired a op.
+    pub slots_retiring: u64,
+    /// Slots lost to wrong-path work and squash recovery.
+    pub slots_bad_speculation: u64,
+    /// Slots starved by the front end.
+    pub slots_frontend: u64,
+    /// Slots stalled by the back end.
+    pub slots_backend: u64,
+    /// Front-end-bound slots attributable to fetch latency (icache/iTLB).
+    pub slots_fe_latency: u64,
+    /// Front-end-bound slots attributable to fetch bandwidth.
+    pub slots_fe_bandwidth: u64,
+    /// Back-end-bound slots waiting on memory (loads/stores in flight).
+    pub slots_be_memory: u64,
+    /// Back-end-bound slots waiting on core resources (FUs, deps, PAUSE).
+    pub slots_be_core: u64,
+    /// Slot attribution per function category (retiring slots by the
+    /// committed op's category, stall slots by the ROB-head op's category)
+    /// — the basis of VTune-style bottom-up hotspot profiles (Fig. 4).
+    pub slots_by_category: [u64; 6],
+}
+
+/// Index of a [`belenos_trace::FnCategory`] into
+/// [`SimStats::slots_by_category`], following `FnCategory::ALL` order.
+pub fn category_index(cat: belenos_trace::FnCategory) -> usize {
+    belenos_trace::FnCategory::ALL
+        .iter()
+        .position(|&c| c == cat)
+        .expect("category list is exhaustive")
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_ops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        let ipc = self.ipc();
+        if ipc == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / ipc
+        }
+    }
+
+    /// Simulated wall-clock seconds at the configured frequency.
+    pub fn seconds(&self) -> f64 {
+        if self.freq_ghz <= 0.0 {
+            0.0
+        } else {
+            self.cycles as f64 / (self.freq_ghz * 1e9)
+        }
+    }
+
+    /// Total TMA slots accounted.
+    pub fn total_slots(&self) -> u64 {
+        self.slots_retiring + self.slots_bad_speculation + self.slots_frontend + self.slots_backend
+    }
+
+    /// TMA level-1 fractions: (retiring, front-end, bad-spec, back-end).
+    pub fn topdown(&self) -> (f64, f64, f64, f64) {
+        let t = self.total_slots() as f64;
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.slots_retiring as f64 / t,
+            self.slots_frontend as f64 / t,
+            self.slots_bad_speculation as f64 / t,
+            self.slots_backend as f64 / t,
+        )
+    }
+
+    /// Level-2 splits: (FE latency, FE bandwidth, BE core, BE memory) as
+    /// fractions of all slots.
+    pub fn stall_split(&self) -> (f64, f64, f64, f64) {
+        let t = self.total_slots() as f64;
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.slots_fe_latency as f64 / t,
+            self.slots_fe_bandwidth as f64 / t,
+            self.slots_be_core as f64 / t,
+            self.slots_be_memory as f64 / t,
+        )
+    }
+
+    /// L1I misses per kilo-instruction.
+    pub fn l1i_mpki(&self) -> f64 {
+        mpki(self.l1i_misses, self.committed_ops)
+    }
+
+    /// L1D misses per kilo-instruction.
+    pub fn l1d_mpki(&self) -> f64 {
+        mpki(self.l1d_misses, self.committed_ops)
+    }
+
+    /// L2 misses per kilo-instruction.
+    pub fn l2_mpki(&self) -> f64 {
+        mpki(self.l2_misses, self.committed_ops)
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Clocktick-equivalent fraction attributed to each function category.
+    pub fn category_fractions(&self) -> [f64; 6] {
+        let total: u64 = self.slots_by_category.iter().sum();
+        let mut out = [0.0; 6];
+        if total > 0 {
+            for (o, &s) in out.iter_mut().zip(&self.slots_by_category) {
+                *o = s as f64 / total as f64;
+            }
+        }
+        out
+    }
+
+    /// Achieved DRAM bandwidth in GB/s.
+    pub fn dram_bandwidth_gbps(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.dram_lines * 64) as f64 / (self.cycles as f64 / self.freq_ghz)
+                / 1.0 // bytes per ns == GB/s
+        }
+    }
+}
+
+fn mpki(misses: u64, insts: u64) -> f64 {
+    if insts == 0 {
+        0.0
+    } else {
+        misses as f64 * 1000.0 / insts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_cpi_seconds() {
+        let s = SimStats {
+            freq_ghz: 2.0,
+            cycles: 1000,
+            committed_ops: 2500,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.cpi() - 0.4).abs() < 1e-12);
+        assert!((s.seconds() - 0.5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn topdown_fractions_sum_to_one() {
+        let s = SimStats {
+            slots_retiring: 400,
+            slots_frontend: 100,
+            slots_bad_speculation: 20,
+            slots_backend: 480,
+            ..SimStats::default()
+        };
+        let (r, fe, bs, be) = s.topdown();
+        assert!((r + fe + bs + be - 1.0).abs() < 1e-12);
+        assert!((r - 0.4).abs() < 1e-12);
+        assert!((be - 0.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpki_normalization() {
+        let s = SimStats { committed_ops: 10_000, l1d_misses: 150, ..SimStats::default() };
+        assert!((s.l1d_mpki() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_mix_counts() {
+        use belenos_trace::OpKind;
+        let mut m = StageMix::default();
+        m.count(OpKind::Load);
+        m.count(OpKind::FpMul);
+        m.count(OpKind::FpAdd);
+        m.count(OpKind::Branch);
+        m.count(OpKind::Pause);
+        assert_eq!(m.total(), 5);
+        assert_eq!(m.loads, 1);
+        assert_eq!(m.fp, 2);
+        assert!((m.fraction(m.fp) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert!(s.cpi().is_infinite());
+        assert_eq!(s.topdown(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(s.l1d_mpki(), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! A small fully-associative TLB with LRU replacement.
+
+use std::collections::HashMap;
+
+/// Fully-associative translation lookaside buffer over 4 KiB pages.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    capacity: usize,
+    /// page -> last-use stamp
+    entries: HashMap<u64, u64>,
+    stamp: u64,
+    /// Total lookups.
+    pub accesses: u64,
+    /// Misses (page walks).
+    pub misses: u64,
+}
+
+const PAGE_SHIFT: u32 = 12;
+
+impl Tlb {
+    /// A TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tlb capacity must be positive");
+        Tlb { capacity, entries: HashMap::new(), stamp: 0, accesses: 0, misses: 0 }
+    }
+
+    /// Looks up the page of `addr`; returns `true` on hit. Misses install
+    /// the translation (after the caller-accounted walk penalty).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        self.stamp += 1;
+        let page = addr >> PAGE_SHIFT;
+        if let Some(t) = self.entries.get_mut(&page) {
+            *t = self.stamp;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            // Evict LRU.
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &t)| t) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(page, self.stamp);
+        false
+    }
+
+    /// Miss rate over all accesses so far.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut tlb = Tlb::new(4);
+        assert!(!tlb.access(0x1000));
+        assert!(tlb.access(0x1008));
+        assert!(tlb.access(0x1ff8));
+        assert!(!tlb.access(0x2000));
+        assert_eq!(tlb.misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut tlb = Tlb::new(2);
+        tlb.access(0x1000); // page 1
+        tlb.access(0x2000); // page 2
+        tlb.access(0x1000); // touch page 1 (page 2 becomes LRU)
+        tlb.access(0x3000); // evicts page 2
+        assert!(tlb.access(0x1000), "page 1 must survive");
+        assert!(!tlb.access(0x2000), "page 2 must have been evicted");
+    }
+
+    #[test]
+    fn miss_rate_reporting() {
+        let mut tlb = Tlb::new(16);
+        for i in 0..8 {
+            tlb.access(i << 12);
+        }
+        for i in 0..8 {
+            tlb.access(i << 12);
+        }
+        assert!((tlb.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = Tlb::new(0);
+    }
+}

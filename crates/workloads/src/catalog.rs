@@ -1,0 +1,384 @@
+//! The workload catalog: Table I categories, the 11-model VTune set, the
+//! 6-model gem5 set and per-workload trace-expansion knobs.
+
+use crate::models;
+use belenos_fem::model::FeModel;
+use belenos_trace::expand::ExpandConfig;
+
+/// Table I workload categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Arterial tissue.
+    Ar,
+    /// Biphasic.
+    Bp,
+    /// Contact.
+    Co,
+    /// Fluid.
+    Fl,
+    /// Muscle.
+    Mu,
+    /// Multiphasic.
+    Mp,
+    /// Tetrahedral.
+    Te,
+    /// Rigid.
+    Ri,
+    /// Prestrain.
+    Ps,
+    /// PlastiDamage.
+    Pd,
+    /// Multigeneration.
+    Mg,
+    /// Fluid-structure interaction.
+    Fs,
+    /// Miscellaneous.
+    Mi,
+    /// Material.
+    Ma,
+    /// Damage.
+    Dm,
+    /// Tumor.
+    Tu,
+    /// Rigid joint.
+    Rj,
+    /// Volume constraint.
+    Vc,
+    /// Biphasic FSI.
+    Bi,
+    /// Ocular case study.
+    Eye,
+}
+
+impl Category {
+    /// All categories in Table I row order.
+    pub const ALL: [Category; 20] = [
+        Category::Ar,
+        Category::Bp,
+        Category::Co,
+        Category::Fl,
+        Category::Mu,
+        Category::Mp,
+        Category::Te,
+        Category::Ri,
+        Category::Ps,
+        Category::Pd,
+        Category::Mg,
+        Category::Fs,
+        Category::Mi,
+        Category::Ma,
+        Category::Dm,
+        Category::Tu,
+        Category::Rj,
+        Category::Vc,
+        Category::Bi,
+        Category::Eye,
+    ];
+
+    /// Table I two-letter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Ar => "AR",
+            Category::Bp => "BP",
+            Category::Co => "CO",
+            Category::Fl => "FL",
+            Category::Mu => "MU",
+            Category::Mp => "MP",
+            Category::Te => "TE",
+            Category::Ri => "RI",
+            Category::Ps => "PS",
+            Category::Pd => "PD",
+            Category::Mg => "MG",
+            Category::Fs => "FS",
+            Category::Mi => "MI",
+            Category::Ma => "MA",
+            Category::Dm => "DM",
+            Category::Tu => "TU",
+            Category::Rj => "RJ",
+            Category::Vc => "VC",
+            Category::Bi => "BI",
+            Category::Eye => "Eye",
+        }
+    }
+
+    /// Table I full category name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Ar => "Arterial Tissue",
+            Category::Bp => "Biphasic",
+            Category::Co => "Contact",
+            Category::Fl => "Fluid",
+            Category::Mu => "Muscle",
+            Category::Mp => "Multiphasic",
+            Category::Te => "Tetrahedral",
+            Category::Ri => "Rigid",
+            Category::Ps => "Prestrain",
+            Category::Pd => "PlastiDamage",
+            Category::Mg => "Multigeneration",
+            Category::Fs => "FSI",
+            Category::Mi => "Misc.",
+            Category::Ma => "Material",
+            Category::Dm => "Damage",
+            Category::Tu => "Tumor",
+            Category::Rj => "Rigid joint",
+            Category::Vc => "VolumeConstrain",
+            Category::Bi => "BiphasicFSI",
+            Category::Eye => "Case Study",
+        }
+    }
+
+    /// Table I input-size bounds in kB `(lower, upper)` from the paper.
+    pub fn paper_size_bounds_kb(self) -> (f64, f64) {
+        match self {
+            Category::Ar => (8.0, 6.37e2),
+            Category::Bp => (6.7, 4.745e2),
+            Category::Co => (5.4, 3.14e2),
+            Category::Fl => (1.1e3, 7.4e3),
+            Category::Mu => (4.3, 4.5),
+            Category::Mp => (1.4e1, 1.374e2),
+            Category::Te => (3.7, 4.31e2),
+            Category::Ri => (4.7e3, 4.7e3),
+            Category::Ps => (6.4e3, 6.4e3),
+            Category::Pd => (4.9, 4.9),
+            Category::Mg => (1.784e2, 2.719e2),
+            Category::Fs => (2.15e1, 7.616e2),
+            Category::Mi => (1.1e3, 4.1e3),
+            Category::Ma => (4.0, 6.802e2),
+            Category::Dm => (4.7, 4.602e2),
+            Category::Tu => (6.0e1, 8.3e1),
+            Category::Rj => (5.0, 7.6e1),
+            Category::Vc => (2.711e2, 7.345e2),
+            Category::Bi => (1.5e3, 7.5e3),
+            Category::Eye => (9.86e4, 9.86e4),
+        }
+    }
+}
+
+/// One runnable workload: category, model builder and trace knobs.
+#[derive(Clone)]
+pub struct WorkloadSpec {
+    /// Short identifier (`"bp07"`, `"co"`, `"eye"`, ...).
+    pub id: &'static str,
+    /// Table I category.
+    pub category: Category,
+    /// Builds a fresh model instance.
+    pub build: fn() -> FeModel,
+    /// Trace-expansion configuration (code footprint, spin scale, ...).
+    pub expand: ExpandConfig,
+}
+
+impl std::fmt::Debug for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadSpec")
+            .field("id", &self.id)
+            .field("category", &self.category)
+            .finish_non_exhaustive()
+    }
+}
+
+fn expand(code_bloat: u32, sample: usize) -> ExpandConfig {
+    ExpandConfig { code_bloat, sample, ..ExpandConfig::default() }
+}
+
+// --- ma26-ma31 parameterizations (reactive viscoelastic variants) -------
+
+fn ma26() -> FeModel {
+    models::material(1, 0.2, 5.0)
+}
+fn ma27() -> FeModel {
+    models::material(2, 0.2, 6.0)
+}
+fn ma28() -> FeModel {
+    models::material(3, 0.5, 10.0)
+}
+fn ma29() -> FeModel {
+    models::material(2, 1.0, 7.0)
+}
+fn ma30() -> FeModel {
+    models::material(4, 0.5, 10.0)
+}
+fn ma31() -> FeModel {
+    models::material(3, 1.0, 8.0)
+}
+
+fn bp07() -> FeModel {
+    models::biphasic([5e-3, 5e-3, 5e-3])
+}
+fn bp08() -> FeModel {
+    models::biphasic([5e-3, 5e-3, 5e-2])
+}
+fn bp09() -> FeModel {
+    models::biphasic([5e-2, 5e-3, 5e-4])
+}
+fn fl33() -> FeModel {
+    models::fluid(true)
+}
+fn fl34() -> FeModel {
+    models::fluid(false)
+}
+
+/// The 11 VTune test-suite models plus the `eye` case study (Figs. 2-4).
+pub fn vtune_set() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec { id: "bp07", category: Category::Bp, build: bp07, expand: expand(2, 1) },
+        WorkloadSpec { id: "bp08", category: Category::Bp, build: bp08, expand: expand(2, 1) },
+        WorkloadSpec { id: "bp09", category: Category::Bp, build: bp09, expand: expand(2, 1) },
+        WorkloadSpec { id: "fl33", category: Category::Fl, build: fl33, expand: expand(2, 1) },
+        WorkloadSpec { id: "fl34", category: Category::Fl, build: fl34, expand: expand(2, 1) },
+        WorkloadSpec { id: "ma26", category: Category::Ma, build: ma26, expand: expand(1, 1) },
+        WorkloadSpec { id: "ma27", category: Category::Ma, build: ma27, expand: expand(1, 1) },
+        WorkloadSpec { id: "ma28", category: Category::Ma, build: ma28, expand: expand(1, 1) },
+        WorkloadSpec { id: "ma29", category: Category::Ma, build: ma29, expand: expand(1, 1) },
+        WorkloadSpec { id: "ma30", category: Category::Ma, build: ma30, expand: expand(1, 1) },
+        WorkloadSpec { id: "ma31", category: Category::Ma, build: ma31, expand: expand(1, 1) },
+        WorkloadSpec {
+            id: "eye",
+            category: Category::Eye,
+            build: models::eye,
+            expand: expand(4, 2),
+        },
+    ]
+}
+
+/// The six gem5 sensitivity-study workloads (Figs. 7-12).
+pub fn gem5_set() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            id: "ar",
+            category: Category::Ar,
+            build: models::arterial,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "co",
+            category: Category::Co,
+            build: models::contact,
+            expand: expand(2, 2),
+        },
+        WorkloadSpec {
+            id: "dm",
+            category: Category::Dm,
+            build: models::damage,
+            expand: expand(8, 3),
+        },
+        WorkloadSpec {
+            id: "ma",
+            category: Category::Ma,
+            build: ma28,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "rj",
+            category: Category::Rj,
+            build: models::rigid_joint,
+            expand: expand(24, 1),
+        },
+        WorkloadSpec {
+            id: "tu",
+            category: Category::Tu,
+            build: models::tumor,
+            expand: expand(8, 2),
+        },
+    ]
+}
+
+/// One representative per Table I category (Table I, Figs. 5-6).
+pub fn catalog() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec { id: "ar", category: Category::Ar, build: models::arterial, expand: expand(1, 1) },
+        WorkloadSpec { id: "bp", category: Category::Bp, build: bp07, expand: expand(2, 1) },
+        WorkloadSpec { id: "co", category: Category::Co, build: models::contact, expand: expand(2, 1) },
+        WorkloadSpec { id: "fl", category: Category::Fl, build: fl34, expand: expand(2, 1) },
+        WorkloadSpec { id: "mu", category: Category::Mu, build: models::muscle, expand: expand(1, 1) },
+        WorkloadSpec { id: "mp", category: Category::Mp, build: models::multiphasic, expand: expand(2, 1) },
+        WorkloadSpec { id: "te", category: Category::Te, build: models::tetrahedral, expand: expand(1, 1) },
+        WorkloadSpec { id: "ri", category: Category::Ri, build: models::rigid, expand: expand(8, 1) },
+        WorkloadSpec { id: "ps", category: Category::Ps, build: models::prestrain, expand: expand(1, 1) },
+        WorkloadSpec { id: "pd", category: Category::Pd, build: models::plastidamage, expand: expand(1, 1) },
+        WorkloadSpec { id: "mg", category: Category::Mg, build: models::multigeneration, expand: expand(1, 1) },
+        WorkloadSpec { id: "fs", category: Category::Fs, build: models::fsi, expand: expand(2, 1) },
+        WorkloadSpec { id: "mi", category: Category::Mi, build: models::misc, expand: expand(2, 1) },
+        WorkloadSpec { id: "ma", category: Category::Ma, build: ma28, expand: expand(1, 1) },
+        WorkloadSpec { id: "dm", category: Category::Dm, build: models::damage, expand: expand(8, 1) },
+        WorkloadSpec { id: "tu", category: Category::Tu, build: models::tumor, expand: expand(6, 1) },
+        WorkloadSpec { id: "rj", category: Category::Rj, build: models::rigid_joint, expand: expand(24, 1) },
+        WorkloadSpec { id: "vc", category: Category::Vc, build: models::volume_constraint, expand: expand(1, 1) },
+        WorkloadSpec { id: "bi", category: Category::Bi, build: models::biphasic_fsi, expand: expand(2, 1) },
+        WorkloadSpec { id: "eye", category: Category::Eye, build: models::eye, expand: expand(4, 2) },
+    ]
+}
+
+/// Finds a workload by id across all sets.
+pub fn by_id(id: &str) -> Option<WorkloadSpec> {
+    vtune_set()
+        .into_iter()
+        .chain(gem5_set())
+        .chain(catalog())
+        .find(|w| w.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_composition_matches_paper() {
+        let v = vtune_set();
+        assert_eq!(v.len(), 12); // 11 test-suite + eye
+        assert_eq!(v.iter().filter(|w| w.id.starts_with("ma")).count(), 6);
+        assert_eq!(v.iter().filter(|w| w.id.starts_with("bp")).count(), 3);
+        assert_eq!(v.iter().filter(|w| w.id.starts_with("fl")).count(), 2);
+        let g = gem5_set();
+        let ids: Vec<&str> = g.iter().map(|w| w.id).collect();
+        assert_eq!(ids, vec!["ar", "co", "dm", "ma", "rj", "tu"]);
+        assert_eq!(catalog().len(), 20);
+    }
+
+    #[test]
+    fn catalog_covers_every_category() {
+        let cats: std::collections::HashSet<_> =
+            catalog().iter().map(|w| w.category).collect();
+        assert_eq!(cats.len(), 20);
+        for c in Category::ALL {
+            assert!(cats.contains(&c), "missing {c:?}");
+        }
+    }
+
+    #[test]
+    fn table_i_bounds_are_ordered() {
+        for c in Category::ALL {
+            let (lo, hi) = c.paper_size_bounds_kb();
+            assert!(lo <= hi, "{c:?} bounds inverted");
+            assert!(lo > 0.0);
+        }
+        assert_eq!(Category::Eye.paper_size_bounds_kb().0, 9.86e4);
+    }
+
+    #[test]
+    fn by_id_finds_everything() {
+        for id in ["bp07", "ma31", "eye", "ar", "rj", "vc"] {
+            assert!(by_id(id).is_some(), "missing {id}");
+        }
+        assert!(by_id("nope").is_none());
+    }
+
+    #[test]
+    fn rj_has_the_largest_code_footprint() {
+        let g = gem5_set();
+        let rj = g.iter().find(|w| w.id == "rj").unwrap();
+        for w in &g {
+            if w.id != "rj" {
+                assert!(rj.expand.code_bloat >= w.expand.code_bloat);
+            }
+        }
+    }
+
+    #[test]
+    fn builders_produce_named_models() {
+        for w in gem5_set() {
+            let m = (w.build)();
+            assert!(!m.name().is_empty());
+            assert!(m.n_dofs() > 0);
+        }
+    }
+}

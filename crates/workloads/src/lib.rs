@@ -1,0 +1,26 @@
+//! # belenos-workloads
+//!
+//! The FEBio test-suite and ocular-case-study substitute: parametric model
+//! generators for all 19 workload categories of the paper's Table I plus
+//! the high-resolution `eye` model.
+//!
+//! Every workload is a real finite-element model (mesh + material + BCs +
+//! solver) built for `belenos-fem`; the per-workload [`WorkloadSpec`] also
+//! carries the trace-expansion knobs that encode each model's code
+//! footprint and spin-synchronization character.
+//!
+//! ```
+//! use belenos_workloads::{by_id, gem5_set};
+//!
+//! let six = gem5_set();
+//! assert_eq!(six.len(), 6);
+//! let co = by_id("co").expect("contact workload exists");
+//! let mut model = (co.build)();
+//! let report = model.solve().expect("model solves");
+//! assert!(report.log.calls().len() > 5);
+//! ```
+
+pub mod catalog;
+pub mod models;
+
+pub use catalog::{by_id, catalog, gem5_set, vtune_set, Category, WorkloadSpec};

@@ -1,0 +1,74 @@
+//! The paper's glaucoma case study: the `eye` model under negative
+//! periocular pressure, profiled end to end.
+//!
+//! ```text
+//! cargo run -p belenos --release --example ocular_case_study
+//! ```
+//!
+//! Reproduces the qualitative findings of the paper's §IV-A for the eye
+//! workload: large sparse systems, heterogeneous regions, elevated cache
+//! misses and sustained memory-bandwidth pressure compared to a compact
+//! test-suite model.
+
+use belenos::experiment::Experiment;
+use belenos_profiler::{HotspotProfile, MemoryProfile, TopDown};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let eye_spec = belenos_workloads::by_id("eye").expect("eye workload registered");
+    let small_spec = belenos_workloads::by_id("mu").expect("muscle workload registered");
+
+    println!("solving the ocular model (this is the big one)...");
+    let eye = Experiment::prepare(&eye_spec)?;
+    println!(
+        "eye: {} dofs, {} Newton iterations, solved in {:.2} s",
+        eye.solve.n_dofs,
+        eye.solve.iterations,
+        eye.solve.wall_time.as_secs_f64()
+    );
+    let small = Experiment::prepare(&small_spec)?;
+
+    let ops = 600_000;
+    let eye_stats = eye.simulate_host(ops);
+    let small_stats = small.simulate_host(ops);
+
+    let eye_td = TopDown::from_stats("eye", &eye_stats);
+    let small_td = TopDown::from_stats("mu", &small_stats);
+    println!("\n                 eye      mu (small)");
+    println!(
+        "retiring        {:>5.1}%   {:>5.1}%",
+        eye_td.retiring * 100.0,
+        small_td.retiring * 100.0
+    );
+    println!(
+        "backend-bound   {:>5.1}%   {:>5.1}%",
+        eye_td.backend_bound * 100.0,
+        small_td.backend_bound * 100.0
+    );
+    println!(
+        "memory-bound    {:>5.1}%   {:>5.1}%",
+        eye_td.be_memory * 100.0,
+        small_td.be_memory * 100.0
+    );
+
+    let eye_mem = MemoryProfile::from_stats("eye", &eye_stats);
+    let small_mem = MemoryProfile::from_stats("mu", &small_stats);
+    println!(
+        "L1D MPKI        {:>6.1}   {:>6.1}",
+        eye_mem.l1d_mpki, small_mem.l1d_mpki
+    );
+    println!(
+        "L2 MPKI         {:>6.2}   {:>6.2}",
+        eye_mem.l2_mpki, small_mem.l2_mpki
+    );
+    println!(
+        "DRAM GB/s       {:>6.2}   {:>6.2}",
+        eye_mem.dram_gbps, small_mem.dram_gbps
+    );
+
+    // The paper: the eye's hotspots are dispersed across all categories.
+    let hp = HotspotProfile::from_stats("eye", &eye_stats);
+    let active = hp.fractions.iter().filter(|&&f| f > 0.02).count();
+    println!("\neye hotspot categories above 2% of clockticks: {active} of 6");
+    println!("dominant category: {:?}", hp.dominant());
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Quickstart: build a biomechanical model, solve it, profile it.
+//!
+//! ```text
+//! cargo run -p belenos --release --example quickstart
+//! ```
+//!
+//! This walks the full Belenos pipeline on a small tissue block:
+//! 1. build a finite-element model (mesh + material + boundary conditions),
+//! 2. solve it numerically (Newton iterations over sparse LDLᵀ solves),
+//! 3. replay the recorded kernels on the cycle-level CPU model, and
+//! 4. print a VTune-style top-down analysis.
+
+use belenos_fem::material::NeoHookeanSmall;
+use belenos_fem::mesh::Mesh;
+use belenos_fem::model::FeModel;
+use belenos_profiler::{MemoryProfile, TopDown};
+use belenos_trace::expand::Expander;
+use belenos_trace::PhaseLog;
+use belenos_uarch::{CoreConfig, O3Core};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A soft-tissue block stretched 8 % along z.
+    let mesh = Mesh::box_hex(4, 4, 4, 1.0, 1.0, 1.0);
+    println!(
+        "model: {} nodes, {} hex elements (~{:.1} kB input)",
+        mesh.num_nodes(),
+        mesh.num_elems(),
+        mesh.input_size_kb()
+    );
+    let mut model = FeModel::solid(mesh, Box::new(NeoHookeanSmall::from_young(1e3, 0.35, 80.0)));
+    model.fix_face("z0");
+    model.prescribe_face("z1", 2, 0.08);
+    model.set_stepping(2, 0.5);
+
+    // 2. Numeric solve — this also records the kernel-level phase log.
+    let report = model.solve()?;
+    println!(
+        "solved: converged={}, {} Newton iterations, {} dofs, {:.1} ms",
+        report.converged,
+        report.total_iterations,
+        report.n_dofs,
+        report.wall_time.as_secs_f64() * 1e3
+    );
+    let log: &PhaseLog = &report.log;
+    println!("phase log: {} kernel invocations", log.len());
+
+    // 3. Replay on the Table II gem5 baseline core.
+    let mut core = O3Core::new(CoreConfig::gem5_baseline());
+    let stats = core.run(Expander::new(log).take(500_000));
+    println!(
+        "\nsimulated {} micro-ops in {} cycles (IPC {:.3}, {:.3} ms at {} GHz)",
+        stats.committed_ops,
+        stats.cycles,
+        stats.ipc(),
+        stats.seconds() * 1e3,
+        stats.freq_ghz
+    );
+
+    // 4. Top-down analysis, the paper's Fig. 2 row for this model.
+    let td = TopDown::from_stats("quickstart", &stats);
+    let p = td.percents();
+    println!(
+        "\ntop-down: retiring {:.1}%  front-end {:.1}%  bad-spec {:.1}%  back-end {:.1}%",
+        p[0], p[1], p[2], p[3]
+    );
+    let s = td.stall_percents();
+    println!(
+        "stalls:   FE latency {:.1}%  FE bandwidth {:.1}%  core {:.1}%  memory {:.1}%",
+        s[0], s[1], s[2], s[3]
+    );
+    let mem = MemoryProfile::from_stats("quickstart", &stats);
+    println!(
+        "memory:   L1D {:.1} MPKI  L2 {:.2} MPKI  DRAM {:.2} GB/s",
+        mem.l1d_mpki, mem.l2_mpki, mem.dram_gbps
+    );
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! A miniature gem5-style sensitivity study on one workload: how the
+//! contact model responds to pipeline width and L1 size — the paper's
+//! Figs. 9-10 methodology in ~40 lines of user code.
+//!
+//! ```text
+//! cargo run -p belenos --release --example sensitivity_sweep
+//! ```
+
+use belenos::experiment::Experiment;
+use belenos_uarch::CoreConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = belenos_workloads::by_id("co").expect("contact workload");
+    println!("solving the contact model once (the trace is replayed per config)...");
+    let exp = Experiment::prepare(&spec)?;
+    let ops = 400_000;
+
+    println!("\npipeline width sweep (baseline 6):");
+    let base = exp.simulate(&CoreConfig::gem5_baseline(), ops);
+    for width in [2usize, 4, 6, 8] {
+        let cfg = CoreConfig::gem5_baseline().with_pipeline_width(width);
+        let s = exp.simulate(&cfg, ops);
+        let delta = (s.seconds() - base.seconds()) / base.seconds() * 100.0;
+        println!(
+            "  width {width}: IPC {:.3}  time {:+.1}% vs baseline",
+            s.ipc(),
+            delta
+        );
+    }
+
+    println!("\nL1 cache sweep (baseline 32 kB):");
+    for kb in [8usize, 16, 32, 64] {
+        let cfg = CoreConfig::gem5_baseline().with_l1_size(kb * 1024);
+        let s = exp.simulate(&cfg, ops);
+        println!("  L1 {kb:>2} kB: L1D MPKI {:>6.2}  IPC {:.3}", s.l1d_mpki(), s.ipc());
+    }
+
+    println!("\n(for the full paper sweeps run: cargo run -p belenos-bench --release --bin all_figures)");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Smoke tests over the figure-regeneration layer: every table/figure
+//! function must produce plausible, well-formed output on small budgets.
+
+use belenos::experiment::Experiment;
+use belenos::{figures, sweep};
+use belenos_workloads::by_id;
+
+const OPS: usize = 60_000;
+
+fn exps(ids: &[&str]) -> Vec<Experiment> {
+    ids.iter()
+        .map(|id| Experiment::prepare(&by_id(id).expect("workload")).expect("solves"))
+        .collect()
+}
+
+#[test]
+fn tables_contain_paper_values() {
+    let t1 = figures::table1();
+    // Table I fixed points from the paper.
+    for needle in ["Arterial Tissue", "Case Study", "98600.0", "Tumor"] {
+        assert!(t1.contains(needle), "table1 missing {needle}");
+    }
+    let t2 = figures::table2();
+    for needle in ["4 / 6 / 6 / 4", "224", "128", "72 / 56", "280 / 168", "TournamentBP"] {
+        assert!(t2.contains(needle), "table2 missing {needle}");
+    }
+}
+
+#[test]
+fn figure_2_and_3_render_for_a_subset() {
+    let e = exps(&["pd", "mu"]);
+    let f2 = figures::fig02_topdown(&e, OPS);
+    assert!(f2.contains("pd") && f2.contains("Retiring%"));
+    let f3 = figures::fig03_stalls(&e, OPS);
+    assert!(f3.contains("BE Memory%"));
+}
+
+#[test]
+fn figure_4_dots_have_legend_classes() {
+    let e = exps(&["pd"]);
+    let f4 = figures::fig04_hotspots(&e, OPS);
+    assert!(f4.contains("R >75%"));
+    assert!(f4.contains("pd"));
+}
+
+#[test]
+fn figures_5_and_6_use_solve_summaries() {
+    let e = exps(&["pd", "mu"]);
+    let f5 = figures::fig05_scaling(&e);
+    assert!(f5.contains("Size (kB)"));
+    // fig6 groups only bp/fl/ma ids; with none present it still renders.
+    let f6 = figures::fig06_exec_time(&e);
+    assert!(f6.contains("Fig. 6"));
+}
+
+#[test]
+fn sweeps_cover_requested_grid() {
+    let e = exps(&["pd"]);
+    let pts = sweep::frequency(&e, &[1.0, 3.0], OPS);
+    assert_eq!(pts.len(), 2);
+    let pts = sweep::l1_size(&e, &[8, 32], OPS);
+    assert_eq!(pts.len(), 2);
+    assert!(pts[0].stats.l1d_mpki() >= pts[1].stats.l1d_mpki());
+    let pts = sweep::lsq(&e, &[(32, 24), (72, 56)], OPS);
+    let diffs = sweep::percent_diff_vs(&pts, "72_56");
+    assert_eq!(diffs.len(), 1);
+}
+
+#[test]
+fn figure_10_to_12_render() {
+    let e = exps(&["pd"]);
+    for (name, out) in [
+        ("fig10", figures::fig10_width(&e, OPS)),
+        ("fig11", figures::fig11_lsq(&e, OPS)),
+        ("fig12", figures::fig12_branch(&e, OPS)),
+    ] {
+        assert!(out.contains("pd"), "{name} missing workload row");
+        assert!(out.lines().count() > 4, "{name} too short");
+    }
+}

@@ -1,0 +1,214 @@
+//! Cross-crate integration tests: the full workload → solve → trace →
+//! simulate → profile pipeline, exercised end to end.
+
+use belenos::experiment::Experiment;
+use belenos_profiler::{HotspotProfile, TopDown};
+use belenos_trace::expand::{ExpandConfig, Expander};
+use belenos_uarch::config::BranchPredictorKind;
+use belenos_uarch::{CoreConfig, O3Core};
+use belenos_workloads::by_id;
+
+const OPS: usize = 300_000;
+
+fn prepare(id: &str) -> Experiment {
+    Experiment::prepare(&by_id(id).unwrap_or_else(|| panic!("workload {id} missing")))
+        .unwrap_or_else(|e| panic!("{id} failed to solve: {e}"))
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let exp = prepare("pd");
+    let a = exp.simulate_baseline(OPS);
+    let b = exp.simulate_baseline(OPS);
+    assert_eq!(a.cycles, b.cycles, "simulation must be deterministic");
+    assert_eq!(a.committed_ops, b.committed_ops);
+    assert_eq!(a.l1d_misses, b.l1d_misses);
+}
+
+#[test]
+fn tma_slots_fully_account_all_cycles() {
+    let exp = prepare("mu");
+    let stats = exp.simulate_baseline(OPS);
+    let width = CoreConfig::gem5_baseline().commit_width as u64;
+    // Warmup snapshots land on cycle boundaries; allow one commit group.
+    assert!(
+        stats.total_slots().abs_diff(stats.cycles * width) <= 2 * width,
+        "slots {} vs cycles*width {}",
+        stats.total_slots(),
+        stats.cycles * width
+    );
+    let (r, fe, bs, be) = stats.topdown();
+    assert!((r + fe + bs + be - 1.0).abs() < 1e-9);
+    // Level-2 splits partition their level-1 parents.
+    assert!(
+        (stats.slots_be_core + stats.slots_be_memory) == stats.slots_backend,
+        "backend split must partition backend slots"
+    );
+    assert!(
+        (stats.slots_fe_latency + stats.slots_fe_bandwidth) == stats.slots_frontend,
+        "frontend split must partition frontend slots"
+    );
+}
+
+#[test]
+fn viscoelastic_models_are_core_bound_with_low_retirement() {
+    // The paper's central ma* finding: PAUSE-serialized constitutive
+    // updates make material models core-bound with low retirement.
+    let exp = prepare("ma28");
+    let stats = exp.simulate_host(OPS);
+    let td = TopDown::from_stats("ma28", &stats);
+    assert!(
+        td.backend_bound > 0.5,
+        "ma28 backend {:.2} should dominate",
+        td.backend_bound
+    );
+    assert!(!td.is_memory_bound(), "ma28 must be core-bound, not memory-bound");
+    assert!(td.retiring < 0.45, "ma28 retiring {:.2} should be low", td.retiring);
+}
+
+#[test]
+fn biphasic_models_are_memory_bound() {
+    let exp = prepare("bp07");
+    let stats = exp.simulate_host(OPS);
+    let td = TopDown::from_stats("bp07", &stats);
+    assert!(td.backend_bound > 0.4, "bp07 backend {:.2}", td.backend_bound);
+    assert!(
+        td.be_memory > td.be_core * 0.8,
+        "bp07 should lean memory-bound (mem {:.2} vs core {:.2})",
+        td.be_memory,
+        td.be_core
+    );
+}
+
+#[test]
+fn bad_speculation_is_negligible_as_in_the_paper() {
+    // VTune-set workloads on the host config; ar (a gem5-set workload) on
+    // the Table II baseline whose TournamentBP local history learns its
+    // fiber tension-switch patterns.
+    for id in ["ma28", "bp07", "fl33"] {
+        let exp = prepare(id);
+        let stats = exp.simulate_host(OPS);
+        let td = TopDown::from_stats(id, &stats);
+        assert!(
+            td.bad_speculation < 0.05,
+            "{id} bad speculation {:.3} should be small",
+            td.bad_speculation
+        );
+    }
+    let exp = prepare("ar");
+    let stats = exp.simulate_baseline(OPS);
+    let td = TopDown::from_stats("ar", &stats);
+    assert!(
+        td.bad_speculation < 0.05,
+        "ar bad speculation {:.3} under TournamentBP should be small",
+        td.bad_speculation
+    );
+}
+
+#[test]
+fn internal_functions_dominate_hotspots() {
+    // Fig. 4's headline: FEBio "internal" assembly/residual functions lead
+    // nearly every workload's profile.
+    let exp = prepare("co");
+    let stats = exp.simulate_host(OPS);
+    let hp = HotspotProfile::from_stats("co", &stats);
+    let internal = hp.fraction(belenos_trace::FnCategory::Internal);
+    let sparsity = hp.fraction(belenos_trace::FnCategory::Sparsity);
+    // Assembly internals plus sparse-matrix routines carry the profile
+    // (the iterative-solver workloads lean sparsity-heavy, Fig. 4).
+    assert!(
+        internal + sparsity > 0.5 && internal > 0.1,
+        "internal {internal:.2} + sparsity {sparsity:.2}"
+    );
+}
+
+#[test]
+fn direct_solver_workloads_record_pardiso_kernels() {
+    let exp = prepare("ar");
+    let has_ldl = exp
+        .log()
+        .calls()
+        .iter()
+        .any(|c| matches!(c, belenos_trace::KernelCall::LdlFactor { .. }));
+    assert!(has_ldl, "ar must use the PARDISO-analogue path");
+}
+
+#[test]
+fn frequency_scaling_is_sublinear() {
+    let exp = prepare("co");
+    let s1 = exp.simulate(&CoreConfig::gem5_baseline().with_frequency(1.0), OPS);
+    let s4 = exp.simulate(&CoreConfig::gem5_baseline().with_frequency(4.0), OPS);
+    let speedup = s1.seconds() / s4.seconds();
+    assert!(speedup > 1.2, "frequency must help some: {speedup}");
+    assert!(speedup < 3.8, "but not ideally: {speedup}");
+    assert!(s4.ipc() < s1.ipc(), "ipc must drop as frequency rises");
+}
+
+#[test]
+fn narrow_pipeline_hurts_wide_helps_little() {
+    let exp = prepare("ar");
+    let base = exp.simulate_baseline(OPS);
+    let narrow = exp.simulate(&CoreConfig::gem5_baseline().with_pipeline_width(2), OPS);
+    let wide = exp.simulate(&CoreConfig::gem5_baseline().with_pipeline_width(8), OPS);
+    let slow = (narrow.seconds() - base.seconds()) / base.seconds();
+    let fast = (base.seconds() - wide.seconds()) / base.seconds();
+    assert!(slow > 0.03, "width 2 should cost ar noticeably: {slow:.3}");
+    assert!(fast < slow, "width 8 gains must be smaller than width 2 losses");
+}
+
+#[test]
+fn predictors_rank_sanely_on_branchy_workload() {
+    let exp = prepare("co");
+    let mut times = std::collections::HashMap::new();
+    for p in [
+        BranchPredictorKind::Local,
+        BranchPredictorKind::Tournament,
+        BranchPredictorKind::Ltage,
+    ] {
+        let s = exp.simulate(&CoreConfig::gem5_baseline().with_predictor(p), OPS);
+        times.insert(p.label(), s.seconds());
+    }
+    // LTAGE must not lose to LocalBP (the paper's strongest vs weakest).
+    assert!(
+        times["LTAGE"] <= times["LocalBP"] * 1.05,
+        "LTAGE {:.6} vs LocalBP {:.6}",
+        times["LTAGE"],
+        times["LocalBP"]
+    );
+}
+
+#[test]
+fn expander_config_changes_trace_character() {
+    let exp = prepare("pd");
+    let plain = ExpandConfig::default();
+    let bloated = ExpandConfig { code_bloat: 32, ..ExpandConfig::default() };
+    let count_plain = Expander::with_config(exp.log(), plain).take(OPS).count();
+    let count_bloat = Expander::with_config(exp.log(), bloated).take(OPS).count();
+    assert_eq!(count_plain, count_bloat, "bloat must not change op counts");
+    // But it must change icache behaviour.
+    let mut core = O3Core::new(CoreConfig::gem5_baseline());
+    let a = core.run(Expander::with_config(exp.log(), ExpandConfig::default()).take(OPS));
+    let mut core = O3Core::new(CoreConfig::gem5_baseline());
+    let b = core.run(
+        Expander::with_config(exp.log(), ExpandConfig { code_bloat: 32, ..Default::default() })
+            .take(OPS),
+    );
+    assert!(b.l1i_misses > a.l1i_misses, "{} !> {}", b.l1i_misses, a.l1i_misses);
+}
+
+#[test]
+fn eye_outpressures_small_models() {
+    // The paper's case-study claim: the eye stresses memory far beyond
+    // the compact suite models. A warm budget lets the small model's
+    // working set settle into the caches while the eye's cannot.
+    let eye = prepare("eye");
+    let small = prepare("mu");
+    let eye_stats = eye.simulate_host(600_000);
+    let small_stats = small.simulate_host(600_000);
+    assert!(
+        eye_stats.l2_mpki() > small_stats.l2_mpki(),
+        "eye L2 MPKI {:.2} must exceed mu {:.2}",
+        eye_stats.l2_mpki(),
+        small_stats.l2_mpki()
+    );
+}

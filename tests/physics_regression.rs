@@ -1,0 +1,118 @@
+//! Physics regression tests: the FE substrate must stay *numerically*
+//! trustworthy, not just architecturally representative.
+
+use belenos_fem::material::{LinearElastic, NeoHookeanSmall};
+use belenos_fem::mesh::Mesh;
+use belenos_fem::model::FeModel;
+
+#[test]
+fn cantilever_deflection_scales_inversely_with_stiffness() {
+    let deflect = |e: f64| -> f64 {
+        let mesh = Mesh::box_hex(4, 2, 2, 2.0, 0.5, 0.5);
+        let mut m = FeModel::solid(mesh, Box::new(LinearElastic::new(e, 0.3)));
+        m.fix_face("x0");
+        m.add_load("x1", 2, -1.0);
+        let r = m.solve().expect("solves");
+        let mesh = m.mesh();
+        let set = mesh.node_set("x1").unwrap();
+        set.iter().map(|&n| r.solution[n as usize * 3 + 2]).sum::<f64>() / set.len() as f64
+    };
+    let soft = deflect(500.0);
+    let stiff = deflect(2000.0);
+    assert!(soft < 0.0 && stiff < 0.0, "load pushes tip down");
+    let ratio = soft / stiff;
+    assert!(
+        (ratio - 4.0).abs() < 0.05,
+        "linear elasticity: 4x stiffness = 1/4 deflection, got ratio {ratio}"
+    );
+}
+
+#[test]
+fn poisson_contraction_has_right_sign_and_magnitude() {
+    let mesh = Mesh::box_hex(3, 3, 3, 1.0, 1.0, 1.0);
+    let nu = 0.3;
+    let mut m = FeModel::solid(mesh, Box::new(LinearElastic::new(1e3, nu)));
+    // Uniaxial stretch with traction-free lateral faces.
+    m.fix_face("z0");
+    m.prescribe_face("z1", 2, 0.1);
+    let r = m.solve().expect("solves");
+    let mesh = m.mesh();
+    // Lateral contraction at the free x face mid-height.
+    let probe = mesh
+        .node_set("x1")
+        .unwrap()
+        .iter()
+        .copied()
+        .find(|&n| {
+            let c = mesh.coords()[n as usize];
+            (c[2] - 0.6666).abs() < 0.05 && (c[1] - 0.6666).abs() < 0.05
+        })
+        .expect("probe node");
+    let ux = r.solution[probe as usize * 3];
+    // ε_lateral ≈ -ν ε_axial; displacement at x = 1 ≈ -ν * 0.1 (free-ish).
+    assert!(ux < 0.0, "lateral contraction expected, got {ux}");
+    assert!(
+        (ux + nu * 0.1).abs() < 0.04,
+        "lateral displacement {ux} should be near {}",
+        -nu * 0.1
+    );
+}
+
+#[test]
+fn nonlinear_material_stiffens_the_structure() {
+    let tip = |beta: f64| -> f64 {
+        let mesh = Mesh::box_hex(3, 3, 3, 1.0, 1.0, 1.0);
+        let mut m =
+            FeModel::solid(mesh, Box::new(NeoHookeanSmall::from_young(1e3, 0.3, beta)));
+        m.fix_face("z0");
+        m.add_load("z1", 2, 4.0);
+        m.set_newton(40, 1e-8);
+        let r = m.solve().expect("solves");
+        let mesh = m.mesh();
+        let set = mesh.node_set("z1").unwrap();
+        set.iter().map(|&n| r.solution[n as usize * 3 + 2]).sum::<f64>() / set.len() as f64
+    };
+    let linearish = tip(0.0);
+    let stiffening = tip(400.0);
+    assert!(linearish > 0.0 && stiffening > 0.0);
+    assert!(
+        stiffening < linearish,
+        "stiffening material must displace less: {stiffening} vs {linearish}"
+    );
+}
+
+#[test]
+fn energy_balance_linear_elastic() {
+    // For linear elasticity with prescribed displacement only, the
+    // residual at convergence must be orders below the internal forces.
+    let mesh = Mesh::box_hex(3, 3, 3, 1.0, 1.0, 1.0);
+    let mut m = FeModel::solid(mesh, Box::new(LinearElastic::new(1e4, 0.25)));
+    m.fix_face("z0");
+    m.prescribe_face("z1", 2, 0.05);
+    m.set_strict(true);
+    let r = m.solve().expect("solves");
+    assert!(r.converged);
+    assert!(r.final_residual < 1e-4, "residual {}", r.final_residual);
+}
+
+#[test]
+fn tet_and_hex_agree_on_homogeneous_strain() {
+    // A patch-style check: both topologies reproduce uniform extension.
+    for mesh in [Mesh::box_hex(2, 2, 2, 1.0, 1.0, 1.0), Mesh::box_tet(2, 2, 2, 1.0, 1.0, 1.0)] {
+        let mut m = FeModel::solid(mesh, Box::new(LinearElastic::new(1e3, 0.0)));
+        // ν = 0 keeps lateral faces exactly still: pure 1-D problem.
+        m.fix_face("z0");
+        m.prescribe_face("z1", 2, 0.1);
+        m.set_strict(true);
+        let r = m.solve().expect("solves");
+        let mesh = m.mesh();
+        for (n, c) in mesh.coords().iter().enumerate() {
+            let uz = r.solution[n * 3 + 2];
+            assert!(
+                (uz - 0.1 * c[2]).abs() < 1e-6,
+                "node {n}: uz = {uz}, expected {}",
+                0.1 * c[2]
+            );
+        }
+    }
+}
