@@ -1,25 +1,43 @@
-//! Criterion bench over the full experiment pipeline for one small
-//! workload (solve + trace + simulate), the unit of every paper figure.
+//! Timing bench over the full experiment pipeline for one small workload
+//! (solve + trace + simulate), the unit of every paper figure — plus the
+//! batch engine running a sweep grid in parallel vs serially.
 
 use belenos::experiment::Experiment;
+use belenos_bench::timing::bench;
+use belenos_runner::{JobSpec, RunPlan, Runner};
 use belenos_uarch::CoreConfig;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let spec = belenos_workloads::by_id("pd").expect("pd workload");
-    c.bench_function("experiment_prepare_pd", |b| {
-        b.iter(|| black_box(Experiment::prepare(black_box(&spec)).unwrap()))
+    bench("experiment_prepare_pd", 10, || {
+        black_box(Experiment::prepare(black_box(&spec)).unwrap())
     });
-    let exp = Experiment::prepare(&spec).unwrap();
-    c.bench_function("experiment_simulate_pd_100k", |b| {
-        b.iter(|| black_box(exp.simulate(&CoreConfig::gem5_baseline(), 100_000)))
-    });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_pipeline
+    let exp = Experiment::prepare(&spec).unwrap();
+    bench("experiment_simulate_pd_100k", 10, || {
+        black_box(exp.simulate(&CoreConfig::gem5_baseline(), 100_000))
+    });
+
+    // The runner over a 12-point frequency grid: serial vs all-cores.
+    let exps = [Experiment::prepare(&spec).unwrap()];
+    let mut plan = RunPlan::new();
+    for i in 0..12 {
+        let f = 1.0 + i as f64 * 0.25;
+        plan.push(JobSpec::new(
+            0,
+            format!("{f}GHz"),
+            CoreConfig::gem5_baseline().with_frequency(f),
+            100_000,
+        ));
+    }
+    bench("runner_12pt_sweep_serial", 5, || {
+        black_box(Runner::isolated(1).run(&exps, &plan))
+    });
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    bench(&format!("runner_12pt_sweep_{threads}threads"), 5, || {
+        black_box(Runner::isolated(threads).run(&exps, &plan))
+    });
 }
-criterion_main!(benches);

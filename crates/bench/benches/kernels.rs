@@ -1,13 +1,13 @@
-//! Criterion benches over the linear-algebra and FE kernels (the paper's
+//! Timing benches over the linear-algebra and FE kernels (the paper's
 //! hotspot functions: SpMV, assembly, factorization, triangular solves).
 
+use belenos_bench::timing::bench;
 use belenos_fem::material::LinearElastic;
 use belenos_fem::mesh::Mesh;
 use belenos_fem::model::FeModel;
 use belenos_sparse::solver::ldl::LdlFactor;
 use belenos_sparse::solver::skyline::SkylineMatrix;
 use belenos_sparse::{CooMatrix, CsrMatrix};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn lap3d(n: usize) -> CsrMatrix {
@@ -18,59 +18,61 @@ fn lap3d(n: usize) -> CsrMatrix {
             for k in 0..n {
                 let p = idx(i, j, k);
                 coo.push(p, p, 6.0);
-                if i > 0 { coo.push(p, idx(i - 1, j, k), -1.0); }
-                if i + 1 < n { coo.push(p, idx(i + 1, j, k), -1.0); }
-                if j > 0 { coo.push(p, idx(i, j - 1, k), -1.0); }
-                if j + 1 < n { coo.push(p, idx(i, j + 1, k), -1.0); }
-                if k > 0 { coo.push(p, idx(i, j, k - 1), -1.0); }
-                if k + 1 < n { coo.push(p, idx(i, j, k + 1), -1.0); }
+                if i > 0 {
+                    coo.push(p, idx(i - 1, j, k), -1.0);
+                }
+                if i + 1 < n {
+                    coo.push(p, idx(i + 1, j, k), -1.0);
+                }
+                if j > 0 {
+                    coo.push(p, idx(i, j - 1, k), -1.0);
+                }
+                if j + 1 < n {
+                    coo.push(p, idx(i, j + 1, k), -1.0);
+                }
+                if k > 0 {
+                    coo.push(p, idx(i, j, k - 1), -1.0);
+                }
+                if k + 1 < n {
+                    coo.push(p, idx(i, j, k + 1), -1.0);
+                }
             }
         }
     }
     coo.to_csr()
 }
 
-fn bench_spmv(c: &mut Criterion) {
+fn main() {
     let a = lap3d(16);
     let x = vec![1.0; a.ncols()];
     let mut y = vec![0.0; a.nrows()];
-    c.bench_function("spmv_lap3d_16", |b| {
-        b.iter(|| a.spmv_into(black_box(&x), black_box(&mut y)).unwrap())
+    bench("spmv_lap3d_16", 20, || {
+        a.spmv_into(black_box(&x), black_box(&mut y)).unwrap()
+    });
+
+    let a8 = lap3d(8);
+    bench("ldl_factorize_lap3d_8", 10, || {
+        LdlFactor::new(black_box(&a8)).unwrap()
+    });
+    let f = LdlFactor::new(&a8).unwrap();
+    let rhs = vec![1.0; a8.nrows()];
+    bench("ldl_solve_lap3d_8", 20, || {
+        f.solve(black_box(&rhs)).unwrap()
+    });
+
+    let a6 = lap3d(6);
+    bench("skyline_factorize_lap3d_6", 10, || {
+        SkylineMatrix::from_csr(black_box(&a6))
+            .unwrap()
+            .factorize()
+            .unwrap()
+    });
+
+    bench("fe_assemble_solve_box4", 10, || {
+        let mesh = Mesh::box_hex(4, 4, 4, 1.0, 1.0, 1.0);
+        let mut m = FeModel::solid(mesh, Box::new(LinearElastic::new(1e3, 0.3)));
+        m.fix_face("z0");
+        m.prescribe_face("z1", 2, 0.02);
+        black_box(m.solve().unwrap());
     });
 }
-
-fn bench_ldl(c: &mut Criterion) {
-    let a = lap3d(8);
-    c.bench_function("ldl_factorize_lap3d_8", |b| {
-        b.iter(|| LdlFactor::new(black_box(&a)).unwrap())
-    });
-    let f = LdlFactor::new(&a).unwrap();
-    let rhs = vec![1.0; a.nrows()];
-    c.bench_function("ldl_solve_lap3d_8", |b| b.iter(|| f.solve(black_box(&rhs)).unwrap()));
-}
-
-fn bench_skyline(c: &mut Criterion) {
-    let a = lap3d(6);
-    c.bench_function("skyline_factorize_lap3d_6", |b| {
-        b.iter(|| SkylineMatrix::from_csr(black_box(&a)).unwrap().factorize().unwrap())
-    });
-}
-
-fn bench_assembly(c: &mut Criterion) {
-    c.bench_function("fe_assemble_solve_box4", |b| {
-        b.iter(|| {
-            let mesh = Mesh::box_hex(4, 4, 4, 1.0, 1.0, 1.0);
-            let mut m = FeModel::solid(mesh, Box::new(LinearElastic::new(1e3, 0.3)));
-            m.fix_face("z0");
-            m.prescribe_face("z1", 2, 0.02);
-            black_box(m.solve().unwrap());
-        })
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_spmv, bench_ldl, bench_skyline, bench_assembly
-}
-criterion_main!(benches);

@@ -1,50 +1,35 @@
-//! Criterion benches over the microarchitecture simulator: op throughput
-//! of the O3 engine, cache and branch-predictor hot paths.
+//! Timing benches over the microarchitecture simulator: op throughput of
+//! the O3 engine, cache and branch-predictor hot paths.
 
+use belenos_bench::timing::bench;
 use belenos_trace::expand::Expander;
 use belenos_trace::{KernelCall, PhaseLog};
 use belenos_uarch::{CoreConfig, O3Core};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_o3_throughput(c: &mut Criterion) {
-    let mut log = PhaseLog::new();
+fn main() {
+    let mut blas = PhaseLog::new();
     for _ in 0..20 {
-        log.record(KernelCall::Dot { n: 1000 });
-        log.record(KernelCall::Axpy { n: 1000 });
+        blas.record(KernelCall::Dot { n: 1000 });
+        blas.record(KernelCall::Axpy { n: 1000 });
     }
-    c.bench_function("o3_blas_stream_280k_ops", |b| {
-        b.iter(|| {
-            let mut core = O3Core::new(CoreConfig::gem5_baseline());
-            black_box(core.run(Expander::new(black_box(&log))))
-        })
+    bench("o3_blas_stream_280k_ops", 10, || {
+        let mut core = O3Core::new(CoreConfig::gem5_baseline());
+        black_box(core.run(Expander::new(black_box(&blas))))
     });
-}
 
-fn bench_o3_spin(c: &mut Criterion) {
-    let mut log = PhaseLog::new();
-    log.record(KernelCall::OmpBarrier { spin_iters: 5000 });
-    c.bench_function("o3_pause_serialized_20k_ops", |b| {
-        b.iter(|| {
-            let mut core = O3Core::new(CoreConfig::gem5_baseline());
-            black_box(core.run(Expander::new(black_box(&log))))
-        })
+    let mut spin = PhaseLog::new();
+    spin.record(KernelCall::OmpBarrier { spin_iters: 5000 });
+    bench("o3_pause_serialized_20k_ops", 10, || {
+        let mut core = O3Core::new(CoreConfig::gem5_baseline());
+        black_box(core.run(Expander::new(black_box(&spin))))
     });
-}
 
-fn bench_expander(c: &mut Criterion) {
-    let mut log = PhaseLog::new();
+    let mut dots = PhaseLog::new();
     for _ in 0..50 {
-        log.record(KernelCall::Dot { n: 2000 });
+        dots.record(KernelCall::Dot { n: 2000 });
     }
-    c.bench_function("trace_expand_600k_ops", |b| {
-        b.iter(|| black_box(Expander::new(black_box(&log)).count()))
+    bench("trace_expand_600k_ops", 10, || {
+        black_box(Expander::new(black_box(&dots)).count())
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_o3_throughput, bench_o3_spin, bench_expander
-}
-criterion_main!(benches);

@@ -25,7 +25,10 @@ fn laplacian_like(pattern: &belenos_sparse::CsrPattern) -> CsrMatrix {
 
 fn main() {
     println!("RCM reordering ablation (shuffled anatomical numbering)\n");
-    println!("{:<10} {:>12} {:>12} {:>12} {:>10}", "mesh", "bw (orig)", "bw (rcm)", "fill(orig)", "fill(rcm)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>10}",
+        "mesh", "bw (orig)", "bw (rcm)", "fill(orig)", "fill(rcm)"
+    );
     for (label, nx) in [("box4", 4usize), ("box6", 6), ("box8", 8)] {
         let mut mesh = Mesh::box_hex(nx, nx, nx, 1.0, 1.0, 1.0);
         mesh.shuffle_nodes(99);

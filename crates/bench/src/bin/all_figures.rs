@@ -1,5 +1,9 @@
-//! Regenerates every table and figure in one run, sharing solved models.
-use belenos_bench::{max_ops, prepare_or_die};
+//! Regenerates every table and figure in one run, sharing solved models
+//! and simulated points: the whole grid executes through the
+//! `belenos-runner` batch engine, so baseline configurations shared
+//! between figures are simulated exactly once (see the cache summary
+//! printed at the end).
+use belenos_bench::{max_ops, prepare_or_die, print_run_summary};
 
 fn main() {
     let ops = max_ops();
@@ -23,4 +27,6 @@ fn main() {
     println!("{}", belenos::figures::fig10_width(&gem5, ops));
     println!("{}", belenos::figures::fig11_lsq(&gem5, ops));
     println!("{}", belenos::figures::fig12_branch(&gem5, ops));
+
+    print_run_summary();
 }

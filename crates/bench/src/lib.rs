@@ -1,15 +1,21 @@
 //! # belenos-bench
 //!
 //! The benchmark harness: one binary per paper table/figure (run with
-//! `cargo run -p belenos-bench --release --bin <name>`), plus Criterion
-//! benches over the computational kernels and the simulator itself.
+//! `cargo run -p belenos-bench --release --bin <name>`), plus timing
+//! benches over the computational kernels and the simulator itself
+//! (`cargo bench -p belenos-bench`).
 //!
-//! The `BELENOS_MAX_OPS` environment variable caps the number of micro-ops
-//! simulated per run (default 1M): raise it for higher-fidelity numbers,
-//! lower it for quick smoke runs.
+//! All figure binaries execute their simulation grids through the
+//! `belenos-runner` batch engine. Two environment variables control a
+//! campaign (documented in the top-level README):
+//!
+//! * `BELENOS_MAX_OPS` — micro-op budget per simulation (default 1M);
+//! * `BELENOS_JOBS` — runner worker threads (default: all cores).
 
 use belenos::experiment::{prepare_all, Experiment};
 use belenos_workloads::WorkloadSpec;
+
+pub mod timing;
 
 /// Micro-op budget per simulation, from `BELENOS_MAX_OPS` (default 1M).
 pub fn max_ops() -> usize {
@@ -20,8 +26,14 @@ pub fn max_ops() -> usize {
 }
 
 /// Prepares workloads, printing progress, and panics with a clear message
-/// if any model fails to solve (the harness cannot proceed without it).
+/// naming the failing workload (the harness cannot proceed without it).
 pub fn prepare_or_die(specs: &[WorkloadSpec]) -> Vec<Experiment> {
     eprintln!("solving {} workload model(s)...", specs.len());
     prepare_all(specs).unwrap_or_else(|e| panic!("workload preparation failed: {e}"))
+}
+
+/// Prints the process-lifetime runner-cache summary to stderr; figure
+/// binaries call this last so shared-baseline reuse is visible.
+pub fn print_run_summary() {
+    eprintln!("{}", belenos_runner::process_summary());
 }

@@ -1,0 +1,66 @@
+//! A minimal, dependency-free timing harness for the `benches/` targets.
+//!
+//! The container this repo builds in has no access to external crates,
+//! so the benches use plain `main` functions (`harness = false`) driving
+//! this module instead of Criterion: warm up, run a fixed number of
+//! timed iterations, report min/median/mean.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` for `iters` timed iterations (after 2 warmup runs) and
+/// prints a `name: min .. median .. mean` line.
+pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) {
+    assert!(iters > 0, "need at least one iteration");
+    for _ in 0..2 {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed());
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} min {:>12} | median {:>12} | mean {:>12} ({iters} iters)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0usize;
+        bench("noop", 3, || calls += 1);
+        assert_eq!(calls, 3 + 2); // timed + warmup
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -8,10 +8,32 @@ use crate::experiment::Experiment;
 use crate::sweep;
 use belenos_profiler::report::{fmt, Table};
 use belenos_profiler::{HotspotProfile, MemoryProfile, TopDown};
+use belenos_runner::{RunPlan, Runner};
 use belenos_trace::FnCategory;
 use belenos_uarch::config::BranchPredictorKind;
-use belenos_uarch::CoreConfig;
+use belenos_uarch::{CoreConfig, SimStats};
 use belenos_workloads::{catalog, WorkloadSpec};
+
+/// Simulates every experiment once under `config` through the batch
+/// engine: points run in parallel and configs shared with other figures
+/// (the gem5 baseline, the host-like profile) are simulated only once
+/// per process.
+fn simulate_batch(
+    experiments: &[Experiment],
+    label: &str,
+    config: &CoreConfig,
+    max_ops: usize,
+) -> Vec<SimStats> {
+    let mut plan = RunPlan::new();
+    for w in 0..experiments.len() {
+        plan.job(w, label, config.clone(), max_ops);
+    }
+    Runner::from_env()
+        .run(experiments, &plan)
+        .into_iter()
+        .map(|r| r.stats)
+        .collect()
+}
 
 /// Table I: workload categories with paper vs generated input sizes.
 pub fn table1() -> String {
@@ -46,20 +68,38 @@ pub fn table2() -> String {
         ("Core clock frequency", format!("{} GHz", c.freq_ghz)),
         (
             "Pipeline width (fetch/dispatch/issue/commit)",
-            format!("{} / {} / {} / {}", c.fetch_width, c.dispatch_width, c.issue_width, c.commit_width),
+            format!(
+                "{} / {} / {} / {}",
+                c.fetch_width, c.dispatch_width, c.issue_width, c.commit_width
+            ),
         ),
         ("Rename width", format!("{}", c.rename_width)),
-        ("Writeback / squash width", format!("{} / {}", c.writeback_width, c.squash_width)),
+        (
+            "Writeback / squash width",
+            format!("{} / {}", c.writeback_width, c.squash_width),
+        ),
         ("Reorder Buffer (ROB) entries", format!("{}", c.rob_entries)),
         ("Issue Queue (IQ) entries", format!("{}", c.iq_entries)),
-        ("Load Queue / Store Queue entries", format!("{} / {}", c.lq_entries, c.sq_entries)),
-        ("Integer / FP physical registers", format!("{} / {}", c.int_regs, c.fp_regs)),
+        (
+            "Load Queue / Store Queue entries",
+            format!("{} / {}", c.lq_entries, c.sq_entries),
+        ),
+        (
+            "Integer / FP physical registers",
+            format!("{} / {}", c.int_regs, c.fp_regs),
+        ),
         (
             "L1I / L1D cache",
             format!("{} kB, {}-way", c.l1i.size_bytes / 1024, c.l1i.assoc),
         ),
-        ("L2 cache", format!("{} MB, {}-way", c.l2.size_bytes / (1024 * 1024), c.l2.assoc)),
-        ("MSHRs (L1I / L1D)", format!("{} / {}", c.l1i.mshrs, c.l1d.mshrs)),
+        (
+            "L2 cache",
+            format!("{} MB, {}-way", c.l2.size_bytes / (1024 * 1024), c.l2.assoc),
+        ),
+        (
+            "MSHRs (L1I / L1D)",
+            format!("{} / {}", c.l1i.mshrs, c.l1d.mshrs),
+        ),
         ("Cache line size", format!("{} B", c.l1d.line_bytes)),
         ("Memory type", "DDR4-2400 (latency/bandwidth model)".into()),
         ("Branch predictor", c.predictor.label().into()),
@@ -67,7 +107,10 @@ pub fn table2() -> String {
     for (k, v) in rows {
         t.row(vec![k.to_string(), v]);
     }
-    format!("Table II: Baseline CPU and system configuration\n\n{}", t.render())
+    format!(
+        "Table II: Baseline CPU and system configuration\n\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 2: top-down pipeline breakdown per VTune workload.
@@ -76,13 +119,22 @@ pub fn fig02_topdown(experiments: &[Experiment], max_ops: usize) -> String {
     // of the larger models; widen the budget accordingly.
     let max_ops = max_ops.saturating_mul(3);
     let mut t = Table::new(&["Model", "Retiring%", "FrontEnd%", "BadSpec%", "BackEnd%"]);
-    for exp in experiments {
-        let stats = exp.simulate_host(max_ops);
-        let td = TopDown::from_stats(&exp.id, &stats);
+    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), max_ops);
+    for (exp, stats) in experiments.iter().zip(&host) {
+        let td = TopDown::from_stats(&exp.id, stats);
         let p = td.percents();
-        t.row(vec![exp.id.clone(), fmt(p[0], 1), fmt(p[1], 1), fmt(p[2], 1), fmt(p[3], 1)]);
+        t.row(vec![
+            exp.id.clone(),
+            fmt(p[0], 1),
+            fmt(p[1], 1),
+            fmt(p[2], 1),
+            fmt(p[3], 1),
+        ]);
     }
-    format!("Fig. 2: Top-down pipeline breakdown (host-like config)\n\n{}", t.render())
+    format!(
+        "Fig. 2: Top-down pipeline breakdown (host-like config)\n\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 3: front-end / back-end stall split per VTune workload.
@@ -90,13 +142,24 @@ pub fn fig03_stalls(experiments: &[Experiment], max_ops: usize) -> String {
     // VTune-style profiles need windows spanning several Newton iterations
     // of the larger models; widen the budget accordingly.
     let max_ops = max_ops.saturating_mul(3);
-    let mut t =
-        Table::new(&["Model", "FE Latency%", "FE Bandwidth%", "BE Core%", "BE Memory%"]);
-    for exp in experiments {
-        let stats = exp.simulate_host(max_ops);
-        let td = TopDown::from_stats(&exp.id, &stats);
+    let mut t = Table::new(&[
+        "Model",
+        "FE Latency%",
+        "FE Bandwidth%",
+        "BE Core%",
+        "BE Memory%",
+    ]);
+    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), max_ops);
+    for (exp, stats) in experiments.iter().zip(&host) {
+        let td = TopDown::from_stats(&exp.id, stats);
         let s = td.stall_percents();
-        t.row(vec![exp.id.clone(), fmt(s[0], 1), fmt(s[1], 1), fmt(s[2], 1), fmt(s[3], 1)]);
+        t.row(vec![
+            exp.id.clone(),
+            fmt(s[0], 1),
+            fmt(s[1], 1),
+            fmt(s[2], 1),
+            fmt(s[3], 1),
+        ]);
     }
     format!(
         "Fig. 3: FE/BE stall breakdown (bad speculation negligible, as in the paper)\n\n{}",
@@ -118,9 +181,9 @@ pub fn fig04_hotspots(experiments: &[Experiment], max_ops: usize) -> String {
         "MKL-BLAS",
         "Pardiso",
     ]);
-    for exp in experiments {
-        let stats = exp.simulate_host(max_ops);
-        let p = HotspotProfile::from_stats(&exp.id, &stats);
+    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), max_ops);
+    for (exp, stats) in experiments.iter().zip(&host) {
+        let p = HotspotProfile::from_stats(&exp.id, stats);
         let dots = p.dots();
         let mut row = vec![exp.id.clone()];
         for (d, f) in dots.iter().zip(&p.fractions) {
@@ -186,12 +249,15 @@ pub fn fig07_pipeline(experiments: &[Experiment], max_ops: usize) -> String {
         "squash%",
         "tlb%",
     ]);
-    let mut exec =
-        Table::new(&["Model", "branches%", "fp%", "int%", "loads%", "stores%"]);
-    let mut commit =
-        Table::new(&["Model", "fp%", "int%", "loads%", "stores%"]);
-    for exp in experiments {
-        let s = exp.simulate_baseline(max_ops);
+    let mut exec = Table::new(&["Model", "branches%", "fp%", "int%", "loads%", "stores%"]);
+    let mut commit = Table::new(&["Model", "fp%", "int%", "loads%", "stores%"]);
+    let baseline = simulate_batch(
+        experiments,
+        "baseline",
+        &CoreConfig::gem5_baseline(),
+        max_ops,
+    );
+    for (exp, s) in experiments.iter().zip(&baseline) {
         let fetch_total = (s.active_fetch_cycles
             + s.icache_stall_cycles
             + s.misc_stall_cycles
@@ -237,11 +303,18 @@ pub fn fig07_pipeline(experiments: &[Experiment], max_ops: usize) -> String {
 pub fn fig08_frequency(experiments: &[Experiment], max_ops: usize) -> String {
     let freqs = [1.0, 2.0, 3.0, 4.0];
     let pts = sweep::frequency(experiments, &freqs, max_ops);
-    let mut time = Table::new(&["Model", "1GHz (ms)", "2GHz", "3GHz", "4GHz", "speedup@3", "speedup@4"]);
+    let mut time = Table::new(&[
+        "Model",
+        "1GHz (ms)",
+        "2GHz",
+        "3GHz",
+        "4GHz",
+        "speedup@3",
+        "speedup@4",
+    ]);
     let mut ipc = Table::new(&["Model", "IPC@1GHz", "IPC@2GHz", "IPC@3GHz", "IPC@4GHz"]);
     for exp in experiments {
-        let series: Vec<&sweep::SweepPoint> =
-            pts.iter().filter(|p| p.workload == exp.id).collect();
+        let series: Vec<&sweep::SweepPoint> = pts.iter().filter(|p| p.workload == exp.id).collect();
         let secs: Vec<f64> = series.iter().map(|p| p.stats.seconds()).collect();
         time.row(vec![
             exp.id.clone(),
@@ -279,8 +352,7 @@ pub fn fig09_cache(experiments: &[Experiment], max_ops: usize) -> String {
     let mut l2m = Table::new(&["Model", "256kB", "512kB", "1MB", "2MB"]);
     let mut l2t = Table::new(&["Model", "t(256k)/t(2M)", "t(512k)/t(2M)", "t(1M)/t(2M)"]);
     for exp in experiments {
-        let s1: Vec<&sweep::SweepPoint> =
-            l1_pts.iter().filter(|p| p.workload == exp.id).collect();
+        let s1: Vec<&sweep::SweepPoint> = l1_pts.iter().filter(|p| p.workload == exp.id).collect();
         l1i.row(vec![
             exp.id.clone(),
             fmt(s1[0].stats.l1i_mpki(), 2),
@@ -302,8 +374,7 @@ pub fn fig09_cache(experiments: &[Experiment], max_ops: usize) -> String {
             fmt(s1[1].stats.seconds() / t64, 3),
             fmt(s1[2].stats.seconds() / t64, 3),
         ]);
-        let s2: Vec<&sweep::SweepPoint> =
-            l2_pts.iter().filter(|p| p.workload == exp.id).collect();
+        let s2: Vec<&sweep::SweepPoint> = l2_pts.iter().filter(|p| p.workload == exp.id).collect();
         l2m.row(vec![
             exp.id.clone(),
             fmt(s2[0].stats.l2_mpki(), 2),
@@ -343,7 +414,12 @@ pub fn fig10_width(experiments: &[Experiment], max_ops: usize) -> String {
                 .map(|&(_, _, d)| d)
                 .unwrap_or(0.0)
         };
-        t.row(vec![exp.id.clone(), fmt(d("2"), 1), fmt(d("4"), 1), fmt(d("8"), 1)]);
+        t.row(vec![
+            exp.id.clone(),
+            fmt(d("2"), 1),
+            fmt(d("4"), 1),
+            fmt(d("8"), 1),
+        ]);
     }
     format!(
         "Fig. 10: Execution time difference vs baseline pipeline width 6\n\
@@ -354,8 +430,11 @@ pub fn fig10_width(experiments: &[Experiment], max_ops: usize) -> String {
 
 /// Fig. 11: execution-time delta vs LQ/SQ depth (baseline 72/56).
 pub fn fig11_lsq(experiments: &[Experiment], max_ops: usize) -> String {
-    let pts =
-        sweep::lsq(experiments, &[(32, 24), (48, 40), (72, 56), (96, 72)], max_ops);
+    let pts = sweep::lsq(
+        experiments,
+        &[(32, 24), (48, 40), (72, 56), (96, 72)],
+        max_ops,
+    );
     let diffs = sweep::percent_diff_vs(&pts, "72_56");
     let mut t = Table::new(&["Model", "32_24 (%)", "48_40 (%)", "96_72 (%)"]);
     for exp in experiments {
@@ -428,9 +507,9 @@ pub fn memory_profiles(experiments: &[Experiment], max_ops: usize) -> String {
         "MemBound%",
         "DRAM GB/s",
     ]);
-    for exp in experiments {
-        let stats = exp.simulate_host(max_ops);
-        let m = MemoryProfile::from_stats(&exp.id, &stats);
+    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), max_ops);
+    for (exp, stats) in experiments.iter().zip(&host) {
+        let m = MemoryProfile::from_stats(&exp.id, stats);
         t.row(vec![
             exp.id.clone(),
             fmt(m.l1i_mpki, 2),
@@ -456,7 +535,14 @@ pub fn gem5_specs() -> Vec<WorkloadSpec> {
 /// Dominant hotspot sanity used by tests: internal functions should lead
 /// most workloads, as the paper observes.
 pub fn dominant_category(exp: &Experiment, max_ops: usize) -> FnCategory {
-    let stats = exp.simulate_host(max_ops);
+    let stats = simulate_batch(
+        std::slice::from_ref(exp),
+        "host",
+        &CoreConfig::host_like(),
+        max_ops,
+    )
+    .pop()
+    .expect("one job per experiment");
     HotspotProfile::from_stats(&exp.id, &stats).dominant()
 }
 

@@ -20,6 +20,13 @@
 //! width, load/store queues, branch predictors); [`figures`] regenerates
 //! every table and figure of the paper as text tables.
 //!
+//! Every sweep and figure submits its (workload × config) grid to the
+//! `belenos-runner` batch engine: points execute in parallel across
+//! `BELENOS_JOBS` worker threads and land in a content-addressed result
+//! cache, so configurations shared between figures (the Table II
+//! baseline appears in every sweep) are simulated exactly once per
+//! process. Parallel and serial runs are bit-identical.
+//!
 //! ```no_run
 //! use belenos::experiment::Experiment;
 //! use belenos_uarch::CoreConfig;
@@ -34,4 +41,4 @@ pub mod experiment;
 pub mod figures;
 pub mod sweep;
 
-pub use experiment::Experiment;
+pub use experiment::{Experiment, PrepareError};

@@ -1,7 +1,14 @@
 //! The paper's gem5 sensitivity sweeps (Figs. 8-12): each isolates one
 //! hardware parameter while holding the Table II baseline fixed.
+//!
+//! Every sweep builds a [`RunPlan`] over its (workload × config) grid and
+//! submits it to the [`belenos_runner`] batch engine, so points run in
+//! parallel (`BELENOS_JOBS` workers) and points shared between sweeps —
+//! every sweep contains the Table II baseline — are simulated exactly
+//! once per process thanks to the content-addressed result cache.
 
 use crate::experiment::Experiment;
+use belenos_runner::{JobSpec, RunPlan, Runner};
 use belenos_uarch::config::BranchPredictorKind;
 use belenos_uarch::{CoreConfig, SimStats};
 
@@ -16,39 +23,64 @@ pub struct SweepPoint {
     pub stats: SimStats,
 }
 
-fn run_sweep<F>(experiments: &[Experiment], values: &[(String, CoreConfig)], max_ops: usize, mut each: F) -> Vec<SweepPoint>
-where
-    F: FnMut(&SweepPoint),
-{
-    let mut out = Vec::with_capacity(experiments.len() * values.len());
-    for exp in experiments {
+/// Builds the (experiment × value) grid as a runner plan.
+fn sweep_plan(
+    experiments: &[Experiment],
+    values: &[(String, CoreConfig)],
+    max_ops: usize,
+) -> RunPlan {
+    let mut plan = RunPlan::new();
+    for (w, _) in experiments.iter().enumerate() {
         for (label, cfg) in values {
-            let stats = exp.simulate(cfg, max_ops);
-            let point =
-                SweepPoint { workload: exp.id.clone(), value: label.clone(), stats };
-            each(&point);
-            out.push(point);
+            plan.push(JobSpec::new(w, label.clone(), cfg.clone(), max_ops));
         }
     }
-    out
+    plan
+}
+
+fn run_sweep(
+    experiments: &[Experiment],
+    values: &[(String, CoreConfig)],
+    max_ops: usize,
+) -> Vec<SweepPoint> {
+    let plan = sweep_plan(experiments, values, max_ops);
+    Runner::from_env()
+        .run(experiments, &plan)
+        .into_iter()
+        .map(|r| SweepPoint {
+            workload: r.workload,
+            value: r.label,
+            stats: r.stats,
+        })
+        .collect()
 }
 
 /// Fig. 8: core frequency 1-4 GHz.
 pub fn frequency(experiments: &[Experiment], freqs: &[f64], max_ops: usize) -> Vec<SweepPoint> {
     let values: Vec<(String, CoreConfig)> = freqs
         .iter()
-        .map(|&f| (format!("{f}GHz"), CoreConfig::gem5_baseline().with_frequency(f)))
+        .map(|&f| {
+            (
+                format!("{f}GHz"),
+                CoreConfig::gem5_baseline().with_frequency(f),
+            )
+        })
         .collect();
-    run_sweep(experiments, &values, max_ops, |_| {})
+    run_sweep(experiments, &values, max_ops)
 }
 
 /// Fig. 9a-c: L1 (I+D) capacity sweep.
 pub fn l1_size(experiments: &[Experiment], sizes_kb: &[usize], max_ops: usize) -> Vec<SweepPoint> {
     let values: Vec<(String, CoreConfig)> = sizes_kb
         .iter()
-        .map(|&kb| (format!("{kb}kB"), CoreConfig::gem5_baseline().with_l1_size(kb * 1024)))
+        .map(|&kb| {
+            (
+                format!("{kb}kB"),
+                CoreConfig::gem5_baseline().with_l1_size(kb * 1024),
+            )
+        })
         .collect();
-    run_sweep(experiments, &values, max_ops, |_| {})
+    run_sweep(experiments, &values, max_ops)
 }
 
 /// Fig. 9d-e: L2 capacity sweep.
@@ -56,39 +88,65 @@ pub fn l2_size(experiments: &[Experiment], sizes_kb: &[usize], max_ops: usize) -
     let values: Vec<(String, CoreConfig)> = sizes_kb
         .iter()
         .map(|&kb| {
-            let label =
-                if kb >= 1024 { format!("{}MB", kb / 1024) } else { format!("{kb}kB") };
+            let label = if kb >= 1024 {
+                format!("{}MB", kb / 1024)
+            } else {
+                format!("{kb}kB")
+            };
             (label, CoreConfig::gem5_baseline().with_l2_size(kb * 1024))
         })
         .collect();
-    run_sweep(experiments, &values, max_ops, |_| {})
+    run_sweep(experiments, &values, max_ops)
 }
 
 /// Fig. 10: pipeline width sweep (baseline width 6).
 pub fn width(experiments: &[Experiment], widths: &[usize], max_ops: usize) -> Vec<SweepPoint> {
     let values: Vec<(String, CoreConfig)> = widths
         .iter()
-        .map(|&w| (format!("{w}"), CoreConfig::gem5_baseline().with_pipeline_width(w)))
+        .map(|&w| {
+            (
+                format!("{w}"),
+                CoreConfig::gem5_baseline().with_pipeline_width(w),
+            )
+        })
         .collect();
-    run_sweep(experiments, &values, max_ops, |_| {})
+    run_sweep(experiments, &values, max_ops)
 }
 
 /// Fig. 11: load/store-queue depth sweep (baseline 72/56).
-pub fn lsq(experiments: &[Experiment], depths: &[(usize, usize)], max_ops: usize) -> Vec<SweepPoint> {
+pub fn lsq(
+    experiments: &[Experiment],
+    depths: &[(usize, usize)],
+    max_ops: usize,
+) -> Vec<SweepPoint> {
     let values: Vec<(String, CoreConfig)> = depths
         .iter()
-        .map(|&(l, s)| (format!("{l}_{s}"), CoreConfig::gem5_baseline().with_lsq(l, s)))
+        .map(|&(l, s)| {
+            (
+                format!("{l}_{s}"),
+                CoreConfig::gem5_baseline().with_lsq(l, s),
+            )
+        })
         .collect();
-    run_sweep(experiments, &values, max_ops, |_| {})
+    run_sweep(experiments, &values, max_ops)
 }
 
 /// Instruction-window ablation (paper §IV-C4 text): ROB/IQ sizes.
-pub fn rob_iq(experiments: &[Experiment], sizes: &[(usize, usize)], max_ops: usize) -> Vec<SweepPoint> {
+pub fn rob_iq(
+    experiments: &[Experiment],
+    sizes: &[(usize, usize)],
+    max_ops: usize,
+) -> Vec<SweepPoint> {
     let values: Vec<(String, CoreConfig)> = sizes
         .iter()
-        .map(|&(r, q)| (format!("{r}_{q}"), CoreConfig::gem5_baseline().with_rob_iq(r, q)))
+        .map(|&(r, q)| {
+            (
+                format!("{r}_{q}"),
+                CoreConfig::gem5_baseline().with_rob_iq(r, q),
+            )
+        })
         .collect();
-    run_sweep(experiments, &values, max_ops, |_| {})
+    run_sweep(experiments, &values, max_ops)
 }
 
 /// Fig. 12: branch predictor sweep (baseline TournamentBP).
@@ -99,9 +157,14 @@ pub fn branch_predictors(
 ) -> Vec<SweepPoint> {
     let values: Vec<(String, CoreConfig)> = predictors
         .iter()
-        .map(|&p| (p.label().to_string(), CoreConfig::gem5_baseline().with_predictor(p)))
+        .map(|&p| {
+            (
+                p.label().to_string(),
+                CoreConfig::gem5_baseline().with_predictor(p),
+            )
+        })
         .collect();
-    run_sweep(experiments, &values, max_ops, |_| {})
+    run_sweep(experiments, &values, max_ops)
 }
 
 /// Percent execution-time difference of each point against the point with
@@ -147,6 +210,59 @@ mod tests {
         assert_eq!(diffs.len(), 1);
         assert_eq!(diffs[0].1, "2");
         assert!(diffs[0].2 > -50.0);
+    }
+
+    #[test]
+    fn parallel_sweep_bit_identical_to_serial() {
+        use belenos_runner::Runner;
+        let exps = vec![tiny_experiment()];
+        let values: Vec<(String, CoreConfig)> = [1.0, 2.0, 4.0]
+            .iter()
+            .map(|&f| {
+                (
+                    format!("{f}GHz"),
+                    CoreConfig::gem5_baseline().with_frequency(f),
+                )
+            })
+            .collect();
+        let plan = sweep_plan(&exps, &values, 20_000);
+        let serial = Runner::isolated(1).run(&exps, &plan);
+        let parallel = Runner::isolated(4).run(&exps, &plan);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(
+                s.stats, p.stats,
+                "point {} diverged across thread counts",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn sweeps_share_baseline_points_via_the_cache() {
+        use belenos_runner::Runner;
+        let exps = vec![tiny_experiment()];
+        let runner = Runner::isolated(2);
+        // Fig. 8-style frequency sweep: contains the 3 GHz baseline...
+        let freq: Vec<(String, CoreConfig)> = [1.0, 3.0]
+            .iter()
+            .map(|&f| {
+                (
+                    format!("{f}GHz"),
+                    CoreConfig::gem5_baseline().with_frequency(f),
+                )
+            })
+            .collect();
+        runner.run(&exps, &sweep_plan(&exps, &freq, 20_000));
+        // ...so the Fig. 11 LSQ sweep's 72_56 baseline point is a hit.
+        let lsq: Vec<(String, CoreConfig)> =
+            vec![("72_56".into(), CoreConfig::gem5_baseline().with_lsq(72, 56))];
+        let (_, summary) = runner.run_with_summary(&exps, &sweep_plan(&exps, &lsq, 20_000));
+        assert_eq!(
+            summary.cache_hits, 1,
+            "baseline must be shared across sweeps"
+        );
+        assert_eq!(summary.simulated, 0);
     }
 
     #[test]

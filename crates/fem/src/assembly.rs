@@ -56,7 +56,10 @@ impl Assembler {
     /// Creates an accumulator over `pattern` with zeroed values.
     pub fn new(pattern: Arc<CsrPattern>) -> Self {
         let nnz = pattern.nnz();
-        Assembler { pattern, vals: vec![0.0; nnz] }
+        Assembler {
+            pattern,
+            vals: vec![0.0; nnz],
+        }
     }
 
     /// Zeroes all values (start of a new Newton iteration).
@@ -208,8 +211,7 @@ mod tests {
         asm.apply_dirichlet(&mut rhs, &[(0, 2.0)]);
         let m = asm.to_matrix();
         // Row 0 must be diagonal-only and rhs scaled accordingly.
-        let x = belenos_sparse::solver::ldl::LdlFactor::new(&m)
-            .map(|f| f.solve(&rhs).unwrap());
+        let x = belenos_sparse::solver::ldl::LdlFactor::new(&m).map(|f| f.solve(&rhs).unwrap());
         if let Ok(x) = x {
             assert!((x[0] - 2.0).abs() < 1e-9, "pinned value {}", x[0]);
         }

@@ -119,7 +119,11 @@ impl RigidPlaneContact {
         for &n in nodes {
             let n = n as usize;
             let x = mesh.coords()[n][self.axis] + u[n * dofs_per_node + self.axis];
-            let gap = if self.from_above { plane - x } else { x - plane };
+            let gap = if self.from_above {
+                plane - x
+            } else {
+                x - plane
+            };
             let hit = gap < 0.0;
             outcomes.push(hit);
             if hit {
@@ -129,7 +133,11 @@ impl RigidPlaneContact {
                 stiffness.push((dof, self.penalty));
             }
         }
-        Ok(ContactResult { outcomes, forces, stiffness })
+        Ok(ContactResult {
+            outcomes,
+            forces,
+            stiffness,
+        })
     }
 }
 

@@ -22,7 +22,11 @@ pub struct DofMap {
 impl DofMap {
     /// Creates a map with all dofs free.
     pub fn new(n_nodes: usize, dofs_per_node: usize) -> Self {
-        DofMap { n_nodes, dofs_per_node, prescribed: vec![None; n_nodes * dofs_per_node] }
+        DofMap {
+            n_nodes,
+            dofs_per_node,
+            prescribed: vec![None; n_nodes * dofs_per_node],
+        }
     }
 
     /// Total dof count (free + constrained).
@@ -91,7 +95,10 @@ impl DofMap {
 
     /// Iterates `(dof, value)` over constrained dofs.
     pub fn constraints(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.prescribed.iter().enumerate().filter_map(|(d, p)| p.map(|v| (d, v)))
+        self.prescribed
+            .iter()
+            .enumerate()
+            .filter_map(|(d, p)| p.map(|v| (d, v)))
     }
 }
 

@@ -75,7 +75,11 @@ pub fn geometry(coords: &[[f64; 3]], shape: &ShapeEval, element: usize) -> Resul
             ]
         })
         .collect();
-    Ok(GeomEval { grad, n: shape.n.clone(), detj })
+    Ok(GeomEval {
+        grad,
+        n: shape.n.clone(),
+        detj,
+    })
 }
 
 /// Small strain at a quadrature point from element displacements
@@ -227,9 +231,16 @@ impl PoroKernel {
     ///
     /// Panics if any permeability is negative or storage is negative.
     pub fn new(kind: ElementKind, permeability: [f64; 3], storage: f64) -> Self {
-        assert!(permeability.iter().all(|&k| k >= 0.0), "negative permeability");
+        assert!(
+            permeability.iter().all(|&k| k >= 0.0),
+            "negative permeability"
+        );
         assert!(storage >= 0.0, "negative storage");
-        PoroKernel { solid: SolidKernel::new(kind), permeability, storage }
+        PoroKernel {
+            solid: SolidKernel::new(kind),
+            permeability,
+            storage,
+        }
     }
 
     /// Quadrature points per element.
@@ -265,7 +276,10 @@ impl PoroKernel {
         let mut k = vec![0.0; ndof * ndof];
         let mut f = vec![0.0; ndof];
         // Split element vector into displacement / pressure views.
-        let u_disp: Vec<f64> = (0..npe).flat_map(|a| (0..3).map(move |i| (a, i))).map(|(a, i)| u_e[dpn * a + i]).collect();
+        let u_disp: Vec<f64> = (0..npe)
+            .flat_map(|a| (0..3).map(move |i| (a, i)))
+            .map(|(a, i)| u_e[dpn * a + i])
+            .collect();
         for (g, (gp, shape)) in self.solid.rule.iter().zip(&self.solid.shapes).enumerate() {
             let geom = geometry(coords, shape, element)?;
             let w = gp.w * geom.detj;
@@ -368,11 +382,28 @@ impl FluidKernel {
     /// # Panics
     ///
     /// Panics on non-positive viscosity/penalty/density.
-    pub fn new(kind: ElementKind, viscosity: f64, penalty: f64, density: f64, steady: bool) -> Self {
-        assert!(viscosity > 0.0 && penalty > 0.0 && density > 0.0, "invalid fluid parameters");
+    pub fn new(
+        kind: ElementKind,
+        viscosity: f64,
+        penalty: f64,
+        density: f64,
+        steady: bool,
+    ) -> Self {
+        assert!(
+            viscosity > 0.0 && penalty > 0.0 && density > 0.0,
+            "invalid fluid parameters"
+        );
         let rule = rule_for(kind);
         let shapes = rule.iter().map(|g| eval(kind, g.xi)).collect();
-        FluidKernel { kind, rule, shapes, viscosity, penalty, density, steady }
+        FluidKernel {
+            kind,
+            rule,
+            shapes,
+            viscosity,
+            penalty,
+            density,
+            steady,
+        }
     }
 
     /// Quadrature points per element.
@@ -424,11 +455,10 @@ impl FluidKernel {
                         lap += ga[i] * gb[i];
                         conv += vb[i] * gb[i];
                     }
-                    let diag =
-                        (self.viscosity * lap
-                            + self.density * inv_dt * geom.n[a] * geom.n[b]
-                            + self.density * geom.n[a] * conv)
-                            * w;
+                    let diag = (self.viscosity * lap
+                        + self.density * inv_dt * geom.n[a] * geom.n[b]
+                        + self.density * geom.n[a] * conv)
+                        * w;
                     for i in 0..3 {
                         k[(3 * a + i) * ndof + (3 * b + i)] += diag;
                         // Grad-div penalty couples components.
@@ -478,7 +508,10 @@ mod tests {
 
     fn unit_hex_coords() -> Vec<[f64; 3]> {
         let m = Mesh::box_hex(1, 1, 1, 1.0, 1.0, 1.0);
-        m.element(0).iter().map(|&n| m.coords()[n as usize]).collect()
+        m.element(0)
+            .iter()
+            .map(|&n| m.coords()[n as usize])
+            .collect()
     }
 
     #[test]
@@ -509,7 +542,10 @@ mod tests {
         let coords = unit_hex_coords();
         let shape = eval(ElementKind::Hex8, [0.3, -0.2, 0.1]);
         let geom = geometry(&coords, &shape, 0).unwrap();
-        let u: Vec<f64> = coords.iter().flat_map(|c| [0.01 * c[0], 0.0, 0.0]).collect();
+        let u: Vec<f64> = coords
+            .iter()
+            .flat_map(|c| [0.01 * c[0], 0.0, 0.0])
+            .collect();
         let e = strain_at(&geom, &u);
         assert!((e[0] - 0.01).abs() < 1e-14);
         for v in &e[1..] {
@@ -535,7 +571,9 @@ mod tests {
             }
         }
         // Rigid translation produces zero force: K * t = 0.
-        let t: Vec<f64> = (0..24).map(|d| if d % 3 == 0 { 1.0 } else { 0.0 }).collect();
+        let t: Vec<f64> = (0..24)
+            .map(|d| if d % 3 == 0 { 1.0 } else { 0.0 })
+            .collect();
         for i in 0..24 {
             let acc: f64 = (0..24).map(|j| em.k[i * 24 + j] * t[j]).sum();
             assert!(acc.abs() < 1e-9, "rigid mode produces force {acc} at {i}");
@@ -548,13 +586,19 @@ mod tests {
         let mat = LinearElastic::new(500.0, 0.25);
         let kern = SolidKernel::new(ElementKind::Hex8);
         let coords = unit_hex_coords();
-        let u: Vec<f64> = (0..24).map(|i| 0.001 * ((i * 7 % 5) as f64 - 2.0)).collect();
+        let u: Vec<f64> = (0..24)
+            .map(|i| 0.001 * ((i * 7 % 5) as f64 - 2.0))
+            .collect();
         let em = kern
             .integrate(0, &coords, &u, &mat, &[], &mut [], 1.0, 0.0)
             .unwrap();
         for i in 0..24 {
             let ku: f64 = (0..24).map(|j| em.k[i * 24 + j] * u[j]).sum();
-            assert!((ku - em.f_int[i]).abs() < 1e-10, "row {i}: {ku} vs {}", em.f_int[i]);
+            assert!(
+                (ku - em.f_int[i]).abs() < 1e-10,
+                "row {i}: {ku} vs {}",
+                em.f_int[i]
+            );
         }
     }
 
@@ -563,10 +607,13 @@ mod tests {
         let mat = LinearElastic::new(100.0, 0.3);
         let kern = SolidKernel::new(ElementKind::Tet4);
         let m = Mesh::box_tet(1, 1, 1, 1.0, 1.0, 1.0);
-        let coords: Vec<[f64; 3]> =
-            m.element(0).iter().map(|&n| m.coords()[n as usize]).collect();
+        let coords: Vec<[f64; 3]> = m
+            .element(0)
+            .iter()
+            .map(|&n| m.coords()[n as usize])
+            .collect();
         let em = kern
-            .integrate(0, &coords, &vec![0.0; 12], &mat, &[], &mut [], 1.0, 0.0)
+            .integrate(0, &coords, &[0.0; 12], &mat, &[], &mut [], 1.0, 0.0)
             .unwrap();
         assert_eq!(em.k.len(), 144);
         // Symmetry.
@@ -608,15 +655,22 @@ mod tests {
     fn fluid_operator_is_unsymmetric_with_convection() {
         let kern = FluidKernel::new(ElementKind::Hex8, 0.01, 10.0, 1.0, true);
         let coords = unit_hex_coords();
-        let v_bar: Vec<f64> = (0..24).map(|d| if d % 3 == 0 { 1.0 } else { 0.0 }).collect();
-        let em = kern.integrate(0, &coords, &vec![0.0; 24], &v_bar, &vec![0.0; 24], 0.1).unwrap();
+        let v_bar: Vec<f64> = (0..24)
+            .map(|d| if d % 3 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let em = kern
+            .integrate(0, &coords, &[0.0; 24], &v_bar, &[0.0; 24], 0.1)
+            .unwrap();
         let mut asym = 0.0f64;
         for i in 0..24 {
             for j in 0..24 {
                 asym = asym.max((em.k[i * 24 + j] - em.k[j * 24 + i]).abs());
             }
         }
-        assert!(asym > 1e-6, "convection should break symmetry (asym {asym})");
+        assert!(
+            asym > 1e-6,
+            "convection should break symmetry (asym {asym})"
+        );
     }
 
     #[test]
@@ -625,8 +679,12 @@ mod tests {
         let trans = FluidKernel::new(ElementKind::Hex8, 0.01, 10.0, 1.0, false);
         let coords = unit_hex_coords();
         let zero = vec![0.0; 24];
-        let ks = steady.integrate(0, &coords, &zero, &zero, &zero, 0.01).unwrap();
-        let kt = trans.integrate(0, &coords, &zero, &zero, &zero, 0.01).unwrap();
+        let ks = steady
+            .integrate(0, &coords, &zero, &zero, &zero, 0.01)
+            .unwrap();
+        let kt = trans
+            .integrate(0, &coords, &zero, &zero, &zero, 0.01)
+            .unwrap();
         // Transient diagonal is much stiffer (mass / dt).
         assert!(kt.k[0] > ks.k[0] * 2.0, "{} vs {}", kt.k[0], ks.k[0]);
     }

@@ -10,7 +10,11 @@ pub enum FemError {
     /// A mesh/model construction problem (bad counts, unknown sets, ...).
     InvalidModel(String),
     /// The Newton iteration failed to converge within its budget.
-    NewtonDiverged { step: usize, iterations: usize, residual: f64 },
+    NewtonDiverged {
+        step: usize,
+        iterations: usize,
+        residual: f64,
+    },
     /// An element Jacobian became non-positive (inverted element).
     InvertedElement { element: usize, detj: f64 },
     /// A linear-algebra failure from the sparse substrate.
@@ -21,7 +25,11 @@ impl fmt::Display for FemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FemError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
-            FemError::NewtonDiverged { step, iterations, residual } => write!(
+            FemError::NewtonDiverged {
+                step,
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "newton iteration diverged at step {step} after {iterations} iterations \
                  (residual {residual:.3e})"
@@ -55,7 +63,11 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = FemError::NewtonDiverged { step: 3, iterations: 25, residual: 1.5 };
+        let e = FemError::NewtonDiverged {
+            step: 3,
+            iterations: 25,
+            residual: 1.5,
+        };
         assert!(e.to_string().contains("step 3"));
         let e: FemError = SparseError::NotSquare { nrows: 2, ncols: 3 }.into();
         assert!(e.source().is_some());

@@ -91,7 +91,10 @@ impl FiberExponential {
     pub fn new(e: f64, nu: f64, dir: [f64; 3], k1: f64, k2: f64) -> Self {
         let norm = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]).sqrt();
         assert!(norm > 1e-12, "fiber direction must be non-zero");
-        assert!(k1 >= 0.0 && k2 >= 0.0, "fiber coefficients must be non-negative");
+        assert!(
+            k1 >= 0.0 && k2 >= 0.0,
+            "fiber coefficients must be non-negative"
+        );
         FiberExponential {
             matrix: isotropic_tangent(e, nu),
             a: [dir[0] / norm, dir[1] / norm, dir[2] / norm],
@@ -151,7 +154,12 @@ mod tests {
         let s1 = nh.stress(&eps, &[], &mut [], 1.0, 0.0);
         let s2 = le.stress(&eps, &[], &mut [], 1.0, 0.0);
         for i in 0..6 {
-            assert!((s1[i] - s2[i]).abs() < 1e-9, "component {i}: {} vs {}", s1[i], s2[i]);
+            assert!(
+                (s1[i] - s2[i]).abs() < 1e-9,
+                "component {i}: {} vs {}",
+                s1[i],
+                s2[i]
+            );
         }
     }
 
@@ -172,7 +180,10 @@ mod tests {
         let d = nh.tangent(&eps, &[], 1.0, 0.0);
         for i in 0..6 {
             for j in 0..6 {
-                assert!((d[i][j] - d[j][i]).abs() < 1e-1 * (1.0 + d[i][j].abs()), "({i},{j})");
+                assert!(
+                    (d[i][j] - d[j][i]).abs() < 1e-1 * (1.0 + d[i][j].abs()),
+                    "({i},{j})"
+                );
             }
         }
     }

@@ -26,7 +26,12 @@ impl DamageElastic {
     /// Panics if `y0 < 0`, `yc <= 0`.
     pub fn new(e: f64, nu: f64, y0: f64, yc: f64) -> Self {
         assert!(y0 >= 0.0 && yc > 0.0, "invalid damage parameters");
-        DamageElastic { d: isotropic_tangent(e, nu), y0, yc, d_max: 0.95 }
+        DamageElastic {
+            d: isotropic_tangent(e, nu),
+            y0,
+            yc,
+            d_max: 0.95,
+        }
     }
 
     /// Strain energy density ½ εᵀ D ε.
@@ -144,7 +149,14 @@ impl Material for J2Plasticity {
             // Elastic step.
             new[..6].copy_from_slice(&eps_p);
             new[6] = alpha;
-            return [s_tr[0] + p, s_tr[1] + p, s_tr[2] + p, s_tr[3], s_tr[4], s_tr[5]];
+            return [
+                s_tr[0] + p,
+                s_tr[1] + p,
+                s_tr[2] + p,
+                s_tr[3],
+                s_tr[4],
+                s_tr[5],
+            ];
         }
         // Radial return.
         let dgamma = f_trial / (2.0 * self.mu + 2.0 / 3.0 * self.hardening);
@@ -231,7 +243,10 @@ mod tests {
             + sd[2] * sd[2]
             + 2.0 * (sd[3] * sd[3] + sd[4] * sd[4] + sd[5] * sd[5]);
         let vm = (1.5 * j2).sqrt();
-        assert!((vm - 5.0).abs() < 1e-8, "von mises {vm} should equal yield 5");
+        assert!(
+            (vm - 5.0).abs() < 1e-8,
+            "von mises {vm} should equal yield 5"
+        );
     }
 
     #[test]

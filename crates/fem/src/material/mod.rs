@@ -46,15 +46,25 @@ pub trait Material: fmt::Debug + Send + Sync {
     fn init_state(&self, _state: &mut [f64]) {}
 
     /// Cauchy stress at strain `eps` and time `t` over step `dt`.
-    fn stress(&self, eps: &Voigt, state_old: &[f64], state_new: &mut [f64], dt: f64, t: f64)
-        -> Voigt;
+    fn stress(
+        &self,
+        eps: &Voigt,
+        state_old: &[f64],
+        state_new: &mut [f64],
+        dt: f64,
+        t: f64,
+    ) -> Voigt;
 
     /// Consistent (or numerically differentiated) material tangent.
     ///
     /// The default central-difference implementation is exact for smooth
     /// laws up to O(h²) and is what several FEBio plugins do in practice.
     fn tangent(&self, eps: &Voigt, state_old: &[f64], dt: f64, t: f64) -> Tangent {
-        numeric_tangent(|e, s| self.stress(e, state_old, s, dt, t), eps, self.state_size())
+        numeric_tangent(
+            |e, s| self.stress(e, state_old, s, dt, t),
+            eps,
+            self.state_size(),
+        )
     }
 
     /// True when stress is linear in strain and history-free (lets the
@@ -94,7 +104,9 @@ impl LinearElastic {
     pub fn new(e: f64, nu: f64) -> Self {
         assert!(e > 0.0, "young's modulus must be positive");
         assert!(nu > -1.0 && nu < 0.5, "poisson ratio must lie in (-1, 0.5)");
-        LinearElastic { d: isotropic_tangent(e, nu) }
+        LinearElastic {
+            d: isotropic_tangent(e, nu),
+        }
     }
 
     /// The (constant) stiffness matrix.
@@ -166,10 +178,7 @@ pub fn deviator(eps: &Voigt) -> Voigt {
 
 /// Frobenius norm of a Voigt *stress-like* tensor (shears counted twice).
 pub fn tensor_norm(s: &Voigt) -> f64 {
-    (s[0] * s[0]
-        + s[1] * s[1]
-        + s[2] * s[2]
-        + 2.0 * (s[3] * s[3] + s[4] * s[4] + s[5] * s[5]))
+    (s[0] * s[0] + s[1] * s[1] + s[2] * s[2] + 2.0 * (s[3] * s[3] + s[4] * s[4] + s[5] * s[5]))
         .sqrt()
 }
 

@@ -81,7 +81,10 @@ impl GrowthElastic {
     /// Panics if `rate < 0`.
     pub fn new(e: f64, nu: f64, rate: f64) -> Self {
         assert!(rate >= 0.0, "growth rate must be non-negative");
-        GrowthElastic { d: isotropic_tangent(e, nu), rate }
+        GrowthElastic {
+            d: isotropic_tangent(e, nu),
+            rate,
+        }
     }
 }
 
@@ -112,7 +115,10 @@ pub struct PrestrainElastic {
 impl PrestrainElastic {
     /// Elastic backbone (E, ν) with built-in strain offset `eps0`.
     pub fn new(e: f64, nu: f64, eps0: Voigt) -> Self {
-        PrestrainElastic { d: isotropic_tangent(e, nu), eps0 }
+        PrestrainElastic {
+            d: isotropic_tangent(e, nu),
+            eps0,
+        }
     }
 }
 
@@ -150,15 +156,24 @@ impl Multigeneration {
     /// Panics if empty or the first generation is not born at `t <= 0`.
     pub fn new(gens: &[(f64, f64, f64)]) -> Self {
         assert!(!gens.is_empty(), "at least one generation required");
-        assert!(gens[0].0 <= 0.0, "first generation must exist from the start");
+        assert!(
+            gens[0].0 <= 0.0,
+            "first generation must exist from the start"
+        );
         Multigeneration {
-            generations: gens.iter().map(|&(t, e, nu)| (t, isotropic_tangent(e, nu))).collect(),
+            generations: gens
+                .iter()
+                .map(|&(t, e, nu)| (t, isotropic_tangent(e, nu)))
+                .collect(),
         }
     }
 
     /// Number of generations alive at time `t`.
     pub fn active_at(&self, t: f64) -> usize {
-        self.generations.iter().filter(|(birth, _)| *birth <= t).count()
+        self.generations
+            .iter()
+            .filter(|(birth, _)| *birth <= t)
+            .count()
     }
 }
 
@@ -224,7 +239,10 @@ mod tests {
         let s0 = m.stress(&eps, &[], &mut [], 0.1, 0.0);
         let s1 = m.stress(&eps, &[], &mut [], 0.1, 2.0);
         assert_eq!(s0[0], 0.0);
-        assert!((s1[0] - 50.0).abs() < 1e-12, "active stress at full activation");
+        assert!(
+            (s1[0] - 50.0).abs() < 1e-12,
+            "active stress at full activation"
+        );
     }
 
     #[test]
@@ -235,7 +253,11 @@ mod tests {
         let s0 = m.stress(&eps, &[], &mut [], 1.0, 0.0);
         let s1 = m.stress(&eps, &[], &mut [], 1.0, 1.0);
         assert_eq!(s0[0], 0.0);
-        assert!(s1[0] < 0.0, "confined growth must be compressive, got {}", s1[0]);
+        assert!(
+            s1[0] < 0.0,
+            "confined growth must be compressive, got {}",
+            s1[0]
+        );
     }
 
     #[test]
@@ -288,7 +310,10 @@ mod tests {
         let old2 = new.clone();
         let mut new2 = vec![0.0; 12];
         let s2 = m.stress(&eps2, &old2, &mut new2, 1.0, 3.0);
-        assert!(s2[0] > 1.4 * s_single[0] * 2.0 * 0.5, "second generation inactive");
+        assert!(
+            s2[0] > 1.4 * s_single[0] * 2.0 * 0.5,
+            "second generation inactive"
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl Viscoelastic {
         for t in &terms {
             assert!(t.g >= 0.0 && t.tau > 0.0, "invalid prony term {t:?}");
         }
-        Viscoelastic { d: isotropic_tangent(e, nu), g_inf: 1.0 - gsum, terms }
+        Viscoelastic {
+            d: isotropic_tangent(e, nu),
+            g_inf: 1.0 - gsum,
+            terms,
+        }
     }
 
     /// Number of Prony branches.
@@ -77,7 +81,11 @@ impl Material for Viscoelastic {
             let x = dt / term.tau;
             // Exponential (Herrmann-Peterson) recurrence, stable for any dt.
             let e = (-x).exp();
-            let h = if x > 1e-8 { (1.0 - e) / x } else { 1.0 - 0.5 * x };
+            let h = if x > 1e-8 {
+                (1.0 - e) / x
+            } else {
+                1.0 - 0.5 * x
+            };
             for i in 0..6 {
                 let q_old = old[off + i];
                 let q = e * q_old + term.g * h * (se[i] - se_old[i]);
@@ -97,7 +105,10 @@ mod tests {
         Viscoelastic::new(
             1000.0,
             0.3,
-            vec![PronyTerm { g: 0.3, tau: 1.0 }, PronyTerm { g: 0.2, tau: 10.0 }],
+            vec![
+                PronyTerm { g: 0.3, tau: 1.0 },
+                PronyTerm { g: 0.2, tau: 10.0 },
+            ],
         )
     }
 
@@ -111,7 +122,12 @@ mod tests {
         let s = m.stress(&eps, &old, &mut new, 1e-9, 0.0);
         let le = super::super::LinearElastic::new(1000.0, 0.3);
         let se = le.stress(&eps, &[], &mut [], 1.0, 0.0);
-        assert!((s[0] - se[0]).abs() < 1e-3 * se[0].abs(), "{} vs {}", s[0], se[0]);
+        assert!(
+            (s[0] - se[0]).abs() < 1e-3 * se[0].abs(),
+            "{} vs {}",
+            s[0],
+            se[0]
+        );
     }
 
     #[test]

@@ -65,7 +65,13 @@ impl Mesh {
             }
         }
         let n_elems = conn.len() / kind.nodes();
-        Ok(Mesh { kind, coords, conn, sets: HashMap::new(), regions: vec![0; n_elems] })
+        Ok(Mesh {
+            kind,
+            coords,
+            conn,
+            sets: HashMap::new(),
+            regions: vec![0; n_elems],
+        })
     }
 
     /// Structured box of `nx x ny x nz` hexahedra spanning `lx x ly x lz`,
@@ -75,7 +81,10 @@ impl Mesh {
     ///
     /// Panics if any count is zero.
     pub fn box_hex(nx: usize, ny: usize, nz: usize, lx: f64, ly: f64, lz: f64) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "element counts must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "element counts must be positive"
+        );
         let (px, py, pz) = (nx + 1, ny + 1, nz + 1);
         let node = |i: usize, j: usize, k: usize| -> u32 { (k * py * px + j * px + i) as u32 };
         let mut coords = Vec::with_capacity(px * py * pz);
@@ -358,7 +367,10 @@ mod tests {
         m.shuffle_nodes(42);
         let c1 = m.element_centroid(5);
         for a in 0..3 {
-            assert!((c0[a] - c1[a]).abs() < 1e-12, "centroid moved after relabel");
+            assert!(
+                (c0[a] - c1[a]).abs() < 1e-12,
+                "centroid moved after relabel"
+            );
         }
         assert_eq!(m.node_set("z1").unwrap().len(), set_len);
         for &n in m.node_set("z1").unwrap() {

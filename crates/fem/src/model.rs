@@ -120,7 +120,14 @@ impl FeModel {
         permeability: [f64; 3],
         storage: f64,
     ) -> Self {
-        Self::with_formulation(mesh, vec![material], Formulation::Poro { permeability, storage })
+        Self::with_formulation(
+            mesh,
+            vec![material],
+            Formulation::Poro {
+                permeability,
+                storage,
+            },
+        )
     }
 
     /// Multiphasic model (biphasic + solute transport).
@@ -134,7 +141,11 @@ impl FeModel {
         Self::with_formulation(
             mesh,
             vec![material],
-            Formulation::Multiphasic { permeability, storage, diffusivity },
+            Formulation::Multiphasic {
+                permeability,
+                storage,
+                diffusivity,
+            },
         )
     }
 
@@ -144,7 +155,12 @@ impl FeModel {
         Self::with_formulation(
             mesh,
             vec![mat],
-            Formulation::Fluid { viscosity, penalty, density, steady },
+            Formulation::Fluid {
+                viscosity,
+                penalty,
+                density,
+                steady,
+            },
         )
     }
 
@@ -258,7 +274,9 @@ impl FeModel {
             set: set.into(),
             comp,
             value,
-            curve: LoadCurve::Ramp { t_end: self.steps as f64 * self.dt },
+            curve: LoadCurve::Ramp {
+                t_end: self.steps as f64 * self.dt,
+            },
         });
         self
     }
@@ -269,7 +287,9 @@ impl FeModel {
             set: set.into(),
             comp,
             value,
-            curve: LoadCurve::Ramp { t_end: self.steps as f64 * self.dt },
+            curve: LoadCurve::Ramp {
+                t_end: self.steps as f64 * self.dt,
+            },
         });
         self
     }
@@ -338,7 +358,11 @@ impl FeModel {
         let conn = Arc::new(self.mesh.connectivity().to_vec());
         let dominant_class = self.materials[0].class();
         let spin_base = ((self.mesh.num_elems() / 4 + 16) as f64
-            * self.materials.iter().map(|m| m.spin_imbalance()).fold(0.0, f64::max)
+            * self
+                .materials
+                .iter()
+                .map(|m| m.spin_imbalance())
+                .fold(0.0, f64::max)
             * self.spin_scale)
             .round() as usize;
 
@@ -377,7 +401,9 @@ impl FeModel {
                     material: dominant_class,
                     pattern: Arc::clone(&pattern),
                 });
-                log.record(KernelCall::OmpBarrier { spin_iters: spin_base });
+                log.record(KernelCall::OmpBarrier {
+                    spin_iters: spin_base,
+                });
                 log.record(KernelCall::AssembleResidual {
                     conn: Arc::clone(&conn),
                     nodes_per_elem: self.mesh.kind().nodes(),
@@ -385,7 +411,9 @@ impl FeModel {
                     gauss_points: gp_count,
                     material: dominant_class,
                 });
-                log.record(KernelCall::OmpBarrier { spin_iters: spin_base / 2 + 1 });
+                log.record(KernelCall::OmpBarrier {
+                    spin_iters: spin_base / 2 + 1,
+                });
 
                 // --- external forces ---
                 let mut rhs = vec![0.0f64; n_dofs];
@@ -428,7 +456,9 @@ impl FeModel {
                 }
                 constraints.sort_unstable_by_key(|&(d, _)| d);
                 constraints.dedup_by_key(|&mut (d, _)| d);
-                log.record(KernelCall::BcApply { n: constraints.len() });
+                log.record(KernelCall::BcApply {
+                    n: constraints.len(),
+                });
 
                 // --- convergence check on free dofs ---
                 let constrained: std::collections::HashSet<usize> =
@@ -440,8 +470,10 @@ impl FeModel {
                     .map(|(_, r)| r * r)
                     .sum::<f64>()
                     .sqrt();
-                let du_pending =
-                    constraints.iter().map(|&(_, v)| v.abs()).fold(0.0, f64::max);
+                let du_pending = constraints
+                    .iter()
+                    .map(|&(_, v)| v.abs())
+                    .fold(0.0, f64::max);
                 log.record(KernelCall::ConvergenceCheck { n: n_dofs });
                 final_res = rnorm;
                 let scale = 1.0 + f_ext_norm;
@@ -457,7 +489,9 @@ impl FeModel {
                 for (ui, di) in u.iter_mut().zip(&du) {
                     *ui += di;
                 }
-                log.record(KernelCall::MeshUpdate { n_nodes: self.mesh.num_nodes() });
+                log.record(KernelCall::MeshUpdate {
+                    n_nodes: self.mesh.num_nodes(),
+                });
             }
             if !converged {
                 all_converged = false;
@@ -514,8 +548,10 @@ impl FeModel {
                 let kernel = SolidKernel::new(self.mesh.kind());
                 for e in 0..self.mesh.num_elems() {
                     let nodes = self.mesh.element(e);
-                    let coords: Vec<[f64; 3]> =
-                        nodes.iter().map(|&n| self.mesh.coords()[n as usize]).collect();
+                    let coords: Vec<[f64; 3]> = nodes
+                        .iter()
+                        .map(|&n| self.mesh.coords()[n as usize])
+                        .collect();
                     let u_e: Vec<f64> = nodes
                         .iter()
                         .flat_map(|&n| (0..3).map(move |c| u[n as usize * 3 + c]))
@@ -523,8 +559,7 @@ impl FeModel {
                     let m = self.material_for(e);
                     let ssz = m.state_size();
                     let so = &states_old[state_offsets[e]..state_offsets[e] + gp_count * ssz];
-                    let sn =
-                        &mut states_new[state_offsets[e]..state_offsets[e] + gp_count * ssz];
+                    let sn = &mut states_new[state_offsets[e]..state_offsets[e] + gp_count * ssz];
                     let em = kernel.integrate(e, &coords, &u_e, m, so, sn, self.dt, t)?;
                     let dofs: Vec<usize> = nodes
                         .iter()
@@ -536,19 +571,27 @@ impl FeModel {
                     }
                 }
             }
-            Formulation::Poro { permeability, storage }
-            | Formulation::Multiphasic { permeability, storage, .. } => {
+            Formulation::Poro {
+                permeability,
+                storage,
+            }
+            | Formulation::Multiphasic {
+                permeability,
+                storage,
+                ..
+            } => {
                 let kernel = PoroKernel::new(self.mesh.kind(), *permeability, *storage);
-                let is_multi =
-                    matches!(self.formulation, Formulation::Multiphasic { .. });
+                let is_multi = matches!(self.formulation, Formulation::Multiphasic { .. });
                 let diffusivity = match &self.formulation {
                     Formulation::Multiphasic { diffusivity, .. } => *diffusivity,
                     _ => 0.0,
                 };
                 for e in 0..self.mesh.num_elems() {
                     let nodes = self.mesh.element(e);
-                    let coords: Vec<[f64; 3]> =
-                        nodes.iter().map(|&n| self.mesh.coords()[n as usize]).collect();
+                    let coords: Vec<[f64; 3]> = nodes
+                        .iter()
+                        .map(|&n| self.mesh.coords()[n as usize])
+                        .collect();
                     // Gather the u-p subset of the element vector.
                     let gather = |vec: &[f64]| -> Vec<f64> {
                         nodes
@@ -561,10 +604,8 @@ impl FeModel {
                     let m = self.material_for(e);
                     let ssz = m.state_size();
                     let so = &states_old[state_offsets[e]..state_offsets[e] + gp_count * ssz];
-                    let sn =
-                        &mut states_new[state_offsets[e]..state_offsets[e] + gp_count * ssz];
-                    let em =
-                        kernel.integrate(e, &coords, &u_e, &uo_e, m, so, sn, self.dt, t)?;
+                    let sn = &mut states_new[state_offsets[e]..state_offsets[e] + gp_count * ssz];
+                    let em = kernel.integrate(e, &coords, &u_e, &uo_e, m, so, sn, self.dt, t)?;
                     let dofs: Vec<usize> = nodes
                         .iter()
                         .flat_map(|&n| (0..4).map(move |c| n as usize * dpn + c))
@@ -578,18 +619,32 @@ impl FeModel {
                         // Euler with unit storage, plus a weak pressure
                         // coupling so the matrix stays fully coupled.
                         self.assemble_scalar_diffusion(
-                            assembler, f_int, u, u_old, e, npe, dpn, diffusivity,
+                            assembler,
+                            f_int,
+                            u,
+                            u_old,
+                            e,
+                            npe,
+                            dpn,
+                            diffusivity,
                         )?;
                     }
                 }
             }
-            Formulation::Fluid { viscosity, penalty, density, steady } => {
+            Formulation::Fluid {
+                viscosity,
+                penalty,
+                density,
+                steady,
+            } => {
                 let kernel =
                     FluidKernel::new(self.mesh.kind(), *viscosity, *penalty, *density, *steady);
                 for e in 0..self.mesh.num_elems() {
                     let nodes = self.mesh.element(e);
-                    let coords: Vec<[f64; 3]> =
-                        nodes.iter().map(|&n| self.mesh.coords()[n as usize]).collect();
+                    let coords: Vec<[f64; 3]> = nodes
+                        .iter()
+                        .map(|&n| self.mesh.coords()[n as usize])
+                        .collect();
                     let gather = |vec: &[f64]| -> Vec<f64> {
                         nodes
                             .iter()
@@ -628,8 +683,10 @@ impl FeModel {
         diffusivity: f64,
     ) -> Result<()> {
         let nodes = self.mesh.element(e);
-        let coords: Vec<[f64; 3]> =
-            nodes.iter().map(|&n| self.mesh.coords()[n as usize]).collect();
+        let coords: Vec<[f64; 3]> = nodes
+            .iter()
+            .map(|&n| self.mesh.coords()[n as usize])
+            .collect();
         let rule = rule_for(self.mesh.kind());
         let mut k = vec![0.0; npe * npe];
         let mut r = vec![0.0; npe];
@@ -661,8 +718,7 @@ impl FeModel {
                     for i in 0..3 {
                         perm += ga[i] * gb[i];
                     }
-                    k[a * npe + b] +=
-                        (geom.n[a] * geom.n[b] + self.dt * diffusivity * perm) * w;
+                    k[a * npe + b] += (geom.n[a] * geom.n[b] + self.dt * diffusivity * perm) * w;
                 }
             }
         }
@@ -687,9 +743,24 @@ mod tests {
         let mesh = Mesh::box_hex(2, 2, 2, 1.0, 1.0, 1.0);
         let mut model = FeModel::solid(mesh, Box::new(LinearElastic::new(1e3, 0.3)));
         // Kinematic constraints on every face normal displacement:
-        model.dirichlet.push(PrescribedBc { set: "z0".into(), comp: 2, value: 0.0, curve: LoadCurve::Step });
-        model.dirichlet.push(PrescribedBc { set: "x0".into(), comp: 0, value: 0.0, curve: LoadCurve::Step });
-        model.dirichlet.push(PrescribedBc { set: "y0".into(), comp: 1, value: 0.0, curve: LoadCurve::Step });
+        model.dirichlet.push(PrescribedBc {
+            set: "z0".into(),
+            comp: 2,
+            value: 0.0,
+            curve: LoadCurve::Step,
+        });
+        model.dirichlet.push(PrescribedBc {
+            set: "x0".into(),
+            comp: 0,
+            value: 0.0,
+            curve: LoadCurve::Step,
+        });
+        model.dirichlet.push(PrescribedBc {
+            set: "y0".into(),
+            comp: 1,
+            value: 0.0,
+            curve: LoadCurve::Step,
+        });
         model.prescribe_face("z1", 2, 0.1);
         model.set_strict(true);
         let report = model.solve().unwrap();
@@ -698,7 +769,11 @@ mod tests {
         let mesh = model.mesh();
         for (n, c) in mesh.coords().iter().enumerate() {
             let uz = report.solution[n * 3 + 2];
-            assert!((uz - 0.1 * c[2]).abs() < 1e-8, "node {n}: uz {uz} vs {}", 0.1 * c[2]);
+            assert!(
+                (uz - 0.1 * c[2]).abs() < 1e-8,
+                "node {n}: uz {uz} vs {}",
+                0.1 * c[2]
+            );
         }
     }
 
@@ -726,7 +801,7 @@ mod tests {
         model.fix_face("z0");
         model.prescribe_face("z1", 2, 0.01);
         let report = model.solve().unwrap();
-        let has = |f: &dyn Fn(&KernelCall) -> bool| report.log.calls().iter().any(|c| f(c));
+        let has = |f: &dyn Fn(&KernelCall) -> bool| report.log.calls().iter().any(f);
         assert!(has(&|c| matches!(c, KernelCall::AssembleStiffness { .. })));
         assert!(has(&|c| matches!(c, KernelCall::LdlFactor { .. })));
         assert!(has(&|c| matches!(c, KernelCall::OmpBarrier { .. })));
@@ -746,7 +821,12 @@ mod tests {
         );
         model.fix_face("z0");
         // Drained top surface: p = 0.
-        model.dirichlet.push(PrescribedBc { set: "z1".into(), comp: 3, value: 0.0, curve: LoadCurve::Step });
+        model.dirichlet.push(PrescribedBc {
+            set: "z1".into(),
+            comp: 3,
+            value: 0.0,
+            curve: LoadCurve::Step,
+        });
         // Compressive load on top.
         model.add_load("z1", 2, -10.0);
         model.set_stepping(6, 0.05);
@@ -827,9 +907,19 @@ mod tests {
             2.0,
         );
         model.fix_face("z0");
-        model.dirichlet.push(PrescribedBc { set: "z1".into(), comp: 3, value: 0.0, curve: LoadCurve::Step });
+        model.dirichlet.push(PrescribedBc {
+            set: "z1".into(),
+            comp: 3,
+            value: 0.0,
+            curve: LoadCurve::Step,
+        });
         // Concentration source on one face.
-        model.dirichlet.push(PrescribedBc { set: "x0".into(), comp: 4, value: 1.0, curve: LoadCurve::Step });
+        model.dirichlet.push(PrescribedBc {
+            set: "x0".into(),
+            comp: 4,
+            value: 1.0,
+            curve: LoadCurve::Step,
+        });
         model.add_load("z1", 2, -5.0);
         model.set_stepping(5, 0.1);
         let report = model.solve().unwrap();
@@ -858,15 +948,15 @@ mod tests {
         model.prescribe_face("z1", 2, 0.2);
         model.set_newton(1, 1e-12);
         model.set_strict(true);
-        assert!(matches!(model.solve(), Err(FemError::NewtonDiverged { .. })));
+        assert!(matches!(
+            model.solve(),
+            Err(FemError::NewtonDiverged { .. })
+        ));
     }
 
     #[test]
     fn skyline_and_cg_solvers_work_end_to_end() {
-        for solver in [
-            LinearSolver::Skyline,
-            LinearSolver::Cg(PrecondKind::Ilu0),
-        ] {
+        for solver in [LinearSolver::Skyline, LinearSolver::Cg(PrecondKind::Ilu0)] {
             let mesh = Mesh::box_hex(2, 2, 2, 1.0, 1.0, 1.0);
             let mut model = FeModel::solid(mesh, Box::new(LinearElastic::new(1e3, 0.3)));
             model.fix_face("z0");

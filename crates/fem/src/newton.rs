@@ -4,12 +4,12 @@
 //! same choice exists here, and every solve records the kernels it ran so
 //! the trace layer can replay them.
 
+use belenos_sparse::reorder::{rcm, Permutation};
 use belenos_sparse::solver::cg::{self, CgOptions};
 use belenos_sparse::solver::fgmres::{self, FgmresOptions};
 use belenos_sparse::solver::ldl::{LdlFactor, SymbolicLdl};
 use belenos_sparse::solver::precond::{Ilu0Precond, JacobiPrecond};
 use belenos_sparse::solver::skyline::SkylineMatrix;
-use belenos_sparse::reorder::{rcm, Permutation};
 use belenos_sparse::CsrMatrix;
 use belenos_trace::{KernelCall, PhaseLog, PrecondClass};
 use std::sync::Arc;
@@ -105,9 +105,15 @@ pub fn solve_linear(
                 ));
             }
             let (cp, ri) = cache.ldl_structure.as_ref().expect("just set");
-            log.record(KernelCall::LdlFactor { col_ptr: Arc::clone(cp), row_idx: Arc::clone(ri) });
+            log.record(KernelCall::LdlFactor {
+                col_ptr: Arc::clone(cp),
+                row_idx: Arc::clone(ri),
+            });
             let y = factor.solve(&pb)?;
-            log.record(KernelCall::LdlSolve { col_ptr: Arc::clone(cp), row_idx: Arc::clone(ri) });
+            log.record(KernelCall::LdlSolve {
+                col_ptr: Arc::clone(cp),
+                row_idx: Arc::clone(ri),
+            });
             Ok(perm.apply_inv_vec(&y))
         }
         LinearSolver::Skyline => {
@@ -122,14 +128,21 @@ pub fn solve_linear(
                 cache.skyline_heights = Some(Arc::new(sky.heights().to_vec()));
             }
             let h = cache.skyline_heights.as_ref().expect("just set");
-            log.record(KernelCall::SkylineFactor { heights: Arc::clone(h) });
+            log.record(KernelCall::SkylineFactor {
+                heights: Arc::clone(h),
+            });
             let factor = sky.factorize()?;
             let y = factor.solve(&pb)?;
-            log.record(KernelCall::SkylineSolve { heights: Arc::clone(h) });
+            log.record(KernelCall::SkylineSolve {
+                heights: Arc::clone(h),
+            });
             Ok(perm.apply_inv_vec(&y))
         }
         LinearSolver::Cg(pk) => {
-            let opts = CgOptions { tol: 1e-9, max_iter: 4 * matrix.nrows().max(100) };
+            let opts = CgOptions {
+                tol: 1e-9,
+                max_iter: 4 * matrix.nrows().max(100),
+            };
             let sol = match pk {
                 PrecondKind::None => cg::solve(matrix, rhs, &opts)?,
                 PrecondKind::Jacobi => {
@@ -149,7 +162,11 @@ pub fn solve_linear(
             Ok(sol.x)
         }
         LinearSolver::Fgmres(pk) => {
-            let opts = FgmresOptions { tol: 1e-9, restart: 30, max_outer: 60 };
+            let opts = FgmresOptions {
+                tol: 1e-9,
+                restart: 30,
+                max_outer: 60,
+            };
             let sol = match pk {
                 PrecondKind::None => fgmres::solve(matrix, rhs, &opts)?,
                 PrecondKind::Jacobi => {
@@ -219,9 +236,17 @@ mod tests {
         let mut log = PhaseLog::new();
         solve_linear(LinearSolver::Ldl, &a, &b, &mut cache, &mut log).unwrap();
         assert!(cache.symbolic.is_some());
-        let before = cache.ldl_structure.as_ref().map(|(c, _)| Arc::as_ptr(c)).unwrap();
+        let before = cache
+            .ldl_structure
+            .as_ref()
+            .map(|(c, _)| Arc::as_ptr(c))
+            .unwrap();
         solve_linear(LinearSolver::Ldl, &a, &b, &mut cache, &mut log).unwrap();
-        let after = cache.ldl_structure.as_ref().map(|(c, _)| Arc::as_ptr(c)).unwrap();
+        let after = cache
+            .ldl_structure
+            .as_ref()
+            .map(|(c, _)| Arc::as_ptr(c))
+            .unwrap();
         assert_eq!(before, after, "factor structure must be cached");
         assert_eq!(log.len(), 4); // factor + solve, twice
     }
@@ -232,7 +257,14 @@ mod tests {
         let b = vec![1.0; 8];
         let mut cache = SolverCache::new();
         let mut log = PhaseLog::new();
-        solve_linear(LinearSolver::Cg(PrecondKind::None), &a, &b, &mut cache, &mut log).unwrap();
+        solve_linear(
+            LinearSolver::Cg(PrecondKind::None),
+            &a,
+            &b,
+            &mut cache,
+            &mut log,
+        )
+        .unwrap();
         assert!(matches!(log.calls()[0], KernelCall::CgSolve { .. }));
     }
 }

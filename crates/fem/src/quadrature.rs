@@ -27,7 +27,10 @@ pub fn hex8_2x2x2() -> Vec<GaussPoint> {
     for &z in &[-g, g] {
         for &y in &[-g, g] {
             for &x in &[-g, g] {
-                pts.push(GaussPoint { xi: [x, y, z], w: 1.0 });
+                pts.push(GaussPoint {
+                    xi: [x, y, z],
+                    w: 1.0,
+                });
             }
         }
     }
@@ -36,7 +39,10 @@ pub fn hex8_2x2x2() -> Vec<GaussPoint> {
 
 /// Single-point rule at the hex centroid (reduced integration).
 pub fn hex8_1pt() -> Vec<GaussPoint> {
-    vec![GaussPoint { xi: [0.0, 0.0, 0.0], w: 8.0 }]
+    vec![GaussPoint {
+        xi: [0.0, 0.0, 0.0],
+        w: 8.0,
+    }]
 }
 
 /// 4-point rule on the reference tetrahedron (degree-2 exact).
@@ -54,7 +60,10 @@ pub fn tet4_4pt() -> Vec<GaussPoint> {
 
 /// Single-point centroid rule on the reference tetrahedron.
 pub fn tet4_1pt() -> Vec<GaussPoint> {
-    vec![GaussPoint { xi: [0.25, 0.25, 0.25], w: 1.0 / 6.0 }]
+    vec![GaussPoint {
+        xi: [0.25, 0.25, 0.25],
+        w: 1.0 / 6.0,
+    }]
 }
 
 #[cfg(test)]

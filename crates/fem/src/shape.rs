@@ -40,7 +40,11 @@ pub fn hex8(xi: [f64; 3]) -> ShapeEval {
         let fy = 1.0 + s[1] * xi[1];
         let fz = 1.0 + s[2] * xi[2];
         n.push(0.125 * fx * fy * fz);
-        dn.push([0.125 * s[0] * fy * fz, 0.125 * fx * s[1] * fz, 0.125 * fx * fy * s[2]]);
+        dn.push([
+            0.125 * s[0] * fy * fz,
+            0.125 * fx * s[1] * fz,
+            0.125 * fx * fy * s[2],
+        ]);
     }
     ShapeEval { n, dn }
 }

@@ -52,7 +52,7 @@ proptest! {
         let coords: Vec<[f64; 3]> =
             mesh.element(0).iter().map(|&n| mesh.coords()[n as usize]).collect();
         let em = kern
-            .integrate(0, &coords, &vec![0.0; 24], &mat, &[], &mut [], 1.0, 0.0)
+            .integrate(0, &coords, &[0.0; 24], &mat, &[], &mut [], 1.0, 0.0)
             .unwrap();
         let t: Vec<f64> = (0..8).flat_map(|_| [tx, ty, tz]).collect();
         let scale = e_mod; // tolerance relative to stiffness magnitude

@@ -61,7 +61,10 @@ pub struct HotspotProfile {
 impl HotspotProfile {
     /// Builds the profile from simulator slot attribution.
     pub fn from_stats(name: &str, stats: &SimStats) -> Self {
-        HotspotProfile { name: name.to_string(), fractions: stats.category_fractions() }
+        HotspotProfile {
+            name: name.to_string(),
+            fractions: stats.category_fractions(),
+        }
     }
 
     /// Dot color per category.
@@ -75,7 +78,10 @@ impl HotspotProfile {
 
     /// Fraction for a specific category.
     pub fn fraction(&self, cat: FnCategory) -> f64 {
-        let idx = FnCategory::ALL.iter().position(|&c| c == cat).expect("exhaustive");
+        let idx = FnCategory::ALL
+            .iter()
+            .position(|&c| c == cat)
+            .expect("exhaustive");
         self.fractions[idx]
     }
 
@@ -122,7 +128,10 @@ mod tests {
 
     #[test]
     fn fractions_sum_to_one_when_nonempty() {
-        let stats = SimStats { slots_by_category: [1, 2, 3, 4, 5, 6], ..SimStats::default() };
+        let stats = SimStats {
+            slots_by_category: [1, 2, 3, 4, 5, 6],
+            ..SimStats::default()
+        };
         let p = HotspotProfile::from_stats("x", &stats);
         assert!((p.fractions.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }

@@ -1,0 +1,426 @@
+//! Content-addressed simulation-result cache.
+//!
+//! Results are keyed by [`CacheKey`] — workload identity, trace
+//! fingerprint, [`CoreConfig::stable_digest`] and the micro-op budget —
+//! so any two jobs that would replay the exact same simulation share one
+//! entry, no matter which sweep or figure submitted them. The cache is
+//! in-memory (shared, thread-safe) with an optional on-disk tier
+//! (`BELENOS_CACHE_DIR`) that survives across processes.
+
+use belenos_uarch::{CoreConfig, Fnv64, SimStats};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Identity of one simulation: equal keys guarantee bit-identical stats.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Workload identifier.
+    pub workload: String,
+    /// Trace-content fingerprint (same id can carry different expansion
+    /// knobs across workload sets).
+    pub fingerprint: u64,
+    /// [`CoreConfig::stable_digest`] of the machine configuration.
+    pub config: u64,
+    /// Micro-op budget of the run.
+    pub max_ops: usize,
+}
+
+impl CacheKey {
+    /// Builds the key for (workload, fingerprint) under `config`/`max_ops`.
+    pub fn new(workload: &str, fingerprint: u64, config: &CoreConfig, max_ops: usize) -> Self {
+        CacheKey {
+            workload: workload.to_string(),
+            fingerprint,
+            config: config.stable_digest(),
+            max_ops,
+        }
+    }
+
+    /// Stable 64-bit content address (used as the on-disk file name).
+    pub fn address(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str("CacheKey-v1");
+        h.write_str(&self.workload);
+        h.write_u64(self.fingerprint);
+        h.write_u64(self.config);
+        h.write_usize(self.max_ops);
+        h.finish()
+    }
+}
+
+/// Counters describing cache effectiveness (process-lifetime totals).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that required a fresh simulation.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+struct CacheInner {
+    mem: Mutex<HashMap<CacheKey, SimStats>>,
+    disk: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+/// Thread-safe content-addressed result cache; cheap to clone (shared).
+#[derive(Clone)]
+pub struct Cache {
+    inner: Arc<CacheInner>,
+}
+
+impl Cache {
+    /// A fresh, in-memory-only cache (used by tests and isolated runs).
+    pub fn fresh() -> Self {
+        Cache {
+            inner: Arc::new(CacheInner {
+                mem: Mutex::new(HashMap::new()),
+                disk: None,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                inserts: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A fresh cache with an on-disk tier rooted at `dir`.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        let _ = std::fs::create_dir_all(&dir);
+        Cache {
+            inner: Arc::new(CacheInner {
+                mem: Mutex::new(HashMap::new()),
+                disk: Some(dir),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                inserts: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The process-wide shared cache. Reads `BELENOS_CACHE_DIR` once (at
+    /// first use) to decide whether an on-disk tier is attached.
+    pub fn global() -> Cache {
+        static GLOBAL: OnceLock<Cache> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| match std::env::var("BELENOS_CACHE_DIR") {
+                Ok(dir) if !dir.is_empty() => Cache::with_disk(dir),
+                _ => Cache::fresh(),
+            })
+            .clone()
+    }
+
+    /// Looks `key` up in memory, then on disk; counts a hit or miss.
+    pub fn lookup(&self, key: &CacheKey) -> Option<SimStats> {
+        if let Some(stats) = self.inner.mem.lock().unwrap().get(key).cloned() {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(stats);
+        }
+        if let Some(dir) = &self.inner.disk {
+            if let Some(stats) = read_stats(&entry_path(dir, key)) {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .mem
+                    .lock()
+                    .unwrap()
+                    .insert(key.clone(), stats.clone());
+                return Some(stats);
+            }
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a result under `key` (memory + disk tier if configured).
+    pub fn insert(&self, key: CacheKey, stats: &SimStats) {
+        if let Some(dir) = &self.inner.disk {
+            write_stats(&entry_path(dir, &key), stats);
+        }
+        self.inner.mem.lock().unwrap().insert(key, stats.clone());
+        self.inner.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of in-memory entries.
+    pub fn len(&self) -> usize {
+        self.inner.mem.lock().unwrap().len()
+    }
+
+    /// True when no entry is resident in memory.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit/miss/insert counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            inserts: self.inner.inserts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache")
+            .field("entries", &self.len())
+            .field("disk", &self.inner.disk)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn entry_path(dir: &Path, key: &CacheKey) -> PathBuf {
+    dir.join(format!("{}-{:016x}.stats", key.workload, key.address()))
+}
+
+// --- on-disk SimStats serialization ------------------------------------
+//
+// A tiny versioned `field=value` text format (no external dependencies).
+// Any parse mismatch — missing field, wrong version, stray value — makes
+// the lookup a miss, so format evolution is always safe.
+
+const FORMAT_HEADER: &str = "belenos-simstats-v1";
+
+fn stat_fields(s: &SimStats) -> Vec<(&'static str, u64)> {
+    vec![
+        ("freq_ghz_bits", s.freq_ghz.to_bits()),
+        ("cycles", s.cycles),
+        ("committed_ops", s.committed_ops),
+        ("squashed_ops", s.squashed_ops),
+        ("active_fetch_cycles", s.active_fetch_cycles),
+        ("icache_stall_cycles", s.icache_stall_cycles),
+        ("tlb_stall_cycles", s.tlb_stall_cycles),
+        ("squash_cycles", s.squash_cycles),
+        ("misc_stall_cycles", s.misc_stall_cycles),
+        ("exec_branches", s.exec_mix.branches),
+        ("exec_fp", s.exec_mix.fp),
+        ("exec_int", s.exec_mix.int),
+        ("exec_loads", s.exec_mix.loads),
+        ("exec_stores", s.exec_mix.stores),
+        ("exec_other", s.exec_mix.other),
+        ("commit_branches", s.commit_mix.branches),
+        ("commit_fp", s.commit_mix.fp),
+        ("commit_int", s.commit_mix.int),
+        ("commit_loads", s.commit_mix.loads),
+        ("commit_stores", s.commit_mix.stores),
+        ("commit_other", s.commit_mix.other),
+        ("branches", s.branches),
+        ("mispredicts", s.mispredicts),
+        ("btb_misses", s.btb_misses),
+        ("l1i_accesses", s.l1i_accesses),
+        ("l1i_misses", s.l1i_misses),
+        ("l1d_accesses", s.l1d_accesses),
+        ("l1d_misses", s.l1d_misses),
+        ("l2_accesses", s.l2_accesses),
+        ("l2_misses", s.l2_misses),
+        ("dram_lines", s.dram_lines),
+        ("dtlb_misses", s.dtlb_misses),
+        ("slots_retiring", s.slots_retiring),
+        ("slots_bad_speculation", s.slots_bad_speculation),
+        ("slots_frontend", s.slots_frontend),
+        ("slots_backend", s.slots_backend),
+        ("slots_fe_latency", s.slots_fe_latency),
+        ("slots_fe_bandwidth", s.slots_fe_bandwidth),
+        ("slots_be_memory", s.slots_be_memory),
+        ("slots_be_core", s.slots_be_core),
+        ("cat0", s.slots_by_category[0]),
+        ("cat1", s.slots_by_category[1]),
+        ("cat2", s.slots_by_category[2]),
+        ("cat3", s.slots_by_category[3]),
+        ("cat4", s.slots_by_category[4]),
+        ("cat5", s.slots_by_category[5]),
+    ]
+}
+
+/// Serializes `stats` to the versioned text format.
+pub fn encode_stats(stats: &SimStats) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(FORMAT_HEADER);
+    out.push('\n');
+    for (name, value) in stat_fields(stats) {
+        out.push_str(name);
+        out.push('=');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text format back; `None` on any structural mismatch.
+pub fn decode_stats(text: &str) -> Option<SimStats> {
+    let mut lines = text.lines();
+    if lines.next()? != FORMAT_HEADER {
+        return None;
+    }
+    let mut values: HashMap<&str, u64> = HashMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once('=')?;
+        values.insert(name, value.parse().ok()?);
+    }
+    let mut stats = SimStats::default();
+    // Require every field so a truncated file never decodes.
+    {
+        let template = stat_fields(&stats);
+        if values.len() != template.len() {
+            return None;
+        }
+        for (name, _) in template {
+            if !values.contains_key(name) {
+                return None;
+            }
+        }
+    }
+    let get = |n: &str| values[n];
+    stats.freq_ghz = f64::from_bits(get("freq_ghz_bits"));
+    stats.cycles = get("cycles");
+    stats.committed_ops = get("committed_ops");
+    stats.squashed_ops = get("squashed_ops");
+    stats.active_fetch_cycles = get("active_fetch_cycles");
+    stats.icache_stall_cycles = get("icache_stall_cycles");
+    stats.tlb_stall_cycles = get("tlb_stall_cycles");
+    stats.squash_cycles = get("squash_cycles");
+    stats.misc_stall_cycles = get("misc_stall_cycles");
+    stats.exec_mix.branches = get("exec_branches");
+    stats.exec_mix.fp = get("exec_fp");
+    stats.exec_mix.int = get("exec_int");
+    stats.exec_mix.loads = get("exec_loads");
+    stats.exec_mix.stores = get("exec_stores");
+    stats.exec_mix.other = get("exec_other");
+    stats.commit_mix.branches = get("commit_branches");
+    stats.commit_mix.fp = get("commit_fp");
+    stats.commit_mix.int = get("commit_int");
+    stats.commit_mix.loads = get("commit_loads");
+    stats.commit_mix.stores = get("commit_stores");
+    stats.commit_mix.other = get("commit_other");
+    stats.branches = get("branches");
+    stats.mispredicts = get("mispredicts");
+    stats.btb_misses = get("btb_misses");
+    stats.l1i_accesses = get("l1i_accesses");
+    stats.l1i_misses = get("l1i_misses");
+    stats.l1d_accesses = get("l1d_accesses");
+    stats.l1d_misses = get("l1d_misses");
+    stats.l2_accesses = get("l2_accesses");
+    stats.l2_misses = get("l2_misses");
+    stats.dram_lines = get("dram_lines");
+    stats.dtlb_misses = get("dtlb_misses");
+    stats.slots_retiring = get("slots_retiring");
+    stats.slots_bad_speculation = get("slots_bad_speculation");
+    stats.slots_frontend = get("slots_frontend");
+    stats.slots_backend = get("slots_backend");
+    stats.slots_fe_latency = get("slots_fe_latency");
+    stats.slots_fe_bandwidth = get("slots_fe_bandwidth");
+    stats.slots_be_memory = get("slots_be_memory");
+    stats.slots_be_core = get("slots_be_core");
+    for i in 0..6 {
+        stats.slots_by_category[i] = get(&format!("cat{i}"));
+    }
+    Some(stats)
+}
+
+fn read_stats(path: &Path) -> Option<SimStats> {
+    decode_stats(&std::fs::read_to_string(path).ok()?)
+}
+
+fn write_stats(path: &Path, stats: &SimStats) {
+    // Write-then-rename so concurrent readers never observe a torn file;
+    // cache writes are best-effort and failures simply forfeit the entry.
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    if std::fs::write(&tmp, encode_stats(stats)).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> SimStats {
+        SimStats {
+            freq_ghz: 3.0,
+            cycles: 12345,
+            committed_ops: 6789,
+            branches: 42,
+            slots_by_category: [1, 2, 3, 4, 5, 6],
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = sample_stats();
+        let decoded = decode_stats(&encode_stats(&s)).expect("roundtrip");
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let text = encode_stats(&sample_stats());
+        assert!(decode_stats("garbage").is_none());
+        assert!(decode_stats(&text.replace("cycles=12345", "cycles=abc")).is_none());
+        // Truncated payload (header kept) must not decode.
+        let truncated: String = text.lines().take(10).map(|l| format!("{l}\n")).collect();
+        assert!(decode_stats(&truncated).is_none());
+    }
+
+    #[test]
+    fn memory_cache_hits_and_counts() {
+        let cache = Cache::fresh();
+        let key = CacheKey::new("wl", 7, &CoreConfig::gem5_baseline(), 1000);
+        assert!(cache.lookup(&key).is_none());
+        cache.insert(key.clone(), &sample_stats());
+        assert_eq!(cache.lookup(&key).unwrap(), sample_stats());
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn disk_tier_survives_memory_loss() {
+        let dir = std::env::temp_dir().join(format!("belenos-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey::new("wl", 7, &CoreConfig::gem5_baseline(), 1000);
+        {
+            let cache = Cache::with_disk(&dir);
+            cache.insert(key.clone(), &sample_stats());
+        }
+        // New cache instance: memory gone, disk tier answers.
+        let cache = Cache::with_disk(&dir);
+        assert_eq!(cache.lookup(&key).unwrap(), sample_stats());
+        assert_eq!(cache.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_separate_by_every_component() {
+        let base = CacheKey::new("wl", 7, &CoreConfig::gem5_baseline(), 1000);
+        let other_wl = CacheKey::new("other", 7, &CoreConfig::gem5_baseline(), 1000);
+        let other_fp = CacheKey::new("wl", 8, &CoreConfig::gem5_baseline(), 1000);
+        let other_cfg = CacheKey::new(
+            "wl",
+            7,
+            &CoreConfig::gem5_baseline().with_frequency(1.0),
+            1000,
+        );
+        let other_ops = CacheKey::new("wl", 7, &CoreConfig::gem5_baseline(), 2000);
+        for k in [&other_wl, &other_fp, &other_cfg, &other_ops] {
+            assert_ne!(*k, base);
+            assert_ne!(k.address(), base.address());
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! # belenos-runner
+//!
+//! Parallel batch-execution engine for the Belenos sensitivity campaigns.
+//!
+//! The paper's evaluation is a large grid of (workload × hardware-config)
+//! simulations: Figs. 8–12 alone sweep frequency, cache sizes, pipeline
+//! width, LSQ depth and branch predictors over every workload, and many
+//! of those grids share points (every sweep contains the Table II
+//! baseline). This crate turns that grid into a scheduled batch job:
+//!
+//! 1. callers describe work as a [`RunPlan`] of [`JobSpec`]s — a workload
+//!    index, a human label, a [`CoreConfig`] and a micro-op budget;
+//! 2. [`Runner::run`] deduplicates jobs by content ([`CacheKey`]),
+//!    consults the process-wide content-addressed result [`Cache`]
+//!    (optionally disk-backed via `BELENOS_CACHE_DIR`), and schedules the
+//!    remaining unique simulations across a `std::thread` worker pool
+//!    sized by `BELENOS_JOBS` (default: available parallelism);
+//! 3. progress and ETA stream to stderr, and a [`RunSummary`] reports the
+//!    cache-hit and dedup counters.
+//!
+//! Each simulation is deterministic and self-contained, so parallel
+//! execution is **bit-identical** to serial execution — the engine only
+//! changes wall-clock time, never results. Results always come back in
+//! plan order.
+//!
+//! Anything simulatable can be batched by implementing [`Simulate`];
+//! `belenos::Experiment` is the canonical implementation.
+//!
+//! ```
+//! use belenos_runner::{JobSpec, RunPlan, Runner, Simulate};
+//! use belenos_uarch::{CoreConfig, O3Core, SimStats};
+//!
+//! struct Synthetic;
+//! impl Simulate for Synthetic {
+//!     fn workload_id(&self) -> &str { "synthetic" }
+//!     fn simulate(&self, cfg: &CoreConfig, max_ops: usize) -> SimStats {
+//!         use belenos_trace::{expand::Expander, KernelCall, PhaseLog};
+//!         let mut log = PhaseLog::new();
+//!         log.record(KernelCall::Dot { n: 64 });
+//!         O3Core::new(cfg.clone()).run(Expander::new(&log).take(max_ops))
+//!     }
+//! }
+//!
+//! let mut plan = RunPlan::new();
+//! for f in [1.0, 2.0, 3.0] {
+//!     plan.push(JobSpec::new(
+//!         0,
+//!         format!("{f}GHz"),
+//!         CoreConfig::gem5_baseline().with_frequency(f),
+//!         10_000,
+//!     ));
+//! }
+//! let results = Runner::isolated(2).run(&[Synthetic], &plan);
+//! assert_eq!(results.len(), 3);
+//! assert_eq!(results[0].label, "1GHz");
+//! ```
+
+pub mod cache;
+
+pub use cache::{Cache, CacheKey, CacheStats};
+
+use belenos_uarch::{CoreConfig, SimStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A batchable simulation source.
+///
+/// Implementations must be deterministic: calling [`Simulate::simulate`]
+/// twice with equal arguments must return identical statistics, and two
+/// instances with equal ([`workload_id`](Simulate::workload_id),
+/// [`fingerprint`](Simulate::fingerprint)) must replay identically. The
+/// runner relies on this for both result caching and parallel/serial
+/// equivalence.
+pub trait Simulate: Sync {
+    /// Workload identifier (cache-key component, shown in progress).
+    fn workload_id(&self) -> &str;
+
+    /// Stable fingerprint of the trace content behind this workload.
+    ///
+    /// Distinguishes same-id workloads whose traces differ (e.g. the same
+    /// model expanded with different code-footprint knobs in different
+    /// workload sets). The default suits sources whose id is already
+    /// unique.
+    fn fingerprint(&self) -> u64 {
+        0
+    }
+
+    /// Runs the simulation under `config` with at most `max_ops` ops.
+    fn simulate(&self, config: &CoreConfig, max_ops: usize) -> SimStats;
+}
+
+/// One simulation job: which workload, under which machine, how long.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Index into the workload slice given to [`Runner::run`].
+    pub workload: usize,
+    /// Human-readable label for the swept value ("2GHz", "32kB", ...).
+    pub label: String,
+    /// Machine configuration to simulate under.
+    pub config: CoreConfig,
+    /// Micro-op budget (0 = unlimited).
+    pub max_ops: usize,
+}
+
+impl JobSpec {
+    /// Builds a job spec.
+    pub fn new(
+        workload: usize,
+        label: impl Into<String>,
+        config: CoreConfig,
+        max_ops: usize,
+    ) -> Self {
+        JobSpec {
+            workload,
+            label: label.into(),
+            config,
+            max_ops,
+        }
+    }
+}
+
+/// An ordered batch of jobs to submit to the [`Runner`].
+#[derive(Debug, Clone, Default)]
+pub struct RunPlan {
+    jobs: Vec<JobSpec>,
+}
+
+impl RunPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        RunPlan::default()
+    }
+
+    /// Appends a job.
+    pub fn push(&mut self, job: JobSpec) {
+        self.jobs.push(job);
+    }
+
+    /// Convenience: appends a job built in place.
+    pub fn job(
+        &mut self,
+        workload: usize,
+        label: impl Into<String>,
+        config: CoreConfig,
+        max_ops: usize,
+    ) -> &mut Self {
+        self.push(JobSpec::new(workload, label, config, max_ops));
+        self
+    }
+
+    /// Number of jobs in the plan.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the plan holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The planned jobs, in submission order.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+}
+
+/// Result of one job, in the same order the plan submitted it.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Workload identifier.
+    pub workload: String,
+    /// The job's label.
+    pub label: String,
+    /// Simulation statistics.
+    pub stats: SimStats,
+    /// True when the result was served from the cache (pre-existing
+    /// entry) or shared with an identical job in the same plan.
+    pub cached: bool,
+}
+
+/// Counters and timing for one [`Runner::run`] call.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Simulations actually executed by this run.
+    pub simulated: usize,
+    /// Jobs answered by pre-existing cache entries.
+    pub cache_hits: usize,
+    /// Jobs that shared a simulation with an identical job in this plan.
+    pub deduped: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the batch.
+    pub wall: Duration,
+    /// Plan indices of executed simulations, in the order workers picked
+    /// them up (`BELENOS_JOBS=1` makes this exactly the plan order).
+    pub execution_order: Vec<usize>,
+}
+
+impl std::fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "runner: {} job(s) -> {} simulated, {} cache hit(s), {} deduped \
+             on {} thread(s) in {:.2}s",
+            self.jobs,
+            self.simulated,
+            self.cache_hits,
+            self.deduped,
+            self.threads,
+            self.wall.as_secs_f64()
+        )
+    }
+}
+
+/// Worker-pool size from `BELENOS_JOBS`, defaulting to the machine's
+/// available parallelism.
+pub fn jobs_from_env() -> usize {
+    match std::env::var("BELENOS_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// The batch-execution engine: a worker pool in front of a result cache.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    threads: usize,
+    cache: Cache,
+    progress: bool,
+}
+
+impl Runner {
+    /// Engine configured from the environment (`BELENOS_JOBS` workers,
+    /// the process-wide shared cache, progress streaming on).
+    pub fn from_env() -> Self {
+        Runner {
+            threads: jobs_from_env(),
+            cache: Cache::global(),
+            progress: true,
+        }
+    }
+
+    /// Engine with an explicit worker count and cache (no progress noise).
+    pub fn new(threads: usize, cache: Cache) -> Self {
+        assert!(threads >= 1, "runner needs at least one worker");
+        Runner {
+            threads,
+            cache,
+            progress: false,
+        }
+    }
+
+    /// Engine with `threads` workers and a private fresh cache — runs are
+    /// isolated from (and invisible to) the rest of the process.
+    pub fn isolated(threads: usize) -> Self {
+        Runner::new(threads, Cache::fresh())
+    }
+
+    /// Enables/disables progress + summary streaming to stderr.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// The cache this runner consults.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Executes the plan against `workloads`; results come back in plan
+    /// order. See [`Runner::run_with_summary`] for the counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job's workload index is out of bounds.
+    pub fn run<W: Simulate>(&self, workloads: &[W], plan: &RunPlan) -> Vec<JobResult> {
+        self.run_with_summary(workloads, plan).0
+    }
+
+    /// Executes the plan and additionally returns the [`RunSummary`]
+    /// (cache-hit counter, dedup counter, execution order, wall time).
+    pub fn run_with_summary<W: Simulate>(
+        &self,
+        workloads: &[W],
+        plan: &RunPlan,
+    ) -> (Vec<JobResult>, RunSummary) {
+        let start = Instant::now();
+        let keys: Vec<CacheKey> = plan
+            .jobs()
+            .iter()
+            .map(|job| {
+                let w = workloads.get(job.workload).unwrap_or_else(|| {
+                    panic!(
+                        "job '{}' references workload index {} but only {} workload(s) were given",
+                        job.label,
+                        job.workload,
+                        workloads.len()
+                    )
+                });
+                CacheKey::new(w.workload_id(), w.fingerprint(), &job.config, job.max_ops)
+            })
+            .collect();
+
+        // Deduplicate: the first job with a given key represents it.
+        let mut representative: HashMap<&CacheKey, usize> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            representative.entry(key).or_insert(i);
+        }
+        let deduped = keys.len() - representative.len();
+
+        // Resolve pre-existing cache entries; the rest must simulate.
+        let mut resolved: HashMap<&CacheKey, SimStats> = HashMap::new();
+        let mut todo: Vec<usize> = Vec::new();
+        let mut cache_hits = 0usize;
+        for (&key, &idx) in &representative {
+            match self.cache.lookup(key) {
+                Some(stats) => {
+                    cache_hits += 1;
+                    resolved.insert(key, stats);
+                }
+                None => todo.push(idx),
+            }
+        }
+        // Workers pull in submission order (so one worker == serial order).
+        todo.sort_unstable();
+
+        let fresh = self.execute(workloads, plan, &keys, &todo, cache_hits, start);
+        for (idx, stats) in &fresh {
+            self.cache.insert(keys[*idx].clone(), stats);
+        }
+        let execution_order: Vec<usize> = fresh.iter().map(|&(idx, _)| idx).collect();
+        let simulated_here: std::collections::HashSet<usize> =
+            execution_order.iter().copied().collect();
+        for (idx, stats) in fresh {
+            resolved.insert(&keys[idx], stats);
+        }
+
+        let results: Vec<JobResult> = plan
+            .jobs()
+            .iter()
+            .enumerate()
+            .map(|(i, job)| JobResult {
+                workload: keys[i].workload.clone(),
+                label: job.label.clone(),
+                stats: resolved[&keys[i]].clone(),
+                cached: !simulated_here.contains(&i),
+            })
+            .collect();
+
+        let summary = RunSummary {
+            jobs: plan.len(),
+            simulated: execution_order.len(),
+            cache_hits,
+            deduped,
+            threads: self.threads,
+            wall: start.elapsed(),
+            execution_order,
+        };
+        if self.progress && summary.jobs > 0 {
+            eprintln!("{summary}");
+        }
+        (results, summary)
+    }
+
+    /// Runs the `todo` subset of plan jobs on the worker pool, returning
+    /// `(plan index, stats)` in the order workers started them.
+    fn execute<W: Simulate>(
+        &self,
+        workloads: &[W],
+        plan: &RunPlan,
+        keys: &[CacheKey],
+        todo: &[usize],
+        cache_hits: usize,
+        start: Instant,
+    ) -> Vec<(usize, SimStats)> {
+        if todo.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.threads.min(todo.len());
+        let cursor = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let out: Mutex<Vec<(usize, SimStats)>> = Mutex::new(Vec::with_capacity(todo.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let slot = cursor.fetch_add(1, Ordering::SeqCst);
+                    if slot >= todo.len() {
+                        break;
+                    }
+                    let idx = todo[slot];
+                    // Claim plan order up front so the execution-order log
+                    // reflects start order even if jobs finish out of order.
+                    let pos = {
+                        let mut guard = out.lock().unwrap();
+                        guard.push((idx, SimStats::default()));
+                        guard.len() - 1
+                    };
+                    let job = &plan.jobs()[idx];
+                    let stats = workloads[job.workload].simulate(&job.config, job.max_ops);
+                    out.lock().unwrap()[pos].1 = stats;
+                    let finished = done.fetch_add(1, Ordering::SeqCst) + 1;
+                    if self.progress {
+                        let elapsed = start.elapsed().as_secs_f64();
+                        let eta = elapsed / finished as f64 * (todo.len() - finished) as f64;
+                        eprintln!(
+                            "runner: {}/{} simulated (+{} cached) [{} {}] {:.1}s elapsed, eta {:.1}s",
+                            finished,
+                            todo.len(),
+                            cache_hits,
+                            keys[idx].workload,
+                            job.label,
+                            elapsed,
+                            eta,
+                        );
+                    }
+                });
+            }
+        });
+        out.into_inner().unwrap()
+    }
+}
+
+/// One-line process-lifetime summary of the shared cache (total lookups,
+/// hits, resident entries) — printed by the figure binaries after a
+/// campaign so shared-baseline reuse is visible.
+pub fn process_summary() -> String {
+    let cache = Cache::global();
+    let s = cache.stats();
+    format!(
+        "runner cache: {} lookup(s), {} hit(s), {} unique simulation(s) resident",
+        s.lookups(),
+        s.hits,
+        cache.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_and_accessors() {
+        let mut plan = RunPlan::new();
+        assert!(plan.is_empty());
+        plan.job(0, "a", CoreConfig::gem5_baseline(), 100).job(
+            1,
+            "b",
+            CoreConfig::host_like(),
+            100,
+        );
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.jobs()[1].label, "b");
+    }
+
+    #[test]
+    fn summary_display_mentions_counters() {
+        let s = RunSummary {
+            jobs: 10,
+            simulated: 4,
+            cache_hits: 5,
+            deduped: 1,
+            threads: 2,
+            wall: Duration::from_millis(1500),
+            execution_order: vec![0, 1, 2, 3],
+        };
+        let text = s.to_string();
+        assert!(text.contains("10 job(s)"));
+        assert!(text.contains("5 cache hit(s)"));
+        assert!(text.contains("1 deduped"));
+    }
+}

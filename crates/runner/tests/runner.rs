@@ -1,0 +1,198 @@
+//! Behavioural tests of the batch engine: parallel/serial equivalence,
+//! cache-hit short-circuiting, dedup, and serial-order degeneration.
+
+use belenos_runner::{Cache, JobSpec, RunPlan, Runner, Simulate};
+use belenos_trace::expand::Expander;
+use belenos_trace::{KernelCall, PhaseLog};
+use belenos_uarch::{CoreConfig, O3Core, SimStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A small but real workload: a fixed kernel log replayed on the O3 core,
+/// with a counter tracking how many simulations actually execute.
+struct CountingWorkload {
+    id: String,
+    log: PhaseLog,
+    runs: AtomicUsize,
+}
+
+impl CountingWorkload {
+    fn new(id: &str) -> Self {
+        let mut log = PhaseLog::new();
+        for _ in 0..4 {
+            log.record(KernelCall::Dot { n: 500 });
+            log.record(KernelCall::Axpy { n: 500 });
+            log.record(KernelCall::OmpBarrier { spin_iters: 50 });
+        }
+        CountingWorkload {
+            id: id.to_string(),
+            log,
+            runs: AtomicUsize::new(0),
+        }
+    }
+
+    fn runs(&self) -> usize {
+        self.runs.load(Ordering::SeqCst)
+    }
+}
+
+impl Simulate for CountingWorkload {
+    fn workload_id(&self) -> &str {
+        &self.id
+    }
+
+    fn simulate(&self, config: &CoreConfig, max_ops: usize) -> SimStats {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        let mut core = O3Core::new(config.clone());
+        core.run(Expander::new(&self.log).take(max_ops))
+    }
+}
+
+fn freq_sweep_plan(workloads: usize) -> RunPlan {
+    let mut plan = RunPlan::new();
+    for w in 0..workloads {
+        for f in [1.0, 2.0, 3.0, 4.0] {
+            plan.push(JobSpec::new(
+                w,
+                format!("{f}GHz"),
+                CoreConfig::gem5_baseline().with_frequency(f),
+                5_000,
+            ));
+        }
+    }
+    plan
+}
+
+#[test]
+fn parallel_results_bit_identical_to_serial() {
+    let workloads = [CountingWorkload::new("wa"), CountingWorkload::new("wb")];
+    let plan = freq_sweep_plan(workloads.len());
+
+    let serial = Runner::isolated(1).run(&workloads, &plan);
+    let parallel = Runner::isolated(4).run(&workloads, &plan);
+
+    assert_eq!(serial.len(), plan.len());
+    assert_eq!(parallel.len(), plan.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.workload, p.workload);
+        assert_eq!(s.label, p.label);
+        assert_eq!(
+            s.stats, p.stats,
+            "{}/{} diverged across thread counts",
+            s.workload, s.label
+        );
+    }
+}
+
+#[test]
+fn cache_hit_returns_without_resimulating() {
+    let workloads = [CountingWorkload::new("wc")];
+    let plan = freq_sweep_plan(1);
+    let runner = Runner::isolated(2);
+
+    let (first, summary1) = runner.run_with_summary(&workloads, &plan);
+    assert_eq!(workloads[0].runs(), 4);
+    assert_eq!(summary1.simulated, 4);
+    assert_eq!(summary1.cache_hits, 0);
+    assert!(first.iter().all(|r| !r.cached));
+
+    let (second, summary2) = runner.run_with_summary(&workloads, &plan);
+    assert_eq!(workloads[0].runs(), 4, "cache hits must not re-simulate");
+    assert_eq!(summary2.simulated, 0);
+    assert_eq!(summary2.cache_hits, 4);
+    assert!(second.iter().all(|r| r.cached));
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
+#[test]
+fn duplicate_jobs_in_one_plan_share_a_simulation() {
+    let workloads = [CountingWorkload::new("wd")];
+    let mut plan = RunPlan::new();
+    for _ in 0..3 {
+        plan.push(JobSpec::new(0, "base", CoreConfig::gem5_baseline(), 5_000));
+    }
+    // Same machine, different label: labels are cosmetic, content decides.
+    plan.push(JobSpec::new(
+        0,
+        "3GHz",
+        CoreConfig::gem5_baseline().with_frequency(3.0),
+        5_000,
+    ));
+
+    let (results, summary) = Runner::isolated(4).run_with_summary(&workloads, &plan);
+    assert_eq!(workloads[0].runs(), 1, "identical jobs must simulate once");
+    assert_eq!(summary.simulated, 1);
+    assert_eq!(summary.deduped, 3);
+    assert_eq!(results.iter().filter(|r| r.cached).count(), 3);
+    assert!(results.windows(2).all(|w| w[0].stats == w[1].stats));
+    assert_eq!(results[3].label, "3GHz");
+}
+
+#[test]
+fn single_worker_degenerates_to_serial_submission_order() {
+    let workloads = [CountingWorkload::new("we"), CountingWorkload::new("wf")];
+    let plan = freq_sweep_plan(workloads.len());
+    let (_, summary) = Runner::isolated(1).run_with_summary(&workloads, &plan);
+    assert_eq!(summary.threads, 1);
+    assert_eq!(
+        summary.execution_order,
+        (0..plan.len()).collect::<Vec<_>>(),
+        "one worker must execute jobs exactly in submission order"
+    );
+}
+
+#[test]
+fn fingerprint_separates_same_id_workloads() {
+    struct Fingerprinted(CountingWorkload, u64);
+    impl Simulate for Fingerprinted {
+        fn workload_id(&self) -> &str {
+            self.0.workload_id()
+        }
+        fn fingerprint(&self) -> u64 {
+            self.1
+        }
+        fn simulate(&self, config: &CoreConfig, max_ops: usize) -> SimStats {
+            self.0.simulate(config, max_ops)
+        }
+    }
+
+    // Same id, different trace fingerprints — must NOT share cache slots.
+    let workloads = [
+        Fingerprinted(CountingWorkload::new("wg"), 1),
+        Fingerprinted(CountingWorkload::new("wg"), 2),
+    ];
+    let mut plan = RunPlan::new();
+    plan.job(0, "base", CoreConfig::gem5_baseline(), 5_000).job(
+        1,
+        "base",
+        CoreConfig::gem5_baseline(),
+        5_000,
+    );
+    let (_, summary) = Runner::isolated(2).run_with_summary(&workloads, &plan);
+    assert_eq!(summary.simulated, 2);
+    assert_eq!(summary.deduped, 0);
+}
+
+#[test]
+fn shared_cache_spans_runner_instances() {
+    let workloads = [CountingWorkload::new("wh")];
+    let plan = freq_sweep_plan(1);
+    let cache = Cache::fresh();
+    Runner::new(2, cache.clone()).run(&workloads, &plan);
+    let (_, summary) = Runner::new(4, cache).run_with_summary(&workloads, &plan);
+    assert_eq!(
+        summary.cache_hits, 4,
+        "a shared cache must serve later runners"
+    );
+    assert_eq!(workloads[0].runs(), 4);
+}
+
+#[test]
+#[should_panic(expected = "references workload index")]
+fn out_of_bounds_workload_index_panics_clearly() {
+    let workloads = [CountingWorkload::new("wi")];
+    let mut plan = RunPlan::new();
+    plan.job(5, "oops", CoreConfig::gem5_baseline(), 1_000);
+    Runner::isolated(1).run(&workloads, &plan);
+}

@@ -35,7 +35,13 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty `nrows x ncols` triplet accumulator.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates an accumulator with reserved capacity for `cap` triplets.

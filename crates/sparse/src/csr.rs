@@ -54,7 +54,10 @@ impl CsrMatrix {
                 pattern.nnz()
             )));
         }
-        Ok(CsrMatrix { pattern: Arc::new(pattern), vals })
+        Ok(CsrMatrix {
+            pattern: Arc::new(pattern),
+            vals,
+        })
     }
 
     /// Builds from parts that are already known to be valid (used by
@@ -70,7 +73,10 @@ impl CsrMatrix {
         debug_assert_eq!(*row_ptr.last().unwrap(), vals.len());
         let pattern =
             CsrPattern::new(nrows, ncols, row_ptr, col_idx).expect("internal CSR invariant");
-        CsrMatrix { pattern: Arc::new(pattern), vals }
+        CsrMatrix {
+            pattern: Arc::new(pattern),
+            vals,
+        }
     }
 
     /// A matrix sharing an existing pattern with fresh values.
@@ -301,7 +307,11 @@ impl CsrMatrix {
             )));
         }
         let ax = self.spmv(x)?;
-        Ok(ax.iter().zip(b).map(|(a, bi)| (bi - a).abs()).fold(0.0, f64::max))
+        Ok(ax
+            .iter()
+            .zip(b)
+            .map(|(a, bi)| (bi - a).abs())
+            .fold(0.0, f64::max))
     }
 
     /// Converts to a dense matrix (tests / tiny systems only).

@@ -33,7 +33,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a zero-filled `nrows x ncols` matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        DenseMatrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -193,7 +197,10 @@ impl DenseMatrix {
     /// Returns [`SparseError::NotSquare`] for non-square matrices.
     pub fn det(&self) -> Result<f64> {
         if self.nrows != self.ncols {
-            return Err(SparseError::NotSquare { nrows: self.nrows, ncols: self.ncols });
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
         }
         let n = self.nrows;
         match n {
@@ -246,7 +253,10 @@ impl DenseMatrix {
     /// [`SparseError::SingularPivot`] if the matrix is singular.
     pub fn inverse(&self) -> Result<DenseMatrix> {
         if self.nrows != self.ncols {
-            return Err(SparseError::NotSquare { nrows: self.nrows, ncols: self.ncols });
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
         }
         let n = self.nrows;
         let mut a = self.clone();
@@ -261,7 +271,10 @@ impl DenseMatrix {
                 }
             }
             if max < 1e-300 {
-                return Err(SparseError::SingularPivot { index: k, value: a[(k, k)] });
+                return Err(SparseError::SingularPivot {
+                    index: k,
+                    value: a[(k, k)],
+                });
             }
             if p != k {
                 a.swap_rows(p, k);
@@ -299,7 +312,10 @@ impl DenseMatrix {
     /// [`SparseError::SingularPivot`].
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         if self.nrows != self.ncols {
-            return Err(SparseError::NotSquare { nrows: self.nrows, ncols: self.ncols });
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
         }
         if b.len() != self.nrows {
             return Err(SparseError::DimensionMismatch(format!(
@@ -323,7 +339,10 @@ impl DenseMatrix {
                 }
             }
             if max < 1e-300 {
-                return Err(SparseError::SingularPivot { index: k, value: lu[(k, k)] });
+                return Err(SparseError::SingularPivot {
+                    index: k,
+                    value: lu[(k, k)],
+                });
             }
             if p != k {
                 lu.swap_rows(p, k);
@@ -465,11 +484,7 @@ mod tests {
 
     #[test]
     fn det3_and_lu_det_agree() {
-        let a = DenseMatrix::from_rows(&[
-            &[3.0, 1.0, 2.0],
-            &[-1.0, 4.0, 0.5],
-            &[2.5, -2.0, 1.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[3.0, 1.0, 2.0], &[-1.0, 4.0, 0.5], &[2.5, -2.0, 1.0]]);
         // Expand to 4x4 with a unit row/col so the LU path is taken.
         let mut b = DenseMatrix::identity(4);
         for i in 0..3 {
@@ -482,11 +497,7 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = DenseMatrix::from_rows(&[
-            &[4.0, 2.0, 0.5],
-            &[2.0, 5.0, 1.0],
-            &[0.5, 1.0, 3.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[4.0, 2.0, 0.5], &[2.0, 5.0, 1.0], &[0.5, 1.0, 3.0]]);
         let inv = a.inverse().unwrap();
         let prod = a.matmul(&inv).unwrap();
         let err = (&prod - &DenseMatrix::identity(3)).norm();
@@ -496,16 +507,15 @@ mod tests {
     #[test]
     fn inverse_of_singular_fails() {
         let s = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(s.inverse(), Err(SparseError::SingularPivot { .. })));
+        assert!(matches!(
+            s.inverse(),
+            Err(SparseError::SingularPivot { .. })
+        ));
     }
 
     #[test]
     fn solve_recovers_known_solution() {
-        let a = DenseMatrix::from_rows(&[
-            &[10.0, 1.0, 0.0],
-            &[1.0, 8.0, 2.0],
-            &[0.0, 2.0, 6.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[10.0, 1.0, 0.0], &[1.0, 8.0, 2.0], &[0.0, 2.0, 6.0]]);
         let x_true = vec![1.0, -2.0, 3.0];
         let b = a.matvec(&x_true).unwrap();
         let x = a.solve(&b).unwrap();

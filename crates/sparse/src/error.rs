@@ -10,7 +10,12 @@ pub enum SparseError {
     /// operation. Holds a human-readable description of the mismatch.
     DimensionMismatch(String),
     /// An index was outside the matrix bounds.
-    IndexOutOfBounds { row: usize, col: usize, nrows: usize, ncols: usize },
+    IndexOutOfBounds {
+        row: usize,
+        col: usize,
+        nrows: usize,
+        ncols: usize,
+    },
     /// Factorization hit a (numerically) zero or negative pivot.
     SingularPivot { index: usize, value: f64 },
     /// An iterative solver exhausted its iteration budget without meeting
@@ -29,14 +34,25 @@ impl fmt::Display for SparseError {
             SparseError::DimensionMismatch(msg) => {
                 write!(f, "dimension mismatch: {msg}")
             }
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
                 f,
                 "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
             ),
             SparseError::SingularPivot { index, value } => {
-                write!(f, "singular or indefinite pivot {value:.3e} at index {index}")
+                write!(
+                    f,
+                    "singular or indefinite pivot {value:.3e} at index {index}"
+                )
             }
-            SparseError::NotConverged { iterations, residual } => write!(
+            SparseError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "iterative solver failed to converge after {iterations} iterations \
                  (residual {residual:.3e})"
@@ -59,9 +75,15 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let e = SparseError::DimensionMismatch("3 vs 4".into());
         assert!(e.to_string().contains("dimension mismatch"));
-        let e = SparseError::SingularPivot { index: 7, value: 0.0 };
+        let e = SparseError::SingularPivot {
+            index: 7,
+            value: 0.0,
+        };
         assert!(e.to_string().contains("index 7"));
-        let e = SparseError::NotConverged { iterations: 10, residual: 1.0 };
+        let e = SparseError::NotConverged {
+            iterations: 10,
+            residual: 1.0,
+        };
         assert!(e.to_string().contains("10 iterations"));
     }
 

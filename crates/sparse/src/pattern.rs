@@ -38,12 +38,7 @@ impl CsrPattern {
     /// # Errors
     ///
     /// [`SparseError::InvalidInput`] when any invariant is violated.
-    pub fn new(
-        nrows: usize,
-        ncols: usize,
-        row_ptr: Vec<usize>,
-        col_idx: Vec<u32>,
-    ) -> Result<Self> {
+    pub fn new(nrows: usize, ncols: usize, row_ptr: Vec<usize>, col_idx: Vec<u32>) -> Result<Self> {
         if row_ptr.len() != nrows + 1 {
             return Err(SparseError::InvalidInput(format!(
                 "row_ptr length {} != nrows + 1 = {}",
@@ -63,7 +58,9 @@ impl CsrPattern {
         }
         for w in row_ptr.windows(2) {
             if w[1] < w[0] {
-                return Err(SparseError::InvalidInput("row_ptr must be non-decreasing".into()));
+                return Err(SparseError::InvalidInput(
+                    "row_ptr must be non-decreasing".into(),
+                ));
             }
         }
         for r in 0..nrows {
@@ -83,7 +80,12 @@ impl CsrPattern {
                 }
             }
         }
-        Ok(CsrPattern { nrows, ncols, row_ptr, col_idx })
+        Ok(CsrPattern {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+        })
     }
 
     /// Number of rows.

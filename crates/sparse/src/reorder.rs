@@ -42,7 +42,10 @@ impl Permutation {
     /// The identity permutation on `n` elements.
     pub fn identity(n: usize) -> Self {
         let perm: Vec<u32> = (0..n as u32).collect();
-        Permutation { inv: perm.clone(), perm }
+        Permutation {
+            inv: perm.clone(),
+            perm,
+        }
     }
 
     /// Length of the permutation.
@@ -97,7 +100,10 @@ impl Permutation {
     /// [`SparseError::NotSquare`] or [`SparseError::DimensionMismatch`].
     pub fn apply_matrix(&self, a: &CsrMatrix) -> Result<CsrMatrix> {
         if a.nrows() != a.ncols() {
-            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         if a.nrows() != self.len() {
             return Err(SparseError::DimensionMismatch(format!(
@@ -143,9 +149,7 @@ pub fn rcm(pattern: &CsrPattern) -> Permutation {
     let n = g.num_vertices();
     let mut visited = vec![false; n];
     let mut order: Vec<u32> = Vec::with_capacity(n);
-    while let Some(seed) =
-        (0..n).filter(|&v| !visited[v]).min_by_key(|&v| g.degree(v))
-    {
+    while let Some(seed) = (0..n).filter(|&v| !visited[v]).min_by_key(|&v| g.degree(v)) {
         let start = g.pseudo_peripheral(seed);
         let start = if visited[start] { seed } else { start };
         // Cuthill-McKee BFS with neighbors sorted by degree.
@@ -154,8 +158,12 @@ pub fn rcm(pattern: &CsrPattern) -> Permutation {
         queue.push_back(start as u32);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut nbrs: Vec<u32> =
-                g.neighbors(v as usize).iter().copied().filter(|&w| !visited[w as usize]).collect();
+            let mut nbrs: Vec<u32> = g
+                .neighbors(v as usize)
+                .iter()
+                .copied()
+                .filter(|&w| !visited[w as usize])
+                .collect();
             nbrs.sort_unstable_by_key(|&w| g.degree(w as usize));
             for w in nbrs {
                 visited[w as usize] = true;
@@ -165,6 +173,16 @@ pub fn rcm(pattern: &CsrPattern) -> Permutation {
     }
     order.reverse();
     Permutation::new(order).expect("CM traversal yields a permutation")
+}
+
+#[cfg(test)]
+impl Permutation {
+    /// Test helper: maps an old-space vector into new space
+    /// (`out[new] = v[old]` — same as [`Permutation::apply_vec`], named for
+    /// clarity at call sites in tests).
+    fn apply_inv_vec_newspace(&self, v: &[f64]) -> Vec<f64> {
+        self.apply_vec(v)
+    }
 }
 
 #[cfg(test)]
@@ -230,8 +248,7 @@ mod tests {
     fn rcm_restores_band_structure() {
         // Scramble a path graph; RCM should recover a small bandwidth.
         let n = 32;
-        let shuffle: Vec<u32> =
-            (0..n as u32).map(|i| (i * 17 + 5) % n as u32).collect();
+        let shuffle: Vec<u32> = (0..n as u32).map(|i| (i * 17 + 5) % n as u32).collect();
         let a = banded(n, &shuffle);
         let before = a.pattern().bandwidth();
         let p = rcm(a.pattern());
@@ -271,15 +288,5 @@ mod tests {
         for (u, v) in bpx.iter().zip(&pax) {
             assert!((u - v).abs() < 1e-12);
         }
-    }
-}
-
-#[cfg(test)]
-impl Permutation {
-    /// Test helper: maps an old-space vector into new space
-    /// (`out[new] = v[old]` — same as [`Permutation::apply_vec`], named for
-    /// clarity at call sites in tests).
-    fn apply_inv_vec_newspace(&self, v: &[f64]) -> Vec<f64> {
-        self.apply_vec(v)
     }
 }

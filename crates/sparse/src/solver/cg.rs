@@ -20,7 +20,10 @@ pub struct CgOptions {
 
 impl Default for CgOptions {
     fn default() -> Self {
-        CgOptions { tol: 1e-10, max_iter: 2000 }
+        CgOptions {
+            tol: 1e-10,
+            max_iter: 2000,
+        }
     }
 }
 
@@ -48,7 +51,10 @@ pub fn solve_preconditioned(
     opts: &CgOptions,
 ) -> Result<IterativeSolution> {
     if a.nrows() != a.ncols() {
-        return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
     }
     if b.len() != a.nrows() {
         return Err(SparseError::DimensionMismatch(format!(
@@ -61,7 +67,12 @@ pub fn solve_preconditioned(
     let n = a.nrows();
     let norm_b = dot(b, b).sqrt();
     if norm_b == 0.0 {
-        return Ok(IterativeSolution { x: vec![0.0; n], iterations: 0, residual: 0.0, converged: true });
+        return Ok(IterativeSolution {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        });
     }
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
@@ -75,14 +86,24 @@ pub fn solve_preconditioned(
         if pap <= 0.0 {
             // Matrix is not SPD along p; report the current state honestly.
             let res = dot(&r, &r).sqrt() / norm_b;
-            return Ok(IterativeSolution { x, iterations: it, residual: res, converged: false });
+            return Ok(IterativeSolution {
+                x,
+                iterations: it,
+                residual: res,
+                converged: false,
+            });
         }
         let alpha = rz / pap;
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &ap, &mut r);
         let res = dot(&r, &r).sqrt() / norm_b;
         if res < opts.tol {
-            return Ok(IterativeSolution { x, iterations: it + 1, residual: res, converged: true });
+            return Ok(IterativeSolution {
+                x,
+                iterations: it + 1,
+                residual: res,
+                converged: true,
+            });
         }
         z = m.apply(&r)?;
         let rz_new = dot(&r, &z);
@@ -93,7 +114,12 @@ pub fn solve_preconditioned(
         }
     }
     let res = dot(&r, &r).sqrt() / norm_b;
-    Ok(IterativeSolution { x, iterations: opts.max_iter, residual: res, converged: false })
+    Ok(IterativeSolution {
+        x,
+        iterations: opts.max_iter,
+        residual: res,
+        converged: false,
+    })
 }
 
 #[cfg(test)]
@@ -141,7 +167,7 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero_immediately() {
         let a = lap2d(4);
-        let sol = solve(&a, &vec![0.0; 16], &CgOptions::default()).unwrap();
+        let sol = solve(&a, &[0.0; 16], &CgOptions::default()).unwrap();
         assert!(sol.converged);
         assert_eq!(sol.iterations, 0);
         assert!(sol.x.iter().all(|&v| v == 0.0));
@@ -187,7 +213,15 @@ mod tests {
     fn iteration_budget_respected() {
         let a = lap2d(16);
         let b = vec![1.0; 256];
-        let sol = solve(&a, &b, &CgOptions { tol: 1e-14, max_iter: 3 }).unwrap();
+        let sol = solve(
+            &a,
+            &b,
+            &CgOptions {
+                tol: 1e-14,
+                max_iter: 3,
+            },
+        )
+        .unwrap();
         assert!(!sol.converged);
         assert_eq!(sol.iterations, 3);
     }

@@ -22,7 +22,11 @@ pub struct FgmresOptions {
 
 impl Default for FgmresOptions {
     fn default() -> Self {
-        FgmresOptions { tol: 1e-10, restart: 30, max_outer: 100 }
+        FgmresOptions {
+            tol: 1e-10,
+            restart: 30,
+            max_outer: 100,
+        }
     }
 }
 
@@ -53,7 +57,10 @@ pub fn solve_preconditioned(
     opts: &FgmresOptions,
 ) -> Result<IterativeSolution> {
     if a.nrows() != a.ncols() {
-        return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        return Err(SparseError::NotSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
     }
     if b.len() != a.nrows() {
         return Err(SparseError::DimensionMismatch(format!(
@@ -64,12 +71,19 @@ pub fn solve_preconditioned(
         )));
     }
     if opts.restart == 0 {
-        return Err(SparseError::InvalidInput("restart dimension must be > 0".into()));
+        return Err(SparseError::InvalidInput(
+            "restart dimension must be > 0".into(),
+        ));
     }
     let n = a.nrows();
     let norm_b = norm2(b);
     if norm_b == 0.0 {
-        return Ok(IterativeSolution { x: vec![0.0; n], iterations: 0, residual: 0.0, converged: true });
+        return Ok(IterativeSolution {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        });
     }
     let mrestart = opts.restart;
     let mut x = vec![0.0; n];
@@ -179,15 +193,30 @@ pub fn solve_preconditioned(
                 .sqrt()
                 / norm_b;
             if res < opts.tol * 10.0 {
-                return Ok(IterativeSolution { x, iterations: total_iters, residual: res, converged: true });
+                return Ok(IterativeSolution {
+                    x,
+                    iterations: total_iters,
+                    residual: res,
+                    converged: true,
+                });
             }
         }
     }
     let res = {
         let ax = a.spmv(&x)?;
-        ax.iter().zip(b).map(|(ai, bi)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt() / norm_b
+        ax.iter()
+            .zip(b)
+            .map(|(ai, bi)| (bi - ai) * (bi - ai))
+            .sum::<f64>()
+            .sqrt()
+            / norm_b
     };
-    Ok(IterativeSolution { x, iterations: total_iters, residual: res, converged: res < opts.tol })
+    Ok(IterativeSolution {
+        x,
+        iterations: total_iters,
+        residual: res,
+        converged: res < opts.tol,
+    })
 }
 
 #[cfg(test)]
@@ -228,7 +257,16 @@ mod tests {
     fn restart_smaller_than_dim_still_converges() {
         let a = convection_diffusion(40, 0.2);
         let b = vec![1.0; 40];
-        let sol = solve(&a, &b, &FgmresOptions { tol: 1e-9, restart: 5, max_outer: 200 }).unwrap();
+        let sol = solve(
+            &a,
+            &b,
+            &FgmresOptions {
+                tol: 1e-9,
+                restart: 5,
+                max_outer: 200,
+            },
+        )
+        .unwrap();
         assert!(sol.converged, "residual {}", sol.residual);
         assert!(a.residual_inf_norm(&sol.x, &b).unwrap() < 1e-6);
     }
@@ -252,7 +290,7 @@ mod tests {
     #[test]
     fn zero_rhs_short_circuits() {
         let a = convection_diffusion(10, 0.1);
-        let sol = solve(&a, &vec![0.0; 10], &FgmresOptions::default()).unwrap();
+        let sol = solve(&a, &[0.0; 10], &FgmresOptions::default()).unwrap();
         assert!(sol.converged);
         assert_eq!(sol.iterations, 0);
     }
@@ -260,7 +298,15 @@ mod tests {
     #[test]
     fn invalid_restart_rejected() {
         let a = convection_diffusion(4, 0.0);
-        let err = solve(&a, &[1.0; 4], &FgmresOptions { tol: 1e-8, restart: 0, max_outer: 1 });
+        let err = solve(
+            &a,
+            &[1.0; 4],
+            &FgmresOptions {
+                tol: 1e-8,
+                restart: 0,
+                max_outer: 1,
+            },
+        );
         assert!(err.is_err());
     }
 

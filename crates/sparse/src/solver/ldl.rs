@@ -31,7 +31,10 @@ impl SymbolicLdl {
     /// [`SparseError::NotSquare`] for rectangular input.
     pub fn analyze(a: &CsrMatrix) -> Result<Self> {
         if a.nrows() != a.ncols() {
-            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let n = a.nrows();
         let rp = a.pattern().row_ptr();
@@ -63,7 +66,12 @@ impl SymbolicLdl {
         for k in 0..n {
             lp[k + 1] = lp[k] + col_counts[k];
         }
-        Ok(SymbolicLdl { n, parent, col_counts, lp })
+        Ok(SymbolicLdl {
+            n,
+            parent,
+            col_counts,
+            lp,
+        })
     }
 
     /// Problem dimension.
@@ -193,7 +201,10 @@ impl LdlFactor {
                 lnz[i] += 1;
             }
             if d[k].abs() < 1e-300 {
-                return Err(SparseError::SingularPivot { index: k, value: d[k] });
+                return Err(SparseError::SingularPivot {
+                    index: k,
+                    value: d[k],
+                });
             }
         }
         Ok(LdlFactor { n, lp, li, lx, d })
@@ -341,7 +352,11 @@ mod tests {
     fn laplacian_has_fill() {
         let a = lap2d(6);
         let sym = SymbolicLdl::analyze(&a).unwrap();
-        assert!(sym.fill_ratio(&a) > 1.5, "fill ratio {}", sym.fill_ratio(&a));
+        assert!(
+            sym.fill_ratio(&a) > 1.5,
+            "fill ratio {}",
+            sym.fill_ratio(&a)
+        );
     }
 
     #[test]
@@ -388,7 +403,10 @@ mod tests {
         coo.push(1, 0, 1.0);
         coo.push(1, 1, 1.0);
         let a = coo.to_csr();
-        assert!(matches!(LdlFactor::new(&a), Err(SparseError::SingularPivot { .. })));
+        assert!(matches!(
+            LdlFactor::new(&a),
+            Err(SparseError::SingularPivot { .. })
+        ));
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl JacobiPrecond {
         let mut inv = Vec::with_capacity(diag.len());
         for (i, d) in diag.iter().enumerate() {
             if d.abs() < 1e-300 {
-                return Err(SparseError::SingularPivot { index: i, value: *d });
+                return Err(SparseError::SingularPivot {
+                    index: i,
+                    value: *d,
+                });
             }
             inv.push(1.0 / d);
         }
@@ -85,7 +88,10 @@ impl Preconditioner for JacobiPrecond {
                 r.len()
             )));
         }
-        Ok(r.iter().zip(&self.inv_diag).map(|(ri, di)| ri * di).collect())
+        Ok(r.iter()
+            .zip(&self.inv_diag)
+            .map(|(ri, di)| ri * di)
+            .collect())
     }
 
     fn dim(&self) -> usize {
@@ -113,7 +119,10 @@ impl Ilu0Precond {
     /// zero pivot appears during elimination.
     pub fn new(a: &CsrMatrix) -> Result<Self> {
         if a.nrows() != a.ncols() {
-            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let n = a.nrows();
         let mut lu = a.clone();
@@ -129,7 +138,10 @@ impl Ilu0Precond {
                 }
             }
             if diag_pos[i] == usize::MAX {
-                return Err(SparseError::SingularPivot { index: i, value: 0.0 });
+                return Err(SparseError::SingularPivot {
+                    index: i,
+                    value: 0.0,
+                });
             }
         }
         // IKJ Gaussian elimination restricted to the pattern.
@@ -146,7 +158,10 @@ impl Ilu0Precond {
                 }
                 let pivot = lu.values()[diag_pos[k]];
                 if pivot.abs() < 1e-300 {
-                    return Err(SparseError::SingularPivot { index: k, value: pivot });
+                    return Err(SparseError::SingularPivot {
+                        index: k,
+                        value: pivot,
+                    });
                 }
                 let factor = lu.values()[kk] / pivot;
                 lu.values_mut()[kk] = factor;
@@ -268,7 +283,10 @@ mod tests {
         coo.push(1, 0, 1.0);
         coo.push(1, 1, 0.0);
         let a = coo.to_csr();
-        assert!(matches!(JacobiPrecond::new(&a), Err(SparseError::SingularPivot { .. })));
+        assert!(matches!(
+            JacobiPrecond::new(&a),
+            Err(SparseError::SingularPivot { .. })
+        ));
     }
 
     #[test]
@@ -317,7 +335,12 @@ mod tests {
         // One preconditioned Richardson step must shrink the residual:
         // ‖b - A M⁻¹ b‖ < ‖b‖ (spectral radius of I - A M⁻¹ below 1).
         let az = a.spmv(&z).unwrap();
-        let res1: f64 = b.iter().zip(&az).map(|(bi, ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt();
+        let res1: f64 = b
+            .iter()
+            .zip(&az)
+            .map(|(bi, ai)| (bi - ai) * (bi - ai))
+            .sum::<f64>()
+            .sqrt();
         let res0: f64 = b.iter().map(|bi| bi * bi).sum::<f64>().sqrt();
         assert!(res1 < 0.6 * res0, "ilu0 not contracting: {res1} vs {res0}");
     }
@@ -327,7 +350,10 @@ mod tests {
         let mut coo = CooMatrix::new(2, 3);
         coo.push(0, 0, 1.0);
         let a = coo.to_csr();
-        assert!(matches!(Ilu0Precond::new(&a), Err(SparseError::NotSquare { .. })));
+        assert!(matches!(
+            Ilu0Precond::new(&a),
+            Err(SparseError::NotSquare { .. })
+        ));
     }
 
     #[test]

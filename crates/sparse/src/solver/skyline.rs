@@ -34,7 +34,10 @@ impl SkylineMatrix {
     /// [`SparseError::NotSquare`] for rectangular input.
     pub fn from_csr(a: &CsrMatrix) -> Result<Self> {
         if a.nrows() != a.ncols() {
-            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
         }
         let n = a.nrows();
         // Column height = j - min_row(j) + 1 over stored upper-triangle entries.
@@ -66,7 +69,12 @@ impl SkylineMatrix {
                 }
             }
         }
-        Ok(SkylineMatrix { n, col_ptr, heights, data })
+        Ok(SkylineMatrix {
+            n,
+            col_ptr,
+            heights,
+            data,
+        })
     }
 
     /// Problem dimension.
@@ -136,7 +144,10 @@ impl SkylineMatrix {
                 self.set_fact(r, j, lrj);
             }
             if djj.abs() < 1e-300 {
-                return Err(SparseError::SingularPivot { index: j, value: djj });
+                return Err(SparseError::SingularPivot {
+                    index: j,
+                    value: djj,
+                });
             }
             self.set_fact(j, j, djj);
         }
@@ -305,13 +316,22 @@ mod tests {
         let mut coo = CooMatrix::new(n, n);
         for i in 0..n {
             for j in 0..n {
-                let v = if i == j { n as f64 } else { 1.0 / (1.0 + (i as f64 - j as f64).abs()) };
+                let v = if i == j {
+                    n as f64
+                } else {
+                    1.0 / (1.0 + (i as f64 - j as f64).abs())
+                };
                 coo.push(i, j, v);
             }
         }
         let a = coo.to_csr();
         let b: Vec<f64> = (0..n).map(|i| (i as f64) - 3.0).collect();
-        let x_sky = SkylineMatrix::from_csr(&a).unwrap().factorize().unwrap().solve(&b).unwrap();
+        let x_sky = SkylineMatrix::from_csr(&a)
+            .unwrap()
+            .factorize()
+            .unwrap()
+            .solve(&b)
+            .unwrap();
         let x_lu = a.to_dense().solve(&b).unwrap();
         for (u, v) in x_sky.iter().zip(&x_lu) {
             assert!((u - v).abs() < 1e-9, "{u} vs {v}");

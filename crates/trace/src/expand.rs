@@ -32,7 +32,12 @@ pub struct ExpandConfig {
 
 impl Default for ExpandConfig {
     fn default() -> Self {
-        ExpandConfig { sample: 1, code_bloat: 1, spin_scale: 1.0, max_kernel_ops: 1_000_000 }
+        ExpandConfig {
+            sample: 1,
+            code_bloat: 1,
+            spin_scale: 1.0,
+            max_kernel_ops: 1_000_000,
+        }
     }
 }
 
@@ -255,7 +260,10 @@ impl<'a> Expander<'a> {
         if let Some(&b) = self.blas_bufs.get(&n) {
             return b;
         }
-        let b = (self.space.alloc_f64(n.max(1)), self.space.alloc_f64(n.max(1)));
+        let b = (
+            self.space.alloc_f64(n.max(1)),
+            self.space.alloc_f64(n.max(1)),
+        );
         self.blas_bufs.insert(n, b);
         b
     }
@@ -282,23 +290,47 @@ impl<'a> Expander<'a> {
                 gauss_points,
                 material,
                 pattern,
-            } => self.gen_assemble(&conn, nodes_per_elem, dofs_per_node, gauss_points, material, Some(&pattern)),
-            KernelCall::AssembleResidual { conn, nodes_per_elem, dofs_per_node, gauss_points, material } => {
-                self.gen_assemble(&conn, nodes_per_elem, dofs_per_node, gauss_points, material, None)
-            }
+            } => self.gen_assemble(
+                &conn,
+                nodes_per_elem,
+                dofs_per_node,
+                gauss_points,
+                material,
+                Some(&pattern),
+            ),
+            KernelCall::AssembleResidual {
+                conn,
+                nodes_per_elem,
+                dofs_per_node,
+                gauss_points,
+                material,
+            } => self.gen_assemble(
+                &conn,
+                nodes_per_elem,
+                dofs_per_node,
+                gauss_points,
+                material,
+                None,
+            ),
             KernelCall::LdlFactor { col_ptr, row_idx } => self.gen_ldl_factor(&col_ptr, &row_idx),
             KernelCall::LdlSolve { col_ptr, row_idx } => self.gen_ldl_solve(&col_ptr, &row_idx),
             KernelCall::SkylineFactor { heights } => self.gen_skyline(&heights, true),
             KernelCall::SkylineSolve { heights } => self.gen_skyline(&heights, false),
-            KernelCall::CgSolve { pattern, iterations, precond } => {
-                self.gen_cg(&pattern, iterations, precond)
-            }
-            KernelCall::FgmresSolve { pattern, iterations, restart, precond } => {
-                self.gen_fgmres(&pattern, iterations, restart, precond)
-            }
-            KernelCall::ConstitutiveUpdate { gauss_points, material } => {
-                self.gen_constitutive(gauss_points, material)
-            }
+            KernelCall::CgSolve {
+                pattern,
+                iterations,
+                precond,
+            } => self.gen_cg(&pattern, iterations, precond),
+            KernelCall::FgmresSolve {
+                pattern,
+                iterations,
+                restart,
+                precond,
+            } => self.gen_fgmres(&pattern, iterations, restart, precond),
+            KernelCall::ConstitutiveUpdate {
+                gauss_points,
+                material,
+            } => self.gen_constitutive(gauss_points, material),
             KernelCall::ContactSearch { outcomes } => self.gen_contact(&outcomes),
             KernelCall::OmpBarrier { spin_iters } => {
                 let spins = ((spin_iters as f64) * self.config.spin_scale).round() as usize;
@@ -348,7 +380,11 @@ impl<'a> Expander<'a> {
         while i < n {
             let la = self.push(MicroOp::load(pc, a.addr(i), 8, 0, cat), None, None);
             let lb = self.push(MicroOp::load(pc + 4, b.addr(i), 8, 0, cat), None, None);
-            let m = self.push(MicroOp::fp(OpKind::FpMul, pc + 8, 0, 0, cat), Some(la), Some(lb));
+            let m = self.push(
+                MicroOp::fp(OpKind::FpMul, pc + 8, 0, 0, cat),
+                Some(la),
+                Some(lb),
+            );
             let s = self.push(MicroOp::fp(OpKind::FpAdd, pc + 12, 0, 0, cat), Some(m), acc);
             acc = Some(s);
             let more = i + stride < n;
@@ -367,8 +403,16 @@ impl<'a> Expander<'a> {
         while i < n {
             let lx = self.push(MicroOp::load(pc, x.addr(i), 8, 0, cat), None, None);
             let ly = self.push(MicroOp::load(pc + 4, y.addr(i), 8, 0, cat), None, None);
-            let m = self.push(MicroOp::fp(OpKind::FpMul, pc + 8, 0, 0, cat), Some(lx), None);
-            let s = self.push(MicroOp::fp(OpKind::FpAdd, pc + 12, 0, 0, cat), Some(m), Some(ly));
+            let m = self.push(
+                MicroOp::fp(OpKind::FpMul, pc + 8, 0, 0, cat),
+                Some(lx),
+                None,
+            );
+            let s = self.push(
+                MicroOp::fp(OpKind::FpAdd, pc + 12, 0, 0, cat),
+                Some(m),
+                Some(ly),
+            );
             self.push(MicroOp::store(pc + 16, y.addr(i), 8, 0, cat), Some(s), None);
             let more = i + stride < n;
             let inc = self.push(MicroOp::int(pc + 20, 0, 0, cat), None, None);
@@ -417,7 +461,11 @@ impl<'a> Expander<'a> {
             );
             let cmp = self.push(MicroOp::int(pc + 8, 0, 0, cat), Some(rp0), Some(rp1));
             let row = p.row(r);
-            self.push(MicroOp::branch(pc + 12, pc + 64, row.is_empty(), 0, cat), Some(cmp), None);
+            self.push(
+                MicroOp::branch(pc + 12, pc + 64, row.is_empty(), 0, cat),
+                Some(cmp),
+                None,
+            );
             let base = p.row_ptr()[r];
             let mut acc: Option<usize> = None;
             for (kk, &c) in row.iter().enumerate() {
@@ -438,13 +486,21 @@ impl<'a> Expander<'a> {
                     Some(lc),
                     None,
                 );
-                let m = self.push(MicroOp::fp(OpKind::FpMul, pc + 28, 0, 0, cat), Some(lv), Some(lx));
+                let m = self.push(
+                    MicroOp::fp(OpKind::FpMul, pc + 28, 0, 0, cat),
+                    Some(lv),
+                    Some(lx),
+                );
                 let s = self.push(MicroOp::fp(OpKind::FpAdd, pc + 32, 0, 0, cat), Some(m), acc);
                 acc = Some(s);
                 let more = kk + 1 < row.len();
                 self.push(MicroOp::branch(pc + 36, pc + 16, more, 0, cat), None, None);
             }
-            self.push(MicroOp::store(pc + 40, arrays.y.addr(r), 8, 0, cat), acc, None);
+            self.push(
+                MicroOp::store(pc + 40, arrays.y.addr(r), 8, 0, cat),
+                acc,
+                None,
+            );
             let more = r + stride < p.nrows();
             self.push(MicroOp::branch(pc + 44, pc, more, 0, cat), None, None);
             r += stride;
@@ -468,13 +524,20 @@ impl<'a> Expander<'a> {
         let dpe = npe * dpn;
         let profile = material_profile(material);
         let gauss_fp = 30 + profile.fp_add + profile.fp_mul; // shape + constitutive
-        let scatter = if pattern.is_some() { dpe * dpe / self.config.sample.max(1) } else { dpe };
+        let scatter = if pattern.is_some() {
+            dpe * dpe / self.config.sample.max(1)
+        } else {
+            dpe
+        };
         let per_elem = npe * 4 + gp * (gauss_fp / self.config.sample.max(1)) + scatter * 4;
         let (stride, _) = self.stride_for(n_elems, per_elem.max(1));
         let mesh = self.mesh_arrays(conn, n_elems * gp * profile.state_f64);
         let pat_arrays = pattern.map(|p| self.pattern_arrays(p));
-        let base_pc =
-            self.bloat_base(if pattern.is_some() { PC_ASSEMBLE } else { PC_RESIDUAL });
+        let base_pc = self.bloat_base(if pattern.is_some() {
+            PC_ASSEMBLE
+        } else {
+            PC_RESIDUAL
+        });
         let cat = FnCategory::Internal;
         let sample = self.config.sample.max(1);
 
@@ -596,7 +659,11 @@ impl<'a> Expander<'a> {
                 }
             }
             let more = e + stride < n_elems;
-            self.push(MicroOp::branch(base_pc + 0xC0, base_pc, more, 0, cat), None, None);
+            self.push(
+                MicroOp::branch(base_pc + 0xC0, base_pc, more, 0, cat),
+                None,
+                None,
+            );
             e += stride;
         }
         self.represented += (n_elems * per_elem) as u64;
@@ -606,11 +673,23 @@ impl<'a> Expander<'a> {
 
     fn gen_constitutive(&mut self, gauss_points: usize, material: MaterialClass) {
         let profile = material_profile(material);
-        let per_gp = profile.state_f64 + profile.state_stores + profile.fp_add + profile.fp_mul + profile.fp_div + 3;
+        let per_gp = profile.state_f64
+            + profile.state_stores
+            + profile.fp_add
+            + profile.fp_mul
+            + profile.fp_div
+            + 3;
         let (stride, _) = self.stride_for(gauss_points, per_gp);
-        let state = self.space.alloc_f64(gauss_points.max(1) * profile.state_f64.max(1));
+        let state = self
+            .space
+            .alloc_f64(gauss_points.max(1) * profile.state_f64.max(1));
         let pc = self.bloat_base(PC_CONST) + material_code_offset(material);
-        let mesh = MeshArrays { conn: state, coords: state, state, disp: state };
+        let mesh = MeshArrays {
+            conn: state,
+            coords: state,
+            state,
+            disp: state,
+        };
         let bloat = self.config.code_bloat.max(1);
         let mut g = 0usize;
         while g < gauss_points {
@@ -652,9 +731,19 @@ impl<'a> Expander<'a> {
         let mut loads = Vec::with_capacity(profile.state_f64);
         let mut prev_load: Option<usize> = extra_dep;
         for s in 0..profile.state_f64 {
-            let dep = if profile.serial_loads { prev_load } else { extra_dep };
+            let dep = if profile.serial_loads {
+                prev_load
+            } else {
+                extra_dep
+            };
             let l = self.push(
-                MicroOp::load(pc + (s as u32 % 8) * 4, mesh.state.addr(state_idx + s), 8, 0, cat),
+                MicroOp::load(
+                    pc + (s as u32 % 8) * 4,
+                    mesh.state.addr(state_idx + s),
+                    8,
+                    0,
+                    cat,
+                ),
                 dep,
                 None,
             );
@@ -668,7 +757,11 @@ impl<'a> Expander<'a> {
         let mut chain_tail: Vec<Option<usize>> = vec![None; chains];
         for t in 0..total_fp {
             let c = t % chains;
-            let kind = if t % 2 == 0 { OpKind::FpMul } else { OpKind::FpAdd };
+            let kind = if t % 2 == 0 {
+                OpKind::FpMul
+            } else {
+                OpKind::FpAdd
+            };
             let src = loads.get(t % loads.len().max(1)).copied();
             // Straight-line constitutive code: each op has its own pc
             // (inlined template expansions), so the body spans
@@ -724,7 +817,11 @@ impl<'a> Expander<'a> {
 
     // ---- direct solvers --------------------------------------------------------
 
-    fn gen_ldl_factor(&mut self, col_ptr: &std::sync::Arc<Vec<usize>>, row_idx: &std::sync::Arc<Vec<u32>>) {
+    fn gen_ldl_factor(
+        &mut self,
+        col_ptr: &std::sync::Arc<Vec<usize>>,
+        row_idx: &std::sync::Arc<Vec<u32>>,
+    ) {
         let arrays = self.factor_arrays(col_ptr, row_idx.len());
         let n = col_ptr.len().saturating_sub(1);
         let pc = self.bloat_base(PC_LDLFAC);
@@ -735,7 +832,11 @@ impl<'a> Expander<'a> {
         while j < n {
             let lo = col_ptr[j];
             let hi = col_ptr[j + 1];
-            let lp0 = self.push(MicroOp::load(pc, arrays.col_ptr.addr(j), 8, 0, cat), None, None);
+            let lp0 = self.push(
+                MicroOp::load(pc, arrays.col_ptr.addr(j), 8, 0, cat),
+                None,
+                None,
+            );
             let mut prev_store: Option<usize> = None;
             for p in lo..hi {
                 let li = self.push(
@@ -743,22 +844,38 @@ impl<'a> Expander<'a> {
                     Some(lp0),
                     None,
                 );
-                let lx = self.push(MicroOp::load(pc + 12, arrays.lx.addr(p), 8, 0, cat), None, None);
+                let lx = self.push(
+                    MicroOp::load(pc + 12, arrays.lx.addr(p), 8, 0, cat),
+                    None,
+                    None,
+                );
                 let target = row_idx[p] as usize;
                 let ly = self.push(
                     MicroOp::load(pc + 16, arrays.work.addr(target), 8, 0, cat),
                     Some(li),
                     None,
                 );
-                let m = self.push(MicroOp::fp(OpKind::FpMul, pc + 20, 0, 0, cat), Some(lx), Some(ly));
-                let s = self.push(MicroOp::fp(OpKind::FpAdd, pc + 24, 0, 0, cat), Some(m), prev_store);
+                let m = self.push(
+                    MicroOp::fp(OpKind::FpMul, pc + 20, 0, 0, cat),
+                    Some(lx),
+                    Some(ly),
+                );
+                let s = self.push(
+                    MicroOp::fp(OpKind::FpAdd, pc + 24, 0, 0, cat),
+                    Some(m),
+                    prev_store,
+                );
                 let st = self.push(
                     MicroOp::store(pc + 28, arrays.work.addr(target), 8, 0, cat),
                     Some(s),
                     None,
                 );
                 prev_store = Some(st);
-                self.push(MicroOp::branch(pc + 32, pc + 8, p + 1 < hi, 0, cat), None, None);
+                self.push(
+                    MicroOp::branch(pc + 32, pc + 8, p + 1 < hi, 0, cat),
+                    None,
+                    None,
+                );
             }
             // Pivot: divide and store diagonal.
             let d = self.push(
@@ -766,14 +883,26 @@ impl<'a> Expander<'a> {
                 prev_store,
                 None,
             );
-            self.push(MicroOp::store(pc + 40, arrays.diag.addr(j), 8, 0, cat), Some(d), None);
-            self.push(MicroOp::branch(pc + 44, pc, j + stride < n, 0, cat), None, None);
+            self.push(
+                MicroOp::store(pc + 40, arrays.diag.addr(j), 8, 0, cat),
+                Some(d),
+                None,
+            );
+            self.push(
+                MicroOp::branch(pc + 44, pc, j + stride < n, 0, cat),
+                None,
+                None,
+            );
             j += stride;
         }
         self.represented += (nnz * 8 + n * 6) as u64;
     }
 
-    fn gen_ldl_solve(&mut self, col_ptr: &std::sync::Arc<Vec<usize>>, row_idx: &std::sync::Arc<Vec<u32>>) {
+    fn gen_ldl_solve(
+        &mut self,
+        col_ptr: &std::sync::Arc<Vec<usize>>,
+        row_idx: &std::sync::Arc<Vec<u32>>,
+    ) {
         let arrays = self.factor_arrays(col_ptr, row_idx.len());
         let n = col_ptr.len().saturating_sub(1);
         let pc = self.bloat_base(PC_LDLSOL);
@@ -783,24 +912,64 @@ impl<'a> Expander<'a> {
         // Forward sweep: scatter updates chained through the work vector.
         let mut j = 0usize;
         while j < n {
-            let lxj = self.push(MicroOp::load(pc, arrays.work.addr(j), 8, 0, cat), None, None);
+            let lxj = self.push(
+                MicroOp::load(pc, arrays.work.addr(j), 8, 0, cat),
+                None,
+                None,
+            );
             for p in col_ptr[j]..col_ptr[j + 1] {
-                let li = self.push(MicroOp::load(pc + 4, arrays.row_idx.addr(p), 4, 0, cat), None, None);
-                let lv = self.push(MicroOp::load(pc + 8, arrays.lx.addr(p), 8, 0, cat), None, None);
+                let li = self.push(
+                    MicroOp::load(pc + 4, arrays.row_idx.addr(p), 4, 0, cat),
+                    None,
+                    None,
+                );
+                let lv = self.push(
+                    MicroOp::load(pc + 8, arrays.lx.addr(p), 8, 0, cat),
+                    None,
+                    None,
+                );
                 let target = row_idx[p] as usize;
-                let m = self.push(MicroOp::fp(OpKind::FpMul, pc + 12, 0, 0, cat), Some(lv), Some(lxj));
+                let m = self.push(
+                    MicroOp::fp(OpKind::FpMul, pc + 12, 0, 0, cat),
+                    Some(lv),
+                    Some(lxj),
+                );
                 let lw = self.push(
                     MicroOp::load(pc + 16, arrays.work.addr(target), 8, 0, cat),
                     Some(li),
                     None,
                 );
-                let s = self.push(MicroOp::fp(OpKind::FpAdd, pc + 20, 0, 0, cat), Some(m), Some(lw));
-                self.push(MicroOp::store(pc + 24, arrays.work.addr(target), 8, 0, cat), Some(s), None);
+                let s = self.push(
+                    MicroOp::fp(OpKind::FpAdd, pc + 20, 0, 0, cat),
+                    Some(m),
+                    Some(lw),
+                );
+                self.push(
+                    MicroOp::store(pc + 24, arrays.work.addr(target), 8, 0, cat),
+                    Some(s),
+                    None,
+                );
             }
-            let dv = self.push(MicroOp::load(pc + 28, arrays.diag.addr(j), 8, 0, cat), None, None);
-            let dd = self.push(MicroOp::fp(OpKind::FpDiv, pc + 32, 0, 0, cat), Some(lxj), Some(dv));
-            self.push(MicroOp::store(pc + 36, arrays.work.addr(j), 8, 0, cat), Some(dd), None);
-            self.push(MicroOp::branch(pc + 40, pc, j + stride < n, 0, cat), None, None);
+            let dv = self.push(
+                MicroOp::load(pc + 28, arrays.diag.addr(j), 8, 0, cat),
+                None,
+                None,
+            );
+            let dd = self.push(
+                MicroOp::fp(OpKind::FpDiv, pc + 32, 0, 0, cat),
+                Some(lxj),
+                Some(dv),
+            );
+            self.push(
+                MicroOp::store(pc + 36, arrays.work.addr(j), 8, 0, cat),
+                Some(dd),
+                None,
+            );
+            self.push(
+                MicroOp::branch(pc + 40, pc, j + stride < n, 0, cat),
+                None,
+                None,
+            );
             j += stride;
         }
         self.represented += (nnz * 6 + n * 4) as u64;
@@ -839,8 +1008,16 @@ impl<'a> Expander<'a> {
                 self.push(MicroOp::branch(pc + 12, pc, k + 1 < h, 0, cat), None, None);
             }
             let d = self.push(MicroOp::fp(OpKind::FpDiv, pc + 16, 0, 0, cat), acc, None);
-            self.push(MicroOp::store(pc + 20, arrays.diag.addr(jj), 8, 0, cat), Some(d), None);
-            self.push(MicroOp::branch(pc + 24, pc, jj + stride < n, 0, cat), None, None);
+            self.push(
+                MicroOp::store(pc + 20, arrays.diag.addr(jj), 8, 0, cat),
+                Some(d),
+                None,
+            );
+            self.push(
+                MicroOp::branch(pc + 24, pc, jj + stride < n, 0, cat),
+                None,
+                None,
+            );
             offset += h;
             j += 1;
             jj += stride;
@@ -851,7 +1028,11 @@ impl<'a> Expander<'a> {
 
     // ---- iterative solvers -------------------------------------------------------
 
-    fn gen_precond_apply(&mut self, p: &std::sync::Arc<belenos_sparse::CsrPattern>, precond: PrecondClass) {
+    fn gen_precond_apply(
+        &mut self,
+        p: &std::sync::Arc<belenos_sparse::CsrPattern>,
+        precond: PrecondClass,
+    ) {
         match precond {
             PrecondClass::None => {}
             PrecondClass::Jacobi => {
@@ -864,8 +1045,16 @@ impl<'a> Expander<'a> {
                 while i < n {
                     let l = self.push(MicroOp::load(pc, arrays.y.addr(i), 8, 0, cat), None, None);
                     let m = self.push(MicroOp::fp(OpKind::FpMul, pc + 4, 0, 0, cat), Some(l), None);
-                    self.push(MicroOp::store(pc + 8, arrays.y.addr(i), 8, 0, cat), Some(m), None);
-                    self.push(MicroOp::branch(pc + 12, pc, i + stride < n, 0, cat), None, None);
+                    self.push(
+                        MicroOp::store(pc + 8, arrays.y.addr(i), 8, 0, cat),
+                        Some(m),
+                        None,
+                    );
+                    self.push(
+                        MicroOp::branch(pc + 12, pc, i + stride < n, 0, cat),
+                        None,
+                        None,
+                    );
                     i += stride;
                 }
                 self.represented += n as u64 * 4;
@@ -878,7 +1067,12 @@ impl<'a> Expander<'a> {
         }
     }
 
-    fn gen_cg(&mut self, p: &std::sync::Arc<belenos_sparse::CsrPattern>, iters: usize, precond: PrecondClass) {
+    fn gen_cg(
+        &mut self,
+        p: &std::sync::Arc<belenos_sparse::CsrPattern>,
+        iters: usize,
+        precond: PrecondClass,
+    ) {
         // Sample iterations so one CG call respects the kernel cap: every
         // iteration is architecturally identical.
         let per_iter = p.nnz() * 7 + p.nrows() * 20;
@@ -908,8 +1102,7 @@ impl<'a> Expander<'a> {
     ) {
         let n = p.nrows();
         let per_iter = p.nnz() * 7 + n * 13 * (restart / 2).max(1);
-        let budget_iters =
-            (self.config.max_kernel_ops / per_iter.max(1)).clamp(1, iters.max(1));
+        let budget_iters = (self.config.max_kernel_ops / per_iter.max(1)).clamp(1, iters.max(1));
         for it in 0..budget_iters {
             let j = it % restart.max(1);
             self.gen_precond_apply(p, precond);
@@ -934,13 +1127,33 @@ impl<'a> Expander<'a> {
         let mut i = 0usize;
         while i < outcomes.len() {
             let l0 = self.push(MicroOp::load(pc, coords.addr(i * 3), 8, 0, cat), None, None);
-            let l1 = self.push(MicroOp::load(pc + 4, coords.addr(i * 3 + 1), 8, 0, cat), None, None);
-            let l2 = self.push(MicroOp::load(pc + 8, coords.addr(i * 3 + 2), 8, 0, cat), None, None);
-            let d0 = self.push(MicroOp::fp(OpKind::FpAdd, pc + 12, 0, 0, cat), Some(l0), Some(l1));
-            let d1 = self.push(MicroOp::fp(OpKind::FpAdd, pc + 16, 0, 0, cat), Some(d0), Some(l2));
+            let l1 = self.push(
+                MicroOp::load(pc + 4, coords.addr(i * 3 + 1), 8, 0, cat),
+                None,
+                None,
+            );
+            let l2 = self.push(
+                MicroOp::load(pc + 8, coords.addr(i * 3 + 2), 8, 0, cat),
+                None,
+                None,
+            );
+            let d0 = self.push(
+                MicroOp::fp(OpKind::FpAdd, pc + 12, 0, 0, cat),
+                Some(l0),
+                Some(l1),
+            );
+            let d1 = self.push(
+                MicroOp::fp(OpKind::FpAdd, pc + 16, 0, 0, cat),
+                Some(d0),
+                Some(l2),
+            );
             // The gap test: outcome from the real solve — irregular.
             let hit = outcomes[i];
-            self.push(MicroOp::branch(pc + 20, pc + 0x40, hit, 0, cat), Some(d1), None);
+            self.push(
+                MicroOp::branch(pc + 20, pc + 0x40, hit, 0, cat),
+                Some(d1),
+                None,
+            );
             if hit {
                 // Penalty force evaluation + scatter.
                 for t in 0..6u32 {
@@ -951,9 +1164,17 @@ impl<'a> Expander<'a> {
                     );
                 }
                 let s = self.buf.len() - 1;
-                self.push(MicroOp::store(pc + 0x60, coords.addr(i * 3), 8, 0, cat), Some(s), None);
+                self.push(
+                    MicroOp::store(pc + 0x60, coords.addr(i * 3), 8, 0, cat),
+                    Some(s),
+                    None,
+                );
             }
-            self.push(MicroOp::branch(pc + 0x70, pc, i + stride < outcomes.len(), 0, cat), None, None);
+            self.push(
+                MicroOp::branch(pc + 0x70, pc, i + stride < outcomes.len(), 0, cat),
+                None,
+                None,
+            );
             i += stride;
         }
         self.represented += (outcomes.len() * 14) as u64;
@@ -969,7 +1190,11 @@ impl<'a> Expander<'a> {
             self.push(MicroOp::pause(pc, cat), None, None);
             let l = self.push(MicroOp::load(pc + 4, flag.addr(0), 8, 0, cat), None, None);
             let c = self.push(MicroOp::int(pc + 8, 0, 0, cat), Some(l), None);
-            self.push(MicroOp::branch(pc + 12, pc, i + stride < spins, 0, cat), Some(c), None);
+            self.push(
+                MicroOp::branch(pc + 12, pc, i + stride < spins, 0, cat),
+                Some(c),
+                None,
+            );
             i += stride;
         }
         self.represented += spins as u64 * 4;
@@ -983,8 +1208,16 @@ impl<'a> Expander<'a> {
         let mut i = 0usize;
         while i < n {
             let l = self.push(MicroOp::load(pc, arr.addr(i), 8, 0, cat), None, None);
-            self.push(MicroOp::store(pc + 4, arr.addr(i), 8, 0, cat), Some(l), None);
-            self.push(MicroOp::branch(pc + 8, pc, i + stride < n, 0, cat), None, None);
+            self.push(
+                MicroOp::store(pc + 4, arr.addr(i), 8, 0, cat),
+                Some(l),
+                None,
+            );
+            self.push(
+                MicroOp::branch(pc + 8, pc, i + stride < n, 0, cat),
+                None,
+                None,
+            );
             i += stride;
         }
         self.represented += n as u64 * 4;
@@ -1003,14 +1236,22 @@ impl<'a> Expander<'a> {
                     None,
                     None,
                 );
-                let s = self.push(MicroOp::fp(OpKind::FpAdd, pc + a * 12 + 4, 0, 0, cat), Some(l), None);
+                let s = self.push(
+                    MicroOp::fp(OpKind::FpAdd, pc + a * 12 + 4, 0, 0, cat),
+                    Some(l),
+                    None,
+                );
                 self.push(
                     MicroOp::store(pc + a * 12 + 8, coords.addr(i * 3 + a as usize), 8, 0, cat),
                     Some(s),
                     None,
                 );
             }
-            self.push(MicroOp::branch(pc + 40, pc, i + stride < n_nodes, 0, cat), None, None);
+            self.push(
+                MicroOp::branch(pc + 40, pc, i + stride < n_nodes, 0, cat),
+                None,
+                None,
+            );
             i += stride;
         }
         self.represented += n_nodes as u64 * 9;
@@ -1036,8 +1277,16 @@ impl<'a> Expander<'a> {
                     prev,
                     None,
                 );
-                let m = self.push(MicroOp::fp(OpKind::FpMul, pc + t * 16 + 4, 0, 0, cat), Some(l), prev);
-                let a = self.push(MicroOp::fp(OpKind::FpAdd, pc + t * 16 + 8, 0, 0, cat), Some(m), None);
+                let m = self.push(
+                    MicroOp::fp(OpKind::FpMul, pc + t * 16 + 4, 0, 0, cat),
+                    Some(l),
+                    prev,
+                );
+                let a = self.push(
+                    MicroOp::fp(OpKind::FpAdd, pc + t * 16 + 8, 0, 0, cat),
+                    Some(m),
+                    None,
+                );
                 let st = self.push(
                     MicroOp::store(pc + t * 16 + 12, state.addr(b * 13 + t as usize), 8, 0, cat),
                     Some(a),
@@ -1053,7 +1302,11 @@ impl<'a> Expander<'a> {
             for t in 0..36u32 {
                 let idx = self.push(
                     MicroOp::fp(
-                        if t % 9 == 8 { OpKind::FpDiv } else { OpKind::FpMul },
+                        if t % 9 == 8 {
+                            OpKind::FpDiv
+                        } else {
+                            OpKind::FpMul
+                        },
                         pc + 0x400 + (t % 36) * 8,
                         0,
                         0,
@@ -1071,7 +1324,11 @@ impl<'a> Expander<'a> {
                     );
                 }
             }
-            self.push(MicroOp::branch(pc + 0x700, pc, j + 1 < n_joints, 0, cat), None, None);
+            self.push(
+                MicroOp::branch(pc + 0x700, pc, j + 1 < n_joints, 0, cat),
+                None,
+                None,
+            );
         }
         self.represented += (n_bodies * 52 + n_joints * 42) as u64;
     }
@@ -1114,40 +1371,124 @@ struct MaterialProfile {
 fn material_profile(m: MaterialClass) -> MaterialProfile {
     match m {
         MaterialClass::LinearElastic => MaterialProfile {
-            state_f64: 6, state_stores: 0, fp_add: 12, fp_mul: 12, fp_div: 0, chains: 10, branchy: false, serial_loads: false,
+            state_f64: 6,
+            state_stores: 0,
+            fp_add: 12,
+            fp_mul: 12,
+            fp_div: 0,
+            chains: 10,
+            branchy: false,
+            serial_loads: false,
         },
         MaterialClass::Hyperelastic => MaterialProfile {
-            state_f64: 10, state_stores: 2, fp_add: 30, fp_mul: 40, fp_div: 3, chains: 8, branchy: false, serial_loads: false,
+            state_f64: 10,
+            state_stores: 2,
+            fp_add: 30,
+            fp_mul: 40,
+            fp_div: 3,
+            chains: 8,
+            branchy: false,
+            serial_loads: false,
         },
         MaterialClass::FiberExponential => MaterialProfile {
-            state_f64: 12, state_stores: 2, fp_add: 60, fp_mul: 90, fp_div: 2, chains: 8, branchy: true, serial_loads: false,
+            state_f64: 12,
+            state_stores: 2,
+            fp_add: 60,
+            fp_mul: 90,
+            fp_div: 2,
+            chains: 8,
+            branchy: true,
+            serial_loads: false,
         },
         MaterialClass::Viscoelastic => MaterialProfile {
-            state_f64: 24, state_stores: 12, fp_add: 80, fp_mul: 100, fp_div: 2, chains: 1, branchy: false, serial_loads: false,
+            state_f64: 24,
+            state_stores: 12,
+            fp_add: 80,
+            fp_mul: 100,
+            fp_div: 2,
+            chains: 1,
+            branchy: false,
+            serial_loads: false,
         },
         MaterialClass::Biphasic => MaterialProfile {
-            state_f64: 14, state_stores: 4, fp_add: 40, fp_mul: 50, fp_div: 4, chains: 6, branchy: false, serial_loads: false,
+            state_f64: 14,
+            state_stores: 4,
+            fp_add: 40,
+            fp_mul: 50,
+            fp_div: 4,
+            chains: 6,
+            branchy: false,
+            serial_loads: false,
         },
         MaterialClass::Multiphasic => MaterialProfile {
-            state_f64: 20, state_stores: 6, fp_add: 60, fp_mul: 70, fp_div: 6, chains: 6, branchy: false, serial_loads: false,
+            state_f64: 20,
+            state_stores: 6,
+            fp_add: 60,
+            fp_mul: 70,
+            fp_div: 6,
+            chains: 6,
+            branchy: false,
+            serial_loads: false,
         },
         MaterialClass::Damage => MaterialProfile {
-            state_f64: 10, state_stores: 2, fp_add: 25, fp_mul: 30, fp_div: 1, chains: 2, branchy: true, serial_loads: true,
+            state_f64: 10,
+            state_stores: 2,
+            fp_add: 25,
+            fp_mul: 30,
+            fp_div: 1,
+            chains: 2,
+            branchy: true,
+            serial_loads: true,
         },
         MaterialClass::Plasticity => MaterialProfile {
-            state_f64: 12, state_stores: 4, fp_add: 30, fp_mul: 35, fp_div: 2, chains: 5, branchy: true, serial_loads: false,
+            state_f64: 12,
+            state_stores: 4,
+            fp_add: 30,
+            fp_mul: 35,
+            fp_div: 2,
+            chains: 5,
+            branchy: true,
+            serial_loads: false,
         },
         MaterialClass::ActiveMuscle => MaterialProfile {
-            state_f64: 10, state_stores: 2, fp_add: 35, fp_mul: 45, fp_div: 1, chains: 7, branchy: false, serial_loads: false,
+            state_f64: 10,
+            state_stores: 2,
+            fp_add: 35,
+            fp_mul: 45,
+            fp_div: 1,
+            chains: 7,
+            branchy: false,
+            serial_loads: false,
         },
         MaterialClass::Growth => MaterialProfile {
-            state_f64: 10, state_stores: 2, fp_add: 30, fp_mul: 40, fp_div: 2, chains: 7, branchy: false, serial_loads: false,
+            state_f64: 10,
+            state_stores: 2,
+            fp_add: 30,
+            fp_mul: 40,
+            fp_div: 2,
+            chains: 7,
+            branchy: false,
+            serial_loads: false,
         },
         MaterialClass::Fluid => MaterialProfile {
-            state_f64: 12, state_stores: 2, fp_add: 45, fp_mul: 55, fp_div: 6, chains: 9, branchy: false, serial_loads: false,
+            state_f64: 12,
+            state_stores: 2,
+            fp_add: 45,
+            fp_mul: 55,
+            fp_div: 6,
+            chains: 9,
+            branchy: false,
+            serial_loads: false,
         },
         MaterialClass::Rigid => MaterialProfile {
-            state_f64: 2, state_stores: 0, fp_add: 4, fp_mul: 4, fp_div: 0, chains: 2, branchy: false, serial_loads: false,
+            state_f64: 2,
+            state_stores: 0,
+            fp_add: 4,
+            fp_mul: 4,
+            fp_div: 0,
+            chains: 2,
+            branchy: false,
+            serial_loads: false,
         },
     }
 }
@@ -1228,7 +1569,9 @@ mod tests {
     fn spmv_gathers_follow_pattern() {
         let p = tri_pattern(6);
         let mut log = PhaseLog::new();
-        log.record(KernelCall::SpMv { pattern: Arc::clone(&p) });
+        log.record(KernelCall::SpMv {
+            pattern: Arc::clone(&p),
+        });
         let mut ex = Expander::new(&log);
         let ops: Vec<_> = (&mut ex).collect();
         // nnz = 16: each entry yields 3 loads (colidx, vals, x-gather).
@@ -1241,13 +1584,24 @@ mod tests {
     fn repeated_spmv_reuses_addresses() {
         let p = tri_pattern(4);
         let mut log = PhaseLog::new();
-        log.record(KernelCall::SpMv { pattern: Arc::clone(&p) });
-        log.record(KernelCall::SpMv { pattern: Arc::clone(&p) });
+        log.record(KernelCall::SpMv {
+            pattern: Arc::clone(&p),
+        });
+        log.record(KernelCall::SpMv {
+            pattern: Arc::clone(&p),
+        });
         let ops: Vec<_> = Expander::new(&log).collect();
-        let loads: Vec<u64> =
-            ops.iter().filter(|o| o.kind == OpKind::Load).map(|o| o.addr).collect();
+        let loads: Vec<u64> = ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Load)
+            .map(|o| o.addr)
+            .collect();
         let half = loads.len() / 2;
-        assert_eq!(&loads[..half], &loads[half..], "second spmv must touch same addresses");
+        assert_eq!(
+            &loads[..half],
+            &loads[half..],
+            "second spmv must touch same addresses"
+        );
     }
 
     #[test]
@@ -1263,7 +1617,10 @@ mod tests {
     fn spin_scale_multiplies_pauses() {
         let mut log = PhaseLog::new();
         log.record(KernelCall::OmpBarrier { spin_iters: 10 });
-        let cfg = ExpandConfig { spin_scale: 3.0, ..ExpandConfig::default() };
+        let cfg = ExpandConfig {
+            spin_scale: 3.0,
+            ..ExpandConfig::default()
+        };
         let ops: Vec<_> = Expander::with_config(&log, cfg).collect();
         assert_eq!(ops.iter().filter(|o| o.kind == OpKind::Pause).count(), 30);
     }
@@ -1288,7 +1645,10 @@ mod tests {
         let p = tri_pattern(100_000);
         let mut log = PhaseLog::new();
         log.record(KernelCall::SpMv { pattern: p });
-        let cfg = ExpandConfig { max_kernel_ops: 10_000, ..ExpandConfig::default() };
+        let cfg = ExpandConfig {
+            max_kernel_ops: 10_000,
+            ..ExpandConfig::default()
+        };
         let mut ex = Expander::with_config(&log, cfg);
         let count = (&mut ex).count();
         assert!(count <= 20_000, "emitted {count}");
@@ -1302,10 +1662,15 @@ mod tests {
             log.record(KernelCall::Dot { n: 4 });
         }
         let one: std::collections::HashSet<u32> =
-            Expander::with_config(&log, ExpandConfig::default()).map(|o| o.pc).collect();
+            Expander::with_config(&log, ExpandConfig::default())
+                .map(|o| o.pc)
+                .collect();
         let bloated: std::collections::HashSet<u32> = Expander::with_config(
             &log,
-            ExpandConfig { code_bloat: 8, ..ExpandConfig::default() },
+            ExpandConfig {
+                code_bloat: 8,
+                ..ExpandConfig::default()
+            },
         )
         .map(|o| o.pc)
         .collect();
@@ -1316,7 +1681,11 @@ mod tests {
     fn cg_composite_contains_spmv_and_blas() {
         let p = tri_pattern(32);
         let mut log = PhaseLog::new();
-        log.record(KernelCall::CgSolve { pattern: p, iterations: 3, precond: PrecondClass::Jacobi });
+        log.record(KernelCall::CgSolve {
+            pattern: p,
+            iterations: 3,
+            precond: PrecondClass::Jacobi,
+        });
         let ops: Vec<_> = Expander::new(&log).collect();
         assert!(ops.iter().any(|o| o.cat == FnCategory::Sparsity));
         assert!(ops.iter().any(|o| o.cat == FnCategory::MklBlas));
@@ -1336,7 +1705,9 @@ mod tests {
             pattern: p,
         });
         let ops: Vec<_> = Expander::new(&log).collect();
-        assert!(ops.iter().any(|o| o.kind == OpKind::Store && o.cat == FnCategory::Internal));
+        assert!(ops
+            .iter()
+            .any(|o| o.kind == OpKind::Store && o.cat == FnCategory::Internal));
         // The scatter updates matrix values through the LM table.
         assert!(ops.iter().filter(|o| o.kind == OpKind::Store).count() > 4);
     }
@@ -1362,10 +1733,16 @@ mod tests {
         });
         let ops: Vec<_> = Expander::new(&log).collect();
         // Serial chain: most fp ops must have dep1 pointing at previous fp.
-        let fp_ops: Vec<(usize, &MicroOp)> =
-            ops.iter().enumerate().filter(|(_, o)| o.kind.is_fp()).collect();
+        let fp_ops: Vec<(usize, &MicroOp)> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.kind.is_fp())
+            .collect();
         let chained = fp_ops.iter().filter(|(_, o)| o.dep1 > 0).count();
-        assert!(chained * 10 >= fp_ops.len() * 8, "viscoelastic chain too loose");
+        assert!(
+            chained * 10 >= fp_ops.len() * 8,
+            "viscoelastic chain too loose"
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ impl ArrayHandle {
     /// Indices beyond `len` wrap (the expander sometimes streams cyclically
     /// over state arrays); wrapping keeps addresses inside the allocation.
     pub fn addr(&self, i: usize) -> u64 {
-        let i = if self.len == 0 { 0 } else { i as u64 % self.len };
+        let i = if self.len == 0 {
+            0
+        } else {
+            i as u64 % self.len
+        };
         self.base + i * self.elem_size
     }
 
@@ -87,7 +91,11 @@ impl AddressSpace {
         let bytes = (len as u64 * elem_size as u64).max(1);
         let padded = bytes.div_ceil(LINE) * LINE;
         self.cursor += padded + LINE; // guard line between arrays
-        ArrayHandle { base, elem_size: elem_size as u64, len: len as u64 }
+        ArrayHandle {
+            base,
+            elem_size: elem_size as u64,
+            len: len as u64,
+        }
     }
 
     /// Allocates a `f64` array.

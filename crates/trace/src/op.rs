@@ -127,33 +127,93 @@ pub struct MicroOp {
 impl MicroOp {
     /// An integer ALU op with up to two producers.
     pub fn int(pc: u32, dep1: u32, dep2: u32, cat: FnCategory) -> Self {
-        MicroOp { kind: OpKind::IntAlu, pc, addr: 0, size: 0, taken: false, target: 0, dep1, dep2, cat }
+        MicroOp {
+            kind: OpKind::IntAlu,
+            pc,
+            addr: 0,
+            size: 0,
+            taken: false,
+            target: 0,
+            dep1,
+            dep2,
+            cat,
+        }
     }
 
     /// A floating-point op of the given kind.
     pub fn fp(kind: OpKind, pc: u32, dep1: u32, dep2: u32, cat: FnCategory) -> Self {
         debug_assert!(kind.is_fp());
-        MicroOp { kind, pc, addr: 0, size: 0, taken: false, target: 0, dep1, dep2, cat }
+        MicroOp {
+            kind,
+            pc,
+            addr: 0,
+            size: 0,
+            taken: false,
+            target: 0,
+            dep1,
+            dep2,
+            cat,
+        }
     }
 
     /// A load of `size` bytes from `addr`.
     pub fn load(pc: u32, addr: u64, size: u8, dep1: u32, cat: FnCategory) -> Self {
-        MicroOp { kind: OpKind::Load, pc, addr, size, taken: false, target: 0, dep1, dep2: 0, cat }
+        MicroOp {
+            kind: OpKind::Load,
+            pc,
+            addr,
+            size,
+            taken: false,
+            target: 0,
+            dep1,
+            dep2: 0,
+            cat,
+        }
     }
 
     /// A store of `size` bytes to `addr`; `dep1` is the data producer.
     pub fn store(pc: u32, addr: u64, size: u8, dep1: u32, cat: FnCategory) -> Self {
-        MicroOp { kind: OpKind::Store, pc, addr, size, taken: false, target: 0, dep1, dep2: 0, cat }
+        MicroOp {
+            kind: OpKind::Store,
+            pc,
+            addr,
+            size,
+            taken: false,
+            target: 0,
+            dep1,
+            dep2: 0,
+            cat,
+        }
     }
 
     /// A conditional branch at `pc` jumping to `target` when taken.
     pub fn branch(pc: u32, target: u32, taken: bool, dep1: u32, cat: FnCategory) -> Self {
-        MicroOp { kind: OpKind::Branch, pc, addr: 0, size: 0, taken, target, dep1, dep2: 0, cat }
+        MicroOp {
+            kind: OpKind::Branch,
+            pc,
+            addr: 0,
+            size: 0,
+            taken,
+            target,
+            dep1,
+            dep2: 0,
+            cat,
+        }
     }
 
     /// A PAUSE spin-hint op.
     pub fn pause(pc: u32, cat: FnCategory) -> Self {
-        MicroOp { kind: OpKind::Pause, pc, addr: 0, size: 0, taken: false, target: 0, dep1: 0, dep2: 0, cat }
+        MicroOp {
+            kind: OpKind::Pause,
+            pc,
+            addr: 0,
+            size: 0,
+            taken: false,
+            target: 0,
+            dep1: 0,
+            dep2: 0,
+            cat,
+        }
     }
 
     /// A fully serializing op.

@@ -245,12 +245,12 @@ mod tests {
 
     #[test]
     fn kernel_calls_share_patterns_cheaply() {
-        let p = Arc::new(
-            CsrPattern::new(2, 2, vec![0, 1, 2], vec![0, 1]).unwrap(),
-        );
+        let p = Arc::new(CsrPattern::new(2, 2, vec![0, 1, 2], vec![0, 1]).unwrap());
         let mut log = PhaseLog::new();
         for _ in 0..10 {
-            log.record(KernelCall::SpMv { pattern: Arc::clone(&p) });
+            log.record(KernelCall::SpMv {
+                pattern: Arc::clone(&p),
+            });
         }
         assert_eq!(Arc::strong_count(&p), 11);
     }

@@ -9,8 +9,8 @@ use std::sync::Arc;
 fn random_pattern(n: usize, extra: &[(usize, usize)]) -> Arc<CsrPattern> {
     use std::collections::BTreeSet;
     let mut rows: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
-    for i in 0..n {
-        rows[i].insert(i as u32);
+    for (i, row) in rows.iter_mut().enumerate() {
+        row.insert(i as u32);
     }
     for &(i, j) in extra {
         let (i, j) = (i % n, j % n);

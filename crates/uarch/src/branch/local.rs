@@ -18,7 +18,10 @@ impl LocalBp {
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0);
         let n = entries.next_power_of_two();
-        LocalBp { counters: vec![1; n], mask: n - 1 }
+        LocalBp {
+            counters: vec![1; n],
+            mask: n - 1,
+        }
     }
 
     fn index(&self, pc: u32) -> usize {

@@ -39,7 +39,14 @@ impl LtageBp {
         LtageBp {
             base: vec![1; BASE_ENTRIES],
             tables: vec![
-                vec![TageEntry { tag: INVALID_TAG, ctr: 3, useful: 0 }; TABLE_ENTRIES];
+                vec![
+                    TageEntry {
+                        tag: INVALID_TAG,
+                        ctr: 3,
+                        useful: 0
+                    };
+                    TABLE_ENTRIES
+                ];
                 NUM_TABLES
             ],
             ghr: 0,
@@ -166,8 +173,11 @@ impl BranchPredictor for LtageBp {
                     let idx = self.index(t, pc);
                     if self.tables[t][idx].useful == 0 {
                         let tag = self.tag(t, pc);
-                        self.tables[t][idx] =
-                            TageEntry { tag, ctr: if taken { 4 } else { 3 }, useful: 0 };
+                        self.tables[t][idx] = TageEntry {
+                            tag,
+                            ctr: if taken { 4 } else { 3 },
+                            useful: 0,
+                        };
                         allocated = true;
                         break;
                     }
@@ -244,5 +254,3 @@ mod tests {
         assert!(correct as f64 / total as f64 > 0.8, "{correct}/{total}");
     }
 }
-
-

@@ -58,7 +58,12 @@ impl Btb {
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "btb must have entries");
         let n = entries.next_power_of_two() / if entries.is_power_of_two() { 1 } else { 2 };
-        Btb { entries: vec![(u32::MAX, 0); n], mask: n - 1, accesses: 0, misses: 0 }
+        Btb {
+            entries: vec![(u32::MAX, 0); n],
+            mask: n - 1,
+            accesses: 0,
+            misses: 0,
+        }
     }
 
     /// Looks up the target for `pc`; `None` means BTB miss.
@@ -101,7 +106,12 @@ mod tests {
     use super::*;
 
     /// Drives `pred` with `pattern` repeated `reps` times; returns accuracy.
-    pub(crate) fn accuracy(pred: &mut dyn BranchPredictor, pc: u32, pattern: &[bool], reps: usize) -> f64 {
+    pub(crate) fn accuracy(
+        pred: &mut dyn BranchPredictor,
+        pc: u32,
+        pattern: &[bool],
+        reps: usize,
+    ) -> f64 {
         let mut correct = 0usize;
         let mut total = 0usize;
         for _ in 0..reps {
@@ -143,7 +153,10 @@ mod tests {
             acc_ltage > acc_local + 0.05,
             "ltage {acc_ltage} should beat local {acc_local}"
         );
-        assert!(acc_ltage > 0.95, "ltage should nail a loop pattern: {acc_ltage}");
+        assert!(
+            acc_ltage > 0.95,
+            "ltage should nail a loop pattern: {acc_ltage}"
+        );
     }
 
     #[test]

@@ -23,20 +23,29 @@ pub struct PerceptronBp {
 impl PerceptronBp {
     /// Compact hashed perceptron (4 feature tables x 512 weights).
     pub fn new() -> Self {
-        PerceptronBp { weights: vec![vec![0; TABLE_ENTRIES]; NUM_FEATURES], ghr: 0 }
+        PerceptronBp {
+            weights: vec![vec![0; TABLE_ENTRIES]; NUM_FEATURES],
+            ghr: 0,
+        }
     }
 
     /// Feature hash for table `f` at `pc`: mixes a history segment whose
     /// length grows with `f` (0 = pure PC bias weight).
     fn index(&self, f: usize, pc: u32) -> usize {
         let seg_len = [0usize, 6, 14, 28][f];
-        let seg = if seg_len == 0 { 0 } else { (self.ghr & ((1u64 << seg_len) - 1)) as usize };
+        let seg = if seg_len == 0 {
+            0
+        } else {
+            (self.ghr & ((1u64 << seg_len) - 1)) as usize
+        };
         let h = seg.wrapping_mul(0x9E37_79B9) ^ ((pc >> 2) as usize).wrapping_mul(0x85EB_CA6B);
         (h ^ (f << 7)) & (TABLE_ENTRIES - 1)
     }
 
     fn sum(&self, pc: u32) -> i32 {
-        (0..NUM_FEATURES).map(|f| self.weights[f][self.index(f, pc)] as i32).sum()
+        (0..NUM_FEATURES)
+            .map(|f| self.weights[f][self.index(f, pc)] as i32)
+            .sum()
     }
 }
 

@@ -185,11 +185,17 @@ impl Hierarchy {
     pub fn data_access(&mut self, addr: u64, write: bool, now: u64) -> AccessResult {
         let l1_lat = self.l1d.hit_latency();
         match self.l1d.access(addr, write) {
-            Probe::Hit => AccessResult { done: now + l1_lat, level: ServiceLevel::L1 },
+            Probe::Hit => AccessResult {
+                done: now + l1_lat,
+                level: ServiceLevel::L1,
+            },
             Probe::Miss { victim_dirty } => {
                 if victim_dirty {
                     // L1 writeback lands in L2.
-                    if let Probe::Miss { victim_dirty: l2_dirty } = self.l2.access(addr ^ 0x8000_0000, true) {
+                    if let Probe::Miss {
+                        victim_dirty: l2_dirty,
+                    } = self.l2.access(addr ^ 0x8000_0000, true)
+                    {
                         if l2_dirty {
                             self.dram.writeback(now);
                         }
@@ -200,16 +206,24 @@ impl Hierarchy {
                     Probe::Hit => {
                         let done = now + l1_lat + l2_lat;
                         self.l1d.note_miss_outstanding(done);
-                        AccessResult { done, level: ServiceLevel::L2 }
+                        AccessResult {
+                            done,
+                            level: ServiceLevel::L2,
+                        }
                     }
-                    Probe::Miss { victim_dirty: l2_dirty } => {
+                    Probe::Miss {
+                        victim_dirty: l2_dirty,
+                    } => {
                         if l2_dirty {
                             self.dram.writeback(now);
                         }
                         let done = self.dram.read(now + l1_lat + l2_lat);
                         self.l1d.note_miss_outstanding(done);
                         self.l2.note_miss_outstanding(done);
-                        AccessResult { done, level: ServiceLevel::Dram }
+                        AccessResult {
+                            done,
+                            level: ServiceLevel::Dram,
+                        }
                     }
                 }
             }
@@ -220,19 +234,26 @@ impl Hierarchy {
     pub fn inst_access(&mut self, pc: u64, now: u64) -> AccessResult {
         let l1_lat = self.l1i.hit_latency();
         match self.l1i.access(pc, false) {
-            Probe::Hit => AccessResult { done: now + l1_lat, level: ServiceLevel::L1 },
+            Probe::Hit => AccessResult {
+                done: now + l1_lat,
+                level: ServiceLevel::L1,
+            },
             Probe::Miss { .. } => {
                 let l2_lat = self.l2.hit_latency();
                 match self.l2.access(pc, false) {
-                    Probe::Hit => {
-                        AccessResult { done: now + l1_lat + l2_lat, level: ServiceLevel::L2 }
-                    }
+                    Probe::Hit => AccessResult {
+                        done: now + l1_lat + l2_lat,
+                        level: ServiceLevel::L2,
+                    },
                     Probe::Miss { victim_dirty } => {
                         if victim_dirty {
                             self.dram.writeback(now);
                         }
                         let done = self.dram.read(now + l1_lat + l2_lat);
-                        AccessResult { done, level: ServiceLevel::Dram }
+                        AccessResult {
+                            done,
+                            level: ServiceLevel::Dram,
+                        }
                     }
                 }
             }
@@ -263,7 +284,10 @@ mod tests {
         assert!(matches!(c.access(0x100, false), Probe::Miss { .. }));
         assert_eq!(c.access(0x100, false), Probe::Hit);
         assert_eq!(c.access(0x13f, false), Probe::Hit, "same line");
-        assert!(matches!(c.access(0x140, false), Probe::Miss { .. }), "next line");
+        assert!(
+            matches!(c.access(0x140, false), Probe::Miss { .. }),
+            "next line"
+        );
     }
 
     #[test]
@@ -309,7 +333,10 @@ mod tests {
         assert_eq!(first.level, ServiceLevel::Dram);
         let second = h.data_access(0x5000, false, first.done);
         assert_eq!(second.level, ServiceLevel::L1);
-        assert!(first.done > second.done - first.done, "dram much slower than l1");
+        assert!(
+            first.done > second.done - first.done,
+            "dram much slower than l1"
+        );
     }
 
     #[test]

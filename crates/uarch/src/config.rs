@@ -295,6 +295,57 @@ impl CoreConfig {
     pub fn ns_to_cycles(&self, ns: f64) -> u64 {
         (ns * self.freq_ghz).round().max(1.0) as u64
     }
+
+    /// Stable content digest of the full configuration.
+    ///
+    /// Two configurations digest equal iff every simulation-relevant field
+    /// is equal, and the value is identical across processes and builds —
+    /// `belenos-runner` keys its content-addressed result cache on it.
+    /// The leading version tag must be bumped whenever a field is added so
+    /// stale on-disk entries can never alias a new configuration.
+    pub fn stable_digest(&self) -> u64 {
+        let mut h = crate::digest::Fnv64::new();
+        h.write_str("CoreConfig-v1");
+        h.write_f64(self.freq_ghz);
+        for w in [
+            self.fetch_width,
+            self.decode_width,
+            self.rename_width,
+            self.dispatch_width,
+            self.issue_width,
+            self.writeback_width,
+            self.squash_width,
+            self.commit_width,
+            self.rob_entries,
+            self.iq_entries,
+            self.lq_entries,
+            self.sq_entries,
+            self.int_regs,
+            self.fp_regs,
+        ] {
+            h.write_usize(w);
+        }
+        h.write_u64(self.frontend_depth);
+        for c in [&self.l1i, &self.l1d, &self.l2] {
+            h.write_usize(c.size_bytes);
+            h.write_usize(c.assoc);
+            h.write_usize(c.line_bytes);
+            h.write_u64(c.hit_latency);
+            h.write_usize(c.mshrs);
+        }
+        h.write_f64(self.dram_latency_ns);
+        h.write_f64(self.dram_bandwidth_gbps);
+        h.write_usize(self.tlb_entries);
+        h.write_u64(self.tlb_miss_penalty);
+        h.write_str(self.predictor.label());
+        h.write_usize(self.btb_entries);
+        h.write_u64(self.btb_miss_penalty);
+        h.write_u64(self.pause_latency);
+        for n in self.fu_counts {
+            h.write_usize(n);
+        }
+        h.finish()
+    }
 }
 
 impl Default for CoreConfig {
@@ -359,6 +410,38 @@ mod tests {
         let fast = CoreConfig::gem5_baseline().with_frequency(4.0);
         assert_eq!(slow.ns_to_cycles(60.0), 60);
         assert_eq!(fast.ns_to_cycles(60.0), 240);
+    }
+
+    #[test]
+    fn stable_digest_separates_configs() {
+        let base = CoreConfig::gem5_baseline();
+        assert_eq!(
+            base.stable_digest(),
+            CoreConfig::gem5_baseline().stable_digest()
+        );
+        // Every sweep axis must move the digest.
+        let variants = [
+            base.clone().with_frequency(1.0),
+            base.clone().with_pipeline_width(2),
+            base.clone().with_lsq(32, 24),
+            base.clone().with_l1_size(8 * 1024),
+            base.clone().with_l2_size(256 * 1024),
+            base.clone().with_rob_iq(448, 256),
+            base.clone().with_predictor(BranchPredictorKind::Ltage),
+            CoreConfig::host_like(),
+        ];
+        for v in &variants {
+            assert_ne!(v.stable_digest(), base.stable_digest(), "{v:?}");
+        }
+        // Sweep points that reproduce the baseline digest equal.
+        assert_eq!(
+            base.clone().with_frequency(3.0).stable_digest(),
+            base.stable_digest()
+        );
+        assert_eq!(
+            base.clone().with_lsq(72, 56).stable_digest(),
+            base.stable_digest()
+        );
     }
 
     #[test]

@@ -71,7 +71,9 @@ pub struct O3Core {
 
 impl std::fmt::Debug for O3Core {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("O3Core").field("cfg", &self.cfg).finish_non_exhaustive()
+        f.debug_struct("O3Core")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
     }
 }
 
@@ -106,14 +108,16 @@ impl O3Core {
     /// # Panics
     ///
     /// As in [`O3Core::run`].
-    pub fn run_warm<I: Iterator<Item = MicroOp>>(
-        &mut self,
-        trace: I,
-        warmup_ops: u64,
-    ) -> SimStats {
-        let mut stats = SimStats { freq_ghz: self.cfg.freq_ghz, ..SimStats::default() };
+    pub fn run_warm<I: Iterator<Item = MicroOp>>(&mut self, trace: I, warmup_ops: u64) -> SimStats {
+        let mut stats = SimStats {
+            freq_ghz: self.cfg.freq_ghz,
+            ..SimStats::default()
+        };
         let cfg = self.cfg.clone();
-        let fe_width = cfg.decode_width.min(cfg.rename_width).min(cfg.dispatch_width);
+        let fe_width = cfg
+            .decode_width
+            .min(cfg.rename_width)
+            .min(cfg.dispatch_width);
         let fetchq_cap = (cfg.fetch_width * cfg.frontend_depth as usize).max(16);
 
         let mut trace = trace.fuse();
@@ -212,8 +216,7 @@ impl O3Core {
             if missing > 0 {
                 if let Some(head) = rob.front() {
                     stats.slots_backend += missing;
-                    stats.slots_by_category
-                        [crate::stats::category_index(head.op.cat)] += missing;
+                    stats.slots_by_category[crate::stats::category_index(head.op.cat)] += missing;
                     let memory_bound = match head.op.kind {
                         OpKind::Load | OpKind::Store => true,
                         _ => lq.iter().any(|e| e.issued && !e.done),
@@ -228,9 +231,7 @@ impl O3Core {
                 } else {
                     stats.slots_frontend += missing;
                     match fetch_block {
-                        FetchBlock::ICache | FetchBlock::ITlb => {
-                            stats.slots_fe_latency += missing
-                        }
+                        FetchBlock::ICache | FetchBlock::ITlb => stats.slots_fe_latency += missing,
                         _ => stats.slots_fe_bandwidth += missing,
                     }
                 }
@@ -239,7 +240,9 @@ impl O3Core {
             // ---------------- writeback / branch resolve ----------------
             let mut written_back = 0usize;
             while written_back < cfg.writeback_width {
-                let Some(&Reverse((t, idx, did))) = events.peek() else { break };
+                let Some(&Reverse((t, idx, did))) = events.peek() else {
+                    break;
+                };
                 if t > now {
                     break;
                 }
@@ -302,12 +305,9 @@ impl O3Core {
                     for (op, i) in younger.into_iter().rev() {
                         replayq.push_front((op, i));
                     }
-                    let squash_cycles =
-                        (squash_count as u64).div_ceil(cfg.squash_width as u64);
-                    fetch_stall_until =
-                        fetch_stall_until.max(now + 1 + squash_cycles);
-                    squash_recovery_until =
-                        now + cfg.frontend_depth + 1 + squash_cycles;
+                    let squash_cycles = (squash_count as u64).div_ceil(cfg.squash_width as u64);
+                    fetch_stall_until = fetch_stall_until.max(now + 1 + squash_cycles);
+                    squash_recovery_until = now + cfg.frontend_depth + 1 + squash_cycles;
                     fetch_block = FetchBlock::Squash;
                     cur_fetch_line = u64::MAX;
                 }
@@ -389,12 +389,11 @@ impl O3Core {
                             // gem5): loads issue past older stores with
                             // unknown addresses; known matching stores
                             // forward.
-                            let fwd = sq.iter().rfind(|s| {
-                                s.idx < idx && s.issued && (s.addr >> 3) == (addr >> 3)
-                            });
+                            let fwd = sq
+                                .iter()
+                                .rfind(|s| s.idx < idx && s.issued && (s.addr >> 3) == (addr >> 3));
                             if let Some(s) = fwd {
-                                if !s.done && !done_ring[(s.idx % DONE_WINDOW as u64) as usize]
-                                {
+                                if !s.done && !done_ring[(s.idx % DONE_WINDOW as u64) as usize] {
                                     keep.push_back(idx);
                                     continue;
                                 }
@@ -443,7 +442,9 @@ impl O3Core {
 
             // ---------------- dispatch ----------------
             for _ in 0..fe_width {
-                let Some(&(op, _, _)) = fetchq.front() else { break };
+                let Some(&(op, _, _)) = fetchq.front() else {
+                    break;
+                };
                 if rob.len() >= cfg.rob_entries || iq.len() >= cfg.iq_entries {
                     break;
                 }
@@ -462,11 +463,21 @@ impl O3Core {
                 dispatch_counter += 1;
                 match op.kind {
                     OpKind::Load => {
-                        lq.push_back(LsqEntry { idx, addr: op.addr, issued: false, done: false });
+                        lq.push_back(LsqEntry {
+                            idx,
+                            addr: op.addr,
+                            issued: false,
+                            done: false,
+                        });
                         fp_regs_used += 1;
                     }
                     OpKind::Store => {
-                        sq.push_back(LsqEntry { idx, addr: op.addr, issued: false, done: false });
+                        sq.push_back(LsqEntry {
+                            idx,
+                            addr: op.addr,
+                            issued: false,
+                            done: false,
+                        });
                     }
                     OpKind::IntAlu | OpKind::IntMul => int_regs_used += 1,
                     OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv => fp_regs_used += 1,
@@ -676,7 +687,9 @@ mod tests {
     }
 
     fn int_stream(n: usize) -> Vec<MicroOp> {
-        (0..n).map(|i| MicroOp::int(0x1000 + (i as u32 % 16) * 4, 0, 0, CAT)).collect()
+        (0..n)
+            .map(|i| MicroOp::int(0x1000 + (i as u32 % 16) * 4, 0, 0, CAT))
+            .collect()
     }
 
     #[test]
@@ -695,8 +708,9 @@ mod tests {
 
     #[test]
     fn dependent_chain_limits_ipc_to_one() {
-        let ops: Vec<MicroOp> =
-            (0..5000).map(|i| MicroOp::int(0x1000, if i == 0 { 0 } else { 1 }, 0, CAT)).collect();
+        let ops: Vec<MicroOp> = (0..5000)
+            .map(|i| MicroOp::int(0x1000, if i == 0 { 0 } else { 1 }, 0, CAT))
+            .collect();
         let stats = run_ops(ops, CoreConfig::gem5_baseline());
         assert!(stats.ipc() < 1.2, "serial chain ipc {}", stats.ipc());
         assert!(stats.ipc() > 0.5, "serial chain ipc {}", stats.ipc());
@@ -705,9 +719,7 @@ mod tests {
     #[test]
     fn fp_div_chain_is_slow() {
         let ops: Vec<MicroOp> = (0..500)
-            .map(|i| {
-                MicroOp::fp(OpKind::FpDiv, 0x2000, if i == 0 { 0 } else { 1 }, 0, CAT)
-            })
+            .map(|i| MicroOp::fp(OpKind::FpDiv, 0x2000, if i == 0 { 0 } else { 1 }, 0, CAT))
             .collect();
         let stats = run_ops(ops, CoreConfig::gem5_baseline());
         assert!(stats.cpi() > 10.0, "fpdiv chain cpi {}", stats.cpi());
@@ -766,7 +778,10 @@ mod tests {
         let total = ops.len() as u64;
         let stats = run_ops(ops, CoreConfig::gem5_baseline());
         assert_eq!(stats.committed_ops, total);
-        assert!(stats.mispredicts > 0, "alternation must mispredict sometimes");
+        assert!(
+            stats.mispredicts > 0,
+            "alternation must mispredict sometimes"
+        );
         assert!(stats.branches == 500);
     }
 

@@ -30,7 +30,10 @@ impl Dram {
     ///
     /// Panics on non-positive bandwidth or frequency.
     pub fn new(latency_cycles: u64, bandwidth_gbps: f64, freq_ghz: f64, line_bytes: usize) -> Self {
-        assert!(bandwidth_gbps > 0.0 && freq_ghz > 0.0, "invalid dram parameters");
+        assert!(
+            bandwidth_gbps > 0.0 && freq_ghz > 0.0,
+            "invalid dram parameters"
+        );
         // bytes/cycle = GB/s / GHz; cycles per line = line / (bytes/cycle).
         let bytes_per_cycle = bandwidth_gbps / freq_ghz;
         Dram {
@@ -105,7 +108,7 @@ mod tests {
         let mut d = Dram::new(100, 32.0, 4.0, 64);
         let a = d.read(0);
         let b = d.read(1000);
-        assert_eq!(b - 1000, a - 0);
+        assert_eq!(b - 1000, a);
         assert_eq!(d.queue_delay_cycles, 0);
     }
 

@@ -36,10 +36,12 @@ pub mod branch;
 pub mod cache;
 pub mod config;
 pub mod core;
+pub mod digest;
 pub mod dram;
 pub mod stats;
 pub mod tlb;
 
 pub use config::CoreConfig;
 pub use core::O3Core;
+pub use digest::Fnv64;
 pub use stats::SimStats;

@@ -53,7 +53,7 @@ impl StageMix {
 }
 
 /// Complete statistics of one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Core frequency the run was clocked at (for seconds conversion).
     pub freq_ghz: f64,
@@ -244,8 +244,8 @@ impl SimStats {
         if self.cycles == 0 {
             0.0
         } else {
-            (self.dram_lines * 64) as f64 / (self.cycles as f64 / self.freq_ghz)
-                / 1.0 // bytes per ns == GB/s
+            (self.dram_lines * 64) as f64 / (self.cycles as f64 / self.freq_ghz) / 1.0
+            // bytes per ns == GB/s
         }
     }
 }
@@ -292,7 +292,11 @@ mod tests {
 
     #[test]
     fn mpki_normalization() {
-        let s = SimStats { committed_ops: 10_000, l1d_misses: 150, ..SimStats::default() };
+        let s = SimStats {
+            committed_ops: 10_000,
+            l1d_misses: 150,
+            ..SimStats::default()
+        };
         assert!((s.l1d_mpki() - 15.0).abs() < 1e-12);
     }
 

@@ -25,7 +25,13 @@ impl Tlb {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "tlb capacity must be positive");
-        Tlb { capacity, entries: HashMap::new(), stamp: 0, accesses: 0, misses: 0 }
+        Tlb {
+            capacity,
+            entries: HashMap::new(),
+            stamp: 0,
+            accesses: 0,
+            misses: 0,
+        }
     }
 
     /// Looks up the page of `addr`; returns `true` on hit. Misses install

@@ -177,7 +177,11 @@ impl std::fmt::Debug for WorkloadSpec {
 }
 
 fn expand(code_bloat: u32, sample: usize) -> ExpandConfig {
-    ExpandConfig { code_bloat, sample, ..ExpandConfig::default() }
+    ExpandConfig {
+        code_bloat,
+        sample,
+        ..ExpandConfig::default()
+    }
 }
 
 // --- ma26-ma31 parameterizations (reactive viscoelastic variants) -------
@@ -220,17 +224,72 @@ fn fl34() -> FeModel {
 /// The 11 VTune test-suite models plus the `eye` case study (Figs. 2-4).
 pub fn vtune_set() -> Vec<WorkloadSpec> {
     vec![
-        WorkloadSpec { id: "bp07", category: Category::Bp, build: bp07, expand: expand(2, 1) },
-        WorkloadSpec { id: "bp08", category: Category::Bp, build: bp08, expand: expand(2, 1) },
-        WorkloadSpec { id: "bp09", category: Category::Bp, build: bp09, expand: expand(2, 1) },
-        WorkloadSpec { id: "fl33", category: Category::Fl, build: fl33, expand: expand(2, 1) },
-        WorkloadSpec { id: "fl34", category: Category::Fl, build: fl34, expand: expand(2, 1) },
-        WorkloadSpec { id: "ma26", category: Category::Ma, build: ma26, expand: expand(1, 1) },
-        WorkloadSpec { id: "ma27", category: Category::Ma, build: ma27, expand: expand(1, 1) },
-        WorkloadSpec { id: "ma28", category: Category::Ma, build: ma28, expand: expand(1, 1) },
-        WorkloadSpec { id: "ma29", category: Category::Ma, build: ma29, expand: expand(1, 1) },
-        WorkloadSpec { id: "ma30", category: Category::Ma, build: ma30, expand: expand(1, 1) },
-        WorkloadSpec { id: "ma31", category: Category::Ma, build: ma31, expand: expand(1, 1) },
+        WorkloadSpec {
+            id: "bp07",
+            category: Category::Bp,
+            build: bp07,
+            expand: expand(2, 1),
+        },
+        WorkloadSpec {
+            id: "bp08",
+            category: Category::Bp,
+            build: bp08,
+            expand: expand(2, 1),
+        },
+        WorkloadSpec {
+            id: "bp09",
+            category: Category::Bp,
+            build: bp09,
+            expand: expand(2, 1),
+        },
+        WorkloadSpec {
+            id: "fl33",
+            category: Category::Fl,
+            build: fl33,
+            expand: expand(2, 1),
+        },
+        WorkloadSpec {
+            id: "fl34",
+            category: Category::Fl,
+            build: fl34,
+            expand: expand(2, 1),
+        },
+        WorkloadSpec {
+            id: "ma26",
+            category: Category::Ma,
+            build: ma26,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "ma27",
+            category: Category::Ma,
+            build: ma27,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "ma28",
+            category: Category::Ma,
+            build: ma28,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "ma29",
+            category: Category::Ma,
+            build: ma29,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "ma30",
+            category: Category::Ma,
+            build: ma30,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "ma31",
+            category: Category::Ma,
+            build: ma31,
+            expand: expand(1, 1),
+        },
         WorkloadSpec {
             id: "eye",
             category: Category::Eye,
@@ -285,26 +344,126 @@ pub fn gem5_set() -> Vec<WorkloadSpec> {
 /// One representative per Table I category (Table I, Figs. 5-6).
 pub fn catalog() -> Vec<WorkloadSpec> {
     vec![
-        WorkloadSpec { id: "ar", category: Category::Ar, build: models::arterial, expand: expand(1, 1) },
-        WorkloadSpec { id: "bp", category: Category::Bp, build: bp07, expand: expand(2, 1) },
-        WorkloadSpec { id: "co", category: Category::Co, build: models::contact, expand: expand(2, 1) },
-        WorkloadSpec { id: "fl", category: Category::Fl, build: fl34, expand: expand(2, 1) },
-        WorkloadSpec { id: "mu", category: Category::Mu, build: models::muscle, expand: expand(1, 1) },
-        WorkloadSpec { id: "mp", category: Category::Mp, build: models::multiphasic, expand: expand(2, 1) },
-        WorkloadSpec { id: "te", category: Category::Te, build: models::tetrahedral, expand: expand(1, 1) },
-        WorkloadSpec { id: "ri", category: Category::Ri, build: models::rigid, expand: expand(8, 1) },
-        WorkloadSpec { id: "ps", category: Category::Ps, build: models::prestrain, expand: expand(1, 1) },
-        WorkloadSpec { id: "pd", category: Category::Pd, build: models::plastidamage, expand: expand(1, 1) },
-        WorkloadSpec { id: "mg", category: Category::Mg, build: models::multigeneration, expand: expand(1, 1) },
-        WorkloadSpec { id: "fs", category: Category::Fs, build: models::fsi, expand: expand(2, 1) },
-        WorkloadSpec { id: "mi", category: Category::Mi, build: models::misc, expand: expand(2, 1) },
-        WorkloadSpec { id: "ma", category: Category::Ma, build: ma28, expand: expand(1, 1) },
-        WorkloadSpec { id: "dm", category: Category::Dm, build: models::damage, expand: expand(8, 1) },
-        WorkloadSpec { id: "tu", category: Category::Tu, build: models::tumor, expand: expand(6, 1) },
-        WorkloadSpec { id: "rj", category: Category::Rj, build: models::rigid_joint, expand: expand(24, 1) },
-        WorkloadSpec { id: "vc", category: Category::Vc, build: models::volume_constraint, expand: expand(1, 1) },
-        WorkloadSpec { id: "bi", category: Category::Bi, build: models::biphasic_fsi, expand: expand(2, 1) },
-        WorkloadSpec { id: "eye", category: Category::Eye, build: models::eye, expand: expand(4, 2) },
+        WorkloadSpec {
+            id: "ar",
+            category: Category::Ar,
+            build: models::arterial,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "bp",
+            category: Category::Bp,
+            build: bp07,
+            expand: expand(2, 1),
+        },
+        WorkloadSpec {
+            id: "co",
+            category: Category::Co,
+            build: models::contact,
+            expand: expand(2, 1),
+        },
+        WorkloadSpec {
+            id: "fl",
+            category: Category::Fl,
+            build: fl34,
+            expand: expand(2, 1),
+        },
+        WorkloadSpec {
+            id: "mu",
+            category: Category::Mu,
+            build: models::muscle,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "mp",
+            category: Category::Mp,
+            build: models::multiphasic,
+            expand: expand(2, 1),
+        },
+        WorkloadSpec {
+            id: "te",
+            category: Category::Te,
+            build: models::tetrahedral,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "ri",
+            category: Category::Ri,
+            build: models::rigid,
+            expand: expand(8, 1),
+        },
+        WorkloadSpec {
+            id: "ps",
+            category: Category::Ps,
+            build: models::prestrain,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "pd",
+            category: Category::Pd,
+            build: models::plastidamage,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "mg",
+            category: Category::Mg,
+            build: models::multigeneration,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "fs",
+            category: Category::Fs,
+            build: models::fsi,
+            expand: expand(2, 1),
+        },
+        WorkloadSpec {
+            id: "mi",
+            category: Category::Mi,
+            build: models::misc,
+            expand: expand(2, 1),
+        },
+        WorkloadSpec {
+            id: "ma",
+            category: Category::Ma,
+            build: ma28,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "dm",
+            category: Category::Dm,
+            build: models::damage,
+            expand: expand(8, 1),
+        },
+        WorkloadSpec {
+            id: "tu",
+            category: Category::Tu,
+            build: models::tumor,
+            expand: expand(6, 1),
+        },
+        WorkloadSpec {
+            id: "rj",
+            category: Category::Rj,
+            build: models::rigid_joint,
+            expand: expand(24, 1),
+        },
+        WorkloadSpec {
+            id: "vc",
+            category: Category::Vc,
+            build: models::volume_constraint,
+            expand: expand(1, 1),
+        },
+        WorkloadSpec {
+            id: "bi",
+            category: Category::Bi,
+            build: models::biphasic_fsi,
+            expand: expand(2, 1),
+        },
+        WorkloadSpec {
+            id: "eye",
+            category: Category::Eye,
+            build: models::eye,
+            expand: expand(4, 2),
+        },
     ]
 }
 
@@ -336,8 +495,7 @@ mod tests {
 
     #[test]
     fn catalog_covers_every_category() {
-        let cats: std::collections::HashSet<_> =
-            catalog().iter().map(|w| w.category).collect();
+        let cats: std::collections::HashSet<_> = catalog().iter().map(|w| w.category).collect();
         assert_eq!(cats.len(), 20);
         for c in Category::ALL {
             assert!(cats.contains(&c), "missing {c:?}");

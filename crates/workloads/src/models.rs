@@ -31,8 +31,12 @@ pub fn arterial() -> FeModel {
 /// permeability anisotropy (the `bp07`–`bp09` axis).
 pub fn biphasic(permeability: [f64; 3]) -> FeModel {
     let mesh = Mesh::box_hex(4, 4, 4, 0.5, 0.5, 1.0);
-    let mut m =
-        FeModel::poro(mesh, Box::new(LinearElastic::new(8e3, 0.2)), permeability, 1e-5);
+    let mut m = FeModel::poro(
+        mesh,
+        Box::new(LinearElastic::new(8e3, 0.2)),
+        permeability,
+        1e-5,
+    );
     m.set_name("bp");
     m.fix_face("z0");
     // Drained top (p = 0) under compressive load.
@@ -211,7 +215,10 @@ pub fn misc() -> FeModel {
 /// family); `terms`/`tau_scale`/`spin` parametrize the subcases.
 pub fn material(terms: usize, tau_scale: f64, spin: f64) -> FeModel {
     let prony: Vec<PronyTerm> = (0..terms)
-        .map(|i| PronyTerm { g: 0.5 / terms as f64, tau: tau_scale * (2.0f64).powi(i as i32) })
+        .map(|i| PronyTerm {
+            g: 0.5 / terms as f64,
+            tau: tau_scale * (2.0f64).powi(i as i32),
+        })
         .collect();
     let mesh = Mesh::box_hex(3, 3, 3, 0.8, 0.8, 0.8);
     let mut m = FeModel::solid(mesh, Box::new(Viscoelastic::new(1.2e3, 0.3, prony)));
@@ -280,8 +287,12 @@ pub fn volume_constraint() -> FeModel {
 /// with transient loading.
 pub fn biphasic_fsi() -> FeModel {
     let mesh = Mesh::box_hex(5, 5, 4, 1.0, 1.0, 0.8);
-    let mut m =
-        FeModel::poro(mesh, Box::new(LinearElastic::new(6e3, 0.25)), [2e-2, 2e-2, 5e-3], 1e-5);
+    let mut m = FeModel::poro(
+        mesh,
+        Box::new(LinearElastic::new(6e3, 0.25)),
+        [2e-2, 2e-2, 5e-3],
+        1e-5,
+    );
     m.set_name("bi");
     m.fix_face("z0");
     m.prescribe_face("z1", 3, 0.0);
@@ -311,7 +322,13 @@ pub fn eye() -> FeModel {
     });
     let mats: Vec<Box<dyn Material>> = vec![
         Box::new(NeoHookeanSmall::from_young(1.2e3, 0.45, 80.0)),
-        Box::new(FiberExponential::new(2.5e3, 0.45, [1.0, 1.0, 0.0], 1500.0, 30.0)),
+        Box::new(FiberExponential::new(
+            2.5e3,
+            0.45,
+            [1.0, 1.0, 0.0],
+            1500.0,
+            30.0,
+        )),
         Box::new(NeoHookeanSmall::from_young(300.0, 0.45, 120.0)),
     ];
     let mut m = FeModel::with_formulation(mesh, mats, belenos_fem::model::Formulation::Solid);

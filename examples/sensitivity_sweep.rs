@@ -32,9 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for kb in [8usize, 16, 32, 64] {
         let cfg = CoreConfig::gem5_baseline().with_l1_size(kb * 1024);
         let s = exp.simulate(&cfg, ops);
-        println!("  L1 {kb:>2} kB: L1D MPKI {:>6.2}  IPC {:.3}", s.l1d_mpki(), s.ipc());
+        println!(
+            "  L1 {kb:>2} kB: L1D MPKI {:>6.2}  IPC {:.3}",
+            s.l1d_mpki(),
+            s.ipc()
+        );
     }
 
-    println!("\n(for the full paper sweeps run: cargo run -p belenos-bench --release --bin all_figures)");
+    println!(
+        "\n(for the full paper sweeps run: cargo run -p belenos-bench --release --bin all_figures)"
+    );
     Ok(())
 }

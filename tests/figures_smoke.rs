@@ -21,7 +21,14 @@ fn tables_contain_paper_values() {
         assert!(t1.contains(needle), "table1 missing {needle}");
     }
     let t2 = figures::table2();
-    for needle in ["4 / 6 / 6 / 4", "224", "128", "72 / 56", "280 / 168", "TournamentBP"] {
+    for needle in [
+        "4 / 6 / 6 / 4",
+        "224",
+        "128",
+        "72 / 56",
+        "280 / 168",
+        "TournamentBP",
+    ] {
         assert!(t2.contains(needle), "table2 missing {needle}");
     }
 }

@@ -62,8 +62,15 @@ fn viscoelastic_models_are_core_bound_with_low_retirement() {
         "ma28 backend {:.2} should dominate",
         td.backend_bound
     );
-    assert!(!td.is_memory_bound(), "ma28 must be core-bound, not memory-bound");
-    assert!(td.retiring < 0.45, "ma28 retiring {:.2} should be low", td.retiring);
+    assert!(
+        !td.is_memory_bound(),
+        "ma28 must be core-bound, not memory-bound"
+    );
+    assert!(
+        td.retiring < 0.45,
+        "ma28 retiring {:.2} should be low",
+        td.retiring
+    );
 }
 
 #[test]
@@ -71,7 +78,11 @@ fn biphasic_models_are_memory_bound() {
     let exp = prepare("bp07");
     let stats = exp.simulate_host(OPS);
     let td = TopDown::from_stats("bp07", &stats);
-    assert!(td.backend_bound > 0.4, "bp07 backend {:.2}", td.backend_bound);
+    assert!(
+        td.backend_bound > 0.4,
+        "bp07 backend {:.2}",
+        td.backend_bound
+    );
     assert!(
         td.be_memory > td.be_core * 0.8,
         "bp07 should lean memory-bound (mem {:.2} vs core {:.2})",
@@ -153,7 +164,10 @@ fn narrow_pipeline_hurts_wide_helps_little() {
     let slow = (narrow.seconds() - base.seconds()) / base.seconds();
     let fast = (base.seconds() - wide.seconds()) / base.seconds();
     assert!(slow > 0.03, "width 2 should cost ar noticeably: {slow:.3}");
-    assert!(fast < slow, "width 8 gains must be smaller than width 2 losses");
+    assert!(
+        fast < slow,
+        "width 8 gains must be smaller than width 2 losses"
+    );
 }
 
 #[test]
@@ -181,7 +195,10 @@ fn predictors_rank_sanely_on_branchy_workload() {
 fn expander_config_changes_trace_character() {
     let exp = prepare("pd");
     let plain = ExpandConfig::default();
-    let bloated = ExpandConfig { code_bloat: 32, ..ExpandConfig::default() };
+    let bloated = ExpandConfig {
+        code_bloat: 32,
+        ..ExpandConfig::default()
+    };
     let count_plain = Expander::with_config(exp.log(), plain).take(OPS).count();
     let count_bloat = Expander::with_config(exp.log(), bloated).take(OPS).count();
     assert_eq!(count_plain, count_bloat, "bloat must not change op counts");
@@ -190,10 +207,21 @@ fn expander_config_changes_trace_character() {
     let a = core.run(Expander::with_config(exp.log(), ExpandConfig::default()).take(OPS));
     let mut core = O3Core::new(CoreConfig::gem5_baseline());
     let b = core.run(
-        Expander::with_config(exp.log(), ExpandConfig { code_bloat: 32, ..Default::default() })
-            .take(OPS),
+        Expander::with_config(
+            exp.log(),
+            ExpandConfig {
+                code_bloat: 32,
+                ..Default::default()
+            },
+        )
+        .take(OPS),
     );
-    assert!(b.l1i_misses > a.l1i_misses, "{} !> {}", b.l1i_misses, a.l1i_misses);
+    assert!(
+        b.l1i_misses > a.l1i_misses,
+        "{} !> {}",
+        b.l1i_misses,
+        a.l1i_misses
+    );
 }
 
 #[test]

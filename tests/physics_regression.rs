@@ -15,7 +15,10 @@ fn cantilever_deflection_scales_inversely_with_stiffness() {
         let r = m.solve().expect("solves");
         let mesh = m.mesh();
         let set = mesh.node_set("x1").unwrap();
-        set.iter().map(|&n| r.solution[n as usize * 3 + 2]).sum::<f64>() / set.len() as f64
+        set.iter()
+            .map(|&n| r.solution[n as usize * 3 + 2])
+            .sum::<f64>()
+            / set.len() as f64
     };
     let soft = deflect(500.0);
     let stiff = deflect(2000.0);
@@ -62,15 +65,17 @@ fn poisson_contraction_has_right_sign_and_magnitude() {
 fn nonlinear_material_stiffens_the_structure() {
     let tip = |beta: f64| -> f64 {
         let mesh = Mesh::box_hex(3, 3, 3, 1.0, 1.0, 1.0);
-        let mut m =
-            FeModel::solid(mesh, Box::new(NeoHookeanSmall::from_young(1e3, 0.3, beta)));
+        let mut m = FeModel::solid(mesh, Box::new(NeoHookeanSmall::from_young(1e3, 0.3, beta)));
         m.fix_face("z0");
         m.add_load("z1", 2, 4.0);
         m.set_newton(40, 1e-8);
         let r = m.solve().expect("solves");
         let mesh = m.mesh();
         let set = mesh.node_set("z1").unwrap();
-        set.iter().map(|&n| r.solution[n as usize * 3 + 2]).sum::<f64>() / set.len() as f64
+        set.iter()
+            .map(|&n| r.solution[n as usize * 3 + 2])
+            .sum::<f64>()
+            / set.len() as f64
     };
     let linearish = tip(0.0);
     let stiffening = tip(400.0);
@@ -98,7 +103,10 @@ fn energy_balance_linear_elastic() {
 #[test]
 fn tet_and_hex_agree_on_homogeneous_strain() {
     // A patch-style check: both topologies reproduce uniform extension.
-    for mesh in [Mesh::box_hex(2, 2, 2, 1.0, 1.0, 1.0), Mesh::box_tet(2, 2, 2, 1.0, 1.0, 1.0)] {
+    for mesh in [
+        Mesh::box_hex(2, 2, 2, 1.0, 1.0, 1.0),
+        Mesh::box_tet(2, 2, 2, 1.0, 1.0, 1.0),
+    ] {
         let mut m = FeModel::solid(mesh, Box::new(LinearElastic::new(1e3, 0.0)));
         // ν = 0 keeps lateral faces exactly still: pure 1-D problem.
         m.fix_face("z0");
