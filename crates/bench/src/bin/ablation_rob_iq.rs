@@ -2,11 +2,11 @@
 //! increasing reorder buffer and issue queue sizes, but observed less
 //! than 4% improvement in execution time across workloads."
 use belenos::sweep;
-use belenos_bench::{max_ops, prepare_or_die};
+use belenos_bench::{max_ops, prepare_or_die, sampling};
 
 fn main() {
     let exps = prepare_or_die(&belenos_workloads::gem5_set());
-    let pts = sweep::rob_iq(&exps, &[(224, 128), (448, 256)], max_ops());
+    let pts = sweep::rob_iq(&exps, &[(224, 128), (448, 256)], max_ops(), &sampling());
     let diffs = sweep::percent_diff_vs(&pts, "224_128");
     println!("ROB/IQ ablation: execution-time change going 224/128 -> 448/256");
     println!("(paper: < 4% improvement across workloads)\n");

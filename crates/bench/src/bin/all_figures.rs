@@ -3,30 +3,31 @@
 //! `belenos-runner` batch engine, so baseline configurations shared
 //! between figures are simulated exactly once (see the cache summary
 //! printed at the end).
-use belenos_bench::{max_ops, prepare_or_die, print_run_summary};
+use belenos_bench::{max_ops, prepare_or_die, print_run_summary, sampling};
 
 fn main() {
     let ops = max_ops();
+    let smp = sampling();
     println!("{}", belenos::figures::table1());
     println!("{}", belenos::figures::table2());
 
     let vtune = prepare_or_die(&belenos_workloads::vtune_set());
-    println!("{}", belenos::figures::fig02_topdown(&vtune, ops));
-    println!("{}", belenos::figures::fig03_stalls(&vtune, ops));
+    println!("{}", belenos::figures::fig02_topdown(&vtune, ops, &smp));
+    println!("{}", belenos::figures::fig03_stalls(&vtune, ops, &smp));
     println!("{}", belenos::figures::fig06_exec_time(&vtune));
-    println!("{}", belenos::figures::memory_profiles(&vtune, ops));
+    println!("{}", belenos::figures::memory_profiles(&vtune, ops, &smp));
 
     let cat = prepare_or_die(&belenos_workloads::catalog());
-    println!("{}", belenos::figures::fig04_hotspots(&cat, ops));
+    println!("{}", belenos::figures::fig04_hotspots(&cat, ops, &smp));
     println!("{}", belenos::figures::fig05_scaling(&cat));
 
     let gem5 = prepare_or_die(&belenos_workloads::gem5_set());
-    println!("{}", belenos::figures::fig07_pipeline(&gem5, ops));
-    println!("{}", belenos::figures::fig08_frequency(&gem5, ops));
-    println!("{}", belenos::figures::fig09_cache(&gem5, ops));
-    println!("{}", belenos::figures::fig10_width(&gem5, ops));
-    println!("{}", belenos::figures::fig11_lsq(&gem5, ops));
-    println!("{}", belenos::figures::fig12_branch(&gem5, ops));
+    println!("{}", belenos::figures::fig07_pipeline(&gem5, ops, &smp));
+    println!("{}", belenos::figures::fig08_frequency(&gem5, ops, &smp));
+    println!("{}", belenos::figures::fig09_cache(&gem5, ops, &smp));
+    println!("{}", belenos::figures::fig10_width(&gem5, ops, &smp));
+    println!("{}", belenos::figures::fig11_lsq(&gem5, ops, &smp));
+    println!("{}", belenos::figures::fig12_branch(&gem5, ops, &smp));
 
     print_run_summary();
 }

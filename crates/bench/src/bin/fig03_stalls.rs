@@ -1,7 +1,10 @@
 //! Regenerates Fig. 3: FE/BE stall breakdown for the VTune set.
-use belenos_bench::{max_ops, prepare_or_die};
+use belenos_bench::{max_ops, prepare_or_die, sampling};
 
 fn main() {
     let exps = prepare_or_die(&belenos_workloads::vtune_set());
-    println!("{}", belenos::figures::fig03_stalls(&exps, max_ops()));
+    println!(
+        "{}",
+        belenos::figures::fig03_stalls(&exps, max_ops(), &sampling())
+    );
 }

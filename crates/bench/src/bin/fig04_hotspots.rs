@@ -1,7 +1,10 @@
 //! Regenerates Fig. 4: hotspot function-category prevalence.
-use belenos_bench::{max_ops, prepare_or_die};
+use belenos_bench::{max_ops, prepare_or_die, sampling};
 
 fn main() {
     let exps = prepare_or_die(&belenos_workloads::catalog());
-    println!("{}", belenos::figures::fig04_hotspots(&exps, max_ops()));
+    println!(
+        "{}",
+        belenos::figures::fig04_hotspots(&exps, max_ops(), &sampling())
+    );
 }

@@ -1,7 +1,10 @@
 //! Regenerates Fig. 11: load/store-queue sensitivity.
-use belenos_bench::{max_ops, prepare_or_die};
+use belenos_bench::{max_ops, prepare_or_die, sampling};
 
 fn main() {
     let exps = prepare_or_die(&belenos_workloads::gem5_set());
-    println!("{}", belenos::figures::fig11_lsq(&exps, max_ops()));
+    println!(
+        "{}",
+        belenos::figures::fig11_lsq(&exps, max_ops(), &sampling())
+    );
 }

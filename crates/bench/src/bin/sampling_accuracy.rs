@@ -1,0 +1,97 @@
+//! Accuracy/speed harness for SMARTS-style interval sampling: for a few
+//! small catalog workloads, compares the full-trace simulation against
+//! (a) sampled runs at a 10x reduced op budget and (b) the historical
+//! prefix truncation at the same budget, reporting IPC error, wall time
+//! and where the measurement windows actually land in the trace.
+//!
+//! Knobs: `BELENOS_ACCURACY_WORKLOADS` (comma-separated ids, default
+//! `pd,co`), `BELENOS_SAMPLING` (interval count for the sampled column,
+//! default the library's recommended count).
+
+use belenos::experiment::{sampling_windows, Experiment};
+use belenos_bench::DEFAULT_SAMPLING_INTERVALS;
+use belenos_profiler::report::{fmt, Table};
+use belenos_uarch::{CoreConfig, SamplingConfig, SimStats};
+use std::time::Instant;
+
+fn timed(f: impl FnOnce() -> SimStats) -> (SimStats, f64) {
+    let t0 = Instant::now();
+    let stats = f();
+    (stats, t0.elapsed().as_secs_f64())
+}
+
+fn pct_err(est: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        0.0
+    } else {
+        (est - reference) / reference * 100.0
+    }
+}
+
+fn main() {
+    let ids = std::env::var("BELENOS_ACCURACY_WORKLOADS").unwrap_or_else(|_| "pd,co".into());
+    let intervals = match belenos_bench::sampling() {
+        s if s.is_off() => DEFAULT_SAMPLING_INTERVALS,
+        s => s.intervals,
+    };
+    let cfg = CoreConfig::gem5_baseline();
+
+    let mut t = Table::new(&[
+        "Model",
+        "Trace ops",
+        "Budget",
+        "Full IPC",
+        "Sampled IPC",
+        "err%",
+        "Prefix IPC",
+        "err%",
+        "Full (s)",
+        "Sampled (s)",
+        "Speedup",
+    ]);
+    for id in ids.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let spec = match belenos_workloads::by_id(id) {
+            Some(s) => s,
+            None => {
+                eprintln!("unknown workload id `{id}`, skipping");
+                continue;
+            }
+        };
+        let exp = Experiment::prepare(&spec).unwrap_or_else(|e| panic!("prepare {id}: {e}"));
+        let total = exp.total_trace_ops();
+        let budget = (total as usize / 10).max(1);
+
+        let (full, full_s) = timed(|| exp.simulate(&cfg, 0));
+        let smp = SamplingConfig::smarts(intervals);
+        let (sampled, sampled_s) = timed(|| exp.simulate_sampled(&cfg, budget, &smp));
+        let (prefix, _) = timed(|| exp.simulate(&cfg, budget));
+
+        let windows = sampling_windows(total, budget as u64, intervals);
+        let (last_start, last_len) = *windows.last().expect("non-empty");
+        eprintln!(
+            "{id}: {} windows of {} ops; first at {:.1}%, last ends at {:.1}% of the trace",
+            windows.len(),
+            last_len,
+            windows[0].0 as f64 / total as f64 * 100.0,
+            (last_start + last_len) as f64 / total as f64 * 100.0,
+        );
+
+        t.row(vec![
+            id.to_string(),
+            total.to_string(),
+            budget.to_string(),
+            fmt(full.ipc(), 4),
+            fmt(sampled.ipc(), 4),
+            fmt(pct_err(sampled.ipc(), full.ipc()), 2),
+            fmt(prefix.ipc(), 4),
+            fmt(pct_err(prefix.ipc(), full.ipc()), 2),
+            fmt(full_s, 3),
+            fmt(sampled_s, 3),
+            fmt(full_s / sampled_s.max(1e-9), 2),
+        ]);
+    }
+    println!(
+        "Sampling accuracy at a 10x reduced op budget ({intervals} SMARTS intervals)\n\n{}",
+        t.render()
+    );
+}

@@ -6,16 +6,25 @@
 //! (`cargo bench -p belenos-bench`).
 //!
 //! All figure binaries execute their simulation grids through the
-//! `belenos-runner` batch engine. Two environment variables control a
+//! `belenos-runner` batch engine. Three environment variables control a
 //! campaign (documented in the top-level README):
 //!
 //! * `BELENOS_MAX_OPS` — micro-op budget per simulation (default 1M);
-//! * `BELENOS_JOBS` — runner worker threads (default: all cores).
+//! * `BELENOS_JOBS` — runner worker threads (default: all cores);
+//! * `BELENOS_SAMPLING` — how the budget is placed over the trace:
+//!   unset/`off` = prefix truncation, `on` = SMARTS sampling with the
+//!   default interval count, `N` = SMARTS sampling with `N` intervals.
 
 use belenos::experiment::{prepare_all, Experiment};
+use belenos_uarch::SamplingConfig;
 use belenos_workloads::WorkloadSpec;
 
 pub mod timing;
+
+/// Default SMARTS interval count for `BELENOS_SAMPLING=on`. Few large
+/// intervals alias with solver phase structure; ~a hundred or more
+/// converge tightly (see `SamplingConfig::smarts`).
+pub const DEFAULT_SAMPLING_INTERVALS: usize = 128;
 
 /// Micro-op budget per simulation, from `BELENOS_MAX_OPS` (default 1M).
 pub fn max_ops() -> usize {
@@ -23,6 +32,33 @@ pub fn max_ops() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1_000_000)
+}
+
+/// Trace-sampling strategy from `BELENOS_SAMPLING` (default off).
+///
+/// * unset, empty, `off` or `0` — prefix truncation (historical mode);
+/// * `on` — SMARTS sampling with [`DEFAULT_SAMPLING_INTERVALS`];
+/// * `N` — SMARTS sampling with `N` intervals.
+pub fn sampling() -> SamplingConfig {
+    match std::env::var("BELENOS_SAMPLING") {
+        Ok(v) => {
+            let v = v.trim();
+            if v.is_empty() || v.eq_ignore_ascii_case("off") {
+                SamplingConfig::off()
+            } else if v.eq_ignore_ascii_case("on") {
+                SamplingConfig::smarts(DEFAULT_SAMPLING_INTERVALS)
+            } else {
+                match v.parse::<usize>() {
+                    Ok(n) => SamplingConfig::smarts(n),
+                    Err(_) => {
+                        eprintln!("BELENOS_SAMPLING={v} not understood; sampling off");
+                        SamplingConfig::off()
+                    }
+                }
+            }
+        }
+        Err(_) => SamplingConfig::off(),
+    }
 }
 
 /// Prepares workloads, printing progress, and panics with a clear message

@@ -3,9 +3,10 @@
 
 use belenos_fem::FemError;
 use belenos_trace::expand::{ExpandConfig, Expander};
-use belenos_trace::{KernelCall, PhaseLog};
-use belenos_uarch::{CoreConfig, Fnv64, O3Core, SimStats};
+use belenos_trace::{KernelCall, MicroOp, PhaseLog};
+use belenos_uarch::{CoreConfig, Fnv64, O3Core, SamplingConfig, SimStats};
 use belenos_workloads::WorkloadSpec;
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// Summary of the numeric solve that produced the phase log.
@@ -34,6 +35,12 @@ pub struct Experiment {
     log: PhaseLog,
     expand: ExpandConfig,
     fingerprint: u64,
+    /// Total ops of the full trace, counted lazily on first use (interval
+    /// placement needs the trace length before simulating it).
+    total_ops: OnceLock<u64>,
+    /// Largest op count the trace is *known to reach* (monotone lower
+    /// bound), so repeated budget-clamp checks never re-count.
+    trace_at_least: std::sync::atomic::AtomicU64,
 }
 
 impl Experiment {
@@ -60,6 +67,8 @@ impl Experiment {
             log: report.log,
             expand: spec.expand.clone(),
             fingerprint,
+            total_ops: OnceLock::new(),
+            trace_at_least: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -70,6 +79,12 @@ impl Experiment {
 
     /// Expands the log and runs it on a core configuration, simulating at
     /// most `max_ops` micro-ops (0 = unlimited).
+    ///
+    /// This is the historical *prefix-truncation* mode: a budgeted run
+    /// measures only the first `max_ops` ops of the trace, which biases
+    /// budgeted figures toward assembly and early Newton iterations. For
+    /// representative budgeted measurements use
+    /// [`Experiment::simulate_sampled`].
     pub fn simulate(&self, cfg: &CoreConfig, max_ops: usize) -> SimStats {
         let expander = Expander::with_config(&self.log, self.expand.clone());
         let mut core = O3Core::new(cfg.clone());
@@ -77,9 +92,96 @@ impl Experiment {
             core.run(expander)
         } else {
             // Discard the first quarter as measurement warmup (cold caches
-            // and untrained predictors), as gem5 checkpointed runs do.
-            core.run_warm(expander.take(max_ops), max_ops as u64 / 4)
+            // and untrained predictors), as gem5 checkpointed runs do. The
+            // quarter is of the *measured* window — the smaller of budget
+            // and actual trace — so an oversized budget cannot discard the
+            // whole trace as warmup and report empty statistics.
+            let measured = (max_ops as u64).min(self.trace_ops_up_to(max_ops as u64));
+            core.run_warm(expander.take(max_ops), measured / 4)
         }
+    }
+
+    /// Total micro-ops the full trace expands to (counted once, lazily;
+    /// generation-only, far cheaper than simulating).
+    pub fn total_trace_ops(&self) -> u64 {
+        *self
+            .total_ops
+            .get_or_init(|| Expander::with_config(&self.log, self.expand.clone()).into_total_ops())
+    }
+
+    /// Trace length for clamping against `limit`: the memoized full
+    /// count when already known, otherwise a generation pass that stops
+    /// at `limit` — `O(min(limit, total))`, so a small budgeted run
+    /// never pays a full-trace expansion just to learn "long enough".
+    fn trace_ops_up_to(&self, limit: u64) -> u64 {
+        use std::sync::atomic::Ordering;
+        if let Some(&total) = self.total_ops.get() {
+            return total;
+        }
+        let known = self.trace_at_least.load(Ordering::Relaxed);
+        if known >= limit {
+            return known;
+        }
+        let n = Expander::with_config(&self.log, self.expand.clone()).total_ops_up_to(limit);
+        if n < limit {
+            // The bounded pass exhausted the trace: that IS the total.
+            let _ = self.total_ops.set(n);
+        } else {
+            self.trace_at_least.fetch_max(n, Ordering::Relaxed);
+        }
+        n
+    }
+
+    /// Simulates under `cfg` with the op budget placed per `sampling`.
+    ///
+    /// * `sampling` off (or `max_ops == 0`): identical to
+    ///   [`Experiment::simulate`], bit for bit.
+    /// * budget covering the whole trace: an exact full-trace run
+    ///   (identical to `max_ops == 0`).
+    /// * otherwise, SMARTS-style systematic sampling: the budget is split
+    ///   into `sampling.intervals` measurement windows placed evenly over
+    ///   the whole trace, the gaps between them are *functionally warmed*
+    ///   ([`O3Core::warm_only`]: caches, TLBs, BTB and branch predictor
+    ///   observe every op at zero pipeline cost), the first
+    ///   `sampling.warmup_frac` of each window is discarded as detailed
+    ///   warmup, and the merged measurements are extrapolated to
+    ///   whole-trace estimates.
+    pub fn simulate_sampled(
+        &self,
+        cfg: &CoreConfig,
+        max_ops: usize,
+        sampling: &SamplingConfig,
+    ) -> SimStats {
+        if sampling.is_off() || max_ops == 0 {
+            return self.simulate(cfg, max_ops);
+        }
+        let total = self.total_trace_ops();
+        let expander = Expander::with_config(&self.log, self.expand.clone());
+        let mut core = O3Core::new(cfg.clone());
+        if max_ops as u64 >= total {
+            // One interval covering the whole trace: simulate it exactly.
+            return core.run(expander);
+        }
+        let windows = sampling_windows(total, max_ops as u64, sampling.intervals);
+        let mut trace = Counted {
+            inner: expander,
+            consumed: 0,
+        };
+        let mut merged = SimStats {
+            freq_ghz: cfg.freq_ghz,
+            ..SimStats::default()
+        };
+        for (start, len) in windows {
+            let gap = start.saturating_sub(trace.consumed);
+            core.warm_only(&mut trace, gap);
+            let warmup = (len as f64 * sampling.warmup_frac) as u64;
+            let stats = core.run_warm((&mut trace).take(len as usize), warmup);
+            merged.merge(&stats);
+        }
+        if merged.committed_ops == 0 {
+            return merged;
+        }
+        merged.scaled(total as f64 / merged.committed_ops as f64)
     }
 
     /// Convenience: simulate on the Table II gem5 baseline.
@@ -102,9 +204,51 @@ impl belenos_runner::Simulate for Experiment {
         self.fingerprint
     }
 
-    fn simulate(&self, config: &CoreConfig, max_ops: usize) -> SimStats {
-        Experiment::simulate(self, config, max_ops)
+    fn simulate(&self, config: &CoreConfig, max_ops: usize, sampling: &SamplingConfig) -> SimStats {
+        Experiment::simulate_sampled(self, config, max_ops, sampling)
     }
+}
+
+/// Iterator adapter counting consumed items, so the sampling driver knows
+/// its absolute position in the trace across warming and measuring.
+struct Counted<I> {
+    inner: I,
+    consumed: u64,
+}
+
+impl<I: Iterator<Item = MicroOp>> Iterator for Counted<I> {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        let op = self.inner.next();
+        if op.is_some() {
+            self.consumed += 1;
+        }
+        op
+    }
+}
+
+/// Placement of SMARTS-style measurement windows: `(start, len)` pairs in
+/// trace-op coordinates for a detailed budget of `budget` ops split into
+/// `intervals` windows over a trace of `total` ops.
+///
+/// Each window sits at the *end* of its equal-length period, so the
+/// functional-warming gap precedes every measurement and the last window
+/// reaches the tail of the trace — budgeted runs observe steady-state
+/// solver phases, not just the assembly-heavy prefix.
+pub fn sampling_windows(total: u64, budget: u64, intervals: usize) -> Vec<(u64, u64)> {
+    if total == 0 || budget == 0 {
+        return Vec::new();
+    }
+    if budget >= total {
+        return vec![(0, total)];
+    }
+    let n = (intervals.max(1) as u64).min(budget);
+    let measured = (budget / n).max(1);
+    let period = (total / n).max(measured);
+    (0..n)
+        .map(|i| (i * period + (period - measured), measured))
+        .collect()
 }
 
 /// Memoizes content hashes of the `Arc`'d index arrays kernel calls
@@ -378,6 +522,99 @@ mod tests {
         // Same spec prepared twice fingerprints identically (determinism).
         let a2 = Experiment::prepare(&gem5_co).unwrap();
         assert_eq!(a.fingerprint(), a2.fingerprint());
+    }
+
+    #[test]
+    fn sampling_off_is_bit_identical_to_prefix_mode() {
+        let exp = Experiment::prepare(&by_id("pd").expect("pd")).unwrap();
+        let cfg = CoreConfig::gem5_baseline();
+        let prefix = exp.simulate(&cfg, 30_000);
+        let off = exp.simulate_sampled(&cfg, 30_000, &SamplingConfig::off());
+        assert_eq!(prefix, off, "sampling=off must reproduce prefix mode");
+    }
+
+    #[test]
+    fn sampled_run_tracks_full_simulation() {
+        let exp = Experiment::prepare(&by_id("pd").expect("pd")).unwrap();
+        let cfg = CoreConfig::gem5_baseline();
+        let total = exp.total_trace_ops();
+        let full = exp.simulate(&cfg, 0);
+        assert_eq!(
+            full.committed_ops, total,
+            "every emitted op commits exactly once"
+        );
+
+        // One interval whose budget covers the whole trace is exactly
+        // O3Core::run.
+        let single = exp.simulate_sampled(&cfg, total as usize, &SamplingConfig::smarts(1));
+        assert_eq!(single, full, "full-budget interval must equal run()");
+
+        // A 10x reduced budget over many small intervals extrapolates
+        // close to the full simulation. (Few large intervals alias with
+        // the trace's phase structure — SMARTS' core observation is that
+        // many small windows beat few large ones at equal budget.)
+        let sampled = exp.simulate_sampled(&cfg, total as usize / 10, &SamplingConfig::smarts(100));
+        let ipc_err = (sampled.ipc() - full.ipc()).abs() / full.ipc();
+        assert!(
+            ipc_err < 0.05,
+            "sampled IPC {} vs full {} (err {:.1}%)",
+            sampled.ipc(),
+            full.ipc(),
+            ipc_err * 100.0
+        );
+        // Extrapolated op count lands near the whole trace.
+        let op_err = (sampled.committed_ops as f64 - total as f64).abs() / total as f64;
+        assert!(op_err < 0.02, "extrapolated ops {}", sampled.committed_ops);
+        // And it must beat prefix truncation's bias on the cycle
+        // estimate... at minimum, be a whole-trace-scale estimate at all
+        // (prefix mode reports only the measured window).
+        assert!(sampled.cycles > full.cycles / 2);
+        assert!(sampled.cycles < full.cycles * 2);
+    }
+
+    #[test]
+    fn oversized_budget_in_prefix_mode_still_measures() {
+        // Regression: a budget whose quarter-warmup exceeded the whole
+        // trace used to make run_warm's empty-measurement clamp zero out
+        // the stats; the warmup is now a quarter of min(budget, trace).
+        let exp = Experiment::prepare(&by_id("pd").expect("pd")).unwrap();
+        let cfg = CoreConfig::gem5_baseline();
+        let total = exp.total_trace_ops();
+        let stats = exp.simulate(&cfg, (total as usize) * 10);
+        assert!(stats.committed_ops > 0, "oversized budget must not zero");
+        // Measured window = trace minus the quarter-trace warmup.
+        assert!(stats.committed_ops <= total * 3 / 4 + 8);
+        assert!(stats.committed_ops >= total / 2);
+        assert!(stats.ipc() > 0.1);
+    }
+
+    #[test]
+    fn sampling_windows_cover_late_trace_phases() {
+        let total = 1_000_000u64;
+        let windows = sampling_windows(total, 100_000, 10);
+        assert_eq!(windows.len(), 10);
+        for (start, len) in &windows {
+            assert_eq!(*len, 10_000);
+            assert!(start + len <= total);
+        }
+        // Windows are strictly increasing and evenly spread.
+        for w in windows.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, 100_000, "equal periods");
+        }
+        // The last window reaches the trace tail — budgeted measurement
+        // is no longer a prefix.
+        let (last_start, last_len) = *windows.last().unwrap();
+        assert!(last_start + last_len == total);
+        assert!(last_start as f64 > 0.89 * total as f64);
+
+        // Degenerate shapes.
+        assert_eq!(sampling_windows(100, 200, 4), vec![(0, 100)]);
+        assert_eq!(sampling_windows(0, 100, 4), vec![]);
+        assert_eq!(sampling_windows(100, 0, 4), vec![]);
+        // More intervals than budget ops: clamped, never empty windows.
+        let tiny = sampling_windows(1000, 3, 10);
+        assert_eq!(tiny.len(), 3);
+        assert!(tiny.iter().all(|&(_, len)| len == 1));
     }
 
     #[test]

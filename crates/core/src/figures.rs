@@ -11,7 +11,7 @@ use belenos_profiler::{HotspotProfile, MemoryProfile, TopDown};
 use belenos_runner::{RunPlan, Runner};
 use belenos_trace::FnCategory;
 use belenos_uarch::config::BranchPredictorKind;
-use belenos_uarch::{CoreConfig, SimStats};
+use belenos_uarch::{CoreConfig, SamplingConfig, SimStats};
 use belenos_workloads::{catalog, WorkloadSpec};
 
 /// Simulates every experiment once under `config` through the batch
@@ -23,15 +23,24 @@ fn simulate_batch(
     label: &str,
     config: &CoreConfig,
     max_ops: usize,
+    sampling: &SamplingConfig,
 ) -> Vec<SimStats> {
     let mut plan = RunPlan::new();
     for w in 0..experiments.len() {
-        plan.job(w, label, config.clone(), max_ops);
+        plan.push(
+            belenos_runner::JobSpec::new(w, label, config.clone(), max_ops)
+                .with_sampling(sampling.clone()),
+        );
     }
     Runner::from_env()
         .run(experiments, &plan)
         .into_iter()
-        .map(|r| r.stats)
+        .map(|r| {
+            if let Some(e) = &r.error {
+                panic!("figure point '{} {}' failed: {e}", r.workload, r.label);
+            }
+            r.stats
+        })
         .collect()
 }
 
@@ -114,12 +123,22 @@ pub fn table2() -> String {
 }
 
 /// Fig. 2: top-down pipeline breakdown per VTune workload.
-pub fn fig02_topdown(experiments: &[Experiment], max_ops: usize) -> String {
+pub fn fig02_topdown(
+    experiments: &[Experiment],
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> String {
     // VTune-style profiles need windows spanning several Newton iterations
     // of the larger models; widen the budget accordingly.
     let max_ops = max_ops.saturating_mul(3);
     let mut t = Table::new(&["Model", "Retiring%", "FrontEnd%", "BadSpec%", "BackEnd%"]);
-    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), max_ops);
+    let host = simulate_batch(
+        experiments,
+        "host",
+        &CoreConfig::host_like(),
+        max_ops,
+        sampling,
+    );
     for (exp, stats) in experiments.iter().zip(&host) {
         let td = TopDown::from_stats(&exp.id, stats);
         let p = td.percents();
@@ -138,7 +157,11 @@ pub fn fig02_topdown(experiments: &[Experiment], max_ops: usize) -> String {
 }
 
 /// Fig. 3: front-end / back-end stall split per VTune workload.
-pub fn fig03_stalls(experiments: &[Experiment], max_ops: usize) -> String {
+pub fn fig03_stalls(
+    experiments: &[Experiment],
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> String {
     // VTune-style profiles need windows spanning several Newton iterations
     // of the larger models; widen the budget accordingly.
     let max_ops = max_ops.saturating_mul(3);
@@ -149,7 +172,13 @@ pub fn fig03_stalls(experiments: &[Experiment], max_ops: usize) -> String {
         "BE Core%",
         "BE Memory%",
     ]);
-    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), max_ops);
+    let host = simulate_batch(
+        experiments,
+        "host",
+        &CoreConfig::host_like(),
+        max_ops,
+        sampling,
+    );
     for (exp, stats) in experiments.iter().zip(&host) {
         let td = TopDown::from_stats(&exp.id, stats);
         let s = td.stall_percents();
@@ -168,7 +197,11 @@ pub fn fig03_stalls(experiments: &[Experiment], max_ops: usize) -> String {
 }
 
 /// Fig. 4: hotspot-category prevalence dots per workload.
-pub fn fig04_hotspots(experiments: &[Experiment], max_ops: usize) -> String {
+pub fn fig04_hotspots(
+    experiments: &[Experiment],
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> String {
     // VTune-style profiles need windows spanning several Newton iterations
     // of the larger models; widen the budget accordingly.
     let max_ops = max_ops.saturating_mul(3);
@@ -181,7 +214,13 @@ pub fn fig04_hotspots(experiments: &[Experiment], max_ops: usize) -> String {
         "MKL-BLAS",
         "Pardiso",
     ]);
-    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), max_ops);
+    let host = simulate_batch(
+        experiments,
+        "host",
+        &CoreConfig::host_like(),
+        max_ops,
+        sampling,
+    );
     for (exp, stats) in experiments.iter().zip(&host) {
         let p = HotspotProfile::from_stats(&exp.id, stats);
         let dots = p.dots();
@@ -240,7 +279,11 @@ pub fn fig06_exec_time(experiments: &[Experiment]) -> String {
 }
 
 /// Fig. 7: fetch / execute / commit stage breakdowns on the gem5 baseline.
-pub fn fig07_pipeline(experiments: &[Experiment], max_ops: usize) -> String {
+pub fn fig07_pipeline(
+    experiments: &[Experiment],
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> String {
     let mut fetch = Table::new(&[
         "Model",
         "activeFetch%",
@@ -256,6 +299,7 @@ pub fn fig07_pipeline(experiments: &[Experiment], max_ops: usize) -> String {
         "baseline",
         &CoreConfig::gem5_baseline(),
         max_ops,
+        sampling,
     );
     for (exp, s) in experiments.iter().zip(&baseline) {
         let fetch_total = (s.active_fetch_cycles
@@ -300,9 +344,13 @@ pub fn fig07_pipeline(experiments: &[Experiment], max_ops: usize) -> String {
 }
 
 /// Fig. 8: execution time and IPC vs core frequency.
-pub fn fig08_frequency(experiments: &[Experiment], max_ops: usize) -> String {
+pub fn fig08_frequency(
+    experiments: &[Experiment],
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> String {
     let freqs = [1.0, 2.0, 3.0, 4.0];
-    let pts = sweep::frequency(experiments, &freqs, max_ops);
+    let pts = sweep::frequency(experiments, &freqs, max_ops, sampling);
     let mut time = Table::new(&[
         "Model",
         "1GHz (ms)",
@@ -341,11 +389,15 @@ pub fn fig08_frequency(experiments: &[Experiment], max_ops: usize) -> String {
 }
 
 /// Fig. 9: cache sensitivity (L1I/L1D MPKI, L2 MPKI, normalized times).
-pub fn fig09_cache(experiments: &[Experiment], max_ops: usize) -> String {
+pub fn fig09_cache(
+    experiments: &[Experiment],
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> String {
     let l1_sizes = [8usize, 16, 32, 64];
     let l2_sizes = [256usize, 512, 1024, 2048];
-    let l1_pts = sweep::l1_size(experiments, &l1_sizes, max_ops);
-    let l2_pts = sweep::l2_size(experiments, &l2_sizes, max_ops);
+    let l1_pts = sweep::l1_size(experiments, &l1_sizes, max_ops, sampling);
+    let l2_pts = sweep::l2_size(experiments, &l2_sizes, max_ops, sampling);
     let mut l1i = Table::new(&["Model", "8kB", "16kB", "32kB", "64kB"]);
     let mut l1d = Table::new(&["Model", "8kB", "16kB", "32kB", "64kB"]);
     let mut l1t = Table::new(&["Model", "t(8k)/t(64k)", "t(16k)/t(64k)", "t(32k)/t(64k)"]);
@@ -402,8 +454,12 @@ pub fn fig09_cache(experiments: &[Experiment], max_ops: usize) -> String {
 }
 
 /// Fig. 10: execution-time delta vs pipeline width (baseline 6).
-pub fn fig10_width(experiments: &[Experiment], max_ops: usize) -> String {
-    let pts = sweep::width(experiments, &[2, 4, 6, 8], max_ops);
+pub fn fig10_width(
+    experiments: &[Experiment],
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> String {
+    let pts = sweep::width(experiments, &[2, 4, 6, 8], max_ops, sampling);
     let diffs = sweep::percent_diff_vs(&pts, "6");
     let mut t = Table::new(&["Model", "width=2 (%)", "width=4 (%)", "width=8 (%)"]);
     for exp in experiments {
@@ -429,11 +485,12 @@ pub fn fig10_width(experiments: &[Experiment], max_ops: usize) -> String {
 }
 
 /// Fig. 11: execution-time delta vs LQ/SQ depth (baseline 72/56).
-pub fn fig11_lsq(experiments: &[Experiment], max_ops: usize) -> String {
+pub fn fig11_lsq(experiments: &[Experiment], max_ops: usize, sampling: &SamplingConfig) -> String {
     let pts = sweep::lsq(
         experiments,
         &[(32, 24), (48, 40), (72, 56), (96, 72)],
         max_ops,
+        sampling,
     );
     let diffs = sweep::percent_diff_vs(&pts, "72_56");
     let mut t = Table::new(&["Model", "32_24 (%)", "48_40 (%)", "96_72 (%)"]);
@@ -459,7 +516,11 @@ pub fn fig11_lsq(experiments: &[Experiment], max_ops: usize) -> String {
 }
 
 /// Fig. 12: execution-time delta per branch predictor (vs TournamentBP).
-pub fn fig12_branch(experiments: &[Experiment], max_ops: usize) -> String {
+pub fn fig12_branch(
+    experiments: &[Experiment],
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> String {
     let pts = sweep::branch_predictors(
         experiments,
         &[
@@ -469,6 +530,7 @@ pub fn fig12_branch(experiments: &[Experiment], max_ops: usize) -> String {
             BranchPredictorKind::Perceptron,
         ],
         max_ops,
+        sampling,
     );
     let diffs = sweep::percent_diff_vs(&pts, "TournamentBP");
     let mut t = Table::new(&["Model", "LocalBP (%)", "LTAGE (%)", "MPP64KB (%)"]);
@@ -495,7 +557,11 @@ pub fn fig12_branch(experiments: &[Experiment], max_ops: usize) -> String {
 
 /// Supplementary: memory profile of each workload (bandwidth, MPKIs) —
 /// the paper quotes the eye model's DRAM pressure in §III-C.
-pub fn memory_profiles(experiments: &[Experiment], max_ops: usize) -> String {
+pub fn memory_profiles(
+    experiments: &[Experiment],
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> String {
     // VTune-style profiles need windows spanning several Newton iterations
     // of the larger models; widen the budget accordingly.
     let max_ops = max_ops.saturating_mul(3);
@@ -507,7 +573,13 @@ pub fn memory_profiles(experiments: &[Experiment], max_ops: usize) -> String {
         "MemBound%",
         "DRAM GB/s",
     ]);
-    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), max_ops);
+    let host = simulate_batch(
+        experiments,
+        "host",
+        &CoreConfig::host_like(),
+        max_ops,
+        sampling,
+    );
     for (exp, stats) in experiments.iter().zip(&host) {
         let m = MemoryProfile::from_stats(&exp.id, stats);
         t.row(vec![
@@ -534,12 +606,17 @@ pub fn gem5_specs() -> Vec<WorkloadSpec> {
 
 /// Dominant hotspot sanity used by tests: internal functions should lead
 /// most workloads, as the paper observes.
-pub fn dominant_category(exp: &Experiment, max_ops: usize) -> FnCategory {
+pub fn dominant_category(
+    exp: &Experiment,
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> FnCategory {
     let stats = simulate_batch(
         std::slice::from_ref(exp),
         "host",
         &CoreConfig::host_like(),
         max_ops,
+        sampling,
     )
     .pop()
     .expect("one job per experiment");
@@ -566,7 +643,7 @@ mod tests {
         // One tiny workload through fig-7-style reporting.
         let spec = belenos_workloads::by_id("pd").expect("pd");
         let exp = Experiment::prepare(&spec).unwrap();
-        let out = fig07_pipeline(&[exp], 30_000);
+        let out = fig07_pipeline(&[exp], 30_000, &SamplingConfig::off());
         assert!(out.contains("Fig. 7a"));
         assert!(out.contains("pd"));
     }

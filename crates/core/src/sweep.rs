@@ -10,7 +10,7 @@
 use crate::experiment::Experiment;
 use belenos_runner::{JobSpec, RunPlan, Runner};
 use belenos_uarch::config::BranchPredictorKind;
-use belenos_uarch::{CoreConfig, SimStats};
+use belenos_uarch::{CoreConfig, SamplingConfig, SimStats};
 
 /// One sweep sample: workload, swept value label, and the run statistics.
 #[derive(Debug)]
@@ -28,11 +28,15 @@ fn sweep_plan(
     experiments: &[Experiment],
     values: &[(String, CoreConfig)],
     max_ops: usize,
+    sampling: &SamplingConfig,
 ) -> RunPlan {
     let mut plan = RunPlan::new();
     for (w, _) in experiments.iter().enumerate() {
         for (label, cfg) in values {
-            plan.push(JobSpec::new(w, label.clone(), cfg.clone(), max_ops));
+            plan.push(
+                JobSpec::new(w, label.clone(), cfg.clone(), max_ops)
+                    .with_sampling(sampling.clone()),
+            );
         }
     }
     plan
@@ -42,21 +46,32 @@ fn run_sweep(
     experiments: &[Experiment],
     values: &[(String, CoreConfig)],
     max_ops: usize,
+    sampling: &SamplingConfig,
 ) -> Vec<SweepPoint> {
-    let plan = sweep_plan(experiments, values, max_ops);
+    let plan = sweep_plan(experiments, values, max_ops, sampling);
     Runner::from_env()
         .run(experiments, &plan)
         .into_iter()
-        .map(|r| SweepPoint {
-            workload: r.workload,
-            value: r.label,
-            stats: r.stats,
+        .map(|r| {
+            if let Some(e) = &r.error {
+                panic!("sweep point '{} {}' failed: {e}", r.workload, r.label);
+            }
+            SweepPoint {
+                workload: r.workload,
+                value: r.label,
+                stats: r.stats,
+            }
         })
         .collect()
 }
 
 /// Fig. 8: core frequency 1-4 GHz.
-pub fn frequency(experiments: &[Experiment], freqs: &[f64], max_ops: usize) -> Vec<SweepPoint> {
+pub fn frequency(
+    experiments: &[Experiment],
+    freqs: &[f64],
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> Vec<SweepPoint> {
     let values: Vec<(String, CoreConfig)> = freqs
         .iter()
         .map(|&f| {
@@ -66,11 +81,16 @@ pub fn frequency(experiments: &[Experiment], freqs: &[f64], max_ops: usize) -> V
             )
         })
         .collect();
-    run_sweep(experiments, &values, max_ops)
+    run_sweep(experiments, &values, max_ops, sampling)
 }
 
 /// Fig. 9a-c: L1 (I+D) capacity sweep.
-pub fn l1_size(experiments: &[Experiment], sizes_kb: &[usize], max_ops: usize) -> Vec<SweepPoint> {
+pub fn l1_size(
+    experiments: &[Experiment],
+    sizes_kb: &[usize],
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> Vec<SweepPoint> {
     let values: Vec<(String, CoreConfig)> = sizes_kb
         .iter()
         .map(|&kb| {
@@ -80,11 +100,16 @@ pub fn l1_size(experiments: &[Experiment], sizes_kb: &[usize], max_ops: usize) -
             )
         })
         .collect();
-    run_sweep(experiments, &values, max_ops)
+    run_sweep(experiments, &values, max_ops, sampling)
 }
 
 /// Fig. 9d-e: L2 capacity sweep.
-pub fn l2_size(experiments: &[Experiment], sizes_kb: &[usize], max_ops: usize) -> Vec<SweepPoint> {
+pub fn l2_size(
+    experiments: &[Experiment],
+    sizes_kb: &[usize],
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> Vec<SweepPoint> {
     let values: Vec<(String, CoreConfig)> = sizes_kb
         .iter()
         .map(|&kb| {
@@ -96,11 +121,16 @@ pub fn l2_size(experiments: &[Experiment], sizes_kb: &[usize], max_ops: usize) -
             (label, CoreConfig::gem5_baseline().with_l2_size(kb * 1024))
         })
         .collect();
-    run_sweep(experiments, &values, max_ops)
+    run_sweep(experiments, &values, max_ops, sampling)
 }
 
 /// Fig. 10: pipeline width sweep (baseline width 6).
-pub fn width(experiments: &[Experiment], widths: &[usize], max_ops: usize) -> Vec<SweepPoint> {
+pub fn width(
+    experiments: &[Experiment],
+    widths: &[usize],
+    max_ops: usize,
+    sampling: &SamplingConfig,
+) -> Vec<SweepPoint> {
     let values: Vec<(String, CoreConfig)> = widths
         .iter()
         .map(|&w| {
@@ -110,7 +140,7 @@ pub fn width(experiments: &[Experiment], widths: &[usize], max_ops: usize) -> Ve
             )
         })
         .collect();
-    run_sweep(experiments, &values, max_ops)
+    run_sweep(experiments, &values, max_ops, sampling)
 }
 
 /// Fig. 11: load/store-queue depth sweep (baseline 72/56).
@@ -118,6 +148,7 @@ pub fn lsq(
     experiments: &[Experiment],
     depths: &[(usize, usize)],
     max_ops: usize,
+    sampling: &SamplingConfig,
 ) -> Vec<SweepPoint> {
     let values: Vec<(String, CoreConfig)> = depths
         .iter()
@@ -128,7 +159,7 @@ pub fn lsq(
             )
         })
         .collect();
-    run_sweep(experiments, &values, max_ops)
+    run_sweep(experiments, &values, max_ops, sampling)
 }
 
 /// Instruction-window ablation (paper §IV-C4 text): ROB/IQ sizes.
@@ -136,6 +167,7 @@ pub fn rob_iq(
     experiments: &[Experiment],
     sizes: &[(usize, usize)],
     max_ops: usize,
+    sampling: &SamplingConfig,
 ) -> Vec<SweepPoint> {
     let values: Vec<(String, CoreConfig)> = sizes
         .iter()
@@ -146,7 +178,7 @@ pub fn rob_iq(
             )
         })
         .collect();
-    run_sweep(experiments, &values, max_ops)
+    run_sweep(experiments, &values, max_ops, sampling)
 }
 
 /// Fig. 12: branch predictor sweep (baseline TournamentBP).
@@ -154,6 +186,7 @@ pub fn branch_predictors(
     experiments: &[Experiment],
     predictors: &[BranchPredictorKind],
     max_ops: usize,
+    sampling: &SamplingConfig,
 ) -> Vec<SweepPoint> {
     let values: Vec<(String, CoreConfig)> = predictors
         .iter()
@@ -164,7 +197,7 @@ pub fn branch_predictors(
             )
         })
         .collect();
-    run_sweep(experiments, &values, max_ops)
+    run_sweep(experiments, &values, max_ops, sampling)
 }
 
 /// Percent execution-time difference of each point against the point with
@@ -197,7 +230,7 @@ mod tests {
     #[test]
     fn frequency_sweep_monotone_seconds() {
         let exps = vec![tiny_experiment()];
-        let pts = frequency(&exps, &[1.0, 4.0], 20_000);
+        let pts = frequency(&exps, &[1.0, 4.0], 20_000, &SamplingConfig::off());
         assert_eq!(pts.len(), 2);
         assert!(pts[0].stats.seconds() > pts[1].stats.seconds());
     }
@@ -205,7 +238,7 @@ mod tests {
     #[test]
     fn percent_diff_math() {
         let exps = vec![tiny_experiment()];
-        let pts = width(&exps, &[2, 6], 20_000);
+        let pts = width(&exps, &[2, 6], 20_000, &SamplingConfig::off());
         let diffs = percent_diff_vs(&pts, "6");
         assert_eq!(diffs.len(), 1);
         assert_eq!(diffs[0].1, "2");
@@ -225,7 +258,7 @@ mod tests {
                 )
             })
             .collect();
-        let plan = sweep_plan(&exps, &values, 20_000);
+        let plan = sweep_plan(&exps, &values, 20_000, &SamplingConfig::off());
         let serial = Runner::isolated(1).run(&exps, &plan);
         let parallel = Runner::isolated(4).run(&exps, &plan);
         for (s, p) in serial.iter().zip(&parallel) {
@@ -253,11 +286,17 @@ mod tests {
                 )
             })
             .collect();
-        runner.run(&exps, &sweep_plan(&exps, &freq, 20_000));
+        runner.run(
+            &exps,
+            &sweep_plan(&exps, &freq, 20_000, &SamplingConfig::off()),
+        );
         // ...so the Fig. 11 LSQ sweep's 72_56 baseline point is a hit.
         let lsq: Vec<(String, CoreConfig)> =
             vec![("72_56".into(), CoreConfig::gem5_baseline().with_lsq(72, 56))];
-        let (_, summary) = runner.run_with_summary(&exps, &sweep_plan(&exps, &lsq, 20_000));
+        let (_, summary) = runner.run_with_summary(
+            &exps,
+            &sweep_plan(&exps, &lsq, 20_000, &SamplingConfig::off()),
+        );
         assert_eq!(
             summary.cache_hits, 1,
             "baseline must be shared across sweeps"
@@ -272,6 +311,7 @@ mod tests {
             &exps,
             &[BranchPredictorKind::Tournament, BranchPredictorKind::Local],
             10_000,
+            &SamplingConfig::off(),
         );
         assert_eq!(pts[0].value, "TournamentBP");
         assert_eq!(pts[1].value, "LocalBP");

@@ -7,7 +7,7 @@
 //! in-memory (shared, thread-safe) with an optional on-disk tier
 //! (`BELENOS_CACHE_DIR`) that survives across processes.
 
-use belenos_uarch::{CoreConfig, Fnv64, SimStats};
+use belenos_uarch::{CoreConfig, Fnv64, SamplingConfig, SimStats};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,27 +25,40 @@ pub struct CacheKey {
     pub config: u64,
     /// Micro-op budget of the run.
     pub max_ops: usize,
+    /// [`SamplingConfig::stable_digest`] of the trace-sampling strategy:
+    /// a sampled run and a prefix-truncated run at the same budget
+    /// produce different statistics and must never alias.
+    pub sampling: u64,
 }
 
 impl CacheKey {
-    /// Builds the key for (workload, fingerprint) under `config`/`max_ops`.
-    pub fn new(workload: &str, fingerprint: u64, config: &CoreConfig, max_ops: usize) -> Self {
+    /// Builds the key for (workload, fingerprint) under
+    /// `config`/`max_ops`/`sampling`.
+    pub fn new(
+        workload: &str,
+        fingerprint: u64,
+        config: &CoreConfig,
+        max_ops: usize,
+        sampling: &SamplingConfig,
+    ) -> Self {
         CacheKey {
             workload: workload.to_string(),
             fingerprint,
             config: config.stable_digest(),
             max_ops,
+            sampling: sampling.stable_digest(),
         }
     }
 
     /// Stable 64-bit content address (used as the on-disk file name).
     pub fn address(&self) -> u64 {
         let mut h = Fnv64::new();
-        h.write_str("CacheKey-v1");
+        h.write_str("CacheKey-v2");
         h.write_str(&self.workload);
         h.write_u64(self.fingerprint);
         h.write_u64(self.config);
         h.write_usize(self.max_ops);
+        h.write_u64(self.sampling);
         h.finish()
     }
 }
@@ -379,10 +392,20 @@ mod tests {
         assert!(decode_stats(&truncated).is_none());
     }
 
+    fn key(workload: &str, fingerprint: u64, config: &CoreConfig, max_ops: usize) -> CacheKey {
+        CacheKey::new(
+            workload,
+            fingerprint,
+            config,
+            max_ops,
+            &SamplingConfig::off(),
+        )
+    }
+
     #[test]
     fn memory_cache_hits_and_counts() {
         let cache = Cache::fresh();
-        let key = CacheKey::new("wl", 7, &CoreConfig::gem5_baseline(), 1000);
+        let key = key("wl", 7, &CoreConfig::gem5_baseline(), 1000);
         assert!(cache.lookup(&key).is_none());
         cache.insert(key.clone(), &sample_stats());
         assert_eq!(cache.lookup(&key).unwrap(), sample_stats());
@@ -394,7 +417,7 @@ mod tests {
     fn disk_tier_survives_memory_loss() {
         let dir = std::env::temp_dir().join(format!("belenos-cache-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let key = CacheKey::new("wl", 7, &CoreConfig::gem5_baseline(), 1000);
+        let key = key("wl", 7, &CoreConfig::gem5_baseline(), 1000);
         {
             let cache = Cache::with_disk(&dir);
             cache.insert(key.clone(), &sample_stats());
@@ -408,19 +431,42 @@ mod tests {
 
     #[test]
     fn keys_separate_by_every_component() {
-        let base = CacheKey::new("wl", 7, &CoreConfig::gem5_baseline(), 1000);
-        let other_wl = CacheKey::new("other", 7, &CoreConfig::gem5_baseline(), 1000);
-        let other_fp = CacheKey::new("wl", 8, &CoreConfig::gem5_baseline(), 1000);
-        let other_cfg = CacheKey::new(
+        let base = key("wl", 7, &CoreConfig::gem5_baseline(), 1000);
+        let other_wl = key("other", 7, &CoreConfig::gem5_baseline(), 1000);
+        let other_fp = key("wl", 8, &CoreConfig::gem5_baseline(), 1000);
+        let other_cfg = key(
             "wl",
             7,
             &CoreConfig::gem5_baseline().with_frequency(1.0),
             1000,
         );
-        let other_ops = CacheKey::new("wl", 7, &CoreConfig::gem5_baseline(), 2000);
-        for k in [&other_wl, &other_fp, &other_cfg, &other_ops] {
+        let other_ops = key("wl", 7, &CoreConfig::gem5_baseline(), 2000);
+        let other_sampling = CacheKey::new(
+            "wl",
+            7,
+            &CoreConfig::gem5_baseline(),
+            1000,
+            &SamplingConfig::smarts(10),
+        );
+        for k in [
+            &other_wl,
+            &other_fp,
+            &other_cfg,
+            &other_ops,
+            &other_sampling,
+        ] {
             assert_ne!(*k, base);
             assert_ne!(k.address(), base.address());
         }
+        // Differing interval counts also separate.
+        let s20 = CacheKey::new(
+            "wl",
+            7,
+            &CoreConfig::gem5_baseline(),
+            1000,
+            &SamplingConfig::smarts(20),
+        );
+        assert_ne!(s20, other_sampling);
+        assert_ne!(s20.address(), other_sampling.address());
     }
 }

@@ -28,12 +28,12 @@
 //!
 //! ```
 //! use belenos_runner::{JobSpec, RunPlan, Runner, Simulate};
-//! use belenos_uarch::{CoreConfig, O3Core, SimStats};
+//! use belenos_uarch::{CoreConfig, O3Core, SamplingConfig, SimStats};
 //!
 //! struct Synthetic;
 //! impl Simulate for Synthetic {
 //!     fn workload_id(&self) -> &str { "synthetic" }
-//!     fn simulate(&self, cfg: &CoreConfig, max_ops: usize) -> SimStats {
+//!     fn simulate(&self, cfg: &CoreConfig, max_ops: usize, _: &SamplingConfig) -> SimStats {
 //!         use belenos_trace::{expand::Expander, KernelCall, PhaseLog};
 //!         let mut log = PhaseLog::new();
 //!         log.record(KernelCall::Dot { n: 64 });
@@ -59,7 +59,7 @@ pub mod cache;
 
 pub use cache::{Cache, CacheKey, CacheStats};
 
-use belenos_uarch::{CoreConfig, SimStats};
+use belenos_uarch::{CoreConfig, SamplingConfig, SimStats};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -87,8 +87,10 @@ pub trait Simulate: Sync {
         0
     }
 
-    /// Runs the simulation under `config` with at most `max_ops` ops.
-    fn simulate(&self, config: &CoreConfig, max_ops: usize) -> SimStats;
+    /// Runs the simulation under `config` with at most `max_ops`
+    /// detailed ops, placed per `sampling` (prefix truncation when off,
+    /// SMARTS-style systematic intervals otherwise).
+    fn simulate(&self, config: &CoreConfig, max_ops: usize, sampling: &SamplingConfig) -> SimStats;
 }
 
 /// One simulation job: which workload, under which machine, how long.
@@ -102,10 +104,13 @@ pub struct JobSpec {
     pub config: CoreConfig,
     /// Micro-op budget (0 = unlimited).
     pub max_ops: usize,
+    /// How the op budget is placed over the trace (off = prefix
+    /// truncation; part of the cache identity).
+    pub sampling: SamplingConfig,
 }
 
 impl JobSpec {
-    /// Builds a job spec.
+    /// Builds a job spec (sampling off: prefix truncation).
     pub fn new(
         workload: usize,
         label: impl Into<String>,
@@ -117,7 +122,14 @@ impl JobSpec {
             label: label.into(),
             config,
             max_ops,
+            sampling: SamplingConfig::off(),
         }
+    }
+
+    /// Sets the trace-sampling strategy for this job.
+    pub fn with_sampling(mut self, sampling: SamplingConfig) -> Self {
+        self.sampling = sampling;
+        self
     }
 }
 
@@ -173,11 +185,15 @@ pub struct JobResult {
     pub workload: String,
     /// The job's label.
     pub label: String,
-    /// Simulation statistics.
+    /// Simulation statistics (zeroed defaults when `error` is set).
     pub stats: SimStats,
     /// True when the result was served from the cache (pre-existing
     /// entry) or shared with an identical job in the same plan.
     pub cached: bool,
+    /// Panic message when this job's simulation crashed (e.g. a wedged
+    /// pipeline hitting the simulator's stall limit). A failed job never
+    /// enters the cache and never takes down the rest of the batch.
+    pub error: Option<String>,
 }
 
 /// Counters and timing for one [`Runner::run`] call.
@@ -191,6 +207,9 @@ pub struct RunSummary {
     pub cache_hits: usize,
     /// Jobs that shared a simulation with an identical job in this plan.
     pub deduped: usize,
+    /// Executed simulations that panicked (reported per job via
+    /// [`JobResult::error`] instead of aborting the batch).
+    pub failed: usize,
     /// Worker threads used.
     pub threads: usize,
     /// Wall-clock time of the batch.
@@ -212,7 +231,11 @@ impl std::fmt::Display for RunSummary {
             self.deduped,
             self.threads,
             self.wall.as_secs_f64()
-        )
+        )?;
+        if self.failed > 0 {
+            write!(f, ", {} FAILED", self.failed)?;
+        }
+        Ok(())
     }
 }
 
@@ -306,7 +329,13 @@ impl Runner {
                         workloads.len()
                     )
                 });
-                CacheKey::new(w.workload_id(), w.fingerprint(), &job.config, job.max_ops)
+                CacheKey::new(
+                    w.workload_id(),
+                    w.fingerprint(),
+                    &job.config,
+                    job.max_ops,
+                    &job.sampling,
+                )
             })
             .collect();
 
@@ -318,14 +347,14 @@ impl Runner {
         let deduped = keys.len() - representative.len();
 
         // Resolve pre-existing cache entries; the rest must simulate.
-        let mut resolved: HashMap<&CacheKey, SimStats> = HashMap::new();
+        let mut resolved: HashMap<&CacheKey, Result<SimStats, String>> = HashMap::new();
         let mut todo: Vec<usize> = Vec::new();
         let mut cache_hits = 0usize;
         for (&key, &idx) in &representative {
             match self.cache.lookup(key) {
                 Some(stats) => {
                     cache_hits += 1;
-                    resolved.insert(key, stats);
+                    resolved.insert(key, Ok(stats));
                 }
                 None => todo.push(idx),
             }
@@ -334,25 +363,33 @@ impl Runner {
         todo.sort_unstable();
 
         let fresh = self.execute(workloads, plan, &keys, &todo, cache_hits, start);
-        for (idx, stats) in &fresh {
-            self.cache.insert(keys[*idx].clone(), stats);
+        let mut failed = 0usize;
+        for (idx, outcome) in &fresh {
+            match outcome {
+                Ok(stats) => self.cache.insert(keys[*idx].clone(), stats),
+                Err(_) => failed += 1,
+            }
         }
         let execution_order: Vec<usize> = fresh.iter().map(|&(idx, _)| idx).collect();
         let simulated_here: std::collections::HashSet<usize> =
             execution_order.iter().copied().collect();
-        for (idx, stats) in fresh {
-            resolved.insert(&keys[idx], stats);
+        for (idx, outcome) in fresh {
+            resolved.insert(&keys[idx], outcome);
         }
 
         let results: Vec<JobResult> = plan
             .jobs()
             .iter()
             .enumerate()
-            .map(|(i, job)| JobResult {
-                workload: keys[i].workload.clone(),
-                label: job.label.clone(),
-                stats: resolved[&keys[i]].clone(),
-                cached: !simulated_here.contains(&i),
+            .map(|(i, job)| {
+                let outcome = &resolved[&keys[i]];
+                JobResult {
+                    workload: keys[i].workload.clone(),
+                    label: job.label.clone(),
+                    stats: outcome.clone().unwrap_or_default(),
+                    cached: !simulated_here.contains(&i),
+                    error: outcome.as_ref().err().cloned(),
+                }
             })
             .collect();
 
@@ -361,6 +398,7 @@ impl Runner {
             simulated: execution_order.len(),
             cache_hits,
             deduped,
+            failed,
             threads: self.threads,
             wall: start.elapsed(),
             execution_order,
@@ -372,7 +410,10 @@ impl Runner {
     }
 
     /// Runs the `todo` subset of plan jobs on the worker pool, returning
-    /// `(plan index, stats)` in the order workers started them.
+    /// `(plan index, outcome)` in the order workers started them. A job
+    /// whose simulation panics (a wedged-pipeline stall-limit abort, for
+    /// instance) is reported as `Err(message)` without disturbing the
+    /// other jobs or the worker that ran it.
     fn execute<W: Simulate>(
         &self,
         workloads: &[W],
@@ -381,14 +422,15 @@ impl Runner {
         todo: &[usize],
         cache_hits: usize,
         start: Instant,
-    ) -> Vec<(usize, SimStats)> {
+    ) -> Vec<(usize, Result<SimStats, String>)> {
         if todo.is_empty() {
             return Vec::new();
         }
         let threads = self.threads.min(todo.len());
         let cursor = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
-        let out: Mutex<Vec<(usize, SimStats)>> = Mutex::new(Vec::with_capacity(todo.len()));
+        let out: Mutex<Vec<(usize, Result<SimStats, String>)>> =
+            Mutex::new(Vec::with_capacity(todo.len()));
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -401,12 +443,22 @@ impl Runner {
                     // reflects start order even if jobs finish out of order.
                     let pos = {
                         let mut guard = out.lock().unwrap();
-                        guard.push((idx, SimStats::default()));
+                        guard.push((idx, Ok(SimStats::default())));
                         guard.len() - 1
                     };
                     let job = &plan.jobs()[idx];
-                    let stats = workloads[job.workload].simulate(&job.config, job.max_ops);
-                    out.lock().unwrap()[pos].1 = stats;
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        workloads[job.workload].simulate(&job.config, job.max_ops, &job.sampling)
+                    }))
+                    .map_err(|payload| {
+                        format!(
+                            "simulation of '{} {}' panicked: {}",
+                            keys[idx].workload,
+                            job.label,
+                            panic_message(&*payload)
+                        )
+                    });
+                    out.lock().unwrap()[pos].1 = outcome;
                     let finished = done.fetch_add(1, Ordering::SeqCst) + 1;
                     if self.progress {
                         let elapsed = start.elapsed().as_secs_f64();
@@ -426,6 +478,17 @@ impl Runner {
             }
         });
         out.into_inner().unwrap()
+    }
+}
+
+/// Best-effort human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -463,11 +526,12 @@ mod tests {
 
     #[test]
     fn summary_display_mentions_counters() {
-        let s = RunSummary {
+        let mut s = RunSummary {
             jobs: 10,
             simulated: 4,
             cache_hits: 5,
             deduped: 1,
+            failed: 0,
             threads: 2,
             wall: Duration::from_millis(1500),
             execution_order: vec![0, 1, 2, 3],
@@ -476,5 +540,8 @@ mod tests {
         assert!(text.contains("10 job(s)"));
         assert!(text.contains("5 cache hit(s)"));
         assert!(text.contains("1 deduped"));
+        assert!(!text.contains("FAILED"));
+        s.failed = 2;
+        assert!(s.to_string().contains("2 FAILED"));
     }
 }

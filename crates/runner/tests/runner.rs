@@ -4,7 +4,7 @@
 use belenos_runner::{Cache, JobSpec, RunPlan, Runner, Simulate};
 use belenos_trace::expand::Expander;
 use belenos_trace::{KernelCall, PhaseLog};
-use belenos_uarch::{CoreConfig, O3Core, SimStats};
+use belenos_uarch::{CoreConfig, O3Core, SamplingConfig, SimStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A small but real workload: a fixed kernel log replayed on the O3 core,
@@ -40,7 +40,7 @@ impl Simulate for CountingWorkload {
         &self.id
     }
 
-    fn simulate(&self, config: &CoreConfig, max_ops: usize) -> SimStats {
+    fn simulate(&self, config: &CoreConfig, max_ops: usize, _: &SamplingConfig) -> SimStats {
         self.runs.fetch_add(1, Ordering::SeqCst);
         let mut core = O3Core::new(config.clone());
         core.run(Expander::new(&self.log).take(max_ops))
@@ -152,8 +152,8 @@ fn fingerprint_separates_same_id_workloads() {
         fn fingerprint(&self) -> u64 {
             self.1
         }
-        fn simulate(&self, config: &CoreConfig, max_ops: usize) -> SimStats {
-            self.0.simulate(config, max_ops)
+        fn simulate(&self, config: &CoreConfig, max_ops: usize, s: &SamplingConfig) -> SimStats {
+            self.0.simulate(config, max_ops, s)
         }
     }
 
@@ -195,4 +195,75 @@ fn out_of_bounds_workload_index_panics_clearly() {
     let mut plan = RunPlan::new();
     plan.job(5, "oops", CoreConfig::gem5_baseline(), 1_000);
     Runner::isolated(1).run(&workloads, &plan);
+}
+
+#[test]
+fn sampling_configs_occupy_separate_cache_slots() {
+    // The same (workload, config, budget) under different sampling
+    // strategies must never alias: both jobs simulate, neither is a
+    // cache hit or dedup of the other, and re-running each is a hit.
+    let workloads = [CountingWorkload::new("wj")];
+    let mut plan = RunPlan::new();
+    plan.push(JobSpec::new(
+        0,
+        "prefix",
+        CoreConfig::gem5_baseline(),
+        5_000,
+    ));
+    plan.push(
+        JobSpec::new(0, "smarts8", CoreConfig::gem5_baseline(), 5_000)
+            .with_sampling(SamplingConfig::smarts(8)),
+    );
+    let runner = Runner::isolated(2);
+    let (_, summary) = runner.run_with_summary(&workloads, &plan);
+    assert_eq!(
+        summary.simulated, 2,
+        "sampled run must not alias prefix run"
+    );
+    assert_eq!(summary.deduped, 0);
+    let (_, summary2) = runner.run_with_summary(&workloads, &plan);
+    assert_eq!(summary2.cache_hits, 2);
+    assert_eq!(summary2.simulated, 0);
+}
+
+#[test]
+fn a_panicking_job_does_not_take_down_the_batch() {
+    // A simulator bug (e.g. a wedged pipeline hitting STALL_LIMIT)
+    // panics inside a worker; the runner must surface it per job and
+    // still deliver every other result.
+    struct Wedging(CountingWorkload);
+    impl Simulate for Wedging {
+        fn workload_id(&self) -> &str {
+            self.0.workload_id()
+        }
+        fn simulate(&self, config: &CoreConfig, max_ops: usize, s: &SamplingConfig) -> SimStats {
+            if config.freq_ghz == 2.0 {
+                panic!("pipeline wedged at cycle 42: rob=1, iq=0, lq=0, sq=0");
+            }
+            self.0.simulate(config, max_ops, s)
+        }
+    }
+
+    let workloads = [Wedging(CountingWorkload::new("wk"))];
+    let plan = freq_sweep_plan(1); // 1, 2, 3, 4 GHz — the 2 GHz job wedges
+    let runner = Runner::isolated(4);
+    let (results, summary) = runner.run_with_summary(&workloads, &plan);
+
+    assert_eq!(results.len(), 4);
+    assert_eq!(summary.failed, 1);
+    assert!(summary.to_string().contains("1 FAILED"));
+    let bad = results.iter().find(|r| r.label == "2GHz").unwrap();
+    let err = bad.error.as_ref().expect("wedge surfaces as a job error");
+    assert!(err.contains("pipeline wedged"), "{err}");
+    assert!(err.contains("wk 2GHz"), "error names the job: {err}");
+    for r in results.iter().filter(|r| r.label != "2GHz") {
+        assert!(r.error.is_none());
+        assert!(r.stats.committed_ops > 0, "healthy jobs must complete");
+    }
+
+    // Failed jobs are not cached: a retry re-executes only the wedge.
+    let (_, summary2) = runner.run_with_summary(&workloads, &plan);
+    assert_eq!(summary2.cache_hits, 3);
+    assert_eq!(summary2.simulated, 1);
+    assert_eq!(summary2.failed, 1);
 }

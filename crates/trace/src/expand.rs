@@ -165,6 +165,26 @@ impl<'a> Expander<'a> {
         self.space.footprint()
     }
 
+    /// Consumes the expander and returns the total number of ops the
+    /// full stream emits (including any ops already consumed).
+    ///
+    /// This only runs the per-kernel generators — no per-op iteration,
+    /// no simulation — so it is the cheap way to learn the trace length
+    /// before placing sampling intervals over it.
+    pub fn into_total_ops(self) -> u64 {
+        self.total_ops_up_to(u64::MAX)
+    }
+
+    /// Like [`Expander::into_total_ops`] but stops generating once
+    /// `limit` ops have been counted, doing only `O(min(limit, total))`
+    /// work. The result is exact when it is below `limit`; otherwise it
+    /// only certifies that the trace holds at least `limit` ops (the
+    /// returned value can overshoot by up to one kernel call).
+    pub fn total_ops_up_to(mut self, limit: u64) -> u64 {
+        while self.emitted < limit && self.generate_next_call() {}
+        self.emitted
+    }
+
     fn bloat_base(&self, region: u32) -> u32 {
         region + (self.instance % self.config.code_bloat.max(1)) * BLOAT_SPAN
     }
@@ -1749,5 +1769,30 @@ mod tests {
     fn empty_log_yields_no_ops() {
         let log = PhaseLog::new();
         assert_eq!(Expander::new(&log).count(), 0);
+        assert_eq!(Expander::new(&log).into_total_ops(), 0);
+    }
+
+    #[test]
+    fn total_ops_matches_iterated_count() {
+        let p = tri_pattern(64);
+        let mut log = PhaseLog::new();
+        log.record(KernelCall::Dot { n: 100 });
+        log.record(KernelCall::SpMv {
+            pattern: Arc::clone(&p),
+        });
+        log.record(KernelCall::OmpBarrier { spin_iters: 7 });
+        let counted = Expander::new(&log).count() as u64;
+        assert_eq!(Expander::new(&log).into_total_ops(), counted);
+        // Partial consumption does not change the total.
+        let mut half = Expander::new(&log);
+        for _ in 0..counted / 2 {
+            half.next();
+        }
+        assert_eq!(half.into_total_ops(), counted);
+        // Bounded counting: exact when the trace is shorter than the
+        // limit, an early stop (>= limit) when it is longer.
+        assert_eq!(Expander::new(&log).total_ops_up_to(counted * 2), counted);
+        let bounded = Expander::new(&log).total_ops_up_to(10);
+        assert!((10..counted).contains(&bounded), "bounded {bounded}");
     }
 }

@@ -77,6 +77,14 @@ impl Cache {
         self.outstanding.push(done);
     }
 
+    /// Drops all outstanding-miss timestamps (tags, dirty bits and LRU
+    /// state are kept). Called when a new timed run starts at cycle 0 on
+    /// an already-warm cache, so stale completion times from a previous
+    /// run cannot block MSHRs.
+    pub fn reset_timing(&mut self) {
+        self.outstanding.clear();
+    }
+
     /// Probes (and updates) the level for the line containing `addr`.
     /// `write` marks the line dirty on hit or after allocation.
     pub fn access(&mut self, addr: u64, write: bool) -> Probe {
@@ -178,6 +186,16 @@ impl Hierarchy {
                 cfg.l1d.line_bytes,
             ),
         }
+    }
+
+    /// Resets all per-run timing state (MSHR completion times, DRAM
+    /// channel occupancy) across the hierarchy; cache contents and access
+    /// counters are preserved. See [`Cache::reset_timing`].
+    pub fn reset_timing(&mut self) {
+        self.l1i.reset_timing();
+        self.l1d.reset_timing();
+        self.l2.reset_timing();
+        self.dram.reset_timing();
     }
 
     /// Data access (load or store) at cycle `now`; returns completion time

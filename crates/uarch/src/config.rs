@@ -31,6 +31,76 @@ impl BranchPredictorKind {
     }
 }
 
+/// Trace-sampling strategy for op-budgeted simulations.
+///
+/// With sampling **off**, a budgeted run simulates only the *first*
+/// `max_ops` micro-ops of the trace (prefix truncation) — cheap but
+/// biased toward assembly and early solver iterations. With SMARTS-style
+/// systematic sampling ([`SamplingConfig::smarts`]), the op budget is
+/// split into `intervals` detailed measurement windows spread evenly
+/// across the whole trace; between windows the microarchitectural state
+/// (caches, TLBs, BTB, branch predictor) is *functionally warmed* at
+/// zero pipeline cost, and the merged window statistics are extrapolated
+/// to whole-trace estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingConfig {
+    /// Number of measured intervals; `0` disables sampling entirely
+    /// (prefix truncation, the historical behavior).
+    pub intervals: usize,
+    /// Fraction of each measured interval discarded as detailed warmup
+    /// (measurement starts with warm pipeline-adjacent state, as gem5
+    /// does after a checkpoint restore).
+    pub warmup_frac: f64,
+}
+
+impl SamplingConfig {
+    /// Sampling disabled: budgeted runs truncate the trace prefix.
+    pub fn off() -> Self {
+        SamplingConfig {
+            intervals: 0,
+            warmup_frac: 0.0,
+        }
+    }
+
+    /// SMARTS-style systematic sampling with `intervals` measurement
+    /// windows and a 25% per-window detailed-warmup discard (mirroring
+    /// the prefix mode's quarter-budget warmup). `smarts(0)` is
+    /// equivalent to [`SamplingConfig::off`].
+    ///
+    /// Prefer *many small* windows: few large intervals alias with the
+    /// periodic phase structure of solver traces (assemble → factor →
+    /// solve per Newton iteration) and can be badly biased; around a
+    /// hundred or more intervals the estimate converges tightly.
+    pub fn smarts(intervals: usize) -> Self {
+        SamplingConfig {
+            intervals,
+            warmup_frac: if intervals == 0 { 0.0 } else { 0.25 },
+        }
+    }
+
+    /// True when sampling is disabled (prefix-truncation mode).
+    pub fn is_off(&self) -> bool {
+        self.intervals == 0
+    }
+
+    /// Stable content digest, mixed into simulation-result cache keys so
+    /// a sampled run can never alias a prefix-truncated (or differently
+    /// sampled) run of the same workload/config/budget.
+    pub fn stable_digest(&self) -> u64 {
+        let mut h = crate::digest::Fnv64::new();
+        h.write_str("SamplingConfig-v1");
+        h.write_usize(self.intervals);
+        h.write_f64(self.warmup_frac);
+        h.finish()
+    }
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
 /// One cache level's parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheConfig {
@@ -381,6 +451,22 @@ mod tests {
         assert_eq!(c.l1d.line_bytes, 64);
         assert_eq!(c.predictor, BranchPredictorKind::Tournament);
         assert_eq!(c.freq_ghz, 3.0);
+    }
+
+    #[test]
+    fn sampling_config_digests_separate() {
+        let off = SamplingConfig::off();
+        let s4 = SamplingConfig::smarts(4);
+        let s8 = SamplingConfig::smarts(8);
+        assert!(off.is_off());
+        assert!(!s4.is_off());
+        assert_ne!(off.stable_digest(), s4.stable_digest());
+        assert_ne!(s4.stable_digest(), s8.stable_digest());
+        assert_eq!(
+            s4.stable_digest(),
+            SamplingConfig::smarts(4).stable_digest()
+        );
+        assert!(SamplingConfig::smarts(0).is_off());
     }
 
     #[test]

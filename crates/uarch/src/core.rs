@@ -16,9 +16,18 @@ use belenos_trace::{MicroOp, OpKind};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-/// Dependency-tracking window (must exceed any ROB size; producer
-/// distances beyond it are treated as long-retired).
+/// Minimum dependency-tracking window (producer distances beyond the
+/// window are treated as long-retired). The actual ring is sized from the
+/// configured ROB in [`done_window_for`], so huge-ROB configurations can
+/// never alias in-flight ops.
 const DONE_WINDOW: usize = 8192;
+
+/// Dependency-ring size for a configuration: comfortably larger than the
+/// ROB (in-flight idx distances span the ROB plus fetch/replay queues),
+/// never below the historical 8192 floor.
+fn done_window_for(cfg: &CoreConfig) -> usize {
+    DONE_WINDOW.max((cfg.rob_entries.saturating_mul(4)).next_power_of_two())
+}
 /// Deadlock detector: cycles without a commit before the engine reports a
 /// wedged pipeline (a simulator bug, not a workload condition).
 const STALL_LIMIT: u64 = 1_000_000;
@@ -113,6 +122,11 @@ impl O3Core {
             freq_ghz: self.cfg.freq_ghz,
             ..SimStats::default()
         };
+        // A warm core (interval sampling reuses one core across runs) may
+        // carry completion timestamps from an earlier run; this run's
+        // clock restarts at zero, and memory counters report deltas.
+        self.hierarchy.reset_timing();
+        let base = MemCounters::capture(&self.hierarchy);
         let cfg = self.cfg.clone();
         let fe_width = cfg
             .decode_width
@@ -131,7 +145,8 @@ impl O3Core {
         let mut sq: VecDeque<LsqEntry> = VecDeque::with_capacity(cfg.sq_entries);
         let mut fetchq: VecDeque<(MicroOp, u64, bool)> = VecDeque::with_capacity(fetchq_cap);
         let mut replayq: VecDeque<(MicroOp, u64)> = VecDeque::new();
-        let mut done_ring = vec![false; DONE_WINDOW];
+        let done_window = done_window_for(&cfg) as u64;
+        let mut done_ring = vec![false; done_window as usize];
         let mut events: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
         let mut serializers: VecDeque<u64> = VecDeque::new();
 
@@ -158,10 +173,10 @@ impl O3Core {
                 return true; // producer precedes the trace start
             }
             let p = idx - dep;
-            if dep as usize >= DONE_WINDOW || p < head_idx {
+            if dep >= done_window || p < head_idx {
                 return true; // long retired
             }
-            ring[(p % DONE_WINDOW as u64) as usize]
+            ring[(p % done_window) as usize]
         };
 
         loop {
@@ -261,7 +276,7 @@ impl O3Core {
                     continue; // stale epoch after squash
                 }
                 entry.state = OpState::Done;
-                done_ring[(idx % DONE_WINDOW as u64) as usize] = true;
+                done_ring[(idx % done_window) as usize] = true;
                 written_back += 1;
                 if entry.op.kind == OpKind::Load {
                     if let Some(e) = lq.iter_mut().find(|e| e.idx == idx) {
@@ -279,7 +294,7 @@ impl O3Core {
                     let mut younger: Vec<(MicroOp, u64)> = Vec::new();
                     while rob.len() > pos + 1 {
                         let victim = rob.pop_back().expect("len checked");
-                        done_ring[(victim.idx % DONE_WINDOW as u64) as usize] = false;
+                        done_ring[(victim.idx % done_window) as usize] = false;
                         match victim.op.kind {
                             OpKind::IntAlu | OpKind::IntMul => {
                                 int_regs_used = int_regs_used.saturating_sub(1)
@@ -393,7 +408,7 @@ impl O3Core {
                                 .iter()
                                 .rfind(|s| s.idx < idx && s.issued && (s.addr >> 3) == (addr >> 3));
                             if let Some(s) = fwd {
-                                if !s.done && !done_ring[(s.idx % DONE_WINDOW as u64) as usize] {
+                                if !s.done && !done_ring[(s.idx % done_window) as usize] {
                                     keep.push_back(idx);
                                     continue;
                                 }
@@ -484,7 +499,7 @@ impl O3Core {
                     OpKind::Pause | OpKind::Serialize => serializers.push_back(idx),
                     OpKind::Branch => {}
                 }
-                done_ring[(idx % DONE_WINDOW as u64) as usize] = false;
+                done_ring[(idx % done_window) as usize] = false;
                 rob.push_back(InFlight {
                     mispredicted: op.kind == OpKind::Branch && pred_taken != op.taken,
                     op,
@@ -575,13 +590,7 @@ impl O3Core {
             if warm_snapshot.is_none() && warmup_ops > 0 && stats.committed_ops >= warmup_ops {
                 let mut snap = stats.clone();
                 snap.cycles = now;
-                snap.l1i_accesses = self.hierarchy.l1i.accesses;
-                snap.l1i_misses = self.hierarchy.l1i.misses;
-                snap.l1d_accesses = self.hierarchy.l1d.accesses;
-                snap.l1d_misses = self.hierarchy.l1d.misses;
-                snap.l2_accesses = self.hierarchy.l2.accesses;
-                snap.l2_misses = self.hierarchy.l2.misses;
-                snap.dram_lines = self.hierarchy.dram.lines_transferred;
+                base.delta_into(&mut snap, &self.hierarchy);
                 warm_snapshot = Some(snap);
             }
 
@@ -614,63 +623,108 @@ impl O3Core {
         }
 
         stats.cycles = now;
-        stats.l1i_accesses = self.hierarchy.l1i.accesses;
-        stats.l1i_misses = self.hierarchy.l1i.misses;
-        stats.l1d_accesses = self.hierarchy.l1d.accesses;
-        stats.l1d_misses = self.hierarchy.l1d.misses;
-        stats.l2_accesses = self.hierarchy.l2.accesses;
-        stats.l2_misses = self.hierarchy.l2.misses;
-        stats.dram_lines = self.hierarchy.dram.lines_transferred;
-        if let Some(w) = warm_snapshot {
-            subtract_snapshot(&mut stats, &w);
+        base.delta_into(&mut stats, &self.hierarchy);
+        if warmup_ops > 0 {
+            // Clamp the warmup to the observed trace: when the trace
+            // commits fewer ops than `warmup_ops` the whole run was
+            // warmup, and the reported measurement window is empty (it
+            // must never silently fall back to unwarmed full-run stats).
+            let snap = warm_snapshot.unwrap_or_else(|| stats.clone());
+            stats.subtract(&snap);
         }
         stats
     }
+
+    /// Functionally warms the long-lived microarchitectural state from
+    /// the next `max_ops` ops of `trace` at zero pipeline cost: caches
+    /// and TLBs observe every memory and fetch access, the branch
+    /// predictor and BTB observe every branch outcome, but no cycles are
+    /// simulated and no statistics are produced.
+    ///
+    /// This is the SMARTS-style "functional warming" between detailed
+    /// measurement intervals; follow with [`O3Core::run_warm`] on the
+    /// same iterator to measure. Returns the number of ops consumed
+    /// (fewer than `max_ops` only when the trace ends).
+    pub fn warm_only<I: Iterator<Item = MicroOp>>(&mut self, trace: &mut I, max_ops: u64) -> u64 {
+        let mut consumed = 0u64;
+        let mut now = 0u64;
+        let mut cur_line = u64::MAX;
+        while consumed < max_ops {
+            let Some(op) = trace.next() else { break };
+            consumed += 1;
+            let line = (op.pc as u64) >> 6;
+            if line != cur_line {
+                self.itlb.access(op.pc as u64);
+                self.hierarchy.inst_access(op.pc as u64, now);
+                cur_line = line;
+            }
+            match op.kind {
+                OpKind::Load => {
+                    self.dtlb.access(op.addr);
+                    self.hierarchy.data_access(op.addr, false, now);
+                }
+                OpKind::Store => {
+                    self.dtlb.access(op.addr);
+                    self.hierarchy.data_access(op.addr, true, now);
+                }
+                OpKind::Branch => {
+                    self.predictor.update(op.pc, op.taken);
+                    if op.taken {
+                        self.btb.install(op.pc, op.target);
+                        cur_line = u64::MAX;
+                    }
+                }
+                _ => {}
+            }
+            now += 1;
+            // Warming never reads completion timestamps, but every miss
+            // records one (`note_miss_outstanding`); drop them regularly
+            // so a long warm gap cannot accumulate millions of them.
+            if consumed.is_multiple_of(65_536) {
+                self.hierarchy.reset_timing();
+            }
+        }
+        self.hierarchy.reset_timing();
+        consumed
+    }
 }
 
-/// Subtracts a warmup snapshot from final statistics, component-wise.
-fn subtract_snapshot(stats: &mut SimStats, w: &SimStats) {
-    stats.cycles -= w.cycles;
-    stats.committed_ops -= w.committed_ops;
-    stats.squashed_ops -= w.squashed_ops;
-    stats.active_fetch_cycles -= w.active_fetch_cycles;
-    stats.icache_stall_cycles -= w.icache_stall_cycles;
-    stats.tlb_stall_cycles -= w.tlb_stall_cycles;
-    stats.squash_cycles -= w.squash_cycles;
-    stats.misc_stall_cycles -= w.misc_stall_cycles;
-    stats.branches -= w.branches;
-    stats.mispredicts -= w.mispredicts;
-    stats.btb_misses -= w.btb_misses;
-    stats.l1i_accesses -= w.l1i_accesses;
-    stats.l1i_misses -= w.l1i_misses;
-    stats.l1d_accesses -= w.l1d_accesses;
-    stats.l1d_misses -= w.l1d_misses;
-    stats.l2_accesses -= w.l2_accesses;
-    stats.l2_misses -= w.l2_misses;
-    stats.dram_lines -= w.dram_lines;
-    stats.dtlb_misses -= w.dtlb_misses;
-    stats.slots_retiring -= w.slots_retiring;
-    stats.slots_bad_speculation -= w.slots_bad_speculation;
-    stats.slots_frontend -= w.slots_frontend;
-    stats.slots_backend -= w.slots_backend;
-    stats.slots_fe_latency -= w.slots_fe_latency;
-    stats.slots_fe_bandwidth -= w.slots_fe_bandwidth;
-    stats.slots_be_memory -= w.slots_be_memory;
-    stats.slots_be_core -= w.slots_be_core;
-    let sm = [
-        (&mut stats.exec_mix, &w.exec_mix),
-        (&mut stats.commit_mix, &w.commit_mix),
-    ];
-    for (s, ws) in sm {
-        s.branches -= ws.branches;
-        s.fp -= ws.fp;
-        s.int -= ws.int;
-        s.loads -= ws.loads;
-        s.stores -= ws.stores;
-        s.other -= ws.other;
+/// Snapshot of the hierarchy's cumulative memory counters; reports
+/// per-run deltas when one core runs several measurement intervals (the
+/// counters on the cache structs are process-cumulative).
+#[derive(Debug, Clone, Copy)]
+struct MemCounters {
+    l1i_accesses: u64,
+    l1i_misses: u64,
+    l1d_accesses: u64,
+    l1d_misses: u64,
+    l2_accesses: u64,
+    l2_misses: u64,
+    dram_lines: u64,
+}
+
+impl MemCounters {
+    fn capture(h: &Hierarchy) -> Self {
+        MemCounters {
+            l1i_accesses: h.l1i.accesses,
+            l1i_misses: h.l1i.misses,
+            l1d_accesses: h.l1d.accesses,
+            l1d_misses: h.l1d.misses,
+            l2_accesses: h.l2.accesses,
+            l2_misses: h.l2.misses,
+            dram_lines: h.dram.lines_transferred,
+        }
     }
-    for i in 0..6 {
-        stats.slots_by_category[i] -= w.slots_by_category[i];
+
+    /// Writes `current - baseline` memory counters into `stats`.
+    fn delta_into(&self, stats: &mut SimStats, h: &Hierarchy) {
+        stats.l1i_accesses = h.l1i.accesses - self.l1i_accesses;
+        stats.l1i_misses = h.l1i.misses - self.l1i_misses;
+        stats.l1d_accesses = h.l1d.accesses - self.l1d_accesses;
+        stats.l1d_misses = h.l1d.misses - self.l1d_misses;
+        stats.l2_accesses = h.l2.accesses - self.l2_accesses;
+        stats.l2_misses = h.l2.misses - self.l2_misses;
+        stats.dram_lines = h.dram.lines_transferred - self.dram_lines;
     }
 }
 
@@ -881,5 +935,86 @@ mod tests {
     fn empty_trace_terminates() {
         let stats = run_ops(Vec::new(), CoreConfig::gem5_baseline());
         assert_eq!(stats.committed_ops, 0);
+    }
+
+    #[test]
+    fn warmup_discard_reports_the_measured_remainder() {
+        let mut core = O3Core::new(CoreConfig::gem5_baseline());
+        let stats = core.run_warm(int_stream(1000).into_iter(), 200);
+        // The snapshot lands on a commit-group boundary at or just past
+        // the requested warmup.
+        assert!(stats.committed_ops <= 800);
+        assert!(stats.committed_ops >= 800 - 8, "{}", stats.committed_ops);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn warmup_longer_than_trace_reports_empty_measurement() {
+        // Regression: the trace commits fewer ops than `warmup_ops`, so
+        // the warmup snapshot used to never be taken and the full
+        // unwarmed run leaked out as if it were a measurement. The
+        // warmup must clamp to the observed trace instead.
+        let mut core = O3Core::new(CoreConfig::gem5_baseline());
+        let stats = core.run_warm(int_stream(100).into_iter(), 1_000_000);
+        assert_eq!(stats.committed_ops, 0);
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.total_slots(), 0);
+        assert_eq!(stats.l1d_accesses, 0);
+    }
+
+    #[test]
+    fn huge_rob_does_not_corrupt_dependency_tracking() {
+        // Regression: DONE_WINDOW = 8192 was a comment-only invariant; a
+        // ROB at or above it silently aliased dependency slots. The ring
+        // is now sized from the configuration.
+        let cfg = CoreConfig::gem5_baseline().with_rob_iq(16_384, 512);
+        // Long dependency chains keep the window full while older ops
+        // retire, exercising ring wrap-around.
+        let ops: Vec<MicroOp> = (0..40_000)
+            .map(|i| MicroOp::int(0x1000 + (i as u32 % 64) * 4, u32::from(i > 0), 0, CAT))
+            .collect();
+        let stats = run_ops(ops, cfg);
+        assert_eq!(stats.committed_ops, 40_000);
+        assert!(stats.ipc() < 1.2, "serial chain must stay serial");
+    }
+
+    #[test]
+    fn warm_only_consumes_and_warms_without_stats() {
+        let mut core = O3Core::new(CoreConfig::gem5_baseline());
+        // 64 hot lines, touched twice during warming.
+        let ops: Vec<MicroOp> = (0..8192)
+            .map(|i| MicroOp::load(0x3000, (i % 64) as u64 * 64, 8, 0, CAT))
+            .collect();
+        let mut it = ops.clone().into_iter();
+        let consumed = core.warm_only(&mut it, 4096);
+        assert_eq!(consumed, 4096);
+        assert_eq!(it.clone().count(), 8192 - 4096, "iterator shared");
+        // A detailed run over the same lines now starts warm: every load
+        // hits L1 and the reported counters cover only the detailed run.
+        let stats = core.run_warm(it, 0);
+        assert_eq!(stats.committed_ops, 4096);
+        assert_eq!(stats.l1d_accesses, 4096);
+        assert!(
+            stats.l1d_mpki() < 1.0,
+            "warmed cache must hit: mpki {}",
+            stats.l1d_mpki()
+        );
+        // Trace shorter than the warming budget: consumption stops.
+        let mut core = O3Core::new(CoreConfig::gem5_baseline());
+        let mut short = ops.into_iter().take(10);
+        assert_eq!(core.warm_only(&mut short, 100), 10);
+    }
+
+    #[test]
+    fn rerun_on_a_warm_core_matches_a_controlled_clock() {
+        // After an interval, a reused core's second run restarts its
+        // clock; stale MSHR/DRAM timestamps must not leak in.
+        let mut core = O3Core::new(CoreConfig::gem5_baseline());
+        let first = core.run(int_stream(5000).into_iter());
+        let second = core.run(int_stream(5000).into_iter());
+        assert_eq!(first.committed_ops, second.committed_ops);
+        // Warm icache can only help; stale timestamps would balloon this.
+        assert!(second.cycles <= first.cycles);
+        assert!(second.cycles * 2 > first.cycles, "rerun must stay sane");
     }
 }

@@ -60,6 +60,14 @@ impl Dram {
         self.transfer(now)
     }
 
+    /// Forgets the channel-occupancy timestamp (counters are kept).
+    /// Called when a new timed run starts at cycle 0 on a warm hierarchy,
+    /// so a stale `next_free` from a previous run cannot queue the first
+    /// transfers behind phantom traffic.
+    pub fn reset_timing(&mut self) {
+        self.next_free = 0.0;
+    }
+
     fn transfer(&mut self, now: u64) -> u64 {
         self.lines_transferred += 1;
         let start = (now as f64).max(self.next_free);

@@ -41,7 +41,7 @@ pub mod dram;
 pub mod stats;
 pub mod tlb;
 
-pub use config::CoreConfig;
+pub use config::{CoreConfig, SamplingConfig};
 pub use core::O3Core;
 pub use digest::Fnv64;
 pub use stats::SimStats;

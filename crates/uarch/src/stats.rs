@@ -141,6 +141,151 @@ pub fn category_index(cat: belenos_trace::FnCategory) -> usize {
 }
 
 impl SimStats {
+    /// Every extensive (additive) counter in a fixed order; the single
+    /// source of truth for [`SimStats::merge`], [`SimStats::scaled`] and
+    /// [`SimStats::subtract`]. `freq_ghz` is intensive and excluded.
+    ///
+    /// The exhaustive destructuring is deliberate: adding a field to
+    /// [`SimStats`] (or [`StageMix`]) fails to compile here until it is
+    /// classified, so no counter can silently escape interval merging
+    /// and whole-trace extrapolation.
+    fn counters_mut(&mut self) -> [&mut u64; 45] {
+        let SimStats {
+            freq_ghz: _,
+            cycles,
+            committed_ops,
+            squashed_ops,
+            active_fetch_cycles,
+            icache_stall_cycles,
+            tlb_stall_cycles,
+            squash_cycles,
+            misc_stall_cycles,
+            exec_mix,
+            commit_mix,
+            branches,
+            mispredicts,
+            btb_misses,
+            l1i_accesses,
+            l1i_misses,
+            l1d_accesses,
+            l1d_misses,
+            l2_accesses,
+            l2_misses,
+            dram_lines,
+            dtlb_misses,
+            slots_retiring,
+            slots_bad_speculation,
+            slots_frontend,
+            slots_backend,
+            slots_fe_latency,
+            slots_fe_bandwidth,
+            slots_be_memory,
+            slots_be_core,
+            slots_by_category,
+        } = self;
+        let StageMix {
+            branches: exec_branches,
+            fp: exec_fp,
+            int: exec_int,
+            loads: exec_loads,
+            stores: exec_stores,
+            other: exec_other,
+        } = exec_mix;
+        let StageMix {
+            branches: commit_branches,
+            fp: commit_fp,
+            int: commit_int,
+            loads: commit_loads,
+            stores: commit_stores,
+            other: commit_other,
+        } = commit_mix;
+        let [cat0, cat1, cat2, cat3, cat4, cat5] = slots_by_category;
+        [
+            cycles,
+            committed_ops,
+            squashed_ops,
+            active_fetch_cycles,
+            icache_stall_cycles,
+            tlb_stall_cycles,
+            squash_cycles,
+            misc_stall_cycles,
+            exec_branches,
+            exec_fp,
+            exec_int,
+            exec_loads,
+            exec_stores,
+            exec_other,
+            commit_branches,
+            commit_fp,
+            commit_int,
+            commit_loads,
+            commit_stores,
+            commit_other,
+            branches,
+            mispredicts,
+            btb_misses,
+            l1i_accesses,
+            l1i_misses,
+            l1d_accesses,
+            l1d_misses,
+            l2_accesses,
+            l2_misses,
+            dram_lines,
+            dtlb_misses,
+            slots_retiring,
+            slots_bad_speculation,
+            slots_frontend,
+            slots_backend,
+            slots_fe_latency,
+            slots_fe_bandwidth,
+            slots_be_memory,
+            slots_be_core,
+            cat0,
+            cat1,
+            cat2,
+            cat3,
+            cat4,
+            cat5,
+        ]
+    }
+
+    /// Adds another run's counters into this one component-wise.
+    ///
+    /// Used to accumulate the per-interval measurements of a sampled
+    /// simulation; `freq_ghz` is kept from `self`.
+    pub fn merge(&mut self, other: &SimStats) {
+        let mut o = other.clone();
+        for (a, b) in self.counters_mut().into_iter().zip(o.counters_mut()) {
+            *a += *b;
+        }
+    }
+
+    /// Returns a copy with every extensive counter multiplied by
+    /// `factor` (rounded to the nearest integer).
+    ///
+    /// Extrapolates merged interval measurements to whole-trace
+    /// estimates; ratios (IPC, MPKI, top-down fractions) are preserved
+    /// up to rounding.
+    pub fn scaled(&self, factor: f64) -> SimStats {
+        let mut out = self.clone();
+        for c in out.counters_mut() {
+            *c = (*c as f64 * factor).round() as u64;
+        }
+        out
+    }
+
+    /// Subtracts a warmup snapshot from these statistics component-wise.
+    ///
+    /// The snapshot must have been taken earlier in the same run, so
+    /// every counter of `snapshot` is `<=` the corresponding counter of
+    /// `self`.
+    pub fn subtract(&mut self, snapshot: &SimStats) {
+        let mut s = snapshot.clone();
+        for (a, b) in self.counters_mut().into_iter().zip(s.counters_mut()) {
+            *a -= *b;
+        }
+    }
+
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -313,6 +458,57 @@ mod tests {
         assert_eq!(m.loads, 1);
         assert_eq!(m.fp, 2);
         assert!((m.fraction(m.fp) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_and_scale_preserves_ratios() {
+        let a = SimStats {
+            freq_ghz: 3.0,
+            cycles: 1000,
+            committed_ops: 2000,
+            l1d_misses: 10,
+            slots_by_category: [1, 2, 3, 4, 5, 6],
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            freq_ghz: 3.0,
+            cycles: 500,
+            committed_ops: 4000,
+            l1d_misses: 5,
+            slots_by_category: [6, 5, 4, 3, 2, 1],
+            ..SimStats::default()
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.cycles, 1500);
+        assert_eq!(m.committed_ops, 6000);
+        assert_eq!(m.l1d_misses, 15);
+        assert_eq!(m.slots_by_category, [7; 6]);
+        assert_eq!(m.freq_ghz, 3.0);
+
+        let s = m.scaled(10.0);
+        assert_eq!(s.cycles, 15_000);
+        assert_eq!(s.committed_ops, 60_000);
+        assert!((s.ipc() - m.ipc()).abs() < 1e-9, "scaling must keep IPC");
+        assert_eq!(s.freq_ghz, 3.0);
+    }
+
+    #[test]
+    fn subtract_removes_snapshot() {
+        let mut s = SimStats {
+            cycles: 100,
+            committed_ops: 50,
+            branches: 7,
+            ..SimStats::default()
+        };
+        let snap = SimStats {
+            cycles: 40,
+            committed_ops: 20,
+            branches: 3,
+            ..SimStats::default()
+        };
+        s.subtract(&snap);
+        assert_eq!((s.cycles, s.committed_ops, s.branches), (60, 30, 4));
     }
 
     #[test]

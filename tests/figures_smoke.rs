@@ -3,9 +3,14 @@
 
 use belenos::experiment::Experiment;
 use belenos::{figures, sweep};
+use belenos_uarch::SamplingConfig;
 use belenos_workloads::by_id;
 
 const OPS: usize = 60_000;
+
+fn off() -> SamplingConfig {
+    SamplingConfig::off()
+}
 
 fn exps(ids: &[&str]) -> Vec<Experiment> {
     ids.iter()
@@ -36,16 +41,16 @@ fn tables_contain_paper_values() {
 #[test]
 fn figure_2_and_3_render_for_a_subset() {
     let e = exps(&["pd", "mu"]);
-    let f2 = figures::fig02_topdown(&e, OPS);
+    let f2 = figures::fig02_topdown(&e, OPS, &off());
     assert!(f2.contains("pd") && f2.contains("Retiring%"));
-    let f3 = figures::fig03_stalls(&e, OPS);
+    let f3 = figures::fig03_stalls(&e, OPS, &off());
     assert!(f3.contains("BE Memory%"));
 }
 
 #[test]
 fn figure_4_dots_have_legend_classes() {
     let e = exps(&["pd"]);
-    let f4 = figures::fig04_hotspots(&e, OPS);
+    let f4 = figures::fig04_hotspots(&e, OPS, &off());
     assert!(f4.contains("R >75%"));
     assert!(f4.contains("pd"));
 }
@@ -63,12 +68,12 @@ fn figures_5_and_6_use_solve_summaries() {
 #[test]
 fn sweeps_cover_requested_grid() {
     let e = exps(&["pd"]);
-    let pts = sweep::frequency(&e, &[1.0, 3.0], OPS);
+    let pts = sweep::frequency(&e, &[1.0, 3.0], OPS, &off());
     assert_eq!(pts.len(), 2);
-    let pts = sweep::l1_size(&e, &[8, 32], OPS);
+    let pts = sweep::l1_size(&e, &[8, 32], OPS, &off());
     assert_eq!(pts.len(), 2);
     assert!(pts[0].stats.l1d_mpki() >= pts[1].stats.l1d_mpki());
-    let pts = sweep::lsq(&e, &[(32, 24), (72, 56)], OPS);
+    let pts = sweep::lsq(&e, &[(32, 24), (72, 56)], OPS, &off());
     let diffs = sweep::percent_diff_vs(&pts, "72_56");
     assert_eq!(diffs.len(), 1);
 }
@@ -77,9 +82,9 @@ fn sweeps_cover_requested_grid() {
 fn figure_10_to_12_render() {
     let e = exps(&["pd"]);
     for (name, out) in [
-        ("fig10", figures::fig10_width(&e, OPS)),
-        ("fig11", figures::fig11_lsq(&e, OPS)),
-        ("fig12", figures::fig12_branch(&e, OPS)),
+        ("fig10", figures::fig10_width(&e, OPS, &off())),
+        ("fig11", figures::fig11_lsq(&e, OPS, &off())),
+        ("fig12", figures::fig12_branch(&e, OPS, &off())),
     ] {
         assert!(out.contains("pd"), "{name} missing workload row");
         assert!(out.lines().count() > 4, "{name} too short");
