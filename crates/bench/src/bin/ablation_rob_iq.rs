@@ -2,11 +2,17 @@
 //! increasing reorder buffer and issue queue sizes, but observed less
 //! than 4% improvement in execution time across workloads."
 use belenos::sweep;
-use belenos_bench::{max_ops, prepare_or_die, sampling};
+use belenos_bench::{options, prepare_or_die};
 
 fn main() {
     let exps = prepare_or_die(&belenos_workloads::gem5_set());
-    let pts = sweep::rob_iq(&exps, &[(224, 128), (448, 256)], max_ops(), &sampling());
+    let pts = match sweep::rob_iq(&exps, &[(224, 128), (448, 256)], &options()) {
+        Ok(pts) => pts,
+        Err(e) => {
+            eprintln!("ablation failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let diffs = sweep::percent_diff_vs(&pts, "224_128");
     println!("ROB/IQ ablation: execution-time change going 224/128 -> 448/256");
     println!("(paper: < 4% improvement across workloads)\n");

@@ -2,32 +2,38 @@
 //! and simulated points: the whole grid executes through the
 //! `belenos-runner` batch engine, so baseline configurations shared
 //! between figures are simulated exactly once (see the cache summary
-//! printed at the end).
-use belenos_bench::{max_ops, prepare_or_die, print_run_summary, sampling};
+//! printed at the end). A failed figure prints an error marker and the
+//! campaign continues with the remaining figures.
+use belenos_bench::{options, prepare_or_die, print_run_summary, render};
 
 fn main() {
-    let ops = max_ops();
-    let smp = sampling();
+    let opts = options();
     println!("{}", belenos::figures::table1());
     println!("{}", belenos::figures::table2());
 
     let vtune = prepare_or_die(&belenos_workloads::vtune_set());
-    println!("{}", belenos::figures::fig02_topdown(&vtune, ops, &smp));
-    println!("{}", belenos::figures::fig03_stalls(&vtune, ops, &smp));
+    println!("{}", render(belenos::figures::fig02_topdown(&vtune, &opts)));
+    println!("{}", render(belenos::figures::fig03_stalls(&vtune, &opts)));
     println!("{}", belenos::figures::fig06_exec_time(&vtune));
-    println!("{}", belenos::figures::memory_profiles(&vtune, ops, &smp));
+    println!(
+        "{}",
+        render(belenos::figures::memory_profiles(&vtune, &opts))
+    );
 
     let cat = prepare_or_die(&belenos_workloads::catalog());
-    println!("{}", belenos::figures::fig04_hotspots(&cat, ops, &smp));
+    println!("{}", render(belenos::figures::fig04_hotspots(&cat, &opts)));
     println!("{}", belenos::figures::fig05_scaling(&cat));
 
     let gem5 = prepare_or_die(&belenos_workloads::gem5_set());
-    println!("{}", belenos::figures::fig07_pipeline(&gem5, ops, &smp));
-    println!("{}", belenos::figures::fig08_frequency(&gem5, ops, &smp));
-    println!("{}", belenos::figures::fig09_cache(&gem5, ops, &smp));
-    println!("{}", belenos::figures::fig10_width(&gem5, ops, &smp));
-    println!("{}", belenos::figures::fig11_lsq(&gem5, ops, &smp));
-    println!("{}", belenos::figures::fig12_branch(&gem5, ops, &smp));
+    println!("{}", render(belenos::figures::fig07_pipeline(&gem5, &opts)));
+    println!(
+        "{}",
+        render(belenos::figures::fig08_frequency(&gem5, &opts))
+    );
+    println!("{}", render(belenos::figures::fig09_cache(&gem5, &opts)));
+    println!("{}", render(belenos::figures::fig10_width(&gem5, &opts)));
+    println!("{}", render(belenos::figures::fig11_lsq(&gem5, &opts)));
+    println!("{}", render(belenos::figures::fig12_branch(&gem5, &opts)));
 
     print_run_summary();
 }

@@ -1,10 +1,10 @@
-//! Regenerates Fig. 2: top-down pipeline breakdown for the VTune set.
-use belenos_bench::{max_ops, prepare_or_die, sampling};
+//! Regenerates Fig. 2. See `all_figures` for the full campaign.
+use belenos_bench::{options, prepare_or_die, render};
 
 fn main() {
     let exps = prepare_or_die(&belenos_workloads::vtune_set());
     println!(
         "{}",
-        belenos::figures::fig02_topdown(&exps, max_ops(), &sampling())
+        render(belenos::figures::fig02_topdown(&exps, &options()))
     );
 }

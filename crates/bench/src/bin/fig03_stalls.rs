@@ -1,10 +1,10 @@
-//! Regenerates Fig. 3: FE/BE stall breakdown for the VTune set.
-use belenos_bench::{max_ops, prepare_or_die, sampling};
+//! Regenerates Fig. 3. See `all_figures` for the full campaign.
+use belenos_bench::{options, prepare_or_die, render};
 
 fn main() {
     let exps = prepare_or_die(&belenos_workloads::vtune_set());
     println!(
         "{}",
-        belenos::figures::fig03_stalls(&exps, max_ops(), &sampling())
+        render(belenos::figures::fig03_stalls(&exps, &options()))
     );
 }

@@ -1,10 +1,10 @@
-//! Regenerates Fig. 4: hotspot function-category prevalence.
-use belenos_bench::{max_ops, prepare_or_die, sampling};
+//! Regenerates Fig. 4. See `all_figures` for the full campaign.
+use belenos_bench::{options, prepare_or_die, render};
 
 fn main() {
     let exps = prepare_or_die(&belenos_workloads::catalog());
     println!(
         "{}",
-        belenos::figures::fig04_hotspots(&exps, max_ops(), &sampling())
+        render(belenos::figures::fig04_hotspots(&exps, &options()))
     );
 }

@@ -1,10 +1,10 @@
-//! Regenerates Fig. 7: pipeline-stage breakdowns for the gem5 set.
-use belenos_bench::{max_ops, prepare_or_die, sampling};
+//! Regenerates Fig. 7. See `all_figures` for the full campaign.
+use belenos_bench::{options, prepare_or_die, render};
 
 fn main() {
     let exps = prepare_or_die(&belenos_workloads::gem5_set());
     println!(
         "{}",
-        belenos::figures::fig07_pipeline(&exps, max_ops(), &sampling())
+        render(belenos::figures::fig07_pipeline(&exps, &options()))
     );
 }

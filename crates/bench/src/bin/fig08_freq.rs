@@ -1,10 +1,10 @@
-//! Regenerates Fig. 8: frequency sensitivity (execution time + IPC).
-use belenos_bench::{max_ops, prepare_or_die, sampling};
+//! Regenerates Fig. 8. See `all_figures` for the full campaign.
+use belenos_bench::{options, prepare_or_die, render};
 
 fn main() {
     let exps = prepare_or_die(&belenos_workloads::gem5_set());
     println!(
         "{}",
-        belenos::figures::fig08_frequency(&exps, max_ops(), &sampling())
+        render(belenos::figures::fig08_frequency(&exps, &options()))
     );
 }

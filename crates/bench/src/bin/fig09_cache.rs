@@ -1,10 +1,10 @@
-//! Regenerates Fig. 9: L1/L2 cache sensitivity.
-use belenos_bench::{max_ops, prepare_or_die, sampling};
+//! Regenerates Fig. 9. See `all_figures` for the full campaign.
+use belenos_bench::{options, prepare_or_die, render};
 
 fn main() {
     let exps = prepare_or_die(&belenos_workloads::gem5_set());
     println!(
         "{}",
-        belenos::figures::fig09_cache(&exps, max_ops(), &sampling())
+        render(belenos::figures::fig09_cache(&exps, &options()))
     );
 }

@@ -1,10 +1,7 @@
-//! Regenerates Fig. 11: load/store-queue sensitivity.
-use belenos_bench::{max_ops, prepare_or_die, sampling};
+//! Regenerates Fig. 11. See `all_figures` for the full campaign.
+use belenos_bench::{options, prepare_or_die, render};
 
 fn main() {
     let exps = prepare_or_die(&belenos_workloads::gem5_set());
-    println!(
-        "{}",
-        belenos::figures::fig11_lsq(&exps, max_ops(), &sampling())
-    );
+    println!("{}", render(belenos::figures::fig11_lsq(&exps, &options())));
 }

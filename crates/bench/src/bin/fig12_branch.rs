@@ -1,10 +1,10 @@
-//! Regenerates Fig. 12: branch-predictor sensitivity.
-use belenos_bench::{max_ops, prepare_or_die, sampling};
+//! Regenerates Fig. 12. See `all_figures` for the full campaign.
+use belenos_bench::{options, prepare_or_die, render};
 
 fn main() {
     let exps = prepare_or_die(&belenos_workloads::gem5_set());
     println!(
         "{}",
-        belenos::figures::fig12_branch(&exps, max_ops(), &sampling())
+        render(belenos::figures::fig12_branch(&exps, &options()))
     );
 }

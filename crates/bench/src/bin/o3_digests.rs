@@ -1,0 +1,34 @@
+//! Prints stable digests of O3 SimStats over the catalog (temporary
+//! capture harness for the backend-refactor regression test).
+use belenos::experiment::Experiment;
+use belenos_runner::cache::encode_stats;
+use belenos_uarch::{CoreConfig, Fnv64, SamplingConfig};
+
+fn digest(stats: &belenos_uarch::SimStats) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(&encode_stats(stats));
+    h.finish()
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    for spec in belenos_workloads::catalog() {
+        let exp = Experiment::prepare(&spec).unwrap();
+        let cfg = CoreConfig::gem5_baseline();
+        let prefix = exp.simulate(&cfg, 40_000);
+        let sampled = exp.simulate_sampled(&cfg, 30_000, &SamplingConfig::smarts(8));
+        let host = exp.simulate(&CoreConfig::host_like(), 40_000);
+        println!(
+            "(\"{}\", 0x{:016x}, 0x{:016x}, 0x{:016x}),",
+            spec.id,
+            digest(&prefix),
+            digest(&sampled),
+            digest(&host)
+        );
+    }
+    // One full-trace run on the smallest workload.
+    let exp = Experiment::prepare(&belenos_workloads::by_id("pd").unwrap()).unwrap();
+    let full = exp.simulate(&CoreConfig::gem5_baseline(), 0);
+    println!("full pd: 0x{:016x}", digest(&full));
+    eprintln!("captured in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -6,11 +6,14 @@
 //!
 //! Knobs: `BELENOS_ACCURACY_WORKLOADS` (comma-separated ids, default
 //! `pd,co`), `BELENOS_SAMPLING` (interval count for the sampled column,
-//! default the library's recommended count).
+//! default the library's recommended count), `BELENOS_MODEL` (backend).
+//! Emits `BENCH_sampling_accuracy.json` (wall time + IPC per
+//! workload/mode) for the perf-trajectory record.
 
 use belenos::experiment::{sampling_windows, Experiment};
-use belenos_bench::DEFAULT_SAMPLING_INTERVALS;
+use belenos_bench::{emit_bench_json, BenchRecord, DEFAULT_SAMPLING_INTERVALS};
 use belenos_profiler::report::{fmt, Table};
+use belenos_runner::run_caught;
 use belenos_uarch::{CoreConfig, SamplingConfig, SimStats};
 use std::time::Instant;
 
@@ -34,7 +37,7 @@ fn main() {
         s if s.is_off() => DEFAULT_SAMPLING_INTERVALS,
         s => s.intervals,
     };
-    let cfg = CoreConfig::gem5_baseline();
+    let cfg = CoreConfig::gem5_baseline().with_model(belenos_bench::model());
 
     let mut t = Table::new(&[
         "Model",
@@ -49,6 +52,7 @@ fn main() {
         "Sampled (s)",
         "Speedup",
     ]);
+    let mut records = Vec::new();
     for id in ids.split(',').map(str::trim).filter(|s| !s.is_empty()) {
         let spec = match belenos_workloads::by_id(id) {
             Some(s) => s,
@@ -61,10 +65,22 @@ fn main() {
         let total = exp.total_trace_ops();
         let budget = (total as usize / 10).max(1);
 
-        let (full, full_s) = timed(|| exp.simulate(&cfg, 0));
+        // A wedged simulation (stall-limit panic) surfaces as an error
+        // line for this workload; the harness moves on to the next one.
         let smp = SamplingConfig::smarts(intervals);
-        let (sampled, sampled_s) = timed(|| exp.simulate_sampled(&cfg, budget, &smp));
-        let (prefix, _) = timed(|| exp.simulate(&cfg, budget));
+        let outcome = run_caught(&format!("workload {id}"), || {
+            let (full, full_s) = timed(|| exp.simulate(&cfg, 0));
+            let (sampled, sampled_s) = timed(|| exp.simulate_sampled(&cfg, budget, &smp));
+            let (prefix, _) = timed(|| exp.simulate(&cfg, budget));
+            (full, full_s, sampled, sampled_s, prefix)
+        });
+        let (full, full_s, sampled, sampled_s, prefix) = match outcome {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("SIMULATION FAILED: {e}");
+                continue;
+            }
+        };
 
         let windows = sampling_windows(total, budget as u64, intervals);
         let (last_start, last_len) = *windows.last().expect("non-empty");
@@ -89,9 +105,22 @@ fn main() {
             fmt(sampled_s, 3),
             fmt(full_s / sampled_s.max(1e-9), 2),
         ]);
+        records.push(BenchRecord {
+            workload: id.to_string(),
+            backend: format!("{}-full", cfg.model),
+            wall_s: full_s,
+            ipc: full.ipc(),
+        });
+        records.push(BenchRecord {
+            workload: id.to_string(),
+            backend: format!("{}-sampled", cfg.model),
+            wall_s: sampled_s,
+            ipc: sampled.ipc(),
+        });
     }
     println!(
         "Sampling accuracy at a 10x reduced op budget ({intervals} SMARTS intervals)\n\n{}",
         t.render()
     );
+    emit_bench_json("sampling_accuracy", &records);
 }

@@ -6,17 +6,26 @@
 //! (`cargo bench -p belenos-bench`).
 //!
 //! All figure binaries execute their simulation grids through the
-//! `belenos-runner` batch engine. Three environment variables control a
+//! `belenos-runner` batch engine. Four environment variables control a
 //! campaign (documented in the top-level README):
 //!
 //! * `BELENOS_MAX_OPS` — micro-op budget per simulation (default 1M);
 //! * `BELENOS_JOBS` — runner worker threads (default: all cores);
 //! * `BELENOS_SAMPLING` — how the budget is placed over the trace:
 //!   unset/`off` = prefix truncation, `on` = SMARTS sampling with the
-//!   default interval count, `N` = SMARTS sampling with `N` intervals.
+//!   default interval count, `N` = SMARTS sampling with `N` intervals;
+//! * `BELENOS_MODEL` — core-model backend: `o3` (default, cycle-level
+//!   out-of-order), `inorder` (scalar in-order) or `analytic` (bound
+//!   model, ≥50x faster).
+//!
+//! Perf-tracking binaries additionally write machine-readable
+//! `BENCH_<name>.json` records (wall time + IPC per workload/backend)
+//! via [`emit_bench_json`], so the performance trajectory is tracked
+//! across PRs.
 
 use belenos::experiment::{prepare_all, Experiment};
-use belenos_uarch::SamplingConfig;
+use belenos::options::{SimFailure, SimOptions};
+use belenos_uarch::{ModelKind, SamplingConfig};
 use belenos_workloads::WorkloadSpec;
 
 pub mod timing;
@@ -61,6 +70,19 @@ pub fn sampling() -> SamplingConfig {
     }
 }
 
+/// Core-model backend from `BELENOS_MODEL` (default `o3`).
+pub fn model() -> ModelKind {
+    ModelKind::from_env()
+}
+
+/// The full campaign options from the environment: `BELENOS_MAX_OPS` +
+/// `BELENOS_SAMPLING` + `BELENOS_MODEL`.
+pub fn options() -> SimOptions {
+    SimOptions::new(max_ops())
+        .with_sampling(sampling())
+        .with_model(model())
+}
+
 /// Prepares workloads, printing progress, and panics with a clear message
 /// naming the failing workload (the harness cannot proceed without it).
 pub fn prepare_or_die(specs: &[WorkloadSpec]) -> Vec<Experiment> {
@@ -68,8 +90,130 @@ pub fn prepare_or_die(specs: &[WorkloadSpec]) -> Vec<Experiment> {
     prepare_all(specs).unwrap_or_else(|e| panic!("workload preparation failed: {e}"))
 }
 
+/// Renders a figure result for printing: the figure text on success, a
+/// clearly marked failure line otherwise. A wedged simulation point
+/// therefore surfaces in the output without killing the binary (or the
+/// remaining figures of an `all_figures` campaign).
+pub fn render(result: Result<String, SimFailure>) -> String {
+    match result {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("FIGURE FAILED: {e}");
+            format!("FIGURE FAILED: {e}")
+        }
+    }
+}
+
 /// Prints the process-lifetime runner-cache summary to stderr; figure
 /// binaries call this last so shared-baseline reuse is visible.
 pub fn print_run_summary() {
     eprintln!("{}", belenos_runner::process_summary());
+}
+
+/// One machine-readable benchmark record: how long one workload took
+/// under one backend, and the IPC it reported.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Workload id.
+    pub workload: String,
+    /// Core-model backend label (`o3`/`inorder`/`analytic`), or another
+    /// mode label for non-backend benches (e.g. `sampled`, `prefix`).
+    pub backend: String,
+    /// Wall-clock seconds of the simulation.
+    pub wall_s: f64,
+    /// Reported instructions per cycle.
+    pub ipc: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes bench records as a small self-describing JSON document.
+pub fn bench_json(name: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(name)));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"wall_s\": {:.6}, \"ipc\": {:.6}}}{}\n",
+            json_escape(&r.workload),
+            json_escape(&r.backend),
+            r.wall_s,
+            r.ipc,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_<name>.json` (into `BELENOS_BENCH_DIR`, default the
+/// current directory) so CI and later PRs can track the perf trajectory;
+/// returns the path written. Failures are reported on stderr and
+/// swallowed — metrics files must never break a bench run.
+pub fn emit_bench_json(name: &str, records: &[BenchRecord]) -> std::path::PathBuf {
+    let dir = std::env::var("BELENOS_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    if let Err(e) = std::fs::write(&path, bench_json(name, records)) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_shape() {
+        let records = vec![
+            BenchRecord {
+                workload: "pd".into(),
+                backend: "o3".into(),
+                wall_s: 1.25,
+                ipc: 0.91,
+            },
+            BenchRecord {
+                workload: "co".into(),
+                backend: "analytic".into(),
+                wall_s: 0.02,
+                ipc: 1.10,
+            },
+        ];
+        let text = bench_json("model_agreement", &records);
+        assert!(text.contains("\"bench\": \"model_agreement\""));
+        assert!(text.contains("\"workload\": \"pd\""));
+        assert!(text.contains("\"backend\": \"analytic\""));
+        assert!(!text.contains("},\n  ]"), "no trailing comma: {text}");
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\tx"), "tab\\u0009x");
+    }
+
+    #[test]
+    fn render_passes_success_through() {
+        assert_eq!(render(Ok("table".into())), "table");
+        let e = SimFailure {
+            workload: "pd".into(),
+            label: "x".into(),
+            message: "wedged".into(),
+        };
+        assert!(render(Err(e)).contains("FIGURE FAILED"));
+    }
 }

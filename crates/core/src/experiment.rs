@@ -4,9 +4,9 @@
 use belenos_fem::FemError;
 use belenos_trace::expand::{ExpandConfig, Expander};
 use belenos_trace::{KernelCall, MicroOp, PhaseLog};
-use belenos_uarch::{CoreConfig, Fnv64, O3Core, SamplingConfig, SimStats};
+use belenos_uarch::{build_model, CoreConfig, Fnv64, SamplingConfig, SimStats};
 use belenos_workloads::WorkloadSpec;
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Summary of the numeric solve that produced the phase log.
@@ -41,7 +41,46 @@ pub struct Experiment {
     /// Largest op count the trace is *known to reach* (monotone lower
     /// bound), so repeated budget-clamp checks never re-count.
     trace_at_least: std::sync::atomic::AtomicU64,
+    /// Memoized expanded-trace prefix (see [`Experiment::cached_trace`]).
+    trace_cache: Mutex<TraceCache>,
 }
+
+/// Memoized expansion of a trace prefix. Replaying a cached `Vec<MicroOp>`
+/// yields the exact op sequence streaming expansion yields (expansion is
+/// deterministic and prefix-closed), so every backend's results are
+/// bit-identical either way — but repeated runs over the same experiment
+/// (sweeps, cross-backend comparisons) skip the per-op generation cost,
+/// which otherwise puts a floor under the fast analytic backend.
+#[derive(Debug, Default)]
+struct TraceCache {
+    /// Longest prefix expanded so far, shared with in-flight runs.
+    ops: Option<Arc<Vec<MicroOp>>>,
+    /// The cached prefix is the entire trace.
+    complete: bool,
+    /// The full trace exceeds the cache cap; never re-attempt it.
+    too_big: bool,
+}
+
+/// Process-wide trace-cache budget in ops, from `BELENOS_TRACE_CACHE_MB`
+/// (default 2048 MiB ≈ 64 M ops; `0` disables trace caching entirely).
+/// The budget is shared by every live [`Experiment`] — a campaign over
+/// dozens of workloads stays bounded instead of holding one cap each.
+fn trace_cache_budget_ops() -> u64 {
+    static CAP: OnceLock<u64> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        let mb = std::env::var("BELENOS_TRACE_CACHE_MB")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(2048);
+        mb.saturating_mul(1 << 20) / std::mem::size_of::<MicroOp>() as u64
+    })
+}
+
+/// Ops currently held by trace caches across all experiments. Updated
+/// under each experiment's cache lock; concurrent expansions can
+/// transiently overshoot the budget by at most one in-flight request per
+/// worker (a soft bound, which is all the OOM guard needs).
+static TRACE_CACHE_USED_OPS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl Experiment {
     /// Solves the workload model and captures its phase log.
@@ -69,6 +108,7 @@ impl Experiment {
             fingerprint,
             total_ops: OnceLock::new(),
             trace_at_least: std::sync::atomic::AtomicU64::new(0),
+            trace_cache: Mutex::new(TraceCache::default()),
         })
     }
 
@@ -78,7 +118,10 @@ impl Experiment {
     }
 
     /// Expands the log and runs it on a core configuration, simulating at
-    /// most `max_ops` micro-ops (0 = unlimited).
+    /// most `max_ops` micro-ops (0 = unlimited). The core-model backend
+    /// is selected by `cfg.model` (`BELENOS_MODEL` in the bench
+    /// binaries); the default `o3` backend reproduces the historical
+    /// behavior bit for bit.
     ///
     /// This is the historical *prefix-truncation* mode: a budgeted run
     /// measures only the first `max_ops` ops of the trace, which biases
@@ -86,19 +129,122 @@ impl Experiment {
     /// representative budgeted measurements use
     /// [`Experiment::simulate_sampled`].
     pub fn simulate(&self, cfg: &CoreConfig, max_ops: usize) -> SimStats {
-        let expander = Expander::with_config(&self.log, self.expand.clone());
-        let mut core = O3Core::new(cfg.clone());
+        let mut model = build_model(cfg);
         if max_ops == 0 {
-            core.run(expander)
-        } else {
-            // Discard the first quarter as measurement warmup (cold caches
-            // and untrained predictors), as gem5 checkpointed runs do. The
-            // quarter is of the *measured* window — the smaller of budget
-            // and actual trace — so an oversized budget cannot discard the
-            // whole trace as warmup and report empty statistics.
-            let measured = (max_ops as u64).min(self.trace_ops_up_to(max_ops as u64));
-            core.run_warm(expander.take(max_ops), measured / 4)
+            if let Some(ops) = self.cached_trace(None) {
+                return model.run(&mut ops.iter().copied());
+            }
+            let mut expander = Expander::with_config(&self.log, self.expand.clone());
+            return model.run(&mut expander);
         }
+        // Discard the first quarter as measurement warmup (cold caches
+        // and untrained predictors), as gem5 checkpointed runs do. The
+        // quarter is of the *measured* window — the smaller of budget
+        // and actual trace — so an oversized budget cannot discard the
+        // whole trace as warmup and report empty statistics.
+        if let Some(ops) = self.cached_trace(Some(max_ops as u64)) {
+            let measured = (max_ops as u64).min(ops.len() as u64);
+            let mut limited = ops.iter().copied().take(max_ops);
+            return model.run_warm(&mut limited, measured / 4);
+        }
+        let measured = (max_ops as u64).min(self.trace_ops_up_to(max_ops as u64));
+        let expander = Expander::with_config(&self.log, self.expand.clone());
+        let mut limited = expander.take(max_ops);
+        model.run_warm(&mut limited, measured / 4)
+    }
+
+    /// Returns a memoized expanded prefix of at least `need` ops (or the
+    /// whole trace when `need` is `None`), expanding and caching it on
+    /// first use. `None` when caching is disabled
+    /// (`BELENOS_TRACE_CACHE_MB=0`), the request exceeds the cap, or a
+    /// whole-trace request finds the trace larger than the cap — callers
+    /// fall back to streaming expansion, which is always bit-equivalent.
+    fn cached_trace(&self, need: Option<u64>) -> Option<Arc<Vec<MicroOp>>> {
+        use std::sync::atomic::Ordering;
+        let budget = trace_cache_budget_ops();
+        if budget == 0 {
+            return None;
+        }
+        let mut cache = self.trace_cache.lock().unwrap();
+        if cache.complete {
+            return cache.ops.clone();
+        }
+        let held = cache.ops.as_ref().map_or(0, |ops| ops.len() as u64);
+        // What this experiment may grow to: the process-wide budget minus
+        // what *other* experiments' caches already hold.
+        let cap = budget.saturating_sub(
+            TRACE_CACHE_USED_OPS
+                .load(Ordering::Relaxed)
+                .saturating_sub(held),
+        );
+        match need {
+            Some(n) => {
+                if n > cap {
+                    return None;
+                }
+                if let Some(ops) = &cache.ops {
+                    if ops.len() as u64 >= n {
+                        return cache.ops.clone();
+                    }
+                }
+            }
+            None => {
+                if cache.too_big {
+                    return None;
+                }
+                if let Some(&total) = self.total_ops.get() {
+                    if total > cap {
+                        // Over the whole budget: permanently too big.
+                        // Merely crowded out by other caches: retry later.
+                        cache.too_big = total > budget;
+                        return None;
+                    }
+                }
+            }
+        }
+        // (Re-)expand from the log. The expander cannot resume mid-stream,
+        // so growing a cached prefix pays a fresh pass — rare in practice,
+        // since op budgets are constant within one binary.
+        let limit = need.unwrap_or(u64::MAX).min(cap.saturating_add(1));
+        let mut ops: Vec<MicroOp> = Vec::with_capacity(limit.min(1 << 22) as usize);
+        let mut expander = Expander::with_config(&self.log, self.expand.clone());
+        let mut exhausted = false;
+        while (ops.len() as u64) < limit {
+            match expander.next() {
+                Some(op) => ops.push(op),
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        self.trace_at_least
+            .fetch_max(ops.len() as u64, Ordering::Relaxed);
+        if !exhausted && need.is_none() {
+            // Whole-trace request, and the trace outruns the cap. Only
+            // outrunning the whole process budget is permanent; being
+            // crowded out by other experiments' caches is worth retrying.
+            cache.too_big = limit > budget;
+            return None;
+        }
+        let n = ops.len() as u64;
+        if exhausted {
+            let _ = self.total_ops.set(n);
+            cache.complete = true;
+        }
+        TRACE_CACHE_USED_OPS.fetch_add(n - held, Ordering::Relaxed);
+        cache.ops = Some(Arc::new(ops));
+        cache.ops.clone()
+    }
+
+    /// Releases this experiment's trace cache back to the process-wide
+    /// budget and drops the memoized ops (in-flight clones stay valid).
+    pub fn release_trace_cache(&self) {
+        let mut cache = self.trace_cache.lock().unwrap();
+        if let Some(ops) = cache.ops.take() {
+            TRACE_CACHE_USED_OPS.fetch_sub(ops.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        }
+        cache.complete = false;
     }
 
     /// Total micro-ops the full trace expands to (counted once, lazily;
@@ -141,7 +287,8 @@ impl Experiment {
     /// * otherwise, SMARTS-style systematic sampling: the budget is split
     ///   into `sampling.intervals` measurement windows placed evenly over
     ///   the whole trace, the gaps between them are *functionally warmed*
-    ///   ([`O3Core::warm_only`]: caches, TLBs, BTB and branch predictor
+    ///   ([`belenos_uarch::CoreModel::warm_only`]: caches, TLBs, BTB and
+    ///   branch predictor
     ///   observe every op at zero pipeline cost), the first
     ///   `sampling.warmup_frac` of each window is discarded as detailed
     ///   warmup, and the merged measurements are extrapolated to
@@ -155,27 +302,31 @@ impl Experiment {
         if sampling.is_off() || max_ops == 0 {
             return self.simulate(cfg, max_ops);
         }
-        let total = self.total_trace_ops();
-        let expander = Expander::with_config(&self.log, self.expand.clone());
-        let mut core = O3Core::new(cfg.clone());
+        let cached = self.cached_trace(None);
+        let total = cached
+            .as_ref()
+            .map_or_else(|| self.total_trace_ops(), |ops| ops.len() as u64);
+        let mut model = build_model(cfg);
+        let mut inner: Box<dyn Iterator<Item = MicroOp> + '_> = match &cached {
+            Some(ops) => Box::new(ops.iter().copied()),
+            None => Box::new(Expander::with_config(&self.log, self.expand.clone())),
+        };
         if max_ops as u64 >= total {
             // One interval covering the whole trace: simulate it exactly.
-            return core.run(expander);
+            return model.run(&mut inner);
         }
         let windows = sampling_windows(total, max_ops as u64, sampling.intervals);
-        let mut trace = Counted {
-            inner: expander,
-            consumed: 0,
-        };
+        let mut trace = Counted { inner, consumed: 0 };
         let mut merged = SimStats {
             freq_ghz: cfg.freq_ghz,
             ..SimStats::default()
         };
         for (start, len) in windows {
             let gap = start.saturating_sub(trace.consumed);
-            core.warm_only(&mut trace, gap);
+            model.warm_only(&mut trace, gap);
             let warmup = (len as f64 * sampling.warmup_frac) as u64;
-            let stats = core.run_warm((&mut trace).take(len as usize), warmup);
+            let mut window = (&mut trace).take(len as usize);
+            let stats = model.run_warm(&mut window, warmup);
             merged.merge(&stats);
         }
         if merged.committed_ops == 0 {
@@ -192,6 +343,12 @@ impl Experiment {
     /// Convenience: simulate on the host-like (VTune workstation) config.
     pub fn simulate_host(&self, max_ops: usize) -> SimStats {
         self.simulate(&CoreConfig::host_like(), max_ops)
+    }
+}
+
+impl Drop for Experiment {
+    fn drop(&mut self) {
+        self.release_trace_cache();
     }
 }
 
@@ -325,10 +482,19 @@ fn trace_fingerprint(log: &PhaseLog, expand: &ExpandConfig) -> u64 {
     let mut arrays = ArrayHasher::default();
     let mut h = Fnv64::new();
     h.write_str("trace-v2");
-    h.write_usize(expand.sample);
-    h.write_u64(expand.code_bloat as u64);
-    h.write_f64(expand.spin_scale);
-    h.write_usize(expand.max_kernel_ops);
+    // Exhaustive destructuring: adding a field to `ExpandConfig` fails to
+    // compile here until it is hashed (or consciously ignored), so a new
+    // expansion knob can never silently alias runner-cache entries.
+    let ExpandConfig {
+        sample,
+        code_bloat,
+        spin_scale,
+        max_kernel_ops,
+    } = expand;
+    h.write_usize(*sample);
+    h.write_u64(*code_bloat as u64);
+    h.write_f64(*spin_scale);
+    h.write_usize(*max_kernel_ops);
     h.write_usize(log.len());
     for call in log.calls() {
         match call {
@@ -615,6 +781,139 @@ mod tests {
         let tiny = sampling_windows(1000, 3, 10);
         assert_eq!(tiny.len(), 3);
         assert!(tiny.iter().all(|&(_, len)| len == 1));
+    }
+
+    #[test]
+    fn sampling_windows_budget_at_least_total_is_one_exact_window() {
+        // budget == total and budget > total both degenerate to a single
+        // exact window covering the whole trace, for any interval count.
+        for budget in [500u64, 501, 10_000] {
+            for intervals in [0usize, 1, 7, 1000] {
+                assert_eq!(
+                    sampling_windows(500, budget, intervals),
+                    vec![(0, 500)],
+                    "budget {budget}, intervals {intervals}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_windows_never_overlap_or_overrun() {
+        // Windows are disjoint, ordered, in-bounds and spend exactly the
+        // usable budget across a spread of awkward shapes.
+        for (total, budget, intervals) in [
+            (1_000_000u64, 100_000u64, 10usize),
+            (999_983, 31_337, 17), // primes: nothing divides evenly
+            (1000, 999, 3),
+            (64, 63, 64),   // intervals > budget/interval
+            (1000, 3, 10),  // intervals > budget
+            (10, 9, 1),     // single window
+            (8192, 1, 128), // one-op budget
+        ] {
+            let windows = sampling_windows(total, budget, intervals);
+            assert!(!windows.is_empty(), "({total},{budget},{intervals})");
+            let mut prev_end = 0u64;
+            for &(start, len) in &windows {
+                assert!(len > 0, "empty window in ({total},{budget},{intervals})");
+                assert!(
+                    start >= prev_end,
+                    "overlap in ({total},{budget},{intervals})"
+                );
+                assert!(
+                    start + len <= total,
+                    "overrun in ({total},{budget},{intervals})"
+                );
+                prev_end = start + len;
+            }
+            let spent: u64 = windows.iter().map(|&(_, len)| len).sum();
+            assert!(
+                spent <= budget.max(windows.len() as u64),
+                "overspent budget in ({total},{budget},{intervals}): {spent}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_windows_zero_trace_and_zero_budget_are_empty() {
+        assert_eq!(sampling_windows(0, 0, 0), vec![]);
+        assert_eq!(sampling_windows(0, 1, 1), vec![]);
+        assert_eq!(sampling_windows(1, 0, 1), vec![]);
+        // A 1-op trace with any budget is one exact 1-op window.
+        assert_eq!(sampling_windows(1, 1, 5), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn sampled_zero_length_trace_reports_empty_stats() {
+        // A sampled run over a trace the windows never reach (empty
+        // merge) must report zeros, not extrapolate garbage.
+        let exp = Experiment::prepare(&by_id("pd").expect("pd")).unwrap();
+        let cfg = CoreConfig::gem5_baseline();
+        // Budget 0 falls back to prefix mode's unlimited run; instead
+        // exercise the merge-empty path via a 1-op budget at 1 interval:
+        // the window measures ops, so committed stays > 0 — the guard in
+        // simulate_sampled is the `merged.committed_ops == 0` branch,
+        // reachable only with an empty window set on a non-empty trace,
+        // which sampling_windows never produces. Assert that invariant.
+        let total = exp.total_trace_ops();
+        assert!(total > 0);
+        for intervals in [1usize, 4, 1000] {
+            assert!(
+                !sampling_windows(total, 1, intervals).is_empty(),
+                "non-empty trace with non-zero budget always measures"
+            );
+        }
+        let stats = exp.simulate_sampled(&cfg, 1, &SamplingConfig::smarts(4));
+        assert!(stats.committed_ops > 0, "1-op budget still extrapolates");
+    }
+
+    #[test]
+    fn window_merge_extrapolation_preserves_ratios_and_scale() {
+        // Merged-and-scaled interval stats: extrapolated committed ops
+        // land on the whole trace, and intensive ratios (IPC, MPKI)
+        // survive scaling unchanged up to rounding.
+        let exp = Experiment::prepare(&by_id("pd").expect("pd")).unwrap();
+        let cfg = CoreConfig::gem5_baseline();
+        let total = exp.total_trace_ops();
+        let sampled = exp.simulate_sampled(&cfg, total as usize / 8, &SamplingConfig::smarts(32));
+        let op_err = (sampled.committed_ops as f64 - total as f64).abs() / total as f64;
+        assert!(op_err < 0.05, "extrapolated ops {}", sampled.committed_ops);
+        // Slot identity survives merge + scale within rounding slack.
+        let width = cfg.commit_width as u64;
+        let slack = sampled.total_slots() / 100 + 64;
+        assert!(
+            sampled.total_slots().abs_diff(sampled.cycles * width) <= slack,
+            "slots {} vs cycles*width {}",
+            sampled.total_slots(),
+            sampled.cycles * width
+        );
+    }
+
+    #[test]
+    fn cached_trace_replay_is_bit_identical_to_streaming_expansion() {
+        // `simulate` memoizes the expanded trace (pd fits the default
+        // cap); a hand-driven streaming expansion must produce the exact
+        // same statistics, and repeated (cache-hit) runs must too.
+        let spec = by_id("pd").expect("pd exists");
+        let exp = Experiment::prepare(&spec).unwrap();
+        let cfg = CoreConfig::gem5_baseline();
+
+        let full = exp.simulate(&cfg, 0);
+        let mut model = build_model(&cfg);
+        let mut streamed = Expander::with_config(exp.log(), spec.expand.clone());
+        assert_eq!(full, model.run(&mut streamed), "full-trace replay");
+        assert_eq!(full, exp.simulate(&cfg, 0), "cache-hit replay");
+
+        let budget = 40_000usize;
+        let budgeted = exp.simulate(&cfg, budget);
+        let mut model = build_model(&cfg);
+        let mut limited = Expander::with_config(exp.log(), spec.expand.clone()).take(budget);
+        assert_eq!(
+            budgeted,
+            model.run_warm(&mut limited, budget as u64 / 4),
+            "budgeted replay"
+        );
+        assert_eq!(budgeted, exp.simulate(&cfg, budget), "budgeted cache hit");
     }
 
     #[test]

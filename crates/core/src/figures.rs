@@ -3,15 +3,21 @@
 //! Each function renders plain-text tables whose rows/series match what
 //! the paper plots; the `belenos-bench` binaries print them and
 //! EXPERIMENTS.md records paper-vs-measured comparisons.
+//!
+//! Figures that simulate take the campaign's [`SimOptions`] (budget,
+//! sampling, core-model backend) and return `Result`: a wedged
+//! simulation point surfaces as a [`SimFailure`] so one broken figure
+//! never kills a whole campaign binary.
 
 use crate::experiment::Experiment;
+use crate::options::{SimFailure, SimOptions};
 use crate::sweep;
 use belenos_profiler::report::{fmt, Table};
 use belenos_profiler::{HotspotProfile, MemoryProfile, TopDown};
 use belenos_runner::{RunPlan, Runner};
 use belenos_trace::FnCategory;
 use belenos_uarch::config::BranchPredictorKind;
-use belenos_uarch::{CoreConfig, SamplingConfig, SimStats};
+use belenos_uarch::{CoreConfig, SimStats};
 use belenos_workloads::{catalog, WorkloadSpec};
 
 /// Simulates every experiment once under `config` through the batch
@@ -22,14 +28,13 @@ fn simulate_batch(
     experiments: &[Experiment],
     label: &str,
     config: &CoreConfig,
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> Vec<SimStats> {
+    opts: &SimOptions,
+) -> Result<Vec<SimStats>, SimFailure> {
     let mut plan = RunPlan::new();
     for w in 0..experiments.len() {
         plan.push(
-            belenos_runner::JobSpec::new(w, label, config.clone(), max_ops)
-                .with_sampling(sampling.clone()),
+            belenos_runner::JobSpec::new(w, label, opts.configure(config.clone()), opts.max_ops)
+                .with_sampling(opts.sampling.clone()),
         );
     }
     Runner::from_env()
@@ -37,9 +42,13 @@ fn simulate_batch(
         .into_iter()
         .map(|r| {
             if let Some(e) = &r.error {
-                panic!("figure point '{} {}' failed: {e}", r.workload, r.label);
+                return Err(SimFailure {
+                    workload: r.workload.clone(),
+                    label: r.label.clone(),
+                    message: e.clone(),
+                });
             }
-            r.stats
+            Ok(r.stats)
         })
         .collect()
 }
@@ -123,22 +132,16 @@ pub fn table2() -> String {
 }
 
 /// Fig. 2: top-down pipeline breakdown per VTune workload.
-pub fn fig02_topdown(
-    experiments: &[Experiment],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> String {
+///
+/// # Errors
+///
+/// The first failed simulation point.
+pub fn fig02_topdown(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
     // VTune-style profiles need windows spanning several Newton iterations
     // of the larger models; widen the budget accordingly.
-    let max_ops = max_ops.saturating_mul(3);
+    let opts = opts.scaled_budget(3);
     let mut t = Table::new(&["Model", "Retiring%", "FrontEnd%", "BadSpec%", "BackEnd%"]);
-    let host = simulate_batch(
-        experiments,
-        "host",
-        &CoreConfig::host_like(),
-        max_ops,
-        sampling,
-    );
+    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), &opts)?;
     for (exp, stats) in experiments.iter().zip(&host) {
         let td = TopDown::from_stats(&exp.id, stats);
         let p = td.percents();
@@ -150,21 +153,21 @@ pub fn fig02_topdown(
             fmt(p[3], 1),
         ]);
     }
-    format!(
+    Ok(format!(
         "Fig. 2: Top-down pipeline breakdown (host-like config)\n\n{}",
         t.render()
-    )
+    ))
 }
 
 /// Fig. 3: front-end / back-end stall split per VTune workload.
-pub fn fig03_stalls(
-    experiments: &[Experiment],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> String {
+///
+/// # Errors
+///
+/// The first failed simulation point.
+pub fn fig03_stalls(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
     // VTune-style profiles need windows spanning several Newton iterations
     // of the larger models; widen the budget accordingly.
-    let max_ops = max_ops.saturating_mul(3);
+    let opts = opts.scaled_budget(3);
     let mut t = Table::new(&[
         "Model",
         "FE Latency%",
@@ -172,13 +175,7 @@ pub fn fig03_stalls(
         "BE Core%",
         "BE Memory%",
     ]);
-    let host = simulate_batch(
-        experiments,
-        "host",
-        &CoreConfig::host_like(),
-        max_ops,
-        sampling,
-    );
+    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), &opts)?;
     for (exp, stats) in experiments.iter().zip(&host) {
         let td = TopDown::from_stats(&exp.id, stats);
         let s = td.stall_percents();
@@ -190,21 +187,21 @@ pub fn fig03_stalls(
             fmt(s[3], 1),
         ]);
     }
-    format!(
+    Ok(format!(
         "Fig. 3: FE/BE stall breakdown (bad speculation negligible, as in the paper)\n\n{}",
         t.render()
-    )
+    ))
 }
 
 /// Fig. 4: hotspot-category prevalence dots per workload.
-pub fn fig04_hotspots(
-    experiments: &[Experiment],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> String {
+///
+/// # Errors
+///
+/// The first failed simulation point.
+pub fn fig04_hotspots(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
     // VTune-style profiles need windows spanning several Newton iterations
     // of the larger models; widen the budget accordingly.
-    let max_ops = max_ops.saturating_mul(3);
+    let opts = opts.scaled_budget(3);
     let mut t = Table::new(&[
         "Model",
         "Internal",
@@ -214,13 +211,7 @@ pub fn fig04_hotspots(
         "MKL-BLAS",
         "Pardiso",
     ]);
-    let host = simulate_batch(
-        experiments,
-        "host",
-        &CoreConfig::host_like(),
-        max_ops,
-        sampling,
-    );
+    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), &opts)?;
     for (exp, stats) in experiments.iter().zip(&host) {
         let p = HotspotProfile::from_stats(&exp.id, stats);
         let dots = p.dots();
@@ -230,11 +221,11 @@ pub fn fig04_hotspots(
         }
         t.row(row);
     }
-    format!(
+    Ok(format!(
         "Fig. 4: Function-category share of clockticks\n\
          (R >75%, O 50-75%, Y 25-50%, G <25%, . absent)\n\n{}",
         t.render()
-    )
+    ))
 }
 
 /// Fig. 5: numeric solve time vs model size over the full catalog.
@@ -279,11 +270,11 @@ pub fn fig06_exec_time(experiments: &[Experiment]) -> String {
 }
 
 /// Fig. 7: fetch / execute / commit stage breakdowns on the gem5 baseline.
-pub fn fig07_pipeline(
-    experiments: &[Experiment],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> String {
+///
+/// # Errors
+///
+/// The first failed simulation point.
+pub fn fig07_pipeline(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
     let mut fetch = Table::new(&[
         "Model",
         "activeFetch%",
@@ -294,13 +285,7 @@ pub fn fig07_pipeline(
     ]);
     let mut exec = Table::new(&["Model", "branches%", "fp%", "int%", "loads%", "stores%"]);
     let mut commit = Table::new(&["Model", "fp%", "int%", "loads%", "stores%"]);
-    let baseline = simulate_batch(
-        experiments,
-        "baseline",
-        &CoreConfig::gem5_baseline(),
-        max_ops,
-        sampling,
-    );
+    let baseline = simulate_batch(experiments, "baseline", &CoreConfig::gem5_baseline(), opts)?;
     for (exp, s) in experiments.iter().zip(&baseline) {
         let fetch_total = (s.active_fetch_cycles
             + s.icache_stall_cycles
@@ -334,23 +319,26 @@ pub fn fig07_pipeline(
             fmt(c.fraction(c.stores) * 100.0, 1),
         ]);
     }
-    format!(
+    Ok(format!(
         "Fig. 7a: Fetch stage activity\n\n{}\nFig. 7b: Execute stage mix\n\n{}\n\
          Fig. 7c: Commit stage mix\n\n{}",
         fetch.render(),
         exec.render(),
         commit.render()
-    )
+    ))
 }
 
 /// Fig. 8: execution time and IPC vs core frequency.
+///
+/// # Errors
+///
+/// The first failed simulation point.
 pub fn fig08_frequency(
     experiments: &[Experiment],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> String {
+    opts: &SimOptions,
+) -> Result<String, SimFailure> {
     let freqs = [1.0, 2.0, 3.0, 4.0];
-    let pts = sweep::frequency(experiments, &freqs, max_ops, sampling);
+    let pts = sweep::frequency(experiments, &freqs, opts)?;
     let mut time = Table::new(&[
         "Model",
         "1GHz (ms)",
@@ -381,23 +369,23 @@ pub fn fig08_frequency(
             fmt(series[3].stats.ipc(), 3),
         ]);
     }
-    format!(
+    Ok(format!(
         "Fig. 8a: Execution time vs frequency\n\n{}\nFig. 8b: IPC vs frequency\n\n{}",
         time.render(),
         ipc.render()
-    )
+    ))
 }
 
 /// Fig. 9: cache sensitivity (L1I/L1D MPKI, L2 MPKI, normalized times).
-pub fn fig09_cache(
-    experiments: &[Experiment],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> String {
+///
+/// # Errors
+///
+/// The first failed simulation point.
+pub fn fig09_cache(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
     let l1_sizes = [8usize, 16, 32, 64];
     let l2_sizes = [256usize, 512, 1024, 2048];
-    let l1_pts = sweep::l1_size(experiments, &l1_sizes, max_ops, sampling);
-    let l2_pts = sweep::l2_size(experiments, &l2_sizes, max_ops, sampling);
+    let l1_pts = sweep::l1_size(experiments, &l1_sizes, opts)?;
+    let l2_pts = sweep::l2_size(experiments, &l2_sizes, opts)?;
     let mut l1i = Table::new(&["Model", "8kB", "16kB", "32kB", "64kB"]);
     let mut l1d = Table::new(&["Model", "8kB", "16kB", "32kB", "64kB"]);
     let mut l1t = Table::new(&["Model", "t(8k)/t(64k)", "t(16k)/t(64k)", "t(32k)/t(64k)"]);
@@ -442,7 +430,7 @@ pub fn fig09_cache(
             fmt(s2[2].stats.seconds() / t2m, 3),
         ]);
     }
-    format!(
+    Ok(format!(
         "Fig. 9a: L1I MPKI\n\n{}\nFig. 9b: L1D MPKI\n\n{}\nFig. 9c: L1 exec time (normalized to 64kB)\n\n{}\n\
          Fig. 9d: L2 MPKI\n\n{}\nFig. 9e: L2 exec time (normalized to 2MB)\n\n{}",
         l1i.render(),
@@ -450,16 +438,16 @@ pub fn fig09_cache(
         l1t.render(),
         l2m.render(),
         l2t.render()
-    )
+    ))
 }
 
 /// Fig. 10: execution-time delta vs pipeline width (baseline 6).
-pub fn fig10_width(
-    experiments: &[Experiment],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> String {
-    let pts = sweep::width(experiments, &[2, 4, 6, 8], max_ops, sampling);
+///
+/// # Errors
+///
+/// The first failed simulation point.
+pub fn fig10_width(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
+    let pts = sweep::width(experiments, &[2, 4, 6, 8], opts)?;
     let diffs = sweep::percent_diff_vs(&pts, "6");
     let mut t = Table::new(&["Model", "width=2 (%)", "width=4 (%)", "width=8 (%)"]);
     for exp in experiments {
@@ -477,21 +465,20 @@ pub fn fig10_width(
             fmt(d("8"), 1),
         ]);
     }
-    format!(
+    Ok(format!(
         "Fig. 10: Execution time difference vs baseline pipeline width 6\n\
          (positive = slower than baseline)\n\n{}",
         t.render()
-    )
+    ))
 }
 
 /// Fig. 11: execution-time delta vs LQ/SQ depth (baseline 72/56).
-pub fn fig11_lsq(experiments: &[Experiment], max_ops: usize, sampling: &SamplingConfig) -> String {
-    let pts = sweep::lsq(
-        experiments,
-        &[(32, 24), (48, 40), (72, 56), (96, 72)],
-        max_ops,
-        sampling,
-    );
+///
+/// # Errors
+///
+/// The first failed simulation point.
+pub fn fig11_lsq(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
+    let pts = sweep::lsq(experiments, &[(32, 24), (48, 40), (72, 56), (96, 72)], opts)?;
     let diffs = sweep::percent_diff_vs(&pts, "72_56");
     let mut t = Table::new(&["Model", "32_24 (%)", "48_40 (%)", "96_72 (%)"]);
     for exp in experiments {
@@ -509,18 +496,18 @@ pub fn fig11_lsq(experiments: &[Experiment], max_ops: usize, sampling: &Sampling
             fmt(d("96_72"), 1),
         ]);
     }
-    format!(
+    Ok(format!(
         "Fig. 11: Execution time difference vs baseline LQ_SQ = 72_56\n\n{}",
         t.render()
-    )
+    ))
 }
 
 /// Fig. 12: execution-time delta per branch predictor (vs TournamentBP).
-pub fn fig12_branch(
-    experiments: &[Experiment],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> String {
+///
+/// # Errors
+///
+/// The first failed simulation point.
+pub fn fig12_branch(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
     let pts = sweep::branch_predictors(
         experiments,
         &[
@@ -529,9 +516,8 @@ pub fn fig12_branch(
             BranchPredictorKind::Ltage,
             BranchPredictorKind::Perceptron,
         ],
-        max_ops,
-        sampling,
-    );
+        opts,
+    )?;
     let diffs = sweep::percent_diff_vs(&pts, "TournamentBP");
     let mut t = Table::new(&["Model", "LocalBP (%)", "LTAGE (%)", "MPP64KB (%)"]);
     for exp in experiments {
@@ -549,22 +535,25 @@ pub fn fig12_branch(
             fmt(d("MultiperspectivePerceptron64KB"), 2),
         ]);
     }
-    format!(
+    Ok(format!(
         "Fig. 12: Execution time difference vs TournamentBP baseline\n\n{}",
         t.render()
-    )
+    ))
 }
 
 /// Supplementary: memory profile of each workload (bandwidth, MPKIs) —
 /// the paper quotes the eye model's DRAM pressure in §III-C.
+///
+/// # Errors
+///
+/// The first failed simulation point.
 pub fn memory_profiles(
     experiments: &[Experiment],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> String {
+    opts: &SimOptions,
+) -> Result<String, SimFailure> {
     // VTune-style profiles need windows spanning several Newton iterations
     // of the larger models; widen the budget accordingly.
-    let max_ops = max_ops.saturating_mul(3);
+    let opts = opts.scaled_budget(3);
     let mut t = Table::new(&[
         "Model",
         "L1I MPKI",
@@ -573,13 +562,7 @@ pub fn memory_profiles(
         "MemBound%",
         "DRAM GB/s",
     ]);
-    let host = simulate_batch(
-        experiments,
-        "host",
-        &CoreConfig::host_like(),
-        max_ops,
-        sampling,
-    );
+    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), &opts)?;
     for (exp, stats) in experiments.iter().zip(&host) {
         let m = MemoryProfile::from_stats(&exp.id, stats);
         t.row(vec![
@@ -591,7 +574,10 @@ pub fn memory_profiles(
             fmt(m.dram_gbps, 2),
         ]);
     }
-    format!("Memory profiles (host-like config)\n\n{}", t.render())
+    Ok(format!(
+        "Memory profiles (host-like config)\n\n{}",
+        t.render()
+    ))
 }
 
 /// Returns the default VTune-set specs (11 models + eye).
@@ -606,21 +592,20 @@ pub fn gem5_specs() -> Vec<WorkloadSpec> {
 
 /// Dominant hotspot sanity used by tests: internal functions should lead
 /// most workloads, as the paper observes.
-pub fn dominant_category(
-    exp: &Experiment,
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> FnCategory {
+///
+/// # Errors
+///
+/// The first failed simulation point.
+pub fn dominant_category(exp: &Experiment, opts: &SimOptions) -> Result<FnCategory, SimFailure> {
     let stats = simulate_batch(
         std::slice::from_ref(exp),
         "host",
         &CoreConfig::host_like(),
-        max_ops,
-        sampling,
-    )
+        opts,
+    )?
     .pop()
     .expect("one job per experiment");
-    HotspotProfile::from_stats(&exp.id, &stats).dominant()
+    Ok(HotspotProfile::from_stats(&exp.id, &stats).dominant())
 }
 
 #[cfg(test)]
@@ -643,8 +628,20 @@ mod tests {
         // One tiny workload through fig-7-style reporting.
         let spec = belenos_workloads::by_id("pd").expect("pd");
         let exp = Experiment::prepare(&spec).unwrap();
-        let out = fig07_pipeline(&[exp], 30_000, &SamplingConfig::off());
+        let out = fig07_pipeline(&[exp], &SimOptions::new(30_000)).expect("figure");
         assert!(out.contains("Fig. 7a"));
         assert!(out.contains("pd"));
+    }
+
+    #[test]
+    fn figures_run_on_every_backend() {
+        use belenos_uarch::ModelKind;
+        let spec = belenos_workloads::by_id("pd").expect("pd");
+        let exps = vec![Experiment::prepare(&spec).unwrap()];
+        for kind in ModelKind::ALL {
+            let opts = SimOptions::new(20_000).with_model(kind);
+            let out = fig02_topdown(&exps, &opts).expect("figure");
+            assert!(out.contains("pd"), "{kind} figure must render");
+        }
     }
 }

@@ -27,6 +27,13 @@
 //! baseline appears in every sweep) are simulated exactly once per
 //! process. Parallel and serial runs are bit-identical.
 //!
+//! Campaigns run under [`SimOptions`]: op budget, budget placement
+//! (prefix vs SMARTS interval sampling) and the core-model backend
+//! (`belenos_uarch::ModelKind` — cycle-level out-of-order, scalar
+//! in-order, or the fast analytical bound model), so the same figures
+//! can be regenerated at any speed/fidelity point and cross-validated
+//! across backends, mirroring the paper's gem5-vs-VTune methodology.
+//!
 //! ```no_run
 //! use belenos::experiment::Experiment;
 //! use belenos_uarch::CoreConfig;
@@ -39,6 +46,8 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod options;
 pub mod sweep;
 
 pub use experiment::{Experiment, PrepareError};
+pub use options::{SimFailure, SimOptions};

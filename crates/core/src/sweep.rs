@@ -6,11 +6,18 @@
 //! parallel (`BELENOS_JOBS` workers) and points shared between sweeps —
 //! every sweep contains the Table II baseline — are simulated exactly
 //! once per process thanks to the content-addressed result cache.
+//!
+//! Grids run under the [`SimOptions`] campaign settings: op budget,
+//! budget placement, and core-model backend (the backend is folded into
+//! every grid config, so sweeps re-point at the in-order or analytical
+//! model wholesale). A point whose simulation panics (a wedged pipeline)
+//! surfaces as a [`SimFailure`] instead of killing the process.
 
 use crate::experiment::Experiment;
+use crate::options::{SimFailure, SimOptions};
 use belenos_runner::{JobSpec, RunPlan, Runner};
 use belenos_uarch::config::BranchPredictorKind;
-use belenos_uarch::{CoreConfig, SamplingConfig, SimStats};
+use belenos_uarch::{CoreConfig, SimStats};
 
 /// One sweep sample: workload, swept value label, and the run statistics.
 #[derive(Debug)]
@@ -27,15 +34,14 @@ pub struct SweepPoint {
 fn sweep_plan(
     experiments: &[Experiment],
     values: &[(String, CoreConfig)],
-    max_ops: usize,
-    sampling: &SamplingConfig,
+    opts: &SimOptions,
 ) -> RunPlan {
     let mut plan = RunPlan::new();
     for (w, _) in experiments.iter().enumerate() {
         for (label, cfg) in values {
             plan.push(
-                JobSpec::new(w, label.clone(), cfg.clone(), max_ops)
-                    .with_sampling(sampling.clone()),
+                JobSpec::new(w, label.clone(), opts.configure(cfg.clone()), opts.max_ops)
+                    .with_sampling(opts.sampling.clone()),
             );
         }
     }
@@ -45,33 +51,39 @@ fn sweep_plan(
 fn run_sweep(
     experiments: &[Experiment],
     values: &[(String, CoreConfig)],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> Vec<SweepPoint> {
-    let plan = sweep_plan(experiments, values, max_ops, sampling);
+    opts: &SimOptions,
+) -> Result<Vec<SweepPoint>, SimFailure> {
+    let plan = sweep_plan(experiments, values, opts);
     Runner::from_env()
         .run(experiments, &plan)
         .into_iter()
         .map(|r| {
             if let Some(e) = &r.error {
-                panic!("sweep point '{} {}' failed: {e}", r.workload, r.label);
+                return Err(SimFailure {
+                    workload: r.workload.clone(),
+                    label: r.label.clone(),
+                    message: e.clone(),
+                });
             }
-            SweepPoint {
+            Ok(SweepPoint {
                 workload: r.workload,
                 value: r.label,
                 stats: r.stats,
-            }
+            })
         })
         .collect()
 }
 
 /// Fig. 8: core frequency 1-4 GHz.
+///
+/// # Errors
+///
+/// The first failed (panicked) grid point.
 pub fn frequency(
     experiments: &[Experiment],
     freqs: &[f64],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> Vec<SweepPoint> {
+    opts: &SimOptions,
+) -> Result<Vec<SweepPoint>, SimFailure> {
     let values: Vec<(String, CoreConfig)> = freqs
         .iter()
         .map(|&f| {
@@ -81,16 +93,19 @@ pub fn frequency(
             )
         })
         .collect();
-    run_sweep(experiments, &values, max_ops, sampling)
+    run_sweep(experiments, &values, opts)
 }
 
 /// Fig. 9a-c: L1 (I+D) capacity sweep.
+///
+/// # Errors
+///
+/// The first failed (panicked) grid point.
 pub fn l1_size(
     experiments: &[Experiment],
     sizes_kb: &[usize],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> Vec<SweepPoint> {
+    opts: &SimOptions,
+) -> Result<Vec<SweepPoint>, SimFailure> {
     let values: Vec<(String, CoreConfig)> = sizes_kb
         .iter()
         .map(|&kb| {
@@ -100,16 +115,19 @@ pub fn l1_size(
             )
         })
         .collect();
-    run_sweep(experiments, &values, max_ops, sampling)
+    run_sweep(experiments, &values, opts)
 }
 
 /// Fig. 9d-e: L2 capacity sweep.
+///
+/// # Errors
+///
+/// The first failed (panicked) grid point.
 pub fn l2_size(
     experiments: &[Experiment],
     sizes_kb: &[usize],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> Vec<SweepPoint> {
+    opts: &SimOptions,
+) -> Result<Vec<SweepPoint>, SimFailure> {
     let values: Vec<(String, CoreConfig)> = sizes_kb
         .iter()
         .map(|&kb| {
@@ -121,16 +139,19 @@ pub fn l2_size(
             (label, CoreConfig::gem5_baseline().with_l2_size(kb * 1024))
         })
         .collect();
-    run_sweep(experiments, &values, max_ops, sampling)
+    run_sweep(experiments, &values, opts)
 }
 
 /// Fig. 10: pipeline width sweep (baseline width 6).
+///
+/// # Errors
+///
+/// The first failed (panicked) grid point.
 pub fn width(
     experiments: &[Experiment],
     widths: &[usize],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> Vec<SweepPoint> {
+    opts: &SimOptions,
+) -> Result<Vec<SweepPoint>, SimFailure> {
     let values: Vec<(String, CoreConfig)> = widths
         .iter()
         .map(|&w| {
@@ -140,16 +161,19 @@ pub fn width(
             )
         })
         .collect();
-    run_sweep(experiments, &values, max_ops, sampling)
+    run_sweep(experiments, &values, opts)
 }
 
 /// Fig. 11: load/store-queue depth sweep (baseline 72/56).
+///
+/// # Errors
+///
+/// The first failed (panicked) grid point.
 pub fn lsq(
     experiments: &[Experiment],
     depths: &[(usize, usize)],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> Vec<SweepPoint> {
+    opts: &SimOptions,
+) -> Result<Vec<SweepPoint>, SimFailure> {
     let values: Vec<(String, CoreConfig)> = depths
         .iter()
         .map(|&(l, s)| {
@@ -159,16 +183,19 @@ pub fn lsq(
             )
         })
         .collect();
-    run_sweep(experiments, &values, max_ops, sampling)
+    run_sweep(experiments, &values, opts)
 }
 
 /// Instruction-window ablation (paper §IV-C4 text): ROB/IQ sizes.
+///
+/// # Errors
+///
+/// The first failed (panicked) grid point.
 pub fn rob_iq(
     experiments: &[Experiment],
     sizes: &[(usize, usize)],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> Vec<SweepPoint> {
+    opts: &SimOptions,
+) -> Result<Vec<SweepPoint>, SimFailure> {
     let values: Vec<(String, CoreConfig)> = sizes
         .iter()
         .map(|&(r, q)| {
@@ -178,16 +205,19 @@ pub fn rob_iq(
             )
         })
         .collect();
-    run_sweep(experiments, &values, max_ops, sampling)
+    run_sweep(experiments, &values, opts)
 }
 
 /// Fig. 12: branch predictor sweep (baseline TournamentBP).
+///
+/// # Errors
+///
+/// The first failed (panicked) grid point.
 pub fn branch_predictors(
     experiments: &[Experiment],
     predictors: &[BranchPredictorKind],
-    max_ops: usize,
-    sampling: &SamplingConfig,
-) -> Vec<SweepPoint> {
+    opts: &SimOptions,
+) -> Result<Vec<SweepPoint>, SimFailure> {
     let values: Vec<(String, CoreConfig)> = predictors
         .iter()
         .map(|&p| {
@@ -197,7 +227,7 @@ pub fn branch_predictors(
             )
         })
         .collect();
-    run_sweep(experiments, &values, max_ops, sampling)
+    run_sweep(experiments, &values, opts)
 }
 
 /// Percent execution-time difference of each point against the point with
@@ -221,16 +251,21 @@ pub fn percent_diff_vs(points: &[SweepPoint], baseline_label: &str) -> Vec<(Stri
 #[cfg(test)]
 mod tests {
     use super::*;
+    use belenos_uarch::{ModelKind, SamplingConfig};
     use belenos_workloads::by_id;
 
     fn tiny_experiment() -> Experiment {
         Experiment::prepare(&by_id("pd").expect("pd")).unwrap()
     }
 
+    fn opts(max_ops: usize) -> SimOptions {
+        SimOptions::new(max_ops)
+    }
+
     #[test]
     fn frequency_sweep_monotone_seconds() {
         let exps = vec![tiny_experiment()];
-        let pts = frequency(&exps, &[1.0, 4.0], 20_000, &SamplingConfig::off());
+        let pts = frequency(&exps, &[1.0, 4.0], &opts(20_000)).expect("sweep");
         assert_eq!(pts.len(), 2);
         assert!(pts[0].stats.seconds() > pts[1].stats.seconds());
     }
@@ -238,7 +273,7 @@ mod tests {
     #[test]
     fn percent_diff_math() {
         let exps = vec![tiny_experiment()];
-        let pts = width(&exps, &[2, 6], 20_000, &SamplingConfig::off());
+        let pts = width(&exps, &[2, 6], &opts(20_000)).expect("sweep");
         let diffs = percent_diff_vs(&pts, "6");
         assert_eq!(diffs.len(), 1);
         assert_eq!(diffs[0].1, "2");
@@ -258,7 +293,7 @@ mod tests {
                 )
             })
             .collect();
-        let plan = sweep_plan(&exps, &values, 20_000, &SamplingConfig::off());
+        let plan = sweep_plan(&exps, &values, &opts(20_000));
         let serial = Runner::isolated(1).run(&exps, &plan);
         let parallel = Runner::isolated(4).run(&exps, &plan);
         for (s, p) in serial.iter().zip(&parallel) {
@@ -286,17 +321,11 @@ mod tests {
                 )
             })
             .collect();
-        runner.run(
-            &exps,
-            &sweep_plan(&exps, &freq, 20_000, &SamplingConfig::off()),
-        );
+        runner.run(&exps, &sweep_plan(&exps, &freq, &opts(20_000)));
         // ...so the Fig. 11 LSQ sweep's 72_56 baseline point is a hit.
         let lsq: Vec<(String, CoreConfig)> =
             vec![("72_56".into(), CoreConfig::gem5_baseline().with_lsq(72, 56))];
-        let (_, summary) = runner.run_with_summary(
-            &exps,
-            &sweep_plan(&exps, &lsq, 20_000, &SamplingConfig::off()),
-        );
+        let (_, summary) = runner.run_with_summary(&exps, &sweep_plan(&exps, &lsq, &opts(20_000)));
         assert_eq!(
             summary.cache_hits, 1,
             "baseline must be shared across sweeps"
@@ -305,15 +334,41 @@ mod tests {
     }
 
     #[test]
+    fn backend_selection_separates_sweep_points() {
+        use belenos_runner::Runner;
+        let exps = vec![tiny_experiment()];
+        let runner = Runner::isolated(2);
+        let values: Vec<(String, CoreConfig)> = vec![("3GHz".into(), CoreConfig::gem5_baseline())];
+        let o3_opts = opts(20_000);
+        let an_opts = opts(20_000).with_model(ModelKind::Analytic);
+        runner.run(&exps, &sweep_plan(&exps, &values, &o3_opts));
+        // The same grid under a different backend must NOT hit the cache.
+        let (results, summary) =
+            runner.run_with_summary(&exps, &sweep_plan(&exps, &values, &an_opts));
+        assert_eq!(summary.cache_hits, 0, "backends must never alias");
+        assert_eq!(summary.simulated, 1);
+        assert!(results[0].error.is_none());
+    }
+
+    #[test]
     fn predictor_sweep_labels() {
         let exps = vec![tiny_experiment()];
         let pts = branch_predictors(
             &exps,
             &[BranchPredictorKind::Tournament, BranchPredictorKind::Local],
-            10_000,
-            &SamplingConfig::off(),
-        );
+            &opts(10_000),
+        )
+        .expect("sweep");
         assert_eq!(pts[0].value, "TournamentBP");
         assert_eq!(pts[1].value, "LocalBP");
+    }
+
+    #[test]
+    fn sampled_sweep_options_flow_through() {
+        let exps = vec![tiny_experiment()];
+        let sampled = opts(20_000).with_sampling(SamplingConfig::smarts(8));
+        let pts = frequency(&exps, &[3.0], &sampled).expect("sweep");
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].stats.committed_ops > 0);
     }
 }

@@ -51,9 +51,15 @@ impl CacheKey {
     }
 
     /// Stable 64-bit content address (used as the on-disk file name).
+    ///
+    /// The version tag is bumped whenever key semantics change; v3
+    /// coincides with core-model backends entering
+    /// [`CoreConfig::stable_digest`], so stale on-disk entries from
+    /// before the multi-backend era can never alias a backend-qualified
+    /// run.
     pub fn address(&self) -> u64 {
         let mut h = Fnv64::new();
-        h.write_str("CacheKey-v2");
+        h.write_str("CacheKey-v3");
         h.write_str(&self.workload);
         h.write_u64(self.fingerprint);
         h.write_u64(self.config);

@@ -481,6 +481,24 @@ impl Runner {
     }
 }
 
+/// Runs a simulation closure with the same per-job panic containment the
+/// worker pool applies: a panicking simulation (e.g. a wedged pipeline
+/// hitting the stall limit) comes back as `Err(message)` instead of
+/// unwinding through the caller.
+///
+/// Bench binaries that simulate *outside* a [`Runner`] plan (accuracy
+/// harnesses, model-agreement comparisons, ablations) wrap their direct
+/// `simulate` calls in this so one wedged baseline surfaces as an error
+/// line rather than killing the whole binary.
+///
+/// # Errors
+///
+/// The panic message of `f`, prefixed with `context`.
+pub fn run_caught<T>(context: &str, f: impl FnOnce() -> T) -> Result<T, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .map_err(|payload| format!("{context}: {}", panic_message(&*payload)))
+}
+
 /// Best-effort human-readable message from a panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     if let Some(s) = payload.downcast_ref::<&str>() {

@@ -139,6 +139,10 @@ impl CacheConfig {
 /// Full machine configuration for one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoreConfig {
+    /// Which core-model backend replays the trace (`BELENOS_MODEL`);
+    /// part of [`CoreConfig::stable_digest`] so backends never alias in
+    /// result caches.
+    pub model: crate::model::ModelKind,
     /// Core clock in GHz (scales DRAM latency in cycles).
     pub freq_ghz: f64,
     /// Fetch width (ops/cycle).
@@ -202,6 +206,7 @@ impl CoreConfig {
     /// The paper's Table II gem5 baseline (X86O3CPU, DDR4-2400).
     pub fn gem5_baseline() -> Self {
         CoreConfig {
+            model: crate::model::ModelKind::O3,
             freq_ghz: 3.0,
             fetch_width: 4,
             decode_width: 6,
@@ -255,6 +260,7 @@ impl CoreConfig {
     /// DDR5-6000, ~60 GB/s platform ceiling as measured in the paper).
     pub fn host_like() -> Self {
         CoreConfig {
+            model: crate::model::ModelKind::O3,
             freq_ghz: 3.2, // fixed frequency as pinned in the paper
             fetch_width: 8,
             decode_width: 8,
@@ -361,6 +367,13 @@ impl CoreConfig {
         self
     }
 
+    /// Selects the core-model backend that replays the trace (see
+    /// [`crate::model::CoreModel`] for the trade-offs).
+    pub fn with_model(mut self, model: crate::model::ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
     /// Converts a nanosecond latency to core cycles at this frequency.
     pub fn ns_to_cycles(&self, ns: f64) -> u64 {
         (ns * self.freq_ghz).round().max(1.0) as u64
@@ -375,7 +388,8 @@ impl CoreConfig {
     /// stale on-disk entries can never alias a new configuration.
     pub fn stable_digest(&self) -> u64 {
         let mut h = crate::digest::Fnv64::new();
-        h.write_str("CoreConfig-v1");
+        h.write_str("CoreConfig-v2");
+        h.write_str(self.model.label());
         h.write_f64(self.freq_ghz);
         for w in [
             self.fetch_width,
@@ -514,6 +528,8 @@ mod tests {
             base.clone().with_l2_size(256 * 1024),
             base.clone().with_rob_iq(448, 256),
             base.clone().with_predictor(BranchPredictorKind::Ltage),
+            base.clone().with_model(crate::model::ModelKind::InOrder),
+            base.clone().with_model(crate::model::ModelKind::Analytic),
             CoreConfig::host_like(),
         ];
         for v in &variants {

@@ -1,23 +1,31 @@
 //! # belenos-uarch
 //!
-//! Cycle-level out-of-order CPU, cache-hierarchy and DRAM simulator — the
-//! gem5 substitute of the Belenos reproduction.
+//! CPU, cache-hierarchy and DRAM simulation — the gem5 substitute of the
+//! Belenos reproduction — with **pluggable core-model backends** behind
+//! the [`model::CoreModel`] trait.
 //!
-//! The model mirrors gem5's `X86O3CPU` structure at the fidelity the
-//! paper's sensitivity studies need: parameterized fetch/decode/rename/
-//! dispatch/issue/commit widths, ROB / issue-queue / load-store-queue
-//! capacities, physical register pools, functional-unit latencies,
-//! set-associative L1I/L1D/L2 caches with MSHRs, a bandwidth/latency DRAM
-//! model, iTLB/dTLB, and four branch predictors (LocalBP, TournamentBP,
-//! LTAGE, MultiperspectivePerceptron) behind a BTB.
+//! The default backend ([`o3::O3Core`]) mirrors gem5's `X86O3CPU`
+//! structure at the fidelity the paper's sensitivity studies need:
+//! parameterized fetch/decode/rename/dispatch/issue/commit widths, ROB /
+//! issue-queue / load-store-queue capacities, physical register pools,
+//! functional-unit latencies, set-associative L1I/L1D/L2 caches with
+//! MSHRs, a bandwidth/latency DRAM model, iTLB/dTLB, and four branch
+//! predictors (LocalBP, TournamentBP, LTAGE,
+//! MultiperspectivePerceptron) behind a BTB. Two cheaper backends — a
+//! scalar in-order core ([`inorder::InOrderCore`]) and an analytical
+//! bound model ([`analytic::AnalyticCore`]) — share the same component
+//! models, so bottleneck diagnoses can be cross-validated across
+//! modeling fidelities exactly as the paper cross-validates gem5 against
+//! VTune. Select with [`CoreConfig::with_model`] / `BELENOS_MODEL`.
 //!
-//! It executes the micro-op streams produced by `belenos-trace` and
-//! produces gem5-style pipeline-stage counters plus Top-Down
-//! Microarchitecture Analysis slot accounting (the VTune taxonomy), which
-//! the `belenos-profiler` crate turns into the paper's figures.
+//! Every backend executes the micro-op streams produced by
+//! `belenos-trace` and produces gem5-style pipeline-stage counters plus
+//! Top-Down Microarchitecture Analysis slot accounting (the VTune
+//! taxonomy), which the `belenos-profiler` crate turns into the paper's
+//! figures.
 //!
 //! ```
-//! use belenos_uarch::{config::CoreConfig, core::O3Core};
+//! use belenos_uarch::{config::CoreConfig, o3::O3Core};
 //! use belenos_trace::{PhaseLog, KernelCall, expand::Expander};
 //!
 //! let mut log = PhaseLog::new();
@@ -32,16 +40,22 @@
 // form for these numeric kernels; iterator rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
 
+pub mod analytic;
 pub mod branch;
 pub mod cache;
 pub mod config;
-pub mod core;
 pub mod digest;
 pub mod dram;
+pub mod inorder;
+pub mod model;
+pub mod o3;
 pub mod stats;
 pub mod tlb;
 
+pub use analytic::AnalyticCore;
 pub use config::{CoreConfig, SamplingConfig};
-pub use core::O3Core;
 pub use digest::Fnv64;
+pub use inorder::InOrderCore;
+pub use model::{build_model, CoreModel, ModelKind};
+pub use o3::O3Core;
 pub use stats::SimStats;

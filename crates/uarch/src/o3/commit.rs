@@ -1,0 +1,86 @@
+//! Commit stage: in-order retirement from the ROB head plus the TMA slot
+//! accounting taken at the commit boundary every cycle.
+
+use super::pipeline::{FetchBlock, OpState, Pipeline};
+use super::O3Core;
+use crate::stats::SimStats;
+use belenos_trace::OpKind;
+
+impl O3Core {
+    /// Retires up to `commit_width` completed ops from the ROB head,
+    /// draining stores to the cache and training the branch predictor,
+    /// then attributes this cycle's retire slots (TMA level 1 and 2).
+    pub(super) fn commit_stage(&mut self, p: &mut Pipeline, stats: &mut SimStats) {
+        let commit_width = self.cfg.commit_width;
+        let mut committed_this_cycle = 0usize;
+        while committed_this_cycle < commit_width {
+            let Some(head) = p.rob.front() else { break };
+            if head.state != OpState::Done {
+                break;
+            }
+            let head = p.rob.pop_front().expect("checked non-empty");
+            match head.op.kind {
+                OpKind::Store => {
+                    // Drain the store to the cache at commit.
+                    let entry = p.sq.pop_front();
+                    debug_assert_eq!(entry.map(|e| e.idx), Some(head.idx));
+                    self.hierarchy.data_access(head.op.addr, true, p.now);
+                    p.fp_regs_used = p.fp_regs_used.saturating_sub(0);
+                }
+                OpKind::Load => {
+                    let entry = p.lq.pop_front();
+                    debug_assert_eq!(entry.map(|e| e.idx), Some(head.idx));
+                    p.fp_regs_used = p.fp_regs_used.saturating_sub(1);
+                }
+                OpKind::Branch => {
+                    self.predictor.update(head.op.pc, head.op.taken);
+                    if head.op.taken {
+                        self.btb.install(head.op.pc, head.op.target);
+                    }
+                    stats.branches += 1;
+                    if head.mispredicted {
+                        stats.mispredicts += 1;
+                    }
+                }
+                OpKind::IntAlu | OpKind::IntMul => {
+                    p.int_regs_used = p.int_regs_used.saturating_sub(1);
+                }
+                OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv => {
+                    p.fp_regs_used = p.fp_regs_used.saturating_sub(1);
+                }
+                OpKind::Pause | OpKind::Serialize => {}
+            }
+            stats.commit_mix.count(head.op.kind);
+            stats.slots_by_category[crate::stats::category_index(head.op.cat)] += 1;
+            stats.committed_ops += 1;
+            committed_this_cycle += 1;
+            p.last_commit_cycle = p.now;
+        }
+        // TMA slot accounting at the commit boundary.
+        stats.slots_retiring += committed_this_cycle as u64;
+        let missing = (commit_width - committed_this_cycle) as u64;
+        if missing > 0 {
+            if let Some(head) = p.rob.front() {
+                stats.slots_backend += missing;
+                stats.slots_by_category[crate::stats::category_index(head.op.cat)] += missing;
+                let memory_bound = match head.op.kind {
+                    OpKind::Load | OpKind::Store => true,
+                    _ => p.lq.iter().any(|e| e.issued && !e.done),
+                };
+                if memory_bound {
+                    stats.slots_be_memory += missing;
+                } else {
+                    stats.slots_be_core += missing;
+                }
+            } else if p.now < p.squash_recovery_until {
+                stats.slots_bad_speculation += missing;
+            } else {
+                stats.slots_frontend += missing;
+                match p.fetch_block {
+                    FetchBlock::ICache | FetchBlock::ITlb => stats.slots_fe_latency += missing,
+                    _ => stats.slots_fe_bandwidth += missing,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Rename/dispatch stage: moves fetched ops into the ROB, issue queue
+//! and load/store queues, allocating physical registers and stopping at
+//! the first structural hazard (full window, queue or register pool).
+
+use super::pipeline::{InFlight, LsqEntry, OpState, Pipeline};
+use super::O3Core;
+use belenos_trace::OpKind;
+
+impl O3Core {
+    /// Dispatches up to the effective front-end width of ops from the
+    /// fetch queue into the out-of-order window.
+    pub(super) fn dispatch_stage(&mut self, p: &mut Pipeline) {
+        let cfg = &self.cfg;
+        for _ in 0..p.fe_width {
+            let Some(&(op, _, _)) = p.fetchq.front() else {
+                break;
+            };
+            if p.rob.len() >= cfg.rob_entries || p.iq.len() >= cfg.iq_entries {
+                break;
+            }
+            match op.kind {
+                OpKind::Load if p.lq.len() >= cfg.lq_entries => break,
+                OpKind::Store if p.sq.len() >= cfg.sq_entries => break,
+                OpKind::IntAlu | OpKind::IntMul if p.int_regs_used >= p.int_pool => break,
+                OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv | OpKind::Load
+                    if p.fp_regs_used >= p.fp_pool =>
+                {
+                    break
+                }
+                _ => {}
+            }
+            let (op, idx, pred_taken) = p.fetchq.pop_front().expect("checked");
+            p.dispatch_counter += 1;
+            match op.kind {
+                OpKind::Load => {
+                    p.lq.push_back(LsqEntry {
+                        idx,
+                        addr: op.addr,
+                        issued: false,
+                        done: false,
+                    });
+                    p.fp_regs_used += 1;
+                }
+                OpKind::Store => {
+                    p.sq.push_back(LsqEntry {
+                        idx,
+                        addr: op.addr,
+                        issued: false,
+                        done: false,
+                    });
+                }
+                OpKind::IntAlu | OpKind::IntMul => p.int_regs_used += 1,
+                OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv => p.fp_regs_used += 1,
+                OpKind::Pause | OpKind::Serialize => p.serializers.push_back(idx),
+                OpKind::Branch => {}
+            }
+            p.done_ring[(idx % p.done_window) as usize] = false;
+            p.rob.push_back(InFlight {
+                mispredicted: op.kind == OpKind::Branch && pred_taken != op.taken,
+                op,
+                idx,
+                dispatch_id: p.dispatch_counter,
+                state: OpState::Waiting,
+                mem_level: None,
+            });
+            p.iq.push_back(idx);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Fetch stage: pulls micro-ops from the replay queue or the trace,
+//! fighting the iTLB, icache, BTB and branch predictor; taken branches
+//! end the fetch group and squash recovery blocks the front end.
+
+use super::pipeline::{FetchBlock, Pipeline};
+use super::O3Core;
+use crate::cache::ServiceLevel;
+use crate::stats::SimStats;
+use belenos_trace::{MicroOp, OpKind};
+
+impl O3Core {
+    /// Fetches up to `fetch_width` ops into the fetch queue, or records
+    /// why the front end could not run this cycle.
+    pub(super) fn fetch_stage<I: Iterator<Item = MicroOp>>(
+        &mut self,
+        p: &mut Pipeline,
+        stats: &mut SimStats,
+        trace: &mut std::iter::Fuse<I>,
+    ) {
+        let cfg = &self.cfg;
+        let mut fetched = 0usize;
+        if p.now < p.fetch_stall_until {
+            if p.fetch_block != FetchBlock::Squash {
+                p.fetch_block = FetchBlock::Squash;
+            }
+            stats.squash_cycles += 1;
+        } else if p.now < p.icache_pending_until {
+            match p.fetch_block {
+                FetchBlock::ITlb => stats.tlb_stall_cycles += 1,
+                _ => stats.icache_stall_cycles += 1,
+            }
+        } else if p.fetchq.len() + cfg.fetch_width > p.fetchq_cap {
+            // Downstream back-pressure: the fetch stage still ran this
+            // cycle (gem5 counts these as fetch cycles, not stalls).
+            p.fetch_block = FetchBlock::QueueFull;
+            stats.active_fetch_cycles += 1;
+        } else {
+            p.fetch_block = FetchBlock::None;
+            while fetched < cfg.fetch_width {
+                let next = p.replayq.pop_front().or_else(|| {
+                    trace.next().map(|op| {
+                        let i = p.next_idx;
+                        p.next_idx += 1;
+                        (op, i)
+                    })
+                });
+                let Some((op, idx)) = next else { break };
+                // Instruction-side cache/TLB on line crossings.
+                let line = (op.pc as u64) >> 6;
+                if line != p.cur_fetch_line {
+                    if !self.itlb.access(op.pc as u64) {
+                        p.icache_pending_until = p.now + cfg.tlb_miss_penalty;
+                        p.fetch_block = FetchBlock::ITlb;
+                        p.replayq.push_front((op, idx));
+                        break;
+                    }
+                    let r = self.hierarchy.inst_access(op.pc as u64, p.now);
+                    if r.level != ServiceLevel::L1 {
+                        p.icache_pending_until = r.done;
+                        p.fetch_block = FetchBlock::ICache;
+                        p.replayq.push_front((op, idx));
+                        break;
+                    }
+                    p.cur_fetch_line = line;
+                }
+                let mut pred_taken = false;
+                let mut end_group = false;
+                if op.kind == OpKind::Branch {
+                    pred_taken = self.predictor.predict(op.pc);
+                    if pred_taken {
+                        if self.btb.lookup(op.pc).is_none() {
+                            // Unknown target: bubble until decode fixes it.
+                            p.fetch_stall_until = p.now + cfg.btb_miss_penalty;
+                            stats.btb_misses += 1;
+                        }
+                        end_group = true;
+                    }
+                    if op.taken {
+                        end_group = true;
+                        p.cur_fetch_line = u64::MAX;
+                    }
+                }
+                p.fetchq.push_back((op, idx, pred_taken));
+                fetched += 1;
+                if end_group {
+                    break;
+                }
+            }
+            if fetched > 0 {
+                stats.active_fetch_cycles += 1;
+            } else if !p.fetchq.is_empty() || !p.rob.is_empty() {
+                stats.misc_stall_cycles += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Issue/execute stage: oldest-first selection from the issue queue,
+//! gated by operand readiness, functional-unit availability,
+//! serialization barriers and the memory-system issue rules
+//! (store-to-load forwarding, MSHR back-pressure, dTLB walks).
+
+use super::pipeline::{OpState, Pipeline};
+use super::O3Core;
+use crate::cache::ServiceLevel;
+use crate::stats::SimStats;
+use belenos_trace::OpKind;
+use std::cmp::Reverse;
+use std::collections::VecDeque;
+
+/// Functional-unit mapping: `[int alu, int mul, fp add, fp mul/div, mem
+/// ports]`, with the op's execution latency in cycles.
+pub(crate) fn fu_and_latency(kind: OpKind, pause_latency: u64) -> (usize, u64) {
+    match kind {
+        OpKind::IntAlu => (0, 1),
+        OpKind::IntMul => (1, 3),
+        OpKind::FpAdd => (2, 3),
+        OpKind::FpMul => (3, 4),
+        OpKind::FpDiv => (3, 18),
+        OpKind::Load | OpKind::Store => (4, 1),
+        OpKind::Branch => (0, 1),
+        OpKind::Pause | OpKind::Serialize => (0, pause_latency),
+    }
+}
+
+/// Cycles the unpipelined FP divider stays busy after accepting an op.
+pub(crate) const FPDIV_BUSY: u64 = 12;
+
+impl O3Core {
+    /// Issues up to `issue_width` ready ops to free functional units.
+    pub(super) fn issue_stage(&mut self, p: &mut Pipeline, stats: &mut SimStats) {
+        let mut issued = 0usize;
+        let mut fu_used = [0usize; 5];
+        if p.iq.is_empty() {
+            return;
+        }
+        let head_idx = p.rob.front().map(|e| e.idx).unwrap_or(0);
+        let barrier = p.serializers.front().copied();
+        let mut keep: VecDeque<u64> = VecDeque::with_capacity(p.iq.len());
+        let mut blocked_by_barrier = false;
+        let iq = std::mem::take(&mut p.iq);
+        for &idx in iq.iter() {
+            if issued >= self.cfg.issue_width || blocked_by_barrier {
+                keep.push_back(idx);
+                continue;
+            }
+            // Serialization: ops younger than an in-flight
+            // pause/serialize cannot issue.
+            if let Some(b) = barrier {
+                if idx > b {
+                    keep.push_back(idx);
+                    blocked_by_barrier = true;
+                    continue;
+                }
+            }
+            let pos = (idx - head_idx) as usize;
+            if pos >= p.rob.len() {
+                continue; // squashed
+            }
+            let (deps_ok, kind, addr, is_head) = {
+                let e = &p.rob[pos];
+                (
+                    p.ready(idx, e.op.dep1, head_idx) && p.ready(idx, e.op.dep2, head_idx),
+                    e.op.kind,
+                    e.op.addr,
+                    pos == 0,
+                )
+            };
+            if !deps_ok {
+                keep.push_back(idx);
+                continue;
+            }
+            let (fu, latency) = fu_and_latency(kind, self.cfg.pause_latency);
+            if fu_used[fu] >= self.cfg.fu_counts[fu] {
+                keep.push_back(idx);
+                continue;
+            }
+            if kind == OpKind::FpDiv && p.fpdiv_busy_until > p.now {
+                keep.push_back(idx);
+                continue;
+            }
+            if matches!(kind, OpKind::Pause | OpKind::Serialize) && !is_head {
+                keep.push_back(idx);
+                blocked_by_barrier = true;
+                continue;
+            }
+            // Memory-op issue rules.
+            let mut done_at = p.now + latency;
+            let mut mem_level = None;
+            match kind {
+                OpKind::Load => {
+                    // Memory-dependence prediction (store sets in
+                    // gem5): loads issue past older stores with
+                    // unknown addresses; known matching stores
+                    // forward.
+                    let fwd =
+                        p.sq.iter()
+                            .rfind(|s| s.idx < idx && s.issued && (s.addr >> 3) == (addr >> 3));
+                    if let Some(s) = fwd {
+                        if !s.done && !p.done_ring[(s.idx % p.done_window) as usize] {
+                            keep.push_back(idx);
+                            continue;
+                        }
+                        done_at = p.now + 1;
+                        mem_level = Some(ServiceLevel::L1);
+                    } else {
+                        if !self.hierarchy.l1d.mshr_available(p.now) {
+                            keep.push_back(idx);
+                            continue;
+                        }
+                        let mut penalty = 0;
+                        if !self.dtlb.access(addr) {
+                            penalty = self.cfg.tlb_miss_penalty;
+                            stats.dtlb_misses += 1;
+                        }
+                        let r = self.hierarchy.data_access(addr, false, p.now + penalty);
+                        done_at = r.done;
+                        mem_level = Some(r.level);
+                    }
+                    if let Some(e) = p.lq.iter_mut().find(|e| e.idx == idx) {
+                        e.issued = true;
+                        e.addr = addr;
+                    }
+                }
+                OpKind::Store => {
+                    if let Some(e) = p.sq.iter_mut().find(|e| e.idx == idx) {
+                        e.issued = true;
+                        e.addr = addr;
+                    }
+                }
+                OpKind::FpDiv => {
+                    p.fpdiv_busy_until = p.now + FPDIV_BUSY; // unpipelined window
+                }
+                _ => {}
+            }
+            fu_used[fu] += 1;
+            let dispatch_id = {
+                let e = &mut p.rob[pos];
+                e.state = OpState::Issued;
+                e.mem_level = mem_level;
+                e.dispatch_id
+            };
+            stats.exec_mix.count(kind);
+            p.events
+                .push(Reverse((done_at.max(p.now + 1), idx, dispatch_id)));
+            issued += 1;
+        }
+        p.iq = keep;
+    }
+}

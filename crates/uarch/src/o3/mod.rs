@@ -1,0 +1,494 @@
+//! The out-of-order core: fetch → decode/rename/dispatch → issue →
+//! writeback → commit over a micro-op trace, with squash-and-replay branch
+//! misprediction recovery and TMA slot accounting.
+//!
+//! Structure follows gem5's `X86O3CPU`: a reorder buffer bounded by
+//! `rob_entries`, an issue queue, split load/store queues, physical
+//! register pools, per-class functional units, and a front end that fights
+//! the icache, iTLB, BTB and branch predictor.
+//!
+//! Each pipeline stage lives in its own module (`fetch`, `dispatch`,
+//! `issue`, `writeback`, `commit`), operating on the shared per-run
+//! `pipeline::Pipeline` state; [`O3Core::run_warm`] is the cycle driver
+//! that steps them commit-first (gem5's reverse-stage order, so each
+//! cycle observes the previous cycle's state). The O3 model is one
+//! [`crate::model::CoreModel`] backend among several — see
+//! [`crate::model`] for the in-order and analytical alternatives.
+
+mod commit;
+mod dispatch;
+mod fetch;
+mod issue;
+pub(crate) mod pipeline;
+mod writeback;
+
+pub(crate) use issue::{fu_and_latency, FPDIV_BUSY};
+pub(crate) use pipeline::done_window_for;
+
+use crate::branch::{build, BranchPredictor, Btb};
+use crate::cache::Hierarchy;
+use crate::config::CoreConfig;
+use crate::model::{functional_warm, CoreModel, MemCounters, ModelKind};
+use crate::stats::SimStats;
+use crate::tlb::Tlb;
+use belenos_trace::MicroOp;
+use pipeline::{Pipeline, STALL_LIMIT};
+
+/// The out-of-order core simulator.
+pub struct O3Core {
+    pub(crate) cfg: CoreConfig,
+    pub(crate) hierarchy: Hierarchy,
+    pub(crate) itlb: Tlb,
+    pub(crate) dtlb: Tlb,
+    pub(crate) predictor: Box<dyn BranchPredictor>,
+    pub(crate) btb: Btb,
+}
+
+impl std::fmt::Debug for O3Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("O3Core")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl O3Core {
+    /// Builds a core for one configuration.
+    pub fn new(cfg: CoreConfig) -> Self {
+        O3Core {
+            hierarchy: Hierarchy::new(&cfg),
+            itlb: Tlb::new(cfg.tlb_entries),
+            dtlb: Tlb::new(cfg.tlb_entries),
+            predictor: build(cfg.predictor),
+            btb: Btb::new(cfg.btb_entries),
+            cfg,
+        }
+    }
+
+    /// Runs the trace to completion and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline wedges (no commit for a very long time),
+    /// which indicates a simulator bug.
+    pub fn run<I: Iterator<Item = MicroOp>>(&mut self, trace: I) -> SimStats {
+        self.run_warm(trace, 0)
+    }
+
+    /// Runs the trace, discarding the first `warmup_ops` committed ops
+    /// from the reported statistics (cache/predictor state persists — this
+    /// is measurement warmup, exactly like gem5's stats reset after
+    /// checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// As in [`O3Core::run`].
+    pub fn run_warm<I: Iterator<Item = MicroOp>>(&mut self, trace: I, warmup_ops: u64) -> SimStats {
+        let mut stats = SimStats {
+            freq_ghz: self.cfg.freq_ghz,
+            ..SimStats::default()
+        };
+        // A warm core (interval sampling reuses one core across runs) may
+        // carry completion timestamps from an earlier run; this run's
+        // clock restarts at zero, and memory counters report deltas.
+        self.hierarchy.reset_timing();
+        let base = MemCounters::capture(&self.hierarchy);
+        let mut p = Pipeline::new(&self.cfg);
+        let mut trace = trace.fuse();
+        let mut warm_snapshot: Option<SimStats> = None;
+
+        loop {
+            self.commit_stage(&mut p, &mut stats);
+            self.writeback_stage(&mut p, &mut stats);
+            self.issue_stage(&mut p, &mut stats);
+            self.dispatch_stage(&mut p);
+            self.fetch_stage(&mut p, &mut stats, &mut trace);
+
+            if warm_snapshot.is_none() && warmup_ops > 0 && stats.committed_ops >= warmup_ops {
+                let mut snap = stats.clone();
+                snap.cycles = p.now;
+                base.delta_into(&mut snap, &self.hierarchy);
+                warm_snapshot = Some(snap);
+            }
+
+            p.now += 1;
+
+            // ---------------- termination & wedge detection ----------------
+            if p.rob.is_empty() && p.fetchq.is_empty() && p.replayq.is_empty() {
+                // Peek the trace: if exhausted, we are done.
+                match trace.next() {
+                    Some(op) => {
+                        let i = p.next_idx;
+                        p.next_idx += 1;
+                        p.replayq.push_front((op, i));
+                    }
+                    None => break,
+                }
+            }
+            if p.now - p.last_commit_cycle > STALL_LIMIT && stats.committed_ops > 0 {
+                panic!(
+                    "pipeline wedged at cycle {}: rob={}, iq={}, lq={}, sq={}",
+                    p.now,
+                    p.rob.len(),
+                    p.iq.len(),
+                    p.lq.len(),
+                    p.sq.len()
+                );
+            }
+            if p.now > STALL_LIMIT && stats.committed_ops == 0 && !p.rob.is_empty() {
+                panic!("pipeline never committed; head {:?}", p.rob.front());
+            }
+        }
+
+        stats.cycles = p.now;
+        base.delta_into(&mut stats, &self.hierarchy);
+        if warmup_ops > 0 {
+            // Clamp the warmup to the observed trace: when the trace
+            // commits fewer ops than `warmup_ops` the whole run was
+            // warmup, and the reported measurement window is empty (it
+            // must never silently fall back to unwarmed full stats).
+            let snap = warm_snapshot.unwrap_or_else(|| stats.clone());
+            stats.subtract(&snap);
+        }
+        stats
+    }
+
+    /// Functionally warms the long-lived microarchitectural state from
+    /// the next `max_ops` ops of `trace` at zero pipeline cost: caches
+    /// and TLBs observe every memory and fetch access, the branch
+    /// predictor and BTB observe every branch outcome, but no cycles are
+    /// simulated and no statistics are produced.
+    ///
+    /// This is the SMARTS-style "functional warming" between detailed
+    /// measurement intervals; follow with [`O3Core::run_warm`] on the
+    /// same iterator to measure. Returns the number of ops consumed
+    /// (fewer than `max_ops` only when the trace ends).
+    pub fn warm_only<I: Iterator<Item = MicroOp>>(&mut self, trace: &mut I, max_ops: u64) -> u64 {
+        functional_warm(
+            &mut self.hierarchy,
+            &mut self.itlb,
+            &mut self.dtlb,
+            self.predictor.as_mut(),
+            &mut self.btb,
+            trace,
+            max_ops,
+        )
+    }
+}
+
+impl CoreModel for O3Core {
+    fn kind(&self) -> ModelKind {
+        ModelKind::O3
+    }
+
+    fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    fn run_warm(&mut self, trace: &mut dyn Iterator<Item = MicroOp>, warmup_ops: u64) -> SimStats {
+        O3Core::run_warm(self, trace, warmup_ops)
+    }
+
+    fn warm_only(&mut self, trace: &mut dyn Iterator<Item = MicroOp>, max_ops: u64) -> u64 {
+        functional_warm(
+            &mut self.hierarchy,
+            &mut self.itlb,
+            &mut self.dtlb,
+            self.predictor.as_mut(),
+            &mut self.btb,
+            trace,
+            max_ops,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use belenos_trace::{FnCategory, OpKind};
+
+    const CAT: FnCategory = FnCategory::Internal;
+
+    fn run_ops(ops: Vec<MicroOp>, cfg: CoreConfig) -> SimStats {
+        let mut core = O3Core::new(cfg);
+        core.run(ops.into_iter())
+    }
+
+    fn int_stream(n: usize) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| MicroOp::int(0x1000 + (i as u32 % 16) * 4, 0, 0, CAT))
+            .collect()
+    }
+
+    #[test]
+    fn commits_every_op_exactly_once() {
+        let stats = run_ops(int_stream(1000), CoreConfig::gem5_baseline());
+        assert_eq!(stats.committed_ops, 1000);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn independent_ops_achieve_wide_ipc() {
+        let stats = run_ops(int_stream(20_000), CoreConfig::gem5_baseline());
+        // 4 int ALUs, commit width 4: IPC should approach 4.
+        assert!(stats.ipc() > 2.5, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_limits_ipc_to_one() {
+        let ops: Vec<MicroOp> = (0..5000)
+            .map(|i| MicroOp::int(0x1000, if i == 0 { 0 } else { 1 }, 0, CAT))
+            .collect();
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(stats.ipc() < 1.2, "serial chain ipc {}", stats.ipc());
+        assert!(stats.ipc() > 0.5, "serial chain ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn fp_div_chain_is_slow() {
+        let ops: Vec<MicroOp> = (0..500)
+            .map(|i| MicroOp::fp(OpKind::FpDiv, 0x2000, if i == 0 { 0 } else { 1 }, 0, CAT))
+            .collect();
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(stats.cpi() > 10.0, "fpdiv chain cpi {}", stats.cpi());
+    }
+
+    #[test]
+    fn cold_loads_stall_the_backend() {
+        // Strided loads over a large footprint: every access misses.
+        let ops: Vec<MicroOp> = (0..4000)
+            .map(|i| MicroOp::load(0x3000, 0x100_0000 + i as u64 * 4096, 8, 0, CAT))
+            .collect();
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(stats.l1d_mpki() > 500.0, "mpki {}", stats.l1d_mpki());
+        let (_, _, _, be) = stats.topdown();
+        assert!(be > 0.4, "backend fraction {be}");
+        assert!(stats.slots_be_memory > stats.slots_be_core);
+    }
+
+    #[test]
+    fn cache_resident_loads_are_fast() {
+        // 128 hot lines, revisited: after warmup everything hits L1.
+        let ops: Vec<MicroOp> = (0..20_000)
+            .map(|i| MicroOp::load(0x3000, (i % 128) as u64 * 64, 8, 0, CAT))
+            .collect();
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(stats.l1d_mpki() < 20.0, "mpki {}", stats.l1d_mpki());
+        assert!(stats.ipc() > 1.0, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn pause_ops_serialize_and_count_core_bound() {
+        let mut ops = Vec::new();
+        for _ in 0..200 {
+            ops.push(MicroOp::pause(0x4000, CAT));
+            ops.push(MicroOp::int(0x4004, 0, 0, CAT));
+        }
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        let (retiring, _, _, be) = stats.topdown();
+        assert!(be > 0.6, "pause stream backend {be}");
+        assert!(stats.slots_be_core > stats.slots_be_memory);
+        assert!(retiring < 0.2);
+        // Each pause costs ~pause_latency serialized cycles.
+        assert!(stats.cycles > 200 * 20, "cycles {}", stats.cycles);
+    }
+
+    #[test]
+    fn mispredicted_branches_squash_and_replay() {
+        // Alternating branch direction defeats most predictors early on;
+        // all ops must still commit exactly once.
+        let mut ops = Vec::new();
+        for i in 0..500 {
+            ops.push(MicroOp::int(0x5000, 0, 0, CAT));
+            ops.push(MicroOp::branch(0x5010, 0x5000, i % 2 == 0, 0, CAT));
+            ops.push(MicroOp::int(0x5020, 0, 0, CAT));
+        }
+        let total = ops.len() as u64;
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert_eq!(stats.committed_ops, total);
+        assert!(
+            stats.mispredicts > 0,
+            "alternation must mispredict sometimes"
+        );
+        assert!(stats.branches == 500);
+    }
+
+    #[test]
+    fn predictable_loops_have_low_mispredicts() {
+        let mut ops = Vec::new();
+        for i in 0..3000 {
+            ops.push(MicroOp::int(0x6000, 0, 0, CAT));
+            ops.push(MicroOp::branch(0x6010, 0x6000, i % 100 != 99, 0, CAT));
+        }
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(
+            stats.mispredict_rate() < 0.1,
+            "loop branches should predict well: {}",
+            stats.mispredict_rate()
+        );
+    }
+
+    #[test]
+    fn store_to_load_forwarding_works() {
+        // Store then immediately load the same address, repeatedly: loads
+        // must not pay miss latency every time.
+        let mut ops = Vec::new();
+        for i in 0..2000 {
+            let addr = 0x9000 + (i % 4) * 8;
+            ops.push(MicroOp::store(0x7000, addr, 8, 0, CAT));
+            ops.push(MicroOp::load(0x7004, addr, 8, 0, CAT));
+        }
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(stats.ipc() > 0.5, "forwarding ipc {}", stats.ipc());
+        assert_eq!(stats.committed_ops, 4000);
+    }
+
+    #[test]
+    fn icache_pressure_from_large_code_footprint() {
+        // Jump through 4096 distinct lines of code (256 kB footprint >
+        // 32 kB L1I).
+        let ops: Vec<MicroOp> = (0..40_000)
+            .map(|i| MicroOp::int(((i * 64) % (4096 * 64)) as u32, 0, 0, CAT))
+            .collect();
+        let stats = run_ops(ops, CoreConfig::gem5_baseline());
+        assert!(stats.l1i_mpki() > 100.0, "l1i mpki {}", stats.l1i_mpki());
+        assert!(stats.icache_stall_cycles > 0);
+    }
+
+    #[test]
+    fn narrower_pipeline_is_slower() {
+        let ops = int_stream(20_000);
+        let wide = run_ops(ops.clone(), CoreConfig::gem5_baseline());
+        let narrow = run_ops(ops, CoreConfig::gem5_baseline().with_pipeline_width(2));
+        assert!(
+            narrow.cycles > wide.cycles,
+            "narrow {} vs wide {}",
+            narrow.cycles,
+            wide.cycles
+        );
+    }
+
+    #[test]
+    fn higher_frequency_does_not_scale_memory_bound_code() {
+        let ops: Vec<MicroOp> = (0..3000)
+            .map(|i| MicroOp::load(0x3000, 0x100_0000 + i as u64 * 4096, 8, 0, CAT))
+            .collect();
+        let slow = run_ops(ops.clone(), CoreConfig::gem5_baseline().with_frequency(1.0));
+        let fast = run_ops(ops, CoreConfig::gem5_baseline().with_frequency(4.0));
+        let speedup = slow.seconds() / fast.seconds();
+        assert!(
+            speedup < 3.0,
+            "memory-bound code must scale sublinearly: {speedup}x at 4x clock"
+        );
+        assert!(fast.ipc() < slow.ipc(), "ipc must drop with frequency");
+    }
+
+    #[test]
+    fn tma_slots_account_every_cycle() {
+        let stats = run_ops(int_stream(5000), CoreConfig::gem5_baseline());
+        let expected = stats.cycles * CoreConfig::gem5_baseline().commit_width as u64;
+        assert_eq!(stats.total_slots(), expected);
+    }
+
+    #[test]
+    fn lsq_pressure_slows_memory_bursts() {
+        let ops: Vec<MicroOp> = (0..8000)
+            .map(|i| MicroOp::load(0x3000, (i as u64 * 64) % (1 << 22), 8, 0, CAT))
+            .collect();
+        let big = run_ops(ops.clone(), CoreConfig::gem5_baseline());
+        let small = run_ops(ops, CoreConfig::gem5_baseline().with_lsq(8, 8));
+        assert!(
+            small.cycles > big.cycles,
+            "tiny lsq {} should be slower than baseline {}",
+            small.cycles,
+            big.cycles
+        );
+    }
+
+    #[test]
+    fn empty_trace_terminates() {
+        let stats = run_ops(Vec::new(), CoreConfig::gem5_baseline());
+        assert_eq!(stats.committed_ops, 0);
+    }
+
+    #[test]
+    fn warmup_discard_reports_the_measured_remainder() {
+        let mut core = O3Core::new(CoreConfig::gem5_baseline());
+        let stats = core.run_warm(int_stream(1000).into_iter(), 200);
+        // The snapshot lands on a commit-group boundary at or just past
+        // the requested warmup.
+        assert!(stats.committed_ops <= 800);
+        assert!(stats.committed_ops >= 800 - 8, "{}", stats.committed_ops);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn warmup_longer_than_trace_reports_empty_measurement() {
+        // Regression: the trace commits fewer ops than `warmup_ops`, so
+        // the warmup snapshot used to never be taken and the full
+        // unwarmed run leaked out as if it were a measurement. The
+        // warmup must clamp to the observed trace instead.
+        let mut core = O3Core::new(CoreConfig::gem5_baseline());
+        let stats = core.run_warm(int_stream(100).into_iter(), 1_000_000);
+        assert_eq!(stats.committed_ops, 0);
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.total_slots(), 0);
+        assert_eq!(stats.l1d_accesses, 0);
+    }
+
+    #[test]
+    fn huge_rob_does_not_corrupt_dependency_tracking() {
+        // Regression: DONE_WINDOW = 8192 was a comment-only invariant; a
+        // ROB at or above it silently aliased dependency slots. The ring
+        // is now sized from the configuration.
+        let cfg = CoreConfig::gem5_baseline().with_rob_iq(16_384, 512);
+        // Long dependency chains keep the window full while older ops
+        // retire, exercising ring wrap-around.
+        let ops: Vec<MicroOp> = (0..40_000)
+            .map(|i| MicroOp::int(0x1000 + (i as u32 % 64) * 4, u32::from(i > 0), 0, CAT))
+            .collect();
+        let stats = run_ops(ops, cfg);
+        assert_eq!(stats.committed_ops, 40_000);
+        assert!(stats.ipc() < 1.2, "serial chain must stay serial");
+    }
+
+    #[test]
+    fn warm_only_consumes_and_warms_without_stats() {
+        let mut core = O3Core::new(CoreConfig::gem5_baseline());
+        // 64 hot lines, touched twice during warming.
+        let ops: Vec<MicroOp> = (0..8192)
+            .map(|i| MicroOp::load(0x3000, (i % 64) as u64 * 64, 8, 0, CAT))
+            .collect();
+        let mut it = ops.clone().into_iter();
+        let consumed = core.warm_only(&mut it, 4096);
+        assert_eq!(consumed, 4096);
+        assert_eq!(it.clone().count(), 8192 - 4096, "iterator shared");
+        // A detailed run over the same lines now starts warm: every load
+        // hits L1 and the reported counters cover only the detailed run.
+        let stats = core.run_warm(it, 0);
+        assert_eq!(stats.committed_ops, 4096);
+        assert_eq!(stats.l1d_accesses, 4096);
+        assert!(
+            stats.l1d_mpki() < 1.0,
+            "warmed cache must hit: mpki {}",
+            stats.l1d_mpki()
+        );
+        // Trace shorter than the warming budget: consumption stops.
+        let mut core = O3Core::new(CoreConfig::gem5_baseline());
+        let mut short = ops.into_iter().take(10);
+        assert_eq!(core.warm_only(&mut short, 100), 10);
+    }
+
+    #[test]
+    fn rerun_on_a_warm_core_matches_a_controlled_clock() {
+        // After an interval, a reused core's second run restarts its
+        // clock; stale MSHR/DRAM timestamps must not leak in.
+        let mut core = O3Core::new(CoreConfig::gem5_baseline());
+        let first = core.run(int_stream(5000).into_iter());
+        let second = core.run(int_stream(5000).into_iter());
+        assert_eq!(first.committed_ops, second.committed_ops);
+        // Warm icache can only help; stale timestamps would balloon this.
+        assert!(second.cycles <= first.cycles);
+        assert!(second.cycles * 2 > first.cycles, "rerun must stay sane");
+    }
+}

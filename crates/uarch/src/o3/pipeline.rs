@@ -1,0 +1,157 @@
+//! Per-run pipeline state shared by the O3 stage modules.
+//!
+//! Everything that lives exactly as long as one [`super::O3Core::run_warm`]
+//! call sits here: the reorder buffer, issue queue, split load/store
+//! queues, fetch/replay queues, the dependency-completion ring, the
+//! writeback event heap, register-pool occupancy and the stall/redirect
+//! clocks. The long-lived machine state (caches, TLBs, predictor, BTB)
+//! stays on [`super::O3Core`] so it survives across runs and intervals.
+
+use crate::cache::ServiceLevel;
+use crate::config::CoreConfig;
+use belenos_trace::MicroOp;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Minimum dependency-tracking window (producer distances beyond the
+/// window are treated as long-retired). The actual ring is sized from the
+/// configured ROB in [`done_window_for`], so huge-ROB configurations can
+/// never alias in-flight ops.
+pub(crate) const DONE_WINDOW: usize = 8192;
+
+/// Dependency-ring size for a configuration: comfortably larger than the
+/// ROB (in-flight idx distances span the ROB plus fetch/replay queues),
+/// never below the historical 8192 floor.
+pub(crate) fn done_window_for(cfg: &CoreConfig) -> usize {
+    DONE_WINDOW.max((cfg.rob_entries.saturating_mul(4)).next_power_of_two())
+}
+
+/// Deadlock detector: cycles without a commit before the engine reports a
+/// wedged pipeline (a simulator bug, not a workload condition).
+pub(super) const STALL_LIMIT: u64 = 1_000_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum OpState {
+    Waiting,
+    Issued,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+pub(super) struct InFlight {
+    pub(super) op: MicroOp,
+    pub(super) idx: u64,
+    pub(super) dispatch_id: u64,
+    pub(super) state: OpState,
+    /// Branch fetched with a wrong direction prediction.
+    pub(super) mispredicted: bool,
+    /// Deepest level that serviced a memory op (TMA classification).
+    pub(super) mem_level: Option<ServiceLevel>,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(super) struct LsqEntry {
+    pub(super) idx: u64,
+    pub(super) addr: u64,
+    pub(super) issued: bool,
+    pub(super) done: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum FetchBlock {
+    None,
+    ICache,
+    ITlb,
+    Squash,
+    QueueFull,
+}
+
+/// The per-run pipeline state; one instance per `run_warm` invocation.
+pub(super) struct Pipeline {
+    /// Effective front-end width: decode/rename/dispatch bottleneck.
+    pub(super) fe_width: usize,
+    pub(super) fetchq_cap: usize,
+    pub(super) now: u64,
+    pub(super) next_idx: u64,
+    pub(super) dispatch_counter: u64,
+    pub(super) rob: VecDeque<InFlight>,
+    pub(super) iq: VecDeque<u64>,
+    pub(super) lq: VecDeque<LsqEntry>,
+    pub(super) sq: VecDeque<LsqEntry>,
+    /// Fetched, not yet dispatched: (op, idx, predicted-taken).
+    pub(super) fetchq: VecDeque<(MicroOp, u64, bool)>,
+    /// Correct-path ops awaiting re-fetch after a squash.
+    pub(super) replayq: VecDeque<(MicroOp, u64)>,
+    pub(super) done_window: u64,
+    pub(super) done_ring: Vec<bool>,
+    /// Writeback events: (completion cycle, op idx, dispatch epoch).
+    pub(super) events: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    pub(super) serializers: VecDeque<u64>,
+    pub(super) int_regs_used: usize,
+    pub(super) fp_regs_used: usize,
+    pub(super) int_pool: usize,
+    pub(super) fp_pool: usize,
+    pub(super) fetch_stall_until: u64,
+    pub(super) fetch_block: FetchBlock,
+    pub(super) squash_recovery_until: u64,
+    pub(super) icache_pending_until: u64,
+    pub(super) cur_fetch_line: u64,
+    pub(super) fpdiv_busy_until: u64,
+    pub(super) last_commit_cycle: u64,
+}
+
+impl Pipeline {
+    pub(super) fn new(cfg: &CoreConfig) -> Self {
+        let fe_width = cfg
+            .decode_width
+            .min(cfg.rename_width)
+            .min(cfg.dispatch_width);
+        let fetchq_cap = (cfg.fetch_width * cfg.frontend_depth as usize).max(16);
+        let done_window = done_window_for(cfg) as u64;
+        Pipeline {
+            fe_width,
+            fetchq_cap,
+            now: 0,
+            next_idx: 0,
+            dispatch_counter: 0,
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            iq: VecDeque::with_capacity(cfg.iq_entries),
+            lq: VecDeque::with_capacity(cfg.lq_entries),
+            sq: VecDeque::with_capacity(cfg.sq_entries),
+            fetchq: VecDeque::with_capacity(fetchq_cap),
+            replayq: VecDeque::new(),
+            done_window,
+            done_ring: vec![false; done_window as usize],
+            events: BinaryHeap::new(),
+            serializers: VecDeque::new(),
+            int_regs_used: 0,
+            fp_regs_used: 0,
+            int_pool: cfg.int_regs.saturating_sub(32),
+            fp_pool: cfg.fp_regs.saturating_sub(32),
+            fetch_stall_until: 0,
+            fetch_block: FetchBlock::None,
+            squash_recovery_until: 0,
+            icache_pending_until: 0,
+            cur_fetch_line: u64::MAX,
+            fpdiv_busy_until: 0,
+            last_commit_cycle: 0,
+        }
+    }
+
+    /// True when `idx`'s producer at distance `dep` has completed (or is
+    /// long retired / precedes the trace).
+    pub(super) fn ready(&self, idx: u64, dep: u32, head_idx: u64) -> bool {
+        if dep == 0 {
+            return true;
+        }
+        let dep = dep as u64;
+        if dep > idx {
+            return true; // producer precedes the trace start
+        }
+        let p = idx - dep;
+        if dep >= self.done_window || p < head_idx {
+            return true; // long retired
+        }
+        self.done_ring[(p % self.done_window) as usize]
+    }
+}

@@ -1,0 +1,97 @@
+//! Writeback stage: completion events mark ROB entries done, wake
+//! dependents through the done ring, and resolve branches — a
+//! mispredicted branch squashes everything younger and queues the
+//! correct path for replay.
+
+use super::pipeline::{FetchBlock, OpState, Pipeline};
+use super::O3Core;
+use crate::stats::SimStats;
+use belenos_trace::{MicroOp, OpKind};
+use std::cmp::Reverse;
+
+impl O3Core {
+    /// Drains up to `writeback_width` due completion events, completing
+    /// ops and handling branch-misprediction squash-and-replay.
+    pub(super) fn writeback_stage(&mut self, p: &mut Pipeline, stats: &mut SimStats) {
+        let cfg = &self.cfg;
+        let mut written_back = 0usize;
+        while written_back < cfg.writeback_width {
+            let Some(&Reverse((t, idx, did))) = p.events.peek() else {
+                break;
+            };
+            if t > p.now {
+                break;
+            }
+            p.events.pop();
+            let Some(front) = p.rob.front() else { continue };
+            let head_idx = front.idx;
+            if idx < head_idx {
+                continue; // stale (already committed or squashed)
+            }
+            let pos = (idx - head_idx) as usize;
+            if pos >= p.rob.len() {
+                continue;
+            }
+            let (kind, entry_mispredicted) = {
+                let entry = &mut p.rob[pos];
+                if entry.dispatch_id != did || entry.state != OpState::Issued {
+                    continue; // stale epoch after squash
+                }
+                entry.state = OpState::Done;
+                (entry.op.kind, entry.mispredicted)
+            };
+            p.done_ring[(idx % p.done_window) as usize] = true;
+            written_back += 1;
+            if kind == OpKind::Load {
+                if let Some(e) = p.lq.iter_mut().find(|e| e.idx == idx) {
+                    e.done = true;
+                }
+            }
+            if matches!(kind, OpKind::Pause | OpKind::Serialize)
+                && p.serializers.front() == Some(&idx)
+            {
+                p.serializers.pop_front();
+            }
+            let mispredicted = kind == OpKind::Branch && entry_mispredicted;
+            if mispredicted {
+                // Squash everything younger than the branch.
+                let mut younger: Vec<(MicroOp, u64)> = Vec::new();
+                while p.rob.len() > pos + 1 {
+                    let victim = p.rob.pop_back().expect("len checked");
+                    p.done_ring[(victim.idx % p.done_window) as usize] = false;
+                    match victim.op.kind {
+                        OpKind::IntAlu | OpKind::IntMul => {
+                            p.int_regs_used = p.int_regs_used.saturating_sub(1)
+                        }
+                        OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv | OpKind::Load => {
+                            p.fp_regs_used = p.fp_regs_used.saturating_sub(1)
+                        }
+                        _ => {}
+                    }
+                    stats.squashed_ops += 1;
+                    younger.push((victim.op, victim.idx));
+                }
+                younger.reverse();
+                let squash_count = younger.len() + p.fetchq.len();
+                p.iq.retain(|&i| i <= idx);
+                p.lq.retain(|e| e.idx <= idx);
+                p.sq.retain(|e| e.idx <= idx);
+                p.serializers.retain(|&i| i <= idx);
+                // Re-fetch correct-path ops in original order.
+                let refetch: Vec<(MicroOp, u64)> =
+                    p.fetchq.drain(..).map(|(op, i, _)| (op, i)).collect();
+                for (op, i) in refetch.into_iter().rev() {
+                    p.replayq.push_front((op, i));
+                }
+                for (op, i) in younger.into_iter().rev() {
+                    p.replayq.push_front((op, i));
+                }
+                let squash_cycles = (squash_count as u64).div_ceil(cfg.squash_width as u64);
+                p.fetch_stall_until = p.fetch_stall_until.max(p.now + 1 + squash_cycles);
+                p.squash_recovery_until = p.now + cfg.frontend_depth + 1 + squash_cycles;
+                p.fetch_block = FetchBlock::Squash;
+                p.cur_fetch_line = u64::MAX;
+            }
+        }
+    }
+}

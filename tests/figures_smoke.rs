@@ -2,14 +2,15 @@
 //! function must produce plausible, well-formed output on small budgets.
 
 use belenos::experiment::Experiment;
+use belenos::options::SimOptions;
 use belenos::{figures, sweep};
-use belenos_uarch::SamplingConfig;
+use belenos_uarch::ModelKind;
 use belenos_workloads::by_id;
 
 const OPS: usize = 60_000;
 
-fn off() -> SamplingConfig {
-    SamplingConfig::off()
+fn opts() -> SimOptions {
+    SimOptions::new(OPS)
 }
 
 fn exps(ids: &[&str]) -> Vec<Experiment> {
@@ -41,16 +42,16 @@ fn tables_contain_paper_values() {
 #[test]
 fn figure_2_and_3_render_for_a_subset() {
     let e = exps(&["pd", "mu"]);
-    let f2 = figures::fig02_topdown(&e, OPS, &off());
+    let f2 = figures::fig02_topdown(&e, &opts()).expect("fig2");
     assert!(f2.contains("pd") && f2.contains("Retiring%"));
-    let f3 = figures::fig03_stalls(&e, OPS, &off());
+    let f3 = figures::fig03_stalls(&e, &opts()).expect("fig3");
     assert!(f3.contains("BE Memory%"));
 }
 
 #[test]
 fn figure_4_dots_have_legend_classes() {
     let e = exps(&["pd"]);
-    let f4 = figures::fig04_hotspots(&e, OPS, &off());
+    let f4 = figures::fig04_hotspots(&e, &opts()).expect("fig4");
     assert!(f4.contains("R >75%"));
     assert!(f4.contains("pd"));
 }
@@ -68,12 +69,12 @@ fn figures_5_and_6_use_solve_summaries() {
 #[test]
 fn sweeps_cover_requested_grid() {
     let e = exps(&["pd"]);
-    let pts = sweep::frequency(&e, &[1.0, 3.0], OPS, &off());
+    let pts = sweep::frequency(&e, &[1.0, 3.0], &opts()).expect("sweep");
     assert_eq!(pts.len(), 2);
-    let pts = sweep::l1_size(&e, &[8, 32], OPS, &off());
+    let pts = sweep::l1_size(&e, &[8, 32], &opts()).expect("sweep");
     assert_eq!(pts.len(), 2);
     assert!(pts[0].stats.l1d_mpki() >= pts[1].stats.l1d_mpki());
-    let pts = sweep::lsq(&e, &[(32, 24), (72, 56)], OPS, &off());
+    let pts = sweep::lsq(&e, &[(32, 24), (72, 56)], &opts()).expect("sweep");
     let diffs = sweep::percent_diff_vs(&pts, "72_56");
     assert_eq!(diffs.len(), 1);
 }
@@ -82,11 +83,31 @@ fn sweeps_cover_requested_grid() {
 fn figure_10_to_12_render() {
     let e = exps(&["pd"]);
     for (name, out) in [
-        ("fig10", figures::fig10_width(&e, OPS, &off())),
-        ("fig11", figures::fig11_lsq(&e, OPS, &off())),
-        ("fig12", figures::fig12_branch(&e, OPS, &off())),
+        ("fig10", figures::fig10_width(&e, &opts()).expect("fig10")),
+        ("fig11", figures::fig11_lsq(&e, &opts()).expect("fig11")),
+        ("fig12", figures::fig12_branch(&e, &opts()).expect("fig12")),
     ] {
         assert!(out.contains("pd"), "{name} missing workload row");
         assert!(out.lines().count() > 4, "{name} too short");
+    }
+}
+
+#[test]
+fn sweeps_run_under_the_cheap_backends() {
+    // The same sweep grid re-pointed at the in-order and analytic
+    // backends must produce full, plausible result sets.
+    let e = exps(&["pd"]);
+    for kind in [ModelKind::InOrder, ModelKind::Analytic] {
+        let o = opts().with_model(kind);
+        let pts = sweep::frequency(&e, &[1.0, 4.0], &o).expect("sweep");
+        assert_eq!(pts.len(), 2, "{kind} sweep covers the grid");
+        assert!(
+            pts.iter().all(|p| p.stats.committed_ops > 0),
+            "{kind} points must simulate"
+        );
+        assert!(
+            pts[0].stats.seconds() > pts[1].stats.seconds(),
+            "{kind} frequency scaling must stay monotone"
+        );
     }
 }
