@@ -1,0 +1,6 @@
+//! The single `belenos` CLI: every paper table/figure, the declarative
+//! campaign driver, and the agreement/digest/sampling/ablation
+//! harnesses as subcommands. See `belenos help`.
+fn main() {
+    std::process::exit(belenos_bench::cli::main(std::env::args().skip(1).collect()));
+}

@@ -1,7 +1,14 @@
-//! Ablation of the fill-reducing ordering (DESIGN.md §6): how much does
-//! RCM matter for factorization fill and bandwidth on an anatomically
-//! shuffled mesh? This is the cache-locality lever behind the paper's
-//! recommendation that solvers be reordering-aware.
+//! `belenos ablation <rcm|rob-iq>`.
+//!
+//! * `rcm` — fill-reducing-ordering ablation: how much RCM matters for
+//!   factorization fill and bandwidth on an anatomically shuffled mesh
+//!   (the cache-locality lever behind the paper's recommendation that
+//!   solvers be reordering-aware).
+//! * `rob-iq` — the §IV-C4 instruction-window ablation, as a regular
+//!   campaign analysis (also available as `belenos figure rob_iq`).
+
+use super::{figures_cmd, Invocation};
+use belenos::campaign::{Analysis, CampaignSpec};
 use belenos_fem::assembly::build_pattern;
 use belenos_fem::mesh::Mesh;
 use belenos_sparse::reorder::rcm;
@@ -23,7 +30,7 @@ fn laplacian_like(pattern: &belenos_sparse::CsrPattern) -> CsrMatrix {
     coo.to_csr()
 }
 
-fn main() {
+fn run_rcm() -> Result<(), String> {
     println!("RCM reordering ablation (shuffled anatomical numbering)\n");
     println!(
         "{:<10} {:>12} {:>12} {:>12} {:>10}",
@@ -35,11 +42,11 @@ fn main() {
         let pattern = build_pattern(&mesh, 1);
         let a = laplacian_like(&pattern);
         let bw0 = a.pattern().bandwidth();
-        let sym0 = SymbolicLdl::analyze(&a).expect("spd");
+        let sym0 = SymbolicLdl::analyze(&a).map_err(|e| format!("symbolic LDL: {e:?}"))?;
         let p = rcm(a.pattern());
-        let b = p.apply_matrix(&a).expect("square");
+        let b = p.apply_matrix(&a).map_err(|e| format!("permute: {e:?}"))?;
         let bw1 = b.pattern().bandwidth();
-        let sym1 = SymbolicLdl::analyze(&b).expect("spd");
+        let sym1 = SymbolicLdl::analyze(&b).map_err(|e| format!("symbolic LDL: {e:?}"))?;
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>10}",
             label,
@@ -50,4 +57,20 @@ fn main() {
         );
     }
     println!("\nLower bandwidth/fill = better cache locality in factor sweeps.");
+    Ok(())
+}
+
+/// `belenos ablation <rcm|rob-iq>`.
+pub fn run(inv: &Invocation) -> Result<(), String> {
+    match inv.positionals.get(1).map(String::as_str) {
+        Some("rcm") => run_rcm(),
+        Some("rob-iq" | "rob_iq") => {
+            let spec = CampaignSpec::new("rob_iq")
+                .with_workloads(inv.workload_set())
+                .with_options(inv.overrides().options())
+                .with_analysis(Analysis::RobIq);
+            figures_cmd::emit_campaign(inv, spec)
+        }
+        _ => Err("usage: belenos ablation <rcm|rob-iq>".into()),
+    }
 }

@@ -1,25 +1,25 @@
-//! Cross-backend bottleneck agreement over the workload catalog — the
-//! reproduction's version of the paper's gem5-vs-VTune cross-validation
-//! table, run across our own model stack instead of across tools.
+//! `belenos agreement`: cross-backend bottleneck agreement over the
+//! workload catalog — the reproduction's version of the paper's
+//! gem5-vs-VTune cross-validation table, run across our own model stack
+//! instead of across tools.
 //!
-//! Every catalog workload is simulated under all three `CoreModel`
-//! backends (`o3`, `inorder`, `analytic`) at the same op budget; for
-//! each run the TMA stall categories (front-end, bad-speculation,
-//! back-end core, back-end memory) are ranked, and the table reports the
-//! top bottleneck per backend, per-backend IPC, and how often each cheap
-//! backend's diagnosis agrees with the detailed O3 model (top-1
-//! agreement and mean pairwise rank agreement). Wall-time totals give
-//! the speed/fidelity trade-off directly.
+//! Every selected workload is simulated under all three `CoreModel`
+//! backends at the same op budget; for each run the TMA stall
+//! categories are ranked, and the table reports the top bottleneck per
+//! backend, per-backend IPC, top-1 agreement with the detailed o3
+//! model, mean pairwise rank agreement, and wall-time totals.
 //!
-//! Knobs: `BELENOS_MAX_OPS` (budget, default 1M), `BELENOS_SAMPLING`,
-//! `BELENOS_AGREEMENT_WORKLOADS` (comma-separated ids, default the full
-//! catalog). Emits `BENCH_model_agreement.json` (wall time + IPC per
-//! workload/backend).
+//! Workload selection: `--workloads` (or the historical
+//! `BELENOS_AGREEMENT_WORKLOADS` id list), default the full catalog.
+//! Emits `BENCH_model_agreement.json`.
 
-use belenos_bench::{emit_bench_json, options, prepare_or_die, BenchRecord};
+use super::Invocation;
+use crate::{emit_bench_json, prepare_or_die, BenchRecord};
+use belenos::campaign::PaperSet;
 use belenos_profiler::report::{fmt, Table};
 use belenos_runner::run_caught;
 use belenos_uarch::{CoreConfig, ModelKind, SimStats};
+use belenos_workloads::WorkloadSpec;
 use std::time::Instant;
 
 const CATEGORIES: [&str; 4] = ["frontend", "bad_spec", "core", "memory"];
@@ -60,9 +60,11 @@ struct Run {
     wall_s: f64,
 }
 
-fn main() {
-    let opts = options();
-    let specs: Vec<_> = match std::env::var("BELENOS_AGREEMENT_WORKLOADS") {
+fn selected_specs(inv: &Invocation) -> Vec<WorkloadSpec> {
+    if let Some(set) = &inv.workloads {
+        return set.resolve(PaperSet::Catalog);
+    }
+    match std::env::var("BELENOS_AGREEMENT_WORKLOADS") {
         Ok(ids) => ids
             .split(',')
             .map(str::trim)
@@ -70,8 +72,13 @@ fn main() {
             .map(|id| belenos_workloads::by_id(id).unwrap_or_else(|| panic!("unknown id {id}")))
             .collect(),
         Err(_) => belenos_workloads::catalog(),
-    };
-    let exps = prepare_or_die(&specs);
+    }
+}
+
+/// `belenos agreement`.
+pub fn run(inv: &Invocation) -> Result<(), String> {
+    let opts = inv.overrides().options();
+    let exps = prepare_or_die(&selected_specs(inv));
 
     // workload-major → backend-major grid of runs.
     let mut grid: Vec<Vec<Option<Run>>> = Vec::new();
@@ -188,4 +195,5 @@ fn main() {
         );
     }
     emit_bench_json("model_agreement", &records);
+    Ok(())
 }

@@ -1,0 +1,63 @@
+//! `belenos campaign <run|example|validate>`.
+//!
+//! Campaign specs are data: `run` executes a JSON spec through the
+//! cache-aware runner, `example` prints a template to start from, and
+//! `validate` checks a spec without simulating anything.
+//!
+//! Precedence inside `run`: the spec's own `options` are authoritative
+//! over the environment (a spec is a reproducible artifact), but
+//! explicit CLI flags override the spec — `--max-ops 2000` turns any
+//! campaign into a smoke run.
+
+use super::{figures_cmd, Invocation};
+use belenos::campaign::CampaignSpec;
+use belenos::env::DEFAULT_MAX_OPS;
+use belenos::SimOptions;
+
+/// `belenos campaign run|example|validate ...`.
+pub fn run(inv: &Invocation) -> Result<(), String> {
+    match inv.positionals.get(1).map(String::as_str) {
+        Some("run") => run_spec(inv),
+        Some("example") => {
+            print!("{}", example_spec().to_json());
+            Ok(())
+        }
+        Some("validate") => {
+            let spec = load_spec(inv)?;
+            println!(
+                "spec `{}` is valid: {} analysis/analyses on workload set `{}`",
+                spec.name,
+                spec.analyses.len(),
+                spec.workloads.label()
+            );
+            Ok(())
+        }
+        _ => Err("usage: belenos campaign <run|example|validate> [spec.json]".into()),
+    }
+}
+
+fn load_spec(inv: &Invocation) -> Result<CampaignSpec, String> {
+    let Some(path) = inv.positionals.get(2) else {
+        return Err("usage: belenos campaign run|validate <spec.json>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    CampaignSpec::parse(&text).map_err(|e| e.to_string())
+}
+
+fn run_spec(inv: &Invocation) -> Result<(), String> {
+    let mut spec = load_spec(inv)?;
+    // CLI flags override the spec; the environment does not.
+    spec.options = inv.flags.apply(spec.options);
+    if let Some(workloads) = &inv.workloads {
+        spec.workloads = workloads.clone();
+    }
+    figures_cmd::emit_campaign(inv, spec)?;
+    crate::print_run_summary();
+    Ok(())
+}
+
+/// The template `campaign example` prints: the full paper campaign at
+/// the historical default budget.
+pub fn example_spec() -> CampaignSpec {
+    CampaignSpec::paper_campaign(SimOptions::new(DEFAULT_MAX_OPS))
+}

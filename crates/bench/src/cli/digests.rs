@@ -1,5 +1,9 @@
-//! Prints stable digests of O3 SimStats over the catalog (temporary
-//! capture harness for the backend-refactor regression test).
+//! `belenos digests`: prints stable FNV digests of o3 `SimStats` over
+//! the catalog — the capture harness for `tests/backends.rs`. Run after
+//! an *intentional* model change and paste the output over the pinned
+//! table; any unintentional drift there is a correctness regression.
+
+use super::Invocation;
 use belenos::experiment::Experiment;
 use belenos_runner::cache::encode_stats;
 use belenos_uarch::{CoreConfig, Fnv64, SamplingConfig};
@@ -10,10 +14,11 @@ fn digest(stats: &belenos_uarch::SimStats) -> u64 {
     h.finish()
 }
 
-fn main() {
+/// `belenos digests`.
+pub fn run(_inv: &Invocation) -> Result<(), String> {
     let t0 = std::time::Instant::now();
     for spec in belenos_workloads::catalog() {
-        let exp = Experiment::prepare(&spec).unwrap();
+        let exp = Experiment::prepare(&spec).map_err(|e| format!("prepare {}: {e}", spec.id))?;
         let cfg = CoreConfig::gem5_baseline();
         let prefix = exp.simulate(&cfg, 40_000);
         let sampled = exp.simulate_sampled(&cfg, 30_000, &SamplingConfig::smarts(8));
@@ -27,8 +32,10 @@ fn main() {
         );
     }
     // One full-trace run on the smallest workload.
-    let exp = Experiment::prepare(&belenos_workloads::by_id("pd").unwrap()).unwrap();
+    let exp = Experiment::prepare(&belenos_workloads::by_id("pd").expect("pd"))
+        .map_err(|e| format!("prepare pd: {e}"))?;
     let full = exp.simulate(&CoreConfig::gem5_baseline(), 0);
     println!("full pd: 0x{:016x}", digest(&full));
     eprintln!("captured in {:.1}s", t0.elapsed().as_secs_f64());
+    Ok(())
 }

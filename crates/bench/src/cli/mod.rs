@@ -1,0 +1,335 @@
+//! The `belenos` command-line interface.
+//!
+//! One binary, subcommands for everything the old per-figure binaries
+//! did:
+//!
+//! ```text
+//! belenos list                         what exists: workloads, analyses, backends
+//! belenos table <1|2>                  Table I / Table II
+//! belenos figure <id|all>              one paper figure, or the whole set
+//! belenos campaign run <spec.json>     run a declarative campaign spec
+//! belenos campaign example             print a template spec
+//! belenos campaign validate <spec>     check a spec without running it
+//! belenos agreement                    cross-backend bottleneck agreement
+//! belenos digests                      o3 SimStats digests (regression capture)
+//! belenos sampling                     SMARTS sampling accuracy harness
+//! belenos ablation <rcm|rob-iq>        reordering / instruction-window ablations
+//! ```
+//!
+//! Every subcommand shares one option layer: the `BELENOS_*`
+//! environment variables are read once (`EnvOverrides::from_env`), and
+//! the flags `--max-ops`, `--sampling`, `--model`, `--jobs` override
+//! them. `--workloads` narrows the workload selection; `--format`
+//! selects text/JSON/CSV output, and `--json PATH` / `--csv PATH`
+//! additionally write those renderings to files.
+
+mod ablation;
+mod agreement;
+mod campaign_cmd;
+mod digests;
+mod figures_cmd;
+mod list;
+mod sampling;
+
+use belenos::campaign::WorkloadSet;
+use belenos::env::{parse_sampling, EnvOverrides};
+use belenos_uarch::ModelKind;
+
+/// Output rendering selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Historical plain-text tables (byte-identical to the old bins).
+    #[default]
+    Text,
+    /// Structured JSON.
+    Json,
+    /// CSV (one block per report section).
+    Csv,
+}
+
+/// A parsed invocation: positional words plus the shared option layer.
+#[derive(Debug, Default)]
+pub struct Invocation {
+    /// Subcommand path and its positional arguments, in order.
+    pub positionals: Vec<String>,
+    /// Overrides sourced from the environment.
+    pub env: EnvOverrides,
+    /// Overrides sourced from flags (win over `env`).
+    pub flags: EnvOverrides,
+    /// `--workloads` selection, if given.
+    pub workloads: Option<WorkloadSet>,
+    /// `--format` selection.
+    pub format: Format,
+    /// `--json PATH`: also write the JSON rendering here.
+    pub json_out: Option<String>,
+    /// `--csv PATH`: also write the CSV rendering here.
+    pub csv_out: Option<String>,
+}
+
+impl Invocation {
+    /// Environment and flag overrides merged (flags win).
+    pub fn overrides(&self) -> EnvOverrides {
+        self.env.merged(&self.flags)
+    }
+
+    /// The runner every simulation of this invocation routes through.
+    pub fn runner(&self) -> belenos_runner::Runner {
+        self.overrides().runner_config().build()
+    }
+
+    /// Resolves `--workloads` with a fallback.
+    pub fn workload_set(&self) -> WorkloadSet {
+        self.workloads.clone().unwrap_or_default()
+    }
+}
+
+fn parse_workloads(value: &str) -> Result<WorkloadSet, String> {
+    if let Some(named) = WorkloadSet::parse_named(value) {
+        return Ok(named);
+    }
+    let ids: Vec<String> = value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if ids.is_empty() {
+        return Err("--workloads: expected a set name or comma-separated ids".into());
+    }
+    for id in &ids {
+        if belenos_workloads::by_id(id).is_none() {
+            return Err(format!("--workloads: unknown workload id `{id}`"));
+        }
+    }
+    Ok(WorkloadSet::Ids(ids))
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// A usage message for unknown flags, missing flag values, or
+/// unparsable values.
+pub fn parse(args: &[String]) -> Result<Invocation, String> {
+    let mut inv = Invocation {
+        env: EnvOverrides::from_env(),
+        ..Invocation::default()
+    };
+    let mut it = args.iter().peekable();
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                 flag: &str|
+     -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-ops" => {
+                let v = value(&mut it, "--max-ops")?;
+                inv.flags.max_ops = Some(
+                    v.parse()
+                        .map_err(|_| format!("--max-ops: `{v}` is not a budget"))?,
+                );
+            }
+            "--sampling" => {
+                let v = value(&mut it, "--sampling")?;
+                inv.flags.sampling =
+                    Some(parse_sampling(&v).map_err(|e| format!("--sampling: {e}"))?);
+            }
+            "--model" => {
+                let v = value(&mut it, "--model")?;
+                inv.flags.model = Some(
+                    ModelKind::parse(&v)
+                        .ok_or_else(|| format!("--model: unknown backend `{v}`"))?,
+                );
+            }
+            "--jobs" => {
+                let v = value(&mut it, "--jobs")?;
+                inv.flags.jobs = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => return Err(format!("--jobs: `{v}` is not a worker count")),
+                };
+            }
+            "--workloads" => {
+                let v = value(&mut it, "--workloads")?;
+                inv.workloads = Some(parse_workloads(&v)?);
+            }
+            "--format" => {
+                let v = value(&mut it, "--format")?;
+                inv.format = match v.to_ascii_lowercase().as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    _ => return Err(format!("--format: expected text, json or csv, got `{v}`")),
+                };
+            }
+            "--json" => inv.json_out = Some(value(&mut it, "--json")?),
+            "--csv" => inv.csv_out = Some(value(&mut it, "--csv")?),
+            "--help" | "-h" => {
+                inv.positionals = vec!["help".into()];
+                return Ok(inv);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            word => inv.positionals.push(word.to_string()),
+        }
+    }
+    Ok(inv)
+}
+
+const USAGE: &str = "\
+belenos — the Belenos reproduction harness
+
+USAGE: belenos <subcommand> [flags]
+
+SUBCOMMANDS
+  list                        workloads, analyses, backends, workload sets
+  table <1|2>                 print Table I / Table II
+  figure <id|all>             one paper figure (topdown, stalls, hotspots,
+                              scaling, exec_time, pipeline, frequency, cache,
+                              width, lsq, branch, memory, rob_iq; figNN
+                              aliases work), or the full paper set
+  campaign run <spec.json>    execute a declarative campaign spec
+  campaign example            print a template campaign spec
+  campaign validate <spec>    parse + validate a spec without running it
+  agreement                   cross-backend bottleneck agreement table
+  digests                     o3 SimStats digests (backend regression capture)
+  sampling                    SMARTS sampling accuracy/speed harness
+  ablation <rcm|rob-iq>       RCM reordering / ROB-IQ window ablations
+
+FLAGS (shared; flags override BELENOS_* environment variables)
+  --max-ops N        micro-op budget per simulation   [BELENOS_MAX_OPS, 1000000]
+  --sampling V       off | on | N intervals           [BELENOS_SAMPLING, off]
+  --model V          o3 | inorder | analytic          [BELENOS_MODEL, o3]
+  --jobs N           runner worker threads            [BELENOS_JOBS, all cores]
+  --workloads V      paper | vtune | gem5 | catalog | id,id,...
+  --format V         text | json | csv                [text]
+  --json PATH        also write the JSON report to PATH
+  --csv PATH         also write the CSV report to PATH
+";
+
+/// Runs the CLI; returns the process exit code.
+pub fn main(args: Vec<String>) -> i32 {
+    let inv = match parse(&args) {
+        Ok(inv) => inv,
+        Err(e) => {
+            eprintln!("belenos: {e}");
+            eprintln!("run `belenos help` for usage");
+            return 2;
+        }
+    };
+    for w in &inv.overrides().warnings {
+        eprintln!("belenos: {w}");
+    }
+    let command = inv
+        .positionals
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
+    let outcome = match command {
+        "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        "list" => list::run(&inv),
+        "table" => figures_cmd::run_table(&inv),
+        "figure" => figures_cmd::run_figure(&inv),
+        "campaign" => campaign_cmd::run(&inv),
+        "agreement" => agreement::run(&inv),
+        "digests" => digests::run(&inv),
+        "sampling" => sampling::run(&inv),
+        "ablation" => ablation::run(&inv),
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    match outcome {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("belenos: {e}");
+            if matches!(command, "help" | "list") {
+                1
+            } else {
+                // Usage-shaped errors (bad subcommand arguments) exit 2,
+                // operational failures 1 — both carry the message above.
+                if e.starts_with("usage:") || e.starts_with("unknown subcommand") {
+                    2
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+/// Writes the optional `--json` / `--csv` side outputs of a rendered
+/// report; the closures lazily produce the renderings.
+pub(crate) fn write_side_outputs(
+    inv: &Invocation,
+    json: impl FnOnce() -> String,
+    csv: impl FnOnce() -> String,
+) -> Result<(), String> {
+    if let Some(path) = &inv.json_out {
+        std::fs::write(path, json()).map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &inv.csv_out {
+        std::fs::write(path, csv()).map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_and_override() {
+        let inv = parse(&args(&[
+            "figure",
+            "topdown",
+            "--max-ops",
+            "5000",
+            "--model",
+            "analytic",
+            "--sampling",
+            "8",
+            "--jobs",
+            "2",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(inv.positionals, ["figure", "topdown"]);
+        assert_eq!(inv.flags.max_ops, Some(5000));
+        assert_eq!(inv.flags.model, Some(ModelKind::Analytic));
+        assert_eq!(inv.flags.jobs, Some(2));
+        assert_eq!(inv.format, Format::Json);
+        let opts = inv.overrides().options();
+        assert_eq!(opts.max_ops, 5000);
+        assert_eq!(opts.sampling.intervals, 8);
+    }
+
+    #[test]
+    fn workload_flag_accepts_sets_and_ids() {
+        let inv = parse(&args(&["figure", "all", "--workloads", "gem5"])).unwrap();
+        assert_eq!(inv.workloads, Some(WorkloadSet::Gem5));
+        let inv = parse(&args(&["figure", "all", "--workloads", "pd,co"])).unwrap();
+        assert_eq!(
+            inv.workloads,
+            Some(WorkloadSet::Ids(vec!["pd".into(), "co".into()]))
+        );
+        assert!(parse(&args(&["figure", "all", "--workloads", "zz"])).is_err());
+    }
+
+    #[test]
+    fn bad_flags_are_usage_errors() {
+        assert!(parse(&args(&["--max-ops"])).is_err());
+        assert!(parse(&args(&["--max-ops", "many"])).is_err());
+        assert!(parse(&args(&["--frobnicate"])).is_err());
+        assert!(parse(&args(&["--format", "xml"])).is_err());
+    }
+}

@@ -1,17 +1,19 @@
-//! Accuracy/speed harness for SMARTS-style interval sampling: for a few
-//! small catalog workloads, compares the full-trace simulation against
-//! (a) sampled runs at a 10x reduced op budget and (b) the historical
-//! prefix truncation at the same budget, reporting IPC error, wall time
-//! and where the measurement windows actually land in the trace.
+//! `belenos sampling`: accuracy/speed harness for SMARTS-style interval
+//! sampling. For a few small catalog workloads, compares the full-trace
+//! simulation against (a) sampled runs at a 10x reduced op budget and
+//! (b) the historical prefix truncation at the same budget, reporting
+//! IPC error, wall time and where the measurement windows land.
 //!
-//! Knobs: `BELENOS_ACCURACY_WORKLOADS` (comma-separated ids, default
-//! `pd,co`), `BELENOS_SAMPLING` (interval count for the sampled column,
-//! default the library's recommended count), `BELENOS_MODEL` (backend).
-//! Emits `BENCH_sampling_accuracy.json` (wall time + IPC per
-//! workload/mode) for the perf-trajectory record.
+//! Workload selection: `--workloads id,id` (or the historical
+//! `BELENOS_ACCURACY_WORKLOADS`), default `pd,co`. `--sampling N`
+//! chooses the interval count for the sampled column; `--model` the
+//! backend. Emits `BENCH_sampling_accuracy.json`.
 
+use super::Invocation;
+use crate::{emit_bench_json, BenchRecord};
+use belenos::campaign::PaperSet;
+use belenos::env::DEFAULT_SAMPLING_INTERVALS;
 use belenos::experiment::{sampling_windows, Experiment};
-use belenos_bench::{emit_bench_json, BenchRecord, DEFAULT_SAMPLING_INTERVALS};
 use belenos_profiler::report::{fmt, Table};
 use belenos_runner::run_caught;
 use belenos_uarch::{CoreConfig, SamplingConfig, SimStats};
@@ -31,13 +33,31 @@ fn pct_err(est: f64, reference: f64) -> f64 {
     }
 }
 
-fn main() {
-    let ids = std::env::var("BELENOS_ACCURACY_WORKLOADS").unwrap_or_else(|_| "pd,co".into());
-    let intervals = match belenos_bench::sampling() {
-        s if s.is_off() => DEFAULT_SAMPLING_INTERVALS,
-        s => s.intervals,
+fn selected_ids(inv: &Invocation) -> Vec<String> {
+    if let Some(set) = &inv.workloads {
+        return set
+            .resolve(PaperSet::Catalog)
+            .iter()
+            .map(|s| s.id.to_string())
+            .collect();
+    }
+    std::env::var("BELENOS_ACCURACY_WORKLOADS")
+        .unwrap_or_else(|_| "pd,co".into())
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// `belenos sampling`.
+pub fn run(inv: &Invocation) -> Result<(), String> {
+    let overrides = inv.overrides();
+    let intervals = match &overrides.sampling {
+        Some(s) if !s.is_off() => s.intervals,
+        _ => DEFAULT_SAMPLING_INTERVALS,
     };
-    let cfg = CoreConfig::gem5_baseline().with_model(belenos_bench::model());
+    let cfg = CoreConfig::gem5_baseline().with_model(overrides.model.unwrap_or_default());
 
     let mut t = Table::new(&[
         "Model",
@@ -53,15 +73,15 @@ fn main() {
         "Speedup",
     ]);
     let mut records = Vec::new();
-    for id in ids.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        let spec = match belenos_workloads::by_id(id) {
+    for id in selected_ids(inv) {
+        let spec = match belenos_workloads::by_id(&id) {
             Some(s) => s,
             None => {
                 eprintln!("unknown workload id `{id}`, skipping");
                 continue;
             }
         };
-        let exp = Experiment::prepare(&spec).unwrap_or_else(|e| panic!("prepare {id}: {e}"));
+        let exp = Experiment::prepare(&spec).map_err(|e| format!("prepare {id}: {e}"))?;
         let total = exp.total_trace_ops();
         let budget = (total as usize / 10).max(1);
 
@@ -123,4 +143,5 @@ fn main() {
         t.render()
     );
     emit_bench_json("sampling_accuracy", &records);
+    Ok(())
 }

@@ -1,87 +1,28 @@
 //! # belenos-bench
 //!
-//! The benchmark harness: one binary per paper table/figure (run with
-//! `cargo run -p belenos-bench --release --bin <name>`), plus timing
-//! benches over the computational kernels and the simulator itself
-//! (`cargo bench -p belenos-bench`).
+//! The benchmark harness behind the single `belenos` CLI
+//! (`cargo run -p belenos-bench --release --bin belenos -- <subcommand>`),
+//! plus timing benches over the computational kernels and the simulator
+//! itself (`cargo bench -p belenos-bench`).
 //!
-//! All figure binaries execute their simulation grids through the
-//! `belenos-runner` batch engine. Four environment variables control a
-//! campaign (documented in the top-level README):
+//! The CLI ([`cli`]) replaces the old one-binary-per-figure layout:
+//! every paper table/figure, the campaign driver, the cross-backend
+//! agreement table, the digest capture and the accuracy/ablation
+//! harnesses are subcommands sharing one environment/flag layer
+//! (`belenos::env::EnvOverrides` — the only place `BELENOS_MAX_OPS` /
+//! `BELENOS_SAMPLING` / `BELENOS_MODEL` / `BELENOS_JOBS` are read, with
+//! CLI flags layered on top).
 //!
-//! * `BELENOS_MAX_OPS` — micro-op budget per simulation (default 1M);
-//! * `BELENOS_JOBS` — runner worker threads (default: all cores);
-//! * `BELENOS_SAMPLING` — how the budget is placed over the trace:
-//!   unset/`off` = prefix truncation, `on` = SMARTS sampling with the
-//!   default interval count, `N` = SMARTS sampling with `N` intervals;
-//! * `BELENOS_MODEL` — core-model backend: `o3` (default, cycle-level
-//!   out-of-order), `inorder` (scalar in-order) or `analytic` (bound
-//!   model, ≥50x faster).
-//!
-//! Perf-tracking binaries additionally write machine-readable
+//! Perf-tracking subcommands additionally write machine-readable
 //! `BENCH_<name>.json` records (wall time + IPC per workload/backend)
 //! via [`emit_bench_json`], so the performance trajectory is tracked
 //! across PRs.
 
 use belenos::experiment::{prepare_all, Experiment};
-use belenos::options::{SimFailure, SimOptions};
-use belenos_uarch::{ModelKind, SamplingConfig};
 use belenos_workloads::WorkloadSpec;
 
+pub mod cli;
 pub mod timing;
-
-/// Default SMARTS interval count for `BELENOS_SAMPLING=on`. Few large
-/// intervals alias with solver phase structure; ~a hundred or more
-/// converge tightly (see `SamplingConfig::smarts`).
-pub const DEFAULT_SAMPLING_INTERVALS: usize = 128;
-
-/// Micro-op budget per simulation, from `BELENOS_MAX_OPS` (default 1M).
-pub fn max_ops() -> usize {
-    std::env::var("BELENOS_MAX_OPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_000_000)
-}
-
-/// Trace-sampling strategy from `BELENOS_SAMPLING` (default off).
-///
-/// * unset, empty, `off` or `0` — prefix truncation (historical mode);
-/// * `on` — SMARTS sampling with [`DEFAULT_SAMPLING_INTERVALS`];
-/// * `N` — SMARTS sampling with `N` intervals.
-pub fn sampling() -> SamplingConfig {
-    match std::env::var("BELENOS_SAMPLING") {
-        Ok(v) => {
-            let v = v.trim();
-            if v.is_empty() || v.eq_ignore_ascii_case("off") {
-                SamplingConfig::off()
-            } else if v.eq_ignore_ascii_case("on") {
-                SamplingConfig::smarts(DEFAULT_SAMPLING_INTERVALS)
-            } else {
-                match v.parse::<usize>() {
-                    Ok(n) => SamplingConfig::smarts(n),
-                    Err(_) => {
-                        eprintln!("BELENOS_SAMPLING={v} not understood; sampling off");
-                        SamplingConfig::off()
-                    }
-                }
-            }
-        }
-        Err(_) => SamplingConfig::off(),
-    }
-}
-
-/// Core-model backend from `BELENOS_MODEL` (default `o3`).
-pub fn model() -> ModelKind {
-    ModelKind::from_env()
-}
-
-/// The full campaign options from the environment: `BELENOS_MAX_OPS` +
-/// `BELENOS_SAMPLING` + `BELENOS_MODEL`.
-pub fn options() -> SimOptions {
-    SimOptions::new(max_ops())
-        .with_sampling(sampling())
-        .with_model(model())
-}
 
 /// Prepares workloads, printing progress, and panics with a clear message
 /// naming the failing workload (the harness cannot proceed without it).
@@ -90,22 +31,8 @@ pub fn prepare_or_die(specs: &[WorkloadSpec]) -> Vec<Experiment> {
     prepare_all(specs).unwrap_or_else(|e| panic!("workload preparation failed: {e}"))
 }
 
-/// Renders a figure result for printing: the figure text on success, a
-/// clearly marked failure line otherwise. A wedged simulation point
-/// therefore surfaces in the output without killing the binary (or the
-/// remaining figures of an `all_figures` campaign).
-pub fn render(result: Result<String, SimFailure>) -> String {
-    match result {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("FIGURE FAILED: {e}");
-            format!("FIGURE FAILED: {e}")
-        }
-    }
-}
-
-/// Prints the process-lifetime runner-cache summary to stderr; figure
-/// binaries call this last so shared-baseline reuse is visible.
+/// Prints the process-lifetime runner-cache summary to stderr; campaign
+/// commands call this last so shared-baseline reuse is visible.
 pub fn print_run_summary() {
     eprintln!("{}", belenos_runner::process_summary());
 }
@@ -125,37 +52,28 @@ pub struct BenchRecord {
     pub ipc: f64,
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+impl belenos_json::ToJson for BenchRecord {
+    fn to_json(&self) -> belenos_json::Json {
+        belenos_json::Json::obj(vec![
+            ("workload", belenos_json::Json::Str(self.workload.clone())),
+            ("backend", belenos_json::Json::Str(self.backend.clone())),
+            ("wall_s", belenos_json::Json::Num(self.wall_s)),
+            ("ipc", belenos_json::Json::Num(self.ipc)),
+        ])
     }
-    out
 }
 
 /// Serializes bench records as a small self-describing JSON document.
 pub fn bench_json(name: &str, records: &[BenchRecord]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(name)));
-    out.push_str("  \"records\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"wall_s\": {:.6}, \"ipc\": {:.6}}}{}\n",
-            json_escape(&r.workload),
-            json_escape(&r.backend),
-            r.wall_s,
-            r.ipc,
-            if i + 1 < records.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    use belenos_json::{Json, ToJson};
+    Json::obj(vec![
+        ("bench", Json::Str(name.to_string())),
+        (
+            "records",
+            Json::Arr(records.iter().map(ToJson::to_json).collect()),
+        ),
+    ])
+    .pretty()
 }
 
 /// Writes `BENCH_<name>.json` (into `BELENOS_BENCH_DIR`, default the
@@ -197,23 +115,8 @@ mod tests {
         assert!(text.contains("\"bench\": \"model_agreement\""));
         assert!(text.contains("\"workload\": \"pd\""));
         assert!(text.contains("\"backend\": \"analytic\""));
-        assert!(!text.contains("},\n  ]"), "no trailing comma: {text}");
-    }
-
-    #[test]
-    fn json_escaping_is_safe() {
-        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(json_escape("tab\tx"), "tab\\u0009x");
-    }
-
-    #[test]
-    fn render_passes_success_through() {
-        assert_eq!(render(Ok("table".into())), "table");
-        let e = SimFailure {
-            workload: "pd".into(),
-            label: "x".into(),
-            message: "wedged".into(),
-        };
-        assert!(render(Err(e)).contains("FIGURE FAILED"));
+        // The document must parse back cleanly.
+        let v = belenos_json::Json::parse(&text).expect("valid JSON");
+        assert_eq!(v.get("records").unwrap().as_arr().unwrap().len(), 2);
     }
 }

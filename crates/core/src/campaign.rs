@@ -1,0 +1,872 @@
+//! The declarative campaign API.
+//!
+//! A [`CampaignSpec`] is a first-class, serializable description of an
+//! experiment campaign: which workloads, under which simulation options
+//! ([`SimOptions`]: budget × sampling × backend), producing which
+//! analyses (the paper's figures/tables plus the supplementary
+//! reports). Specs round-trip through JSON ([`CampaignSpec::to_json`] /
+//! [`CampaignSpec::parse`]), are validated on construction, and are
+//! executed by [`Campaign::run`], which routes every simulation through
+//! the cache-aware [`Runner`] — so two analyses sharing a grid point
+//! (every sweep contains the Table II baseline) simulate it once.
+//!
+//! ```no_run
+//! use belenos::campaign::CampaignSpec;
+//! use belenos_runner::Runner;
+//!
+//! let spec = CampaignSpec::parse(
+//!     r#"{
+//!         "name": "smoke",
+//!         "workloads": ["pd"],
+//!         "options": {"max_ops": 20000, "model": "o3"},
+//!         "analyses": ["table1", "topdown", "frequency"]
+//!     }"#,
+//! )
+//! .expect("valid spec");
+//! let report = spec.prepare().expect("models solve").run(&Runner::from_env());
+//! print!("{}", report.to_text());
+//! std::fs::write("report.json", report.to_json()).unwrap();
+//! ```
+
+use crate::experiment::{prepare_all, Experiment, PrepareError};
+use crate::figures;
+use crate::options::{SimFailure, SimOptions};
+use crate::report::Report;
+use belenos_json::{FromJson, Json, JsonError, ToJson};
+use belenos_runner::Runner;
+use belenos_workloads::WorkloadSpec;
+use std::collections::HashMap;
+
+/// Which workloads a campaign covers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum WorkloadSet {
+    /// Per-analysis paper sets: each analysis uses the workload set the
+    /// paper evaluated it on (VTune set for the profile figures, gem5
+    /// set for the sensitivity sweeps, full catalog for hotspots and
+    /// scaling). The default.
+    #[default]
+    Paper,
+    /// The VTune set (11 models + eye).
+    Vtune,
+    /// The gem5 set.
+    Gem5,
+    /// The full Table I catalog.
+    Catalog,
+    /// An explicit list of workload ids.
+    Ids(Vec<String>),
+}
+
+impl WorkloadSet {
+    /// Stable spelling used in specs and `belenos list`.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSet::Paper => "paper".into(),
+            WorkloadSet::Vtune => "vtune".into(),
+            WorkloadSet::Gem5 => "gem5".into(),
+            WorkloadSet::Catalog => "catalog".into(),
+            WorkloadSet::Ids(ids) => ids.join(","),
+        }
+    }
+
+    /// Parses a named set (not an id list).
+    pub fn parse_named(s: &str) -> Option<WorkloadSet> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "paper" | "default" => Some(WorkloadSet::Paper),
+            "vtune" => Some(WorkloadSet::Vtune),
+            "gem5" => Some(WorkloadSet::Gem5),
+            "catalog" | "all" => Some(WorkloadSet::Catalog),
+            _ => None,
+        }
+    }
+
+    /// The workload specs this set resolves to, with `fallback` naming
+    /// the paper set [`WorkloadSet::Paper`] means in this context. The
+    /// single source of truth for named-set membership — the CLI
+    /// harnesses resolve through here too.
+    pub fn resolve(&self, fallback: PaperSet) -> Vec<WorkloadSpec> {
+        let named = match self {
+            WorkloadSet::Paper => fallback,
+            WorkloadSet::Vtune => PaperSet::Vtune,
+            WorkloadSet::Gem5 => PaperSet::Gem5,
+            WorkloadSet::Catalog => PaperSet::Catalog,
+            WorkloadSet::Ids(ids) => {
+                return ids
+                    .iter()
+                    .filter_map(|id| belenos_workloads::by_id(id))
+                    .collect()
+            }
+        };
+        match named {
+            PaperSet::Vtune => belenos_workloads::vtune_set(),
+            PaperSet::Gem5 => belenos_workloads::gem5_set(),
+            PaperSet::Catalog => belenos_workloads::catalog(),
+        }
+    }
+
+    /// The workload specs this set resolves to for `analysis`.
+    pub fn specs_for(&self, analysis: Analysis) -> Vec<WorkloadSpec> {
+        self.resolve(analysis.paper_set())
+    }
+}
+
+impl ToJson for WorkloadSet {
+    fn to_json(&self) -> Json {
+        match self {
+            WorkloadSet::Ids(ids) => ids.to_json(),
+            named => Json::Str(named.label()),
+        }
+    }
+}
+
+impl FromJson for WorkloadSet {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => WorkloadSet::parse_named(s).ok_or_else(|| {
+                JsonError::new(format!(
+                    "workloads: unknown set `{s}` (expected paper, vtune, gem5, catalog, \
+                     or a list of ids)"
+                ))
+            }),
+            Json::Arr(_) => Ok(WorkloadSet::Ids(
+                Vec::<String>::from_json(v)
+                    .map_err(|e| JsonError::new(format!("workloads: {e}")))?,
+            )),
+            _ => Err(JsonError::new(
+                "workloads: expected a set name or a list of ids",
+            )),
+        }
+    }
+}
+
+/// Which paper workload set an analysis defaults to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperSet {
+    /// The VTune profiling set.
+    Vtune,
+    /// The gem5 sensitivity set.
+    Gem5,
+    /// The full Table I catalog.
+    Catalog,
+}
+
+/// One analysis a campaign can request — a paper table/figure or a
+/// supplementary report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Analysis {
+    /// Table I: dataset models breakdown.
+    Table1,
+    /// Table II: baseline CPU and system configuration.
+    Table2,
+    /// Fig. 2: top-down pipeline breakdown.
+    Topdown,
+    /// Fig. 3: FE/BE stall breakdown.
+    Stalls,
+    /// Fig. 4: hotspot-category prevalence.
+    Hotspots,
+    /// Fig. 5: solve time vs model size.
+    Scaling,
+    /// Fig. 6: execution time by model group.
+    ExecTime,
+    /// Fig. 7: pipeline stage breakdowns.
+    Pipeline,
+    /// Fig. 8: frequency sweep.
+    Frequency,
+    /// Fig. 9: cache-size sweeps.
+    CacheSweep,
+    /// Fig. 10: pipeline-width sweep.
+    Width,
+    /// Fig. 11: LQ/SQ depth sweep.
+    Lsq,
+    /// Fig. 12: branch-predictor sweep.
+    Branch,
+    /// Supplementary memory profiles.
+    Memory,
+    /// ROB/IQ instruction-window ablation (§IV-C4).
+    RobIq,
+}
+
+impl Analysis {
+    /// Every analysis, in `belenos figure all` / `all_figures` print
+    /// order (tables first, then figures by number, then supplements).
+    pub const ALL: [Analysis; 15] = [
+        Analysis::Table1,
+        Analysis::Table2,
+        Analysis::Topdown,
+        Analysis::Stalls,
+        Analysis::Hotspots,
+        Analysis::Scaling,
+        Analysis::ExecTime,
+        Analysis::Pipeline,
+        Analysis::Frequency,
+        Analysis::CacheSweep,
+        Analysis::Width,
+        Analysis::Lsq,
+        Analysis::Branch,
+        Analysis::Memory,
+        Analysis::RobIq,
+    ];
+
+    /// Stable spec/CLI identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            Analysis::Table1 => "table1",
+            Analysis::Table2 => "table2",
+            Analysis::Topdown => "topdown",
+            Analysis::Stalls => "stalls",
+            Analysis::Hotspots => "hotspots",
+            Analysis::Scaling => "scaling",
+            Analysis::ExecTime => "exec_time",
+            Analysis::Pipeline => "pipeline",
+            Analysis::Frequency => "frequency",
+            Analysis::CacheSweep => "cache",
+            Analysis::Width => "width",
+            Analysis::Lsq => "lsq",
+            Analysis::Branch => "branch",
+            Analysis::Memory => "memory",
+            Analysis::RobIq => "rob_iq",
+        }
+    }
+
+    /// One-line description for `belenos list`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Analysis::Table1 => "Table I: dataset models breakdown",
+            Analysis::Table2 => "Table II: baseline CPU and system configuration",
+            Analysis::Topdown => "Fig. 2: top-down pipeline breakdown",
+            Analysis::Stalls => "Fig. 3: FE/BE stall breakdown",
+            Analysis::Hotspots => "Fig. 4: hotspot-category share of clockticks",
+            Analysis::Scaling => "Fig. 5: solve time vs model size",
+            Analysis::ExecTime => "Fig. 6: execution time by model group",
+            Analysis::Pipeline => "Fig. 7: fetch/execute/commit stage breakdowns",
+            Analysis::Frequency => "Fig. 8: execution time and IPC vs core frequency",
+            Analysis::CacheSweep => "Fig. 9: L1/L2 cache-size sensitivity",
+            Analysis::Width => "Fig. 10: pipeline-width sensitivity",
+            Analysis::Lsq => "Fig. 11: LQ/SQ depth sensitivity",
+            Analysis::Branch => "Fig. 12: branch-predictor sensitivity",
+            Analysis::Memory => "memory profiles (MPKIs, DRAM bandwidth)",
+            Analysis::RobIq => "ROB/IQ instruction-window ablation",
+        }
+    }
+
+    /// Parses a spec/CLI identifier (accepts `figNN` aliases).
+    pub fn parse(s: &str) -> Option<Analysis> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "table1" | "table_1" | "1" => Some(Analysis::Table1),
+            "table2" | "table_2" | "2" => Some(Analysis::Table2),
+            "topdown" | "fig02" | "fig2" => Some(Analysis::Topdown),
+            "stalls" | "fig03" | "fig3" => Some(Analysis::Stalls),
+            "hotspots" | "fig04" | "fig4" => Some(Analysis::Hotspots),
+            "scaling" | "fig05" | "fig5" => Some(Analysis::Scaling),
+            "exec_time" | "exec-time" | "fig06" | "fig6" => Some(Analysis::ExecTime),
+            "pipeline" | "fig07" | "fig7" => Some(Analysis::Pipeline),
+            "frequency" | "freq" | "fig08" | "fig8" => Some(Analysis::Frequency),
+            "cache" | "fig09" | "fig9" => Some(Analysis::CacheSweep),
+            "width" | "fig10" => Some(Analysis::Width),
+            "lsq" | "fig11" => Some(Analysis::Lsq),
+            "branch" | "fig12" => Some(Analysis::Branch),
+            "memory" | "memory_profiles" => Some(Analysis::Memory),
+            "rob_iq" | "rob-iq" | "robiq" => Some(Analysis::RobIq),
+            _ => None,
+        }
+    }
+
+    /// Which paper set this analysis ran on (what the per-figure bench
+    /// binaries used to hardcode).
+    pub fn paper_set(self) -> PaperSet {
+        match self {
+            Analysis::Topdown | Analysis::Stalls | Analysis::ExecTime | Analysis::Memory => {
+                PaperSet::Vtune
+            }
+            Analysis::Hotspots | Analysis::Scaling => PaperSet::Catalog,
+            Analysis::Table1 | Analysis::Table2 => PaperSet::Catalog,
+            _ => PaperSet::Gem5,
+        }
+    }
+
+    /// True when the analysis needs prepared (solved) workload models.
+    pub fn needs_experiments(self) -> bool {
+        !matches!(self, Analysis::Table1 | Analysis::Table2)
+    }
+}
+
+impl ToJson for Analysis {
+    fn to_json(&self) -> Json {
+        Json::Str(self.id().to_string())
+    }
+}
+
+impl FromJson for Analysis {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| JsonError::new("analyses: expected analysis id strings"))?;
+        Analysis::parse(s)
+            .ok_or_else(|| JsonError::new(format!("analyses: unknown analysis `{s}`")))
+    }
+}
+
+/// A structurally invalid campaign spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document was not valid JSON, or a field had the wrong shape
+    /// (including zero-interval sampling).
+    Json(JsonError),
+    /// A workload id does not exist in the catalog.
+    UnknownWorkload(String),
+    /// The spec requests no analyses.
+    NoAnalyses,
+    /// The spec's workload list is empty.
+    NoWorkloads,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "invalid campaign spec: {e}"),
+            SpecError::UnknownWorkload(id) => {
+                write!(f, "invalid campaign spec: unknown workload id `{id}`")
+            }
+            SpecError::NoAnalyses => {
+                write!(
+                    f,
+                    "invalid campaign spec: `analyses` must name at least one analysis"
+                )
+            }
+            SpecError::NoWorkloads => {
+                write!(
+                    f,
+                    "invalid campaign spec: `workloads` must name at least one workload"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<JsonError> for SpecError {
+    fn from(e: JsonError) -> Self {
+        SpecError::Json(e)
+    }
+}
+
+/// Why a campaign could not be prepared.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The spec failed validation.
+    Spec(SpecError),
+    /// A workload model failed to solve.
+    Prepare(PrepareError),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Spec(e) => e.fmt(f),
+            CampaignError::Prepare(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<SpecError> for CampaignError {
+    fn from(e: SpecError) -> Self {
+        CampaignError::Spec(e)
+    }
+}
+
+impl From<PrepareError> for CampaignError {
+    fn from(e: PrepareError) -> Self {
+        CampaignError::Prepare(e)
+    }
+}
+
+/// A declarative, serializable campaign description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (free-form; appears in reports).
+    pub name: String,
+    /// Workload selection.
+    pub workloads: WorkloadSet,
+    /// Simulation options every analysis runs under.
+    pub options: SimOptions,
+    /// Requested analyses, in output order.
+    pub analyses: Vec<Analysis>,
+}
+
+impl CampaignSpec {
+    /// An empty campaign with default workloads (paper sets) and default
+    /// options (unlimited budget, sampling off, `o3`).
+    pub fn new(name: impl Into<String>) -> CampaignSpec {
+        CampaignSpec {
+            name: name.into(),
+            workloads: WorkloadSet::Paper,
+            options: SimOptions::default(),
+            analyses: Vec::new(),
+        }
+    }
+
+    /// The full paper campaign: every analysis the retired `all_figures`
+    /// binary printed, in the same order, on the paper workload sets.
+    pub fn paper_campaign(options: SimOptions) -> CampaignSpec {
+        CampaignSpec {
+            name: "paper".into(),
+            workloads: WorkloadSet::Paper,
+            options,
+            analyses: vec![
+                Analysis::Table1,
+                Analysis::Table2,
+                Analysis::Topdown,
+                Analysis::Stalls,
+                Analysis::ExecTime,
+                Analysis::Memory,
+                Analysis::Hotspots,
+                Analysis::Scaling,
+                Analysis::Pipeline,
+                Analysis::Frequency,
+                Analysis::CacheSweep,
+                Analysis::Width,
+                Analysis::Lsq,
+                Analysis::Branch,
+            ],
+        }
+    }
+
+    /// Builder: sets the workload selection.
+    pub fn with_workloads(mut self, workloads: WorkloadSet) -> CampaignSpec {
+        self.workloads = workloads;
+        self
+    }
+
+    /// Builder: sets the simulation options.
+    pub fn with_options(mut self, options: SimOptions) -> CampaignSpec {
+        self.options = options;
+        self
+    }
+
+    /// Builder: appends an analysis.
+    pub fn with_analysis(mut self, analysis: Analysis) -> CampaignSpec {
+        self.analyses.push(analysis);
+        self
+    }
+
+    /// Checks the spec's internal consistency: at least one analysis,
+    /// and every explicit workload id must exist.
+    ///
+    /// # Errors
+    ///
+    /// The first violated constraint.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.analyses.is_empty() {
+            return Err(SpecError::NoAnalyses);
+        }
+        if let WorkloadSet::Ids(ids) = &self.workloads {
+            if ids.is_empty() {
+                return Err(SpecError::NoWorkloads);
+            }
+            for id in ids {
+                if belenos_workloads::by_id(id).is_none() {
+                    return Err(SpecError::UnknownWorkload(id.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses and validates a JSON campaign spec.
+    ///
+    /// # Errors
+    ///
+    /// A [`SpecError`] for malformed JSON, wrong field shapes
+    /// (including zero-interval sampling), unknown analyses, or unknown
+    /// workload ids.
+    pub fn parse(text: &str) -> Result<CampaignSpec, SpecError> {
+        let spec = CampaignSpec::from_json(&Json::parse(text)?)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes the spec as a pretty-printed JSON document that
+    /// [`CampaignSpec::parse`] accepts back unchanged.
+    pub fn to_json(&self) -> String {
+        ToJson::to_json(self).pretty()
+    }
+
+    /// Validates the spec and solves every workload model it needs
+    /// (each distinct set once, shared across analyses).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Spec`] when the spec is invalid,
+    /// [`CampaignError::Prepare`] when a workload model fails to solve.
+    pub fn prepare(&self) -> Result<Campaign, CampaignError> {
+        Campaign::prepare(self.clone())
+    }
+}
+
+impl ToJson for CampaignSpec {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("workloads", self.workloads.to_json()),
+            ("options", self.options.to_json()),
+            ("analyses", self.analyses.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CampaignSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if v.as_obj().is_none() {
+            return Err(JsonError::new("campaign spec: expected a JSON object"));
+        }
+        v.reject_unknown_fields(
+            "campaign spec",
+            &["name", "workloads", "options", "analyses"],
+        )?;
+        let name = match v.get("name") {
+            Some(n) => String::from_json(n).map_err(|e| JsonError::new(format!("name: {e}")))?,
+            None => "campaign".to_string(),
+        };
+        let workloads = match v.get("workloads") {
+            Some(w) => WorkloadSet::from_json(w)?,
+            None => WorkloadSet::Paper,
+        };
+        let options = match v.get("options") {
+            Some(o) => SimOptions::from_json(o)?,
+            None => SimOptions::default(),
+        };
+        let analyses = Vec::<Analysis>::from_json(v.expect_field("analyses")?)?;
+        Ok(CampaignSpec {
+            name,
+            workloads,
+            options,
+            analyses,
+        })
+    }
+}
+
+/// The outcome of one analysis in a campaign.
+#[derive(Debug, Clone)]
+pub struct AnalysisOutcome {
+    /// Which analysis ran.
+    pub analysis: Analysis,
+    /// Its report, or the failure that stopped it. A failed analysis
+    /// never aborts the rest of the campaign.
+    pub result: Result<Report, SimFailure>,
+}
+
+/// Everything a campaign produced: one outcome per requested analysis,
+/// in spec order.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The campaign's name (from the spec).
+    pub name: String,
+    /// Per-analysis outcomes.
+    pub outcomes: Vec<AnalysisOutcome>,
+}
+
+impl CampaignReport {
+    /// Plain-text rendering: each report in order followed by a blank
+    /// line — byte-identical to what the retired per-figure binaries
+    /// printed in sequence. Failed analyses render as a
+    /// `FIGURE FAILED:` marker line, exactly as before.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            match &o.result {
+                Ok(report) => out.push_str(&report.to_text()),
+                Err(e) => out.push_str(&format!("FIGURE FAILED: {e}")),
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON rendering: every report's structured rows plus failure
+    /// records.
+    pub fn to_json(&self) -> String {
+        ToJson::to_json(self).pretty()
+    }
+
+    /// CSV rendering of every successful report.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            match &o.result {
+                Ok(report) => out.push_str(&report.to_csv()),
+                Err(e) => out.push_str(&format!("# {}: FAILED: {e}\n", o.analysis.id())),
+            }
+        }
+        out
+    }
+
+    /// The failure records, if any analysis had a wedged point.
+    pub fn failures(&self) -> Vec<&SimFailure> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().err())
+            .collect()
+    }
+}
+
+impl ToJson for CampaignReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("campaign", Json::Str(self.name.clone())),
+            (
+                "reports",
+                Json::Arr(
+                    self.outcomes
+                        .iter()
+                        .map(|o| match &o.result {
+                            Ok(report) => ToJson::to_json(report),
+                            Err(e) => Json::obj(vec![
+                                ("report", Json::Str(o.analysis.id().to_string())),
+                                ("error", e.to_json()),
+                            ]),
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A validated campaign with its workload models solved, ready to run.
+#[derive(Debug)]
+pub struct Campaign {
+    spec: CampaignSpec,
+    /// Prepared experiments per resolved workload-set key.
+    experiments: HashMap<String, Vec<Experiment>>,
+}
+
+impl Campaign {
+    /// Validates `spec` and solves each distinct workload set it needs.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Spec`] when the spec is invalid,
+    /// [`CampaignError::Prepare`] when a model fails to solve.
+    pub fn prepare(spec: CampaignSpec) -> Result<Campaign, CampaignError> {
+        spec.validate()?;
+        let mut experiments = HashMap::new();
+        for &analysis in &spec.analyses {
+            if !analysis.needs_experiments() {
+                continue;
+            }
+            let specs = spec.workloads.specs_for(analysis);
+            let key = set_key(&specs);
+            if let std::collections::hash_map::Entry::Vacant(slot) = experiments.entry(key) {
+                slot.insert(prepare_all(&specs)?);
+            }
+        }
+        Ok(Campaign { spec, experiments })
+    }
+
+    /// The spec this campaign was prepared from.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Runs every requested analysis through `runner`, collecting
+    /// per-analysis reports and failure records. Grid points shared
+    /// between analyses hit the runner's content-addressed cache.
+    pub fn run(&self, runner: &Runner) -> CampaignReport {
+        let opts = &self.spec.options;
+        let outcomes = self
+            .spec
+            .analyses
+            .iter()
+            .map(|&analysis| {
+                let exps: &[Experiment] = if analysis.needs_experiments() {
+                    let key = set_key(&self.spec.workloads.specs_for(analysis));
+                    self.experiments.get(&key).map(Vec::as_slice).unwrap_or(&[])
+                } else {
+                    &[]
+                };
+                AnalysisOutcome {
+                    analysis,
+                    result: run_analysis(runner, analysis, exps, opts),
+                }
+            })
+            .collect();
+        CampaignReport {
+            name: self.spec.name.clone(),
+            outcomes,
+        }
+    }
+}
+
+fn set_key(specs: &[WorkloadSpec]) -> String {
+    specs.iter().map(|s| s.id).collect::<Vec<_>>().join(",")
+}
+
+fn run_analysis(
+    runner: &Runner,
+    analysis: Analysis,
+    exps: &[Experiment],
+    opts: &SimOptions,
+) -> Result<Report, SimFailure> {
+    match analysis {
+        Analysis::Table1 => Ok(figures::table1()),
+        Analysis::Table2 => Ok(figures::table2()),
+        Analysis::Topdown => figures::fig02_topdown(runner, exps, opts),
+        Analysis::Stalls => figures::fig03_stalls(runner, exps, opts),
+        Analysis::Hotspots => figures::fig04_hotspots(runner, exps, opts),
+        Analysis::Scaling => Ok(figures::fig05_scaling(exps)),
+        Analysis::ExecTime => Ok(figures::fig06_exec_time(exps)),
+        Analysis::Pipeline => figures::fig07_pipeline(runner, exps, opts),
+        Analysis::Frequency => figures::fig08_frequency(runner, exps, opts),
+        Analysis::CacheSweep => figures::fig09_cache(runner, exps, opts),
+        Analysis::Width => figures::fig10_width(runner, exps, opts),
+        Analysis::Lsq => figures::fig11_lsq(runner, exps, opts),
+        Analysis::Branch => figures::fig12_branch(runner, exps, opts),
+        Analysis::Memory => figures::memory_profiles(runner, exps, opts),
+        Analysis::RobIq => figures::ablation_rob_iq(runner, exps, opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use belenos_uarch::{ModelKind, SamplingConfig};
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let spec = CampaignSpec::new("roundtrip")
+            .with_workloads(WorkloadSet::Ids(vec!["pd".into(), "co".into()]))
+            .with_options(
+                SimOptions::new(40_000)
+                    .with_sampling(SamplingConfig::smarts(8))
+                    .with_model(ModelKind::Analytic),
+            )
+            .with_analysis(Analysis::Topdown)
+            .with_analysis(Analysis::Frequency);
+        let text = spec.to_json();
+        let back = CampaignSpec::parse(&text).expect("roundtrip");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn named_sets_roundtrip() {
+        for set in [
+            WorkloadSet::Paper,
+            WorkloadSet::Vtune,
+            WorkloadSet::Gem5,
+            WorkloadSet::Catalog,
+        ] {
+            let spec = CampaignSpec::new("sets")
+                .with_workloads(set.clone())
+                .with_analysis(Analysis::Table1);
+            let back = CampaignSpec::parse(&spec.to_json()).unwrap();
+            assert_eq!(back.workloads, set);
+        }
+    }
+
+    #[test]
+    fn every_analysis_id_parses_back() {
+        for a in Analysis::ALL {
+            assert_eq!(Analysis::parse(a.id()), Some(a), "{}", a.id());
+        }
+        assert_eq!(Analysis::parse("fig08"), Some(Analysis::Frequency));
+        assert_eq!(Analysis::parse("nope"), None);
+    }
+
+    #[test]
+    fn unknown_workload_id_is_rejected() {
+        let err = CampaignSpec::parse(r#"{"workloads": ["pd", "zz"], "analyses": ["table1"]}"#)
+            .unwrap_err();
+        assert_eq!(err, SpecError::UnknownWorkload("zz".into()));
+        assert!(err.to_string().contains("zz"));
+    }
+
+    #[test]
+    fn zero_interval_sampling_is_rejected() {
+        let err = CampaignSpec::parse(
+            r#"{"workloads": ["pd"], "options": {"sampling": 0}, "analyses": ["topdown"]}"#,
+        )
+        .unwrap_err();
+        match err {
+            SpecError::Json(e) => assert!(e.to_string().contains("ambiguous"), "{e}"),
+            other => panic!("expected a JSON shape error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_or_unknown_analyses_are_rejected() {
+        assert_eq!(
+            CampaignSpec::parse(r#"{"analyses": []}"#).unwrap_err(),
+            SpecError::NoAnalyses
+        );
+        assert!(CampaignSpec::parse(r#"{"analyses": ["fig99"]}"#).is_err());
+        assert!(CampaignSpec::parse(r#"{"workloads": [], "analyses": ["table1"]}"#).is_err());
+        // `analyses` is the one required field.
+        assert!(CampaignSpec::parse(r#"{"name": "x"}"#).is_err());
+    }
+
+    #[test]
+    fn misspelled_fields_are_rejected_not_defaulted() {
+        // A typo must fail validation loudly, never silently run with
+        // defaults (an unlimited-budget campaign instead of a smoke run).
+        for bad in [
+            r#"{"option": {"max_ops": 2000}, "analyses": ["table1"]}"#,
+            r#"{"options": {"max_op": 2000}, "analyses": ["table1"]}"#,
+            r#"{"options": {"sampling": {"intervls": 8}}, "analyses": ["table1"]}"#,
+        ] {
+            let err = CampaignSpec::parse(bad).unwrap_err();
+            assert!(err.to_string().contains("unknown field"), "{bad} -> {err}");
+        }
+    }
+
+    #[test]
+    fn terse_spec_defaults() {
+        let spec = CampaignSpec::parse(r#"{"analyses": ["table1"]}"#).unwrap();
+        assert_eq!(spec.name, "campaign");
+        assert_eq!(spec.workloads, WorkloadSet::Paper);
+        assert_eq!(spec.options, SimOptions::default());
+    }
+
+    #[test]
+    fn paper_campaign_covers_the_old_all_figures_sequence() {
+        let spec = CampaignSpec::paper_campaign(SimOptions::new(1_000_000));
+        assert_eq!(spec.analyses.len(), 14);
+        assert_eq!(spec.analyses[0], Analysis::Table1);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn campaign_runs_tables_and_a_tiny_figure() {
+        let spec = CampaignSpec::new("tiny")
+            .with_workloads(WorkloadSet::Ids(vec!["pd".into()]))
+            .with_options(SimOptions::new(20_000))
+            .with_analysis(Analysis::Table1)
+            .with_analysis(Analysis::Topdown);
+        let campaign = spec.prepare().expect("pd solves");
+        let report = campaign.run(&Runner::isolated(2));
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(report.failures().is_empty());
+        let text = report.to_text();
+        assert!(text.contains("Table I"));
+        assert!(text.contains("Fig. 2"));
+        // Structured form parses and names both reports.
+        let json = Json::parse(&report.to_json()).unwrap();
+        let reports = json.get("reports").unwrap().as_arr().unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(
+            reports[1].get("report").unwrap().as_str(),
+            Some("fig02_topdown")
+        );
+    }
+
+    #[test]
+    fn invalid_spec_fails_prepare_with_a_named_error() {
+        let spec = CampaignSpec::new("broken");
+        let err = spec.prepare().unwrap_err();
+        assert!(err.to_string().contains("analyses"), "{err}");
+    }
+}

@@ -1,18 +1,22 @@
 //! Regeneration of every table and figure in the paper's evaluation.
 //!
-//! Each function renders plain-text tables whose rows/series match what
-//! the paper plots; the `belenos-bench` binaries print them and
-//! EXPERIMENTS.md records paper-vs-measured comparisons.
+//! Each function produces a structured [`Report`] whose rows/series
+//! match what the paper plots; [`Report::to_text`] reproduces the
+//! historical plain-text tables byte-for-byte, while
+//! [`Report::to_json`] / [`Report::to_csv`] expose the same rows as
+//! data. The `belenos` CLI prints them, and EXPERIMENTS.md records
+//! paper-vs-measured comparisons.
 //!
-//! Figures that simulate take the campaign's [`SimOptions`] (budget,
-//! sampling, core-model backend) and return `Result`: a wedged
-//! simulation point surfaces as a [`SimFailure`] so one broken figure
-//! never kills a whole campaign binary.
+//! Figures that simulate take the campaign's [`Runner`] (the
+//! cache-aware batch engine every job routes through) and [`SimOptions`]
+//! (budget, sampling, core-model backend), and return `Result`: a
+//! wedged simulation point surfaces as a [`SimFailure`] so one broken
+//! figure never kills a whole campaign.
 
 use crate::experiment::Experiment;
 use crate::options::{SimFailure, SimOptions};
+use crate::report::{Cell, Report};
 use crate::sweep;
-use belenos_profiler::report::{fmt, Table};
 use belenos_profiler::{HotspotProfile, MemoryProfile, TopDown};
 use belenos_runner::{RunPlan, Runner};
 use belenos_trace::FnCategory;
@@ -23,8 +27,9 @@ use belenos_workloads::{catalog, WorkloadSpec};
 /// Simulates every experiment once under `config` through the batch
 /// engine: points run in parallel and configs shared with other figures
 /// (the gem5 baseline, the host-like profile) are simulated only once
-/// per process.
+/// per runner cache.
 fn simulate_batch(
+    runner: &Runner,
     experiments: &[Experiment],
     label: &str,
     config: &CoreConfig,
@@ -37,7 +42,7 @@ fn simulate_batch(
                 .with_sampling(opts.sampling.clone()),
         );
     }
-    Runner::from_env()
+    runner
         .run(experiments, &plan)
         .into_iter()
         .map(|r| {
@@ -54,32 +59,40 @@ fn simulate_batch(
 }
 
 /// Table I: workload categories with paper vs generated input sizes.
-pub fn table1() -> String {
-    let mut t = Table::new(&[
-        "Category",
-        "Label",
-        "Paper lower (kB)",
-        "Paper upper (kB)",
-        "Ours (kB)",
-    ]);
+pub fn table1() -> Report {
+    let mut r = Report::new("table1");
+    let s = r.section(
+        "Table I: Dataset Models Breakdown",
+        &[
+            "Category",
+            "Label",
+            "Paper lower (kB)",
+            "Paper upper (kB)",
+            "Ours (kB)",
+        ],
+    );
     for spec in catalog() {
         let model = (spec.build)();
         let (lo, hi) = spec.category.paper_size_bounds_kb();
-        t.row(vec![
-            spec.category.name().to_string(),
-            spec.category.label().to_string(),
-            fmt(lo, 1),
-            fmt(hi, 1),
-            fmt(model.input_size_kb(), 1),
+        s.row(vec![
+            Cell::text(spec.category.name()),
+            Cell::text(spec.category.label()),
+            Cell::num(lo, 1),
+            Cell::num(hi, 1),
+            Cell::num(model.input_size_kb(), 1),
         ]);
     }
-    format!("Table I: Dataset Models Breakdown\n\n{}", t.render())
+    r
 }
 
 /// Table II: the gem5 baseline configuration.
-pub fn table2() -> String {
+pub fn table2() -> Report {
     let c = CoreConfig::gem5_baseline();
-    let mut t = Table::new(&["Parameter", "Value"]);
+    let mut r = Report::new("table2");
+    let s = r.section(
+        "Table II: Baseline CPU and system configuration",
+        &["Parameter", "Value"],
+    );
     let rows: Vec<(&str, String)> = vec![
         ("ISA", "x86 (micro-op trace)".into()),
         ("CPU model", "O3 (out-of-order)".into()),
@@ -123,12 +136,9 @@ pub fn table2() -> String {
         ("Branch predictor", c.predictor.label().into()),
     ];
     for (k, v) in rows {
-        t.row(vec![k.to_string(), v]);
+        s.row(vec![Cell::text(k), Cell::text(v)]);
     }
-    format!(
-        "Table II: Baseline CPU and system configuration\n\n{}",
-        t.render()
-    )
+    r
 }
 
 /// Fig. 2: top-down pipeline breakdown per VTune workload.
@@ -136,27 +146,32 @@ pub fn table2() -> String {
 /// # Errors
 ///
 /// The first failed simulation point.
-pub fn fig02_topdown(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
+pub fn fig02_topdown(
+    runner: &Runner,
+    experiments: &[Experiment],
+    opts: &SimOptions,
+) -> Result<Report, SimFailure> {
     // VTune-style profiles need windows spanning several Newton iterations
     // of the larger models; widen the budget accordingly.
     let opts = opts.scaled_budget(3);
-    let mut t = Table::new(&["Model", "Retiring%", "FrontEnd%", "BadSpec%", "BackEnd%"]);
-    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), &opts)?;
+    let mut r = Report::new("fig02_topdown");
+    let host = simulate_batch(runner, experiments, "host", &CoreConfig::host_like(), &opts)?;
+    let s = r.section(
+        "Fig. 2: Top-down pipeline breakdown (host-like config)",
+        &["Model", "Retiring%", "FrontEnd%", "BadSpec%", "BackEnd%"],
+    );
     for (exp, stats) in experiments.iter().zip(&host) {
         let td = TopDown::from_stats(&exp.id, stats);
         let p = td.percents();
-        t.row(vec![
-            exp.id.clone(),
-            fmt(p[0], 1),
-            fmt(p[1], 1),
-            fmt(p[2], 1),
-            fmt(p[3], 1),
+        s.row(vec![
+            Cell::text(&exp.id),
+            Cell::num(p[0], 1),
+            Cell::num(p[1], 1),
+            Cell::num(p[2], 1),
+            Cell::num(p[3], 1),
         ]);
     }
-    Ok(format!(
-        "Fig. 2: Top-down pipeline breakdown (host-like config)\n\n{}",
-        t.render()
-    ))
+    Ok(r)
 }
 
 /// Fig. 3: front-end / back-end stall split per VTune workload.
@@ -164,33 +179,38 @@ pub fn fig02_topdown(experiments: &[Experiment], opts: &SimOptions) -> Result<St
 /// # Errors
 ///
 /// The first failed simulation point.
-pub fn fig03_stalls(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
+pub fn fig03_stalls(
+    runner: &Runner,
+    experiments: &[Experiment],
+    opts: &SimOptions,
+) -> Result<Report, SimFailure> {
     // VTune-style profiles need windows spanning several Newton iterations
     // of the larger models; widen the budget accordingly.
     let opts = opts.scaled_budget(3);
-    let mut t = Table::new(&[
-        "Model",
-        "FE Latency%",
-        "FE Bandwidth%",
-        "BE Core%",
-        "BE Memory%",
-    ]);
-    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), &opts)?;
+    let mut r = Report::new("fig03_stalls");
+    let host = simulate_batch(runner, experiments, "host", &CoreConfig::host_like(), &opts)?;
+    let s = r.section(
+        "Fig. 3: FE/BE stall breakdown (bad speculation negligible, as in the paper)",
+        &[
+            "Model",
+            "FE Latency%",
+            "FE Bandwidth%",
+            "BE Core%",
+            "BE Memory%",
+        ],
+    );
     for (exp, stats) in experiments.iter().zip(&host) {
         let td = TopDown::from_stats(&exp.id, stats);
-        let s = td.stall_percents();
-        t.row(vec![
-            exp.id.clone(),
-            fmt(s[0], 1),
-            fmt(s[1], 1),
-            fmt(s[2], 1),
-            fmt(s[3], 1),
+        let st = td.stall_percents();
+        s.row(vec![
+            Cell::text(&exp.id),
+            Cell::num(st[0], 1),
+            Cell::num(st[1], 1),
+            Cell::num(st[2], 1),
+            Cell::num(st[3], 1),
         ]);
     }
-    Ok(format!(
-        "Fig. 3: FE/BE stall breakdown (bad speculation negligible, as in the paper)\n\n{}",
-        t.render()
-    ))
+    Ok(r)
 }
 
 /// Fig. 4: hotspot-category prevalence dots per workload.
@@ -198,58 +218,71 @@ pub fn fig03_stalls(experiments: &[Experiment], opts: &SimOptions) -> Result<Str
 /// # Errors
 ///
 /// The first failed simulation point.
-pub fn fig04_hotspots(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
+pub fn fig04_hotspots(
+    runner: &Runner,
+    experiments: &[Experiment],
+    opts: &SimOptions,
+) -> Result<Report, SimFailure> {
     // VTune-style profiles need windows spanning several Newton iterations
     // of the larger models; widen the budget accordingly.
     let opts = opts.scaled_budget(3);
-    let mut t = Table::new(&[
-        "Model",
-        "Internal",
-        "Sparsity",
-        "DenseMat",
-        "FEBioSpec",
-        "MKL-BLAS",
-        "Pardiso",
-    ]);
-    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), &opts)?;
+    let mut r = Report::new("fig04_hotspots");
+    let host = simulate_batch(runner, experiments, "host", &CoreConfig::host_like(), &opts)?;
+    let s = r.section(
+        "Fig. 4: Function-category share of clockticks\n\
+         (R >75%, O 50-75%, Y 25-50%, G <25%, . absent)",
+        &[
+            "Model",
+            "Internal",
+            "Sparsity",
+            "DenseMat",
+            "FEBioSpec",
+            "MKL-BLAS",
+            "Pardiso",
+        ],
+    );
     for (exp, stats) in experiments.iter().zip(&host) {
         let p = HotspotProfile::from_stats(&exp.id, stats);
         let dots = p.dots();
-        let mut row = vec![exp.id.clone()];
+        let mut row = vec![Cell::text(&exp.id)];
         for (d, f) in dots.iter().zip(&p.fractions) {
-            row.push(format!("{} {:>4.1}%", d.glyph(), f * 100.0));
+            row.push(Cell::labeled(
+                format!("{} {:>4.1}%", d.glyph(), f * 100.0),
+                *f,
+            ));
         }
-        t.row(row);
+        s.row(row);
     }
-    Ok(format!(
-        "Fig. 4: Function-category share of clockticks\n\
-         (R >75%, O 50-75%, Y 25-50%, G <25%, . absent)\n\n{}",
-        t.render()
-    ))
+    Ok(r)
 }
 
 /// Fig. 5: numeric solve time vs model size over the full catalog.
-pub fn fig05_scaling(experiments: &[Experiment]) -> String {
-    let mut t = Table::new(&["Model", "Size (kB)", "Sim time (ms)", "ms per kB"]);
+pub fn fig05_scaling(experiments: &[Experiment]) -> Report {
+    let mut r = Report::new("fig05_scaling");
+    let s = r.section(
+        "Fig. 5: Simulation time vs model size (log-log in the paper; the eye \
+         model sits above the trend)",
+        &["Model", "Size (kB)", "Sim time (ms)", "ms per kB"],
+    );
     for exp in experiments {
         let ms = exp.solve.wall_time.as_secs_f64() * 1e3;
-        t.row(vec![
-            exp.id.clone(),
-            fmt(exp.solve.size_kb, 1),
-            fmt(ms, 2),
-            fmt(ms / exp.solve.size_kb, 3),
+        s.row(vec![
+            Cell::text(&exp.id),
+            Cell::num(exp.solve.size_kb, 1),
+            Cell::num(ms, 2),
+            Cell::num(ms / exp.solve.size_kb, 3),
         ]);
     }
-    format!(
-        "Fig. 5: Simulation time vs model size (log-log in the paper; the eye \
-         model sits above the trend)\n\n{}",
-        t.render()
-    )
+    r
 }
 
 /// Fig. 6: execution time grouped by biphasic / fluid / material models.
-pub fn fig06_exec_time(experiments: &[Experiment]) -> String {
-    let mut t = Table::new(&["Group", "Model", "CPU time (ms)"]);
+pub fn fig06_exec_time(experiments: &[Experiment]) -> Report {
+    let mut r = Report::new("fig06_exec_time");
+    let s = r.section(
+        "Fig. 6: Execution time by model group",
+        &["Group", "Model", "CPU time (ms)"],
+    );
     for exp in experiments {
         let group = if exp.id.starts_with("bp") {
             "Biphasic"
@@ -260,13 +293,13 @@ pub fn fig06_exec_time(experiments: &[Experiment]) -> String {
         } else {
             continue;
         };
-        t.row(vec![
-            group.to_string(),
-            exp.id.clone(),
-            fmt(exp.solve.wall_time.as_secs_f64() * 1e3, 2),
+        s.row(vec![
+            Cell::text(group),
+            Cell::text(&exp.id),
+            Cell::num(exp.solve.wall_time.as_secs_f64() * 1e3, 2),
         ]);
     }
-    format!("Fig. 6: Execution time by model group\n\n{}", t.render())
+    r
 }
 
 /// Fig. 7: fetch / execute / commit stage breakdowns on the gem5 baseline.
@@ -274,58 +307,74 @@ pub fn fig06_exec_time(experiments: &[Experiment]) -> String {
 /// # Errors
 ///
 /// The first failed simulation point.
-pub fn fig07_pipeline(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
-    let mut fetch = Table::new(&[
-        "Model",
-        "activeFetch%",
-        "icacheStall%",
-        "miscStall%",
-        "squash%",
-        "tlb%",
-    ]);
-    let mut exec = Table::new(&["Model", "branches%", "fp%", "int%", "loads%", "stores%"]);
-    let mut commit = Table::new(&["Model", "fp%", "int%", "loads%", "stores%"]);
-    let baseline = simulate_batch(experiments, "baseline", &CoreConfig::gem5_baseline(), opts)?;
-    for (exp, s) in experiments.iter().zip(&baseline) {
-        let fetch_total = (s.active_fetch_cycles
-            + s.icache_stall_cycles
-            + s.misc_stall_cycles
-            + s.squash_cycles
-            + s.tlb_stall_cycles)
+pub fn fig07_pipeline(
+    runner: &Runner,
+    experiments: &[Experiment],
+    opts: &SimOptions,
+) -> Result<Report, SimFailure> {
+    let baseline = simulate_batch(
+        runner,
+        experiments,
+        "baseline",
+        &CoreConfig::gem5_baseline(),
+        opts,
+    )?;
+    let mut fetch = crate::report::Section::new(
+        "Fig. 7a: Fetch stage activity",
+        &[
+            "Model",
+            "activeFetch%",
+            "icacheStall%",
+            "miscStall%",
+            "squash%",
+            "tlb%",
+        ],
+    );
+    let mut exec = crate::report::Section::new(
+        "Fig. 7b: Execute stage mix",
+        &["Model", "branches%", "fp%", "int%", "loads%", "stores%"],
+    );
+    let mut commit = crate::report::Section::new(
+        "Fig. 7c: Commit stage mix",
+        &["Model", "fp%", "int%", "loads%", "stores%"],
+    );
+    for (exp, st) in experiments.iter().zip(&baseline) {
+        let fetch_total = (st.active_fetch_cycles
+            + st.icache_stall_cycles
+            + st.misc_stall_cycles
+            + st.squash_cycles
+            + st.tlb_stall_cycles)
             .max(1) as f64;
         fetch.row(vec![
-            exp.id.clone(),
-            fmt(s.active_fetch_cycles as f64 / fetch_total * 100.0, 1),
-            fmt(s.icache_stall_cycles as f64 / fetch_total * 100.0, 1),
-            fmt(s.misc_stall_cycles as f64 / fetch_total * 100.0, 1),
-            fmt(s.squash_cycles as f64 / fetch_total * 100.0, 1),
-            fmt(s.tlb_stall_cycles as f64 / fetch_total * 100.0, 1),
+            Cell::text(&exp.id),
+            Cell::num(st.active_fetch_cycles as f64 / fetch_total * 100.0, 1),
+            Cell::num(st.icache_stall_cycles as f64 / fetch_total * 100.0, 1),
+            Cell::num(st.misc_stall_cycles as f64 / fetch_total * 100.0, 1),
+            Cell::num(st.squash_cycles as f64 / fetch_total * 100.0, 1),
+            Cell::num(st.tlb_stall_cycles as f64 / fetch_total * 100.0, 1),
         ]);
-        let m = &s.exec_mix;
+        let m = &st.exec_mix;
         exec.row(vec![
-            exp.id.clone(),
-            fmt(m.fraction(m.branches) * 100.0, 1),
-            fmt(m.fraction(m.fp) * 100.0, 1),
-            fmt(m.fraction(m.int) * 100.0, 1),
-            fmt(m.fraction(m.loads) * 100.0, 1),
-            fmt(m.fraction(m.stores) * 100.0, 1),
+            Cell::text(&exp.id),
+            Cell::num(m.fraction(m.branches) * 100.0, 1),
+            Cell::num(m.fraction(m.fp) * 100.0, 1),
+            Cell::num(m.fraction(m.int) * 100.0, 1),
+            Cell::num(m.fraction(m.loads) * 100.0, 1),
+            Cell::num(m.fraction(m.stores) * 100.0, 1),
         ]);
-        let c = &s.commit_mix;
+        let c = &st.commit_mix;
         commit.row(vec![
-            exp.id.clone(),
-            fmt(c.fraction(c.fp) * 100.0, 1),
-            fmt(c.fraction(c.int) * 100.0, 1),
-            fmt(c.fraction(c.loads) * 100.0, 1),
-            fmt(c.fraction(c.stores) * 100.0, 1),
+            Cell::text(&exp.id),
+            Cell::num(c.fraction(c.fp) * 100.0, 1),
+            Cell::num(c.fraction(c.int) * 100.0, 1),
+            Cell::num(c.fraction(c.loads) * 100.0, 1),
+            Cell::num(c.fraction(c.stores) * 100.0, 1),
         ]);
     }
-    Ok(format!(
-        "Fig. 7a: Fetch stage activity\n\n{}\nFig. 7b: Execute stage mix\n\n{}\n\
-         Fig. 7c: Commit stage mix\n\n{}",
-        fetch.render(),
-        exec.render(),
-        commit.render()
-    ))
+    Ok(Report::new("fig07_pipeline")
+        .with_section(fetch)
+        .with_section(exec)
+        .with_section(commit))
 }
 
 /// Fig. 8: execution time and IPC vs core frequency.
@@ -334,46 +383,51 @@ pub fn fig07_pipeline(experiments: &[Experiment], opts: &SimOptions) -> Result<S
 ///
 /// The first failed simulation point.
 pub fn fig08_frequency(
+    runner: &Runner,
     experiments: &[Experiment],
     opts: &SimOptions,
-) -> Result<String, SimFailure> {
+) -> Result<Report, SimFailure> {
     let freqs = [1.0, 2.0, 3.0, 4.0];
-    let pts = sweep::frequency(experiments, &freqs, opts)?;
-    let mut time = Table::new(&[
-        "Model",
-        "1GHz (ms)",
-        "2GHz",
-        "3GHz",
-        "4GHz",
-        "speedup@3",
-        "speedup@4",
-    ]);
-    let mut ipc = Table::new(&["Model", "IPC@1GHz", "IPC@2GHz", "IPC@3GHz", "IPC@4GHz"]);
+    let pts = sweep::frequency(runner, experiments, &freqs, opts)?;
+    let mut time = crate::report::Section::new(
+        "Fig. 8a: Execution time vs frequency",
+        &[
+            "Model",
+            "1GHz (ms)",
+            "2GHz",
+            "3GHz",
+            "4GHz",
+            "speedup@3",
+            "speedup@4",
+        ],
+    );
+    let mut ipc = crate::report::Section::new(
+        "Fig. 8b: IPC vs frequency",
+        &["Model", "IPC@1GHz", "IPC@2GHz", "IPC@3GHz", "IPC@4GHz"],
+    );
     for exp in experiments {
         let series: Vec<&sweep::SweepPoint> = pts.iter().filter(|p| p.workload == exp.id).collect();
         let secs: Vec<f64> = series.iter().map(|p| p.stats.seconds()).collect();
         time.row(vec![
-            exp.id.clone(),
-            fmt(secs[0] * 1e3, 3),
-            fmt(secs[1] * 1e3, 3),
-            fmt(secs[2] * 1e3, 3),
-            fmt(secs[3] * 1e3, 3),
-            fmt(secs[0] / secs[2], 2),
-            fmt(secs[0] / secs[3], 2),
+            Cell::text(&exp.id),
+            Cell::num(secs[0] * 1e3, 3),
+            Cell::num(secs[1] * 1e3, 3),
+            Cell::num(secs[2] * 1e3, 3),
+            Cell::num(secs[3] * 1e3, 3),
+            Cell::num(secs[0] / secs[2], 2),
+            Cell::num(secs[0] / secs[3], 2),
         ]);
         ipc.row(vec![
-            exp.id.clone(),
-            fmt(series[0].stats.ipc(), 3),
-            fmt(series[1].stats.ipc(), 3),
-            fmt(series[2].stats.ipc(), 3),
-            fmt(series[3].stats.ipc(), 3),
+            Cell::text(&exp.id),
+            Cell::num(series[0].stats.ipc(), 3),
+            Cell::num(series[1].stats.ipc(), 3),
+            Cell::num(series[2].stats.ipc(), 3),
+            Cell::num(series[3].stats.ipc(), 3),
         ]);
     }
-    Ok(format!(
-        "Fig. 8a: Execution time vs frequency\n\n{}\nFig. 8b: IPC vs frequency\n\n{}",
-        time.render(),
-        ipc.render()
-    ))
+    Ok(Report::new("fig08_frequency")
+        .with_section(time)
+        .with_section(ipc))
 }
 
 /// Fig. 9: cache sensitivity (L1I/L1D MPKI, L2 MPKI, normalized times).
@@ -381,64 +435,80 @@ pub fn fig08_frequency(
 /// # Errors
 ///
 /// The first failed simulation point.
-pub fn fig09_cache(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
+pub fn fig09_cache(
+    runner: &Runner,
+    experiments: &[Experiment],
+    opts: &SimOptions,
+) -> Result<Report, SimFailure> {
     let l1_sizes = [8usize, 16, 32, 64];
     let l2_sizes = [256usize, 512, 1024, 2048];
-    let l1_pts = sweep::l1_size(experiments, &l1_sizes, opts)?;
-    let l2_pts = sweep::l2_size(experiments, &l2_sizes, opts)?;
-    let mut l1i = Table::new(&["Model", "8kB", "16kB", "32kB", "64kB"]);
-    let mut l1d = Table::new(&["Model", "8kB", "16kB", "32kB", "64kB"]);
-    let mut l1t = Table::new(&["Model", "t(8k)/t(64k)", "t(16k)/t(64k)", "t(32k)/t(64k)"]);
-    let mut l2m = Table::new(&["Model", "256kB", "512kB", "1MB", "2MB"]);
-    let mut l2t = Table::new(&["Model", "t(256k)/t(2M)", "t(512k)/t(2M)", "t(1M)/t(2M)"]);
+    let l1_pts = sweep::l1_size(runner, experiments, &l1_sizes, opts)?;
+    let l2_pts = sweep::l2_size(runner, experiments, &l2_sizes, opts)?;
+    let mut l1i = crate::report::Section::new(
+        "Fig. 9a: L1I MPKI",
+        &["Model", "8kB", "16kB", "32kB", "64kB"],
+    );
+    let mut l1d = crate::report::Section::new(
+        "Fig. 9b: L1D MPKI",
+        &["Model", "8kB", "16kB", "32kB", "64kB"],
+    );
+    let mut l1t = crate::report::Section::new(
+        "Fig. 9c: L1 exec time (normalized to 64kB)",
+        &["Model", "t(8k)/t(64k)", "t(16k)/t(64k)", "t(32k)/t(64k)"],
+    );
+    let mut l2m = crate::report::Section::new(
+        "Fig. 9d: L2 MPKI",
+        &["Model", "256kB", "512kB", "1MB", "2MB"],
+    );
+    let mut l2t = crate::report::Section::new(
+        "Fig. 9e: L2 exec time (normalized to 2MB)",
+        &["Model", "t(256k)/t(2M)", "t(512k)/t(2M)", "t(1M)/t(2M)"],
+    );
     for exp in experiments {
         let s1: Vec<&sweep::SweepPoint> = l1_pts.iter().filter(|p| p.workload == exp.id).collect();
         l1i.row(vec![
-            exp.id.clone(),
-            fmt(s1[0].stats.l1i_mpki(), 2),
-            fmt(s1[1].stats.l1i_mpki(), 2),
-            fmt(s1[2].stats.l1i_mpki(), 2),
-            fmt(s1[3].stats.l1i_mpki(), 2),
+            Cell::text(&exp.id),
+            Cell::num(s1[0].stats.l1i_mpki(), 2),
+            Cell::num(s1[1].stats.l1i_mpki(), 2),
+            Cell::num(s1[2].stats.l1i_mpki(), 2),
+            Cell::num(s1[3].stats.l1i_mpki(), 2),
         ]);
         l1d.row(vec![
-            exp.id.clone(),
-            fmt(s1[0].stats.l1d_mpki(), 2),
-            fmt(s1[1].stats.l1d_mpki(), 2),
-            fmt(s1[2].stats.l1d_mpki(), 2),
-            fmt(s1[3].stats.l1d_mpki(), 2),
+            Cell::text(&exp.id),
+            Cell::num(s1[0].stats.l1d_mpki(), 2),
+            Cell::num(s1[1].stats.l1d_mpki(), 2),
+            Cell::num(s1[2].stats.l1d_mpki(), 2),
+            Cell::num(s1[3].stats.l1d_mpki(), 2),
         ]);
         let t64 = s1[3].stats.seconds();
         l1t.row(vec![
-            exp.id.clone(),
-            fmt(s1[0].stats.seconds() / t64, 3),
-            fmt(s1[1].stats.seconds() / t64, 3),
-            fmt(s1[2].stats.seconds() / t64, 3),
+            Cell::text(&exp.id),
+            Cell::num(s1[0].stats.seconds() / t64, 3),
+            Cell::num(s1[1].stats.seconds() / t64, 3),
+            Cell::num(s1[2].stats.seconds() / t64, 3),
         ]);
         let s2: Vec<&sweep::SweepPoint> = l2_pts.iter().filter(|p| p.workload == exp.id).collect();
         l2m.row(vec![
-            exp.id.clone(),
-            fmt(s2[0].stats.l2_mpki(), 2),
-            fmt(s2[1].stats.l2_mpki(), 2),
-            fmt(s2[2].stats.l2_mpki(), 2),
-            fmt(s2[3].stats.l2_mpki(), 2),
+            Cell::text(&exp.id),
+            Cell::num(s2[0].stats.l2_mpki(), 2),
+            Cell::num(s2[1].stats.l2_mpki(), 2),
+            Cell::num(s2[2].stats.l2_mpki(), 2),
+            Cell::num(s2[3].stats.l2_mpki(), 2),
         ]);
         let t2m = s2[3].stats.seconds();
         l2t.row(vec![
-            exp.id.clone(),
-            fmt(s2[0].stats.seconds() / t2m, 3),
-            fmt(s2[1].stats.seconds() / t2m, 3),
-            fmt(s2[2].stats.seconds() / t2m, 3),
+            Cell::text(&exp.id),
+            Cell::num(s2[0].stats.seconds() / t2m, 3),
+            Cell::num(s2[1].stats.seconds() / t2m, 3),
+            Cell::num(s2[2].stats.seconds() / t2m, 3),
         ]);
     }
-    Ok(format!(
-        "Fig. 9a: L1I MPKI\n\n{}\nFig. 9b: L1D MPKI\n\n{}\nFig. 9c: L1 exec time (normalized to 64kB)\n\n{}\n\
-         Fig. 9d: L2 MPKI\n\n{}\nFig. 9e: L2 exec time (normalized to 2MB)\n\n{}",
-        l1i.render(),
-        l1d.render(),
-        l1t.render(),
-        l2m.render(),
-        l2t.render()
-    ))
+    Ok(Report::new("fig09_cache")
+        .with_section(l1i)
+        .with_section(l1d)
+        .with_section(l1t)
+        .with_section(l2m)
+        .with_section(l2t))
 }
 
 /// Fig. 10: execution-time delta vs pipeline width (baseline 6).
@@ -446,10 +516,19 @@ pub fn fig09_cache(experiments: &[Experiment], opts: &SimOptions) -> Result<Stri
 /// # Errors
 ///
 /// The first failed simulation point.
-pub fn fig10_width(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
-    let pts = sweep::width(experiments, &[2, 4, 6, 8], opts)?;
+pub fn fig10_width(
+    runner: &Runner,
+    experiments: &[Experiment],
+    opts: &SimOptions,
+) -> Result<Report, SimFailure> {
+    let pts = sweep::width(runner, experiments, &[2, 4, 6, 8], opts)?;
     let diffs = sweep::percent_diff_vs(&pts, "6");
-    let mut t = Table::new(&["Model", "width=2 (%)", "width=4 (%)", "width=8 (%)"]);
+    let mut r = Report::new("fig10_width");
+    let s = r.section(
+        "Fig. 10: Execution time difference vs baseline pipeline width 6\n\
+         (positive = slower than baseline)",
+        &["Model", "width=2 (%)", "width=4 (%)", "width=8 (%)"],
+    );
     for exp in experiments {
         let d = |w: &str| {
             diffs
@@ -458,18 +537,14 @@ pub fn fig10_width(experiments: &[Experiment], opts: &SimOptions) -> Result<Stri
                 .map(|&(_, _, d)| d)
                 .unwrap_or(0.0)
         };
-        t.row(vec![
-            exp.id.clone(),
-            fmt(d("2"), 1),
-            fmt(d("4"), 1),
-            fmt(d("8"), 1),
+        s.row(vec![
+            Cell::text(&exp.id),
+            Cell::num(d("2"), 1),
+            Cell::num(d("4"), 1),
+            Cell::num(d("8"), 1),
         ]);
     }
-    Ok(format!(
-        "Fig. 10: Execution time difference vs baseline pipeline width 6\n\
-         (positive = slower than baseline)\n\n{}",
-        t.render()
-    ))
+    Ok(r)
 }
 
 /// Fig. 11: execution-time delta vs LQ/SQ depth (baseline 72/56).
@@ -477,10 +552,23 @@ pub fn fig10_width(experiments: &[Experiment], opts: &SimOptions) -> Result<Stri
 /// # Errors
 ///
 /// The first failed simulation point.
-pub fn fig11_lsq(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
-    let pts = sweep::lsq(experiments, &[(32, 24), (48, 40), (72, 56), (96, 72)], opts)?;
+pub fn fig11_lsq(
+    runner: &Runner,
+    experiments: &[Experiment],
+    opts: &SimOptions,
+) -> Result<Report, SimFailure> {
+    let pts = sweep::lsq(
+        runner,
+        experiments,
+        &[(32, 24), (48, 40), (72, 56), (96, 72)],
+        opts,
+    )?;
     let diffs = sweep::percent_diff_vs(&pts, "72_56");
-    let mut t = Table::new(&["Model", "32_24 (%)", "48_40 (%)", "96_72 (%)"]);
+    let mut r = Report::new("fig11_lsq");
+    let s = r.section(
+        "Fig. 11: Execution time difference vs baseline LQ_SQ = 72_56",
+        &["Model", "32_24 (%)", "48_40 (%)", "96_72 (%)"],
+    );
     for exp in experiments {
         let d = |w: &str| {
             diffs
@@ -489,17 +577,14 @@ pub fn fig11_lsq(experiments: &[Experiment], opts: &SimOptions) -> Result<String
                 .map(|&(_, _, d)| d)
                 .unwrap_or(0.0)
         };
-        t.row(vec![
-            exp.id.clone(),
-            fmt(d("32_24"), 1),
-            fmt(d("48_40"), 1),
-            fmt(d("96_72"), 1),
+        s.row(vec![
+            Cell::text(&exp.id),
+            Cell::num(d("32_24"), 1),
+            Cell::num(d("48_40"), 1),
+            Cell::num(d("96_72"), 1),
         ]);
     }
-    Ok(format!(
-        "Fig. 11: Execution time difference vs baseline LQ_SQ = 72_56\n\n{}",
-        t.render()
-    ))
+    Ok(r)
 }
 
 /// Fig. 12: execution-time delta per branch predictor (vs TournamentBP).
@@ -507,19 +592,18 @@ pub fn fig11_lsq(experiments: &[Experiment], opts: &SimOptions) -> Result<String
 /// # Errors
 ///
 /// The first failed simulation point.
-pub fn fig12_branch(experiments: &[Experiment], opts: &SimOptions) -> Result<String, SimFailure> {
-    let pts = sweep::branch_predictors(
-        experiments,
-        &[
-            BranchPredictorKind::Tournament,
-            BranchPredictorKind::Local,
-            BranchPredictorKind::Ltage,
-            BranchPredictorKind::Perceptron,
-        ],
-        opts,
-    )?;
+pub fn fig12_branch(
+    runner: &Runner,
+    experiments: &[Experiment],
+    opts: &SimOptions,
+) -> Result<Report, SimFailure> {
+    let pts = sweep::branch_predictors(runner, experiments, &BranchPredictorKind::ALL, opts)?;
     let diffs = sweep::percent_diff_vs(&pts, "TournamentBP");
-    let mut t = Table::new(&["Model", "LocalBP (%)", "LTAGE (%)", "MPP64KB (%)"]);
+    let mut r = Report::new("fig12_branch");
+    let s = r.section(
+        "Fig. 12: Execution time difference vs TournamentBP baseline",
+        &["Model", "LocalBP (%)", "LTAGE (%)", "MPP64KB (%)"],
+    );
     for exp in experiments {
         let d = |w: &str| {
             diffs
@@ -528,17 +612,40 @@ pub fn fig12_branch(experiments: &[Experiment], opts: &SimOptions) -> Result<Str
                 .map(|&(_, _, d)| d)
                 .unwrap_or(0.0)
         };
-        t.row(vec![
-            exp.id.clone(),
-            fmt(d("LocalBP"), 2),
-            fmt(d("LTAGE"), 2),
-            fmt(d("MultiperspectivePerceptron64KB"), 2),
+        s.row(vec![
+            Cell::text(&exp.id),
+            Cell::num(d("LocalBP"), 2),
+            Cell::num(d("LTAGE"), 2),
+            Cell::num(d("MultiperspectivePerceptron64KB"), 2),
         ]);
     }
-    Ok(format!(
-        "Fig. 12: Execution time difference vs TournamentBP baseline\n\n{}",
-        t.render()
-    ))
+    Ok(r)
+}
+
+/// Instruction-window ablation (paper §IV-C4 text): execution-time
+/// change from growing ROB/IQ 224/128 → 448/256 (the paper observes
+/// less than 4% improvement across workloads).
+///
+/// # Errors
+///
+/// The first failed simulation point.
+pub fn ablation_rob_iq(
+    runner: &Runner,
+    experiments: &[Experiment],
+    opts: &SimOptions,
+) -> Result<Report, SimFailure> {
+    let pts = sweep::rob_iq(runner, experiments, &[(224, 128), (448, 256)], opts)?;
+    let diffs = sweep::percent_diff_vs(&pts, "224_128");
+    let mut r = Report::new("ablation_rob_iq");
+    let s = r.section(
+        "ROB/IQ ablation: execution-time change going 224/128 -> 448/256\n\
+         (paper: < 4% improvement across workloads)",
+        &["Model", "448_256 (%)"],
+    );
+    for (wl, _, d) in diffs {
+        s.row(vec![Cell::text(wl), Cell::num(d, 2)]);
+    }
+    Ok(r)
 }
 
 /// Supplementary: memory profile of each workload (bandwidth, MPKIs) —
@@ -548,36 +655,38 @@ pub fn fig12_branch(experiments: &[Experiment], opts: &SimOptions) -> Result<Str
 ///
 /// The first failed simulation point.
 pub fn memory_profiles(
+    runner: &Runner,
     experiments: &[Experiment],
     opts: &SimOptions,
-) -> Result<String, SimFailure> {
+) -> Result<Report, SimFailure> {
     // VTune-style profiles need windows spanning several Newton iterations
     // of the larger models; widen the budget accordingly.
     let opts = opts.scaled_budget(3);
-    let mut t = Table::new(&[
-        "Model",
-        "L1I MPKI",
-        "L1D MPKI",
-        "L2 MPKI",
-        "MemBound%",
-        "DRAM GB/s",
-    ]);
-    let host = simulate_batch(experiments, "host", &CoreConfig::host_like(), &opts)?;
+    let mut r = Report::new("memory_profiles");
+    let host = simulate_batch(runner, experiments, "host", &CoreConfig::host_like(), &opts)?;
+    let s = r.section(
+        "Memory profiles (host-like config)",
+        &[
+            "Model",
+            "L1I MPKI",
+            "L1D MPKI",
+            "L2 MPKI",
+            "MemBound%",
+            "DRAM GB/s",
+        ],
+    );
     for (exp, stats) in experiments.iter().zip(&host) {
         let m = MemoryProfile::from_stats(&exp.id, stats);
-        t.row(vec![
-            exp.id.clone(),
-            fmt(m.l1i_mpki, 2),
-            fmt(m.l1d_mpki, 2),
-            fmt(m.l2_mpki, 2),
-            fmt(m.memory_bound * 100.0, 1),
-            fmt(m.dram_gbps, 2),
+        s.row(vec![
+            Cell::text(&exp.id),
+            Cell::num(m.l1i_mpki, 2),
+            Cell::num(m.l1d_mpki, 2),
+            Cell::num(m.l2_mpki, 2),
+            Cell::num(m.memory_bound * 100.0, 1),
+            Cell::num(m.dram_gbps, 2),
         ]);
     }
-    Ok(format!(
-        "Memory profiles (host-like config)\n\n{}",
-        t.render()
-    ))
+    Ok(r)
 }
 
 /// Returns the default VTune-set specs (11 models + eye).
@@ -596,8 +705,13 @@ pub fn gem5_specs() -> Vec<WorkloadSpec> {
 /// # Errors
 ///
 /// The first failed simulation point.
-pub fn dominant_category(exp: &Experiment, opts: &SimOptions) -> Result<FnCategory, SimFailure> {
+pub fn dominant_category(
+    runner: &Runner,
+    exp: &Experiment,
+    opts: &SimOptions,
+) -> Result<FnCategory, SimFailure> {
     let stats = simulate_batch(
+        runner,
         std::slice::from_ref(exp),
         "host",
         &CoreConfig::host_like(),
@@ -614,10 +728,10 @@ mod tests {
 
     #[test]
     fn tables_render_without_simulation() {
-        let t1 = table1();
+        let t1 = table1().to_text();
         assert!(t1.contains("Arterial Tissue"));
         assert!(t1.contains("98600.0"));
-        let t2 = table2();
+        let t2 = table2().to_text();
         assert!(t2.contains("224"));
         assert!(t2.contains("4 / 6 / 6 / 4"));
         assert!(t2.contains("TournamentBP"));
@@ -628,9 +742,15 @@ mod tests {
         // One tiny workload through fig-7-style reporting.
         let spec = belenos_workloads::by_id("pd").expect("pd");
         let exp = Experiment::prepare(&spec).unwrap();
-        let out = fig07_pipeline(&[exp], &SimOptions::new(30_000)).expect("figure");
-        assert!(out.contains("Fig. 7a"));
-        assert!(out.contains("pd"));
+        let runner = Runner::isolated(2);
+        let out = fig07_pipeline(&runner, &[exp], &SimOptions::new(30_000)).expect("figure");
+        assert_eq!(out.sections.len(), 3);
+        let text = out.to_text();
+        assert!(text.contains("Fig. 7a"));
+        assert!(text.contains("pd"));
+        // The same rows serialize as data.
+        assert!(out.to_json().contains("\"fig07_pipeline\""));
+        assert!(out.to_csv().contains("# Fig. 7a: Fetch stage activity"));
     }
 
     #[test]
@@ -638,10 +758,11 @@ mod tests {
         use belenos_uarch::ModelKind;
         let spec = belenos_workloads::by_id("pd").expect("pd");
         let exps = vec![Experiment::prepare(&spec).unwrap()];
+        let runner = Runner::isolated(2);
         for kind in ModelKind::ALL {
             let opts = SimOptions::new(20_000).with_model(kind);
-            let out = fig02_topdown(&exps, &opts).expect("figure");
-            assert!(out.contains("pd"), "{kind} figure must render");
+            let out = fig02_topdown(&runner, &exps, &opts).expect("figure");
+            assert!(out.to_text().contains("pd"), "{kind} figure must render");
         }
     }
 }

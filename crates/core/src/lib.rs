@@ -18,7 +18,10 @@
 //! [`experiment`] runs one workload through that pipeline; [`sweep`] runs
 //! the paper's sensitivity studies (frequency, cache sizes, pipeline
 //! width, load/store queues, branch predictors); [`figures`] regenerates
-//! every table and figure of the paper as text tables.
+//! every table and figure of the paper as structured [`Report`]s
+//! (text/JSON/CSV renderers over the same rows); [`campaign`] wraps all
+//! of it behind a declarative, JSON-serializable [`CampaignSpec`]
+//! executed by [`Campaign::run`].
 //!
 //! Every sweep and figure submits its (workload × config) grid to the
 //! `belenos-runner` batch engine: points execute in parallel across
@@ -44,10 +47,18 @@
 //! println!("ar: IPC {:.2}", stats.ipc());
 //! ```
 
+pub mod campaign;
+pub mod env;
 pub mod experiment;
 pub mod figures;
 pub mod options;
+pub mod report;
 pub mod sweep;
 
+pub use campaign::{
+    Analysis, Campaign, CampaignError, CampaignReport, CampaignSpec, SpecError, WorkloadSet,
+};
+pub use env::EnvOverrides;
 pub use experiment::{Experiment, PrepareError};
 pub use options::{SimFailure, SimOptions};
+pub use report::{Cell, Report, Section};

@@ -8,6 +8,7 @@
 //! it through unchanged, so a whole campaign can be re-pointed at the
 //! in-order or analytical backend with a single variable.
 
+use belenos_json::{FromJson, Json, JsonError, ToJson};
 use belenos_uarch::{CoreConfig, ModelKind, SamplingConfig};
 
 /// How a simulation campaign runs: budget, budget placement, backend.
@@ -62,9 +63,44 @@ impl SimOptions {
     }
 }
 
+/// Unlimited budget, sampling off, the `o3` backend.
 impl Default for SimOptions {
     fn default() -> Self {
         SimOptions::new(0)
+    }
+}
+
+impl ToJson for SimOptions {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("max_ops", Json::Num(self.max_ops as f64)),
+            ("sampling", self.sampling.to_json()),
+            ("model", self.model.to_json()),
+        ])
+    }
+}
+
+/// Missing fields take the [`SimOptions::default`] values (unlimited
+/// budget, sampling off, `o3`), so terse specs stay valid.
+impl FromJson for SimOptions {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if v.as_obj().is_none() {
+            return Err(JsonError::new("options: expected an object"));
+        }
+        v.reject_unknown_fields("options", &["max_ops", "sampling", "model"])?;
+        let mut opts = SimOptions::default();
+        if let Some(n) = v.get("max_ops") {
+            opts.max_ops = n.as_usize().ok_or_else(|| {
+                JsonError::new("options.max_ops: expected a non-negative integer")
+            })?;
+        }
+        if let Some(s) = v.get("sampling") {
+            opts.sampling = SamplingConfig::from_json(s)?;
+        }
+        if let Some(m) = v.get("model") {
+            opts.model = ModelKind::from_json(m)?;
+        }
+        Ok(opts)
     }
 }
 
@@ -96,6 +132,16 @@ impl std::fmt::Display for SimFailure {
 
 impl std::error::Error for SimFailure {}
 
+impl ToJson for SimFailure {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("label", Json::Str(self.label.clone())),
+            ("message", Json::Str(self.message.clone())),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +168,26 @@ mod tests {
             cfg.stable_digest(),
             CoreConfig::gem5_baseline().stable_digest()
         );
+    }
+
+    #[test]
+    fn options_json_roundtrip() {
+        for opts in [
+            SimOptions::default(),
+            SimOptions::new(40_000)
+                .with_sampling(SamplingConfig::smarts(16))
+                .with_model(ModelKind::InOrder),
+        ] {
+            assert_eq!(SimOptions::from_json(&opts.to_json()).unwrap(), opts);
+        }
+        // Missing fields default; unknown budget types are rejected.
+        let terse = Json::parse(r#"{"max_ops": 500}"#).unwrap();
+        let opts = SimOptions::from_json(&terse).unwrap();
+        assert_eq!(opts.max_ops, 500);
+        assert!(opts.sampling.is_off());
+        assert_eq!(opts.model, ModelKind::O3);
+        assert!(SimOptions::from_json(&Json::parse(r#"{"max_ops": -1}"#).unwrap()).is_err());
+        assert!(SimOptions::from_json(&Json::parse("[]").unwrap()).is_err());
     }
 
     #[test]

@@ -49,12 +49,13 @@ fn sweep_plan(
 }
 
 fn run_sweep(
+    runner: &Runner,
     experiments: &[Experiment],
     values: &[(String, CoreConfig)],
     opts: &SimOptions,
 ) -> Result<Vec<SweepPoint>, SimFailure> {
     let plan = sweep_plan(experiments, values, opts);
-    Runner::from_env()
+    runner
         .run(experiments, &plan)
         .into_iter()
         .map(|r| {
@@ -80,6 +81,7 @@ fn run_sweep(
 ///
 /// The first failed (panicked) grid point.
 pub fn frequency(
+    runner: &Runner,
     experiments: &[Experiment],
     freqs: &[f64],
     opts: &SimOptions,
@@ -93,7 +95,7 @@ pub fn frequency(
             )
         })
         .collect();
-    run_sweep(experiments, &values, opts)
+    run_sweep(runner, experiments, &values, opts)
 }
 
 /// Fig. 9a-c: L1 (I+D) capacity sweep.
@@ -102,6 +104,7 @@ pub fn frequency(
 ///
 /// The first failed (panicked) grid point.
 pub fn l1_size(
+    runner: &Runner,
     experiments: &[Experiment],
     sizes_kb: &[usize],
     opts: &SimOptions,
@@ -115,7 +118,7 @@ pub fn l1_size(
             )
         })
         .collect();
-    run_sweep(experiments, &values, opts)
+    run_sweep(runner, experiments, &values, opts)
 }
 
 /// Fig. 9d-e: L2 capacity sweep.
@@ -124,6 +127,7 @@ pub fn l1_size(
 ///
 /// The first failed (panicked) grid point.
 pub fn l2_size(
+    runner: &Runner,
     experiments: &[Experiment],
     sizes_kb: &[usize],
     opts: &SimOptions,
@@ -139,7 +143,7 @@ pub fn l2_size(
             (label, CoreConfig::gem5_baseline().with_l2_size(kb * 1024))
         })
         .collect();
-    run_sweep(experiments, &values, opts)
+    run_sweep(runner, experiments, &values, opts)
 }
 
 /// Fig. 10: pipeline width sweep (baseline width 6).
@@ -148,6 +152,7 @@ pub fn l2_size(
 ///
 /// The first failed (panicked) grid point.
 pub fn width(
+    runner: &Runner,
     experiments: &[Experiment],
     widths: &[usize],
     opts: &SimOptions,
@@ -161,7 +166,7 @@ pub fn width(
             )
         })
         .collect();
-    run_sweep(experiments, &values, opts)
+    run_sweep(runner, experiments, &values, opts)
 }
 
 /// Fig. 11: load/store-queue depth sweep (baseline 72/56).
@@ -170,6 +175,7 @@ pub fn width(
 ///
 /// The first failed (panicked) grid point.
 pub fn lsq(
+    runner: &Runner,
     experiments: &[Experiment],
     depths: &[(usize, usize)],
     opts: &SimOptions,
@@ -183,7 +189,7 @@ pub fn lsq(
             )
         })
         .collect();
-    run_sweep(experiments, &values, opts)
+    run_sweep(runner, experiments, &values, opts)
 }
 
 /// Instruction-window ablation (paper §IV-C4 text): ROB/IQ sizes.
@@ -192,6 +198,7 @@ pub fn lsq(
 ///
 /// The first failed (panicked) grid point.
 pub fn rob_iq(
+    runner: &Runner,
     experiments: &[Experiment],
     sizes: &[(usize, usize)],
     opts: &SimOptions,
@@ -205,7 +212,7 @@ pub fn rob_iq(
             )
         })
         .collect();
-    run_sweep(experiments, &values, opts)
+    run_sweep(runner, experiments, &values, opts)
 }
 
 /// Fig. 12: branch predictor sweep (baseline TournamentBP).
@@ -214,6 +221,7 @@ pub fn rob_iq(
 ///
 /// The first failed (panicked) grid point.
 pub fn branch_predictors(
+    runner: &Runner,
     experiments: &[Experiment],
     predictors: &[BranchPredictorKind],
     opts: &SimOptions,
@@ -227,7 +235,7 @@ pub fn branch_predictors(
             )
         })
         .collect();
-    run_sweep(experiments, &values, opts)
+    run_sweep(runner, experiments, &values, opts)
 }
 
 /// Percent execution-time difference of each point against the point with
@@ -262,10 +270,14 @@ mod tests {
         SimOptions::new(max_ops)
     }
 
+    fn runner() -> Runner {
+        Runner::isolated(2)
+    }
+
     #[test]
     fn frequency_sweep_monotone_seconds() {
         let exps = vec![tiny_experiment()];
-        let pts = frequency(&exps, &[1.0, 4.0], &opts(20_000)).expect("sweep");
+        let pts = frequency(&runner(), &exps, &[1.0, 4.0], &opts(20_000)).expect("sweep");
         assert_eq!(pts.len(), 2);
         assert!(pts[0].stats.seconds() > pts[1].stats.seconds());
     }
@@ -273,7 +285,7 @@ mod tests {
     #[test]
     fn percent_diff_math() {
         let exps = vec![tiny_experiment()];
-        let pts = width(&exps, &[2, 6], &opts(20_000)).expect("sweep");
+        let pts = width(&runner(), &exps, &[2, 6], &opts(20_000)).expect("sweep");
         let diffs = percent_diff_vs(&pts, "6");
         assert_eq!(diffs.len(), 1);
         assert_eq!(diffs[0].1, "2");
@@ -282,7 +294,6 @@ mod tests {
 
     #[test]
     fn parallel_sweep_bit_identical_to_serial() {
-        use belenos_runner::Runner;
         let exps = vec![tiny_experiment()];
         let values: Vec<(String, CoreConfig)> = [1.0, 2.0, 4.0]
             .iter()
@@ -308,7 +319,6 @@ mod tests {
 
     #[test]
     fn sweeps_share_baseline_points_via_the_cache() {
-        use belenos_runner::Runner;
         let exps = vec![tiny_experiment()];
         let runner = Runner::isolated(2);
         // Fig. 8-style frequency sweep: contains the 3 GHz baseline...
@@ -335,7 +345,6 @@ mod tests {
 
     #[test]
     fn backend_selection_separates_sweep_points() {
-        use belenos_runner::Runner;
         let exps = vec![tiny_experiment()];
         let runner = Runner::isolated(2);
         let values: Vec<(String, CoreConfig)> = vec![("3GHz".into(), CoreConfig::gem5_baseline())];
@@ -354,6 +363,7 @@ mod tests {
     fn predictor_sweep_labels() {
         let exps = vec![tiny_experiment()];
         let pts = branch_predictors(
+            &runner(),
             &exps,
             &[BranchPredictorKind::Tournament, BranchPredictorKind::Local],
             &opts(10_000),
@@ -367,7 +377,7 @@ mod tests {
     fn sampled_sweep_options_flow_through() {
         let exps = vec![tiny_experiment()];
         let sampled = opts(20_000).with_sampling(SamplingConfig::smarts(8));
-        let pts = frequency(&exps, &[3.0], &sampled).expect("sweep");
+        let pts = frequency(&runner(), &exps, &[3.0], &sampled).expect("sweep");
         assert_eq!(pts.len(), 1);
         assert!(pts[0].stats.committed_ops > 0);
     }

@@ -69,16 +69,33 @@ impl Table {
         out
     }
 
-    /// Renders as comma-separated values.
+    /// Renders as comma-separated values (RFC 4180 quoting: fields
+    /// containing commas, quotes or newlines are quoted, embedded
+    /// quotes doubled).
     pub fn to_csv(&self) -> String {
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| csv_field(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         let mut out = String::new();
-        out.push_str(&self.header.join(","));
+        out.push_str(&line(&self.header));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.join(","));
+            out.push_str(&line(row));
             out.push('\n');
         }
         out
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -113,6 +130,17 @@ mod tests {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["1".into(), "2".into()]);
         assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas_and_quotes() {
+        let mut t = Table::new(&["Parameter", "Value"]);
+        t.row(vec!["L2 cache".into(), "1 MB, 16-way".into()]);
+        t.row(vec!["note".into(), "says \"hi\"".into()]);
+        assert_eq!(
+            t.to_csv(),
+            "Parameter,Value\nL2 cache,\"1 MB, 16-way\"\nnote,\"says \"\"hi\"\"\"\n"
+        );
     }
 
     #[test]

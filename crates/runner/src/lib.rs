@@ -242,14 +242,67 @@ impl std::fmt::Display for RunSummary {
 /// Worker-pool size from `BELENOS_JOBS`, defaulting to the machine's
 /// available parallelism.
 pub fn jobs_from_env() -> usize {
-    match std::env::var("BELENOS_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+    RunnerConfig::from_env()
+        .threads
+        .unwrap_or_else(default_parallelism)
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Declarative runner configuration: how many workers, whether progress
+/// streams to stderr.
+///
+/// This is the runner half of the campaign API's single
+/// `EnvOverrides → SimOptions / RunnerConfig` environment layer:
+/// [`RunnerConfig::from_env`] is the only place `BELENOS_JOBS` is read,
+/// and explicit values (CLI flags, tests) override it through
+/// [`RunnerConfig::with_threads`].
+#[derive(Debug, Clone, Default)]
+pub struct RunnerConfig {
+    /// Worker-thread count; `None` = the machine's available parallelism.
+    pub threads: Option<usize>,
+    /// Stream per-job progress and the batch summary to stderr.
+    pub progress: bool,
+}
+
+impl RunnerConfig {
+    /// Configuration from the environment: `BELENOS_JOBS` workers (unset
+    /// or unparsable = available parallelism), progress on.
+    pub fn from_env() -> Self {
+        RunnerConfig {
+            threads: std::env::var("BELENOS_JOBS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1),
+            progress: true,
+        }
+    }
+
+    /// Overrides the worker count (a CLI `--jobs` flag beats the
+    /// environment).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "runner needs at least one worker");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Enables/disables progress streaming.
+    pub fn with_progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// Builds the engine against the process-wide shared cache.
+    pub fn build(&self) -> Runner {
+        Runner {
+            threads: self.threads.unwrap_or_else(default_parallelism),
+            cache: Cache::global(),
+            progress: self.progress,
+        }
     }
 }
 
@@ -265,11 +318,7 @@ impl Runner {
     /// Engine configured from the environment (`BELENOS_JOBS` workers,
     /// the process-wide shared cache, progress streaming on).
     pub fn from_env() -> Self {
-        Runner {
-            threads: jobs_from_env(),
-            cache: Cache::global(),
-            progress: true,
-        }
+        RunnerConfig::from_env().build()
     }
 
     /// Engine with an explicit worker count and cache (no progress noise).

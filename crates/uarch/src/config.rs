@@ -29,6 +29,28 @@ impl BranchPredictorKind {
             BranchPredictorKind::Perceptron => "MultiperspectivePerceptron64KB",
         }
     }
+
+    /// Every predictor, in the paper's Fig. 12 order.
+    pub const ALL: [BranchPredictorKind; 4] = [
+        BranchPredictorKind::Tournament,
+        BranchPredictorKind::Local,
+        BranchPredictorKind::Ltage,
+        BranchPredictorKind::Perceptron,
+    ];
+
+    /// Parses a predictor label (case-insensitive; accepts the paper's
+    /// figure labels plus short aliases).
+    pub fn parse(s: &str) -> Option<BranchPredictorKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "localbp" | "local" => Some(BranchPredictorKind::Local),
+            "tournamentbp" | "tournament" => Some(BranchPredictorKind::Tournament),
+            "ltage" => Some(BranchPredictorKind::Ltage),
+            "multiperspectiveperceptron64kb" | "perceptron" | "mpp64kb" => {
+                Some(BranchPredictorKind::Perceptron)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Trace-sampling strategy for op-budgeted simulations.

@@ -1,0 +1,188 @@
+//! JSON representations of the campaign-facing configuration types.
+//!
+//! The typed campaign API (`belenos::campaign`) serializes its specs
+//! through these impls, and the same types feed
+//! [`CoreConfig::stable_digest`](crate::CoreConfig::stable_digest) /
+//! [`SamplingConfig::stable_digest`](crate::SamplingConfig::stable_digest)
+//! cache keys — one source of truth for both worlds.
+//!
+//! Spellings are chosen for hand-written specs:
+//!
+//! * [`ModelKind`] — a backend label string (`"o3"`, `"inorder"`,
+//!   `"analytic"`; anything [`ModelKind::parse`] accepts).
+//! * [`SamplingConfig`] — `"off"`, an interval count (`128` ≡
+//!   SMARTS sampling with the standard 25% per-window warmup), or an
+//!   explicit `{"intervals": N, "warmup_frac": F}` object. A literal
+//!   `0` interval count is rejected as ambiguous: write `"off"`.
+//! * [`BranchPredictorKind`] — the paper's predictor label
+//!   (case-insensitive; `"LTAGE"`, `"TournamentBP"`, ...).
+
+use crate::config::{BranchPredictorKind, SamplingConfig};
+use crate::model::ModelKind;
+use belenos_json::{FromJson, Json, JsonError, ToJson};
+
+impl ToJson for ModelKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.label().to_string())
+    }
+}
+
+impl FromJson for ModelKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| JsonError::new("model: expected a backend name string"))?;
+        ModelKind::parse(s).ok_or_else(|| {
+            JsonError::new(format!(
+                "model: unknown backend `{s}` (expected o3, inorder or analytic)"
+            ))
+        })
+    }
+}
+
+impl ToJson for SamplingConfig {
+    fn to_json(&self) -> Json {
+        if self.is_off() {
+            Json::Str("off".to_string())
+        } else if *self == SamplingConfig::smarts(self.intervals) {
+            Json::Num(self.intervals as f64)
+        } else {
+            Json::obj(vec![
+                ("intervals", Json::Num(self.intervals as f64)),
+                ("warmup_frac", Json::Num(self.warmup_frac)),
+            ])
+        }
+    }
+}
+
+impl FromJson for SamplingConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) if s.eq_ignore_ascii_case("off") => Ok(SamplingConfig::off()),
+            Json::Str(s) => Err(JsonError::new(format!(
+                "sampling: expected \"off\", an interval count, or an object, got \"{s}\""
+            ))),
+            Json::Num(_) => {
+                let n = v.as_usize().ok_or_else(|| {
+                    JsonError::new("sampling: interval count must be a non-negative integer")
+                })?;
+                if n == 0 {
+                    return Err(JsonError::new(
+                        "sampling: a zero interval count is ambiguous; write \"off\"",
+                    ));
+                }
+                Ok(SamplingConfig::smarts(n))
+            }
+            Json::Obj(_) => {
+                v.reject_unknown_fields("sampling", &["intervals", "warmup_frac"])?;
+                let intervals = usize::from_json(v.expect_field("intervals")?)
+                    .map_err(|e| JsonError::new(format!("sampling.intervals: {e}")))?;
+                if intervals == 0 {
+                    return Err(JsonError::new(
+                        "sampling: a zero interval count is ambiguous; write \"off\"",
+                    ));
+                }
+                let warmup_frac = match v.get("warmup_frac") {
+                    Some(w) => f64::from_json(w)
+                        .map_err(|e| JsonError::new(format!("sampling.warmup_frac: {e}")))?,
+                    None => SamplingConfig::smarts(intervals).warmup_frac,
+                };
+                if !(0.0..1.0).contains(&warmup_frac) {
+                    return Err(JsonError::new("sampling.warmup_frac: must be in [0, 1)"));
+                }
+                Ok(SamplingConfig {
+                    intervals,
+                    warmup_frac,
+                })
+            }
+            _ => Err(JsonError::new(
+                "sampling: expected \"off\", an interval count, or an object",
+            )),
+        }
+    }
+}
+
+impl ToJson for BranchPredictorKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.label().to_string())
+    }
+}
+
+impl FromJson for BranchPredictorKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| JsonError::new("predictor: expected a predictor name string"))?;
+        BranchPredictorKind::parse(s).ok_or_else(|| {
+            JsonError::new(format!(
+                "predictor: unknown predictor `{s}` (expected LocalBP, TournamentBP, LTAGE or \
+                 MultiperspectivePerceptron64KB)"
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_kind_roundtrips() {
+        for kind in ModelKind::ALL {
+            assert_eq!(ModelKind::from_json(&kind.to_json()).unwrap(), kind);
+        }
+        assert!(ModelKind::from_json(&Json::Str("vliw".into())).is_err());
+        assert!(ModelKind::from_json(&Json::Num(3.0)).is_err());
+    }
+
+    #[test]
+    fn sampling_roundtrips() {
+        for s in [
+            SamplingConfig::off(),
+            SamplingConfig::smarts(8),
+            SamplingConfig::smarts(128),
+            SamplingConfig {
+                intervals: 16,
+                warmup_frac: 0.5,
+            },
+        ] {
+            assert_eq!(SamplingConfig::from_json(&s.to_json()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn sampling_rejects_zero_intervals() {
+        let e = SamplingConfig::from_json(&Json::Num(0.0)).unwrap_err();
+        assert!(e.to_string().contains("ambiguous"), "{e}");
+        let obj = Json::obj(vec![("intervals", Json::Num(0.0))]);
+        assert!(SamplingConfig::from_json(&obj).is_err());
+    }
+
+    #[test]
+    fn sampling_accepts_terse_forms() {
+        assert!(SamplingConfig::from_json(&Json::Str("OFF".into()))
+            .unwrap()
+            .is_off());
+        assert_eq!(
+            SamplingConfig::from_json(&Json::Num(64.0)).unwrap(),
+            SamplingConfig::smarts(64)
+        );
+    }
+
+    #[test]
+    fn predictor_roundtrips_and_parses_case_insensitively() {
+        for p in [
+            BranchPredictorKind::Local,
+            BranchPredictorKind::Tournament,
+            BranchPredictorKind::Ltage,
+            BranchPredictorKind::Perceptron,
+        ] {
+            assert_eq!(BranchPredictorKind::from_json(&p.to_json()).unwrap(), p);
+        }
+        assert_eq!(
+            BranchPredictorKind::from_json(&Json::Str("ltage".into())).unwrap(),
+            BranchPredictorKind::Ltage
+        );
+        assert!(BranchPredictorKind::from_json(&Json::Str("gshare".into())).is_err());
+    }
+}

@@ -47,6 +47,7 @@ pub mod config;
 pub mod digest;
 pub mod dram;
 pub mod inorder;
+pub mod json;
 pub mod model;
 pub mod o3;
 pub mod stats;

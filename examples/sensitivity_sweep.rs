@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!(
-        "\n(for the full paper sweeps run: cargo run -p belenos-bench --release --bin all_figures)"
+        "\n(for the full paper sweeps run: cargo run -p belenos-bench --release --bin belenos -- figure all)"
     );
     Ok(())
 }

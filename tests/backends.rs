@@ -10,7 +10,7 @@
 //! digest drift here is a correctness regression, not noise.
 //!
 //! Recapture (after an *intentional* model change) with:
-//! `cargo run -p belenos-bench --release --bin o3_digests`.
+//! `cargo run -p belenos-bench --release --bin belenos -- digests`.
 
 use belenos::experiment::Experiment;
 use belenos_runner::cache::encode_stats;

@@ -1,9 +1,11 @@
 //! Smoke tests over the figure-regeneration layer: every table/figure
-//! function must produce plausible, well-formed output on small budgets.
+//! function must produce plausible, well-formed reports on small
+//! budgets, in all three renderings.
 
 use belenos::experiment::Experiment;
 use belenos::options::SimOptions;
 use belenos::{figures, sweep};
+use belenos_runner::Runner;
 use belenos_uarch::ModelKind;
 use belenos_workloads::by_id;
 
@@ -11,6 +13,10 @@ const OPS: usize = 60_000;
 
 fn opts() -> SimOptions {
     SimOptions::new(OPS)
+}
+
+fn runner() -> Runner {
+    Runner::isolated(2)
 }
 
 fn exps(ids: &[&str]) -> Vec<Experiment> {
@@ -21,12 +27,12 @@ fn exps(ids: &[&str]) -> Vec<Experiment> {
 
 #[test]
 fn tables_contain_paper_values() {
-    let t1 = figures::table1();
+    let t1 = figures::table1().to_text();
     // Table I fixed points from the paper.
     for needle in ["Arterial Tissue", "Case Study", "98600.0", "Tumor"] {
         assert!(t1.contains(needle), "table1 missing {needle}");
     }
-    let t2 = figures::table2();
+    let t2 = figures::table2().to_text();
     for needle in [
         "4 / 6 / 6 / 4",
         "224",
@@ -42,39 +48,49 @@ fn tables_contain_paper_values() {
 #[test]
 fn figure_2_and_3_render_for_a_subset() {
     let e = exps(&["pd", "mu"]);
-    let f2 = figures::fig02_topdown(&e, &opts()).expect("fig2");
+    let r = runner();
+    let f2 = figures::fig02_topdown(&r, &e, &opts())
+        .expect("fig2")
+        .to_text();
     assert!(f2.contains("pd") && f2.contains("Retiring%"));
-    let f3 = figures::fig03_stalls(&e, &opts()).expect("fig3");
+    let f3 = figures::fig03_stalls(&r, &e, &opts())
+        .expect("fig3")
+        .to_text();
     assert!(f3.contains("BE Memory%"));
 }
 
 #[test]
 fn figure_4_dots_have_legend_classes() {
     let e = exps(&["pd"]);
-    let f4 = figures::fig04_hotspots(&e, &opts()).expect("fig4");
-    assert!(f4.contains("R >75%"));
-    assert!(f4.contains("pd"));
+    let f4 = figures::fig04_hotspots(&runner(), &e, &opts()).expect("fig4");
+    let text = f4.to_text();
+    assert!(text.contains("R >75%"));
+    assert!(text.contains("pd"));
+    // The glyph cells still carry the raw fraction for data consumers.
+    let row = &f4.sections[0].rows[0];
+    assert!(row[1].value.is_some(), "glyph cell must keep its fraction");
 }
 
 #[test]
 fn figures_5_and_6_use_solve_summaries() {
     let e = exps(&["pd", "mu"]);
-    let f5 = figures::fig05_scaling(&e);
+    let f5 = figures::fig05_scaling(&e).to_text();
     assert!(f5.contains("Size (kB)"));
     // fig6 groups only bp/fl/ma ids; with none present it still renders.
-    let f6 = figures::fig06_exec_time(&e);
+    let f6 = figures::fig06_exec_time(&e).to_text();
     assert!(f6.contains("Fig. 6"));
 }
 
 #[test]
 fn sweeps_cover_requested_grid() {
     let e = exps(&["pd"]);
-    let pts = sweep::frequency(&e, &[1.0, 3.0], &opts()).expect("sweep");
+    let r = runner();
+    let pts = sweep::frequency(&r, &e, &[1.0, 3.0], &opts()).expect("sweep");
     assert_eq!(pts.len(), 2);
-    let pts = sweep::l1_size(&e, &[8, 32], &opts()).expect("sweep");
+    let pts = sweep::l1_size(&r, &e, &[8, 32], &opts()).expect("sweep");
     assert_eq!(pts.len(), 2);
     assert!(pts[0].stats.l1d_mpki() >= pts[1].stats.l1d_mpki());
-    let pts = sweep::lsq(&e, &[(32, 24), (72, 56)], &opts()).expect("sweep");
+    let pts = sweep::lsq(&r, &e, &[(32, 24), (72, 56)], &opts()).expect("sweep");
     let diffs = sweep::percent_diff_vs(&pts, "72_56");
     assert_eq!(diffs.len(), 1);
 }
@@ -82,13 +98,26 @@ fn sweeps_cover_requested_grid() {
 #[test]
 fn figure_10_to_12_render() {
     let e = exps(&["pd"]);
+    let r = runner();
     for (name, out) in [
-        ("fig10", figures::fig10_width(&e, &opts()).expect("fig10")),
-        ("fig11", figures::fig11_lsq(&e, &opts()).expect("fig11")),
-        ("fig12", figures::fig12_branch(&e, &opts()).expect("fig12")),
+        (
+            "fig10",
+            figures::fig10_width(&r, &e, &opts()).expect("fig10"),
+        ),
+        ("fig11", figures::fig11_lsq(&r, &e, &opts()).expect("fig11")),
+        (
+            "fig12",
+            figures::fig12_branch(&r, &e, &opts()).expect("fig12"),
+        ),
     ] {
-        assert!(out.contains("pd"), "{name} missing workload row");
-        assert!(out.lines().count() > 4, "{name} too short");
+        let text = out.to_text();
+        assert!(text.contains("pd"), "{name} missing workload row");
+        assert!(text.lines().count() > 4, "{name} too short");
+        // Every figure also serializes as data.
+        assert!(
+            belenos_json::Json::parse(&out.to_json()).is_ok(),
+            "{name} JSON must parse"
+        );
     }
 }
 
@@ -97,9 +126,10 @@ fn sweeps_run_under_the_cheap_backends() {
     // The same sweep grid re-pointed at the in-order and analytic
     // backends must produce full, plausible result sets.
     let e = exps(&["pd"]);
+    let r = runner();
     for kind in [ModelKind::InOrder, ModelKind::Analytic] {
         let o = opts().with_model(kind);
-        let pts = sweep::frequency(&e, &[1.0, 4.0], &o).expect("sweep");
+        let pts = sweep::frequency(&r, &e, &[1.0, 4.0], &o).expect("sweep");
         assert_eq!(pts.len(), 2, "{kind} sweep covers the grid");
         assert!(
             pts.iter().all(|p| p.stats.committed_ops > 0),
