@@ -16,26 +16,12 @@
 use super::Invocation;
 use crate::{emit_bench_json, prepare_or_die, BenchRecord};
 use belenos::campaign::PaperSet;
+use belenos::figures::{bottleneck_rank, TMA_CATEGORIES};
 use belenos_profiler::report::{fmt, Table};
 use belenos_runner::run_caught;
 use belenos_uarch::{CoreConfig, ModelKind, SimStats};
-use belenos_workloads::WorkloadSpec;
+use belenos_workloads::ScenarioSpec;
 use std::time::Instant;
-
-const CATEGORIES: [&str; 4] = ["frontend", "bad_spec", "core", "memory"];
-
-/// Stall categories ranked by slot count, heaviest first.
-fn bottleneck_rank(stats: &SimStats) -> [usize; 4] {
-    let slots = [
-        stats.slots_frontend,
-        stats.slots_bad_speculation,
-        stats.slots_be_core,
-        stats.slots_be_memory,
-    ];
-    let mut order = [0usize, 1, 2, 3];
-    order.sort_by_key(|&i| std::cmp::Reverse(slots[i]));
-    order
-}
 
 /// Fraction of the 6 pairwise category orderings two rankings share.
 fn pairwise_agreement(a: &[usize; 4], b: &[usize; 4]) -> f64 {
@@ -60,7 +46,7 @@ struct Run {
     wall_s: f64,
 }
 
-fn selected_specs(inv: &Invocation) -> Vec<WorkloadSpec> {
+fn selected_specs(inv: &Invocation) -> Vec<ScenarioSpec> {
     if let Some(set) = &inv.workloads {
         return set.resolve(PaperSet::Catalog);
     }
@@ -128,7 +114,7 @@ pub fn run(inv: &Invocation) -> Result<(), String> {
         let tops: Vec<String> = row
             .iter()
             .map(|r| match r {
-                Some(r) => CATEGORIES[bottleneck_rank(&r.stats)[0]].to_string(),
+                Some(r) => TMA_CATEGORIES[bottleneck_rank(&r.stats)[0]].to_string(),
                 None => "FAILED".to_string(),
             })
             .collect();

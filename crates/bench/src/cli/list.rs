@@ -6,24 +6,17 @@ use belenos_uarch::ModelKind;
 
 /// `belenos list`.
 pub fn run(_inv: &Invocation) -> Result<(), String> {
-    let vtune: Vec<&str> = belenos_workloads::vtune_set()
+    let vtune: Vec<String> = belenos_workloads::vtune_set()
         .iter()
-        .map(|s| s.id)
+        .map(|s| s.id.clone())
         .collect();
-    let gem5: Vec<&str> = belenos_workloads::gem5_set().iter().map(|s| s.id).collect();
+    let gem5: Vec<String> = belenos_workloads::gem5_set()
+        .iter()
+        .map(|s| s.id.clone())
+        .collect();
 
-    println!("WORKLOADS");
-    let mut seen: Vec<&str> = Vec::new();
-    let all: Vec<belenos_workloads::WorkloadSpec> = belenos_workloads::catalog()
-        .into_iter()
-        .chain(belenos_workloads::vtune_set())
-        .chain(belenos_workloads::gem5_set())
-        .collect();
-    for spec in &all {
-        if seen.contains(&spec.id) {
-            continue;
-        }
-        seen.push(spec.id);
+    println!("WORKLOAD PRESETS (scenarios; see `belenos scenario list` for parameters)");
+    for spec in &belenos_workloads::distinct_presets() {
         let mut sets = Vec::new();
         if belenos_workloads::catalog().iter().any(|s| s.id == spec.id) {
             sets.push("catalog");
@@ -37,7 +30,7 @@ pub fn run(_inv: &Invocation) -> Result<(), String> {
         println!(
             "  {:<4} {:<16} [{}]",
             spec.id,
-            spec.category.name(),
+            spec.category().name(),
             sets.join(",")
         );
     }

@@ -7,6 +7,7 @@
 //! belenos list                         what exists: workloads, analyses, backends
 //! belenos table <1|2>                  Table I / Table II
 //! belenos figure <id|all>              one paper figure, or the whole set
+//! belenos scenario list|show|validate|run   first-class parametric workloads
 //! belenos campaign run <spec.json>     run a declarative campaign spec
 //! belenos campaign example             print a template spec
 //! belenos campaign validate <spec>     check a spec without running it
@@ -30,6 +31,7 @@ mod digests;
 mod figures_cmd;
 mod list;
 mod sampling;
+mod scenario_cmd;
 
 use belenos::campaign::WorkloadSet;
 use belenos::env::{parse_sampling, EnvOverrides};
@@ -185,10 +187,15 @@ USAGE: belenos <subcommand> [flags]
 SUBCOMMANDS
   list                        workloads, analyses, backends, workload sets
   table <1|2>                 print Table I / Table II
-  figure <id|all>             one paper figure (topdown, stalls, hotspots,
+  figure <id|all>             one analysis (topdown, stalls, hotspots,
                               scaling, exec_time, pipeline, frequency, cache,
-                              width, lsq, branch, memory, rob_iq; figNN
-                              aliases work), or the full paper set
+                              width, lsq, branch, memory, rob_iq,
+                              mesh_scaling; figNN aliases work), or the
+                              full paper set
+  scenario list               catalog presets and scenario families
+  scenario show <id|file>     print a scenario's explicit JSON normal form
+  scenario validate <file>    check a scenario document without running it
+  scenario run <id|file>      run scenarios end-to-end (presets or JSON)
   campaign run <spec.json>    execute a declarative campaign spec
   campaign example            print a template campaign spec
   campaign validate <spec>    parse + validate a spec without running it
@@ -234,6 +241,7 @@ pub fn main(args: Vec<String>) -> i32 {
         "list" => list::run(&inv),
         "table" => figures_cmd::run_table(&inv),
         "figure" => figures_cmd::run_figure(&inv),
+        "scenario" => scenario_cmd::run(&inv),
         "campaign" => campaign_cmd::run(&inv),
         "agreement" => agreement::run(&inv),
         "digests" => digests::run(&inv),

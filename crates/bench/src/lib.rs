@@ -19,14 +19,14 @@
 //! across PRs.
 
 use belenos::experiment::{prepare_all, Experiment};
-use belenos_workloads::WorkloadSpec;
+use belenos_workloads::ScenarioSpec;
 
 pub mod cli;
 pub mod timing;
 
-/// Prepares workloads, printing progress, and panics with a clear message
-/// naming the failing workload (the harness cannot proceed without it).
-pub fn prepare_or_die(specs: &[WorkloadSpec]) -> Vec<Experiment> {
+/// Prepares scenarios, printing progress, and panics with a clear message
+/// naming the failing scenario (the harness cannot proceed without it).
+pub fn prepare_or_die(specs: &[ScenarioSpec]) -> Vec<Experiment> {
     eprintln!("solving {} workload model(s)...", specs.len());
     prepare_all(specs).unwrap_or_else(|e| panic!("workload preparation failed: {e}"))
 }

@@ -34,11 +34,22 @@ use crate::options::{SimFailure, SimOptions};
 use crate::report::Report;
 use belenos_json::{FromJson, Json, JsonError, ToJson};
 use belenos_runner::Runner;
-use belenos_workloads::WorkloadSpec;
+use belenos_workloads::{ScenarioError, ScenarioSpec};
 use std::collections::HashMap;
 
+/// Mesh resolutions [`Analysis::MeshScaling`] sweeps when the campaign's
+/// workload set does not carry its own resolution axis.
+pub const DEFAULT_MESH_RESOLUTIONS: [usize; 3] = [3, 4, 5];
+
 /// Which workloads a campaign covers.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Beyond the named paper sets and preset-id lists, a set can carry
+/// **inline scenarios** (full [`ScenarioSpec`] JSON objects, mixed
+/// freely with preset ids) and a **mesh-resolution axis**
+/// ([`WorkloadSet::MeshSweep`]): base scenarios expanded at each listed
+/// resolution via [`ScenarioSpec::with_resolution`] — the parametric
+/// workload space the static catalog could never express.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum WorkloadSet {
     /// Per-analysis paper sets: each analysis uses the workload set the
     /// paper evaluated it on (VTune set for the profile figures, gem5
@@ -52,8 +63,19 @@ pub enum WorkloadSet {
     Gem5,
     /// The full Table I catalog.
     Catalog,
-    /// An explicit list of workload ids.
+    /// An explicit list of preset ids.
     Ids(Vec<String>),
+    /// Explicit scenarios: presets resolved from ids and/or inline
+    /// scenario documents (`[{"id": ..., "family": ...}, "pd"]`).
+    Scenarios(Vec<ScenarioSpec>),
+    /// A parametric mesh-resolution axis: every base scenario expanded
+    /// at every resolution (`{"base": [...], "resolutions": [3, 4, 6]}`).
+    MeshSweep {
+        /// The base scenarios the axis refines.
+        base: Vec<ScenarioSpec>,
+        /// Mesh resolutions (`r` → an `r`×`r`×`r` variant per base).
+        resolutions: Vec<usize>,
+    },
 }
 
 impl WorkloadSet {
@@ -65,6 +87,23 @@ impl WorkloadSet {
             WorkloadSet::Gem5 => "gem5".into(),
             WorkloadSet::Catalog => "catalog".into(),
             WorkloadSet::Ids(ids) => ids.join(","),
+            WorkloadSet::Scenarios(specs) => specs
+                .iter()
+                .map(|s| s.id.as_str())
+                .collect::<Vec<_>>()
+                .join(","),
+            WorkloadSet::MeshSweep { base, resolutions } => format!(
+                "{}@r{}",
+                base.iter()
+                    .map(|s| s.id.as_str())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                resolutions
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join("/")
+            ),
         }
     }
 
@@ -79,11 +118,11 @@ impl WorkloadSet {
         }
     }
 
-    /// The workload specs this set resolves to, with `fallback` naming
-    /// the paper set [`WorkloadSet::Paper`] means in this context. The
+    /// The scenarios this set resolves to, with `fallback` naming the
+    /// paper set [`WorkloadSet::Paper`] means in this context. The
     /// single source of truth for named-set membership — the CLI
     /// harnesses resolve through here too.
-    pub fn resolve(&self, fallback: PaperSet) -> Vec<WorkloadSpec> {
+    pub fn resolve(&self, fallback: PaperSet) -> Vec<ScenarioSpec> {
         let named = match self {
             WorkloadSet::Paper => fallback,
             WorkloadSet::Vtune => PaperSet::Vtune,
@@ -95,6 +134,13 @@ impl WorkloadSet {
                     .filter_map(|id| belenos_workloads::by_id(id))
                     .collect()
             }
+            WorkloadSet::Scenarios(specs) => return specs.clone(),
+            WorkloadSet::MeshSweep { base, resolutions } => {
+                return base
+                    .iter()
+                    .flat_map(|s| resolutions.iter().map(|&r| s.with_resolution(r)))
+                    .collect()
+            }
         };
         match named {
             PaperSet::Vtune => belenos_workloads::vtune_set(),
@@ -103,9 +149,139 @@ impl WorkloadSet {
         }
     }
 
-    /// The workload specs this set resolves to for `analysis`.
-    pub fn specs_for(&self, analysis: Analysis) -> Vec<WorkloadSpec> {
-        self.resolve(analysis.paper_set())
+    /// The scenarios this set resolves to for `analysis`. A
+    /// [`Analysis::MeshScaling`] request on a set without its own
+    /// resolution axis gets the [`DEFAULT_MESH_RESOLUTIONS`] applied to
+    /// every resolved scenario.
+    pub fn specs_for(&self, analysis: Analysis) -> Vec<ScenarioSpec> {
+        let specs = self.resolve(analysis.paper_set());
+        if analysis == Analysis::MeshScaling && !matches!(self, WorkloadSet::MeshSweep { .. }) {
+            return specs
+                .iter()
+                .flat_map(|s| {
+                    DEFAULT_MESH_RESOLUTIONS
+                        .iter()
+                        .map(|&r| s.with_resolution(r))
+                })
+                .collect();
+        }
+        specs
+    }
+
+    /// Checks the set's own consistency (inline scenarios validate,
+    /// ids are unique within an explicit set, sweep axes are sane).
+    fn validate(&self) -> Result<(), SpecError> {
+        let check_specs = |specs: &[ScenarioSpec]| -> Result<(), SpecError> {
+            if specs.is_empty() {
+                return Err(SpecError::NoWorkloads);
+            }
+            let mut seen = std::collections::HashSet::new();
+            for spec in specs {
+                spec.validate().map_err(SpecError::Scenario)?;
+                if !seen.insert(spec.id.as_str()) {
+                    return Err(SpecError::DuplicateScenario(spec.id.clone()));
+                }
+            }
+            Ok(())
+        };
+        match self {
+            WorkloadSet::Ids(ids) => {
+                if ids.is_empty() {
+                    return Err(SpecError::NoWorkloads);
+                }
+                let mut seen = std::collections::HashSet::new();
+                for id in ids {
+                    if belenos_workloads::by_id(id).is_none() {
+                        return Err(SpecError::UnknownWorkload(id.clone()));
+                    }
+                    if !seen.insert(id.as_str()) {
+                        return Err(SpecError::DuplicateScenario(id.clone()));
+                    }
+                }
+                Ok(())
+            }
+            WorkloadSet::Scenarios(specs) => check_specs(specs),
+            WorkloadSet::MeshSweep { base, resolutions } => {
+                check_specs(base)?;
+                if resolutions.is_empty() {
+                    return Err(SpecError::MeshSweep(
+                        "`resolutions` must list at least one resolution".into(),
+                    ));
+                }
+                let mut seen = std::collections::HashSet::new();
+                for &r in resolutions {
+                    if !(1..=64).contains(&r) {
+                        return Err(SpecError::MeshSweep(format!(
+                            "resolution {r} out of range (1..=64)"
+                        )));
+                    }
+                    if !seen.insert(r) {
+                        return Err(SpecError::MeshSweep(format!("duplicate resolution {r}")));
+                    }
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Parses a workloads array: all-strings stays an id list; any inline
+/// object resolves everything (ids included) into full scenarios.
+fn scenario_array_from_json(items: &[Json]) -> Result<WorkloadSet, JsonError> {
+    if items.iter().all(|j| j.as_str().is_some()) {
+        let ids = items
+            .iter()
+            .map(|j| j.as_str().expect("all strings").to_string())
+            .collect();
+        return Ok(WorkloadSet::Ids(ids));
+    }
+    let mut specs = Vec::with_capacity(items.len());
+    for item in items {
+        match item.as_str() {
+            Some(id) => {
+                specs.push(belenos_workloads::by_id(id).ok_or_else(|| {
+                    JsonError::new(format!("workloads: unknown preset id `{id}`"))
+                })?)
+            }
+            None => specs.push(
+                ScenarioSpec::from_json(item)
+                    .map_err(|e| JsonError::new(format!("workloads: {e}")))?,
+            ),
+        }
+    }
+    Ok(WorkloadSet::Scenarios(specs))
+}
+
+/// Parses a mesh-sweep `base`: a non-`paper` named set or a scenario
+/// array (`paper` is per-analysis and would make the axis ambiguous).
+fn sweep_base_from_json(v: &Json) -> Result<Vec<ScenarioSpec>, JsonError> {
+    match v {
+        Json::Str(s) => match WorkloadSet::parse_named(s) {
+            Some(WorkloadSet::Paper) => Err(JsonError::new(
+                "workloads.base: `paper` is per-analysis; name vtune, gem5 or catalog",
+            )),
+            Some(named) => Ok(named.resolve(PaperSet::Catalog)),
+            None => Err(JsonError::new(format!(
+                "workloads.base: unknown set `{s}` (expected vtune, gem5, catalog or a list)"
+            ))),
+        },
+        Json::Arr(items) => Ok(match scenario_array_from_json(items)? {
+            WorkloadSet::Ids(ids) => {
+                let mut specs = Vec::with_capacity(ids.len());
+                for id in &ids {
+                    specs.push(belenos_workloads::by_id(id).ok_or_else(|| {
+                        JsonError::new(format!("workloads.base: unknown preset id `{id}`"))
+                    })?);
+                }
+                specs
+            }
+            WorkloadSet::Scenarios(specs) => specs,
+            _ => unreachable!("scenario_array_from_json returns Ids or Scenarios"),
+        }),
+        _ => Err(JsonError::new(
+            "workloads.base: expected a set name or a list of scenarios",
+        )),
     }
 }
 
@@ -113,6 +289,14 @@ impl ToJson for WorkloadSet {
     fn to_json(&self) -> Json {
         match self {
             WorkloadSet::Ids(ids) => ids.to_json(),
+            WorkloadSet::Scenarios(specs) => Json::Arr(specs.iter().map(ToJson::to_json).collect()),
+            WorkloadSet::MeshSweep { base, resolutions } => Json::obj(vec![
+                (
+                    "base",
+                    Json::Arr(base.iter().map(ToJson::to_json).collect()),
+                ),
+                ("resolutions", resolutions.to_json()),
+            ]),
             named => Json::Str(named.label()),
         }
     }
@@ -124,15 +308,20 @@ impl FromJson for WorkloadSet {
             Json::Str(s) => WorkloadSet::parse_named(s).ok_or_else(|| {
                 JsonError::new(format!(
                     "workloads: unknown set `{s}` (expected paper, vtune, gem5, catalog, \
-                     or a list of ids)"
+                     or a list of ids/scenarios)"
                 ))
             }),
-            Json::Arr(_) => Ok(WorkloadSet::Ids(
-                Vec::<String>::from_json(v)
-                    .map_err(|e| JsonError::new(format!("workloads: {e}")))?,
-            )),
+            Json::Arr(items) => scenario_array_from_json(items),
+            Json::Obj(_) => {
+                v.reject_unknown_fields("workloads", &["base", "resolutions"])?;
+                let base = sweep_base_from_json(v.expect_field("base")?)?;
+                let resolutions = Vec::<usize>::from_json(v.expect_field("resolutions")?)
+                    .map_err(|e| JsonError::new(format!("workloads.resolutions: {e}")))?;
+                Ok(WorkloadSet::MeshSweep { base, resolutions })
+            }
             _ => Err(JsonError::new(
-                "workloads: expected a set name or a list of ids",
+                "workloads: expected a set name, a list of ids/scenarios, \
+                 or a {base, resolutions} sweep",
             )),
         }
     }
@@ -183,12 +372,15 @@ pub enum Analysis {
     Memory,
     /// ROB/IQ instruction-window ablation (§IV-C4).
     RobIq,
+    /// Mesh-resolution scaling: IPC and bottleneck class per family as
+    /// the mesh refines (needs the parametric scenario space).
+    MeshScaling,
 }
 
 impl Analysis {
     /// Every analysis, in `belenos figure all` / `all_figures` print
     /// order (tables first, then figures by number, then supplements).
-    pub const ALL: [Analysis; 15] = [
+    pub const ALL: [Analysis; 16] = [
         Analysis::Table1,
         Analysis::Table2,
         Analysis::Topdown,
@@ -204,6 +396,7 @@ impl Analysis {
         Analysis::Branch,
         Analysis::Memory,
         Analysis::RobIq,
+        Analysis::MeshScaling,
     ];
 
     /// Stable spec/CLI identifier.
@@ -224,6 +417,7 @@ impl Analysis {
             Analysis::Branch => "branch",
             Analysis::Memory => "memory",
             Analysis::RobIq => "rob_iq",
+            Analysis::MeshScaling => "mesh_scaling",
         }
     }
 
@@ -245,6 +439,7 @@ impl Analysis {
             Analysis::Branch => "Fig. 12: branch-predictor sensitivity",
             Analysis::Memory => "memory profiles (MPKIs, DRAM bandwidth)",
             Analysis::RobIq => "ROB/IQ instruction-window ablation",
+            Analysis::MeshScaling => "IPC and bottleneck class vs mesh resolution per family",
         }
     }
 
@@ -266,6 +461,7 @@ impl Analysis {
             "branch" | "fig12" => Some(Analysis::Branch),
             "memory" | "memory_profiles" => Some(Analysis::Memory),
             "rob_iq" | "rob-iq" | "robiq" => Some(Analysis::RobIq),
+            "mesh_scaling" | "mesh-scaling" | "meshscaling" => Some(Analysis::MeshScaling),
             _ => None,
         }
     }
@@ -279,6 +475,9 @@ impl Analysis {
             }
             Analysis::Hotspots | Analysis::Scaling => PaperSet::Catalog,
             Analysis::Table1 | Analysis::Table2 => PaperSet::Catalog,
+            // The scaling axis over the gem5 sensitivity set by default;
+            // a MeshSweep workload set overrides the axis entirely.
+            Analysis::MeshScaling => PaperSet::Gem5,
             _ => PaperSet::Gem5,
         }
     }
@@ -317,6 +516,13 @@ pub enum SpecError {
     NoAnalyses,
     /// The spec's workload list is empty.
     NoWorkloads,
+    /// An inline scenario failed its own validation.
+    Scenario(ScenarioError),
+    /// Two scenarios in one explicit set share an id (their report rows
+    /// would be indistinguishable).
+    DuplicateScenario(String),
+    /// The mesh-resolution axis is malformed.
+    MeshSweep(String),
 }
 
 impl std::fmt::Display for SpecError {
@@ -337,6 +543,13 @@ impl std::fmt::Display for SpecError {
                     f,
                     "invalid campaign spec: `workloads` must name at least one workload"
                 )
+            }
+            SpecError::Scenario(e) => write!(f, "invalid campaign spec: {e}"),
+            SpecError::DuplicateScenario(id) => {
+                write!(f, "invalid campaign spec: duplicate scenario id `{id}`")
+            }
+            SpecError::MeshSweep(msg) => {
+                write!(f, "invalid campaign spec: mesh sweep: {msg}")
             }
         }
     }
@@ -452,7 +665,8 @@ impl CampaignSpec {
     }
 
     /// Checks the spec's internal consistency: at least one analysis,
-    /// and every explicit workload id must exist.
+    /// every explicit workload id must exist, inline scenarios must
+    /// validate, and a mesh-sweep axis must be sane.
     ///
     /// # Errors
     ///
@@ -461,17 +675,7 @@ impl CampaignSpec {
         if self.analyses.is_empty() {
             return Err(SpecError::NoAnalyses);
         }
-        if let WorkloadSet::Ids(ids) = &self.workloads {
-            if ids.is_empty() {
-                return Err(SpecError::NoWorkloads);
-            }
-            for id in ids {
-                if belenos_workloads::by_id(id).is_none() {
-                    return Err(SpecError::UnknownWorkload(id.clone()));
-                }
-            }
-        }
-        Ok(())
+        self.workloads.validate()
     }
 
     /// Parses and validates a JSON campaign spec.
@@ -702,8 +906,15 @@ impl Campaign {
     }
 }
 
-fn set_key(specs: &[WorkloadSpec]) -> String {
-    specs.iter().map(|s| s.id).collect::<Vec<_>>().join(",")
+/// Keys a resolved workload set by id *and* content digest, so two
+/// analyses resolving same-id scenarios with different parameters can
+/// never share prepared experiments by accident.
+fn set_key(specs: &[ScenarioSpec]) -> String {
+    specs
+        .iter()
+        .map(|s| format!("{}:{:016x}", s.id, s.stable_digest()))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn run_analysis(
@@ -728,6 +939,7 @@ fn run_analysis(
         Analysis::Branch => figures::fig12_branch(runner, exps, opts),
         Analysis::Memory => figures::memory_profiles(runner, exps, opts),
         Analysis::RobIq => figures::ablation_rob_iq(runner, exps, opts),
+        Analysis::MeshScaling => figures::mesh_scaling(runner, exps, opts),
     }
 }
 

@@ -5,7 +5,7 @@ use belenos_fem::FemError;
 use belenos_trace::expand::{ExpandConfig, Expander};
 use belenos_trace::{KernelCall, MicroOp, PhaseLog};
 use belenos_uarch::{build_model, CoreConfig, Fnv64, SamplingConfig, SimStats};
-use belenos_workloads::WorkloadSpec;
+use belenos_workloads::{ScenarioError, ScenarioSpec};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -28,10 +28,16 @@ pub struct SolveSummary {
 /// phase log can be replayed under any machine configuration.
 #[derive(Debug)]
 pub struct Experiment {
-    /// Workload identifier.
+    /// Owned, validated scenario identifier (report rows, cache keys,
+    /// runner job labels).
     pub id: String,
     /// Numeric-solve summary.
     pub solve: SolveSummary,
+    /// The scenario this experiment was prepared from (family, mesh,
+    /// physics parameters) — reports like the mesh-scaling analysis
+    /// group and label rows by it.
+    scenario: ScenarioSpec,
+    scenario_digest: u64,
     log: PhaseLog,
     expand: ExpandConfig,
     fingerprint: u64,
@@ -83,19 +89,29 @@ fn trace_cache_budget_ops() -> u64 {
 static TRACE_CACHE_USED_OPS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl Experiment {
-    /// Solves the workload model and captures its phase log.
+    /// Validates the scenario, builds and solves its model, and captures
+    /// the phase log.
     ///
     /// # Errors
     ///
-    /// Propagates model-construction and solver failures from the FE
-    /// substrate.
-    pub fn prepare(spec: &WorkloadSpec) -> Result<Self, FemError> {
-        let mut model = (spec.build)();
+    /// A [`PrepareError`] naming the scenario: either its parameters are
+    /// structurally invalid, or the FE solve failed.
+    pub fn prepare(spec: &ScenarioSpec) -> Result<Self, PrepareError> {
+        let fail = |source| PrepareError {
+            workload: spec.id.clone(),
+            source,
+        };
+        let mut model = spec
+            .build_model()
+            .map_err(|e| fail(PrepareFailure::Scenario(e)))?;
         let size_kb = model.input_size_kb();
-        let report = model.solve()?;
-        let fingerprint = trace_fingerprint(&report.log, &spec.expand);
+        let report = model.solve().map_err(|e| fail(PrepareFailure::Fem(e)))?;
+        let expand = spec.expand_config();
+        let fingerprint = trace_fingerprint(&report.log, &expand);
         Ok(Experiment {
-            id: spec.id.to_string(),
+            id: spec.id.clone(),
+            scenario: spec.clone(),
+            scenario_digest: spec.stable_digest(),
             solve: SolveSummary {
                 wall_time: report.wall_time,
                 n_dofs: report.n_dofs,
@@ -104,12 +120,24 @@ impl Experiment {
                 converged: report.converged,
             },
             log: report.log,
-            expand: spec.expand.clone(),
+            expand,
             fingerprint,
             total_ops: OnceLock::new(),
             trace_at_least: std::sync::atomic::AtomicU64::new(0),
             trace_cache: Mutex::new(TraceCache::default()),
         })
+    }
+
+    /// The scenario this experiment was prepared from.
+    pub fn scenario(&self) -> &ScenarioSpec {
+        &self.scenario
+    }
+
+    /// Content fingerprint of the trace the (log, expansion-config) pair
+    /// replays — the pre-scenario-era cache identity, still pinned by
+    /// the golden tests to prove presets build bit-identical models.
+    pub fn trace_fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The recorded phase log.
@@ -357,8 +385,15 @@ impl belenos_runner::Simulate for Experiment {
         &self.id
     }
 
+    /// Trace fingerprint folded with the scenario's content digest: two
+    /// parametric variants sharing an id — even ones whose *traces*
+    /// coincide structurally (e.g. the `bp07`–`bp09` permeability axis)
+    /// — can never alias a cached result.
     fn fingerprint(&self) -> u64 {
-        self.fingerprint
+        let mut h = Fnv64::new();
+        h.write_u64(self.fingerprint)
+            .write_u64(self.scenario_digest);
+        h.finish()
     }
 
     fn simulate(&self, config: &CoreConfig, max_ops: usize, sampling: &SamplingConfig) -> SimStats {
@@ -590,13 +625,33 @@ fn trace_fingerprint(log: &PhaseLog, expand: &ExpandConfig) -> u64 {
     h.finish()
 }
 
-/// A workload-preparation failure, carrying *which* workload failed.
+/// What stopped a scenario from preparing.
+#[derive(Debug, Clone)]
+pub enum PrepareFailure {
+    /// The scenario's parameters failed validation (never built a model).
+    Scenario(ScenarioError),
+    /// The FE model failed to solve.
+    Fem(FemError),
+}
+
+impl std::fmt::Display for PrepareFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrepareFailure::Scenario(e) => e.fmt(f),
+            PrepareFailure::Fem(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PrepareFailure {}
+
+/// A scenario-preparation failure, carrying *which* scenario failed.
 #[derive(Debug, Clone)]
 pub struct PrepareError {
-    /// Identifier of the workload that failed to prepare.
+    /// Identifier of the scenario that failed to prepare.
     pub workload: String,
-    /// The underlying FE failure.
-    pub source: FemError,
+    /// The underlying failure.
+    pub source: PrepareFailure,
 }
 
 impl std::fmt::Display for PrepareError {
@@ -615,22 +670,14 @@ impl std::error::Error for PrepareError {
     }
 }
 
-/// Prepares a list of workloads; failures abort with the failing workload
+/// Prepares a list of scenarios; failures abort with the failing scenario
 /// named.
 ///
 /// # Errors
 ///
-/// The first preparation failure, annotated with the workload id.
-pub fn prepare_all(specs: &[WorkloadSpec]) -> Result<Vec<Experiment>, PrepareError> {
-    specs
-        .iter()
-        .map(|spec| {
-            Experiment::prepare(spec).map_err(|source| PrepareError {
-                workload: spec.id.to_string(),
-                source,
-            })
-        })
-        .collect()
+/// The first preparation failure, annotated with the scenario id.
+pub fn prepare_all(specs: &[ScenarioSpec]) -> Result<Vec<Experiment>, PrepareError> {
+    specs.iter().map(Experiment::prepare).collect()
 }
 
 #[cfg(test)]
@@ -653,15 +700,21 @@ mod tests {
 
     #[test]
     fn prepare_all_names_the_failing_workload() {
-        // A spec whose model cannot converge: reuse `pd` but poison the
-        // builder with an invalid mesh via a synthetic spec is not
-        // possible from here, so exercise the error type directly.
+        // An invalid scenario (zero-resolution mesh) fails preparation
+        // with its id in the message, before any model is built.
+        let mut bad = by_id("pd").expect("pd");
+        bad.id = "pd-broken".into();
+        bad.mesh.nx = 0;
+        let err = prepare_all(&[bad]).unwrap_err();
+        assert!(err.to_string().contains("workload `pd-broken`"), "{err}");
+        assert!(err.to_string().contains("mesh.nx"), "{err}");
+        assert!(std::error::Error::source(&err).is_some());
+        // A solver failure carries the same shape.
         let err = PrepareError {
             workload: "eye".into(),
-            source: FemError::InvalidModel("bad".into()),
+            source: PrepareFailure::Fem(FemError::InvalidModel("bad".into())),
         };
         assert!(err.to_string().contains("workload `eye`"));
-        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]
@@ -900,14 +953,14 @@ mod tests {
 
         let full = exp.simulate(&cfg, 0);
         let mut model = build_model(&cfg);
-        let mut streamed = Expander::with_config(exp.log(), spec.expand.clone());
+        let mut streamed = Expander::with_config(exp.log(), spec.expand_config());
         assert_eq!(full, model.run(&mut streamed), "full-trace replay");
         assert_eq!(full, exp.simulate(&cfg, 0), "cache-hit replay");
 
         let budget = 40_000usize;
         let budgeted = exp.simulate(&cfg, budget);
         let mut model = build_model(&cfg);
-        let mut limited = Expander::with_config(exp.log(), spec.expand.clone()).take(budget);
+        let mut limited = Expander::with_config(exp.log(), spec.expand_config()).take(budget);
         assert_eq!(
             budgeted,
             model.run_warm(&mut limited, budget as u64 / 4),

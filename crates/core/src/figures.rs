@@ -22,7 +22,7 @@ use belenos_runner::{RunPlan, Runner};
 use belenos_trace::FnCategory;
 use belenos_uarch::config::BranchPredictorKind;
 use belenos_uarch::{CoreConfig, SimStats};
-use belenos_workloads::{catalog, WorkloadSpec};
+use belenos_workloads::{catalog, ScenarioSpec};
 
 /// Simulates every experiment once under `config` through the batch
 /// engine: points run in parallel and configs shared with other figures
@@ -72,11 +72,12 @@ pub fn table1() -> Report {
         ],
     );
     for spec in catalog() {
-        let model = (spec.build)();
-        let (lo, hi) = spec.category.paper_size_bounds_kb();
+        let model = spec.build_model().expect("catalog presets are valid");
+        let category = spec.category();
+        let (lo, hi) = category.paper_size_bounds_kb();
         s.row(vec![
-            Cell::text(spec.category.name()),
-            Cell::text(spec.category.label()),
+            Cell::text(category.name()),
+            Cell::text(category.label()),
             Cell::num(lo, 1),
             Cell::num(hi, 1),
             Cell::num(model.input_size_kb(), 1),
@@ -690,13 +691,101 @@ pub fn memory_profiles(
 }
 
 /// Returns the default VTune-set specs (11 models + eye).
-pub fn vtune_specs() -> Vec<WorkloadSpec> {
+pub fn vtune_specs() -> Vec<ScenarioSpec> {
     belenos_workloads::vtune_set()
 }
 
 /// Returns the default gem5-set specs.
-pub fn gem5_specs() -> Vec<WorkloadSpec> {
+pub fn gem5_specs() -> Vec<ScenarioSpec> {
     belenos_workloads::gem5_set()
+}
+
+/// Mesh-resolution scaling analysis: IPC and dominant bottleneck class
+/// per scenario-family as the mesh is refined — an analysis the static
+/// catalog could never express, since it needs the *same* physics at
+/// several resolutions. Rows group by family (experiments arrive
+/// base-major from the campaign's resolution axis) and label each point
+/// with its mesh resolution and model size.
+///
+/// # Errors
+///
+/// The first failed simulation point.
+pub fn mesh_scaling(
+    runner: &Runner,
+    experiments: &[Experiment],
+    opts: &SimOptions,
+) -> Result<Report, SimFailure> {
+    let baseline = simulate_batch(
+        runner,
+        experiments,
+        "baseline",
+        &CoreConfig::gem5_baseline(),
+        opts,
+    )?;
+    let mut r = Report::new("mesh_scaling");
+    let s = r.section(
+        "Mesh-resolution scaling: IPC and bottleneck class vs mesh size\n\
+         (gem5 baseline config; bottleneck = dominant TMA slot category)",
+        &SCENARIO_COLUMNS,
+    );
+    for (exp, stats) in experiments.iter().zip(&baseline) {
+        s.row(scenario_row(exp, stats));
+    }
+    Ok(r)
+}
+
+/// Column headers shared by [`mesh_scaling`] and `belenos scenario run`.
+pub const SCENARIO_COLUMNS: [&str; 8] = [
+    "Family",
+    "Model",
+    "Mesh",
+    "DoFs",
+    "Size (kB)",
+    "IPC",
+    "Retiring%",
+    "Bottleneck",
+];
+
+/// One [`SCENARIO_COLUMNS`] report row characterizing `exp` under
+/// `stats` — the single source of the scenario-characterization shape.
+pub fn scenario_row(exp: &Experiment, stats: &SimStats) -> Vec<Cell> {
+    let scenario = exp.scenario();
+    let (retiring, _, _, _) = stats.topdown();
+    vec![
+        Cell::text(scenario.family.label()),
+        Cell::text(&exp.id),
+        Cell::text(scenario.mesh.resolution_label()),
+        Cell::num(exp.solve.n_dofs as f64, 0),
+        Cell::num(exp.solve.size_kb, 1),
+        Cell::num(stats.ipc(), 3),
+        Cell::num(retiring * 100.0, 1),
+        Cell::text(top_bottleneck(stats)),
+    ]
+}
+
+/// TMA stall-category names, in fixed slot order (shared by every
+/// bottleneck-classifying report and the cross-backend agreement table).
+pub const TMA_CATEGORIES: [&str; 4] = ["frontend", "bad_spec", "core", "memory"];
+
+/// Stall categories ranked by slot count, heaviest first. The sort is
+/// stable, so ties keep the fixed [`TMA_CATEGORIES`] order and every
+/// report labels the same stats with the same bottleneck.
+pub fn bottleneck_rank(stats: &SimStats) -> [usize; 4] {
+    let slots = [
+        stats.slots_frontend,
+        stats.slots_bad_speculation,
+        stats.slots_be_core,
+        stats.slots_be_memory,
+    ];
+    let mut order = [0usize, 1, 2, 3];
+    order.sort_by_key(|&i| std::cmp::Reverse(slots[i]));
+    order
+}
+
+/// The dominant TMA stall category of a run (the bottleneck *class* the
+/// paper links each workload character to).
+pub fn top_bottleneck(stats: &SimStats) -> &'static str {
+    TMA_CATEGORIES[bottleneck_rank(stats)[0]]
 }
 
 /// Dominant hotspot sanity used by tests: internal functions should lead

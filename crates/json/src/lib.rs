@@ -596,6 +596,24 @@ impl FromJson for f64 {
     }
 }
 
+impl FromJson for u64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        // Strict upper bound: `u64::MAX as f64` rounds up to 2^64, which
+        // `as u64` would silently saturate back to u64::MAX.
+        match v.as_f64() {
+            Some(n) if n >= 0.0 && n.fract() == 0.0 && n < u64::MAX as f64 => Ok(n as u64),
+            _ => Err(JsonError::new("expected a non-negative integer")),
+        }
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_bool()
+            .ok_or_else(|| JsonError::new("expected a boolean"))
+    }
+}
+
 impl<T: FromJson> FromJson for Vec<T> {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         v.as_arr()

@@ -52,14 +52,14 @@ impl CacheKey {
 
     /// Stable 64-bit content address (used as the on-disk file name).
     ///
-    /// The version tag is bumped whenever key semantics change; v3
-    /// coincides with core-model backends entering
-    /// [`CoreConfig::stable_digest`], so stale on-disk entries from
-    /// before the multi-backend era can never alias a backend-qualified
-    /// run.
+    /// The version tag is bumped whenever key semantics change; v4
+    /// coincides with the parametric scenario API folding the scenario
+    /// content digest into every workload fingerprint, so stale on-disk
+    /// entries keyed by id + trace alone can never alias a parametric
+    /// variant.
     pub fn address(&self) -> u64 {
         let mut h = Fnv64::new();
-        h.write_str("CacheKey-v3");
+        h.write_str("CacheKey-v4");
         h.write_str(&self.workload);
         h.write_u64(self.fingerprint);
         h.write_u64(self.config);

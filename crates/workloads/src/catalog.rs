@@ -1,9 +1,15 @@
-//! The workload catalog: Table I categories, the 11-model VTune set, the
-//! 6-model gem5 set and per-workload trace-expansion knobs.
+//! The preset catalog: Table I categories, the 11-model VTune set, the
+//! 6-model gem5 set and the per-category representative list — each
+//! preset a plain [`ScenarioSpec`] whose parameters reproduce the
+//! historical hardcoded builder bit for bit.
+//!
+//! Presets are ordinary scenarios: clone one, change a field, and
+//! [`ScenarioSpec::validate`] / [`ScenarioSpec::build_model`] treat it
+//! exactly like a scenario parsed from campaign JSON. The catalog is no
+//! longer a closed set — it is the named starting points of an open
+//! parametric space.
 
-use crate::models;
-use belenos_fem::model::FeModel;
-use belenos_trace::expand::ExpandConfig;
+use crate::scenario::{Family, ScenarioSpec};
 
 /// Table I workload categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -154,326 +160,120 @@ impl Category {
     }
 }
 
-/// One runnable workload: category, model builder and trace knobs.
-#[derive(Clone)]
-pub struct WorkloadSpec {
-    /// Short identifier (`"bp07"`, `"co"`, `"eye"`, ...).
-    pub id: &'static str,
-    /// Table I category.
-    pub category: Category,
-    /// Builds a fresh model instance.
-    pub build: fn() -> FeModel,
-    /// Trace-expansion configuration (code footprint, spin scale, ...).
-    pub expand: ExpandConfig,
+/// Preset at a family's canonical parameters with explicit trace knobs.
+fn preset(id: &str, family_label: &str, code_bloat: u32, sample: usize) -> ScenarioSpec {
+    ScenarioSpec::new(
+        id,
+        Family::canonical(family_label).expect("preset family label"),
+    )
+    .with_expand_knobs(code_bloat, sample)
 }
 
-impl std::fmt::Debug for WorkloadSpec {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkloadSpec")
-            .field("id", &self.id)
-            .field("category", &self.category)
-            .finish_non_exhaustive()
-    }
+/// `ma26`–`ma31`: the reactive viscoelastic subcases — Prony term count,
+/// base relaxation time and OpenMP spin scale per variant.
+fn ma_preset(id: &str, terms: usize, tau_scale: f64, spin: f64) -> ScenarioSpec {
+    ScenarioSpec::new(id, Family::Material { terms, tau_scale })
+        .with_spin_scale(spin)
+        .with_expand_knobs(1, 1)
 }
 
-fn expand(code_bloat: u32, sample: usize) -> ExpandConfig {
-    ExpandConfig {
-        code_bloat,
-        sample,
-        ..ExpandConfig::default()
-    }
-}
-
-// --- ma26-ma31 parameterizations (reactive viscoelastic variants) -------
-
-fn ma26() -> FeModel {
-    models::material(1, 0.2, 5.0)
-}
-fn ma27() -> FeModel {
-    models::material(2, 0.2, 6.0)
-}
-fn ma28() -> FeModel {
-    models::material(3, 0.5, 10.0)
-}
-fn ma29() -> FeModel {
-    models::material(2, 1.0, 7.0)
-}
-fn ma30() -> FeModel {
-    models::material(4, 0.5, 10.0)
-}
-fn ma31() -> FeModel {
-    models::material(3, 1.0, 8.0)
-}
-
-fn bp07() -> FeModel {
-    models::biphasic([5e-3, 5e-3, 5e-3])
-}
-fn bp08() -> FeModel {
-    models::biphasic([5e-3, 5e-3, 5e-2])
-}
-fn bp09() -> FeModel {
-    models::biphasic([5e-2, 5e-3, 5e-4])
-}
-fn fl33() -> FeModel {
-    models::fluid(true)
-}
-fn fl34() -> FeModel {
-    models::fluid(false)
+fn bp_preset(id: &str, permeability: [f64; 3]) -> ScenarioSpec {
+    ScenarioSpec::new(
+        id,
+        Family::Biphasic {
+            permeability,
+            load: -12.0,
+        },
+    )
+    .with_expand_knobs(2, 1)
 }
 
 /// The 11 VTune test-suite models plus the `eye` case study (Figs. 2-4).
-pub fn vtune_set() -> Vec<WorkloadSpec> {
+pub fn vtune_set() -> Vec<ScenarioSpec> {
     vec![
-        WorkloadSpec {
-            id: "bp07",
-            category: Category::Bp,
-            build: bp07,
-            expand: expand(2, 1),
-        },
-        WorkloadSpec {
-            id: "bp08",
-            category: Category::Bp,
-            build: bp08,
-            expand: expand(2, 1),
-        },
-        WorkloadSpec {
-            id: "bp09",
-            category: Category::Bp,
-            build: bp09,
-            expand: expand(2, 1),
-        },
-        WorkloadSpec {
-            id: "fl33",
-            category: Category::Fl,
-            build: fl33,
-            expand: expand(2, 1),
-        },
-        WorkloadSpec {
-            id: "fl34",
-            category: Category::Fl,
-            build: fl34,
-            expand: expand(2, 1),
-        },
-        WorkloadSpec {
-            id: "ma26",
-            category: Category::Ma,
-            build: ma26,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "ma27",
-            category: Category::Ma,
-            build: ma27,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "ma28",
-            category: Category::Ma,
-            build: ma28,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "ma29",
-            category: Category::Ma,
-            build: ma29,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "ma30",
-            category: Category::Ma,
-            build: ma30,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "ma31",
-            category: Category::Ma,
-            build: ma31,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "eye",
-            category: Category::Eye,
-            build: models::eye,
-            expand: expand(4, 2),
-        },
+        bp_preset("bp07", [5e-3, 5e-3, 5e-3]),
+        bp_preset("bp08", [5e-3, 5e-3, 5e-2]),
+        bp_preset("bp09", [5e-2, 5e-3, 5e-4]),
+        ScenarioSpec::new(
+            "fl33",
+            Family::Fluid {
+                steady: true,
+                viscosity: 0.05,
+                inlet: 1.0,
+            },
+        )
+        .with_expand_knobs(2, 1),
+        preset("fl34", "fluid", 2, 1),
+        ma_preset("ma26", 1, 0.2, 5.0),
+        ma_preset("ma27", 2, 0.2, 6.0),
+        ma_preset("ma28", 3, 0.5, 10.0),
+        ma_preset("ma29", 2, 1.0, 7.0),
+        ma_preset("ma30", 4, 0.5, 10.0),
+        ma_preset("ma31", 3, 1.0, 8.0),
+        preset("eye", "eye", 4, 2),
     ]
 }
 
 /// The six gem5 sensitivity-study workloads (Figs. 7-12).
-pub fn gem5_set() -> Vec<WorkloadSpec> {
+pub fn gem5_set() -> Vec<ScenarioSpec> {
     vec![
-        WorkloadSpec {
-            id: "ar",
-            category: Category::Ar,
-            build: models::arterial,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "co",
-            category: Category::Co,
-            build: models::contact,
-            expand: expand(2, 2),
-        },
-        WorkloadSpec {
-            id: "dm",
-            category: Category::Dm,
-            build: models::damage,
-            expand: expand(8, 3),
-        },
-        WorkloadSpec {
-            id: "ma",
-            category: Category::Ma,
-            build: ma28,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "rj",
-            category: Category::Rj,
-            build: models::rigid_joint,
-            expand: expand(24, 1),
-        },
-        WorkloadSpec {
-            id: "tu",
-            category: Category::Tu,
-            build: models::tumor,
-            expand: expand(8, 2),
-        },
+        preset("ar", "arterial", 1, 1),
+        preset("co", "contact", 2, 2),
+        preset("dm", "damage", 8, 3),
+        preset("ma", "material", 1, 1),
+        preset("rj", "rigid_joint", 24, 1),
+        preset("tu", "tumor", 8, 2),
     ]
 }
 
 /// One representative per Table I category (Table I, Figs. 5-6).
-pub fn catalog() -> Vec<WorkloadSpec> {
+pub fn catalog() -> Vec<ScenarioSpec> {
     vec![
-        WorkloadSpec {
-            id: "ar",
-            category: Category::Ar,
-            build: models::arterial,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "bp",
-            category: Category::Bp,
-            build: bp07,
-            expand: expand(2, 1),
-        },
-        WorkloadSpec {
-            id: "co",
-            category: Category::Co,
-            build: models::contact,
-            expand: expand(2, 1),
-        },
-        WorkloadSpec {
-            id: "fl",
-            category: Category::Fl,
-            build: fl34,
-            expand: expand(2, 1),
-        },
-        WorkloadSpec {
-            id: "mu",
-            category: Category::Mu,
-            build: models::muscle,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "mp",
-            category: Category::Mp,
-            build: models::multiphasic,
-            expand: expand(2, 1),
-        },
-        WorkloadSpec {
-            id: "te",
-            category: Category::Te,
-            build: models::tetrahedral,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "ri",
-            category: Category::Ri,
-            build: models::rigid,
-            expand: expand(8, 1),
-        },
-        WorkloadSpec {
-            id: "ps",
-            category: Category::Ps,
-            build: models::prestrain,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "pd",
-            category: Category::Pd,
-            build: models::plastidamage,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "mg",
-            category: Category::Mg,
-            build: models::multigeneration,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "fs",
-            category: Category::Fs,
-            build: models::fsi,
-            expand: expand(2, 1),
-        },
-        WorkloadSpec {
-            id: "mi",
-            category: Category::Mi,
-            build: models::misc,
-            expand: expand(2, 1),
-        },
-        WorkloadSpec {
-            id: "ma",
-            category: Category::Ma,
-            build: ma28,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "dm",
-            category: Category::Dm,
-            build: models::damage,
-            expand: expand(8, 1),
-        },
-        WorkloadSpec {
-            id: "tu",
-            category: Category::Tu,
-            build: models::tumor,
-            expand: expand(6, 1),
-        },
-        WorkloadSpec {
-            id: "rj",
-            category: Category::Rj,
-            build: models::rigid_joint,
-            expand: expand(24, 1),
-        },
-        WorkloadSpec {
-            id: "vc",
-            category: Category::Vc,
-            build: models::volume_constraint,
-            expand: expand(1, 1),
-        },
-        WorkloadSpec {
-            id: "bi",
-            category: Category::Bi,
-            build: models::biphasic_fsi,
-            expand: expand(2, 1),
-        },
-        WorkloadSpec {
-            id: "eye",
-            category: Category::Eye,
-            build: models::eye,
-            expand: expand(4, 2),
-        },
+        preset("ar", "arterial", 1, 1),
+        preset("bp", "biphasic", 2, 1),
+        preset("co", "contact", 2, 1),
+        preset("fl", "fluid", 2, 1),
+        preset("mu", "muscle", 1, 1),
+        preset("mp", "multiphasic", 2, 1),
+        preset("te", "tetrahedral", 1, 1),
+        preset("ri", "rigid", 8, 1),
+        preset("ps", "prestrain", 1, 1),
+        preset("pd", "plastidamage", 1, 1),
+        preset("mg", "multigeneration", 1, 1),
+        preset("fs", "fsi", 2, 1),
+        preset("mi", "misc", 2, 1),
+        preset("ma", "material", 1, 1),
+        preset("dm", "damage", 8, 1),
+        preset("tu", "tumor", 6, 1),
+        preset("rj", "rigid_joint", 24, 1),
+        preset("vc", "volume_constraint", 1, 1),
+        preset("bi", "biphasic_fsi", 2, 1),
+        preset("eye", "eye", 4, 2),
     ]
 }
 
-/// Finds a workload by id across all sets.
-pub fn by_id(id: &str) -> Option<WorkloadSpec> {
+/// Finds a preset by id across all sets (first match wins, in the
+/// historical vtune → gem5 → catalog order — the same id can carry
+/// different trace-expansion knobs in different sets, e.g. `co`).
+pub fn by_id(id: &str) -> Option<ScenarioSpec> {
     vtune_set()
         .into_iter()
         .chain(gem5_set())
         .chain(catalog())
         .find(|w| w.id == id)
+}
+
+/// Every distinct preset, first occurrence per id in the same
+/// vtune → gem5 → catalog precedence [`by_id`] resolves with — the one
+/// place that ordering invariant lives.
+pub fn distinct_presets() -> Vec<ScenarioSpec> {
+    let mut out: Vec<ScenarioSpec> = Vec::new();
+    for spec in vtune_set().into_iter().chain(gem5_set()).chain(catalog()) {
+        if !out.iter().any(|s| s.id == spec.id) {
+            out.push(spec);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -488,14 +288,14 @@ mod tests {
         assert_eq!(v.iter().filter(|w| w.id.starts_with("bp")).count(), 3);
         assert_eq!(v.iter().filter(|w| w.id.starts_with("fl")).count(), 2);
         let g = gem5_set();
-        let ids: Vec<&str> = g.iter().map(|w| w.id).collect();
+        let ids: Vec<&str> = g.iter().map(|w| w.id.as_str()).collect();
         assert_eq!(ids, vec!["ar", "co", "dm", "ma", "rj", "tu"]);
         assert_eq!(catalog().len(), 20);
     }
 
     #[test]
     fn catalog_covers_every_category() {
-        let cats: std::collections::HashSet<_> = catalog().iter().map(|w| w.category).collect();
+        let cats: std::collections::HashSet<_> = catalog().iter().map(|w| w.category()).collect();
         assert_eq!(cats.len(), 20);
         for c in Category::ALL {
             assert!(cats.contains(&c), "missing {c:?}");
@@ -521,6 +321,23 @@ mod tests {
     }
 
     #[test]
+    fn by_id_keeps_the_historical_set_precedence() {
+        // `co` exists in both the gem5 set (sample stride 2) and the
+        // catalog (stride 1); lookups must keep returning the gem5 one.
+        let co = by_id("co").unwrap();
+        assert_eq!(co.expand.sample, 2);
+        assert_eq!(co.expand.code_bloat, 2);
+    }
+
+    #[test]
+    fn every_preset_validates() {
+        for spec in vtune_set().into_iter().chain(gem5_set()).chain(catalog()) {
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
+        }
+    }
+
+    #[test]
     fn rj_has_the_largest_code_footprint() {
         let g = gem5_set();
         let rj = g.iter().find(|w| w.id == "rj").unwrap();
@@ -534,7 +351,7 @@ mod tests {
     #[test]
     fn builders_produce_named_models() {
         for w in gem5_set() {
-            let m = (w.build)();
+            let m = w.build_model().unwrap();
             assert!(!m.name().is_empty());
             assert!(m.n_dofs() > 0);
         }

@@ -1,0 +1,262 @@
+//! Scenario-API regression and contract tests.
+//!
+//! The fingerprint table below was captured from the pre-refactor
+//! hardcoded model builders (commit 2bf0c7c, the closed
+//! `WorkloadSpec { build: fn() -> FeModel }` catalog): for every distinct
+//! preset id, the trace fingerprint of the prepared experiment — a
+//! content hash of the solver's phase log plus the trace-expansion
+//! configuration. The parametric `ScenarioSpec` presets must reproduce
+//! those builders **bit-identically**: any drift here means a preset's
+//! family/parameter translation changed the physics, the mesh, the
+//! solver settings or the expansion knobs.
+//!
+//! (The o3 digest pins in `tests/backends.rs` cover the same property at
+//! the simulated-statistics level; this table fails faster and names the
+//! diverging preset directly.)
+
+use belenos::campaign::{Analysis, CampaignSpec, SpecError, WorkloadSet};
+use belenos::experiment::Experiment;
+use belenos_runner::{CacheKey, Runner, Simulate};
+use belenos_uarch::{CoreConfig, SamplingConfig};
+use belenos_workloads::{by_id, Family, ScenarioSpec};
+
+/// (preset id, pre-refactor trace fingerprint), in historical `by_id`
+/// lookup order (vtune → gem5 → catalog precedence).
+const PRESET_TRACE_FINGERPRINTS: [(&str, u64); 31] = [
+    ("ar", 0xa89348ac3c91da00),
+    ("bp", 0x17db84cf0c8e5ea6),
+    ("co", 0x76030f36ff930a80),
+    ("fl", 0xeca0848b17beae5f),
+    ("mu", 0xa361473feae9317d),
+    ("mp", 0x298c1bbaf989fb5e),
+    ("te", 0x48bc896eacc439eb),
+    ("ri", 0x8d83f5439e07cc9e),
+    ("ps", 0x67d3bbf6765a2259),
+    ("pd", 0xe296f5921905f412),
+    ("mg", 0x00107751e6d36935),
+    ("fs", 0x7ef68d08832f286f),
+    ("mi", 0xc60aacf18c8600fa),
+    ("ma", 0x75313c424fd91fdd),
+    ("dm", 0x6f6ee6d914275062),
+    ("tu", 0xd6ed6ed6564e4d3f),
+    ("rj", 0x3c5aa38effe5f340),
+    ("vc", 0x30a81806c17c9993),
+    ("bi", 0x954ea8fb1c25277e),
+    ("eye", 0xa1bb325207339f59),
+    ("bp07", 0x17db84cf0c8e5ea6),
+    ("bp08", 0x17db84cf0c8e5ea6),
+    ("bp09", 0x17db84cf0c8e5ea6),
+    ("fl33", 0xbf329bdb1b18deb4),
+    ("fl34", 0xeca0848b17beae5f),
+    ("ma26", 0x6490f520716b60ad),
+    ("ma27", 0xeddfad205e81e93d),
+    ("ma28", 0x75313c424fd91fdd),
+    ("ma29", 0x7c7eec074bec194d),
+    ("ma30", 0x75313c424fd91fdd),
+    ("ma31", 0x4229e3a4e9594c3d),
+];
+
+#[test]
+fn every_preset_trace_is_bit_identical_to_the_pre_refactor_builders() {
+    for &(id, pinned) in &PRESET_TRACE_FINGERPRINTS {
+        let spec = by_id(id).unwrap_or_else(|| panic!("preset {id} missing"));
+        let exp = Experiment::prepare(&spec).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(
+            exp.trace_fingerprint(),
+            pinned,
+            "{id}: parametric preset drifted from the pre-refactor hardcoded builder"
+        );
+    }
+}
+
+#[test]
+fn every_preset_roundtrips_through_json_with_identical_digest() {
+    for &(id, _) in &PRESET_TRACE_FINGERPRINTS {
+        let spec = by_id(id).unwrap();
+        let back =
+            ScenarioSpec::parse(&spec.to_json()).unwrap_or_else(|e| panic!("{id} roundtrip: {e}"));
+        assert_eq!(back, spec, "{id}: JSON normal form must parse back equal");
+        assert_eq!(back.stable_digest(), spec.stable_digest(), "{id}");
+    }
+}
+
+#[test]
+fn trace_identical_parametric_variants_get_distinct_cache_keys() {
+    // The `bp07`–`bp09` permeability axis produces structurally
+    // identical traces (same pattern, same iteration counts), so trace
+    // fingerprints alone would alias them. The scenario digest folded
+    // into `Simulate::fingerprint` must keep their cache keys apart —
+    // this is the premise of the CacheKey v4 bump.
+    let a = Experiment::prepare(&by_id("bp07").unwrap()).unwrap();
+    let b = Experiment::prepare(&by_id("bp09").unwrap()).unwrap();
+    assert_eq!(
+        a.trace_fingerprint(),
+        b.trace_fingerprint(),
+        "premise: the permeability axis does not move the trace structure"
+    );
+    assert_ne!(a.fingerprint(), b.fingerprint());
+}
+
+#[test]
+fn same_id_scenarios_differing_in_one_parameter_never_share_a_cache_key() {
+    // Two scenarios sharing an id stem but differing in exactly one
+    // parameter (contact penalty) must produce distinct CacheKeys under
+    // identical machine config / budget / sampling.
+    let base = by_id("co").unwrap();
+    let mut variant = base.clone();
+    if let Family::Contact { penalty, .. } = &mut variant.family {
+        *penalty *= 1.2;
+    } else {
+        panic!("co is the contact preset");
+    }
+    assert_eq!(base.id, variant.id, "premise: ids collide");
+    let a = Experiment::prepare(&base).unwrap();
+    let b = Experiment::prepare(&variant).unwrap();
+    let cfg = CoreConfig::gem5_baseline();
+    let sampling = SamplingConfig::off();
+    let key_a = CacheKey::new(a.workload_id(), a.fingerprint(), &cfg, 20_000, &sampling);
+    let key_b = CacheKey::new(b.workload_id(), b.fingerprint(), &cfg, 20_000, &sampling);
+    assert_ne!(key_a, key_b, "parametric variants must never alias");
+    assert_ne!(key_a.address(), key_b.address());
+}
+
+#[test]
+fn off_catalog_scenario_runs_end_to_end_from_campaign_json_alone() {
+    // The acceptance scenario: contact at a 6x6x8 shuffled mesh, defined
+    // purely inside campaign JSON — no Rust code, no preset. It must
+    // validate, build, simulate through the cache-aware runner and come
+    // back as a structured report.
+    let spec = CampaignSpec::parse(
+        r#"{
+            "name": "off-catalog",
+            "workloads": [
+                {"id": "co-6x6x8",
+                 "family": "contact",
+                 "mesh": {"nx": 6, "ny": 6, "nz": 8, "shuffle_seed": 777}},
+                "pd"
+            ],
+            "options": {"max_ops": 20000},
+            "analyses": ["topdown"]
+        }"#,
+    )
+    .expect("inline scenario validates");
+    match &spec.workloads {
+        WorkloadSet::Scenarios(specs) => {
+            assert_eq!(specs.len(), 2);
+            assert_eq!(specs[0].id, "co-6x6x8");
+            assert_eq!(specs[0].mesh.shuffle_seed, Some(777));
+            assert_eq!(specs[1].id, "pd", "preset id resolved inline");
+        }
+        other => panic!("expected inline scenarios, got {other:?}"),
+    }
+    let runner = Runner::isolated(2);
+    let report = spec
+        .prepare()
+        .expect("off-catalog model solves")
+        .run(&runner);
+    assert!(report.failures().is_empty());
+    let text = report.to_text();
+    assert!(
+        text.contains("co-6x6x8"),
+        "report rows carry the inline id:\n{text}"
+    );
+    assert!(text.contains("pd"));
+}
+
+#[test]
+fn mesh_sweep_campaign_reports_scaling_per_resolution() {
+    let spec = CampaignSpec::parse(
+        r#"{
+            "name": "scaling",
+            "workloads": {"base": ["pd"], "resolutions": [2, 3]},
+            "options": {"max_ops": 15000},
+            "analyses": ["mesh_scaling"]
+        }"#,
+    )
+    .expect("sweep validates");
+    let report = spec.prepare().expect("solves").run(&Runner::isolated(2));
+    assert!(report.failures().is_empty());
+    let text = report.to_text();
+    assert!(text.contains("pd-r2"), "{text}");
+    assert!(text.contains("pd-r3"), "{text}");
+    assert!(text.contains("2x2x2"), "{text}");
+    assert!(text.contains("3x3x3"), "{text}");
+    assert!(text.contains("Mesh-resolution scaling"), "{text}");
+}
+
+#[test]
+fn campaign_json_rejects_bad_inline_scenarios() {
+    // Unknown preset id inside a mixed list.
+    let err = CampaignSpec::parse(
+        r#"{"workloads": [{"id": "x", "family": "contact"}, "zz"],
+            "analyses": ["topdown"]}"#,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("zz"), "{err}");
+    // Invalid inline parameters (zero-resolution mesh).
+    let err = CampaignSpec::parse(
+        r#"{"workloads": [{"id": "x", "family": "contact", "mesh": {"nx": 0}}],
+            "analyses": ["topdown"]}"#,
+    )
+    .unwrap_err();
+    assert!(matches!(err, SpecError::Scenario(_)), "{err}");
+    // Duplicate inline ids.
+    let err = CampaignSpec::parse(
+        r#"{"workloads": [{"id": "x", "family": "contact"},
+                           {"id": "x", "family": "arterial"}],
+            "analyses": ["topdown"]}"#,
+    )
+    .unwrap_err();
+    assert_eq!(err, SpecError::DuplicateScenario("x".into()));
+    // Duplicate preset ids and duplicate sweep resolutions are just as
+    // indistinguishable in reports as duplicate inline ids.
+    let err =
+        CampaignSpec::parse(r#"{"workloads": ["pd", "pd"], "analyses": ["topdown"]}"#).unwrap_err();
+    assert_eq!(err, SpecError::DuplicateScenario("pd".into()));
+    // Degenerate sweep axes.
+    for bad in [
+        r#"{"workloads": {"base": ["pd"], "resolutions": []}, "analyses": ["mesh_scaling"]}"#,
+        r#"{"workloads": {"base": ["pd"], "resolutions": [0]}, "analyses": ["mesh_scaling"]}"#,
+        r#"{"workloads": {"base": ["pd"], "resolutions": [3, 3]}, "analyses": ["mesh_scaling"]}"#,
+        r#"{"workloads": {"base": [], "resolutions": [3]}, "analyses": ["mesh_scaling"]}"#,
+        r#"{"workloads": {"base": "paper", "resolutions": [3]}, "analyses": ["mesh_scaling"]}"#,
+    ] {
+        assert!(CampaignSpec::parse(bad).is_err(), "must reject {bad}");
+    }
+}
+
+#[test]
+fn inline_workload_sets_roundtrip_through_campaign_json() {
+    let inline = ScenarioSpec::parse(
+        r#"{"id": "bp-stiff", "family": "biphasic",
+            "params": {"permeability": [0.05, 0.005, 0.0005]}}"#,
+    )
+    .unwrap();
+    for set in [
+        WorkloadSet::Scenarios(vec![inline.clone(), by_id("pd").unwrap()]),
+        WorkloadSet::MeshSweep {
+            base: vec![inline],
+            resolutions: vec![3, 4, 6],
+        },
+    ] {
+        let spec = CampaignSpec::new("roundtrip")
+            .with_workloads(set.clone())
+            .with_analysis(Analysis::Topdown);
+        let back = CampaignSpec::parse(&spec.to_json()).expect("roundtrip");
+        assert_eq!(back.workloads, set);
+    }
+}
+
+#[test]
+fn mesh_sweep_resolution_still_respects_scenario_validation() {
+    // A sweep whose derived variants exceed the mesh bounds fails at
+    // preparation with the derived scenario named, not a panic.
+    let set = WorkloadSet::MeshSweep {
+        base: vec![by_id("pd").unwrap()],
+        resolutions: vec![3],
+    };
+    let specs = set.resolve(belenos::campaign::PaperSet::Catalog);
+    assert_eq!(specs.len(), 1);
+    assert_eq!(specs[0].id, "pd-r3");
+    assert!(specs[0].validate().is_ok());
+}
