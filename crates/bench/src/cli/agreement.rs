@@ -85,6 +85,7 @@ pub fn run(inv: &Invocation) -> Result<(), String> {
                         backend: kind.label().to_string(),
                         wall_s,
                         ipc: stats.ipc(),
+                        mips: stats.committed_ops as f64 / wall_s.max(1e-9) / 1e6,
                     });
                     Some(Run { stats, wall_s })
                 }

@@ -1,0 +1,153 @@
+//! `belenos bench`: the performance-regression gate.
+//!
+//! * `bench capture [path]` runs a fixed, small simulation benchmark
+//!   (workloads `pd` + `co`, o3 backend, 60k-op budget, best of 7
+//!   runs × 3 attempts), scores the host with the [`crate::calibrate`]
+//!   loop, and
+//!   writes the result as a baseline document (default
+//!   `BENCH_baseline.json` — commit it).
+//! * `bench compare [path]` re-measures the same benchmark and compares
+//!   calibration-normalized simulated MIPS against the committed
+//!   baseline, failing (non-zero exit) on any regression beyond 15%.
+//!
+//! The calibration loop cancels raw host speed out of the comparison,
+//! so one committed baseline gates every machine: only code slowdowns
+//! move the normalized ratio. `BELENOS_BENCH_HANDICAP=<factor>`
+//! multiplies measured wall times (dividing MIPS) — an injectable fake
+//! slowdown for testing that the gate actually fails, used by CI's
+//! negative check.
+
+use super::Invocation;
+use crate::{
+    calibrate, compare_baselines, emit_bench_json, BenchBaseline, BenchRecord, CompareReport,
+};
+use belenos::experiment::Experiment;
+use belenos_uarch::CoreConfig;
+
+/// Allowed normalized-MIPS regression before the gate fails.
+const THRESHOLD: f64 = 0.15;
+/// Fixed bench shape: changing any of these invalidates committed
+/// baselines, so bump them only together with `BENCH_baseline.json`.
+const WORKLOADS: [&str; 2] = ["pd", "co"];
+const MAX_OPS: usize = 60_000;
+const RUNS: usize = 7;
+const ATTEMPTS: usize = 3;
+const DEFAULT_PATH: &str = "BENCH_baseline.json";
+
+/// Measures the fixed benchmark: best-of-`RUNS` wall time per
+/// workload under the o3 baseline config, as calibrated records.
+fn measure() -> Result<BenchBaseline, String> {
+    let handicap = std::env::var("BELENOS_BENCH_HANDICAP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&f| f > 0.0 && f.is_finite())
+        .unwrap_or(1.0);
+    let cfg = CoreConfig::gem5_baseline();
+    let mut records = Vec::new();
+    for id in WORKLOADS {
+        let spec = belenos_workloads::by_id(id).ok_or_else(|| format!("unknown preset `{id}`"))?;
+        let exp = Experiment::prepare(&spec).map_err(|e| format!("prepare {id}: {e}"))?;
+        // Warm once (trace memo, allocator) so the measured runs time
+        // simulation, not first-touch setup.
+        let stats = exp.simulate(&cfg, MAX_OPS);
+        let mut walls: Vec<f64> = (0..RUNS)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                let s = exp.simulate(&cfg, MAX_OPS);
+                assert_eq!(s, stats, "fixed bench must be deterministic");
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        // Best-of-N, not median: on a loaded host, interference only
+        // ever slows a run down, so the minimum is the least noisy
+        // estimate of what the code actually costs.
+        walls.sort_by(|a, b| a.total_cmp(b));
+        let wall_s = walls[0] * handicap;
+        records.push(BenchRecord {
+            workload: id.to_string(),
+            backend: "o3".to_string(),
+            wall_s,
+            ipc: stats.ipc(),
+            mips: stats.committed_ops as f64 / wall_s.max(1e-9) / 1e6,
+        });
+    }
+    Ok(BenchBaseline {
+        calibration: calibrate(),
+        records,
+    })
+}
+
+/// Runs [`measure`] `attempts` times and keeps, per record, the fastest
+/// observation (and the best calibration score).
+///
+/// Virtualized hosts show multi-second "slow phases" (host memory or
+/// scheduler contention) that outlast a whole best-of-`RUNS` batch; a
+/// genuine code regression slows *every* attempt, so taking the best
+/// across well-separated attempts sheds the noise without weakening
+/// the gate.
+fn measure_best(attempts: usize) -> Result<BenchBaseline, String> {
+    let mut best = measure()?;
+    for _ in 1..attempts {
+        let cur = measure()?;
+        best.calibration = best.calibration.max(cur.calibration);
+        for (b, c) in best.records.iter_mut().zip(cur.records) {
+            if c.mips > b.mips {
+                *b = c;
+            }
+        }
+    }
+    Ok(best)
+}
+
+fn path_arg(inv: &Invocation) -> String {
+    inv.positionals
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_PATH.to_string())
+}
+
+/// `belenos bench <capture|compare> [path]`.
+pub fn run(inv: &Invocation) -> Result<(), String> {
+    match inv.positionals.get(1).map(String::as_str) {
+        Some("capture") => {
+            let baseline = measure_best(ATTEMPTS)?;
+            let path = path_arg(inv);
+            std::fs::write(&path, baseline.to_json())
+                .map_err(|e| format!("could not write {path}: {e}"))?;
+            eprintln!(
+                "wrote {path} (calibration {:.1} Mops/s)",
+                baseline.calibration
+            );
+            for r in &baseline.records {
+                println!("{} {}: {:.3} simulated MIPS", r.workload, r.backend, r.mips);
+            }
+            Ok(())
+        }
+        Some("compare") => {
+            let path = path_arg(inv);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("could not read baseline {path}: {e}"))?;
+            let baseline =
+                BenchBaseline::parse(&text).map_err(|e| format!("baseline {path}: {e}"))?;
+            let current = measure_best(ATTEMPTS)?;
+            emit_bench_json("perf_gate", &current.records);
+            let CompareReport { lines, passed } = compare_baselines(&baseline, &current, THRESHOLD);
+            println!(
+                "perf gate vs {path} (calibration {:.1} -> {:.1} Mops/s, threshold {:.0}%)",
+                baseline.calibration,
+                current.calibration,
+                THRESHOLD * 100.0
+            );
+            for line in &lines {
+                println!("  {line}");
+            }
+            if passed {
+                println!("perf gate: PASS");
+                Ok(())
+            } else {
+                Err("perf gate: simulated-MIPS regression beyond threshold".to_string())
+            }
+        }
+        _ => Err("usage: belenos bench <capture|compare> [baseline.json]".to_string()),
+    }
+}

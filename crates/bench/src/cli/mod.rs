@@ -15,6 +15,7 @@
 //! belenos digests                      o3 SimStats digests (regression capture)
 //! belenos sampling                     SMARTS sampling accuracy harness
 //! belenos ablation <rcm|rob-iq>        reordering / instruction-window ablations
+//! belenos bench capture|compare        perf baseline capture / regression gate
 //! ```
 //!
 //! Every subcommand shares one option layer: the `BELENOS_*`
@@ -26,6 +27,7 @@
 
 mod ablation;
 mod agreement;
+mod bench_cmd;
 mod campaign_cmd;
 mod digests;
 mod figures_cmd;
@@ -66,6 +68,9 @@ pub struct Invocation {
     pub json_out: Option<String>,
     /// `--csv PATH`: also write the CSV rendering here.
     pub csv_out: Option<String>,
+    /// `--telemetry V`: structured-event sink (`off`, `stderr`, or a
+    /// JSONL path). `None` = leave the `BELENOS_TELEMETRY` selection.
+    pub telemetry: Option<String>,
 }
 
 impl Invocation {
@@ -168,6 +173,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             }
             "--json" => inv.json_out = Some(value(&mut it, "--json")?),
             "--csv" => inv.csv_out = Some(value(&mut it, "--csv")?),
+            "--telemetry" => inv.telemetry = Some(value(&mut it, "--telemetry")?),
             "--help" | "-h" => {
                 inv.positionals = vec!["help".into()];
                 return Ok(inv);
@@ -203,6 +209,9 @@ SUBCOMMANDS
   digests                     o3 SimStats digests (backend regression capture)
   sampling                    SMARTS sampling accuracy/speed harness
   ablation <rcm|rob-iq>       RCM reordering / ROB-IQ window ablations
+  bench capture [path]        measure the fixed perf bench, write a baseline
+  bench compare [path]        gate current perf against a committed baseline
+                              (default path BENCH_baseline.json, 15% threshold)
 
 FLAGS (shared; flags override BELENOS_* environment variables)
   --max-ops N        micro-op budget per simulation   [BELENOS_MAX_OPS, 1000000]
@@ -213,6 +222,7 @@ FLAGS (shared; flags override BELENOS_* environment variables)
   --format V         text | json | csv                [text]
   --json PATH        also write the JSON report to PATH
   --csv PATH         also write the CSV report to PATH
+  --telemetry V      off | stderr | PATH (JSONL events) [BELENOS_TELEMETRY, off]
 ";
 
 /// Runs the CLI; returns the process exit code.
@@ -225,8 +235,24 @@ pub fn main(args: Vec<String>) -> i32 {
             return 2;
         }
     };
+    // Install the telemetry selection before anything else runs: the
+    // flag wins over BELENOS_TELEMETRY (which `global()` would read).
+    if let Some(sel) = &inv.telemetry {
+        match belenos_telemetry::Telemetry::parse(sel) {
+            Ok(t) => {
+                belenos_telemetry::install(t);
+            }
+            Err(e) => {
+                eprintln!("belenos: --telemetry: {e}");
+                return 2;
+            }
+        }
+    }
+    // Env-parse warnings route through telemetry: structured when a sink
+    // is active, stderr when unconfigured, silent under `off`.
+    let tele = belenos_telemetry::global();
     for w in &inv.overrides().warnings {
-        eprintln!("belenos: {w}");
+        tele.warn(&format!("belenos: {w}"));
     }
     let command = inv
         .positionals
@@ -247,6 +273,7 @@ pub fn main(args: Vec<String>) -> i32 {
         "digests" => digests::run(&inv),
         "sampling" => sampling::run(&inv),
         "ablation" => ablation::run(&inv),
+        "bench" => bench_cmd::run(&inv),
         other => Err(format!("unknown subcommand `{other}`")),
     };
     match outcome {
@@ -339,5 +366,16 @@ mod tests {
         assert!(parse(&args(&["--max-ops", "many"])).is_err());
         assert!(parse(&args(&["--frobnicate"])).is_err());
         assert!(parse(&args(&["--format", "xml"])).is_err());
+        assert!(parse(&args(&["--telemetry"])).is_err());
+    }
+
+    #[test]
+    fn telemetry_flag_parses() {
+        let inv = parse(&args(&["campaign", "run", "spec.json"])).unwrap();
+        assert_eq!(inv.telemetry, None);
+        let inv = parse(&args(&["figure", "all", "--telemetry", "out.jsonl"])).unwrap();
+        assert_eq!(inv.telemetry.as_deref(), Some("out.jsonl"));
+        let inv = parse(&args(&["agreement", "--telemetry", "off"])).unwrap();
+        assert_eq!(inv.telemetry.as_deref(), Some("off"));
     }
 }

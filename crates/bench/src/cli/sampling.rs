@@ -130,12 +130,14 @@ pub fn run(inv: &Invocation) -> Result<(), String> {
             backend: format!("{}-full", cfg.model),
             wall_s: full_s,
             ipc: full.ipc(),
+            mips: full.committed_ops as f64 / full_s.max(1e-9) / 1e6,
         });
         records.push(BenchRecord {
             workload: id.to_string(),
             backend: format!("{}-sampled", cfg.model),
             wall_s: sampled_s,
             ipc: sampled.ipc(),
+            mips: sampled.committed_ops as f64 / sampled_s.max(1e-9) / 1e6,
         });
     }
     println!(

@@ -50,6 +50,10 @@ pub struct BenchRecord {
     pub wall_s: f64,
     /// Reported instructions per cycle.
     pub ipc: f64,
+    /// Simulated MIPS: committed micro-ops per host wall second, in
+    /// millions — the simulator-throughput metric the `bench compare`
+    /// regression gate tracks.
+    pub mips: f64,
 }
 
 impl belenos_json::ToJson for BenchRecord {
@@ -59,7 +63,35 @@ impl belenos_json::ToJson for BenchRecord {
             ("backend", belenos_json::Json::Str(self.backend.clone())),
             ("wall_s", belenos_json::Json::Num(self.wall_s)),
             ("ipc", belenos_json::Json::Num(self.ipc)),
+            ("mips", belenos_json::Json::Num(self.mips)),
         ])
+    }
+}
+
+impl belenos_json::FromJson for BenchRecord {
+    fn from_json(v: &belenos_json::Json) -> Result<BenchRecord, belenos_json::JsonError> {
+        let f = |k: &str| -> Result<f64, belenos_json::JsonError> {
+            v.get(k)
+                .and_then(belenos_json::Json::as_f64)
+                .ok_or_else(|| belenos_json::JsonError::new(format!("record needs numeric `{k}`")))
+        };
+        let s = |k: &str| -> Result<String, belenos_json::JsonError> {
+            v.get(k)
+                .and_then(belenos_json::Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| belenos_json::JsonError::new(format!("record needs string `{k}`")))
+        };
+        Ok(BenchRecord {
+            workload: s("workload")?,
+            backend: s("backend")?,
+            wall_s: f("wall_s")?,
+            ipc: f("ipc")?,
+            // Absent in pre-telemetry records; 0 marks "not measured".
+            mips: v
+                .get("mips")
+                .and_then(belenos_json::Json::as_f64)
+                .unwrap_or(0.0),
+        })
     }
 }
 
@@ -91,6 +123,154 @@ pub fn emit_bench_json(name: &str, records: &[BenchRecord]) -> std::path::PathBu
     path
 }
 
+/// A committed performance baseline for the `bench compare` regression
+/// gate: simulated-MIPS records plus the [`calibrate`] score of the
+/// machine that captured them.
+///
+/// Comparisons are *calibration-normalized* — each record's MIPS is
+/// divided by its document's calibration score before comparing — so a
+/// baseline captured on a fast machine does not fail every slower
+/// machine (and a slow-machine baseline does not wave regressions
+/// through on fast ones).
+#[derive(Debug, Clone)]
+pub struct BenchBaseline {
+    /// [`calibrate`] score (Mops/s of the fixed integer loop) of the
+    /// machine that produced `records`.
+    pub calibration: f64,
+    /// Per-(workload, backend) measurements.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchBaseline {
+    /// Serializes the baseline as a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        use belenos_json::{Json, ToJson};
+        Json::obj(vec![
+            ("bench", Json::Str("baseline".to_string())),
+            ("calibration", Json::Num(self.calibration)),
+            (
+                "records",
+                Json::Arr(self.records.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+        .pretty()
+    }
+
+    /// Parses a baseline document.
+    ///
+    /// # Errors
+    ///
+    /// A [`belenos_json::JsonError`] describing the malformed field.
+    pub fn parse(text: &str) -> Result<BenchBaseline, belenos_json::JsonError> {
+        use belenos_json::{FromJson, Json, JsonError};
+        let v = Json::parse(text)?;
+        let calibration = v
+            .get("calibration")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| JsonError::new("baseline needs numeric `calibration`"))?;
+        if calibration.is_nan() || calibration <= 0.0 {
+            return Err(JsonError::new("baseline `calibration` must be positive"));
+        }
+        let records = v
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::new("baseline needs a `records` array"))?
+            .iter()
+            .map(BenchRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchBaseline {
+            calibration,
+            records,
+        })
+    }
+}
+
+/// Scores this machine with a fixed CPU-bound integer loop (Mops/s),
+/// best of three runs.
+///
+/// The loop is the same arithmetic for every machine and every commit,
+/// so the ratio `simulated MIPS / calibration` cancels raw host speed
+/// out of the regression gate: only *code* slowdowns move it. Taking
+/// the best run (like the bench wall times) sheds scheduler noise —
+/// interference only ever makes a run slower.
+pub fn calibrate() -> f64 {
+    const ITERS: u64 = 60_000_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        let mut acc: u64 = 0x9e3779b97f4a7c15;
+        for i in 0..ITERS {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            acc ^= acc >> 29;
+        }
+        let secs = std::time::Instant::now()
+            .duration_since(start)
+            .as_secs_f64();
+        std::hint::black_box(acc);
+        best = best.min(secs);
+    }
+    ITERS as f64 / best.max(1e-9) / 1e6
+}
+
+/// Outcome of a baseline comparison: one human-readable line per
+/// compared record, and whether every record stayed inside the allowed
+/// regression.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Per-record verdict lines (`ok`/`REGRESSED`/`missing`).
+    pub lines: Vec<String>,
+    /// True when no record regressed beyond the threshold.
+    pub passed: bool,
+}
+
+/// Compares `current` against `baseline` record-by-record (matched on
+/// workload + backend), failing any record whose calibration-normalized
+/// simulated MIPS fell more than `threshold` (e.g. `0.15` = 15%) below
+/// the baseline's. Records the baseline has but `current` lacks fail
+/// too (silently dropping a bench would defeat the gate); records with
+/// an unmeasured (zero) MIPS on either side are reported but not gated.
+pub fn compare_baselines(
+    baseline: &BenchBaseline,
+    current: &BenchBaseline,
+    threshold: f64,
+) -> CompareReport {
+    let mut lines = Vec::new();
+    let mut passed = true;
+    for base in &baseline.records {
+        let key = format!("{} {}", base.workload, base.backend);
+        let Some(cur) = current
+            .records
+            .iter()
+            .find(|r| r.workload == base.workload && r.backend == base.backend)
+        else {
+            lines.push(format!("{key}: MISSING from current run"));
+            passed = false;
+            continue;
+        };
+        if base.mips <= 0.0 || cur.mips <= 0.0 {
+            lines.push(format!("{key}: not gated (unmeasured MIPS)"));
+            continue;
+        }
+        let base_norm = base.mips / baseline.calibration;
+        let cur_norm = cur.mips / current.calibration;
+        let delta = cur_norm / base_norm - 1.0;
+        if delta < -threshold {
+            lines.push(format!(
+                "{key}: REGRESSED {:+.1}% (normalized {base_norm:.4} -> {cur_norm:.4}, limit -{:.0}%)",
+                delta * 100.0,
+                threshold * 100.0
+            ));
+            passed = false;
+        } else {
+            lines.push(format!(
+                "{key}: ok {:+.1}% (normalized {base_norm:.4} -> {cur_norm:.4})",
+                delta * 100.0
+            ));
+        }
+    }
+    CompareReport { lines, passed }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,20 +283,133 @@ mod tests {
                 backend: "o3".into(),
                 wall_s: 1.25,
                 ipc: 0.91,
+                mips: 3.2,
             },
             BenchRecord {
                 workload: "co".into(),
                 backend: "analytic".into(),
                 wall_s: 0.02,
                 ipc: 1.10,
+                mips: 150.0,
             },
         ];
         let text = bench_json("model_agreement", &records);
         assert!(text.contains("\"bench\": \"model_agreement\""));
         assert!(text.contains("\"workload\": \"pd\""));
         assert!(text.contains("\"backend\": \"analytic\""));
+        assert!(text.contains("\"mips\""));
         // The document must parse back cleanly.
         let v = belenos_json::Json::parse(&text).expect("valid JSON");
         assert_eq!(v.get("records").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    fn record(workload: &str, mips: f64) -> BenchRecord {
+        BenchRecord {
+            workload: workload.into(),
+            backend: "o3".into(),
+            wall_s: 1.0,
+            ipc: 1.0,
+            mips,
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let base = BenchBaseline {
+            calibration: 123.4,
+            records: vec![record("pd", 3.5), record("co", 2.0)],
+        };
+        let parsed = BenchBaseline::parse(&base.to_json()).expect("round-trip");
+        assert_eq!(parsed.calibration, 123.4);
+        assert_eq!(parsed.records.len(), 2);
+        assert_eq!(parsed.records[0].workload, "pd");
+        assert_eq!(parsed.records[0].mips, 3.5);
+        // Records without a mips field (pre-telemetry documents) parse
+        // with mips = 0 and are excluded from gating.
+        let legacy = r#"{"calibration": 10.0, "records":
+            [{"workload": "pd", "backend": "o3", "wall_s": 1.0, "ipc": 0.9}]}"#;
+        let b = BenchBaseline::parse(legacy).expect("legacy records parse");
+        assert_eq!(b.records[0].mips, 0.0);
+        assert!(BenchBaseline::parse(r#"{"records": []}"#).is_err());
+        assert!(BenchBaseline::parse(r#"{"calibration": 0, "records": []}"#).is_err());
+    }
+
+    #[test]
+    fn compare_passes_on_equal_and_faster_runs() {
+        let base = BenchBaseline {
+            calibration: 100.0,
+            records: vec![record("pd", 3.0), record("co", 2.0)],
+        };
+        let equal = compare_baselines(&base, &base, 0.15);
+        assert!(equal.passed, "{:?}", equal.lines);
+        assert_eq!(equal.lines.len(), 2);
+        let faster = BenchBaseline {
+            calibration: 100.0,
+            records: vec![record("pd", 4.0), record("co", 2.5)],
+        };
+        assert!(compare_baselines(&base, &faster, 0.15).passed);
+    }
+
+    #[test]
+    fn compare_fails_on_a_20_percent_slowdown() {
+        let base = BenchBaseline {
+            calibration: 100.0,
+            records: vec![record("pd", 3.0), record("co", 2.0)],
+        };
+        let slowed = BenchBaseline {
+            calibration: 100.0,
+            records: vec![record("pd", 3.0 * 0.8), record("co", 2.0)],
+        };
+        let report = compare_baselines(&base, &slowed, 0.15);
+        assert!(!report.passed);
+        assert!(
+            report.lines.iter().any(|l| l.contains("REGRESSED")),
+            "{:?}",
+            report.lines
+        );
+        // A slowdown inside the threshold passes.
+        let minor = BenchBaseline {
+            calibration: 100.0,
+            records: vec![record("pd", 3.0 * 0.9), record("co", 2.0)],
+        };
+        assert!(compare_baselines(&base, &minor, 0.15).passed);
+    }
+
+    #[test]
+    fn compare_normalizes_away_host_speed() {
+        // The same code on a machine twice as fast: calibration and MIPS
+        // both double — no regression, no false pass the other way.
+        let base = BenchBaseline {
+            calibration: 100.0,
+            records: vec![record("pd", 3.0)],
+        };
+        let fast_machine = BenchBaseline {
+            calibration: 200.0,
+            records: vec![record("pd", 6.0)],
+        };
+        assert!(compare_baselines(&base, &fast_machine, 0.15).passed);
+        // A fast machine running regressed code still fails: MIPS only
+        // rose 1.5x against a 2x calibration.
+        let fast_but_regressed = BenchBaseline {
+            calibration: 200.0,
+            records: vec![record("pd", 4.5)],
+        };
+        assert!(!compare_baselines(&base, &fast_but_regressed, 0.15).passed);
+    }
+
+    #[test]
+    fn compare_fails_on_missing_records_and_skips_unmeasured() {
+        let base = BenchBaseline {
+            calibration: 100.0,
+            records: vec![record("pd", 3.0), record("co", 0.0)],
+        };
+        let current = BenchBaseline {
+            calibration: 100.0,
+            records: vec![record("co", 0.0)],
+        };
+        let report = compare_baselines(&base, &current, 0.15);
+        assert!(!report.passed, "dropped record must fail the gate");
+        assert!(report.lines.iter().any(|l| l.contains("MISSING")));
+        assert!(report.lines.iter().any(|l| l.contains("not gated")));
     }
 }

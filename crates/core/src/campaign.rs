@@ -769,6 +769,11 @@ pub struct CampaignReport {
     pub name: String,
     /// Per-analysis outcomes.
     pub outcomes: Vec<AnalysisOutcome>,
+    /// Telemetry roll-up: per-analysis wall time and cache traffic,
+    /// present only when a telemetry sink is configured (so runs without
+    /// one — including the golden-pinned tests — render byte-identically
+    /// to the pre-telemetry format).
+    pub rollup: Option<Report>,
 }
 
 impl CampaignReport {
@@ -783,6 +788,10 @@ impl CampaignReport {
                 Ok(report) => out.push_str(&report.to_text()),
                 Err(e) => out.push_str(&format!("FIGURE FAILED: {e}")),
             }
+            out.push('\n');
+        }
+        if let Some(rollup) = &self.rollup {
+            out.push_str(&rollup.to_text());
             out.push('\n');
         }
         out
@@ -806,6 +815,12 @@ impl CampaignReport {
                 Err(e) => out.push_str(&format!("# {}: FAILED: {e}\n", o.analysis.id())),
             }
         }
+        if let Some(rollup) = &self.rollup {
+            if !self.outcomes.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&rollup.to_csv());
+        }
         out
     }
 
@@ -820,7 +835,7 @@ impl CampaignReport {
 
 impl ToJson for CampaignReport {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("campaign", Json::Str(self.name.clone())),
             (
                 "reports",
@@ -837,7 +852,13 @@ impl ToJson for CampaignReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        // Emitted only when present, so telemetry-off documents keep the
+        // historical schema exactly.
+        if let Some(rollup) = &self.rollup {
+            pairs.push(("rollup", ToJson::to_json(rollup)));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -880,30 +901,99 @@ impl Campaign {
     /// Runs every requested analysis through `runner`, collecting
     /// per-analysis reports and failure records. Grid points shared
     /// between analyses hit the runner's content-addressed cache.
+    ///
+    /// With a telemetry sink configured, the run is wrapped in a
+    /// `campaign` span, each analysis in an `analysis` span, and the
+    /// returned report carries a [`CampaignReport::rollup`] section
+    /// tabulating per-analysis wall time and cache traffic.
     pub fn run(&self, runner: &Runner) -> CampaignReport {
+        let tele = belenos_telemetry::global();
+        let campaign_span = tele.span(
+            "campaign",
+            &[
+                ("campaign", self.spec.name.as_str().into()),
+                ("analyses", self.spec.analyses.len().into()),
+            ],
+        );
         let opts = &self.spec.options;
-        let outcomes = self
+        let mut rollup_rows: Vec<RollupRow> = Vec::new();
+        let outcomes: Vec<AnalysisOutcome> = self
             .spec
             .analyses
             .iter()
             .map(|&analysis| {
+                let _analysis_span = tele.span("analysis", &[("analysis", analysis.id().into())]);
+                let before = runner.cache().stats();
+                let t0 = std::time::Instant::now();
                 let exps: &[Experiment] = if analysis.needs_experiments() {
                     let key = set_key(&self.spec.workloads.specs_for(analysis));
                     self.experiments.get(&key).map(Vec::as_slice).unwrap_or(&[])
                 } else {
                     &[]
                 };
-                AnalysisOutcome {
-                    analysis,
-                    result: run_analysis(runner, analysis, exps, opts),
+                let result = run_analysis(runner, analysis, exps, opts);
+                if tele.enabled() {
+                    let after = runner.cache().stats();
+                    rollup_rows.push(RollupRow {
+                        analysis: analysis.id().to_string(),
+                        wall_s: t0.elapsed().as_secs_f64(),
+                        lookups: after.lookups().saturating_sub(before.lookups()),
+                        hits: after.hits.saturating_sub(before.hits),
+                        ok: result.is_ok(),
+                    });
                 }
+                AnalysisOutcome { analysis, result }
             })
             .collect();
+        let rollup = tele.enabled().then(|| rollup_report(&rollup_rows));
+        drop(campaign_span);
         CampaignReport {
             name: self.spec.name.clone(),
             outcomes,
+            rollup,
         }
     }
+}
+
+/// One analysis line of the telemetry roll-up.
+struct RollupRow {
+    analysis: String,
+    wall_s: f64,
+    lookups: u64,
+    hits: u64,
+    ok: bool,
+}
+
+/// Builds the roll-up [`Report`] appended to a telemetry-enabled
+/// campaign: one row per analysis with wall time and the cache traffic it
+/// generated, plus a totals row.
+fn rollup_report(rows: &[RollupRow]) -> Report {
+    let mut report = Report::new("telemetry_rollup");
+    let section = report.section(
+        "Telemetry roll-up: per-analysis wall time and runner-cache traffic",
+        &["Analysis", "Wall (s)", "Lookups", "Hits", "Status"],
+    );
+    for r in rows {
+        section.row(vec![
+            crate::report::Cell::text(&r.analysis),
+            crate::report::Cell::num(r.wall_s, 2),
+            crate::report::Cell::num(r.lookups as f64, 0),
+            crate::report::Cell::num(r.hits as f64, 0),
+            crate::report::Cell::text(if r.ok { "ok" } else { "FAILED" }),
+        ]);
+    }
+    section.row(vec![
+        crate::report::Cell::text("total"),
+        crate::report::Cell::num(rows.iter().map(|r| r.wall_s).sum(), 2),
+        crate::report::Cell::num(rows.iter().map(|r| r.lookups).sum::<u64>() as f64, 0),
+        crate::report::Cell::num(rows.iter().map(|r| r.hits).sum::<u64>() as f64, 0),
+        crate::report::Cell::text(if rows.iter().all(|r| r.ok) {
+            "ok"
+        } else {
+            "FAILED"
+        }),
+    ]);
+    report
 }
 
 /// Keys a resolved workload set by id *and* content digest, so two

@@ -97,6 +97,14 @@ impl Experiment {
     /// A [`PrepareError`] naming the scenario: either its parameters are
     /// structurally invalid, or the FE solve failed.
     pub fn prepare(spec: &ScenarioSpec) -> Result<Self, PrepareError> {
+        let tele = belenos_telemetry::global();
+        let _span = tele.span(
+            "phase",
+            &[
+                ("phase", "prepare".into()),
+                ("workload", spec.id.as_str().into()),
+            ],
+        );
         let fail = |source| PrepareError {
             workload: spec.id.clone(),
             source,
@@ -157,6 +165,26 @@ impl Experiment {
     /// representative budgeted measurements use
     /// [`Experiment::simulate_sampled`].
     pub fn simulate(&self, cfg: &CoreConfig, max_ops: usize) -> SimStats {
+        let tele = belenos_telemetry::global();
+        let _span = tele.span(
+            "phase",
+            &[
+                ("phase", "simulate".into()),
+                ("mode", "prefix".into()),
+                ("workload", self.id.as_str().into()),
+                ("max_ops", max_ops.into()),
+            ],
+        );
+        let stats = self.simulate_prefix(cfg, max_ops);
+        if tele.enabled() {
+            emit_stage_counters(&tele, &stats);
+        }
+        stats
+    }
+
+    /// Prefix-mode simulation body (see [`Experiment::simulate`], which
+    /// wraps it in a telemetry `phase` span).
+    fn simulate_prefix(&self, cfg: &CoreConfig, max_ops: usize) -> SimStats {
         let mut model = build_model(cfg);
         if max_ops == 0 {
             if let Some(ops) = self.cached_trace(None) {
@@ -193,8 +221,14 @@ impl Experiment {
         if budget == 0 {
             return None;
         }
+        let tele = belenos_telemetry::global();
         let mut cache = self.trace_cache.lock().unwrap();
         if cache.complete {
+            tele.counter(
+                "trace_memo_hit",
+                1,
+                &[("workload", self.id.as_str().into())],
+            );
             return cache.ops.clone();
         }
         let held = cache.ops.as_ref().map_or(0, |ops| ops.len() as u64);
@@ -212,6 +246,11 @@ impl Experiment {
                 }
                 if let Some(ops) = &cache.ops {
                     if ops.len() as u64 >= n {
+                        tele.counter(
+                            "trace_memo_hit",
+                            1,
+                            &[("workload", self.id.as_str().into())],
+                        );
                         return cache.ops.clone();
                     }
                 }
@@ -233,6 +272,11 @@ impl Experiment {
         // (Re-)expand from the log. The expander cannot resume mid-stream,
         // so growing a cached prefix pays a fresh pass — rare in practice,
         // since op budgets are constant within one binary.
+        tele.counter(
+            "trace_memo_miss",
+            1,
+            &[("workload", self.id.as_str().into())],
+        );
         let limit = need.unwrap_or(u64::MAX).min(cap.saturating_add(1));
         let mut ops: Vec<MicroOp> = Vec::with_capacity(limit.min(1 << 22) as usize);
         let mut expander = Expander::with_config(&self.log, self.expand.clone());
@@ -330,6 +374,33 @@ impl Experiment {
         if sampling.is_off() || max_ops == 0 {
             return self.simulate(cfg, max_ops);
         }
+        let tele = belenos_telemetry::global();
+        let _span = tele.span(
+            "phase",
+            &[
+                ("phase", "simulate".into()),
+                ("mode", "sampled".into()),
+                ("workload", self.id.as_str().into()),
+                ("max_ops", max_ops.into()),
+                ("intervals", sampling.intervals.into()),
+            ],
+        );
+        let stats = self.simulate_sampled_inner(cfg, max_ops, sampling);
+        if tele.enabled() {
+            emit_stage_counters(&tele, &stats);
+        }
+        stats
+    }
+
+    /// Sampled-mode simulation body (see [`Experiment::simulate_sampled`],
+    /// which wraps it in a telemetry `phase` span). Only reached when
+    /// sampling is actually on.
+    fn simulate_sampled_inner(
+        &self,
+        cfg: &CoreConfig,
+        max_ops: usize,
+        sampling: &SamplingConfig,
+    ) -> SimStats {
         let cached = self.cached_trace(None);
         let total = cached
             .as_ref()
@@ -417,6 +488,31 @@ impl<I: Iterator<Item = MicroOp>> Iterator for Counted<I> {
             self.consumed += 1;
         }
         op
+    }
+}
+
+/// Emits the per-stage cycle breakdown of a finished simulation as
+/// telemetry counters, attributed to the thread's current `phase` span.
+/// Purely observational: reads the already-computed [`SimStats`], never
+/// touches the model.
+fn emit_stage_counters(tele: &belenos_telemetry::Telemetry, stats: &SimStats) {
+    tele.counter("sim_cycles", stats.cycles, &[]);
+    tele.counter("sim_committed_ops", stats.committed_ops, &[]);
+    tele.counter("sim_squashed_ops", stats.squashed_ops, &[]);
+    tele.counter("sim_active_fetch_cycles", stats.active_fetch_cycles, &[]);
+    tele.counter("sim_icache_stall_cycles", stats.icache_stall_cycles, &[]);
+    tele.counter("sim_tlb_stall_cycles", stats.tlb_stall_cycles, &[]);
+    tele.counter("sim_squash_cycles", stats.squash_cycles, &[]);
+    tele.counter("sim_misc_stall_cycles", stats.misc_stall_cycles, &[]);
+    if stats.seconds() > 0.0 {
+        // Simulated-time MIPS of the modeled core (distinct from the
+        // runner's host-throughput `simulated_mips` gauge).
+        tele.gauge(
+            "core_mips",
+            stats.committed_ops as f64 / stats.seconds() / 1e6,
+            &[],
+        );
+        tele.gauge("ipc", stats.ipc(), &[]);
     }
 }
 

@@ -42,6 +42,10 @@ fn simulate_batch(
                 .with_sampling(opts.sampling.clone()),
         );
     }
+    let _span = belenos_telemetry::global().span(
+        "simulate_batch",
+        &[("label", label.into()), ("points", plan.len().into())],
+    );
     runner
         .run(experiments, &plan)
         .into_iter()

@@ -55,6 +55,14 @@ fn run_sweep(
     opts: &SimOptions,
 ) -> Result<Vec<SweepPoint>, SimFailure> {
     let plan = sweep_plan(experiments, values, opts);
+    let _span = belenos_telemetry::global().span(
+        "sweep",
+        &[
+            ("workloads", experiments.len().into()),
+            ("values", values.len().into()),
+            ("points", plan.len().into()),
+        ],
+    );
     runner
         .run(experiments, &plan)
         .into_iter()

@@ -16,7 +16,17 @@
 //!    remaining unique simulations across a `std::thread` worker pool
 //!    sized by `BELENOS_JOBS` (default: available parallelism);
 //! 3. progress and ETA stream to stderr, and a [`RunSummary`] reports the
-//!    cache-hit and dedup counters.
+//!    cache-hit and dedup counters plus queue-wait and p50/p95 job wall
+//!    times.
+//!
+//! When `BELENOS_TELEMETRY` (or the CLI's `--telemetry`) selects a sink,
+//! every batch additionally emits structured events through
+//! `belenos-telemetry`: a `batch` span wrapping per-executed-job `job`
+//! spans (parented across the worker-thread boundary), a
+//! `simulated_mips` gauge per job, cache-hit/dedup/failure counters and a
+//! `worker_utilization` gauge at batch end, and `progress` events
+//! mirroring the stderr lines. Telemetry is purely observational —
+//! results are bit-identical with it on, off, or unconfigured.
 //!
 //! Each simulation is deterministic and self-contained, so parallel
 //! execution is **bit-identical** to serial execution — the engine only
@@ -214,9 +224,36 @@ pub struct RunSummary {
     pub threads: usize,
     /// Wall-clock time of the batch.
     pub wall: Duration,
+    /// Summed time executed jobs spent waiting in the queue before a
+    /// worker picked them up (0 for an all-cached batch).
+    pub queue_wait: Duration,
+    /// Median wall-clock time of the executed simulations.
+    pub p50_wall: Duration,
+    /// 95th-percentile wall-clock time of the executed simulations.
+    pub p95_wall: Duration,
     /// Plan indices of executed simulations, in the order workers picked
     /// them up (`BELENOS_JOBS=1` makes this exactly the plan order).
     pub execution_order: Vec<usize>,
+}
+
+impl RunSummary {
+    /// Fraction of submitted jobs answered by pre-existing cache entries
+    /// (0.0 for an empty batch).
+    pub fn hit_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.jobs as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile of the executed-job wall times (`p` in 0..=100).
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
 }
 
 impl std::fmt::Display for RunSummary {
@@ -235,7 +272,16 @@ impl std::fmt::Display for RunSummary {
         if self.failed > 0 {
             write!(f, ", {} FAILED", self.failed)?;
         }
-        Ok(())
+        // Appended (never inserted) so historical log scrapers keep
+        // matching the prefix.
+        write!(
+            f,
+            " (hit-rate {:.0}%, queue-wait {:.2}s, p50 {:.3}s, p95 {:.3}s)",
+            self.hit_rate() * 100.0,
+            self.queue_wait.as_secs_f64(),
+            self.p50_wall.as_secs_f64(),
+            self.p95_wall.as_secs_f64()
+        )
     }
 }
 
@@ -366,6 +412,14 @@ impl Runner {
         plan: &RunPlan,
     ) -> (Vec<JobResult>, RunSummary) {
         let start = Instant::now();
+        let tele = belenos_telemetry::global();
+        let batch = tele.span(
+            "batch",
+            &[
+                ("jobs", plan.len().into()),
+                ("threads", self.threads.into()),
+            ],
+        );
         let keys: Vec<CacheKey> = plan
             .jobs()
             .iter()
@@ -411,18 +465,32 @@ impl Runner {
         // Workers pull in submission order (so one worker == serial order).
         todo.sort_unstable();
 
-        let fresh = self.execute(workloads, plan, &keys, &todo, cache_hits, start);
+        let fresh = self.execute(
+            workloads,
+            plan,
+            &keys,
+            &todo,
+            cache_hits,
+            start,
+            &tele,
+            batch.id(),
+        );
         let mut failed = 0usize;
-        for (idx, outcome) in &fresh {
+        let mut queue_wait = Duration::ZERO;
+        let mut exec_walls: Vec<Duration> = Vec::with_capacity(fresh.len());
+        for (idx, outcome, timing) in &fresh {
+            queue_wait += timing.queue_wait;
+            exec_walls.push(timing.exec);
             match outcome {
                 Ok(stats) => self.cache.insert(keys[*idx].clone(), stats),
                 Err(_) => failed += 1,
             }
         }
-        let execution_order: Vec<usize> = fresh.iter().map(|&(idx, _)| idx).collect();
+        exec_walls.sort_unstable();
+        let execution_order: Vec<usize> = fresh.iter().map(|&(idx, _, _)| idx).collect();
         let simulated_here: std::collections::HashSet<usize> =
             execution_order.iter().copied().collect();
-        for (idx, outcome) in fresh {
+        for (idx, outcome, _) in fresh {
             resolved.insert(&keys[idx], outcome);
         }
 
@@ -450,8 +518,31 @@ impl Runner {
             failed,
             threads: self.threads,
             wall: start.elapsed(),
+            queue_wait,
+            p50_wall: percentile(&exec_walls, 50),
+            p95_wall: percentile(&exec_walls, 95),
             execution_order,
         };
+        if tele.enabled() && summary.jobs > 0 {
+            tele.counter("jobs_submitted", summary.jobs as u64, &[]);
+            tele.counter("jobs_simulated", summary.simulated as u64, &[]);
+            tele.counter("cache_hits", summary.cache_hits as u64, &[]);
+            tele.counter("jobs_deduped", summary.deduped as u64, &[]);
+            if summary.failed > 0 {
+                tele.counter("jobs_failed", summary.failed as u64, &[]);
+            }
+            tele.gauge("cache_hit_rate", summary.hit_rate(), &[]);
+            tele.gauge("queue_wait_s", summary.queue_wait.as_secs_f64(), &[]);
+            // Fraction of worker capacity spent simulating (1.0 = all
+            // workers busy the whole batch).
+            let capacity = summary.wall.as_secs_f64() * summary.threads as f64;
+            if capacity > 0.0 {
+                let busy: f64 = exec_walls.iter().map(Duration::as_secs_f64).sum();
+                tele.gauge("worker_utilization", (busy / capacity).min(1.0), &[]);
+            }
+            tele.progress(&summary.to_string());
+        }
+        drop(batch);
         if self.progress && summary.jobs > 0 {
             eprintln!("{summary}");
         }
@@ -459,10 +550,15 @@ impl Runner {
     }
 
     /// Runs the `todo` subset of plan jobs on the worker pool, returning
-    /// `(plan index, outcome)` in the order workers started them. A job
-    /// whose simulation panics (a wedged-pipeline stall-limit abort, for
-    /// instance) is reported as `Err(message)` without disturbing the
-    /// other jobs or the worker that ran it.
+    /// `(plan index, outcome, timing)` in the order workers started them.
+    /// A job whose simulation panics (a wedged-pipeline stall-limit
+    /// abort, for instance) is reported as `Err(message)` without
+    /// disturbing the other jobs or the worker that ran it.
+    ///
+    /// Each executed job gets a telemetry `job` span parented (across the
+    /// worker-thread boundary) under `batch_span`, so experiment-level
+    /// `phase` spans opened inside `simulate` nest under the job.
+    #[allow(clippy::too_many_arguments)]
     fn execute<W: Simulate>(
         &self,
         workloads: &[W],
@@ -471,15 +567,16 @@ impl Runner {
         todo: &[usize],
         cache_hits: usize,
         start: Instant,
-    ) -> Vec<(usize, Result<SimStats, String>)> {
+        tele: &belenos_telemetry::Telemetry,
+        batch_span: u64,
+    ) -> Vec<ExecRow> {
         if todo.is_empty() {
             return Vec::new();
         }
         let threads = self.threads.min(todo.len());
         let cursor = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
-        let out: Mutex<Vec<(usize, Result<SimStats, String>)>> =
-            Mutex::new(Vec::with_capacity(todo.len()));
+        let out: Mutex<Vec<ExecRow>> = Mutex::new(Vec::with_capacity(todo.len()));
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -488,14 +585,33 @@ impl Runner {
                         break;
                     }
                     let idx = todo[slot];
+                    let picked = Instant::now();
+                    let queue_wait = picked.duration_since(start);
                     // Claim plan order up front so the execution-order log
                     // reflects start order even if jobs finish out of order.
                     let pos = {
                         let mut guard = out.lock().unwrap();
-                        guard.push((idx, Ok(SimStats::default())));
+                        guard.push((
+                            idx,
+                            Ok(SimStats::default()),
+                            ExecTiming {
+                                queue_wait,
+                                exec: Duration::ZERO,
+                            },
+                        ));
                         guard.len() - 1
                     };
                     let job = &plan.jobs()[idx];
+                    let job_span = tele.span_at(
+                        batch_span,
+                        "job",
+                        &[
+                            ("workload", keys[idx].workload.as_str().into()),
+                            ("label", job.label.as_str().into()),
+                            ("max_ops", job.max_ops.into()),
+                            ("queue_wait_s", queue_wait.as_secs_f64().into()),
+                        ],
+                    );
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         workloads[job.workload].simulate(&job.config, job.max_ops, &job.sampling)
                     }))
@@ -507,12 +623,33 @@ impl Runner {
                             panic_message(&*payload)
                         )
                     });
-                    out.lock().unwrap()[pos].1 = outcome;
+                    let exec = picked.elapsed();
+                    if let Ok(stats) = &outcome {
+                        // Simulated MIPS: committed micro-ops per host
+                        // wall second — the regression-gate metric.
+                        let secs = exec.as_secs_f64();
+                        if secs > 0.0 {
+                            tele.gauge(
+                                "simulated_mips",
+                                stats.committed_ops as f64 / secs / 1e6,
+                                &[
+                                    ("workload", keys[idx].workload.as_str().into()),
+                                    ("label", job.label.as_str().into()),
+                                ],
+                            );
+                        }
+                    }
+                    drop(job_span);
+                    {
+                        let mut guard = out.lock().unwrap();
+                        guard[pos].1 = outcome;
+                        guard[pos].2.exec = exec;
+                    }
                     let finished = done.fetch_add(1, Ordering::SeqCst) + 1;
-                    if self.progress {
+                    if self.progress || tele.enabled() {
                         let elapsed = start.elapsed().as_secs_f64();
                         let eta = elapsed / finished as f64 * (todo.len() - finished) as f64;
-                        eprintln!(
+                        let line = format!(
                             "runner: {}/{} simulated (+{} cached) [{} {}] {:.1}s elapsed, eta {:.1}s",
                             finished,
                             todo.len(),
@@ -522,12 +659,28 @@ impl Runner {
                             elapsed,
                             eta,
                         );
+                        tele.progress(&line);
+                        if self.progress {
+                            eprintln!("{line}");
+                        }
                     }
                 });
             }
         });
         out.into_inner().unwrap()
     }
+}
+
+/// One worker-pool result row: `(plan index, outcome, timing)`.
+type ExecRow = (usize, Result<SimStats, String>, ExecTiming);
+
+/// Per-executed-job timing collected by the worker pool.
+#[derive(Debug, Clone, Copy)]
+struct ExecTiming {
+    /// Time from batch start to a worker picking the job up.
+    queue_wait: Duration,
+    /// Wall time of the simulation itself.
+    exec: Duration,
 }
 
 /// Runs a simulation closure with the same per-job panic containment the
@@ -601,6 +754,9 @@ mod tests {
             failed: 0,
             threads: 2,
             wall: Duration::from_millis(1500),
+            queue_wait: Duration::from_millis(400),
+            p50_wall: Duration::from_millis(120),
+            p95_wall: Duration::from_millis(350),
             execution_order: vec![0, 1, 2, 3],
         };
         let text = s.to_string();
@@ -608,7 +764,28 @@ mod tests {
         assert!(text.contains("5 cache hit(s)"));
         assert!(text.contains("1 deduped"));
         assert!(!text.contains("FAILED"));
+        // New observability fields append after the legacy prefix.
+        assert!(text.contains("hit-rate 50%"));
+        assert!(text.contains("queue-wait 0.40s"));
+        assert!(text.contains("p50 0.120s"));
+        assert!(text.contains("p95 0.350s"));
         s.failed = 2;
         assert!(s.to_string().contains("2 FAILED"));
+    }
+
+    #[test]
+    fn hit_rate_and_percentiles_handle_empty_batches() {
+        let s = RunSummary::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(percentile(&[], 95), Duration::ZERO);
+        let walls = [
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+            Duration::from_millis(40),
+        ];
+        assert_eq!(percentile(&walls, 50), Duration::from_millis(20));
+        assert_eq!(percentile(&walls, 95), Duration::from_millis(30));
+        assert_eq!(percentile(&walls, 100), Duration::from_millis(40));
     }
 }

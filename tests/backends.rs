@@ -193,6 +193,38 @@ fn o3_full_trace_is_bit_identical_to_pre_refactor_capture() {
 }
 
 #[test]
+fn telemetry_is_purely_observational() {
+    // The pinned pd prefix digest must come out bit-identical whether
+    // telemetry is disabled (the default in tests) or recording to a
+    // buffer sink — instrumentation may observe a simulation but can
+    // never perturb it.
+    let exp = Experiment::prepare(&by_id("pd").expect("pd")).unwrap();
+    let cfg = CoreConfig::gem5_baseline();
+    let expected = O3_DIGESTS
+        .iter()
+        .find(|&&(id, ..)| id == "pd")
+        .expect("pd is pinned")
+        .1;
+    assert_eq!(digest(&exp.simulate(&cfg, 40_000)), expected);
+
+    let (sink, buf) = belenos_telemetry::Telemetry::to_buffer();
+    let previous = belenos_telemetry::install(sink);
+    let with_telemetry = digest(&exp.simulate(&cfg, 40_000));
+    belenos_telemetry::install(previous);
+
+    assert_eq!(
+        with_telemetry, expected,
+        "o3 digest drifted with a telemetry sink installed"
+    );
+    assert!(
+        buf.lines()
+            .iter()
+            .any(|l| l.contains("\"span_open\"") && l.contains("\"phase\"")),
+        "the instrumented run must actually have emitted phase spans"
+    );
+}
+
+#[test]
 fn explicit_o3_selection_matches_the_default() {
     // `model` defaults to O3; selecting it explicitly must change
     // nothing about the statistics (only the cache identity).

@@ -1,0 +1,237 @@
+//! End-to-end telemetry integration tests: a tiny campaign run against
+//! an in-memory sink must emit parseable JSONL with the full
+//! `campaign > analysis > batch > job > phase` span hierarchy, runner
+//! cache counters, MIPS gauges, and a roll-up section on the report —
+//! while a run without a sink stays byte-identical to the
+//! pre-telemetry output (the golden tests in `tests/campaign.rs` pin
+//! that; here we pin the rollup's absence).
+//!
+//! These tests swap the process-wide telemetry handle, so they are
+//! serialized through a lock — the other integration-test files never
+//! install a sink and are unaffected.
+
+use belenos::campaign::{Analysis, CampaignSpec, WorkloadSet};
+use belenos::options::SimOptions;
+use belenos_json::Json;
+use belenos_runner::Runner;
+use belenos_telemetry::{install, Telemetry, TelemetryBuffer};
+use std::sync::Mutex;
+
+/// Serializes tests that install a global sink (tests in one binary run
+/// on parallel threads).
+static GLOBAL_SINK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with a buffer sink installed globally, restoring the
+/// previous handle afterwards, and returns the captured events.
+fn with_buffer_sink<T>(f: impl FnOnce() -> T) -> (T, Vec<Json>) {
+    let _guard = GLOBAL_SINK.lock().unwrap_or_else(|e| e.into_inner());
+    let (sink, buf): (Telemetry, TelemetryBuffer) = Telemetry::to_buffer();
+    let previous = install(sink);
+    let out = f();
+    install(previous);
+    let events = buf
+        .lines()
+        .iter()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("unparseable event `{l}`: {e}")))
+        .collect();
+    (out, events)
+}
+
+fn tiny_campaign() -> CampaignSpec {
+    CampaignSpec::new("telemetry-smoke")
+        .with_workloads(WorkloadSet::Ids(vec!["pd".into()]))
+        .with_options(SimOptions::new(20_000))
+        .with_analysis(Analysis::Table1)
+        .with_analysis(Analysis::Topdown)
+}
+
+fn ev(e: &Json) -> &str {
+    e.get("ev").and_then(Json::as_str).unwrap_or("")
+}
+
+fn name(e: &Json) -> &str {
+    e.get("name").and_then(Json::as_str).unwrap_or("")
+}
+
+fn num(e: &Json, k: &str) -> u64 {
+    e.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64
+}
+
+#[test]
+fn campaign_run_emits_the_full_span_hierarchy() {
+    let (report, events) = with_buffer_sink(|| {
+        let campaign = tiny_campaign().prepare().expect("pd solves");
+        campaign.run(&Runner::isolated(2))
+    });
+    assert!(report.failures().is_empty());
+    assert!(!events.is_empty(), "an enabled sink must record events");
+
+    // Every span_open's parent chain reaches a campaign root:
+    // campaign > analysis > (sweep|simulate_batch) > batch > job > phase.
+    let opens: Vec<&Json> = events.iter().filter(|e| ev(e) == "span_open").collect();
+    fn chain_to_root(opens: &[&Json], e: &Json) -> Vec<String> {
+        let mut names = vec![name(e).to_string()];
+        let mut parent = num(e, "parent");
+        while parent != 0 {
+            let p = opens
+                .iter()
+                .find(|o| num(o, "id") == parent)
+                .expect("parent span was opened");
+            names.push(name(p).to_string());
+            parent = num(p, "parent");
+        }
+        names
+    }
+    let job_open = opens
+        .iter()
+        .find(|e| name(e) == "job")
+        .expect("runner emits job spans");
+    let chain = chain_to_root(&opens, job_open);
+    assert_eq!(
+        chain.last().map(String::as_str),
+        Some("campaign"),
+        "job span must chain to the campaign root, got {chain:?}"
+    );
+    assert!(
+        chain.iter().any(|n| n == "analysis"),
+        "job span must nest under an analysis span, got {chain:?}"
+    );
+    assert!(
+        chain.iter().any(|n| n == "batch"),
+        "job span must nest under a batch span, got {chain:?}"
+    );
+    let phase_open = opens
+        .iter()
+        .find(|e| name(e) == "phase" && e.get("phase").and_then(Json::as_str) == Some("simulate"))
+        .expect("experiment emits simulate phase spans");
+    assert!(
+        chain_to_root(&opens, phase_open).iter().any(|n| n == "job"),
+        "simulate phases run inside worker job spans"
+    );
+
+    // One analysis span per requested analysis, matched by id.
+    let analyses: Vec<&str> = opens
+        .iter()
+        .filter(|e| name(e) == "analysis")
+        .map(|e| e.get("analysis").and_then(Json::as_str).unwrap_or(""))
+        .collect();
+    assert_eq!(analyses, ["table1", "topdown"]);
+
+    // Every opened span closes, with a non-negative wall time.
+    let closes: Vec<&Json> = events.iter().filter(|e| ev(e) == "span_close").collect();
+    assert_eq!(opens.len(), closes.len(), "every span must close");
+    for c in &closes {
+        assert!(c.get("wall_s").and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0);
+    }
+
+    // Runner counters and MIPS gauges are present.
+    let counters: Vec<&str> = events
+        .iter()
+        .filter(|e| ev(e) == "counter")
+        .map(name)
+        .collect();
+    for expected in ["jobs_submitted", "jobs_simulated", "cache_hits"] {
+        assert!(counters.contains(&expected), "missing counter {expected}");
+    }
+    assert!(
+        counters.contains(&"sim_cycles"),
+        "per-stage cycle counters must be emitted"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| ev(e) == "gauge" && name(e) == "simulated_mips"),
+        "runner emits a simulated_mips gauge per executed job"
+    );
+}
+
+#[test]
+fn rollup_appears_only_when_telemetry_is_enabled() {
+    let (enabled_report, _) = with_buffer_sink(|| {
+        let campaign = tiny_campaign().prepare().expect("pd solves");
+        campaign.run(&Runner::isolated(1))
+    });
+    let rollup = enabled_report
+        .rollup
+        .as_ref()
+        .expect("telemetry-enabled runs carry a roll-up");
+    assert_eq!(rollup.id, "telemetry_rollup");
+    let section = &rollup.sections[0];
+    // One row per analysis plus the totals row.
+    assert_eq!(section.rows.len(), 3);
+    assert_eq!(section.rows[0][0].text, "table1");
+    assert_eq!(section.rows[2][0].text, "total");
+    // And the renderings carry it.
+    assert!(enabled_report.to_text().contains("Telemetry roll-up"));
+    assert!(enabled_report.to_json().contains("telemetry_rollup"));
+    assert!(enabled_report.to_csv().contains("# Telemetry roll-up"));
+
+    // Without a sink: no rollup, renderings identical to the historical
+    // schema (the golden byte-for-byte pins live in tests/campaign.rs).
+    let _guard = GLOBAL_SINK.lock().unwrap_or_else(|e| e.into_inner());
+    let disabled_report = tiny_campaign()
+        .prepare()
+        .expect("pd solves")
+        .run(&Runner::isolated(1));
+    assert!(disabled_report.rollup.is_none());
+    assert!(!disabled_report.to_text().contains("Telemetry roll-up"));
+    assert!(!disabled_report.to_json().contains("rollup"));
+}
+
+#[test]
+fn runner_progress_and_warn_events_reach_the_sink() {
+    let ((), events) = with_buffer_sink(|| {
+        let campaign = tiny_campaign().prepare().expect("pd solves");
+        // progress(false) runner: stderr stays silent, but the sink
+        // still receives structured progress events.
+        campaign.run(&Runner::isolated(2).progress(false));
+        belenos_telemetry::global().warn("synthetic warning");
+    });
+    assert!(
+        events.iter().any(|e| ev(e) == "progress"
+            && e.get("msg")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .starts_with("runner:")),
+        "runner progress lines must mirror into the sink"
+    );
+    let warn = events
+        .iter()
+        .find(|e| ev(e) == "warn")
+        .expect("warn event recorded");
+    assert_eq!(
+        warn.get("msg").and_then(Json::as_str),
+        Some("synthetic warning")
+    );
+}
+
+#[test]
+fn summary_carries_the_new_observability_fields() {
+    // Through the real experiment path (not synthetic summaries): an
+    // executed batch reports positive percentile walls and a hit-rate.
+    let _guard = GLOBAL_SINK.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = belenos_workloads::by_id("pd").expect("pd");
+    let exp = belenos::experiment::Experiment::prepare(&spec).expect("solves");
+    let mut plan = belenos_runner::RunPlan::new();
+    plan.job(
+        0,
+        "3GHz",
+        belenos_uarch::CoreConfig::gem5_baseline(),
+        20_000,
+    );
+    let runner = Runner::isolated(1);
+    let (_, first) = runner.run_with_summary(std::slice::from_ref(&exp), &plan);
+    assert_eq!(first.simulated, 1);
+    assert!(first.p50_wall > std::time::Duration::ZERO);
+    assert_eq!(first.p50_wall, first.p95_wall, "single job: p50 == p95");
+    assert_eq!(first.hit_rate(), 0.0);
+    // Re-running the same plan is a pure cache hit: no executed jobs, so
+    // percentiles are zero and the hit rate is 1.
+    let (_, second) = runner.run_with_summary(std::slice::from_ref(&exp), &plan);
+    assert_eq!(second.cache_hits, 1);
+    assert_eq!(second.hit_rate(), 1.0);
+    assert_eq!(second.p95_wall, std::time::Duration::ZERO);
+    let text = second.to_string();
+    assert!(text.contains("hit-rate 100%"), "{text}");
+    assert!(text.contains("queue-wait"), "{text}");
+}
