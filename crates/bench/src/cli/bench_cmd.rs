@@ -8,7 +8,11 @@
 //!   `BENCH_baseline.json` — commit it).
 //! * `bench compare [path]` re-measures the same benchmark and compares
 //!   calibration-normalized simulated MIPS against the committed
-//!   baseline, failing (non-zero exit) on any regression beyond 15%.
+//!   baseline, failing (non-zero exit) on any regression beyond 15% —
+//!   or any *improvement* beyond [`crate::IMPROVEMENT_LIMIT`], which
+//!   means the baseline went stale and must be deliberately recaptured
+//!   (`bench capture --note <why>`) before it can mask real
+//!   regressions.
 //!
 //! The calibration loop cancels raw host speed out of the comparison,
 //! so one committed baseline gates every machine: only code slowdowns
@@ -74,6 +78,7 @@ fn measure() -> Result<BenchBaseline, String> {
     Ok(BenchBaseline {
         calibration: calibrate(),
         records,
+        note: None,
     })
 }
 
@@ -110,7 +115,8 @@ fn path_arg(inv: &Invocation) -> String {
 pub fn run(inv: &Invocation) -> Result<(), String> {
     match inv.positionals.get(1).map(String::as_str) {
         Some("capture") => {
-            let baseline = measure_best(ATTEMPTS)?;
+            let mut baseline = measure_best(ATTEMPTS)?;
+            baseline.note = inv.note.clone();
             let path = path_arg(inv);
             std::fs::write(&path, baseline.to_json())
                 .map_err(|e| format!("could not write {path}: {e}"))?;

@@ -71,6 +71,9 @@ pub struct Invocation {
     /// `--telemetry V`: structured-event sink (`off`, `stderr`, or a
     /// JSONL path). `None` = leave the `BELENOS_TELEMETRY` selection.
     pub telemetry: Option<String>,
+    /// `--note TEXT`: recapture note recorded in a `bench capture`
+    /// baseline document.
+    pub note: Option<String>,
 }
 
 impl Invocation {
@@ -174,6 +177,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             "--json" => inv.json_out = Some(value(&mut it, "--json")?),
             "--csv" => inv.csv_out = Some(value(&mut it, "--csv")?),
             "--telemetry" => inv.telemetry = Some(value(&mut it, "--telemetry")?),
+            "--note" => inv.note = Some(value(&mut it, "--note")?),
             "--help" | "-h" => {
                 inv.positionals = vec!["help".into()];
                 return Ok(inv);
@@ -210,8 +214,11 @@ SUBCOMMANDS
   sampling                    SMARTS sampling accuracy/speed harness
   ablation <rcm|rob-iq>       RCM reordering / ROB-IQ window ablations
   bench capture [path]        measure the fixed perf bench, write a baseline
+                              (--note TEXT records why it was recaptured)
   bench compare [path]        gate current perf against a committed baseline
-                              (default path BENCH_baseline.json, 15% threshold)
+                              (default path BENCH_baseline.json, 15% threshold;
+                              >3x unexplained improvement also fails — stale
+                              baseline, recapture with --note)
 
 FLAGS (shared; flags override BELENOS_* environment variables)
   --max-ops N        micro-op budget per simulation   [BELENOS_MAX_OPS, 1000000]

@@ -139,21 +139,29 @@ pub struct BenchBaseline {
     pub calibration: f64,
     /// Per-(workload, backend) measurements.
     pub records: Vec<BenchRecord>,
+    /// Recapture note: why this baseline replaced its predecessor
+    /// (`bench capture --note`). The audit trail for deliberate
+    /// baseline moves — the improvement gate points at it when a
+    /// suspiciously large speedup suggests the baseline went stale.
+    pub note: Option<String>,
 }
 
 impl BenchBaseline {
     /// Serializes the baseline as a pretty-printed JSON document.
     pub fn to_json(&self) -> String {
         use belenos_json::{Json, ToJson};
-        Json::obj(vec![
+        let mut fields = vec![
             ("bench", Json::Str("baseline".to_string())),
             ("calibration", Json::Num(self.calibration)),
             (
                 "records",
                 Json::Arr(self.records.iter().map(ToJson::to_json).collect()),
             ),
-        ])
-        .pretty()
+        ];
+        if let Some(note) = &self.note {
+            fields.push(("note", Json::Str(note.clone())));
+        }
+        Json::obj(fields).pretty()
     }
 
     /// Parses a baseline document.
@@ -178,9 +186,15 @@ impl BenchBaseline {
             .iter()
             .map(BenchRecord::from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        let note = v
+            .get("note")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .filter(|s| !s.is_empty());
         Ok(BenchBaseline {
             calibration,
             records,
+            note,
         })
     }
 }
@@ -223,12 +237,25 @@ pub struct CompareReport {
     pub passed: bool,
 }
 
+/// Ratio of current to baseline normalized MIPS above which an
+/// *improvement* fails the gate: a >3x speedup without a baseline
+/// recapture means the committed baseline is stale, and a stale
+/// baseline silently masks every later regression smaller than the
+/// improvement. Recapture (with `bench capture --note <why>`) to
+/// acknowledge the new performance level.
+pub const IMPROVEMENT_LIMIT: f64 = 3.0;
+
 /// Compares `current` against `baseline` record-by-record (matched on
 /// workload + backend), failing any record whose calibration-normalized
 /// simulated MIPS fell more than `threshold` (e.g. `0.15` = 15%) below
 /// the baseline's. Records the baseline has but `current` lacks fail
 /// too (silently dropping a bench would defeat the gate); records with
 /// an unmeasured (zero) MIPS on either side are reported but not gated.
+///
+/// Improvements beyond [`IMPROVEMENT_LIMIT`] also fail: the baseline is
+/// stale and would mask any later regression smaller than the
+/// improvement. The fix is a deliberate recapture carrying a
+/// [`BenchBaseline::note`].
 pub fn compare_baselines(
     baseline: &BenchBaseline,
     current: &BenchBaseline,
@@ -259,6 +286,14 @@ pub fn compare_baselines(
                 "{key}: REGRESSED {:+.1}% (normalized {base_norm:.4} -> {cur_norm:.4}, limit -{:.0}%)",
                 delta * 100.0,
                 threshold * 100.0
+            ));
+            passed = false;
+        } else if cur_norm / base_norm > IMPROVEMENT_LIMIT {
+            lines.push(format!(
+                "{key}: IMPROVED {:+.1}% beyond {IMPROVEMENT_LIMIT}x — stale baseline; \
+                 recapture via `belenos bench capture --note <why>` so later \
+                 regressions are not masked (normalized {base_norm:.4} -> {cur_norm:.4})",
+                delta * 100.0
             ));
             passed = false;
         } else {
@@ -318,6 +353,7 @@ mod tests {
         let base = BenchBaseline {
             calibration: 123.4,
             records: vec![record("pd", 3.5), record("co", 2.0)],
+            note: None,
         };
         let parsed = BenchBaseline::parse(&base.to_json()).expect("round-trip");
         assert_eq!(parsed.calibration, 123.4);
@@ -339,6 +375,7 @@ mod tests {
         let base = BenchBaseline {
             calibration: 100.0,
             records: vec![record("pd", 3.0), record("co", 2.0)],
+            note: None,
         };
         let equal = compare_baselines(&base, &base, 0.15);
         assert!(equal.passed, "{:?}", equal.lines);
@@ -346,6 +383,7 @@ mod tests {
         let faster = BenchBaseline {
             calibration: 100.0,
             records: vec![record("pd", 4.0), record("co", 2.5)],
+            note: None,
         };
         assert!(compare_baselines(&base, &faster, 0.15).passed);
     }
@@ -355,10 +393,12 @@ mod tests {
         let base = BenchBaseline {
             calibration: 100.0,
             records: vec![record("pd", 3.0), record("co", 2.0)],
+            note: None,
         };
         let slowed = BenchBaseline {
             calibration: 100.0,
             records: vec![record("pd", 3.0 * 0.8), record("co", 2.0)],
+            note: None,
         };
         let report = compare_baselines(&base, &slowed, 0.15);
         assert!(!report.passed);
@@ -371,8 +411,60 @@ mod tests {
         let minor = BenchBaseline {
             calibration: 100.0,
             records: vec![record("pd", 3.0 * 0.9), record("co", 2.0)],
+            note: None,
         };
         assert!(compare_baselines(&base, &minor, 0.15).passed);
+    }
+
+    #[test]
+    fn compare_fails_on_unexplained_3x_improvement() {
+        let base = BenchBaseline {
+            calibration: 100.0,
+            records: vec![record("pd", 3.0), record("co", 2.0)],
+            note: None,
+        };
+        // A >3x normalized jump means the committed baseline is stale:
+        // the gate demands a deliberate recapture instead of silently
+        // absorbing headroom that would mask later regressions.
+        let leapt = BenchBaseline {
+            calibration: 100.0,
+            records: vec![record("pd", 3.0 * 3.2), record("co", 2.0)],
+            note: None,
+        };
+        let report = compare_baselines(&base, &leapt, 0.15);
+        assert!(!report.passed, "{:?}", report.lines);
+        assert!(
+            report
+                .lines
+                .iter()
+                .any(|l| l.contains("IMPROVED") && l.contains("--note")),
+            "{:?}",
+            report.lines
+        );
+        // Just inside the limit passes.
+        let within = BenchBaseline {
+            calibration: 100.0,
+            records: vec![record("pd", 3.0 * 2.9), record("co", 2.0)],
+            note: None,
+        };
+        assert!(compare_baselines(&base, &within, 0.15).passed);
+    }
+
+    #[test]
+    fn baseline_note_round_trips_and_stays_optional() {
+        let noted = BenchBaseline {
+            calibration: 50.0,
+            records: vec![record("pd", 3.0)],
+            note: Some("PR 7: FlatTrace + SoA o3 rewrite".into()),
+        };
+        let parsed = BenchBaseline::parse(&noted.to_json()).expect("round-trip");
+        assert_eq!(
+            parsed.note.as_deref(),
+            Some("PR 7: FlatTrace + SoA o3 rewrite")
+        );
+        // Pre-note documents parse with no note.
+        let legacy = r#"{"calibration": 10.0, "records": []}"#;
+        assert!(BenchBaseline::parse(legacy).expect("legacy").note.is_none());
     }
 
     #[test]
@@ -382,10 +474,12 @@ mod tests {
         let base = BenchBaseline {
             calibration: 100.0,
             records: vec![record("pd", 3.0)],
+            note: None,
         };
         let fast_machine = BenchBaseline {
             calibration: 200.0,
             records: vec![record("pd", 6.0)],
+            note: None,
         };
         assert!(compare_baselines(&base, &fast_machine, 0.15).passed);
         // A fast machine running regressed code still fails: MIPS only
@@ -393,6 +487,7 @@ mod tests {
         let fast_but_regressed = BenchBaseline {
             calibration: 200.0,
             records: vec![record("pd", 4.5)],
+            note: None,
         };
         assert!(!compare_baselines(&base, &fast_but_regressed, 0.15).passed);
     }
@@ -402,10 +497,12 @@ mod tests {
         let base = BenchBaseline {
             calibration: 100.0,
             records: vec![record("pd", 3.0), record("co", 0.0)],
+            note: None,
         };
         let current = BenchBaseline {
             calibration: 100.0,
             records: vec![record("co", 0.0)],
+            note: None,
         };
         let report = compare_baselines(&base, &current, 0.15);
         assert!(!report.passed, "dropped record must fail the gate");

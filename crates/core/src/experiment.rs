@@ -3,8 +3,8 @@
 
 use belenos_fem::FemError;
 use belenos_trace::expand::{ExpandConfig, Expander};
-use belenos_trace::{KernelCall, MicroOp, PhaseLog};
-use belenos_uarch::{build_model, CoreConfig, Fnv64, SamplingConfig, SimStats};
+use belenos_trace::{FlatTrace, KernelCall, MicroOp, PhaseLog};
+use belenos_uarch::{build_model, CoreConfig, CoreModel, Fnv64, SamplingConfig, SimStats};
 use belenos_workloads::{ScenarioError, ScenarioSpec};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
@@ -49,18 +49,46 @@ pub struct Experiment {
     trace_at_least: std::sync::atomic::AtomicU64,
     /// Memoized expanded-trace prefix (see [`Experiment::cached_trace`]).
     trace_cache: Mutex<TraceCache>,
+    /// Pooled core model reused across simulation calls (see
+    /// [`Experiment::pooled_model`]).
+    model_pool: ModelPool,
 }
 
-/// Memoized expansion of a trace prefix. Replaying a cached `Vec<MicroOp>`
-/// yields the exact op sequence streaming expansion yields (expansion is
-/// deterministic and prefix-closed), so every backend's results are
-/// bit-identical either way — but repeated runs over the same experiment
-/// (sweeps, cross-backend comparisons) skip the per-op generation cost,
-/// which otherwise puts a floor under the fast analytic backend.
+/// One-slot pool holding the most recently used core model together
+/// with the configuration it was built for. Rebuilding a model per
+/// `simulate` call was the single largest cost of a short timed run —
+/// the ring buffers, cache tag arrays and predictor tables are freed
+/// and re-allocated (and re-page-faulted) every call. Reusing the model
+/// via [`CoreModel::reset`] keeps those arrays resident; the reset
+/// contract guarantees bit-identical statistics, which the backend
+/// digest pins enforce. A config change simply misses the pool and
+/// rebuilds, so alternating-config sweeps are never worse than before.
+#[derive(Default)]
+struct ModelPool {
+    slot: Mutex<Option<(CoreConfig, Box<dyn CoreModel>)>>,
+}
+
+impl std::fmt::Debug for ModelPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let occupied = self.slot.lock().map(|s| s.is_some()).unwrap_or(false);
+        f.debug_struct("ModelPool")
+            .field("occupied", &occupied)
+            .finish()
+    }
+}
+
+/// Memoized expansion of a trace prefix, stored as a struct-of-arrays
+/// [`FlatTrace`]. Replaying a cached flat trace yields the exact op
+/// sequence streaming expansion yields (expansion is deterministic and
+/// prefix-closed), so every backend's results are bit-identical either
+/// way — but repeated runs over the same experiment (sweeps,
+/// cross-backend comparisons) skip the per-op generation cost, and the
+/// columnar layout feeds the simulators' hot loops with a denser,
+/// monomorphized stream (see [`belenos_uarch::CoreModel::run_warm_flat`]).
 #[derive(Debug, Default)]
 struct TraceCache {
     /// Longest prefix expanded so far, shared with in-flight runs.
-    ops: Option<Arc<Vec<MicroOp>>>,
+    ops: Option<Arc<FlatTrace>>,
     /// The cached prefix is the entire trace.
     complete: bool,
     /// The full trace exceeds the cache cap; never re-attempt it.
@@ -133,6 +161,7 @@ impl Experiment {
             total_ops: OnceLock::new(),
             trace_at_least: std::sync::atomic::AtomicU64::new(0),
             trace_cache: Mutex::new(TraceCache::default()),
+            model_pool: ModelPool::default(),
         })
     }
 
@@ -182,13 +211,40 @@ impl Experiment {
         stats
     }
 
+    /// Takes the pooled model for `cfg` (reset to its just-built state),
+    /// or builds a fresh one on a pool miss. Pair with
+    /// [`Experiment::pool_model`] to return it after the run.
+    fn pooled_model(&self, cfg: &CoreConfig) -> Box<dyn CoreModel> {
+        let mut slot = self.model_pool.slot.lock().unwrap();
+        if slot.as_ref().is_some_and(|(pooled, _)| pooled == cfg) {
+            let (_, mut model) = slot.take().expect("checked occupied");
+            drop(slot);
+            model.reset();
+            return model;
+        }
+        drop(slot);
+        build_model(cfg)
+    }
+
+    /// Returns a model to the pool for the next run on this config.
+    fn pool_model(&self, cfg: &CoreConfig, model: Box<dyn CoreModel>) {
+        *self.model_pool.slot.lock().unwrap() = Some((cfg.clone(), model));
+    }
+
     /// Prefix-mode simulation body (see [`Experiment::simulate`], which
     /// wraps it in a telemetry `phase` span).
     fn simulate_prefix(&self, cfg: &CoreConfig, max_ops: usize) -> SimStats {
-        let mut model = build_model(cfg);
+        let mut model = self.pooled_model(cfg);
+        let stats = self.simulate_prefix_on(model.as_mut(), max_ops);
+        self.pool_model(cfg, model);
+        stats
+    }
+
+    fn simulate_prefix_on(&self, model: &mut dyn CoreModel, max_ops: usize) -> SimStats {
         if max_ops == 0 {
             if let Some(ops) = self.cached_trace(None) {
-                return model.run(&mut ops.iter().copied());
+                self.count_flat_hit();
+                return model.run_flat(&ops);
             }
             let mut expander = Expander::with_config(&self.log, self.expand.clone());
             return model.run(&mut expander);
@@ -199,9 +255,10 @@ impl Experiment {
         // and actual trace — so an oversized budget cannot discard the
         // whole trace as warmup and report empty statistics.
         if let Some(ops) = self.cached_trace(Some(max_ops as u64)) {
-            let measured = (max_ops as u64).min(ops.len() as u64);
-            let mut limited = ops.iter().copied().take(max_ops);
-            return model.run_warm(&mut limited, measured / 4);
+            self.count_flat_hit();
+            let end = max_ops.min(ops.len());
+            let measured = end as u64;
+            return model.run_warm_flat(&ops, 0, end, measured / 4);
         }
         let measured = (max_ops as u64).min(self.trace_ops_up_to(max_ops as u64));
         let expander = Expander::with_config(&self.log, self.expand.clone());
@@ -215,7 +272,7 @@ impl Experiment {
     /// (`BELENOS_TRACE_CACHE_MB=0`), the request exceeds the cap, or a
     /// whole-trace request finds the trace larger than the cap — callers
     /// fall back to streaming expansion, which is always bit-equivalent.
-    fn cached_trace(&self, need: Option<u64>) -> Option<Arc<Vec<MicroOp>>> {
+    fn cached_trace(&self, need: Option<u64>) -> Option<Arc<FlatTrace>> {
         use std::sync::atomic::Ordering;
         let budget = trace_cache_budget_ops();
         if budget == 0 {
@@ -278,7 +335,7 @@ impl Experiment {
             &[("workload", self.id.as_str().into())],
         );
         let limit = need.unwrap_or(u64::MAX).min(cap.saturating_add(1));
-        let mut ops: Vec<MicroOp> = Vec::with_capacity(limit.min(1 << 22) as usize);
+        let mut ops = FlatTrace::with_capacity(limit.min(1 << 22) as usize);
         let mut expander = Expander::with_config(&self.log, self.expand.clone());
         let mut exhausted = false;
         while (ops.len() as u64) < limit {
@@ -307,6 +364,20 @@ impl Experiment {
         TRACE_CACHE_USED_OPS.fetch_add(n - held, Ordering::Relaxed);
         cache.ops = Some(Arc::new(ops));
         cache.ops.clone()
+    }
+
+    /// Records that a simulation consumed the memoized [`FlatTrace`]
+    /// directly (the struct-of-arrays fast path, as opposed to streaming
+    /// expansion).
+    fn count_flat_hit(&self) {
+        let tele = belenos_telemetry::global();
+        if tele.enabled() {
+            tele.counter(
+                "flat_trace_hits",
+                1,
+                &[("workload", self.id.as_str().into())],
+            );
+        }
     }
 
     /// Releases this experiment's trace cache back to the process-wide
@@ -401,15 +472,53 @@ impl Experiment {
         max_ops: usize,
         sampling: &SamplingConfig,
     ) -> SimStats {
+        let mut model = self.pooled_model(cfg);
+        let stats = self.simulate_sampled_on(model.as_mut(), cfg, max_ops, sampling);
+        self.pool_model(cfg, model);
+        stats
+    }
+
+    fn simulate_sampled_on(
+        &self,
+        model: &mut dyn CoreModel,
+        cfg: &CoreConfig,
+        max_ops: usize,
+        sampling: &SamplingConfig,
+    ) -> SimStats {
         let cached = self.cached_trace(None);
         let total = cached
             .as_ref()
             .map_or_else(|| self.total_trace_ops(), |ops| ops.len() as u64);
-        let mut model = build_model(cfg);
-        let mut inner: Box<dyn Iterator<Item = MicroOp> + '_> = match &cached {
-            Some(ops) => Box::new(ops.iter().copied()),
-            None => Box::new(Expander::with_config(&self.log, self.expand.clone())),
-        };
+        if let Some(ops) = &cached {
+            self.count_flat_hit();
+            if max_ops as u64 >= total {
+                // One interval covering the whole trace: simulate exactly.
+                return model.run_flat(ops);
+            }
+            // Window positions are absolute trace offsets, so the flat
+            // path warms and measures by range with no counting adapter.
+            let windows = sampling_windows(total, max_ops as u64, sampling.intervals);
+            let mut merged = SimStats {
+                freq_ghz: cfg.freq_ghz,
+                ..SimStats::default()
+            };
+            let mut pos = 0usize;
+            for (start, len) in windows {
+                let start = start as usize;
+                let gap = start.saturating_sub(pos);
+                model.warm_only_flat(ops, pos, start, gap as u64);
+                let warmup = (len as f64 * sampling.warmup_frac) as u64;
+                let end = start + len as usize;
+                let stats = model.run_warm_flat(ops, start, end, warmup);
+                merged.merge(&stats);
+                pos = end;
+            }
+            if merged.committed_ops == 0 {
+                return merged;
+            }
+            return merged.scaled(total as f64 / merged.committed_ops as f64);
+        }
+        let mut inner = Expander::with_config(&self.log, self.expand.clone());
         if max_ops as u64 >= total {
             // One interval covering the whole trace: simulate it exactly.
             return model.run(&mut inner);

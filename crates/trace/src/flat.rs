@@ -1,0 +1,294 @@
+//! Flattened, pre-decoded trace storage: a struct-of-arrays mirror of
+//! [`MicroOp`] built once and replayed many times.
+//!
+//! The expanded-trace memo used to hold a `Vec<MicroOp>`: 40 bytes per
+//! op, with every field of every op pulled through the cache even when a
+//! consumer only needs the op kind and dependency distances. `FlatTrace`
+//! stores the same sequence as parallel primitive arrays, so
+//!
+//! * the memo footprint drops to ~29 bytes/op, and
+//! * replay iterates dense, homogeneous slices — the layout the hot
+//!   simulation loops are fastest at streaming.
+//!
+//! Replay is **bit-identical** to the `Vec<MicroOp>` (and streaming
+//! expander) form: [`FlatTrace::get`] reconstructs exactly the op that
+//! was pushed, field for field, and [`FlatTrace::range`] yields the same
+//! sequence any other trace source yields. The o3 digest pins in
+//! `tests/backends.rs` hold across all three representations.
+
+use crate::op::{FnCategory, MicroOp, OpKind};
+
+/// A micro-op trace in struct-of-arrays layout.
+///
+/// Field correspondence with [`MicroOp`] (one entry per op, all arrays
+/// share one length):
+///
+/// | array    | `MicroOp` field | notes                                  |
+/// |----------|-----------------|----------------------------------------|
+/// | `kind`   | `kind`          | functional class (1 byte)              |
+/// | `pc`     | `pc`            | synthetic program counter              |
+/// | `addr`   | `addr`          | effective address (loads/stores)       |
+/// | `size`   | `size`          | access size in bytes (loads/stores)    |
+/// | `taken`  | `taken`         | branch outcome (branches only)         |
+/// | `target` | `target`        | branch target pc (branches only)       |
+/// | `dep1`   | `dep1`          | producer distance 1 (0 = none)         |
+/// | `dep2`   | `dep2`          | producer distance 2 (0 = none)         |
+/// | `cat`    | `cat`           | hotspot category (1 byte)              |
+#[derive(Debug, Default, Clone)]
+pub struct FlatTrace {
+    kind: Vec<OpKind>,
+    pc: Vec<u32>,
+    addr: Vec<u64>,
+    size: Vec<u8>,
+    taken: Vec<bool>,
+    target: Vec<u32>,
+    dep1: Vec<u32>,
+    dep2: Vec<u32>,
+    cat: Vec<FnCategory>,
+}
+
+impl FlatTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        FlatTrace::default()
+    }
+
+    /// An empty trace with room for `n` ops in every array.
+    pub fn with_capacity(n: usize) -> Self {
+        FlatTrace {
+            kind: Vec::with_capacity(n),
+            pc: Vec::with_capacity(n),
+            addr: Vec::with_capacity(n),
+            size: Vec::with_capacity(n),
+            taken: Vec::with_capacity(n),
+            target: Vec::with_capacity(n),
+            dep1: Vec::with_capacity(n),
+            dep2: Vec::with_capacity(n),
+            cat: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of ops stored.
+    pub fn len(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// True when no ops are stored.
+    pub fn is_empty(&self) -> bool {
+        self.kind.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (capacity-based).
+    pub fn footprint_bytes(&self) -> usize {
+        self.kind.capacity()
+            + self.pc.capacity() * 4
+            + self.addr.capacity() * 8
+            + self.size.capacity()
+            + self.taken.capacity()
+            + self.target.capacity() * 4
+            + self.dep1.capacity() * 4
+            + self.dep2.capacity() * 4
+            + self.cat.capacity()
+    }
+
+    /// Appends one op, scattering its fields across the arrays.
+    pub fn push(&mut self, op: MicroOp) {
+        self.kind.push(op.kind);
+        self.pc.push(op.pc);
+        self.addr.push(op.addr);
+        self.size.push(op.size);
+        self.taken.push(op.taken);
+        self.target.push(op.target);
+        self.dep1.push(op.dep1);
+        self.dep2.push(op.dep2);
+        self.cat.push(op.cat);
+    }
+
+    /// Reconstructs op `i` exactly as it was pushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> MicroOp {
+        MicroOp {
+            kind: self.kind[i],
+            pc: self.pc[i],
+            addr: self.addr[i],
+            size: self.size[i],
+            taken: self.taken[i],
+            target: self.target[i],
+            dep1: self.dep1[i],
+            dep2: self.dep2[i],
+            cat: self.cat[i],
+        }
+    }
+
+    /// Iterates ops `start..end` (clamped to the trace length) as
+    /// reconstructed [`MicroOp`]s. The returned iterator is a concrete
+    /// type, so loops driven by it monomorphize — no per-op virtual
+    /// dispatch, unlike the `&mut dyn Iterator` trace seam.
+    pub fn range(&self, start: usize, end: usize) -> FlatIter<'_> {
+        let end = end.min(self.len());
+        FlatIter {
+            kind: &self.kind,
+            pc: &self.pc,
+            addr: &self.addr,
+            size: &self.size,
+            taken: &self.taken,
+            target: &self.target,
+            dep1: &self.dep1,
+            dep2: &self.dep2,
+            cat: &self.cat,
+            next: start.min(end),
+            end,
+        }
+    }
+
+    /// Iterates the whole trace.
+    pub fn iter(&self) -> FlatIter<'_> {
+        self.range(0, self.len())
+    }
+}
+
+impl FromIterator<MicroOp> for FlatTrace {
+    fn from_iter<T: IntoIterator<Item = MicroOp>>(iter: T) -> Self {
+        let iter = iter.into_iter();
+        let mut t = FlatTrace::with_capacity(iter.size_hint().0);
+        for op in iter {
+            t.push(op);
+        }
+        t
+    }
+}
+
+impl<'a> IntoIterator for &'a FlatTrace {
+    type Item = MicroOp;
+    type IntoIter = FlatIter<'a>;
+
+    fn into_iter(self) -> FlatIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`FlatTrace`] range, yielding reconstructed
+/// [`MicroOp`]s.
+///
+/// Holds one slice per field array so the per-op reassembly is nine
+/// unchecked loads: the single `next < end` compare subsumes every
+/// bounds check (all arrays share one length, and `end` is clamped to
+/// it at construction).
+#[derive(Debug, Clone)]
+pub struct FlatIter<'a> {
+    kind: &'a [OpKind],
+    pc: &'a [u32],
+    addr: &'a [u64],
+    size: &'a [u8],
+    taken: &'a [bool],
+    target: &'a [u32],
+    dep1: &'a [u32],
+    dep2: &'a [u32],
+    cat: &'a [FnCategory],
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for FlatIter<'_> {
+    type Item = MicroOp;
+
+    #[inline]
+    fn next(&mut self) -> Option<MicroOp> {
+        let i = self.next;
+        if i >= self.end {
+            return None;
+        }
+        self.next = i + 1;
+        // SAFETY: `i < end`, `end <= kind.len()` (clamped in `range`),
+        // and every field array has the same length (`push` appends to
+        // all nine in lockstep).
+        unsafe {
+            Some(MicroOp {
+                kind: *self.kind.get_unchecked(i),
+                pc: *self.pc.get_unchecked(i),
+                addr: *self.addr.get_unchecked(i),
+                size: *self.size.get_unchecked(i),
+                taken: *self.taken.get_unchecked(i),
+                target: *self.target.get_unchecked(i),
+                dep1: *self.dep1.get_unchecked(i),
+                dep2: *self.dep2.get_unchecked(i),
+                cat: *self.cat.get_unchecked(i),
+            })
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.next;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for FlatIter<'_> {}
+
+// Once exhausted the iterator stays exhausted, so `Fuse` adapters
+// specialize to a pass-through instead of tracking a done flag on the
+// simulator's per-op hot path.
+impl std::iter::FusedIterator for FlatIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<MicroOp> {
+        vec![
+            MicroOp::int(0x10, 1, 2, FnCategory::Internal),
+            MicroOp::load(0x14, 0xdead_beef, 8, 3, FnCategory::Sparsity),
+            MicroOp::store(0x18, 0xfeed, 4, 1, FnCategory::MklBlas),
+            MicroOp::branch(0x1c, 0x10, true, 2, FnCategory::MatrixDense),
+            MicroOp::fp(OpKind::FpDiv, 0x20, 4, 0, FnCategory::MklPardiso),
+            MicroOp::pause(0x24, FnCategory::FebioSpecific),
+            MicroOp::serialize(0x28, FnCategory::Internal),
+        ]
+    }
+
+    #[test]
+    fn roundtrips_every_field() {
+        let ops = sample_ops();
+        let flat: FlatTrace = ops.iter().copied().collect();
+        assert_eq!(flat.len(), ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(flat.get(i), *op, "op {i}");
+        }
+        let replayed: Vec<MicroOp> = flat.iter().collect();
+        assert_eq!(replayed, ops);
+    }
+
+    #[test]
+    fn range_clamps_and_counts() {
+        let flat: FlatTrace = sample_ops().into_iter().collect();
+        let mid: Vec<MicroOp> = flat.range(2, 5).collect();
+        assert_eq!(mid, sample_ops()[2..5].to_vec());
+        assert_eq!(flat.range(5, 100).count(), 2, "end clamps to len");
+        assert_eq!(flat.range(9, 100).count(), 0, "start past end is empty");
+        assert_eq!(flat.range(0, 0).count(), 0);
+        let it = flat.iter();
+        assert_eq!(it.len(), flat.len(), "exact size");
+    }
+
+    #[test]
+    fn empty_trace_is_empty() {
+        let flat = FlatTrace::new();
+        assert!(flat.is_empty());
+        assert_eq!(flat.iter().next(), None);
+    }
+
+    #[test]
+    fn soa_is_denser_than_vec_of_microop() {
+        // The point of the layout: a stored op costs well under the
+        // 40-byte `MicroOp` struct (29 bytes of payload across arrays).
+        let mut flat = FlatTrace::with_capacity(1000);
+        for op in sample_ops().into_iter().cycle().take(1000) {
+            flat.push(op);
+        }
+        assert!(flat.footprint_bytes() < 1000 * std::mem::size_of::<MicroOp>());
+    }
+}

@@ -36,11 +36,13 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod expand;
+pub mod flat;
 pub mod layout;
 pub mod op;
 pub mod program;
 pub mod stats;
 
+pub use flat::{FlatIter, FlatTrace};
 pub use layout::AddressSpace;
 pub use op::{FnCategory, MicroOp, OpKind};
 pub use program::{KernelCall, MaterialClass, PhaseLog, PrecondClass};

@@ -459,6 +459,14 @@ impl CoreModel for AnalyticCore {
         &self.cfg
     }
 
+    fn reset(&mut self) {
+        self.hierarchy.reset();
+        self.itlb.reset();
+        self.dtlb.reset();
+        self.predictor.reset();
+        self.btb.reset();
+    }
+
     fn run_warm(&mut self, trace: &mut dyn Iterator<Item = MicroOp>, warmup_ops: u64) -> SimStats {
         AnalyticCore::run_warm(self, trace, warmup_ops)
     }

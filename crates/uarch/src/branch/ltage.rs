@@ -14,6 +14,10 @@ const BASE_ENTRIES: usize = 4096;
 /// Sentinel for an unoccupied entry; real tags are 10-bit (< 1024).
 const INVALID_TAG: u16 = u16::MAX;
 
+/// Fixed xorshift seed for the allocation tie-breaker (deterministic
+/// across runs and across [`BranchPredictor::reset`]).
+const RNG_SEED: u64 = 0x2545_F491_4F6C_DD1D;
+
 #[derive(Debug, Clone, Copy)]
 struct TageEntry {
     tag: u16,
@@ -50,7 +54,7 @@ impl LtageBp {
                 NUM_TABLES
             ],
             ghr: 0,
-            rng: 0x2545_F491_4F6C_DD1D,
+            rng: RNG_SEED,
         }
     }
 
@@ -190,6 +194,19 @@ impl BranchPredictor for LtageBp {
             }
         }
         self.ghr = (self.ghr << 1) | taken as u128;
+    }
+
+    fn reset(&mut self) {
+        self.base.fill(1);
+        for table in &mut self.tables {
+            table.fill(TageEntry {
+                tag: INVALID_TAG,
+                ctr: 3,
+                useful: 0,
+            });
+        }
+        self.ghr = 0;
+        self.rng = RNG_SEED;
     }
 
     fn name(&self) -> &'static str {

@@ -9,12 +9,19 @@ use crate::dram::Dram;
 #[derive(Debug, Clone)]
 pub struct Cache {
     sets: usize,
+    /// `sets - 1` when `sets` is a power of two (the common case):
+    /// set selection is then a mask, not a per-access modulo.
+    set_mask: Option<usize>,
     assoc: usize,
     line_shift: u32,
     /// `tags[set * assoc + way]`; `u64::MAX` = invalid.
     tags: Vec<u64>,
     dirty: Vec<bool>,
     lru: Vec<u64>,
+    /// Most-recently-touched way per set, probed before the way scan.
+    /// Pure lookup acceleration: hit/miss/victim decisions are
+    /// unchanged (a matching tag is unique within a set).
+    mru_way: Vec<u16>,
     stamp: u64,
     hit_latency: u64,
     mshrs: usize,
@@ -46,11 +53,13 @@ impl Cache {
         let sets = cfg.sets();
         Cache {
             sets,
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
             assoc: cfg.assoc,
             line_shift: cfg.line_bytes.trailing_zeros(),
             tags: vec![u64::MAX; sets * cfg.assoc],
             dirty: vec![false; sets * cfg.assoc],
             lru: vec![0; sets * cfg.assoc],
+            mru_way: vec![0; sets],
             stamp: 0,
             hit_latency: cfg.hit_latency,
             mshrs: cfg.mshrs,
@@ -67,7 +76,15 @@ impl Cache {
     }
 
     /// True when an MSHR is available at `now` (retires completed misses).
+    ///
+    /// Completed entries are only compacted when the list looks full:
+    /// under the limit the answer is `true` regardless of staleness, so
+    /// the common unsaturated case skips the retain scan entirely.
+    /// (`next_outstanding` filters by time and never reads stale slots.)
     pub fn mshr_available(&mut self, now: u64) -> bool {
+        if self.outstanding.len() < self.mshrs {
+            return true;
+        }
         self.outstanding.retain(|&c| c > now);
         self.outstanding.len() < self.mshrs
     }
@@ -75,6 +92,14 @@ impl Cache {
     /// Registers an outstanding miss completing at `done`.
     pub fn note_miss_outstanding(&mut self, done: u64) {
         self.outstanding.push(done);
+    }
+
+    /// Earliest outstanding-miss completion at or after `now`, if any —
+    /// the next cycle at which an MSHR frees up. Used by the o3
+    /// fast-forward as a wake candidate (misses noted by store commits
+    /// never enter the event heap, only this list).
+    pub fn next_outstanding(&self, now: u64) -> Option<u64> {
+        self.outstanding.iter().copied().filter(|&c| c >= now).min()
     }
 
     /// Drops all outstanding-miss timestamps (tags, dirty bits and LRU
@@ -85,21 +110,49 @@ impl Cache {
         self.outstanding.clear();
     }
 
+    /// Returns the level to its just-built state — all lines invalid,
+    /// counters zero — without releasing the tag/LRU arrays, so a reused
+    /// model skips the allocation and page-fault cost of rebuilding them.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.dirty.fill(false);
+        self.lru.fill(0);
+        self.mru_way.fill(0);
+        self.stamp = 0;
+        self.outstanding.clear();
+        self.accesses = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+
     /// Probes (and updates) the level for the line containing `addr`.
     /// `write` marks the line dirty on hit or after allocation.
     pub fn access(&mut self, addr: u64, write: bool) -> Probe {
         self.accesses += 1;
         self.stamp += 1;
         let line = addr >> self.line_shift;
-        let set = (line as usize) % self.sets;
+        let set = match self.set_mask {
+            Some(mask) => (line as usize) & mask,
+            None => (line as usize) % self.sets,
+        };
         let base = set * self.assoc;
-        // Hit check.
+        // Hit check: most caches hit the way they hit last time, so
+        // probe it first; the full scan re-visiting it is harmless.
+        let m = self.mru_way[set] as usize;
+        if self.tags[base + m] == line {
+            self.lru[base + m] = self.stamp;
+            if write {
+                self.dirty[base + m] = true;
+            }
+            return Probe::Hit;
+        }
         for w in 0..self.assoc {
             if self.tags[base + w] == line {
                 self.lru[base + w] = self.stamp;
                 if write {
                     self.dirty[base + w] = true;
                 }
+                self.mru_way[set] = w as u16;
                 return Probe::Hit;
             }
         }
@@ -124,6 +177,7 @@ impl Cache {
         self.tags[base + victim] = line;
         self.dirty[base + victim] = write;
         self.lru[base + victim] = self.stamp;
+        self.mru_way[set] = victim as u16;
         Probe::Miss { victim_dirty }
     }
 
@@ -196,6 +250,15 @@ impl Hierarchy {
         self.l1d.reset_timing();
         self.l2.reset_timing();
         self.dram.reset_timing();
+    }
+
+    /// Cold-resets every level and the memory channel to the just-built
+    /// state, keeping their arrays allocated (see [`Cache::reset`]).
+    pub fn reset(&mut self) {
+        self.l1i.reset();
+        self.l1d.reset();
+        self.l2.reset();
+        self.dram.reset();
     }
 
     /// Data access (load or store) at cycle `now`; returns completion time

@@ -23,7 +23,7 @@ use crate::model::{functional_warm, CoreModel, MemCounters, ModelKind};
 use crate::o3::{done_window_for, fu_and_latency, FPDIV_BUSY};
 use crate::stats::SimStats;
 use crate::tlb::Tlb;
-use belenos_trace::{MicroOp, OpKind};
+use belenos_trace::{FlatTrace, MicroOp, OpKind};
 
 /// The scalar in-order core simulator.
 pub struct InOrderCore {
@@ -62,18 +62,16 @@ impl InOrderCore {
     }
 
     /// Runs the trace to completion and returns the statistics.
-    pub fn run(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) -> SimStats {
+    pub fn run<I: Iterator<Item = MicroOp>>(&mut self, trace: I) -> SimStats {
         self.run_warm(trace, 0)
     }
 
     /// Runs the trace, discarding the first `warmup_ops` committed ops
     /// from the reported statistics (machine state persists, as in
-    /// [`crate::o3::O3Core::run_warm`]).
-    pub fn run_warm(
-        &mut self,
-        trace: &mut dyn Iterator<Item = MicroOp>,
-        warmup_ops: u64,
-    ) -> SimStats {
+    /// [`crate::o3::O3Core::run_warm`]). Generic so the flat-trace path
+    /// monomorphizes over [`belenos_trace::FlatIter`] with no per-op
+    /// virtual dispatch.
+    pub fn run_warm<I: Iterator<Item = MicroOp>>(&mut self, trace: I, warmup_ops: u64) -> SimStats {
         let mut stats = SimStats {
             freq_ghz: self.cfg.freq_ghz,
             ..SimStats::default()
@@ -81,6 +79,9 @@ impl InOrderCore {
         self.hierarchy.reset_timing();
         let base = MemCounters::capture(&self.hierarchy);
         let window = done_window_for(&self.cfg) as u64;
+        // `done_window_for` is always a power of two: ring indexing is a
+        // mask, never a modulo.
+        let wmask = window - 1;
         let mut done_at: Vec<Completion> = vec![(0, false); window as usize];
         let mut warm_snapshot: Option<SimStats> = None;
 
@@ -97,7 +98,7 @@ impl InOrderCore {
         let mut redirect_ready: u64 = 0;
         let mut fpdiv_busy_until: u64 = 0;
         let mut cur_line = u64::MAX;
-        for (idx, op) in (0_u64..).zip(&mut *trace) {
+        for (idx, op) in (0_u64..).zip(trace) {
             // ---------------- frontend ----------------
             let line = (op.pc as u64) >> 6;
             if line != cur_line {
@@ -141,7 +142,7 @@ impl InOrderCore {
                 if d == 0 || d as u64 > idx || d as u64 >= window {
                     return (0, false);
                 }
-                done_at[((idx - d as u64) % window) as usize]
+                done_at[((idx - d as u64) & wmask) as usize]
             };
             let (d1, m1) = dep(op.dep1);
             let (d2, m2) = dep(op.dep2);
@@ -213,7 +214,7 @@ impl InOrderCore {
                 }
                 _ => {}
             }
-            done_at[(idx % window) as usize] = (done, is_load);
+            done_at[(idx & wmask) as usize] = (done, is_load);
             issue_clock = at;
             started = true;
             if done > last_done {
@@ -270,6 +271,14 @@ impl CoreModel for InOrderCore {
         &self.cfg
     }
 
+    fn reset(&mut self) {
+        self.hierarchy.reset();
+        self.itlb.reset();
+        self.dtlb.reset();
+        self.predictor.reset();
+        self.btb.reset();
+    }
+
     fn run_warm(&mut self, trace: &mut dyn Iterator<Item = MicroOp>, warmup_ops: u64) -> SimStats {
         InOrderCore::run_warm(self, trace, warmup_ops)
     }
@@ -282,6 +291,28 @@ impl CoreModel for InOrderCore {
             self.predictor.as_mut(),
             &mut self.btb,
             trace,
+            max_ops,
+        )
+    }
+
+    fn run_warm_flat(
+        &mut self,
+        trace: &FlatTrace,
+        start: usize,
+        end: usize,
+        warmup_ops: u64,
+    ) -> SimStats {
+        InOrderCore::run_warm(self, trace.range(start, end), warmup_ops)
+    }
+
+    fn warm_only_flat(&mut self, trace: &FlatTrace, start: usize, end: usize, max_ops: u64) -> u64 {
+        functional_warm(
+            &mut self.hierarchy,
+            &mut self.itlb,
+            &mut self.dtlb,
+            self.predictor.as_mut(),
+            &mut self.btb,
+            &mut trace.range(start, end),
             max_ops,
         )
     }
@@ -398,6 +429,23 @@ mod tests {
         assert_eq!(stats.committed_ops, 0);
         assert_eq!(stats.cycles, 0);
         assert_eq!(stats.l1d_accesses, 0);
+    }
+
+    #[test]
+    fn flat_trace_run_is_bit_identical_to_streaming() {
+        let ops: Vec<MicroOp> = (0..5000)
+            .map(|i| match i % 4 {
+                0 => MicroOp::load(0x3000, (i as u64 * 64) % (1 << 20), 8, 1, CAT),
+                1 => MicroOp::store(0x3004, (i as u64 * 64) % (1 << 18), 8, 0, CAT),
+                2 => MicroOp::branch(0x3008, 0x3000, i % 3 == 0, 0, CAT),
+                _ => MicroOp::int(0x300c, 1, 2, CAT),
+            })
+            .collect();
+        let flat: FlatTrace = ops.iter().copied().collect();
+        let a = run_ops(ops, CoreConfig::gem5_baseline());
+        let mut core = InOrderCore::new(CoreConfig::gem5_baseline());
+        let b = CoreModel::run_warm_flat(&mut core, &flat, 0, flat.len(), 0);
+        assert_eq!(a, b, "flat replay must be bit-identical");
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::cache::Hierarchy;
 use crate::config::CoreConfig;
 use crate::stats::SimStats;
 use crate::tlb::Tlb;
-use belenos_trace::{MicroOp, OpKind};
+use belenos_trace::{FlatTrace, MicroOp, OpKind};
 
 /// Which core-model backend simulates a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -113,12 +113,24 @@ impl std::fmt::Display for ModelKind {
 /// Traces are taken as `&mut dyn Iterator` (not a generic parameter) so
 /// backends stay object-safe: the experiment layer holds a
 /// `Box<dyn CoreModel>` chosen at run time from [`ModelKind`].
-pub trait CoreModel {
+///
+/// `Send` so the experiment layer can pool built models and hand them
+/// between worker threads.
+pub trait CoreModel: Send {
     /// Which backend this is.
     fn kind(&self) -> ModelKind;
 
     /// The configuration the model was built from.
     fn config(&self) -> &CoreConfig;
+
+    /// Returns the model to its just-built state — cold caches and TLBs,
+    /// untrained predictor and BTB, zeroed counters — while keeping
+    /// every internal allocation. A reset model must be observationally
+    /// indistinguishable from a freshly constructed one: the experiment
+    /// layer reuses pooled models across simulation calls on the
+    /// strength of this contract, and the backend digest pins hold it to
+    /// bit-identical statistics.
+    fn reset(&mut self);
 
     /// Runs the trace to completion, discarding the first `warmup_ops`
     /// committed ops from the reported statistics (machine state
@@ -136,6 +148,32 @@ pub trait CoreModel {
     /// cycles or producing statistics; returns the ops consumed. This is
     /// the SMARTS-style gap warming between sampled measurement windows.
     fn warm_only(&mut self, trace: &mut dyn Iterator<Item = MicroOp>, max_ops: u64) -> u64;
+
+    /// [`CoreModel::run_warm`] over ops `start..end` of a pre-expanded
+    /// [`FlatTrace`]. The default routes through the `dyn Iterator`
+    /// seam and is therefore bit-identical to streaming the same range;
+    /// the cycle-level backends override it with a monomorphized loop
+    /// (no per-op virtual dispatch) that produces identical statistics.
+    fn run_warm_flat(
+        &mut self,
+        trace: &FlatTrace,
+        start: usize,
+        end: usize,
+        warmup_ops: u64,
+    ) -> SimStats {
+        self.run_warm(&mut trace.range(start, end), warmup_ops)
+    }
+
+    /// [`CoreModel::warm_only`] over ops `start..end` of a
+    /// [`FlatTrace`]; returns the ops consumed.
+    fn warm_only_flat(&mut self, trace: &FlatTrace, start: usize, end: usize, max_ops: u64) -> u64 {
+        self.warm_only(&mut trace.range(start, end), max_ops)
+    }
+
+    /// Runs an entire [`FlatTrace`] and reports full statistics.
+    fn run_flat(&mut self, trace: &FlatTrace) -> SimStats {
+        self.run_warm_flat(trace, 0, trace.len(), 0)
+    }
 }
 
 /// Builds the backend selected by `cfg.model`.
@@ -151,13 +189,13 @@ pub fn build_model(cfg: &CoreConfig) -> Box<dyn CoreModel> {
 /// and fetch access, the branch predictor and BTB observe every branch
 /// outcome, but no cycles are simulated. Returns the ops consumed (fewer
 /// than `max_ops` only when the trace ends).
-pub(crate) fn functional_warm(
+pub(crate) fn functional_warm<I: Iterator<Item = MicroOp> + ?Sized>(
     hierarchy: &mut Hierarchy,
     itlb: &mut Tlb,
     dtlb: &mut Tlb,
     predictor: &mut dyn BranchPredictor,
     btb: &mut Btb,
-    trace: &mut dyn Iterator<Item = MicroOp>,
+    trace: &mut I,
     max_ops: u64,
 ) -> u64 {
     let mut consumed = 0u64;

@@ -10,35 +10,47 @@ impl O3Core {
     /// Retires up to `commit_width` completed ops from the ROB head,
     /// draining stores to the cache and training the branch predictor,
     /// then attributes this cycle's retire slots (TMA level 1 and 2).
-    pub(super) fn commit_stage(&mut self, p: &mut Pipeline, stats: &mut SimStats) {
+    /// Returns how many ops committed.
+    pub(super) fn commit_stage(&mut self, p: &mut Pipeline, stats: &mut SimStats) -> usize {
         let commit_width = self.cfg.commit_width;
         let mut committed_this_cycle = 0usize;
         while committed_this_cycle < commit_width {
-            let Some(head) = p.rob.front() else { break };
-            if head.state != OpState::Done {
+            if p.rob.is_empty() {
                 break;
             }
-            let head = p.rob.pop_front().expect("checked non-empty");
-            match head.op.kind {
+            let head_idx = p.rob.head_idx;
+            let s = p.rob.slot(head_idx);
+            if p.rob.state[s] != OpState::Done {
+                break;
+            }
+            let os = p.ops.slot(head_idx);
+            let kind = p.ops.kind[os];
+            let addr = p.ops.addr[os];
+            let pc = p.ops.pc[os];
+            let taken = p.ops.taken[os];
+            let target = p.ops.target[os];
+            let cat = p.ops.cat[os];
+            let mispredicted = p.rob.mispredicted[s];
+            p.rob.pop_front();
+            match kind {
                 OpKind::Store => {
                     // Drain the store to the cache at commit.
                     let entry = p.sq.pop_front();
-                    debug_assert_eq!(entry.map(|e| e.idx), Some(head.idx));
-                    self.hierarchy.data_access(head.op.addr, true, p.now);
-                    p.fp_regs_used = p.fp_regs_used.saturating_sub(0);
+                    debug_assert_eq!(entry, Some(head_idx));
+                    self.hierarchy.data_access(addr, true, p.now);
                 }
                 OpKind::Load => {
                     let entry = p.lq.pop_front();
-                    debug_assert_eq!(entry.map(|e| e.idx), Some(head.idx));
+                    debug_assert_eq!(entry, Some(head_idx));
                     p.fp_regs_used = p.fp_regs_used.saturating_sub(1);
                 }
                 OpKind::Branch => {
-                    self.predictor.update(head.op.pc, head.op.taken);
-                    if head.op.taken {
-                        self.btb.install(head.op.pc, head.op.target);
+                    self.predictor.update(pc, taken);
+                    if taken {
+                        self.btb.install(pc, target);
                     }
                     stats.branches += 1;
-                    if head.mispredicted {
+                    if mispredicted {
                         stats.mispredicts += 1;
                     }
                 }
@@ -50,8 +62,8 @@ impl O3Core {
                 }
                 OpKind::Pause | OpKind::Serialize => {}
             }
-            stats.commit_mix.count(head.op.kind);
-            stats.slots_by_category[crate::stats::category_index(head.op.cat)] += 1;
+            stats.commit_mix.count(kind);
+            stats.slots_by_category[crate::stats::category_index(cat)] += 1;
             stats.committed_ops += 1;
             committed_this_cycle += 1;
             p.last_commit_cycle = p.now;
@@ -60,12 +72,13 @@ impl O3Core {
         stats.slots_retiring += committed_this_cycle as u64;
         let missing = (commit_width - committed_this_cycle) as u64;
         if missing > 0 {
-            if let Some(head) = p.rob.front() {
+            if !p.rob.is_empty() {
+                let s = p.ops.slot(p.rob.head_idx);
                 stats.slots_backend += missing;
-                stats.slots_by_category[crate::stats::category_index(head.op.cat)] += missing;
-                let memory_bound = match head.op.kind {
+                stats.slots_by_category[crate::stats::category_index(p.ops.cat[s])] += missing;
+                let memory_bound = match p.ops.kind[s] {
                     OpKind::Load | OpKind::Store => true,
-                    _ => p.lq.iter().any(|e| e.issued && !e.done),
+                    _ => p.lq.has_inflight(),
                 };
                 if memory_bound {
                     stats.slots_be_memory += missing;
@@ -82,5 +95,6 @@ impl O3Core {
                 }
             }
         }
+        committed_this_cycle
     }
 }

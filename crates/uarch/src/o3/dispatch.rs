@@ -2,23 +2,29 @@
 //! and load/store queues, allocating physical registers and stopping at
 //! the first structural hazard (full window, queue or register pool).
 
-use super::pipeline::{InFlight, LsqEntry, OpState, Pipeline};
+use super::issue::fu_and_latency;
+use super::pipeline::{IqEntry, Pipeline};
 use super::O3Core;
 use belenos_trace::OpKind;
 
 impl O3Core {
     /// Dispatches up to the effective front-end width of ops from the
-    /// fetch queue into the out-of-order window.
-    pub(super) fn dispatch_stage(&mut self, p: &mut Pipeline) {
+    /// fetch queue into the out-of-order window; returns how many moved.
+    pub(super) fn dispatch_stage(&mut self, p: &mut Pipeline) -> usize {
         let cfg = &self.cfg;
+        let mut dispatched = 0usize;
         for _ in 0..p.fe_width {
-            let Some(&(op, _, _)) = p.fetchq.front() else {
+            // Peek the front op's fields straight out of the op buffer;
+            // nothing is copied until the hazard checks pass.
+            let Some(&(idx, pred_taken)) = p.fetchq.front() else {
                 break;
             };
-            if p.rob.len() >= cfg.rob_entries || p.iq.len() >= cfg.iq_entries {
+            let s = p.ops.slot(idx);
+            let kind = p.ops.kind[s];
+            if p.rob.len() >= cfg.rob_entries || p.iq_len() >= cfg.iq_entries {
                 break;
             }
-            match op.kind {
+            match kind {
                 OpKind::Load if p.lq.len() >= cfg.lq_entries => break,
                 OpKind::Store if p.sq.len() >= cfg.sq_entries => break,
                 OpKind::IntAlu | OpKind::IntMul if p.int_regs_used >= p.int_pool => break,
@@ -29,41 +35,42 @@ impl O3Core {
                 }
                 _ => {}
             }
-            let (op, idx, pred_taken) = p.fetchq.pop_front().expect("checked");
+            p.fetchq.pop_front();
             p.dispatch_counter += 1;
-            match op.kind {
+            let mut lsq_slot = u32::MAX;
+            match kind {
                 OpKind::Load => {
-                    p.lq.push_back(LsqEntry {
-                        idx,
-                        addr: op.addr,
-                        issued: false,
-                        done: false,
-                    });
+                    lsq_slot = p.lq.push_back(idx, p.ops.addr[s]);
                     p.fp_regs_used += 1;
                 }
                 OpKind::Store => {
-                    p.sq.push_back(LsqEntry {
-                        idx,
-                        addr: op.addr,
-                        issued: false,
-                        done: false,
-                    });
+                    lsq_slot = p.sq.push_back(idx, p.ops.addr[s]);
                 }
                 OpKind::IntAlu | OpKind::IntMul => p.int_regs_used += 1,
                 OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv => p.fp_regs_used += 1,
                 OpKind::Pause | OpKind::Serialize => p.serializers.push_back(idx),
                 OpKind::Branch => {}
             }
-            p.done_ring[(idx % p.done_window) as usize] = false;
-            p.rob.push_back(InFlight {
-                mispredicted: op.kind == OpKind::Branch && pred_taken != op.taken,
-                op,
+            p.done_ring[(idx & p.done_mask) as usize] = false;
+            let mispred = kind == OpKind::Branch && pred_taken != p.ops.taken[s];
+            // Producers are resolved to trace indices once, here; the
+            // entry then lands in the ready queue or parks on its first
+            // pending producer's waiter list — the issue stage never
+            // sees an op whose operands are not ready.
+            let (fu, lat) = fu_and_latency(kind, cfg.pause_latency);
+            debug_assert!(lat <= u32::MAX as u64);
+            let entry = IqEntry {
                 idx,
-                dispatch_id: p.dispatch_counter,
-                state: OpState::Waiting,
-                mem_level: None,
-            });
-            p.iq.push_back(idx);
+                dep1: p.resolve_dep(idx, p.ops.dep1[s]),
+                dep2: p.resolve_dep(idx, p.ops.dep2[s]),
+                lat: lat as u32,
+                fu: fu as u8,
+            };
+            p.rob.push_back(idx, p.dispatch_counter, mispred, lsq_slot);
+            p.classify(entry);
+            dispatched += 1;
         }
+        p.rob_peak = p.rob_peak.max(p.rob.len());
+        dispatched
     }
 }

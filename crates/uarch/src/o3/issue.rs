@@ -8,8 +8,6 @@ use super::O3Core;
 use crate::cache::ServiceLevel;
 use crate::stats::SimStats;
 use belenos_trace::OpKind;
-use std::cmp::Reverse;
-use std::collections::VecDeque;
 
 /// Functional-unit mapping: `[int alu, int mul, fp add, fp mul/div, mem
 /// ports]`, with the op's execution latency in cycles.
@@ -31,123 +29,157 @@ pub(crate) const FPDIV_BUSY: u64 = 12;
 
 impl O3Core {
     /// Issues up to `issue_width` ready ops to free functional units.
-    pub(super) fn issue_stage(&mut self, p: &mut Pipeline, stats: &mut SimStats) {
+    ///
+    /// The ready queue holds only entries whose producers have already
+    /// completed (dispatch/wakeup classification keeps waiting entries
+    /// in [`super::pipeline::WaitPool`]), sorted by trace index — so
+    /// this scan visits exactly the ready entries the old full-IQ scan
+    /// would have selected, in the same oldest-first order. The scan
+    /// bulk-exits once issue width is exhausted, a serialization
+    /// barrier is crossed, or no remaining entry's functional-unit
+    /// class has a free unit. Returns whether any op issued — the
+    /// fast-forward activity signal.
+    pub(super) fn issue_stage(&mut self, p: &mut Pipeline, stats: &mut SimStats) -> bool {
+        if p.ready_q.is_empty() {
+            return false;
+        }
         let mut issued = 0usize;
         let mut fu_used = [0usize; 5];
-        if p.iq.is_empty() {
-            return;
-        }
-        let head_idx = p.rob.front().map(|e| e.idx).unwrap_or(0);
+        let head_idx = p.rob.front_idx_or_zero();
         let barrier = p.serializers.front().copied();
-        let mut keep: VecDeque<u64> = VecDeque::with_capacity(p.iq.len());
         let mut blocked_by_barrier = false;
-        let iq = std::mem::take(&mut p.iq);
-        for &idx in iq.iter() {
-            if issued >= self.cfg.issue_width || blocked_by_barrier {
-                keep.push_back(idx);
-                continue;
-            }
-            // Serialization: ops younger than an in-flight
-            // pause/serialize cannot issue.
-            if let Some(b) = barrier {
-                if idx > b {
-                    keep.push_back(idx);
+        // Per-class count of not-yet-visited ready entries, for the
+        // fu-saturation bulk exit. `open` counts classes that can still
+        // accept an issue (entries remain and units are free); it is
+        // maintained incrementally on the two transitions that can close
+        // a class — its last entry visited, or its last unit taken — so
+        // the saturation check is a single compare per entry instead of
+        // a five-class scan.
+        let mut remaining = p.ready_fu_count;
+        let counts = self.cfg.fu_counts;
+        let mut open = (0..5)
+            .filter(|&c| remaining[c] > 0 && fu_used[c] < counts[c])
+            .count();
+        let mut q = std::mem::take(&mut p.ready_q);
+        let orig_len = q.len();
+        let mut w = 0usize;
+        for r in 0..orig_len {
+            let entry = q[r];
+            let idx = entry.idx;
+            let fu = entry.fu as usize;
+            let mut keep = true;
+            'op: {
+                if issued >= self.cfg.issue_width || blocked_by_barrier || open == 0 {
+                    // Nothing further can change this cycle: bulk-keep
+                    // the tail instead of stepping through it.
+                    q.copy_within(r..orig_len, w);
+                    w += orig_len - r;
+                    q.truncate(w);
+                    p.ready_q = q;
+                    return issued > 0;
+                }
+                remaining[fu] -= 1;
+                if remaining[fu] == 0 && fu_used[fu] < counts[fu] {
+                    open -= 1;
+                }
+                // Serialization: ops younger than an in-flight
+                // pause/serialize cannot issue; the queue is sorted, so
+                // everything from here on is younger too.
+                if let Some(b) = barrier {
+                    if idx > b {
+                        q.copy_within(r..orig_len, w);
+                        w += orig_len - r;
+                        q.truncate(w);
+                        p.ready_q = q;
+                        return issued > 0;
+                    }
+                }
+                // Ready entries are always live: squash drops them from
+                // the ready queue in the same breath as the ROB.
+                debug_assert!(
+                    idx >= head_idx && ((idx - head_idx) as usize) < p.rob.len(),
+                    "ready-queue entry outside ROB window"
+                );
+                let s = p.rob.slot(idx);
+                let os = p.ops.slot(idx);
+                let kind = p.ops.kind[os];
+                let addr = p.ops.addr[os];
+                let is_head = idx == head_idx;
+                let latency = entry.lat as u64;
+                debug_assert_eq!(
+                    (fu, latency),
+                    fu_and_latency(kind, self.cfg.pause_latency),
+                    "dispatch-time fu/latency must match the op kind"
+                );
+                if fu_used[fu] >= self.cfg.fu_counts[fu] {
+                    break 'op;
+                }
+                if kind == OpKind::FpDiv && p.fpdiv_busy_until > p.now {
+                    break 'op;
+                }
+                if matches!(kind, OpKind::Pause | OpKind::Serialize) && !is_head {
                     blocked_by_barrier = true;
-                    continue;
+                    break 'op;
                 }
-            }
-            let pos = (idx - head_idx) as usize;
-            if pos >= p.rob.len() {
-                continue; // squashed
-            }
-            let (deps_ok, kind, addr, is_head) = {
-                let e = &p.rob[pos];
-                (
-                    p.ready(idx, e.op.dep1, head_idx) && p.ready(idx, e.op.dep2, head_idx),
-                    e.op.kind,
-                    e.op.addr,
-                    pos == 0,
-                )
-            };
-            if !deps_ok {
-                keep.push_back(idx);
-                continue;
-            }
-            let (fu, latency) = fu_and_latency(kind, self.cfg.pause_latency);
-            if fu_used[fu] >= self.cfg.fu_counts[fu] {
-                keep.push_back(idx);
-                continue;
-            }
-            if kind == OpKind::FpDiv && p.fpdiv_busy_until > p.now {
-                keep.push_back(idx);
-                continue;
-            }
-            if matches!(kind, OpKind::Pause | OpKind::Serialize) && !is_head {
-                keep.push_back(idx);
-                blocked_by_barrier = true;
-                continue;
-            }
-            // Memory-op issue rules.
-            let mut done_at = p.now + latency;
-            let mut mem_level = None;
-            match kind {
-                OpKind::Load => {
-                    // Memory-dependence prediction (store sets in
-                    // gem5): loads issue past older stores with
-                    // unknown addresses; known matching stores
-                    // forward.
-                    let fwd =
-                        p.sq.iter()
-                            .rfind(|s| s.idx < idx && s.issued && (s.addr >> 3) == (addr >> 3));
-                    if let Some(s) = fwd {
-                        if !s.done && !p.done_ring[(s.idx % p.done_window) as usize] {
-                            keep.push_back(idx);
-                            continue;
+                // Memory-op issue rules.
+                let mut done_at = p.now + latency;
+                let mut mem_level = None;
+                match kind {
+                    OpKind::Load => {
+                        // Memory-dependence prediction (store sets in
+                        // gem5): loads issue past older stores with
+                        // unknown addresses; known matching stores
+                        // forward.
+                        if let Some((sidx, sdone)) = p.sq.forward_from(idx, addr) {
+                            if !sdone && !p.done_ring[(sidx & p.done_mask) as usize] {
+                                break 'op;
+                            }
+                            done_at = p.now + 1;
+                            mem_level = Some(ServiceLevel::L1);
+                        } else {
+                            if !self.hierarchy.l1d.mshr_available(p.now) {
+                                break 'op;
+                            }
+                            let mut penalty = 0;
+                            if !self.dtlb.access(addr) {
+                                penalty = self.cfg.tlb_miss_penalty;
+                                stats.dtlb_misses += 1;
+                            }
+                            let r = self.hierarchy.data_access(addr, false, p.now + penalty);
+                            done_at = r.done;
+                            mem_level = Some(r.level);
                         }
-                        done_at = p.now + 1;
-                        mem_level = Some(ServiceLevel::L1);
-                    } else {
-                        if !self.hierarchy.l1d.mshr_available(p.now) {
-                            keep.push_back(idx);
-                            continue;
-                        }
-                        let mut penalty = 0;
-                        if !self.dtlb.access(addr) {
-                            penalty = self.cfg.tlb_miss_penalty;
-                            stats.dtlb_misses += 1;
-                        }
-                        let r = self.hierarchy.data_access(addr, false, p.now + penalty);
-                        done_at = r.done;
-                        mem_level = Some(r.level);
+                        p.lq.mark_issued(idx, addr, p.rob.lsq_slot[s]);
                     }
-                    if let Some(e) = p.lq.iter_mut().find(|e| e.idx == idx) {
-                        e.issued = true;
-                        e.addr = addr;
+                    OpKind::Store => {
+                        p.sq.mark_issued(idx, addr, p.rob.lsq_slot[s]);
                     }
-                }
-                OpKind::Store => {
-                    if let Some(e) = p.sq.iter_mut().find(|e| e.idx == idx) {
-                        e.issued = true;
-                        e.addr = addr;
+                    OpKind::FpDiv => {
+                        p.fpdiv_busy_until = p.now + FPDIV_BUSY; // unpipelined window
                     }
+                    _ => {}
                 }
-                OpKind::FpDiv => {
-                    p.fpdiv_busy_until = p.now + FPDIV_BUSY; // unpipelined window
+                fu_used[fu] += 1;
+                if fu_used[fu] == counts[fu] && remaining[fu] > 0 {
+                    open -= 1;
                 }
-                _ => {}
+                p.rob.state[s] = OpState::Issued;
+                p.rob.mem_level[s] = mem_level;
+                stats.exec_mix.count(kind);
+                p.events
+                    .push(done_at.max(p.now + 1), idx, p.rob.dispatch_id[s]);
+                issued += 1;
+                keep = false;
             }
-            fu_used[fu] += 1;
-            let dispatch_id = {
-                let e = &mut p.rob[pos];
-                e.state = OpState::Issued;
-                e.mem_level = mem_level;
-                e.dispatch_id
-            };
-            stats.exec_mix.count(kind);
-            p.events
-                .push(Reverse((done_at.max(p.now + 1), idx, dispatch_id)));
-            issued += 1;
+            if keep {
+                q[w] = entry;
+                w += 1;
+            } else {
+                p.ready_fu_count[fu] -= 1;
+            }
         }
-        p.iq = keep;
+        q.truncate(w);
+        p.ready_q = q;
+        issued > 0
     }
 }

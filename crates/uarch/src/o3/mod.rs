@@ -14,6 +14,21 @@
 //! cycle observes the previous cycle's state). The O3 model is one
 //! [`crate::model::CoreModel`] backend among several — see
 //! [`crate::model`] for the in-order and analytical alternatives.
+//!
+//! # Event-driven fast-forward
+//!
+//! A cycle where no stage changes pipeline state (nothing commits,
+//! completes, issues, dispatches, or moves in fetch) can only repeat
+//! itself until some clock threshold is crossed: the next writeback
+//! event, an MSHR freeing, the end of a fetch stall / icache fill /
+//! squash recovery window, or the FP divider going idle. After such a
+//! dead cycle the driver jumps `now` directly to the earliest of those
+//! wake-up candidates, replicating per skipped cycle exactly the stall
+//! statistics (TMA idle slots and the front-end stall ladder) that the
+//! skipped cycles would have accumulated — the wedge detector's deadline
+//! bounds the jump so a stuck pipeline still panics at the identical
+//! cycle. Statistics are bit-identical with the fast-forward on or off
+//! (a property test in `tests/properties.rs` pins this).
 
 mod commit;
 mod dispatch;
@@ -31,8 +46,8 @@ use crate::config::CoreConfig;
 use crate::model::{functional_warm, CoreModel, MemCounters, ModelKind};
 use crate::stats::SimStats;
 use crate::tlb::Tlb;
-use belenos_trace::MicroOp;
-use pipeline::{Pipeline, STALL_LIMIT};
+use belenos_trace::{FlatTrace, MicroOp, OpKind};
+use pipeline::{FetchBlock, Pipeline, STALL_LIMIT};
 
 /// The out-of-order core simulator.
 pub struct O3Core {
@@ -42,6 +57,16 @@ pub struct O3Core {
     pub(crate) dtlb: Tlb,
     pub(crate) predictor: Box<dyn BranchPredictor>,
     pub(crate) btb: Btb,
+    fast_forward: bool,
+    /// Dead cycles skipped by the most recent run (telemetry).
+    pub(crate) ff_skipped_last_run: u64,
+    /// Peak ROB-ring occupancy of the most recent run (telemetry).
+    pub(crate) rob_peak_last_run: usize,
+    /// Pipeline retained from the previous run. `run_warm` resets it in
+    /// place instead of rebuilding, so repeated runs on one core skip
+    /// the ring-buffer allocation cost entirely (the profiler measured
+    /// it as the single largest slice of a short timed run).
+    scratch: Option<Pipeline>,
 }
 
 impl std::fmt::Debug for O3Core {
@@ -62,7 +87,19 @@ impl O3Core {
             predictor: build(cfg.predictor),
             btb: Btb::new(cfg.btb_entries),
             cfg,
+            fast_forward: true,
+            ff_skipped_last_run: 0,
+            rob_peak_last_run: 0,
+            scratch: None,
         }
+    }
+
+    /// Enables or disables the event-driven fast-forward over dead
+    /// cycles (on by default). Statistics are identical either way;
+    /// disabling forces the pure cycle-by-cycle loop (the equivalence
+    /// property test runs both and compares).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     /// Runs the trace to completion and returns the statistics.
@@ -93,16 +130,22 @@ impl O3Core {
         // clock restarts at zero, and memory counters report deltas.
         self.hierarchy.reset_timing();
         let base = MemCounters::capture(&self.hierarchy);
-        let mut p = Pipeline::new(&self.cfg);
+        let mut p = match self.scratch.take() {
+            Some(mut p) => {
+                p.reset();
+                p
+            }
+            None => Pipeline::new(&self.cfg),
+        };
         let mut trace = trace.fuse();
         let mut warm_snapshot: Option<SimStats> = None;
 
         loop {
-            self.commit_stage(&mut p, &mut stats);
-            self.writeback_stage(&mut p, &mut stats);
-            self.issue_stage(&mut p, &mut stats);
-            self.dispatch_stage(&mut p);
-            self.fetch_stage(&mut p, &mut stats, &mut trace);
+            let committed = self.commit_stage(&mut p, &mut stats);
+            let completed = self.writeback_stage(&mut p, &mut stats);
+            let issue_active = self.issue_stage(&mut p, &mut stats);
+            let dispatched = self.dispatch_stage(&mut p);
+            let fetch_active = self.fetch_stage(&mut p, &mut stats, &mut trace);
 
             if warm_snapshot.is_none() && warmup_ops > 0 && stats.committed_ops >= warmup_ops {
                 let mut snap = stats.clone();
@@ -113,14 +156,38 @@ impl O3Core {
 
             p.now += 1;
 
+            // ---------------- event-driven fast-forward ----------------
+            // A dead cycle (no stage changed pipeline state) repeats
+            // verbatim until the next clock threshold; jump there and
+            // replicate the per-cycle stall statistics for the gap. An
+            // empty pipeline is left to the termination pull below.
+            if self.fast_forward
+                && committed == 0
+                && completed == 0
+                && !issue_active
+                && dispatched == 0
+                && !fetch_active
+                && !(p.rob.is_empty() && p.fetchq.is_empty() && p.replay_next == p.next_idx)
+            {
+                if let Some(wake) = self.wake_cycle(&p, stats.committed_ops) {
+                    if wake > p.now {
+                        let skipped = wake - p.now;
+                        self.account_skipped(&p, &mut stats, skipped);
+                        p.ff_cycles_skipped += skipped;
+                        p.now = wake;
+                    }
+                }
+            }
+
             // ---------------- termination & wedge detection ----------------
-            if p.rob.is_empty() && p.fetchq.is_empty() && p.replayq.is_empty() {
-                // Peek the trace: if exhausted, we are done.
+            if p.rob.is_empty() && p.fetchq.is_empty() && p.replay_next == p.next_idx {
+                // Peek the trace: if exhausted, we are done. A pulled op
+                // lands in the op buffer with the replay cursor behind
+                // it — the fetch stage picks it up as a replay.
                 match trace.next() {
                     Some(op) => {
-                        let i = p.next_idx;
+                        p.ops.insert(p.next_idx, &op);
                         p.next_idx += 1;
-                        p.replayq.push_front((op, i));
                     }
                     None => break,
                 }
@@ -130,13 +197,17 @@ impl O3Core {
                     "pipeline wedged at cycle {}: rob={}, iq={}, lq={}, sq={}",
                     p.now,
                     p.rob.len(),
-                    p.iq.len(),
+                    p.iq_len(),
                     p.lq.len(),
                     p.sq.len()
                 );
             }
             if p.now > STALL_LIMIT && stats.committed_ops == 0 && !p.rob.is_empty() {
-                panic!("pipeline never committed; head {:?}", p.rob.front());
+                panic!(
+                    "pipeline never committed; head {:?} in state {:?}",
+                    p.ops.get(p.rob.head_idx),
+                    p.rob.state[p.rob.slot(p.rob.head_idx)]
+                );
             }
         }
 
@@ -150,7 +221,95 @@ impl O3Core {
             let snap = warm_snapshot.unwrap_or_else(|| stats.clone());
             stats.subtract(&snap);
         }
+        self.ff_skipped_last_run = p.ff_cycles_skipped;
+        self.rob_peak_last_run = p.rob_peak;
+        let tel = belenos_telemetry::global();
+        if tel.enabled() {
+            tel.counter("ff_cycles_skipped", p.ff_cycles_skipped, &[]);
+            tel.counter("rob_ring_peak_occupancy", p.rob_peak as u64, &[]);
+        }
+        self.scratch = Some(p);
         stats
+    }
+
+    /// First cycle at or after `p.now` at which a dead pipeline could
+    /// change behavior: the earliest writeback event, MSHR completion,
+    /// or stall-window boundary — clamped to the wedge detector's
+    /// deadline so a genuinely stuck pipeline panics at the exact cycle
+    /// the cycle-by-cycle loop would. `None` when no clock threshold
+    /// lies ahead (the wedge path; fall back to stepping).
+    fn wake_cycle(&self, p: &Pipeline, committed_ops: u64) -> Option<u64> {
+        let now = p.now;
+        let mut wake = u64::MAX;
+        if let Some(t) = p.events.next_time() {
+            debug_assert!(t >= now, "writeback must have drained due events");
+            wake = wake.min(t);
+        }
+        if let Some(t) = self.hierarchy.l1d.next_outstanding(now) {
+            wake = wake.min(t);
+        }
+        for t in [
+            p.fetch_stall_until,
+            p.icache_pending_until,
+            p.squash_recovery_until,
+            p.fpdiv_busy_until,
+        ] {
+            if t >= now {
+                wake = wake.min(t);
+            }
+        }
+        if wake == u64::MAX {
+            return None;
+        }
+        if committed_ops > 0 {
+            wake = wake.min(p.last_commit_cycle + STALL_LIMIT + 1);
+        } else if !p.rob.is_empty() {
+            wake = wake.min(STALL_LIMIT + 1);
+        }
+        Some(wake)
+    }
+
+    /// Replicates, `times`-fold, the statistics one dead cycle at
+    /// `p.now` accumulates: the commit boundary's idle TMA slots and the
+    /// fetch stage's stall ladder. Every condition read here is constant
+    /// across the skipped span — anything that could flip it is a wake
+    /// candidate in [`O3Core::wake_cycle`].
+    fn account_skipped(&self, p: &Pipeline, stats: &mut SimStats, times: u64) {
+        let missing = self.cfg.commit_width as u64 * times;
+        if !p.rob.is_empty() {
+            let s = p.ops.slot(p.rob.head_idx);
+            stats.slots_backend += missing;
+            stats.slots_by_category[crate::stats::category_index(p.ops.cat[s])] += missing;
+            let memory_bound = match p.ops.kind[s] {
+                OpKind::Load | OpKind::Store => true,
+                _ => p.lq.has_inflight(),
+            };
+            if memory_bound {
+                stats.slots_be_memory += missing;
+            } else {
+                stats.slots_be_core += missing;
+            }
+        } else if p.now < p.squash_recovery_until {
+            stats.slots_bad_speculation += missing;
+        } else {
+            stats.slots_frontend += missing;
+            match p.fetch_block {
+                FetchBlock::ICache | FetchBlock::ITlb => stats.slots_fe_latency += missing,
+                _ => stats.slots_fe_bandwidth += missing,
+            }
+        }
+        if p.now < p.fetch_stall_until {
+            stats.squash_cycles += times;
+        } else if p.now < p.icache_pending_until {
+            match p.fetch_block {
+                FetchBlock::ITlb => stats.tlb_stall_cycles += times,
+                _ => stats.icache_stall_cycles += times,
+            }
+        } else if p.fetchq.len() + self.cfg.fetch_width > p.fetchq_cap {
+            stats.active_fetch_cycles += times;
+        } else if !p.fetchq.is_empty() || !p.rob.is_empty() {
+            stats.misc_stall_cycles += times;
+        }
     }
 
     /// Functionally warms the long-lived microarchitectural state from
@@ -185,6 +344,17 @@ impl CoreModel for O3Core {
         &self.cfg
     }
 
+    fn reset(&mut self) {
+        self.hierarchy.reset();
+        self.itlb.reset();
+        self.dtlb.reset();
+        self.predictor.reset();
+        self.btb.reset();
+        self.ff_skipped_last_run = 0;
+        self.rob_peak_last_run = 0;
+        // `scratch` is reset at the start of the next run.
+    }
+
     fn run_warm(&mut self, trace: &mut dyn Iterator<Item = MicroOp>, warmup_ops: u64) -> SimStats {
         O3Core::run_warm(self, trace, warmup_ops)
     }
@@ -199,6 +369,22 @@ impl CoreModel for O3Core {
             trace,
             max_ops,
         )
+    }
+
+    fn run_warm_flat(
+        &mut self,
+        trace: &FlatTrace,
+        start: usize,
+        end: usize,
+        warmup_ops: u64,
+    ) -> SimStats {
+        // Monomorphized over the concrete FlatIter: the hot loop reads
+        // the struct-of-arrays trace with no per-op virtual dispatch.
+        O3Core::run_warm(self, trace.range(start, end), warmup_ops)
+    }
+
+    fn warm_only_flat(&mut self, trace: &FlatTrace, start: usize, end: usize, max_ops: u64) -> u64 {
+        O3Core::warm_only(self, &mut trace.range(start, end), max_ops)
     }
 }
 
@@ -490,5 +676,79 @@ mod tests {
         // Warm icache can only help; stale timestamps would balloon this.
         assert!(second.cycles <= first.cycles);
         assert!(second.cycles * 2 > first.cycles, "rerun must stay sane");
+    }
+
+    #[test]
+    fn fast_forward_skips_dead_cycles_with_identical_stats() {
+        // A serial chain of cold DRAM-missing loads leaves hundreds of
+        // dead cycles between completion events — prime fast-forward
+        // territory. Stats must be bit-identical either way.
+        let ops: Vec<MicroOp> = (0..2000)
+            .map(|i| {
+                MicroOp::load(
+                    0x3000,
+                    0x100_0000 + i as u64 * 4096,
+                    8,
+                    u32::from(i > 0),
+                    CAT,
+                )
+            })
+            .collect();
+        let mut fast = O3Core::new(CoreConfig::gem5_baseline());
+        let a = fast.run(ops.clone().into_iter());
+        assert!(
+            fast.ff_skipped_last_run > 0,
+            "dead cycles must actually be skipped"
+        );
+        assert!(fast.rob_peak_last_run > 0);
+        let mut slow = O3Core::new(CoreConfig::gem5_baseline());
+        slow.set_fast_forward(false);
+        let b = slow.run(ops.into_iter());
+        assert_eq!(slow.ff_skipped_last_run, 0);
+        assert_eq!(a, b, "fast-forward must not change any statistic");
+    }
+
+    #[test]
+    fn fast_forward_matches_on_serialization_and_fpdiv_stalls() {
+        // Pause/serialize and the unpipelined divider create core-bound
+        // dead spans (no memory events in flight) — the wake candidates
+        // must cover those too.
+        let mut ops = Vec::new();
+        for i in 0..400 {
+            ops.push(MicroOp::fp(
+                OpKind::FpDiv,
+                0x2000,
+                u32::from(i > 0) * 3,
+                0,
+                CAT,
+            ));
+            ops.push(MicroOp::pause(0x2004, CAT));
+            ops.push(MicroOp::int(0x2008, 1, 0, CAT));
+        }
+        let mut fast = O3Core::new(CoreConfig::gem5_baseline());
+        let a = fast.run(ops.clone().into_iter());
+        assert!(fast.ff_skipped_last_run > 0, "fpdiv/pause spans skip");
+        let mut slow = O3Core::new(CoreConfig::gem5_baseline());
+        slow.set_fast_forward(false);
+        let b = slow.run(ops.into_iter());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_trace_run_is_bit_identical_to_streaming() {
+        let ops: Vec<MicroOp> = (0..6000)
+            .map(|i| match i % 5 {
+                0 => MicroOp::load(0x3000, (i as u64 * 64) % (1 << 20), 8, 1, CAT),
+                1 => MicroOp::store(0x3004, (i as u64 * 64) % (1 << 18), 8, 0, CAT),
+                2 => MicroOp::branch(0x3008, 0x3000, i % 3 == 0, 0, CAT),
+                _ => MicroOp::int(0x300c, 1, 2, CAT),
+            })
+            .collect();
+        let flat: FlatTrace = ops.iter().copied().collect();
+        let mut streamed = O3Core::new(CoreConfig::gem5_baseline());
+        let a = streamed.run(ops.into_iter());
+        let mut flat_core = O3Core::new(CoreConfig::gem5_baseline());
+        let b = CoreModel::run_warm_flat(&mut flat_core, &flat, 0, flat.len(), 0);
+        assert_eq!(a, b, "flat replay must be bit-identical");
     }
 }

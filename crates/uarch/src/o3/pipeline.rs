@@ -6,12 +6,18 @@
 //! writeback event heap, register-pool occupancy and the stall/redirect
 //! clocks. The long-lived machine state (caches, TLBs, predictor, BTB)
 //! stays on [`super::O3Core`] so it survives across runs and intervals.
+//!
+//! The in-flight window is stored as **struct-of-arrays ring buffers**
+//! ([`RobRing`], [`LsqRing`]) instead of `VecDeque`s of per-op structs:
+//! op indices in the ROB are always contiguous (`head_idx..head_idx+len`),
+//! so a power-of-two ring indexed by `idx & mask` gives every stage O(1)
+//! slot access with no per-op heap allocation, and the per-cycle scans
+//! (issue readiness, store forwarding) walk dense primitive arrays.
 
 use crate::cache::ServiceLevel;
 use crate::config::CoreConfig;
-use belenos_trace::MicroOp;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use belenos_trace::{FnCategory, MicroOp, OpKind};
+use std::collections::VecDeque;
 
 /// Minimum dependency-tracking window (producer distances beyond the
 /// window are treated as long-retired). The actual ring is sized from the
@@ -21,7 +27,8 @@ pub(crate) const DONE_WINDOW: usize = 8192;
 
 /// Dependency-ring size for a configuration: comfortably larger than the
 /// ROB (in-flight idx distances span the ROB plus fetch/replay queues),
-/// never below the historical 8192 floor.
+/// never below the historical 8192 floor. Always a power of two, so ring
+/// indexing is a mask, not a modulo.
 pub(crate) fn done_window_for(cfg: &CoreConfig) -> usize {
     DONE_WINDOW.max((cfg.rob_entries.saturating_mul(4)).next_power_of_two())
 }
@@ -37,24 +44,550 @@ pub(super) enum OpState {
     Done,
 }
 
-#[derive(Debug, Clone)]
-pub(super) struct InFlight {
-    pub(super) op: MicroOp,
-    pub(super) idx: u64,
-    pub(super) dispatch_id: u64,
-    pub(super) state: OpState,
-    /// Branch fetched with a wrong direction prediction.
-    pub(super) mispredicted: bool,
-    /// Deepest level that serviced a memory op (TMA classification).
-    pub(super) mem_level: Option<ServiceLevel>,
+/// In-flight op storage: one idx-keyed struct-of-arrays ring holding the
+/// immutable fields of every op between fetch and commit.
+///
+/// Live trace indices (ROB occupants, the fetch queue and the replay
+/// range) are contiguous — `[rob.head_idx, next_idx)` — and their count
+/// is bounded by ROB capacity plus fetch-queue capacity (every live op
+/// sits in exactly one of the three containers, and squash only
+/// redistributes them). The ring is sized at twice that bound, so slot
+/// lookup is `idx & mask` with no aliasing.
+///
+/// Each op's fields are written exactly once, when fetch first pulls it
+/// from the trace; every later stage (dispatch hazards, issue address
+/// rules, commit retirement, squash replay) reads the same slot instead
+/// of copying a `MicroOp` from queue to queue.
+pub(super) struct OpBuf {
+    mask: u64,
+    pub(super) kind: Vec<OpKind>,
+    pub(super) pc: Vec<u32>,
+    pub(super) addr: Vec<u64>,
+    pub(super) size: Vec<u8>,
+    pub(super) taken: Vec<bool>,
+    pub(super) target: Vec<u32>,
+    pub(super) dep1: Vec<u32>,
+    pub(super) dep2: Vec<u32>,
+    pub(super) cat: Vec<FnCategory>,
 }
 
+impl OpBuf {
+    fn new(rob_entries: usize, fetchq_cap: usize) -> Self {
+        let cap = ((rob_entries.next_power_of_two() + fetchq_cap) * 2)
+            .next_power_of_two()
+            .max(2);
+        OpBuf {
+            mask: (cap - 1) as u64,
+            kind: vec![OpKind::IntAlu; cap],
+            pc: vec![0; cap],
+            addr: vec![0; cap],
+            size: vec![0; cap],
+            taken: vec![false; cap],
+            target: vec![0; cap],
+            dep1: vec![0; cap],
+            dep2: vec![0; cap],
+            cat: vec![FnCategory::Internal; cap],
+        }
+    }
+
+    /// Ring slot for a trace index.
+    #[inline]
+    pub(super) fn slot(&self, idx: u64) -> usize {
+        (idx & self.mask) as usize
+    }
+
+    /// Files the op fetched at trace index `idx`.
+    #[inline]
+    pub(super) fn insert(&mut self, idx: u64, op: &MicroOp) {
+        let s = self.slot(idx);
+        self.kind[s] = op.kind;
+        self.pc[s] = op.pc;
+        self.addr[s] = op.addr;
+        self.size[s] = op.size;
+        self.taken[s] = op.taken;
+        self.target[s] = op.target;
+        self.dep1[s] = op.dep1;
+        self.dep2[s] = op.dep2;
+        self.cat[s] = op.cat;
+    }
+
+    /// Reconstructs the full micro-op stored at a live trace index.
+    pub(super) fn get(&self, idx: u64) -> MicroOp {
+        let s = self.slot(idx);
+        MicroOp {
+            kind: self.kind[s],
+            pc: self.pc[s],
+            addr: self.addr[s],
+            size: self.size[s],
+            taken: self.taken[s],
+            target: self.target[s],
+            dep1: self.dep1[s],
+            dep2: self.dep2[s],
+            cat: self.cat[s],
+        }
+    }
+}
+
+/// The reorder buffer as a struct-of-arrays ring.
+///
+/// ROB occupants always carry contiguous trace indices (dispatch pushes
+/// in index order; squash pops from the back; commit pops from the
+/// front), so slot lookup is `idx & mask` with no position arithmetic
+/// and no per-entry allocation. Only dispatch-time state lives here —
+/// the op's immutable fields stay in the fetch-time [`OpBuf`] and are
+/// never copied into the ROB.
+pub(super) struct RobRing {
+    mask: u64,
+    /// Trace index of the oldest occupant (meaningful when `len > 0`;
+    /// after a pop that empties the ring it stays one past the last
+    /// popped op until the next push re-anchors it).
+    pub(super) head_idx: u64,
+    len: usize,
+    pub(super) dispatch_id: Vec<u64>,
+    pub(super) state: Vec<OpState>,
+    /// Branch fetched with a wrong direction prediction.
+    pub(super) mispredicted: Vec<bool>,
+    /// Deepest level that serviced a memory op (TMA classification;
+    /// kept as a parallel array alongside the other per-op state).
+    pub(super) mem_level: Vec<Option<ServiceLevel>>,
+    /// Physical load/store-queue slot of a memory op (`u32::MAX`
+    /// otherwise), recorded at dispatch so issue and writeback reach
+    /// the LSQ entry directly instead of binary-searching by index.
+    pub(super) lsq_slot: Vec<u32>,
+}
+
+impl RobRing {
+    pub(super) fn new(rob_entries: usize) -> Self {
+        let cap = rob_entries.next_power_of_two().max(2);
+        RobRing {
+            mask: (cap - 1) as u64,
+            head_idx: 0,
+            len: 0,
+            dispatch_id: vec![0; cap],
+            state: vec![OpState::Waiting; cap],
+            mispredicted: vec![false; cap],
+            mem_level: vec![None; cap],
+            lsq_slot: vec![u32::MAX; cap],
+        }
+    }
+
+    /// Empties the ring (just-built state). Slot contents need no
+    /// clearing: `push_back` writes every field of a slot before any
+    /// stage reads it, and reads are bounded by `len`.
+    pub(super) fn reset(&mut self) {
+        self.head_idx = 0;
+        self.len = 0;
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(super) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ring slot for a trace index.
+    #[inline]
+    pub(super) fn slot(&self, idx: u64) -> usize {
+        (idx & self.mask) as usize
+    }
+
+    /// Trace index of the oldest occupant, or 0 when empty (the issue
+    /// stage's neutral base; it never reads slots of an empty ring).
+    pub(super) fn front_idx_or_zero(&self) -> u64 {
+        if self.len == 0 {
+            0
+        } else {
+            self.head_idx
+        }
+    }
+
+    pub(super) fn push_back(&mut self, idx: u64, dispatch_id: u64, mispred: bool, lsq_slot: u32) {
+        if self.len == 0 {
+            self.head_idx = idx;
+        }
+        debug_assert_eq!(idx, self.head_idx + self.len as u64, "rob idx contiguity");
+        debug_assert!(self.len <= self.mask as usize, "rob ring overflow");
+        let s = self.slot(idx);
+        self.dispatch_id[s] = dispatch_id;
+        self.state[s] = OpState::Waiting;
+        self.mispredicted[s] = mispred;
+        self.mem_level[s] = None;
+        self.lsq_slot[s] = lsq_slot;
+        self.len += 1;
+    }
+
+    /// Drops the oldest occupant (commit).
+    pub(super) fn pop_front(&mut self) {
+        debug_assert!(self.len > 0);
+        self.head_idx += 1;
+        self.len -= 1;
+    }
+
+    /// Removes the youngest occupant (squash), returning its index.
+    pub(super) fn pop_back(&mut self) -> u64 {
+        debug_assert!(self.len > 0);
+        self.len -= 1;
+        self.head_idx + self.len as u64
+    }
+}
+
+/// A load or store queue as a struct-of-arrays ring.
+///
+/// Entries arrive in trace-index order, retire from the front at commit
+/// and truncate from the back on a squash, so the ring stays sorted by
+/// index. `inflight` maintains the count of issued-but-incomplete
+/// entries, replacing the old per-cycle `iter().any(...)` scan in the
+/// commit stage's memory-bound classification.
+pub(super) struct LsqRing {
+    mask: usize,
+    start: usize,
+    len: usize,
+    idx: Vec<u64>,
+    addr: Vec<u64>,
+    issued: Vec<bool>,
+    done: Vec<bool>,
+    inflight: usize,
+    /// Counting filter over the 8-byte blocks of *issued* entries. A
+    /// zero bucket proves no issued entry touches that block, letting
+    /// `forward_from` skip its scan — the overwhelmingly common case
+    /// for loads with no older matching store.
+    filter: Vec<u16>,
+}
+
+/// Bucket count of the issued-address counting filter (2 KiB of u16s).
+const LSQ_FILTER_BUCKETS: usize = 1024;
+
+/// Filter bucket for an address's 8-byte block (Fibonacci hash).
+#[inline]
+fn lsq_filter_bucket(addr: u64) -> usize {
+    (((addr >> 3).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 54) as usize
+}
+
+impl LsqRing {
+    pub(super) fn new(entries: usize) -> Self {
+        let cap = entries.next_power_of_two().max(2);
+        LsqRing {
+            mask: cap - 1,
+            start: 0,
+            len: 0,
+            idx: vec![0; cap],
+            addr: vec![0; cap],
+            issued: vec![false; cap],
+            done: vec![false; cap],
+            inflight: 0,
+            filter: vec![0; LSQ_FILTER_BUCKETS],
+        }
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Empties the queue (just-built state); entry slots are fully
+    /// rewritten by `push_back` before use.
+    pub(super) fn reset(&mut self) {
+        self.start = 0;
+        self.len = 0;
+        self.inflight = 0;
+        self.filter.fill(0);
+    }
+
+    #[inline]
+    fn slot(&self, i: usize) -> usize {
+        (self.start + i) & self.mask
+    }
+
+    /// Appends an entry and returns its physical slot, which stays
+    /// valid for the entry's whole lifetime (the ring only moves
+    /// `start`/`len`, never entry contents).
+    pub(super) fn push_back(&mut self, idx: u64, addr: u64) -> u32 {
+        debug_assert!(self.len <= self.mask, "lsq ring overflow");
+        let s = self.slot(self.len);
+        self.idx[s] = idx;
+        self.addr[s] = addr;
+        self.issued[s] = false;
+        self.done[s] = false;
+        self.len += 1;
+        s as u32
+    }
+
+    /// Pops the oldest entry, returning its trace index.
+    pub(super) fn pop_front(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let s = self.slot(0);
+        if self.issued[s] {
+            if !self.done[s] {
+                self.inflight -= 1;
+            }
+            self.filter[lsq_filter_bucket(self.addr[s])] -= 1;
+        }
+        self.start = (self.start + 1) & self.mask;
+        self.len -= 1;
+        Some(self.idx[s])
+    }
+
+    /// Logical position of the first entry with trace index >= `idx`.
+    /// The live window is trace-order sorted (push_back appends rising
+    /// indices; truncation drops a sorted suffix), so this is a binary
+    /// search.
+    #[inline]
+    fn lower_bound(&self, idx: u64) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.idx[self.slot(mid)] < idx {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    fn find(&self, idx: u64) -> Option<usize> {
+        let pos = self.lower_bound(idx);
+        if pos < self.len {
+            let s = self.slot(pos);
+            if self.idx[s] == idx {
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// Physical slot for a live entry given the slot hint the ROB
+    /// recorded at dispatch. The hint is authoritative while the entry
+    /// lives (slots never move); the identity check catches a stale
+    /// hint after squash-and-replay and falls back to the search.
+    #[inline]
+    fn slot_for(&self, idx: u64, hint: u32) -> Option<usize> {
+        let s = hint as usize;
+        if s <= self.mask && self.idx[s] == idx {
+            let pos = (s.wrapping_sub(self.start)) & self.mask;
+            if pos < self.len {
+                return Some(s);
+            }
+        }
+        self.find(idx)
+    }
+
+    /// Marks an entry issued with its resolved address.
+    pub(super) fn mark_issued(&mut self, idx: u64, addr: u64, hint: u32) {
+        if let Some(s) = self.slot_for(idx, hint) {
+            if !self.issued[s] && !self.done[s] {
+                self.inflight += 1;
+            }
+            if self.issued[s] {
+                self.filter[lsq_filter_bucket(self.addr[s])] -= 1;
+            }
+            self.issued[s] = true;
+            self.addr[s] = addr;
+            self.filter[lsq_filter_bucket(addr)] += 1;
+        }
+    }
+
+    /// Marks an entry complete (loads at writeback).
+    pub(super) fn mark_done(&mut self, idx: u64, hint: u32) {
+        if let Some(s) = self.slot_for(idx, hint) {
+            if self.issued[s] && !self.done[s] {
+                self.inflight -= 1;
+            }
+            self.done[s] = true;
+        }
+    }
+
+    /// True when any entry has issued but not completed (the commit
+    /// stage's memory-bound signal).
+    pub(super) fn has_inflight(&self) -> bool {
+        self.inflight > 0
+    }
+
+    /// Youngest issued store older than `load_idx` to the same 8-byte
+    /// block: `Some((store_idx, store_done))`.
+    pub(super) fn forward_from(&self, load_idx: u64, load_addr: u64) -> Option<(u64, bool)> {
+        // A zero filter bucket proves no issued store touches the
+        // load's block — skip the scan outright (the common case).
+        if self.filter[lsq_filter_bucket(load_addr)] == 0 {
+            return None;
+        }
+        // Only entries older than the load can forward; start the
+        // youngest-first scan just below its sorted position.
+        for i in (0..self.lower_bound(load_idx)).rev() {
+            let s = self.slot(i);
+            if self.issued[s] && (self.addr[s] >> 3) == (load_addr >> 3) {
+                return Some((self.idx[s], self.done[s]));
+            }
+        }
+        None
+    }
+
+    /// Drops every entry younger than `keep_max_idx` (squash). Entries
+    /// are index-sorted, so this is truncation from the back.
+    pub(super) fn truncate_younger(&mut self, keep_max_idx: u64) {
+        while self.len > 0 {
+            let s = self.slot(self.len - 1);
+            if self.idx[s] <= keep_max_idx {
+                break;
+            }
+            if self.issued[s] {
+                if !self.done[s] {
+                    self.inflight -= 1;
+                }
+                self.filter[lsq_filter_bucket(self.addr[s])] -= 1;
+            }
+            self.len -= 1;
+        }
+    }
+}
+
+/// One issue-queue entry: the op's trace index, its producers'
+/// *resolved* trace indices (`u64::MAX` = known ready), and its
+/// functional-unit class. Producers are resolved once at dispatch and
+/// memoized to the ready sentinel when first observed complete, which
+/// is sound because readiness is monotone while the entry waits — a
+/// producer is strictly older than its consumer, so no squash that
+/// spares the consumer can undo the producer, and the done ring cannot
+/// recycle the producer's slot while the consumer is still in flight
+/// (the window is sized ≥ 4x the ROB).
 #[derive(Debug, Clone, Copy)]
-pub(super) struct LsqEntry {
+pub(super) struct IqEntry {
     pub(super) idx: u64,
-    pub(super) addr: u64,
-    pub(super) issued: bool,
-    pub(super) done: bool,
+    pub(super) dep1: u64,
+    pub(super) dep2: u64,
+    /// Execution latency in cycles, precomputed at dispatch so the
+    /// issue scan never re-derives it from the op kind (fits the
+    /// struct's padding; every real latency is far below 2^32).
+    pub(super) lat: u32,
+    /// Functional-unit class (index into `fu_counts`).
+    pub(super) fu: u8,
+}
+
+const NO_NODE: u32 = u32::MAX;
+
+/// Waiting half of the issue queue: entries whose producers have not
+/// completed, parked on intrusive per-producer lists keyed by the
+/// producer's done-ring slot (in-flight indices are always less than a
+/// window apart, so slots are collision-free). The writeback stage
+/// wakes a producer's list in O(waiters) instead of the issue stage
+/// rescanning every waiting entry every cycle. An entry waits on
+/// exactly one pending producer at a time; if its second producer is
+/// still pending at wake time it re-parks on that one.
+pub(super) struct WaitPool {
+    /// Per done-ring slot: first waiter node, or `NO_NODE`.
+    head: Vec<u32>,
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    /// Producer slot each node is parked under (to fix `head` on unlink).
+    pslot: Vec<u32>,
+    entry: Vec<IqEntry>,
+    occupied: Vec<bool>,
+    free: Vec<u32>,
+    count: usize,
+}
+
+impl WaitPool {
+    fn new(done_window: usize, iq_entries: usize) -> Self {
+        WaitPool {
+            head: vec![NO_NODE; done_window],
+            next: Vec::with_capacity(iq_entries),
+            prev: Vec::with_capacity(iq_entries),
+            pslot: Vec::with_capacity(iq_entries),
+            entry: Vec::with_capacity(iq_entries),
+            occupied: Vec::with_capacity(iq_entries),
+            free: Vec::new(),
+            count: 0,
+        }
+    }
+
+    pub(super) fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Unparks everything and clears all lists (just-built state). The
+    /// slab vectors are truncated, not freed, so their capacity stays
+    /// warm and node allocation order replays exactly as on a fresh
+    /// pool.
+    fn reset(&mut self) {
+        self.head.fill(NO_NODE);
+        self.next.clear();
+        self.prev.clear();
+        self.pslot.clear();
+        self.entry.clear();
+        self.occupied.clear();
+        self.free.clear();
+        self.count = 0;
+    }
+
+    /// Parks `e` on the waiter list of the producer occupying `pslot`.
+    fn park(&mut self, pslot: usize, e: IqEntry) {
+        let node = match self.free.pop() {
+            Some(n) => n as usize,
+            None => {
+                self.next.push(NO_NODE);
+                self.prev.push(NO_NODE);
+                self.pslot.push(0);
+                self.entry.push(e);
+                self.occupied.push(false);
+                self.next.len() - 1
+            }
+        };
+        let old = self.head[pslot];
+        self.next[node] = old;
+        self.prev[node] = NO_NODE;
+        self.pslot[node] = pslot as u32;
+        self.entry[node] = e;
+        self.occupied[node] = true;
+        if old != NO_NODE {
+            self.prev[old as usize] = node as u32;
+        }
+        self.head[pslot] = node as u32;
+        self.count += 1;
+    }
+
+    fn unlink(&mut self, node: usize) -> IqEntry {
+        let (nx, pv) = (self.next[node], self.prev[node]);
+        if pv == NO_NODE {
+            self.head[self.pslot[node] as usize] = nx;
+        } else {
+            self.next[pv as usize] = nx;
+        }
+        if nx != NO_NODE {
+            self.prev[nx as usize] = pv;
+        }
+        self.occupied[node] = false;
+        self.free.push(node as u32);
+        self.count -= 1;
+        self.entry[node]
+    }
+
+    /// Drains the waiter list of producer slot `pslot` into `out`.
+    fn drain_slot(&mut self, pslot: usize, out: &mut Vec<IqEntry>) {
+        let mut node = self.head[pslot];
+        self.head[pslot] = NO_NODE;
+        while node != NO_NODE {
+            let n = node as usize;
+            node = self.next[n];
+            self.occupied[n] = false;
+            self.free.push(n as u32);
+            self.count -= 1;
+            out.push(self.entry[n]);
+        }
+    }
+
+    /// Removes every waiter younger than `keep_max_idx` (squash). The
+    /// node slab is bounded by the issue-queue size, so this sweeps at
+    /// most `iq_entries` slots however large the done window is.
+    fn squash_younger(&mut self, keep_max_idx: u64) {
+        for node in 0..self.occupied.len() {
+            if self.occupied[node] && self.entry[node].idx > keep_max_idx {
+                self.unlink(node);
+            }
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +599,254 @@ pub(super) enum FetchBlock {
     QueueFull,
 }
 
+/// Wheel size in cycles. Worst-case completion delta is a TLB walk
+/// plus a DRAM access behind a bandwidth-saturated channel — a few
+/// hundred cycles; 2048 leaves generous slack, and anything farther
+/// out parks on the overflow list.
+const EVENT_WHEEL_SIZE: usize = 2048;
+const EVENT_WHEEL_WORDS: usize = EVENT_WHEEL_SIZE / 64;
+
+/// Completion-event queue: a timing wheel with one bucket per future
+/// cycle, an occupancy bitmap, and a sorted due list.
+///
+/// Events pack into one `u128` as
+/// `(cycle << 64) | (op idx << 32) | dispatch epoch`, ordering
+/// lexicographically exactly like the former binary heap. Same-cycle
+/// events always share a bucket (live wheel entries span less than one
+/// wheel turn), so sorting a bucket when it comes due reproduces the
+/// heap's pop order event-for-event — cycle, then op idx, then epoch —
+/// which the digest pins observe through the writeback-width cap.
+/// Pushes are O(1) (bucket append plus a bitmap bit) instead of a
+/// sift-up, and fast-forwarded idle gaps cost a few bitmap word scans
+/// instead of per-event compares.
+pub(super) struct EventHeap {
+    buckets: Vec<Vec<u128>>,
+    bitmap: [u64; EVENT_WHEEL_WORDS],
+    /// Next cycle not yet harvested; every wheel entry's time is in
+    /// `[cursor, cursor + EVENT_WHEEL_SIZE)`.
+    cursor: u64,
+    /// Live events on the wheel (excludes due and overflow).
+    wheel_len: usize,
+    /// Harvested events in pop order; `due[due_head..]` is pending.
+    due: Vec<u128>,
+    due_head: usize,
+    /// Events beyond the wheel horizon (DRAM queueing is not statically
+    /// bounded). Expected to stay empty in practice; folded back as the
+    /// cursor advances.
+    overflow: Vec<u128>,
+    /// Earliest time of any wheel or overflow event (`u64::MAX` when
+    /// both are empty): the cached lower bound that lets the per-cycle
+    /// pop skip the bitmap scan entirely until an event actually comes
+    /// due. Maintained as a running min on push; recomputed by harvest.
+    next_pending: u64,
+}
+
+impl EventHeap {
+    fn new(capacity: usize) -> Self {
+        EventHeap {
+            buckets: (0..EVENT_WHEEL_SIZE).map(|_| Vec::new()).collect(),
+            bitmap: [0; EVENT_WHEEL_WORDS],
+            cursor: 0,
+            wheel_len: 0,
+            due: Vec::with_capacity(capacity),
+            due_head: 0,
+            overflow: Vec::new(),
+            next_pending: u64::MAX,
+        }
+    }
+
+    /// Files a completion for op `idx` (epoch `did`) at cycle `t`.
+    /// Indices and epochs are bounded by the trace-prefix cap (far
+    /// below 2^32), so the packing is lossless. Issue always schedules
+    /// strictly past `now`, and writeback harvests due events before
+    /// issue runs, so `t >= cursor` holds — the wheel mapping is
+    /// unambiguous.
+    #[inline]
+    pub(super) fn push(&mut self, t: u64, idx: u64, did: u64) {
+        debug_assert!(idx < (1 << 32) && did < (1 << 32));
+        debug_assert!(t >= self.cursor);
+        let e = ((t as u128) << 64) | ((idx as u128) << 32) | did as u128;
+        if self.wheel_len == 0 && self.overflow.is_empty() {
+            // Nothing constrains the cursor: re-home it so a long
+            // harvest-free stretch (the cursor lags `now` while no event
+            // is due) cannot push fresh events off the wheel horizon.
+            self.cursor = self
+                .cursor
+                .max(t.saturating_sub(EVENT_WHEEL_SIZE as u64 - 1));
+        }
+        self.next_pending = self.next_pending.min(t);
+        if t - self.cursor >= EVENT_WHEEL_SIZE as u64 {
+            self.overflow.push(e);
+            return;
+        }
+        let b = (t as usize) & (EVENT_WHEEL_SIZE - 1);
+        self.buckets[b].push(e);
+        self.bitmap[b >> 6] |= 1 << (b & 63);
+        self.wheel_len += 1;
+    }
+
+    /// Pops the earliest event if it is due at or before `now`,
+    /// returning `(op idx, dispatch epoch)`.
+    ///
+    /// Pending due entries always precede everything still on the wheel
+    /// (their times are below the cursor, wheel times are at or above
+    /// it), so the due list serves first and the wheel is only scanned
+    /// when the cached `next_pending` bound says an event has actually
+    /// come due — the common dead cycle costs two compares.
+    #[inline]
+    pub(super) fn pop_due(&mut self, now: u64) -> Option<(u64, u64)> {
+        if self.due_head == self.due.len() {
+            if self.next_pending > now {
+                return None;
+            }
+            self.harvest(now);
+            if self.due_head == self.due.len() {
+                return None;
+            }
+        }
+        let e = self.due[self.due_head];
+        self.due_head += 1;
+        Some(((e >> 32) as u32 as u64, e as u32 as u64))
+    }
+
+    /// Moves every bucket due at or before `now` onto the due list,
+    /// sorting each so packed order (cycle, idx, epoch) is preserved,
+    /// then folds in any overflow events that came within the horizon,
+    /// and refreshes the cached `next_pending` bound.
+    fn harvest(&mut self, now: u64) {
+        self.next_pending = u64::MAX;
+        while self.wheel_len > 0 {
+            let Some(t) = self.scan_wheel(self.cursor) else {
+                break;
+            };
+            if t > now {
+                self.cursor = now + 1;
+                self.next_pending = t;
+                break;
+            }
+            let b = (t as usize) & (EVENT_WHEEL_SIZE - 1);
+            self.bitmap[b >> 6] &= !(1u64 << (b & 63));
+            if self.due_head == self.due.len() {
+                self.due.clear();
+                self.due_head = 0;
+            }
+            let mut bucket = std::mem::take(&mut self.buckets[b]);
+            bucket.sort_unstable();
+            self.wheel_len -= bucket.len();
+            self.due.extend_from_slice(&bucket);
+            bucket.clear();
+            self.buckets[b] = bucket;
+            self.cursor = t + 1;
+        }
+        if self.cursor <= now {
+            self.cursor = now + 1;
+        }
+        if !self.overflow.is_empty() {
+            // Folding can re-home overflow events onto the wheel below
+            // the bound cached above: recompute from scratch (cold — the
+            // horizon exceeds every realistic completion latency).
+            self.fold_overflow(now);
+            self.next_pending = self.scan_wheel(self.cursor).unwrap_or(u64::MAX);
+            for &e in &self.overflow {
+                self.next_pending = self.next_pending.min((e >> 64) as u64);
+            }
+        }
+    }
+
+    /// Re-homes overflow events that now fit on the wheel, and merges
+    /// any already due into the pending due list. Cold: the horizon
+    /// exceeds every realistic completion latency.
+    #[cold]
+    fn fold_overflow(&mut self, now: u64) {
+        let mut i = 0;
+        let mut merged = false;
+        while i < self.overflow.len() {
+            let e = self.overflow[i];
+            let t = (e >> 64) as u64;
+            if t <= now {
+                self.overflow.swap_remove(i);
+                self.due.push(e);
+                merged = true;
+            } else if t - self.cursor < EVENT_WHEEL_SIZE as u64 {
+                self.overflow.swap_remove(i);
+                let b = (t as usize) & (EVENT_WHEEL_SIZE - 1);
+                self.buckets[b].push(e);
+                self.bitmap[b >> 6] |= 1 << (b & 63);
+                self.wheel_len += 1;
+            } else {
+                i += 1;
+            }
+        }
+        if merged {
+            let head = self.due_head;
+            self.due[head..].sort_unstable();
+        }
+    }
+
+    /// Earliest event time at or after `from` on the wheel, found by
+    /// scanning the occupancy bitmap a word at a time (wrapping once).
+    fn scan_wheel(&self, from: u64) -> Option<u64> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let mask = EVENT_WHEEL_SIZE as u64 - 1;
+        let start = (from & mask) as usize;
+        let sw = start >> 6;
+        let mut w = sw;
+        let mut bits = self.bitmap[sw] & (!0u64 << (start & 63));
+        loop {
+            if bits != 0 {
+                let pos = ((w << 6) | bits.trailing_zeros() as usize) as u64;
+                return Some(from + (pos.wrapping_sub(from) & mask));
+            }
+            w = (w + 1) & (EVENT_WHEEL_WORDS - 1);
+            if w == sw {
+                // Full circle: only the start word's low bits (times
+                // just before the horizon wraps) remain unexamined.
+                bits = self.bitmap[sw] & !(!0u64 << (start & 63));
+                if bits != 0 {
+                    let pos = ((sw << 6) | bits.trailing_zeros() as usize) as u64;
+                    return Some(from + (pos.wrapping_sub(from) & mask));
+                }
+                return None;
+            }
+            bits = self.bitmap[w];
+        }
+    }
+
+    /// Cycle of the earliest pending event (the fast-forward's wake
+    /// candidate). O(1): the due list is sorted and `next_pending`
+    /// already bounds the wheel and overflow exactly.
+    pub(super) fn next_time(&self) -> Option<u64> {
+        let mut best = self.next_pending;
+        if self.due_head < self.due.len() {
+            best = best.min((self.due[self.due_head] >> 64) as u64);
+        }
+        (best != u64::MAX).then_some(best)
+    }
+
+    /// Drops all events, keeping bucket allocations. The occupancy
+    /// bitmap names exactly the non-empty buckets, so a reset touches
+    /// only those.
+    fn clear(&mut self) {
+        for (wi, word) in self.bitmap.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = (wi << 6) | bits.trailing_zeros() as usize;
+                self.buckets[b].clear();
+                bits &= bits - 1;
+            }
+            *word = 0;
+        }
+        self.wheel_len = 0;
+        self.cursor = 0;
+        self.due.clear();
+        self.due_head = 0;
+        self.overflow.clear();
+        self.next_pending = u64::MAX;
+    }
+}
+
 /// The per-run pipeline state; one instance per `run_warm` invocation.
 pub(super) struct Pipeline {
     /// Effective front-end width: decode/rename/dispatch bottleneck.
@@ -74,18 +855,40 @@ pub(super) struct Pipeline {
     pub(super) now: u64,
     pub(super) next_idx: u64,
     pub(super) dispatch_counter: u64,
-    pub(super) rob: VecDeque<InFlight>,
-    pub(super) iq: VecDeque<u64>,
-    pub(super) lq: VecDeque<LsqEntry>,
-    pub(super) sq: VecDeque<LsqEntry>,
-    /// Fetched, not yet dispatched: (op, idx, predicted-taken).
-    pub(super) fetchq: VecDeque<(MicroOp, u64, bool)>,
-    /// Correct-path ops awaiting re-fetch after a squash.
-    pub(super) replayq: VecDeque<(MicroOp, u64)>,
+    pub(super) rob: RobRing,
+    /// Ready half of the issue queue: entries whose producers have all
+    /// completed, sorted by trace index (dispatch appends in order;
+    /// wakeups insert sorted), compacted in place each cycle.
+    pub(super) ready_q: Vec<IqEntry>,
+    /// Per functional-unit-class population of `ready_q`, letting the
+    /// issue scan stop as soon as every represented class is saturated.
+    pub(super) ready_fu_count: [usize; 5],
+    /// Waiting half of the issue queue (see [`WaitPool`]).
+    pub(super) waiters: WaitPool,
+    /// Scratch buffer for draining waiter lists (reused, never freed).
+    wake_buf: Vec<IqEntry>,
+    /// Immutable fields of every live op, written once when the op is
+    /// first read from the trace (see [`OpBuf`]).
+    pub(super) ops: OpBuf,
+    pub(super) lq: LsqRing,
+    pub(super) sq: LsqRing,
+    /// Fetched, not yet dispatched: (idx, predicted-taken). The op's
+    /// fields live in `ops` — nothing is copied through the queue.
+    pub(super) fetchq: VecDeque<(u64, bool)>,
+    /// The replay queue as a cursor: ops with indices in
+    /// `[replay_next, next_idx)` have been read from the trace (their
+    /// fields are in `ops`) but await (re-)fetch. Live ops are
+    /// contiguous in trace order — ROB, then fetch queue, then this
+    /// range, then the unread trace — so a squash at branch `b` makes
+    /// the correct path exactly `[b + 1, next_idx)`: one cursor store
+    /// replaces the old wrong-path/refetch `VecDeque` shuffle.
+    pub(super) replay_next: u64,
     pub(super) done_window: u64,
+    /// `done_window - 1`; the window is always a power of two.
+    pub(super) done_mask: u64,
     pub(super) done_ring: Vec<bool>,
     /// Writeback events: (completion cycle, op idx, dispatch epoch).
-    pub(super) events: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    pub(super) events: EventHeap,
     pub(super) serializers: VecDeque<u64>,
     pub(super) int_regs_used: usize,
     pub(super) fp_regs_used: usize,
@@ -98,6 +901,10 @@ pub(super) struct Pipeline {
     pub(super) cur_fetch_line: u64,
     pub(super) fpdiv_busy_until: u64,
     pub(super) last_commit_cycle: u64,
+    /// Peak ROB-ring occupancy over the run (telemetry).
+    pub(super) rob_peak: usize,
+    /// Cycles the event-driven fast-forward skipped (telemetry).
+    pub(super) ff_cycles_skipped: u64,
 }
 
 impl Pipeline {
@@ -114,15 +921,20 @@ impl Pipeline {
             now: 0,
             next_idx: 0,
             dispatch_counter: 0,
-            rob: VecDeque::with_capacity(cfg.rob_entries),
-            iq: VecDeque::with_capacity(cfg.iq_entries),
-            lq: VecDeque::with_capacity(cfg.lq_entries),
-            sq: VecDeque::with_capacity(cfg.sq_entries),
+            rob: RobRing::new(cfg.rob_entries),
+            ready_q: Vec::with_capacity(cfg.iq_entries),
+            ready_fu_count: [0; 5],
+            waiters: WaitPool::new(done_window as usize, cfg.iq_entries),
+            wake_buf: Vec::new(),
+            ops: OpBuf::new(cfg.rob_entries, fetchq_cap),
+            lq: LsqRing::new(cfg.lq_entries),
+            sq: LsqRing::new(cfg.sq_entries),
             fetchq: VecDeque::with_capacity(fetchq_cap),
-            replayq: VecDeque::new(),
+            replay_next: 0,
             done_window,
+            done_mask: done_window - 1,
             done_ring: vec![false; done_window as usize],
-            events: BinaryHeap::new(),
+            events: EventHeap::new(cfg.rob_entries),
             serializers: VecDeque::new(),
             int_regs_used: 0,
             fp_regs_used: 0,
@@ -135,23 +947,223 @@ impl Pipeline {
             cur_fetch_line: u64::MAX,
             fpdiv_busy_until: 0,
             last_commit_cycle: 0,
+            rob_peak: 0,
+            ff_cycles_skipped: 0,
         }
     }
 
-    /// True when `idx`'s producer at distance `dep` has completed (or is
-    /// long retired / precedes the trace).
-    pub(super) fn ready(&self, idx: u64, dep: u32, head_idx: u64) -> bool {
+    /// Returns the pipeline to the state [`Pipeline::new`] would build
+    /// for the same configuration, reusing every allocation. The run
+    /// driver resets a retained scratch pipeline instead of building a
+    /// fresh one, which removes the dominant per-run cost the profiler
+    /// found: re-allocating (and re-page-faulting) the ring buffers on
+    /// every simulation call. Sound only for an unchanged `CoreConfig` —
+    /// the owning core's configuration is fixed at construction.
+    pub(super) fn reset(&mut self) {
+        self.now = 0;
+        self.next_idx = 0;
+        self.dispatch_counter = 0;
+        self.rob.reset();
+        self.ready_q.clear();
+        self.ready_fu_count = [0; 5];
+        self.waiters.reset();
+        self.wake_buf.clear();
+        // `ops` needs no clearing: a slot is always written (at the
+        // trace read) before any stage reads it, and the capacity
+        // exceeds the maximum live-index span.
+        self.lq.reset();
+        self.sq.reset();
+        self.fetchq.clear();
+        self.replay_next = 0;
+        self.done_ring.fill(false);
+        self.events.clear();
+        self.serializers.clear();
+        self.int_regs_used = 0;
+        self.fp_regs_used = 0;
+        self.fetch_stall_until = 0;
+        self.fetch_block = FetchBlock::None;
+        self.squash_recovery_until = 0;
+        self.icache_pending_until = 0;
+        self.cur_fetch_line = u64::MAX;
+        self.fpdiv_busy_until = 0;
+        self.last_commit_cycle = 0;
+        self.rob_peak = 0;
+        self.ff_cycles_skipped = 0;
+    }
+
+    /// Resolves a dependency distance to the producer's trace index, or
+    /// the always-ready sentinel (`u64::MAX`) when there is no producer
+    /// to wait for: distance zero, a producer preceding the trace
+    /// start, or one beyond the dependency window (long retired).
+    pub(super) fn resolve_dep(&self, idx: u64, dep: u32) -> u64 {
         if dep == 0 {
-            return true;
+            return u64::MAX;
         }
         let dep = dep as u64;
-        if dep > idx {
-            return true; // producer precedes the trace start
+        if dep > idx || dep >= self.done_window {
+            return u64::MAX;
         }
-        let p = idx - dep;
-        if dep >= self.done_window || p < head_idx {
-            return true; // long retired
+        idx - dep
+    }
+
+    /// True when the resolved producer `*dep` has completed or retired;
+    /// memoizes a positive answer into the ready sentinel so later
+    /// cycles skip the done-ring load (readiness is monotone — see
+    /// [`IqEntry`]).
+    #[inline]
+    pub(super) fn dep_ready(&self, dep: &mut u64, head_idx: u64) -> bool {
+        let d = *dep;
+        if d == u64::MAX {
+            return true;
         }
-        self.done_ring[(p % self.done_window) as usize]
+        if d < head_idx || self.done_ring[(d & self.done_mask) as usize] {
+            *dep = u64::MAX;
+            return true;
+        }
+        false
+    }
+
+    /// Total issue-queue occupancy (ready + waiting), gating dispatch.
+    pub(super) fn iq_len(&self) -> usize {
+        self.ready_q.len() + self.waiters.len()
+    }
+
+    /// Inserts a dep-satisfied entry into the ready queue, keeping it
+    /// sorted by trace index. Dispatch-time entries always append (the
+    /// newest index); only wakeups pay the sorted insert.
+    fn ready_insert(&mut self, e: IqEntry) {
+        self.ready_fu_count[e.fu as usize] += 1;
+        if self.ready_q.last().is_none_or(|l| l.idx < e.idx) {
+            self.ready_q.push(e);
+            return;
+        }
+        let pos = self.ready_q.partition_point(|x| x.idx < e.idx);
+        self.ready_q.insert(pos, e);
+    }
+
+    /// Routes a new or woken entry: to the ready queue when both
+    /// producers have completed, else parked on the first still-pending
+    /// producer's waiter list.
+    pub(super) fn classify(&mut self, mut e: IqEntry) {
+        let head_idx = self.rob.head_idx;
+        if !self.dep_ready(&mut e.dep1, head_idx) {
+            let pslot = (e.dep1 & self.done_mask) as usize;
+            self.waiters.park(pslot, e);
+        } else if !self.dep_ready(&mut e.dep2, head_idx) {
+            let pslot = (e.dep2 & self.done_mask) as usize;
+            self.waiters.park(pslot, e);
+        } else {
+            self.ready_insert(e);
+        }
+    }
+
+    /// Wakes every entry parked on completed producer `idx`,
+    /// re-classifying each (an entry whose other producer is still
+    /// pending re-parks on that one). Called by writeback right after
+    /// the done ring is set.
+    pub(super) fn wake_waiters(&mut self, idx: u64) {
+        let pslot = (idx & self.done_mask) as usize;
+        let mut buf = std::mem::take(&mut self.wake_buf);
+        buf.clear();
+        self.waiters.drain_slot(pslot, &mut buf);
+        for e in buf.drain(..) {
+            self.classify(e);
+        }
+        self.wake_buf = buf;
+    }
+
+    /// Drops every issue-queue entry younger than `keep_max_idx`
+    /// (squash), from both halves.
+    pub(super) fn iq_squash_younger(&mut self, keep_max_idx: u64) {
+        while let Some(last) = self.ready_q.last() {
+            if last.idx <= keep_max_idx {
+                break;
+            }
+            self.ready_fu_count[last.fu as usize] -= 1;
+            self.ready_q.pop();
+        }
+        self.waiters.squash_younger(keep_max_idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rob_ring_roundtrips_and_pops_both_ends() {
+        let mut rob = RobRing::new(4);
+        for i in 0..4u64 {
+            rob.push_back(i, i + 1, false, u32::MAX);
+        }
+        assert_eq!(rob.len(), 4);
+        assert_eq!(rob.head_idx, 0);
+        assert_eq!(rob.dispatch_id[rob.slot(2)], 3);
+        assert_eq!(rob.pop_back(), 3);
+        rob.pop_front();
+        assert_eq!(rob.head_idx, 1);
+        assert_eq!(rob.len(), 2);
+        // Wrap-around: ring capacity is 4, indices keep climbing.
+        rob.push_back(3, 9, true, u32::MAX);
+        rob.push_back(4, 10, false, u32::MAX);
+        assert_eq!(rob.dispatch_id[rob.slot(4)], 10);
+        assert!(rob.mispredicted[rob.slot(3)]);
+        assert_eq!(
+            rob.dispatch_id[rob.slot(1)],
+            2,
+            "old entries survive the wrap"
+        );
+    }
+
+    #[test]
+    fn op_buf_reconstructs_ops_across_wrap() {
+        let mut ops = OpBuf::new(4, 4);
+        for i in 0..40u64 {
+            let op = MicroOp::int(0x100 + i as u32, i as u32 % 3, 0, FnCategory::Internal);
+            ops.insert(i, &op);
+            assert_eq!(ops.get(i).pc, 0x100 + i as u32);
+        }
+        // The last window of indices stays intact after the wrap.
+        for i in 30..40u64 {
+            assert_eq!(ops.get(i).pc, 0x100 + i as u32);
+            assert_eq!(ops.get(i).dep1, i as u32 % 3);
+        }
+    }
+
+    #[test]
+    fn lsq_ring_tracks_inflight_and_truncates_sorted() {
+        let mut lq = LsqRing::new(4);
+        lq.push_back(10, 0x40);
+        lq.push_back(12, 0x80);
+        lq.push_back(15, 0xc0);
+        assert!(!lq.has_inflight());
+        lq.mark_issued(12, 0x88, u32::MAX);
+        lq.mark_issued(15, 0xc8, u32::MAX);
+        assert!(lq.has_inflight());
+        lq.mark_done(12, u32::MAX);
+        assert!(lq.has_inflight(), "15 still outstanding");
+        // Squash everything younger than 12: drops 15, inflight clears.
+        lq.truncate_younger(12);
+        assert_eq!(lq.len(), 2);
+        assert!(!lq.has_inflight());
+        assert_eq!(lq.pop_front(), Some(10));
+        assert_eq!(lq.pop_front(), Some(12));
+        assert_eq!(lq.pop_front(), None);
+    }
+
+    #[test]
+    fn store_forwarding_finds_youngest_older_match() {
+        let mut sq = LsqRing::new(8);
+        sq.push_back(1, 0x100);
+        sq.push_back(3, 0x100);
+        sq.push_back(5, 0x200);
+        sq.mark_issued(1, 0x100, u32::MAX);
+        sq.mark_issued(3, 0x100, u32::MAX);
+        // Load at idx 4, addr in the same 8-byte block as 0x100.
+        assert_eq!(sq.forward_from(4, 0x104), Some((3, false)));
+        sq.mark_done(3, u32::MAX);
+        assert_eq!(sq.forward_from(4, 0x104), Some((3, true)));
+        // Nothing older matches block 0x200 (store 5 is younger).
+        assert_eq!(sq.forward_from(4, 0x200), None);
     }
 }

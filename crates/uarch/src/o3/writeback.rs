@@ -6,25 +6,26 @@
 use super::pipeline::{FetchBlock, OpState, Pipeline};
 use super::O3Core;
 use crate::stats::SimStats;
-use belenos_trace::{MicroOp, OpKind};
-use std::cmp::Reverse;
+use belenos_trace::OpKind;
 
 impl O3Core {
     /// Drains up to `writeback_width` due completion events, completing
-    /// ops and handling branch-misprediction squash-and-replay.
-    pub(super) fn writeback_stage(&mut self, p: &mut Pipeline, stats: &mut SimStats) {
+    /// ops and handling branch-misprediction squash-and-replay. Returns
+    /// how many events were popped (including stale ones) — any pop is a
+    /// state change the fast-forward must observe.
+    pub(super) fn writeback_stage(&mut self, p: &mut Pipeline, stats: &mut SimStats) -> usize {
         let cfg = &self.cfg;
         let mut written_back = 0usize;
+        let mut popped = 0usize;
         while written_back < cfg.writeback_width {
-            let Some(&Reverse((t, idx, did))) = p.events.peek() else {
+            let Some((idx, did)) = p.events.pop_due(p.now) else {
                 break;
             };
-            if t > p.now {
-                break;
+            popped += 1;
+            if p.rob.is_empty() {
+                continue;
             }
-            p.events.pop();
-            let Some(front) = p.rob.front() else { continue };
-            let head_idx = front.idx;
+            let head_idx = p.rob.head_idx;
             if idx < head_idx {
                 continue; // stale (already committed or squashed)
             }
@@ -32,34 +33,39 @@ impl O3Core {
             if pos >= p.rob.len() {
                 continue;
             }
-            let (kind, entry_mispredicted) = {
-                let entry = &mut p.rob[pos];
-                if entry.dispatch_id != did || entry.state != OpState::Issued {
-                    continue; // stale epoch after squash
-                }
-                entry.state = OpState::Done;
-                (entry.op.kind, entry.mispredicted)
-            };
-            p.done_ring[(idx % p.done_window) as usize] = true;
+            let s = p.rob.slot(idx);
+            if p.rob.dispatch_id[s] != did || p.rob.state[s] != OpState::Issued {
+                continue; // stale epoch after squash
+            }
+            p.rob.state[s] = OpState::Done;
+            let kind = p.ops.kind[p.ops.slot(idx)];
+            let entry_mispredicted = p.rob.mispredicted[s];
+            p.done_ring[(idx & p.done_mask) as usize] = true;
             written_back += 1;
             if kind == OpKind::Load {
-                if let Some(e) = p.lq.iter_mut().find(|e| e.idx == idx) {
-                    e.done = true;
-                }
+                p.lq.mark_done(idx, p.rob.lsq_slot[s]);
             }
             if matches!(kind, OpKind::Pause | OpKind::Serialize)
                 && p.serializers.front() == Some(&idx)
             {
                 p.serializers.pop_front();
             }
+            // Wake consumers parked on this producer before issue runs
+            // this cycle — matching the done-ring visibility the old
+            // full-IQ scan had.
+            p.wake_waiters(idx);
             let mispredicted = kind == OpKind::Branch && entry_mispredicted;
             if mispredicted {
-                // Squash everything younger than the branch.
-                let mut younger: Vec<(MicroOp, u64)> = Vec::new();
+                // Squash everything younger than the branch. The wrong
+                // path occupies the ROB tail plus the whole fetch
+                // queue; the correct path to replay is exactly the
+                // contiguous index range `[idx + 1, next_idx)`, so the
+                // replay "queue" is one cursor store — no op is copied.
+                let mut squashed = 0usize;
                 while p.rob.len() > pos + 1 {
-                    let victim = p.rob.pop_back().expect("len checked");
-                    p.done_ring[(victim.idx % p.done_window) as usize] = false;
-                    match victim.op.kind {
+                    let victim_idx = p.rob.pop_back();
+                    p.done_ring[(victim_idx & p.done_mask) as usize] = false;
+                    match p.ops.kind[p.ops.slot(victim_idx)] {
                         OpKind::IntAlu | OpKind::IntMul => {
                             p.int_regs_used = p.int_regs_used.saturating_sub(1)
                         }
@@ -69,23 +75,20 @@ impl O3Core {
                         _ => {}
                     }
                     stats.squashed_ops += 1;
-                    younger.push((victim.op, victim.idx));
+                    squashed += 1;
                 }
-                younger.reverse();
-                let squash_count = younger.len() + p.fetchq.len();
-                p.iq.retain(|&i| i <= idx);
-                p.lq.retain(|e| e.idx <= idx);
-                p.sq.retain(|e| e.idx <= idx);
-                p.serializers.retain(|&i| i <= idx);
-                // Re-fetch correct-path ops in original order.
-                let refetch: Vec<(MicroOp, u64)> =
-                    p.fetchq.drain(..).map(|(op, i, _)| (op, i)).collect();
-                for (op, i) in refetch.into_iter().rev() {
-                    p.replayq.push_front((op, i));
+                let squash_count = squashed + p.fetchq.len();
+                // The index queues are trace-order sorted, so dropping
+                // everything younger truncates from the back; parked
+                // waiters are swept by slab scan.
+                p.iq_squash_younger(idx);
+                p.lq.truncate_younger(idx);
+                p.sq.truncate_younger(idx);
+                while p.serializers.back().is_some_and(|&i| i > idx) {
+                    p.serializers.pop_back();
                 }
-                for (op, i) in younger.into_iter().rev() {
-                    p.replayq.push_front((op, i));
-                }
+                p.fetchq.clear();
+                p.replay_next = idx + 1;
                 let squash_cycles = (squash_count as u64).div_ceil(cfg.squash_width as u64);
                 p.fetch_stall_until = p.fetch_stall_until.max(p.now + 1 + squash_cycles);
                 p.squash_recovery_until = p.now + cfg.frontend_depth + 1 + squash_cycles;
@@ -93,5 +96,6 @@ impl O3Core {
                 p.cur_fetch_line = u64::MAX;
             }
         }
+        popped
     }
 }

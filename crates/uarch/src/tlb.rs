@@ -7,11 +7,22 @@
 /// on the simulator's hottest path, and the hit/miss/eviction sequence
 /// is exactly the LRU behavior the hash-map implementation had (stamps
 /// are unique, so the LRU victim is unambiguous).
+///
+/// Page indexing is a single shift (`addr >> PAGE_SHIFT`) — like the
+/// cache's power-of-two set masks, the per-access path contains no
+/// division or modulo.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     capacity: usize,
-    /// `(page, last-use stamp)` pairs, unordered.
-    entries: Vec<(u64, u64)>,
+    /// Resident pages, unordered (parallel to `stamps`). Split from
+    /// the stamps so the hit scan streams one contiguous `u64` array —
+    /// the compiler vectorizes the compare loop.
+    pages: Vec<u64>,
+    /// Last-use stamp per resident page.
+    stamps: Vec<u64>,
+    /// Slot of the most recent hit; consecutive touches to one page
+    /// (the common pattern for streaming kernels) skip the scan.
+    mru: usize,
     stamp: u64,
     /// Total lookups.
     pub accesses: u64,
@@ -31,7 +42,9 @@ impl Tlb {
         assert!(capacity > 0, "tlb capacity must be positive");
         Tlb {
             capacity,
-            entries: Vec::with_capacity(capacity),
+            pages: Vec::with_capacity(capacity),
+            stamps: Vec::with_capacity(capacity),
+            mru: 0,
             stamp: 0,
             accesses: 0,
             misses: 0,
@@ -44,24 +57,45 @@ impl Tlb {
         self.accesses += 1;
         self.stamp += 1;
         let page = addr >> PAGE_SHIFT;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
-            e.1 = self.stamp;
+        if let Some(&cached) = self.pages.get(self.mru) {
+            if cached == page {
+                self.stamps[self.mru] = self.stamp;
+                return true;
+            }
+        }
+        if let Some(i) = self.pages.iter().position(|&p| p == page) {
+            self.stamps[i] = self.stamp;
+            self.mru = i;
             return true;
         }
         self.misses += 1;
-        if self.entries.len() >= self.capacity {
+        if self.pages.len() >= self.capacity {
             // Evict LRU (stamps are unique; the victim is unambiguous).
             let victim = self
-                .entries
+                .stamps
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, &(_, t))| t)
+                .min_by_key(|(_, &t)| t)
                 .map(|(i, _)| i)
                 .expect("non-empty at capacity");
-            self.entries.swap_remove(victim);
+            self.pages.swap_remove(victim);
+            self.stamps.swap_remove(victim);
         }
-        self.entries.push((page, self.stamp));
+        self.mru = self.pages.len();
+        self.pages.push(page);
+        self.stamps.push(self.stamp);
         false
+    }
+
+    /// Returns the TLB to its just-built state (empty, counters zero),
+    /// keeping the entry vectors' allocations.
+    pub fn reset(&mut self) {
+        self.pages.clear();
+        self.stamps.clear();
+        self.mru = 0;
+        self.stamp = 0;
+        self.accesses = 0;
+        self.misses = 0;
     }
 
     /// Miss rate over all accesses so far.

@@ -102,6 +102,20 @@ proptest! {
     }
 
     #[test]
+    fn fast_forward_is_bit_identical_to_cycle_stepping(ops in op_stream(400)) {
+        // The event-driven fast-forward must replicate, per skipped
+        // cycle, exactly the statistics the cycle-by-cycle loop would
+        // have accumulated: full `SimStats` equality covers cycles,
+        // every per-stage counter, and the TMA slot ladder.
+        let mut fast = O3Core::new(CoreConfig::gem5_baseline());
+        let a = fast.run(ops.clone().into_iter());
+        let mut slow = O3Core::new(CoreConfig::gem5_baseline());
+        slow.set_fast_forward(false);
+        let b = slow.run(ops.into_iter());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
     fn frequency_only_rescales_compute_bound_streams(
         n in 3000usize..8000
     ) {
