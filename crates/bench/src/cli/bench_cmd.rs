@@ -25,7 +25,9 @@ use super::Invocation;
 use crate::{
     calibrate, compare_baselines, emit_bench_json, BenchBaseline, BenchRecord, CompareReport,
 };
+use belenos::campaign::{PaperSet, WorkloadSet};
 use belenos::experiment::Experiment;
+use belenos::trace_store::TraceStore;
 use belenos_uarch::CoreConfig;
 
 /// Allowed normalized-MIPS regression before the gate fails.
@@ -35,6 +37,9 @@ const THRESHOLD: f64 = 0.15;
 const WORKLOADS: [&str; 2] = ["pd", "co"];
 const MAX_OPS: usize = 60_000;
 const RUNS: usize = 7;
+/// Prepare runs are whole FE solves, so best-of fewer runs than the
+/// (much cheaper) simulation bench.
+const PREPARE_RUNS: usize = 3;
 const ATTEMPTS: usize = 3;
 const DEFAULT_PATH: &str = "BENCH_baseline.json";
 
@@ -75,11 +80,73 @@ fn measure() -> Result<BenchBaseline, String> {
             mips: stats.committed_ops as f64 / wall_s.max(1e-9) / 1e6,
         });
     }
+    // Prepare-phase records: the cold wall (full FE solve, no store) and
+    // the warm wall (content-addressed trace-store hit) per workload.
+    // `mips` holds phase-log kernel calls per second — the unit doesn't
+    // matter to the gate, which compares calibration-normalized ratios.
+    let store_dir =
+        std::env::temp_dir().join(format!("belenos-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = TraceStore::at(&store_dir);
+    for id in WORKLOADS {
+        let spec = belenos_workloads::by_id(id).ok_or_else(|| format!("unknown preset `{id}`"))?;
+        let (cold, warm, calls) = prepare_walls(&spec, &store)?;
+        for (backend, wall) in [("prepare", cold), ("prepare-warm", warm)] {
+            let wall_s = wall * handicap;
+            records.push(BenchRecord {
+                workload: id.to_string(),
+                backend: backend.to_string(),
+                wall_s,
+                ipc: 0.0,
+                mips: calls / wall_s.max(1e-9),
+            });
+        }
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
     Ok(BenchBaseline {
         calibration: calibrate(),
         records,
         note: None,
     })
+}
+
+/// Best-of-[`PREPARE_RUNS`] cold (storeless) and warm (store-hit)
+/// prepare walls for one scenario, plus its phase-log kernel-call count.
+/// The store entry is populated by a separate untimed prepare, and the
+/// warm path is verified to actually reproduce the cold trace.
+fn prepare_walls(
+    spec: &belenos_workloads::ScenarioSpec,
+    store: &TraceStore,
+) -> Result<(f64, f64, f64), String> {
+    let id = &spec.id;
+    let populate = Experiment::prepare_with_store(spec, Some(store))
+        .map_err(|e| format!("prepare {id}: {e}"))?;
+    let entry = store.entry_path(spec.stable_digest(), &spec.expand_config());
+    if !entry.exists() {
+        return Err(format!(
+            "prepare bench: store entry for `{id}` was not written ({})",
+            entry.display()
+        ));
+    }
+    let best = |store: Option<&TraceStore>| -> Result<f64, String> {
+        let mut walls = Vec::with_capacity(PREPARE_RUNS);
+        for _ in 0..PREPARE_RUNS {
+            let t0 = std::time::Instant::now();
+            let exp =
+                Experiment::prepare_with_store(spec, store).map_err(|e| format!("{id}: {e}"))?;
+            walls.push(t0.elapsed().as_secs_f64());
+            if exp.trace_fingerprint() != populate.trace_fingerprint() {
+                return Err(format!(
+                    "prepare bench: `{id}` replayed a different trace fingerprint"
+                ));
+            }
+        }
+        walls.sort_by(|a, b| a.total_cmp(b));
+        Ok(walls[0])
+    };
+    let cold = best(None)?;
+    let warm = best(Some(store))?;
+    Ok((cold, warm, populate.log().len() as f64))
 }
 
 /// Runs [`measure`] `attempts` times and keeps, per record, the fastest
@@ -154,6 +221,54 @@ pub fn run(inv: &Invocation) -> Result<(), String> {
                 Err("perf gate: simulated-MIPS regression beyond threshold".to_string())
             }
         }
-        _ => Err("usage: belenos bench <capture|compare> [baseline.json]".to_string()),
+        Some("prepare") => {
+            // Cold-vs-warm prepare wall over a preset set (default: the
+            // gem5 set, the presets every sensitivity sweep re-prepares).
+            let specs = inv
+                .workloads
+                .clone()
+                .unwrap_or(WorkloadSet::Gem5)
+                .resolve(PaperSet::Gem5);
+            if specs.is_empty() {
+                return Err("bench prepare: the workload set resolved to no scenarios".into());
+            }
+            let store_dir =
+                std::env::temp_dir().join(format!("belenos-bench-prepare-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&store_dir);
+            let store = TraceStore::at(&store_dir);
+            let mut records = Vec::new();
+            let (mut total_cold, mut total_warm) = (0.0f64, 0.0f64);
+            for spec in &specs {
+                let (cold, warm, calls) = prepare_walls(spec, &store)?;
+                total_cold += cold;
+                total_warm += warm;
+                println!(
+                    "{:>12}: cold {:>9.2} ms, warm {:>9.3} ms ({:>7.1}x)",
+                    spec.id,
+                    cold * 1e3,
+                    warm * 1e3,
+                    cold / warm.max(1e-9)
+                );
+                for (backend, wall) in [("prepare", cold), ("prepare-warm", warm)] {
+                    records.push(BenchRecord {
+                        workload: spec.id.clone(),
+                        backend: backend.to_string(),
+                        wall_s: wall,
+                        ipc: 0.0,
+                        mips: calls / wall.max(1e-9),
+                    });
+                }
+            }
+            let _ = std::fs::remove_dir_all(&store_dir);
+            println!(
+                "prepare wall: {:.2} s cold, {:.3} s warm — {:.1}x with a warm trace store",
+                total_cold,
+                total_warm,
+                total_cold / total_warm.max(1e-9)
+            );
+            emit_bench_json("prepare", &records);
+            Ok(())
+        }
+        _ => Err("usage: belenos bench <capture|compare|prepare> [baseline.json]".to_string()),
     }
 }

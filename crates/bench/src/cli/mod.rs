@@ -16,6 +16,7 @@
 //! belenos sampling                     SMARTS sampling accuracy harness
 //! belenos ablation <rcm|rob-iq>        reordering / instruction-window ablations
 //! belenos bench capture|compare        perf baseline capture / regression gate
+//! belenos bench prepare                cold vs warm-store prepare walls
 //! ```
 //!
 //! Every subcommand shares one option layer: the `BELENOS_*`
@@ -74,6 +75,9 @@ pub struct Invocation {
     /// `--note TEXT`: recapture note recorded in a `bench capture`
     /// baseline document.
     pub note: Option<String>,
+    /// `--trace-dir PATH`: persistent trace store directory. `None` =
+    /// leave the `BELENOS_TRACE_DIR` selection.
+    pub trace_dir: Option<String>,
 }
 
 impl Invocation {
@@ -177,6 +181,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             "--json" => inv.json_out = Some(value(&mut it, "--json")?),
             "--csv" => inv.csv_out = Some(value(&mut it, "--csv")?),
             "--telemetry" => inv.telemetry = Some(value(&mut it, "--telemetry")?),
+            "--trace-dir" => inv.trace_dir = Some(value(&mut it, "--trace-dir")?),
             "--note" => inv.note = Some(value(&mut it, "--note")?),
             "--help" | "-h" => {
                 inv.positionals = vec!["help".into()];
@@ -219,6 +224,8 @@ SUBCOMMANDS
                               (default path BENCH_baseline.json, 15% threshold;
                               >3x unexplained improvement also fails — stale
                               baseline, recapture with --note)
+  bench prepare               cold-vs-warm trace-store prepare walls over a
+                              preset set (default gem5; --workloads narrows)
 
 FLAGS (shared; flags override BELENOS_* environment variables)
   --max-ops N        micro-op budget per simulation   [BELENOS_MAX_OPS, 1000000]
@@ -230,6 +237,7 @@ FLAGS (shared; flags override BELENOS_* environment variables)
   --json PATH        also write the JSON report to PATH
   --csv PATH         also write the CSV report to PATH
   --telemetry V      off | stderr | PATH (JSONL events) [BELENOS_TELEMETRY, off]
+  --trace-dir PATH   persistent trace store directory   [BELENOS_TRACE_DIR, off]
 ";
 
 /// Runs the CLI; returns the process exit code.
@@ -254,6 +262,11 @@ pub fn main(args: Vec<String>) -> i32 {
                 return 2;
             }
         }
+    }
+    // Same for the trace store: the flag wins over BELENOS_TRACE_DIR
+    // (which `trace_store::global()` would read on first use).
+    if let Some(dir) = &inv.trace_dir {
+        belenos::trace_store::install_dir(dir);
     }
     // Env-parse warnings route through telemetry: structured when a sink
     // is active, stderr when unconfigured, silent under `off`.

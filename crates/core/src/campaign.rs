@@ -28,7 +28,7 @@
 //! std::fs::write("report.json", report.to_json()).unwrap();
 //! ```
 
-use crate::experiment::{prepare_all, Experiment, PrepareError};
+use crate::experiment::{Experiment, PrepareError};
 use crate::figures;
 use crate::options::{SimFailure, SimOptions};
 use crate::report::Report;
@@ -879,17 +879,30 @@ impl Campaign {
     /// [`CampaignError::Prepare`] when a model fails to solve.
     pub fn prepare(spec: CampaignSpec) -> Result<Campaign, CampaignError> {
         spec.validate()?;
-        let mut experiments = HashMap::new();
+        // Resolve the distinct workload sets first, then push every
+        // scenario across every set through one worker-pool batch, so a
+        // campaign's prepare wall is bounded by its slowest solve rather
+        // than the sum of all of them.
+        let mut keys: Vec<String> = Vec::new();
+        let mut sets: Vec<Vec<ScenarioSpec>> = Vec::new();
         for &analysis in &spec.analyses {
             if !analysis.needs_experiments() {
                 continue;
             }
             let specs = spec.workloads.specs_for(analysis);
             let key = set_key(&specs);
-            if let std::collections::hash_map::Entry::Vacant(slot) = experiments.entry(key) {
-                slot.insert(prepare_all(&specs)?);
+            if !keys.contains(&key) {
+                keys.push(key);
+                sets.push(specs);
             }
         }
+        let flat: Vec<&ScenarioSpec> = sets.iter().flatten().collect();
+        let mut prepared = crate::experiment::prepare_refs(&flat)?.into_iter();
+        let experiments = keys
+            .into_iter()
+            .zip(&sets)
+            .map(|(key, set)| (key, prepared.by_ref().take(set.len()).collect()))
+            .collect();
         Ok(Campaign { spec, experiments })
     }
 

@@ -49,6 +49,10 @@ pub struct Experiment {
     trace_at_least: std::sync::atomic::AtomicU64,
     /// Memoized expanded-trace prefix (see [`Experiment::cached_trace`]).
     trace_cache: Mutex<TraceCache>,
+    /// Lazy reader for a store entry's flat section: installed by a
+    /// store hit, consumed (once) by the first whole-trace request in
+    /// [`Experiment::cached_trace`] in place of a re-expansion pass.
+    flat_handle: Mutex<Option<crate::trace_store::FlatHandle>>,
     /// Pooled core model reused across simulation calls (see
     /// [`Experiment::pooled_model`]).
     model_pool: ModelPool,
@@ -116,6 +120,13 @@ fn trace_cache_budget_ops() -> u64 {
 /// worker (a soft bound, which is all the OOM guard needs).
 static TRACE_CACHE_USED_OPS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
+/// Largest expanded trace embedded into a store artifact: 4 M ops
+/// (~120 MiB on disk). Longer traces persist log-only — replay still
+/// skips the FE solve, it just re-expands the log — keeping single store
+/// entries bounded and the save path from spending longer expanding than
+/// the solve it is caching.
+const STORE_EMBED_CAP_OPS: u64 = 4 << 20;
+
 impl Experiment {
     /// Validates the scenario, builds and solves its model, and captures
     /// the phase log.
@@ -125,6 +136,17 @@ impl Experiment {
     /// A [`PrepareError`] naming the scenario: either its parameters are
     /// structurally invalid, or the FE solve failed.
     pub fn prepare(spec: &ScenarioSpec) -> Result<Self, PrepareError> {
+        Self::prepare_with_store(spec, crate::trace_store::global())
+    }
+
+    /// [`Experiment::prepare`] against an explicit trace store (`None`
+    /// disables persistence). The public entry point passes the
+    /// process-wide store; tests pass their own to avoid environment
+    /// races.
+    pub fn prepare_with_store(
+        spec: &ScenarioSpec,
+        store: Option<&crate::trace_store::TraceStore>,
+    ) -> Result<Self, PrepareError> {
         let tele = belenos_telemetry::global();
         let _span = tele.span(
             "phase",
@@ -133,6 +155,22 @@ impl Experiment {
                 ("workload", spec.id.as_str().into()),
             ],
         );
+        let started = std::time::Instant::now();
+        let expand = spec.expand_config();
+        let scenario_digest = spec.stable_digest();
+
+        if let Some(store) = store {
+            if let Some((artifact, flat)) = store.load(&spec.id, scenario_digest, &expand) {
+                let exp = Self::from_artifact(spec, scenario_digest, expand, artifact, flat);
+                tele.gauge(
+                    "prepare_wall_s",
+                    started.elapsed().as_secs_f64(),
+                    &[("workload", spec.id.as_str().into())],
+                );
+                return Ok(exp);
+            }
+        }
+
         let fail = |source| PrepareError {
             workload: spec.id.clone(),
             source,
@@ -142,12 +180,11 @@ impl Experiment {
             .map_err(|e| fail(PrepareFailure::Scenario(e)))?;
         let size_kb = model.input_size_kb();
         let report = model.solve().map_err(|e| fail(PrepareFailure::Fem(e)))?;
-        let expand = spec.expand_config();
         let fingerprint = trace_fingerprint(&report.log, &expand);
-        Ok(Experiment {
+        let exp = Experiment {
             id: spec.id.clone(),
             scenario: spec.clone(),
-            scenario_digest: spec.stable_digest(),
+            scenario_digest,
             solve: SolveSummary {
                 wall_time: report.wall_time,
                 n_dofs: report.n_dofs,
@@ -161,8 +198,112 @@ impl Experiment {
             total_ops: OnceLock::new(),
             trace_at_least: std::sync::atomic::AtomicU64::new(0),
             trace_cache: Mutex::new(TraceCache::default()),
+            flat_handle: Mutex::new(None),
             model_pool: ModelPool::default(),
-        })
+        };
+        if let Some(store) = store {
+            store.save(&exp.id, &exp.to_artifact(), &exp.expand);
+        }
+        tele.gauge(
+            "prepare_wall_s",
+            started.elapsed().as_secs_f64(),
+            &[("workload", spec.id.as_str().into())],
+        );
+        Ok(exp)
+    }
+
+    /// Rebuilds a prepared experiment from a verified store artifact —
+    /// the FE model is never built or solved. When the entry carries a
+    /// flat section, its (lazy) handle is installed so the first
+    /// whole-trace simulation decodes it from disk instead of
+    /// re-expanding; the prepare wall itself never touches those bytes.
+    fn from_artifact(
+        spec: &ScenarioSpec,
+        scenario_digest: u64,
+        expand: ExpandConfig,
+        artifact: belenos_trace::TraceArtifact,
+        flat: Option<crate::trace_store::FlatHandle>,
+    ) -> Self {
+        let exp = Experiment {
+            id: spec.id.clone(),
+            scenario: spec.clone(),
+            scenario_digest,
+            solve: SolveSummary {
+                wall_time: Duration::new(
+                    artifact.solve.wall_secs,
+                    artifact.solve.wall_subsec_nanos,
+                ),
+                n_dofs: artifact.solve.n_dofs,
+                iterations: artifact.solve.iterations,
+                size_kb: artifact.solve.size_kb,
+                converged: artifact.solve.converged,
+            },
+            log: artifact.log,
+            expand,
+            fingerprint: artifact.trace_fingerprint,
+            total_ops: OnceLock::new(),
+            trace_at_least: std::sync::atomic::AtomicU64::new(0),
+            trace_cache: Mutex::new(TraceCache::default()),
+            flat_handle: Mutex::new(flat),
+            model_pool: ModelPool::default(),
+        };
+        if let Some(handle) = exp.flat_handle.lock().unwrap().as_ref() {
+            // The stored flat section is always the *complete* trace, so
+            // its length is the total op count — known from the header
+            // without reading a single flat byte.
+            let _ = exp.total_ops.set(handle.n_ops());
+        }
+        exp
+    }
+
+    /// Snapshot of this experiment as a store artifact. The expanded
+    /// trace is embedded when it is already memoized or small enough to
+    /// expand on the spot ([`STORE_EMBED_CAP_OPS`]); otherwise the
+    /// artifact is log-only and replay re-expands (still skipping the FE
+    /// solve entirely).
+    fn to_artifact(&self) -> belenos_trace::TraceArtifact {
+        belenos_trace::TraceArtifact {
+            scenario_digest: self.scenario_digest,
+            expand_fingerprint: expand_fingerprint(&self.expand),
+            trace_fingerprint: self.fingerprint,
+            solve: belenos_trace::SolveMeta {
+                wall_secs: self.solve.wall_time.as_secs(),
+                wall_subsec_nanos: self.solve.wall_time.subsec_nanos(),
+                n_dofs: self.solve.n_dofs,
+                iterations: self.solve.iterations,
+                size_kb: self.solve.size_kb,
+                converged: self.solve.converged,
+            },
+            log: self.log.clone(),
+            flat: self.embeddable_flat(),
+        }
+    }
+
+    /// The complete expanded trace, if cheap to come by: either already
+    /// memoized in full, or short enough to expand within
+    /// [`STORE_EMBED_CAP_OPS`]. `None` means "too large to embed".
+    fn embeddable_flat(&self) -> Option<Arc<FlatTrace>> {
+        {
+            let cache = self.trace_cache.lock().unwrap();
+            if cache.complete {
+                return cache.ops.clone();
+            }
+        }
+        if let Some(&total) = self.total_ops.get() {
+            if total > STORE_EMBED_CAP_OPS {
+                return None;
+            }
+        }
+        let mut ops = FlatTrace::new();
+        let mut expander = Expander::with_config(&self.log, self.expand.clone());
+        for op in &mut expander {
+            if ops.len() as u64 >= STORE_EMBED_CAP_OPS {
+                return None;
+            }
+            ops.push(op);
+        }
+        let _ = self.total_ops.set(ops.len() as u64);
+        Some(Arc::new(ops))
     }
 
     /// The scenario this experiment was prepared from.
@@ -324,6 +465,30 @@ impl Experiment {
                         return None;
                     }
                 }
+            }
+        }
+        // A store hit left a lazy handle to the entry's flat section:
+        // decoding it yields the complete trace and replaces the whole
+        // re-expansion pass. Single-shot — success installs the complete
+        // memo; failure warns (inside `read`) and falls through to
+        // expansion, which is always bit-equivalent.
+        let handle = {
+            let mut slot = self.flat_handle.lock().unwrap();
+            if slot.as_ref().is_some_and(|h| h.n_ops() <= cap) {
+                slot.take()
+            } else {
+                None
+            }
+        };
+        if let Some(handle) = handle {
+            if let Some(ops) = handle.read() {
+                let n = ops.len() as u64;
+                self.trace_at_least.fetch_max(n, Ordering::Relaxed);
+                let _ = self.total_ops.set(n);
+                TRACE_CACHE_USED_OPS.fetch_add(n - held, Ordering::Relaxed);
+                cache.complete = true;
+                cache.ops = Some(ops);
+                return cache.ops.clone();
             }
         }
         // (Re-)expand from the log. The expander cannot resume mid-stream,
@@ -718,7 +883,7 @@ impl ArrayHasher {
 /// change that alters trace structure — even at equal sizes, e.g. a
 /// different node numbering with identical nnz — changes the
 /// fingerprint and can never alias a persistent cache entry.
-fn trace_fingerprint(log: &PhaseLog, expand: &ExpandConfig) -> u64 {
+pub(crate) fn trace_fingerprint(log: &PhaseLog, expand: &ExpandConfig) -> u64 {
     let mut arrays = ArrayHasher::default();
     let mut h = Fnv64::new();
     h.write_str("trace-v2");
@@ -830,6 +995,27 @@ fn trace_fingerprint(log: &PhaseLog, expand: &ExpandConfig) -> u64 {
     h.finish()
 }
 
+/// Stable fingerprint of an [`ExpandConfig`] alone — the second half of
+/// the trace store's content address (`scenario_digest` × this). The
+/// exhaustive destructure mirrors [`trace_fingerprint`]: a new expansion
+/// knob fails to compile here until it is hashed, so it can never
+/// silently alias a persisted trace.
+pub(crate) fn expand_fingerprint(expand: &ExpandConfig) -> u64 {
+    let ExpandConfig {
+        sample,
+        code_bloat,
+        spin_scale,
+        max_kernel_ops,
+    } = expand;
+    let mut h = Fnv64::new();
+    h.write_str("expand-v1");
+    h.write_usize(*sample);
+    h.write_u64(*code_bloat as u64);
+    h.write_f64(*spin_scale);
+    h.write_usize(*max_kernel_ops);
+    h.finish()
+}
+
 /// What stopped a scenario from preparing.
 #[derive(Debug, Clone)]
 pub enum PrepareFailure {
@@ -837,6 +1023,9 @@ pub enum PrepareFailure {
     Scenario(ScenarioError),
     /// The FE model failed to solve.
     Fem(FemError),
+    /// The preparation job panicked on its worker thread; the payload is
+    /// the captured panic message.
+    Panic(String),
 }
 
 impl std::fmt::Display for PrepareFailure {
@@ -844,6 +1033,7 @@ impl std::fmt::Display for PrepareFailure {
         match self {
             PrepareFailure::Scenario(e) => e.fmt(f),
             PrepareFailure::Fem(e) => e.fmt(f),
+            PrepareFailure::Panic(msg) => msg.fmt(f),
         }
     }
 }
@@ -878,11 +1068,46 @@ impl std::error::Error for PrepareError {
 /// Prepares a list of scenarios; failures abort with the failing scenario
 /// named.
 ///
+/// With more than one scenario the prepares run as first-class jobs on
+/// the `belenos-runner` worker pool (`BELENOS_JOBS` threads), each with
+/// its own queue-wait/exec telemetry span. Results come back in input
+/// order, so parallel and serial preparation are observationally
+/// identical apart from wall time.
+///
 /// # Errors
 ///
-/// The first preparation failure, annotated with the scenario id.
+/// The first preparation failure *in input order*, annotated with the
+/// scenario id. A panicking prepare job is contained on its worker
+/// thread and surfaces as [`PrepareFailure::Panic`].
 pub fn prepare_all(specs: &[ScenarioSpec]) -> Result<Vec<Experiment>, PrepareError> {
-    specs.iter().map(Experiment::prepare).collect()
+    let refs: Vec<&ScenarioSpec> = specs.iter().collect();
+    prepare_refs(&refs)
+}
+
+/// [`prepare_all`] over borrowed specs: the shared engine behind both the
+/// slice entry point and `Campaign::prepare`'s cross-set batch.
+pub(crate) fn prepare_refs(specs: &[&ScenarioSpec]) -> Result<Vec<Experiment>, PrepareError> {
+    if specs.len() <= 1 {
+        return specs.iter().map(|spec| Experiment::prepare(spec)).collect();
+    }
+    let results = belenos_runner::parallel_jobs(
+        "prepare",
+        None,
+        specs,
+        |spec| spec.id.clone(),
+        |spec| Experiment::prepare(spec),
+    );
+    specs
+        .iter()
+        .zip(results)
+        .map(|(spec, result)| match result {
+            Ok(prepared) => prepared,
+            Err(panic_msg) => Err(PrepareError {
+                workload: spec.id.clone(),
+                source: PrepareFailure::Panic(panic_msg),
+            }),
+        })
+        .collect()
 }
 
 #[cfg(test)]

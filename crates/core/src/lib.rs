@@ -54,6 +54,7 @@ pub mod figures;
 pub mod options;
 pub mod report;
 pub mod sweep;
+pub mod trace_store;
 
 pub use campaign::{
     Analysis, Campaign, CampaignError, CampaignReport, CampaignSpec, SpecError, WorkloadSet,

@@ -1,0 +1,295 @@
+//! Persistent content-addressed trace store.
+//!
+//! [`TraceStore`] keys prepared traces by `ScenarioSpec::stable_digest` ×
+//! an [`ExpandConfig`] fingerprint and persists them under
+//! `BELENOS_TRACE_DIR` (or `--trace-dir`) in the versioned binary format
+//! of [`belenos_trace::store`]. A hit lets [`Experiment::prepare`]
+//! reconstruct the phase log — and often the fully expanded trace —
+//! without building or solving the FE model, so the prepare phase is paid
+//! once *ever* per scenario across processes, sweeps, and fleet workers.
+//!
+//! Trust model: the store is a cache, never an authority. Every load
+//! re-verifies the embedded trace fingerprint against the decoded log, so
+//! a corrupt, truncated, stale, or misfiled entry degrades to a recompute
+//! (with a structured telemetry `warn`), never to a wrong trace. Writes
+//! go through a write-then-rename so concurrent processes sharing one
+//! store directory can race safely.
+//!
+//! [`Experiment::prepare`]: crate::experiment::Experiment::prepare
+
+use crate::experiment::{expand_fingerprint, trace_fingerprint};
+use belenos_trace::expand::ExpandConfig;
+use belenos_trace::{FlatTrace, StoreHeader, TraceArtifact, HEADER_LEN};
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+/// A directory of content-addressed trace artifacts.
+#[derive(Debug, Clone)]
+pub struct TraceStore {
+    dir: PathBuf,
+}
+
+static DIR_OVERRIDE: OnceLock<PathBuf> = OnceLock::new();
+static GLOBAL: OnceLock<Option<TraceStore>> = OnceLock::new();
+
+/// Routes the process-wide store at `dir` (the `--trace-dir` flag).
+///
+/// Must run before the first [`global`] call; returns `false` when an
+/// override was already installed (first caller wins, matching the
+/// telemetry `install` contract).
+pub fn install_dir(dir: impl Into<PathBuf>) -> bool {
+    DIR_OVERRIDE.set(dir.into()).is_ok()
+}
+
+/// The process-wide trace store: the `--trace-dir` override when
+/// installed, else `BELENOS_TRACE_DIR` (read once, here — keeping the
+/// one-env-read-per-knob rule), else `None` (store disabled).
+pub fn global() -> Option<&'static TraceStore> {
+    GLOBAL
+        .get_or_init(|| {
+            if let Some(dir) = DIR_OVERRIDE.get() {
+                return Some(TraceStore::at(dir.clone()));
+            }
+            match std::env::var("BELENOS_TRACE_DIR") {
+                Ok(dir) if !dir.is_empty() => Some(TraceStore::at(dir)),
+                _ => None,
+            }
+        })
+        .as_ref()
+}
+
+impl TraceStore {
+    /// A store rooted at `dir` (created lazily on first save).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        TraceStore { dir: dir.into() }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// On-disk path of the entry for (scenario, expansion-config).
+    pub fn entry_path(&self, scenario_digest: u64, expand: &ExpandConfig) -> PathBuf {
+        let expand_fp = expand_fingerprint(expand);
+        self.dir
+            .join(format!("trace-{scenario_digest:016x}-{expand_fp:016x}.bin"))
+    }
+
+    /// Looks up the artifact for (scenario, expansion-config), verifying
+    /// structure, key identity, and the trace fingerprint end to end.
+    ///
+    /// Only the header and log section are read and decoded — KBs, where
+    /// the flat section of a long trace is MBs. When the entry carries a
+    /// flat section, the returned [`FlatHandle`] locates it for lazy
+    /// decoding at simulate time (`artifact.flat` is always `None` here).
+    ///
+    /// Any anomaly — unreadable file, truncation, version skew, checksum
+    /// or fingerprint mismatch — emits a telemetry `warn` and reads as a
+    /// miss, so callers always recompute instead of erroring out.
+    /// Emits `trace_store_hit` / `trace_store_miss` counters either way.
+    pub fn load(
+        &self,
+        workload: &str,
+        scenario_digest: u64,
+        expand: &ExpandConfig,
+    ) -> Option<(TraceArtifact, Option<FlatHandle>)> {
+        let tele = belenos_telemetry::global();
+        let path = self.entry_path(scenario_digest, expand);
+        let miss = |tele: &belenos_telemetry::Telemetry| {
+            tele.counter("trace_store_miss", 1, &[("workload", workload.into())]);
+        };
+        let (header, log_section, file_len) = match read_log_section(&path) {
+            Ok(parts) => parts,
+            Err(ReadError::NotFound) => {
+                miss(&tele);
+                return None;
+            }
+            Err(ReadError::Io(e)) => {
+                tele.warn(&format!(
+                    "trace store: failed to read {}: {e}",
+                    path.display()
+                ));
+                miss(&tele);
+                return None;
+            }
+            Err(ReadError::Store(e)) => {
+                tele.warn(&format!(
+                    "trace store: discarding {}: {e}; recomputing",
+                    path.display()
+                ));
+                miss(&tele);
+                return None;
+            }
+        };
+        if file_len != header.total_len() {
+            tele.warn(&format!(
+                "trace store: discarding {}: {}; recomputing",
+                path.display(),
+                belenos_trace::StoreError::Truncated
+            ));
+            miss(&tele);
+            return None;
+        }
+        let expand_fp = expand_fingerprint(expand);
+        if header.scenario_digest != scenario_digest || header.expand_fingerprint != expand_fp {
+            tele.warn(&format!(
+                "trace store: {} is keyed for a different scenario \
+                 (found {:016x}/{:016x}, wanted {scenario_digest:016x}/{expand_fp:016x}); \
+                 recomputing",
+                path.display(),
+                header.scenario_digest,
+                header.expand_fingerprint,
+            ));
+            miss(&tele);
+            return None;
+        }
+        let artifact = match TraceArtifact::decode_log(&header, &log_section) {
+            Ok(a) => a,
+            Err(e) => {
+                tele.warn(&format!(
+                    "trace store: discarding {}: {e}; recomputing",
+                    path.display()
+                ));
+                miss(&tele);
+                return None;
+            }
+        };
+        if trace_fingerprint(&artifact.log, expand) != artifact.trace_fingerprint {
+            tele.warn(&format!(
+                "trace store: {} fingerprint mismatch (stale or corrupt entry); recomputing",
+                path.display()
+            ));
+            miss(&tele);
+            return None;
+        }
+        tele.counter("trace_store_hit", 1, &[("workload", workload.into())]);
+        let flat = (header.flat_ops > 0).then(|| FlatHandle {
+            path,
+            header,
+            workload: workload.to_string(),
+        });
+        Some((artifact, flat))
+    }
+
+    /// Persists `artifact` under its content address, atomically
+    /// (write-then-rename, so concurrent writers and crashed processes
+    /// never leave a half-written entry at the final path).
+    ///
+    /// Failures warn and return; the store is an optimization, never a
+    /// reason to fail a prepare. Emits `trace_store_write_bytes`.
+    pub fn save(&self, workload: &str, artifact: &TraceArtifact, expand: &ExpandConfig) {
+        let tele = belenos_telemetry::global();
+        let path = self.entry_path(artifact.scenario_digest, expand);
+        if let Err(e) = std::fs::create_dir_all(&self.dir) {
+            tele.warn(&format!(
+                "trace store: cannot create {}: {e}",
+                self.dir.display()
+            ));
+            return;
+        }
+        let bytes = artifact.encode();
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        if let Err(e) = std::fs::write(&tmp, &bytes) {
+            tele.warn(&format!("trace store: write {} failed: {e}", tmp.display()));
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            tele.warn(&format!(
+                "trace store: rename to {} failed: {e}",
+                path.display()
+            ));
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        tele.counter(
+            "trace_store_write_bytes",
+            bytes.len() as u64,
+            &[("workload", workload.into())],
+        );
+    }
+}
+
+/// Locates a store entry's flat section for lazy decoding: a verified
+/// store hit hands one of these to the experiment, which reads it only
+/// when a simulation first wants the whole expanded trace (replacing a
+/// re-expansion pass, not adding to the prepare wall).
+#[derive(Debug)]
+pub struct FlatHandle {
+    path: PathBuf,
+    header: StoreHeader,
+    workload: String,
+}
+
+impl FlatHandle {
+    /// Micro-op count of the flat section (known without reading it).
+    pub fn n_ops(&self) -> u64 {
+        self.header.flat_ops
+    }
+
+    /// Reads, verifies, and decodes the flat section. Any failure —
+    /// the file changed, truncation, checksum — warns and returns
+    /// `None`; the caller re-expands from the already-verified log, so
+    /// a bad flat section can never produce a wrong trace.
+    pub fn read(&self) -> Option<Arc<FlatTrace>> {
+        let tele = belenos_telemetry::global();
+        let fail = |msg: String| {
+            tele.warn(&format!(
+                "trace store: flat section of {} for `{}`: {msg}; re-expanding",
+                self.path.display(),
+                self.workload
+            ));
+            None
+        };
+        let mut section = Vec::new();
+        match std::fs::File::open(&self.path).and_then(|mut f| {
+            f.seek(SeekFrom::Start(self.header.flat_offset()))?;
+            f.read_to_end(&mut section)
+        }) {
+            Ok(_) => {}
+            Err(e) => return fail(e.to_string()),
+        }
+        match TraceArtifact::decode_flat(&self.header, &section) {
+            Ok(flat) => Some(Arc::new(flat)),
+            Err(e) => fail(e.to_string()),
+        }
+    }
+}
+
+/// Why the partial entry read failed.
+enum ReadError {
+    /// No entry at this key (a silent miss).
+    NotFound,
+    /// The file exists but could not be read.
+    Io(std::io::Error),
+    /// The header or section structure is invalid.
+    Store(belenos_trace::StoreError),
+}
+
+/// Opens `path` and reads exactly the header and the log section
+/// (payload + checksum), returning them with the file's total length so
+/// the caller can detect truncation without touching the flat bytes.
+fn read_log_section(path: &Path) -> Result<(StoreHeader, Vec<u8>, u64), ReadError> {
+    let mut file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(ReadError::NotFound),
+        Err(e) => return Err(ReadError::Io(e)),
+    };
+    let file_len = file.metadata().map_err(ReadError::Io)?.len();
+    let mut header_bytes = [0u8; HEADER_LEN];
+    if file_len < HEADER_LEN as u64 {
+        return Err(ReadError::Store(belenos_trace::StoreError::Truncated));
+    }
+    file.read_exact(&mut header_bytes).map_err(ReadError::Io)?;
+    let header = StoreHeader::decode(&header_bytes).map_err(ReadError::Store)?;
+    let log_section_len = header
+        .log_len
+        .checked_add(8)
+        .filter(|&n| n <= file_len.saturating_sub(HEADER_LEN as u64))
+        .ok_or(ReadError::Store(belenos_trace::StoreError::Truncated))?;
+    let mut section = vec![0u8; log_section_len as usize];
+    file.read_exact(&mut section).map_err(ReadError::Io)?;
+    Ok((header, section, file_len))
+}

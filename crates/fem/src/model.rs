@@ -105,6 +105,9 @@ pub struct FeModel {
     spin_scale: f64,
     strict: bool,
     name: String,
+    /// Worker threads for element assembly (`None` = host parallelism,
+    /// `Some(1)` = serial). Results are bit-identical at any setting.
+    assembly_threads: Option<usize>,
 }
 
 impl FeModel {
@@ -191,7 +194,18 @@ impl FeModel {
             spin_scale: 1.0,
             strict: false,
             name: String::from("unnamed"),
+            assembly_threads: None,
         }
+    }
+
+    /// Pins the element-assembly worker count. `None` (the default) uses
+    /// the host's available parallelism; `Some(1)` forces the serial
+    /// path. Element matrices are scattered in deterministic element
+    /// order regardless, so the assembled matrix — and every downstream
+    /// digest — is bit-identical at any setting.
+    pub fn set_assembly_threads(&mut self, threads: Option<usize>) -> &mut Self {
+        self.assembly_threads = threads;
+        self
     }
 
     /// Sets the model name (reports / catalogs).
@@ -546,7 +560,7 @@ impl FeModel {
         match &self.formulation {
             Formulation::Solid => {
                 let kernel = SolidKernel::new(self.mesh.kind());
-                for e in 0..self.mesh.num_elems() {
+                self.assemble_with(assembler, f_int, states_new, state_offsets, |e, sn| {
                     let nodes = self.mesh.element(e);
                     let coords: Vec<[f64; 3]> = nodes
                         .iter()
@@ -559,17 +573,18 @@ impl FeModel {
                     let m = self.material_for(e);
                     let ssz = m.state_size();
                     let so = &states_old[state_offsets[e]..state_offsets[e] + gp_count * ssz];
-                    let sn = &mut states_new[state_offsets[e]..state_offsets[e] + gp_count * ssz];
                     let em = kernel.integrate(e, &coords, &u_e, m, so, sn, self.dt, t)?;
                     let dofs: Vec<usize> = nodes
                         .iter()
                         .flat_map(|&n| (0..3).map(move |c| n as usize * 3 + c))
                         .collect();
-                    assembler.scatter(&dofs, &em.k);
-                    for (i, &d) in dofs.iter().enumerate() {
-                        f_int[d] += em.f_int[i];
-                    }
-                }
+                    Ok(ElemContrib {
+                        dofs,
+                        k: em.k,
+                        f: em.f_int,
+                        extra: None,
+                    })
+                })
             }
             Formulation::Poro {
                 permeability,
@@ -586,7 +601,7 @@ impl FeModel {
                     Formulation::Multiphasic { diffusivity, .. } => *diffusivity,
                     _ => 0.0,
                 };
-                for e in 0..self.mesh.num_elems() {
+                self.assemble_with(assembler, f_int, states_new, state_offsets, |e, sn| {
                     let nodes = self.mesh.element(e);
                     let coords: Vec<[f64; 3]> = nodes
                         .iter()
@@ -604,32 +619,27 @@ impl FeModel {
                     let m = self.material_for(e);
                     let ssz = m.state_size();
                     let so = &states_old[state_offsets[e]..state_offsets[e] + gp_count * ssz];
-                    let sn = &mut states_new[state_offsets[e]..state_offsets[e] + gp_count * ssz];
                     let em = kernel.integrate(e, &coords, &u_e, &uo_e, m, so, sn, self.dt, t)?;
                     let dofs: Vec<usize> = nodes
                         .iter()
                         .flat_map(|&n| (0..4).map(move |c| n as usize * dpn + c))
                         .collect();
-                    assembler.scatter(&dofs, &em.k);
-                    for (i, &d) in dofs.iter().enumerate() {
-                        f_int[d] += em.f_int[i];
-                    }
-                    if is_multi {
-                        // Solute diffusion block on dof 4 (c): backward
-                        // Euler with unit storage, plus a weak pressure
-                        // coupling so the matrix stays fully coupled.
-                        self.assemble_scalar_diffusion(
-                            assembler,
-                            f_int,
-                            u,
-                            u_old,
-                            e,
-                            npe,
-                            dpn,
-                            diffusivity,
-                        )?;
-                    }
-                }
+                    // Solute diffusion block on dof 4 (c): backward Euler
+                    // with unit storage, plus a weak pressure coupling so
+                    // the matrix stays fully coupled. Scattered directly
+                    // after the element's u-p block, exactly as before.
+                    let extra = if is_multi {
+                        Some(self.compute_scalar_diffusion(u, u_old, e, npe, dpn, diffusivity)?)
+                    } else {
+                        None
+                    };
+                    Ok(ElemContrib {
+                        dofs,
+                        k: em.k,
+                        f: em.f_int,
+                        extra,
+                    })
+                })
             }
             Formulation::Fluid {
                 viscosity,
@@ -639,7 +649,7 @@ impl FeModel {
             } => {
                 let kernel =
                     FluidKernel::new(self.mesh.kind(), *viscosity, *penalty, *density, *steady);
-                for e in 0..self.mesh.num_elems() {
+                self.assemble_with(assembler, f_int, states_new, state_offsets, |e, _sn| {
                     let nodes = self.mesh.element(e);
                     let coords: Vec<[f64; 3]> = nodes
                         .iter()
@@ -659,29 +669,193 @@ impl FeModel {
                         .iter()
                         .flat_map(|&n| (0..3).map(move |c| n as usize * 3 + c))
                         .collect();
-                    assembler.scatter(&dofs, &em.k);
-                    for (i, &d) in dofs.iter().enumerate() {
-                        f_int[d] += em.f_int[i];
+                    Ok(ElemContrib {
+                        dofs,
+                        k: em.k,
+                        f: em.f_int,
+                        extra: None,
+                    })
+                })
+            }
+        }
+    }
+
+    /// Element-assembly driver: runs `compute` over every element and
+    /// scatters the results into `assembler`/`f_int` in ascending element
+    /// order.
+    ///
+    /// With more than one worker, elements are computed in parallel over
+    /// fixed-size blocks (bounding in-flight element matrices), each
+    /// worker owning a contiguous chunk of elements and the matching
+    /// disjoint slice of `states_new` — then every block is scattered
+    /// *serially, in element order*. Floating-point accumulation order is
+    /// therefore exactly the serial order, making the assembled matrix,
+    /// internal forces, and Gauss states bit-identical at any thread
+    /// count (the `parallel_assembly` property tests and every digest pin
+    /// downstream enforce this). Errors surface as the lowest failing
+    /// element index, matching serial semantics.
+    fn assemble_with<F>(
+        &self,
+        assembler: &mut Assembler,
+        f_int: &mut [f64],
+        states_new: &mut [f64],
+        state_offsets: &[usize],
+        compute: F,
+    ) -> Result<()>
+    where
+        F: Fn(usize, &mut [f64]) -> Result<ElemContrib> + Sync,
+    {
+        let n = self.mesh.num_elems();
+        let total_state = states_new.len();
+        let state_end = move |e: usize| -> usize {
+            if e + 1 < n {
+                state_offsets[e + 1]
+            } else {
+                total_state
+            }
+        };
+        let threads = self.effective_assembly_threads();
+        if threads <= 1 || n < PAR_MIN_ELEMS {
+            for e in 0..n {
+                let sn = &mut states_new[state_offsets[e]..state_end(e)];
+                let contrib = compute(e, sn)?;
+                scatter_contrib(assembler, f_int, &contrib);
+            }
+            return Ok(());
+        }
+        for block_start in (0..n).step_by(PAR_BLOCK_ELEMS) {
+            let block_end = (block_start + PAR_BLOCK_ELEMS).min(n);
+            let block_len = block_end - block_start;
+            let state_lo = state_offsets[block_start];
+            let block_states = &mut states_new[state_lo..state_end(block_end - 1)];
+            let workers = threads.min(block_len);
+            let per = block_len.div_ceil(workers);
+            let mut results: Vec<Option<Result<ElemContrib>>> = Vec::with_capacity(block_len);
+            results.resize_with(block_len, || None);
+            std::thread::scope(|scope| {
+                let mut res_rest = &mut results[..];
+                let mut state_rest = &mut *block_states;
+                let mut state_base = state_lo;
+                for w in 0..workers {
+                    let c_lo = block_start + w * per;
+                    let c_hi = (c_lo + per).min(block_end);
+                    if c_lo >= c_hi {
+                        break;
                     }
+                    let s_hi = state_end(c_hi - 1);
+                    let (chunk_states, rest_s) = state_rest.split_at_mut(s_hi - state_base);
+                    state_rest = rest_s;
+                    let chunk_base = state_base;
+                    state_base = s_hi;
+                    let (chunk_res, rest_r) = res_rest.split_at_mut(c_hi - c_lo);
+                    res_rest = rest_r;
+                    let compute = &compute;
+                    scope.spawn(move || {
+                        let mut states = chunk_states;
+                        let mut base = chunk_base;
+                        for (slot, e) in chunk_res.iter_mut().zip(c_lo..c_hi) {
+                            let hi = state_end(e);
+                            let (sn, rest) = states.split_at_mut(hi - base);
+                            states = rest;
+                            base = hi;
+                            *slot = Some(compute(e, sn));
+                        }
+                    });
+                }
+            });
+            for contrib in results {
+                match contrib.expect("assembly worker computed every element") {
+                    Ok(c) => scatter_contrib(assembler, f_int, &c),
+                    Err(e) => return Err(e),
                 }
             }
         }
         Ok(())
     }
 
-    /// Scalar diffusion block for the multiphasic concentration field.
-    #[allow(clippy::too_many_arguments)]
-    fn assemble_scalar_diffusion(
+    /// Worker count for element assembly (see
+    /// [`FeModel::set_assembly_threads`]).
+    fn effective_assembly_threads(&self) -> usize {
+        self.assembly_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1)
+    }
+
+    /// Assembles the stiffness matrix and internal-force vector at the
+    /// iterate `u` (previous iterate taken as zero, virgin material
+    /// state) without running the solve loop.
+    ///
+    /// This is the seam the parallel-vs-serial equality tests compare
+    /// bit for bit; it is also useful for inspecting a model's linear
+    /// system directly.
+    ///
+    /// # Errors
+    ///
+    /// [`FemError::InvalidModel`] when `u` has the wrong length or no
+    /// material is defined, plus any element-integration failure.
+    pub fn assemble_at(&self, u: &[f64]) -> Result<(belenos_sparse::CsrMatrix, Vec<f64>)> {
+        if self.materials.is_empty() {
+            return Err(FemError::InvalidModel("no materials defined".into()));
+        }
+        let n_dofs = self.n_dofs();
+        if u.len() != n_dofs {
+            return Err(FemError::InvalidModel(format!(
+                "assemble_at: iterate has {} dofs, model has {n_dofs}",
+                u.len()
+            )));
+        }
+        let dpn = self.formulation.dofs_per_node();
+        let pattern = build_pattern(&self.mesh, dpn);
+        let mut assembler = Assembler::new(Arc::clone(&pattern));
+        let gp_count = rule_for(self.mesh.kind()).len();
+        let mut state_offsets = Vec::with_capacity(self.mesh.num_elems());
+        let mut total_state = 0usize;
+        for e in 0..self.mesh.num_elems() {
+            state_offsets.push(total_state);
+            total_state += gp_count * self.material_for(e).state_size();
+        }
+        let mut states_old = vec![0.0f64; total_state];
+        let mut states_new = vec![0.0f64; total_state];
+        for e in 0..self.mesh.num_elems() {
+            let m = self.material_for(e);
+            let ssz = m.state_size();
+            for g in 0..gp_count {
+                let off = state_offsets[e] + g * ssz;
+                m.init_state(&mut states_old[off..off + ssz]);
+            }
+        }
+        let u_old = vec![0.0f64; n_dofs];
+        let mut f_int = vec![0.0f64; n_dofs];
+        self.assemble(
+            &mut assembler,
+            &mut f_int,
+            u,
+            &u_old,
+            &states_old,
+            &mut states_new,
+            &state_offsets,
+            gp_count,
+            self.dt,
+        )?;
+        Ok((assembler.to_matrix(), f_int))
+    }
+
+    /// Scalar diffusion block for the multiphasic concentration field:
+    /// the element's `(dofs, k, r)` contribution, scattered by the
+    /// assembly driver immediately after the element's u-p block.
+    fn compute_scalar_diffusion(
         &self,
-        assembler: &mut Assembler,
-        f_int: &mut [f64],
         u: &[f64],
         u_old: &[f64],
         e: usize,
         npe: usize,
         dpn: usize,
         diffusivity: f64,
-    ) -> Result<()> {
+    ) -> Result<(Vec<usize>, Vec<f64>, Vec<f64>)> {
         let nodes = self.mesh.element(e);
         let coords: Vec<[f64; 3]> = nodes
             .iter()
@@ -723,11 +897,42 @@ impl FeModel {
             }
         }
         let dofs: Vec<usize> = nodes.iter().map(|&n| n as usize * dpn + 4).collect();
-        assembler.scatter(&dofs, &k);
+        Ok((dofs, k, r))
+    }
+}
+
+/// Minimum element count for parallel assembly; below it, thread spawn
+/// overhead outweighs the element work and the serial path runs instead.
+const PAR_MIN_ELEMS: usize = 64;
+
+/// Elements computed in flight per parallel assembly block: bounds peak
+/// buffered element matrices (hex u-p blocks ≈ 8 KiB each → ≤ ~32 MiB)
+/// while keeping per-block thread-spawn cost negligible.
+const PAR_BLOCK_ELEMS: usize = 4096;
+
+/// One element's assembly contribution, computed by a worker and
+/// scattered serially: global dofs, dense stiffness block (row-major over
+/// `dofs`), internal-force block, and an optional trailing block (the
+/// multiphasic solute-diffusion contribution).
+struct ElemContrib {
+    dofs: Vec<usize>,
+    k: Vec<f64>,
+    f: Vec<f64>,
+    extra: Option<(Vec<usize>, Vec<f64>, Vec<f64>)>,
+}
+
+/// Scatters one element's contribution — the single place accumulation
+/// order is defined, shared by the serial and parallel paths.
+fn scatter_contrib(assembler: &mut Assembler, f_int: &mut [f64], c: &ElemContrib) {
+    assembler.scatter(&c.dofs, &c.k);
+    for (i, &d) in c.dofs.iter().enumerate() {
+        f_int[d] += c.f[i];
+    }
+    if let Some((dofs, k, r)) = &c.extra {
+        assembler.scatter(dofs, k);
         for (a, &d) in dofs.iter().enumerate() {
             f_int[d] += r[a];
         }
-        Ok(())
     }
 }
 

@@ -701,6 +701,81 @@ pub fn run_caught<T>(context: &str, f: impl FnOnce() -> T) -> Result<T, String> 
         .map_err(|payload| format!("{context}: {}", panic_message(&*payload)))
 }
 
+/// Runs `work` over `items` on a scoped worker pool, returning results in
+/// input order — the generic sibling of the runner's simulation pool,
+/// used for CPU-bound batch phases that aren't simulations (notably
+/// campaign *prepare*: FE solves routed through the pool as first-class
+/// jobs).
+///
+/// * `threads`: worker count; `None` reads the runner's default
+///   ([`jobs_from_env`]). Clamped to the item count; `0` behaves as `1`.
+/// * Telemetry: one `batch_label` span over the batch, one `job` span per
+///   item (parented across the worker-thread boundary) carrying the
+///   item's `label` and its `queue_wait_s` — time from batch start to a
+///   worker picking it up — so queue pressure is visible per job.
+/// * Panics in `work` are contained per item and surface as
+///   `Err(message)` in that item's slot, like the simulation pool.
+pub fn parallel_jobs<T, R>(
+    batch_label: &str,
+    threads: Option<usize>,
+    items: &[T],
+    label: impl Fn(&T) -> String + Sync,
+    work: impl Fn(&T) -> R + Sync,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let tele = belenos_telemetry::global();
+    let start = Instant::now();
+    let batch = tele.span(batch_label, &[("jobs", items.len().into())]);
+    let threads = threads
+        .unwrap_or_else(jobs_from_env)
+        .max(1)
+        .min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<Result<R, String>>>> = {
+        let mut v = Vec::with_capacity(items.len());
+        v.resize_with(items.len(), || None);
+        Mutex::new(v)
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::SeqCst);
+                if idx >= items.len() {
+                    break;
+                }
+                let picked = Instant::now();
+                let queue_wait = picked.duration_since(start);
+                let item = &items[idx];
+                let name = label(item);
+                let job_span = tele.span_at(
+                    batch.id(),
+                    "job",
+                    &[
+                        ("label", name.as_str().into()),
+                        ("queue_wait_s", queue_wait.as_secs_f64().into()),
+                    ],
+                );
+                let outcome = run_caught(&format!("job '{name}' panicked"), || work(item));
+                drop(job_span);
+                // The lock is held only for the slot write; `work` runs
+                // unserialized.
+                out.lock().unwrap()[idx] = Some(outcome);
+            });
+        }
+    });
+    out.into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
 /// Best-effort human-readable message from a panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     if let Some(s) = payload.downcast_ref::<&str>() {

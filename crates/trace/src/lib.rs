@@ -41,9 +41,11 @@ pub mod layout;
 pub mod op;
 pub mod program;
 pub mod stats;
+pub mod store;
 
 pub use flat::{FlatIter, FlatTrace};
 pub use layout::AddressSpace;
 pub use op::{FnCategory, MicroOp, OpKind};
 pub use program::{KernelCall, MaterialClass, PhaseLog, PrecondClass};
 pub use stats::TraceStats;
+pub use store::{SolveMeta, StoreError, StoreHeader, TraceArtifact, HEADER_LEN, STORE_VERSION};

@@ -99,3 +99,95 @@ proptest! {
         prop_assert!(!last_branch.taken, "final loop branch must fall through");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Store round-trip over random logs: the decoded artifact must
+    // reconstruct every `MicroOp` of the expanded trace exactly —
+    // encoding loss would surface as a persistent-cache fingerprint
+    // mismatch in production, so the property is load-bearing.
+    #[test]
+    fn store_roundtrip_reconstructs_every_micro_op(
+        n in 2usize..30,
+        extra in prop::collection::vec((0usize..30, 0usize..30), 0..40),
+        outcomes in prop::collection::vec(any::<bool>(), 1..32),
+        digest in 0u64..u64::MAX,
+    ) {
+        use belenos_trace::{FlatTrace, MaterialClass, PrecondClass, SolveMeta, TraceArtifact};
+
+        // Derive the remaining shape knobs from `digest` to keep the
+        // macro's generator arity small.
+        let dot_n = 1 + (digest % 200) as usize;
+        let spins = 1 + (digest >> 8) as usize % 50;
+        let material = (digest >> 16) as usize % 12;
+        let iterations = 1 + (digest >> 24) as usize % 20;
+
+        let p = random_pattern(n, &extra);
+        let conn = Arc::new((0..4 * n as u32).collect::<Vec<u32>>());
+        let material = [
+            MaterialClass::LinearElastic, MaterialClass::Hyperelastic,
+            MaterialClass::FiberExponential, MaterialClass::Viscoelastic,
+            MaterialClass::Biphasic, MaterialClass::Multiphasic,
+            MaterialClass::Damage, MaterialClass::Plasticity,
+            MaterialClass::ActiveMuscle, MaterialClass::Growth,
+            MaterialClass::Fluid, MaterialClass::Rigid,
+        ][material];
+        let mut log = PhaseLog::new();
+        log.record(KernelCall::Dot { n: dot_n });
+        log.record(KernelCall::SpMv { pattern: Arc::clone(&p) });
+        log.record(KernelCall::AssembleStiffness {
+            conn: Arc::clone(&conn),
+            nodes_per_elem: 4,
+            dofs_per_node: 3,
+            gauss_points: 8,
+            material,
+            pattern: Arc::clone(&p),
+        });
+        log.record(KernelCall::CgSolve {
+            pattern: p,
+            iterations,
+            precond: PrecondClass::Jacobi,
+        });
+        log.record(KernelCall::OmpBarrier { spin_iters: spins });
+        log.record(KernelCall::ContactSearch { outcomes: Arc::new(outcomes) });
+
+        let mut flat = FlatTrace::new();
+        for op in Expander::new(&log) {
+            flat.push(op);
+        }
+        let artifact = TraceArtifact {
+            scenario_digest: digest,
+            expand_fingerprint: digest.rotate_left(17),
+            trace_fingerprint: digest.rotate_right(9),
+            solve: SolveMeta {
+                wall_secs: digest % 1000,
+                wall_subsec_nanos: (digest % 1_000_000_000) as u32,
+                n_dofs: 3 * n,
+                iterations,
+                size_kb: n as f64 * 0.75,
+                converged: spins.is_multiple_of(2),
+            },
+            log,
+            flat: Some(Arc::new(flat)),
+        };
+
+        let decoded = TraceArtifact::decode(&artifact.encode()).unwrap();
+        prop_assert_eq!(decoded.scenario_digest, artifact.scenario_digest);
+        prop_assert_eq!(decoded.expand_fingerprint, artifact.expand_fingerprint);
+        prop_assert_eq!(decoded.trace_fingerprint, artifact.trace_fingerprint);
+        prop_assert_eq!(&decoded.solve, &artifact.solve);
+        prop_assert_eq!(decoded.log.len(), artifact.log.len());
+        // The decoded *log* must re-expand to the identical op stream…
+        let a: Vec<_> = Expander::new(&artifact.log).collect();
+        let b: Vec<_> = Expander::new(&decoded.log).collect();
+        prop_assert_eq!(a, b);
+        // …and the decoded *flat section* must hold every op exactly.
+        let fa = artifact.flat.as_ref().unwrap();
+        let fb = decoded.flat.as_ref().unwrap();
+        prop_assert_eq!(fa.len(), fb.len());
+        for i in 0..fa.len() {
+            prop_assert_eq!(fa.get(i), fb.get(i));
+        }
+    }
+}
