@@ -1,0 +1,69 @@
+//! `belenos cache <stats|gc>` — inspect and bound the disk stores.
+//!
+//! Both the disk result cache (`BELENOS_CACHE_DIR`/`--cache-dir`) and
+//! the persistent trace store (`BELENOS_TRACE_DIR`/`--trace-dir`) grow
+//! without bound; `stats` sizes them and `gc --max-bytes B` evicts
+//! least-recently-written entries across *both* stores until at most
+//! `B` bytes remain (in-flight write temps are never touched — see
+//! [`belenos_runner::gc`]).
+
+use super::{serve_cmd::store_dirs, Invocation};
+use belenos_runner::gc;
+
+/// `belenos cache <stats|gc> [--max-bytes B]`.
+pub fn run(inv: &Invocation) -> Result<(), String> {
+    match inv.positionals.get(1).map(String::as_str) {
+        Some("stats") => stats(inv),
+        Some("gc") => collect(inv),
+        _ => Err("usage: belenos cache <stats|gc> [--max-bytes B]".into()),
+    }
+}
+
+fn dirs_or_usage(inv: &Invocation) -> Result<Vec<std::path::PathBuf>, String> {
+    let dirs = store_dirs(inv);
+    if dirs.is_empty() {
+        return Err(
+            "cache: no stores configured — set --cache-dir/BELENOS_CACHE_DIR \
+             and/or --trace-dir/BELENOS_TRACE_DIR"
+                .into(),
+        );
+    }
+    Ok(dirs)
+}
+
+fn stats(inv: &Invocation) -> Result<(), String> {
+    let dirs = dirs_or_usage(inv)?;
+    let mut total = gc::DirUsage::default();
+    for dir in &dirs {
+        let usage = gc::dir_usage(dir).map_err(|e| format!("cache: {}: {e}", dir.display()))?;
+        println!(
+            "{:<40} {:>8} file(s) {:>14} bytes",
+            dir.display(),
+            usage.files,
+            usage.bytes
+        );
+        total.files += usage.files;
+        total.bytes += usage.bytes;
+    }
+    println!(
+        "{:<40} {:>8} file(s) {:>14} bytes",
+        "total", total.files, total.bytes
+    );
+    Ok(())
+}
+
+fn collect(inv: &Invocation) -> Result<(), String> {
+    let Some(max_bytes) = inv.max_bytes else {
+        return Err("usage: belenos cache gc --max-bytes B (K/M/G suffixes ok)".into());
+    };
+    let dirs = dirs_or_usage(inv)?;
+    let outcome = gc::gc_dirs(&dirs, max_bytes).map_err(|e| format!("cache gc: {e}"))?;
+    println!(
+        "deleted {} file(s), {} bytes; {} file(s), {} bytes remain (budget {max_bytes})",
+        outcome.deleted_files,
+        outcome.deleted_bytes,
+        outcome.after().files,
+        outcome.after().bytes
+    );
+    Ok(())
+}

@@ -29,12 +29,14 @@
 mod ablation;
 mod agreement;
 mod bench_cmd;
+mod cache_cmd;
 mod campaign_cmd;
 mod digests;
 mod figures_cmd;
 mod list;
 mod sampling;
 mod scenario_cmd;
+mod serve_cmd;
 
 use belenos::campaign::WorkloadSet;
 use belenos::env::{parse_sampling, EnvOverrides};
@@ -78,6 +80,21 @@ pub struct Invocation {
     /// `--trace-dir PATH`: persistent trace store directory. `None` =
     /// leave the `BELENOS_TRACE_DIR` selection.
     pub trace_dir: Option<String>,
+    /// `--cache-dir PATH`: disk result cache directory. `None` = leave
+    /// the `BELENOS_CACHE_DIR` selection.
+    pub cache_dir: Option<String>,
+    /// `--addr HOST:PORT`: `serve` listen address.
+    pub addr: Option<String>,
+    /// `--serve-workers N`: concurrent jobs in the serve pool.
+    pub serve_workers: Option<usize>,
+    /// `--queue-depth N`: serve admission queue bound.
+    pub queue_depth: Option<usize>,
+    /// `--op-ceiling N`: serve per-request `max_ops` ceiling (0 = off).
+    pub op_ceiling: Option<usize>,
+    /// `--cache-budget BYTES`: serve background GC budget (0 = off).
+    pub cache_budget: Option<u64>,
+    /// `--max-bytes BYTES`: `cache gc` target size.
+    pub max_bytes: Option<u64>,
 }
 
 impl Invocation {
@@ -95,6 +112,19 @@ impl Invocation {
     pub fn workload_set(&self) -> WorkloadSet {
         self.workloads.clone().unwrap_or_default()
     }
+}
+
+/// Parses a byte size with an optional `K`/`M`/`G` binary suffix
+/// (`512M` = 512 MiB), for `--cache-budget` and `--max-bytes`.
+pub(crate) fn parse_byte_size(value: &str) -> Option<u64> {
+    let v = value.trim();
+    let (digits, multiplier) = match v.chars().last()? {
+        'k' | 'K' => (&v[..v.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&v[..v.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&v[..v.len() - 1], 1u64 << 30),
+        _ => (v, 1),
+    };
+    digits.trim().parse::<u64>().ok()?.checked_mul(multiplier)
 }
 
 fn parse_workloads(value: &str) -> Result<WorkloadSet, String> {
@@ -182,7 +212,42 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             "--csv" => inv.csv_out = Some(value(&mut it, "--csv")?),
             "--telemetry" => inv.telemetry = Some(value(&mut it, "--telemetry")?),
             "--trace-dir" => inv.trace_dir = Some(value(&mut it, "--trace-dir")?),
+            "--cache-dir" => inv.cache_dir = Some(value(&mut it, "--cache-dir")?),
             "--note" => inv.note = Some(value(&mut it, "--note")?),
+            "--addr" => inv.addr = Some(value(&mut it, "--addr")?),
+            "--serve-workers" => {
+                let v = value(&mut it, "--serve-workers")?;
+                inv.serve_workers = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => return Err(format!("--serve-workers: `{v}` is not a worker count")),
+                };
+            }
+            "--queue-depth" => {
+                let v = value(&mut it, "--queue-depth")?;
+                inv.queue_depth = Some(
+                    v.parse()
+                        .map_err(|_| format!("--queue-depth: `{v}` is not a queue size"))?,
+                );
+            }
+            "--op-ceiling" => {
+                let v = value(&mut it, "--op-ceiling")?;
+                inv.op_ceiling = Some(
+                    v.parse()
+                        .map_err(|_| format!("--op-ceiling: `{v}` is not an op budget"))?,
+                );
+            }
+            "--cache-budget" => {
+                let v = value(&mut it, "--cache-budget")?;
+                inv.cache_budget = Some(parse_byte_size(&v).ok_or_else(|| {
+                    format!("--cache-budget: `{v}` is not a byte size (K/M/G suffixes ok)")
+                })?);
+            }
+            "--max-bytes" => {
+                let v = value(&mut it, "--max-bytes")?;
+                inv.max_bytes = Some(parse_byte_size(&v).ok_or_else(|| {
+                    format!("--max-bytes: `{v}` is not a byte size (K/M/G suffixes ok)")
+                })?);
+            }
             "--help" | "-h" => {
                 inv.positionals = vec!["help".into()];
                 return Ok(inv);
@@ -226,6 +291,11 @@ SUBCOMMANDS
                               baseline, recapture with --note)
   bench prepare               cold-vs-warm trace-store prepare walls over a
                               preset set (default gem5; --workloads narrows)
+  serve                       long-running HTTP simulation server: submit
+                              campaign/scenario specs, poll jobs, stream
+                              NDJSON telemetry (see README \"Serving\")
+  cache stats                 disk result cache + trace store usage
+  cache gc --max-bytes B      LRU-evict the stores down to a byte budget
 
 FLAGS (shared; flags override BELENOS_* environment variables)
   --max-ops N        micro-op budget per simulation   [BELENOS_MAX_OPS, 1000000]
@@ -238,6 +308,15 @@ FLAGS (shared; flags override BELENOS_* environment variables)
   --csv PATH         also write the CSV report to PATH
   --telemetry V      off | stderr | PATH (JSONL events) [BELENOS_TELEMETRY, off]
   --trace-dir PATH   persistent trace store directory   [BELENOS_TRACE_DIR, off]
+  --cache-dir PATH   disk result cache directory        [BELENOS_CACHE_DIR, off]
+
+SERVE / CACHE FLAGS
+  --addr HOST:PORT   serve listen address       [BELENOS_SERVE_ADDR, 127.0.0.1:7878]
+  --serve-workers N  concurrent jobs (pool threads)                    [2]
+  --queue-depth N    jobs that may wait before 429                     [32]
+  --op-ceiling N     per-request max_ops ceiling, 0 = unlimited        [100000000]
+  --cache-budget B   background GC byte budget (K/M/G ok), 0 = off     [off]
+  --max-bytes B      cache gc target size (K/M/G ok)
 ";
 
 /// Runs the CLI; returns the process exit code.
@@ -268,6 +347,11 @@ pub fn main(args: Vec<String>) -> i32 {
     if let Some(dir) = &inv.trace_dir {
         belenos::trace_store::install_dir(dir);
     }
+    // And the disk result cache: `Cache::global()` reads
+    // BELENOS_CACHE_DIR on first use, which is still ahead of us here.
+    if let Some(dir) = &inv.cache_dir {
+        std::env::set_var("BELENOS_CACHE_DIR", dir);
+    }
     // Env-parse warnings route through telemetry: structured when a sink
     // is active, stderr when unconfigured, silent under `off`.
     let tele = belenos_telemetry::global();
@@ -294,6 +378,8 @@ pub fn main(args: Vec<String>) -> i32 {
         "sampling" => sampling::run(&inv),
         "ablation" => ablation::run(&inv),
         "bench" => bench_cmd::run(&inv),
+        "serve" => serve_cmd::run(&inv),
+        "cache" => cache_cmd::run(&inv),
         other => Err(format!("unknown subcommand `{other}`")),
     };
     match outcome {
@@ -387,6 +473,46 @@ mod tests {
         assert!(parse(&args(&["--frobnicate"])).is_err());
         assert!(parse(&args(&["--format", "xml"])).is_err());
         assert!(parse(&args(&["--telemetry"])).is_err());
+    }
+
+    #[test]
+    fn serve_and_cache_flags_parse() {
+        let inv = parse(&args(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--serve-workers",
+            "4",
+            "--queue-depth",
+            "8",
+            "--op-ceiling",
+            "200000",
+            "--cache-budget",
+            "512M",
+        ]))
+        .unwrap();
+        assert_eq!(inv.positionals, ["serve"]);
+        assert_eq!(inv.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(inv.serve_workers, Some(4));
+        assert_eq!(inv.queue_depth, Some(8));
+        assert_eq!(inv.op_ceiling, Some(200_000));
+        assert_eq!(inv.cache_budget, Some(512 * 1024 * 1024));
+        let inv = parse(&args(&["cache", "gc", "--max-bytes", "64k"])).unwrap();
+        assert_eq!(inv.positionals, ["cache", "gc"]);
+        assert_eq!(inv.max_bytes, Some(64 * 1024));
+        assert!(parse(&args(&["serve", "--serve-workers", "0"])).is_err());
+        assert!(parse(&args(&["cache", "gc", "--max-bytes", "lots"])).is_err());
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_suffixes() {
+        assert_eq!(parse_byte_size("1024"), Some(1024));
+        assert_eq!(parse_byte_size("2K"), Some(2048));
+        assert_eq!(parse_byte_size("3m"), Some(3 << 20));
+        assert_eq!(parse_byte_size("1G"), Some(1 << 30));
+        assert_eq!(parse_byte_size(""), None);
+        assert_eq!(parse_byte_size("G"), None);
+        assert_eq!(parse_byte_size("-1"), None);
     }
 
     #[test]

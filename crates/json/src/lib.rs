@@ -175,15 +175,38 @@ impl Json {
             .ok_or_else(|| JsonError::new(format!("missing field `{key}`")))
     }
 
-    /// Parses a JSON document (the full input must be one value).
+    /// Parses a JSON document (the full input must be one value) under
+    /// the default [`ParseLimits`].
     ///
     /// # Errors
     ///
     /// A [`JsonError`] with a byte offset for malformed input.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
+        Json::parse_with_limits(text, &ParseLimits::default())
+    }
+
+    /// Parses a JSON document under explicit [`ParseLimits`] — the
+    /// untrusted-input entry point: the server feeds this network bytes,
+    /// so both the total size and the nesting depth are bounded before
+    /// any recursion happens.
+    ///
+    /// # Errors
+    ///
+    /// A [`JsonError`] for malformed input, input longer than
+    /// `limits.max_bytes`, or nesting deeper than `limits.max_depth`.
+    pub fn parse_with_limits(text: &str, limits: &ParseLimits) -> Result<Json, JsonError> {
+        if limits.max_bytes > 0 && text.len() > limits.max_bytes {
+            return Err(JsonError::new(format!(
+                "input of {} bytes exceeds the {}-byte limit",
+                text.len(),
+                limits.max_bytes
+            )));
+        }
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
+            max_depth: limits.max_depth,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -197,66 +220,148 @@ impl Json {
     /// Compact single-line rendering.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, None, 0);
+        let _ = self.write(&mut out, None, 0);
         out
     }
 
     /// Pretty rendering with 2-space indentation and a trailing newline.
     pub fn pretty(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, Some(2), 0);
+        let _ = self.write(&mut out, Some(2), 0);
         out.push('\n');
         out
     }
 
-    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+    /// Streams the compact rendering into an `io::Write` sink without
+    /// materializing the whole document first — the server uses this to
+    /// write large reports straight onto a socket.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error, if the sink fails.
+    pub fn render_to<W: std::io::Write>(&self, sink: &mut W) -> std::io::Result<()> {
+        let mut out = IoFmtAdapter { sink, error: None };
+        match self.write(&mut out, None, 0) {
+            Ok(()) => Ok(()),
+            Err(_) => Err(out
+                .error
+                .unwrap_or_else(|| std::io::Error::other("formatter error"))),
+        }
+    }
+
+    /// Streams the pretty rendering (2-space indent, trailing newline)
+    /// into an `io::Write` sink.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error, if the sink fails.
+    pub fn pretty_to<W: std::io::Write>(&self, sink: &mut W) -> std::io::Result<()> {
+        let mut out = IoFmtAdapter { sink, error: None };
+        match self.write(&mut out, Some(2), 0).and_then(|()| {
+            use fmt::Write as _;
+            out.write_char('\n')
+        }) {
+            Ok(()) => Ok(()),
+            Err(_) => Err(out
+                .error
+                .unwrap_or_else(|| std::io::Error::other("formatter error"))),
+        }
+    }
+
+    fn write(&self, out: &mut dyn fmt::Write, indent: Option<usize>, depth: usize) -> fmt::Result {
         match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => out.push_str(&render_number(*n)),
+            Json::Null => out.write_str("null"),
+            Json::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.write_str(&render_number(*n)),
             Json::Str(s) => write_escaped(out, s),
             Json::Arr(items) => {
-                out.push('[');
+                out.write_char('[')?;
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    newline_indent(out, indent, depth + 1);
-                    item.write(out, indent, depth + 1);
+                    newline_indent(out, indent, depth + 1)?;
+                    item.write(out, indent, depth + 1)?;
                 }
                 if !items.is_empty() {
-                    newline_indent(out, indent, depth);
+                    newline_indent(out, indent, depth)?;
                 }
-                out.push(']');
+                out.write_char(']')
             }
             Json::Obj(fields) => {
-                out.push('{');
+                out.write_char('{')?;
                 for (i, (k, v)) in fields.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    newline_indent(out, indent, depth + 1);
-                    write_escaped(out, k);
-                    out.push(':');
+                    newline_indent(out, indent, depth + 1)?;
+                    write_escaped(out, k)?;
+                    out.write_char(':')?;
                     if indent.is_some() {
-                        out.push(' ');
+                        out.write_char(' ')?;
                     }
-                    v.write(out, indent, depth + 1);
+                    v.write(out, indent, depth + 1)?;
                 }
                 if !fields.is_empty() {
-                    newline_indent(out, indent, depth);
+                    newline_indent(out, indent, depth)?;
                 }
-                out.push('}');
+                out.write_char('}')
             }
         }
     }
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
-    if let Some(width) = indent {
-        out.push('\n');
-        out.push_str(&" ".repeat(width * depth));
+/// Bounds on what [`Json::parse_with_limits`] accepts — the defense
+/// layer for parsing bytes that arrived over a network rather than from
+/// a file the operator wrote.
+#[derive(Debug, Clone)]
+pub struct ParseLimits {
+    /// Maximum input length in bytes (0 = unlimited).
+    pub max_bytes: usize,
+    /// Maximum array/object nesting depth. The parser is recursive
+    /// descent, so this bounds stack growth; the default (512) is far
+    /// above any legitimate spec while staying well inside the smallest
+    /// thread stack.
+    pub max_depth: usize,
+}
+
+/// The nesting depth [`Json::parse`] allows (and the [`ParseLimits`]
+/// default).
+pub const DEFAULT_MAX_DEPTH: usize = 512;
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_bytes: 0,
+            max_depth: DEFAULT_MAX_DEPTH,
+        }
     }
+}
+
+/// Routes `fmt::Write` output into an `io::Write` sink, parking the
+/// first I/O error so [`Json::render_to`] can surface it.
+struct IoFmtAdapter<'a, W: std::io::Write> {
+    sink: &'a mut W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> fmt::Write for IoFmtAdapter<'_, W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.sink.write_all(s.as_bytes()).map_err(|e| {
+            self.error = Some(e);
+            fmt::Error
+        })
+    }
+}
+
+fn newline_indent(out: &mut dyn fmt::Write, indent: Option<usize>, depth: usize) -> fmt::Result {
+    if let Some(width) = indent {
+        out.write_char('\n')?;
+        for _ in 0..width * depth {
+            out.write_char(' ')?;
+        }
+    }
+    Ok(())
 }
 
 /// Integers render without a decimal point; other finite numbers use the
@@ -273,27 +378,29 @@ fn render_number(n: f64) -> String {
     }
 }
 
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
+fn write_escaped(out: &mut dyn fmt::Write, s: &str) -> fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                write!(out, "\\u{:04x}", c as u32)?;
             }
-            c => out.push(c),
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
 }
 
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -342,7 +449,28 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Tracks entry into a nested container; errors past the depth
+    /// limit instead of letting the recursive descent overflow the stack
+    /// on adversarial `[[[[...` input.
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(self.err(&format!(
+                "nesting exceeds the {}-level depth limit",
+                self.max_depth
+            )));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
+        let value = self.array_body();
+        self.depth -= 1;
+        value
+    }
+
+    fn array_body(&mut self) -> Result<Json, JsonError> {
         self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -366,6 +494,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
+        let value = self.object_body();
+        self.depth -= 1;
+        value
+    }
+
+    fn object_body(&mut self) -> Result<Json, JsonError> {
         self.eat(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -715,6 +850,72 @@ mod tests {
         assert_eq!(Json::Num(-1.0).as_usize(), None);
         assert_eq!(Json::Num(1.5).as_usize(), None);
         assert_eq!(Json::Str("7".into()).as_usize(), None);
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Far deeper than any stack could take through the recursive
+        // descent; the depth guard must turn it into an error.
+        let deep = "[".repeat(200_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("depth limit"), "{err}");
+        let deep_obj = "{\"a\":".repeat(200_000);
+        assert!(Json::parse(&deep_obj).is_err());
+    }
+
+    #[test]
+    fn explicit_depth_limit_is_exact() {
+        let limits = ParseLimits {
+            max_bytes: 0,
+            max_depth: 3,
+        };
+        assert!(Json::parse_with_limits("[[[1]]]", &limits).is_ok());
+        let err = Json::parse_with_limits("[[[[1]]]]", &limits).unwrap_err();
+        assert!(err.message.contains("3-level"), "{err}");
+        // Mixed containers count the same way.
+        assert!(Json::parse_with_limits(r#"{"a":[{"b":1}]}"#, &limits).is_ok());
+        assert!(Json::parse_with_limits(r#"{"a":[{"b":[]}]}"#, &limits).is_err());
+    }
+
+    #[test]
+    fn oversized_input_is_rejected_before_parsing() {
+        let limits = ParseLimits {
+            max_bytes: 16,
+            max_depth: DEFAULT_MAX_DEPTH,
+        };
+        assert!(Json::parse_with_limits("[1,2,3]", &limits).is_ok());
+        let big = format!("[{}]", "1,".repeat(100));
+        let err = Json::parse_with_limits(&big, &limits).unwrap_err();
+        assert!(err.message.contains("16-byte limit"), "{err}");
+    }
+
+    #[test]
+    fn streaming_render_matches_string_render() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("smoke\n".into())),
+            ("xs", Json::Arr(vec![Json::Num(1.0), Json::Bool(false)])),
+        ]);
+        let mut compact = Vec::new();
+        v.render_to(&mut compact).unwrap();
+        assert_eq!(String::from_utf8(compact).unwrap(), v.render());
+        let mut pretty = Vec::new();
+        v.pretty_to(&mut pretty).unwrap();
+        assert_eq!(String::from_utf8(pretty).unwrap(), v.pretty());
+    }
+
+    #[test]
+    fn streaming_render_surfaces_io_errors() {
+        struct FailingSink;
+        impl std::io::Write for FailingSink {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink closed"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = Json::Num(1.0).render_to(&mut FailingSink).unwrap_err();
+        assert_eq!(err.to_string(), "sink closed");
     }
 
     #[test]

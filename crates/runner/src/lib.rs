@@ -66,8 +66,11 @@
 //! ```
 
 pub mod cache;
+pub mod gc;
+pub mod pool;
 
 pub use cache::{Cache, CacheKey, CacheStats};
+pub use pool::{PoolFull, WorkerPool};
 
 use belenos_uarch::{CoreConfig, SamplingConfig, SimStats};
 use std::collections::HashMap;

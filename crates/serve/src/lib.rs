@@ -1,0 +1,717 @@
+//! `belenos serve` — a long-running simulation server.
+//!
+//! One process, one persistent [`Runner`]: the
+//! in-memory result cache, the disk cache, and the trace store warm up
+//! once and stay warm across requests, which is the whole point of
+//! serving instead of forking a CLI per spec. On top of that runner the
+//! server adds the three things a shared long-lived endpoint needs and
+//! a one-shot CLI does not:
+//!
+//! * **admission control** — an op-budget ceiling per request, a
+//!   bounded job queue (full → 429 with a `Retry-After` hint), and a
+//!   worker pool sized independently of the simulation thread count;
+//! * **in-flight dedup** — submissions with an identical spec digest
+//!   share one execution (one simulation, N watchers);
+//! * **cache GC** — an optional background sweep holding the disk
+//!   cache and trace store under a byte budget (see
+//!   [`belenos_runner::gc`]).
+//!
+//! The HTTP layer is hand-rolled HTTP/1.1 over `std::net` (see
+//! [`http`]) for the same reason `belenos-json` exists: the toolchain
+//! has no registry access, and the API surface is small enough that a
+//! framework would be mostly dead weight.
+//!
+//! # API
+//!
+//! | Method & path            | Meaning                                   |
+//! |--------------------------|-------------------------------------------|
+//! | `POST /v1/campaigns`     | submit a campaign spec → `202` + job id   |
+//! | `POST /v1/scenarios/run` | submit a scenario batch → `202` + job id  |
+//! | `GET /v1/jobs/{id}`      | job state document                        |
+//! | `GET /v1/jobs/{id}/report` | the bare report (byte-equal to the CLI) |
+//! | `GET /v1/jobs/{id}/events` | NDJSON stream of the job's telemetry    |
+//! | `GET /v1/stats`          | server counters and latency percentiles   |
+//! | `GET /v1/healthz`        | liveness probe                            |
+//! | `POST /v1/shutdown`      | graceful drain and exit                   |
+
+pub mod events;
+pub mod http;
+pub mod jobs;
+pub mod signal;
+pub mod stats;
+
+pub use events::EventRouter;
+pub use jobs::{JobKind, JobManager, JobSnapshot, JobState, Reject, Submission};
+pub use stats::ServeStats;
+
+use belenos::campaign::CampaignSpec;
+use belenos::env::DEFAULT_MAX_OPS;
+use belenos::SimOptions;
+use belenos_json::{FromJson, Json};
+use belenos_runner::{gc, Runner, RunnerConfig};
+use belenos_telemetry::Telemetry;
+use belenos_workloads::ScenarioSpec;
+use http::{read_request, respond_error, respond_json, start_ndjson, write_ndjson_line, Request};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Everything tunable about a server, with serving-friendly defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`BELENOS_SERVE_ADDR` / `--addr`).
+    pub addr: String,
+    /// Concurrent jobs (pool threads); each job still parallelizes
+    /// internally through the runner's own workers.
+    pub workers: usize,
+    /// Jobs that may wait beyond the running ones; more → 429.
+    pub queue_depth: usize,
+    /// Per-request `options.max_ops` ceiling; `0` disables the check
+    /// (and then unlimited-budget specs are admitted too).
+    pub op_budget_ceiling: usize,
+    /// Request body cap in bytes.
+    pub max_body_bytes: usize,
+    /// Simulation threads inside the runner; `0` = `BELENOS_JOBS` or
+    /// the machine's parallelism.
+    pub runner_threads: usize,
+    /// Combined disk budget for `gc_dirs` in bytes; `0` = GC off.
+    pub cache_budget_bytes: u64,
+    /// Seconds between background GC sweeps.
+    pub gc_interval_s: u64,
+    /// Directories the GC budget covers (disk cache, trace store).
+    pub gc_dirs: Vec<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 2,
+            queue_depth: 32,
+            op_budget_ceiling: 100_000_000,
+            max_body_bytes: 1024 * 1024,
+            runner_threads: 0,
+            cache_budget_bytes: 0,
+            gc_interval_s: 60,
+            gc_dirs: Vec::new(),
+        }
+    }
+}
+
+struct ServerState {
+    config: ServeConfig,
+    addr: SocketAddr,
+    manager: JobManager,
+    router: Arc<EventRouter>,
+    stats: Arc<ServeStats>,
+    runner: Runner,
+    shutdown: AtomicBool,
+    draining: AtomicBool,
+    /// The telemetry handle displaced by the router's callback sink,
+    /// reinstalled on shutdown.
+    prev_telemetry: Mutex<Option<Telemetry>>,
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks until a
+/// graceful shutdown completes.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// A cloneable control handle: trigger shutdown from a signal handler
+/// watcher, or pause job pickup (the deterministic seam the integration
+/// tests use to pile up a queue over real sockets).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Requests a graceful drain-and-exit: stop accepting, run every
+    /// accepted job to completion, finish the event streams, return.
+    pub fn shutdown(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Holds (`true`) or resumes (`false`) job pickup while the queue
+    /// keeps accepting — lets tests (and operators) stage dedup and
+    /// queue-full situations deterministically.
+    pub fn pause_workers(&self, on: bool) {
+        self.state.manager.pause(on);
+    }
+}
+
+impl Server {
+    /// Binds the listener, builds the persistent runner, and replaces
+    /// the process-global telemetry handle with the event router's
+    /// callback sink (the displaced handle keeps receiving every line,
+    /// so `--telemetry` output is unchanged by serving).
+    ///
+    /// # Errors
+    ///
+    /// The bind error for an unusable address.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let mut runner_config = RunnerConfig::from_env();
+        // Job progress goes to watchers via the event stream; the
+        // server's stderr stays quiet.
+        runner_config.progress = false;
+        if config.runner_threads > 0 {
+            runner_config.threads = Some(config.runner_threads);
+        }
+        let runner = runner_config.build();
+        let router = Arc::new(EventRouter::new());
+        let sink_router = router.clone();
+        let prev =
+            belenos_telemetry::install(Telemetry::to_callback(move |line| sink_router.route(line)));
+        router.set_upstream(prev.clone());
+        let stats = Arc::new(ServeStats::new());
+        let manager = JobManager::new(
+            runner.clone(),
+            router.clone(),
+            stats.clone(),
+            config.workers,
+            config.queue_depth,
+            config.op_budget_ceiling,
+        );
+        let state = Arc::new(ServerState {
+            config,
+            addr,
+            manager,
+            router,
+            stats,
+            runner,
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            prev_telemetry: Mutex::new(Some(prev)),
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// A control handle (cloneable, usable from any thread).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: self.state.clone(),
+        }
+    }
+
+    /// The address the server actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serves until shutdown is requested, then drains: every accepted
+    /// job runs to completion, event streams end, connection handlers
+    /// are joined, and the pre-server telemetry handle is reinstalled.
+    ///
+    /// # Errors
+    ///
+    /// A non-transient accept error.
+    pub fn run(self) -> std::io::Result<()> {
+        let gc_thread = spawn_gc_sweeper(&self.state);
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = self.state.clone();
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(&state, stream)
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+        // Graceful drain: fence off new submissions, run out the queue
+        // (unpausing first — a paused pool would strand queued jobs and
+        // their watchers), then let the finished event streams unwind
+        // the remaining connection handlers.
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.manager.pause(false);
+        self.state.manager.drain();
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        if let Some(handle) = gc_thread {
+            let _ = handle.join();
+        }
+        if let Some(prev) = self.state.prev_telemetry.lock().unwrap().take() {
+            belenos_telemetry::install(prev);
+        }
+        Ok(())
+    }
+}
+
+/// Background GC: holds the configured directories under the combined
+/// byte budget, sweeping on a fixed cadence until shutdown.
+fn spawn_gc_sweeper(state: &Arc<ServerState>) -> Option<std::thread::JoinHandle<()>> {
+    let budget = state.config.cache_budget_bytes;
+    if budget == 0 || state.config.gc_dirs.is_empty() {
+        return None;
+    }
+    let state = state.clone();
+    Some(
+        std::thread::Builder::new()
+            .name("serve-gc".into())
+            .spawn(move || {
+                let interval = Duration::from_secs(state.config.gc_interval_s.max(1));
+                loop {
+                    match gc::gc_dirs(&state.config.gc_dirs, budget) {
+                        Ok(outcome) => state
+                            .stats
+                            .note_gc_sweep(outcome.deleted_files as u64, outcome.deleted_bytes),
+                        Err(e) => {
+                            belenos_telemetry::global().warn(&format!("cache gc sweep failed: {e}"))
+                        }
+                    }
+                    // Sleep in short slices so shutdown isn't held up by
+                    // a long sweep interval.
+                    let mut waited = Duration::ZERO;
+                    while waited < interval {
+                        if state.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(100));
+                        waited += Duration::from_millis(100);
+                    }
+                }
+            })
+            .expect("spawn gc thread"),
+    )
+}
+
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    // Accepted sockets must block (the listener is non-blocking), and a
+    // stalled client shouldn't pin a handler thread forever.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let request = match read_request(&mut stream, state.config.max_body_bytes) {
+        Ok(request) => request,
+        Err(e) => {
+            let _ = respond_error(&mut stream, e.status, &e.message, None, &[]);
+            return;
+        }
+    };
+    let _ = route_request(state, &mut stream, &request);
+}
+
+fn route_request(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    request: &Request,
+) -> std::io::Result<()> {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match (method, path) {
+        ("POST", "/v1/campaigns") => submit_campaign(state, stream, request),
+        ("POST", "/v1/scenarios/run") => submit_scenarios(state, stream, request),
+        ("GET", "/v1/stats") => respond_json(stream, 200, &[], &stats_document(state)),
+        ("GET", "/v1/healthz") => {
+            respond_json(stream, 200, &[], &Json::obj(vec![("ok", Json::Bool(true))]))
+        }
+        ("POST", "/v1/shutdown") => {
+            state.draining.store(true, Ordering::SeqCst);
+            state.shutdown.store(true, Ordering::SeqCst);
+            respond_json(
+                stream,
+                200,
+                &[],
+                &Json::obj(vec![("draining", Json::Bool(true))]),
+            )
+        }
+        _ => {
+            if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+                if method != "GET" {
+                    return respond_error(stream, 405, "jobs are read-only", None, &[]);
+                }
+                return job_request(state, stream, rest);
+            }
+            if matches!(
+                path,
+                "/v1/campaigns"
+                    | "/v1/scenarios/run"
+                    | "/v1/stats"
+                    | "/v1/healthz"
+                    | "/v1/shutdown"
+            ) {
+                return respond_error(
+                    stream,
+                    405,
+                    &format!("method {method} not allowed for {path}"),
+                    None,
+                    &[],
+                );
+            }
+            respond_error(stream, 404, &format!("no route for {path}"), None, &[])
+        }
+    }
+}
+
+/// Parses `{id}`, `{id}/report`, `{id}/events` after `/v1/jobs/`.
+fn job_request(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    rest: &str,
+) -> std::io::Result<()> {
+    let (id_text, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, Some(tail)),
+        None => (rest, None),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return respond_error(stream, 400, &format!("bad job id `{id_text}`"), None, &[]);
+    };
+    match tail {
+        None => job_status(state, stream, id),
+        Some("report") => job_report(state, stream, id),
+        Some("events") => job_events(state, stream, id),
+        Some(other) => respond_error(
+            stream,
+            404,
+            &format!("no such job endpoint `{other}`"),
+            None,
+            &[],
+        ),
+    }
+}
+
+fn submit_campaign(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    request: &Request,
+) -> std::io::Result<()> {
+    let Some(text) = body_text(stream, request)? else {
+        return Ok(());
+    };
+    // `CampaignSpec::parse` is the same validate-everything entry the
+    // CLI uses; its errors already name the offending field path.
+    let spec = match CampaignSpec::parse(text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            state.stats.note_rejected_invalid();
+            return respond_error(stream, 400, &e.to_string(), None, &[]);
+        }
+    };
+    submit(state, stream, JobKind::Campaign(spec))
+}
+
+fn submit_scenarios(
+    state: &Arc<ServerState>,
+    stream: &mut TcpStream,
+    request: &Request,
+) -> std::io::Result<()> {
+    let Some(text) = body_text(stream, request)? else {
+        return Ok(());
+    };
+    let doc = match Json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            state.stats.note_rejected_invalid();
+            return respond_error(stream, 400, &e.to_string(), None, &[]);
+        }
+    };
+    match parse_scenario_request(&doc) {
+        Ok((specs, options)) => submit(state, stream, JobKind::Scenarios { specs, options }),
+        Err((message, field)) => {
+            state.stats.note_rejected_invalid();
+            respond_error(stream, 400, &message, field, &[])
+        }
+    }
+}
+
+/// A submission-validation failure: the message plus the offending
+/// field's name for the structured 400 body.
+type FieldError = (String, Option<&'static str>);
+
+/// Accepts `{"scenarios": [...], "options": {...}}`, a bare scenario
+/// array, or a single scenario object; options default to the CLI's
+/// (`DEFAULT_MAX_OPS` budget, sampling off).
+fn parse_scenario_request(doc: &Json) -> Result<(Vec<ScenarioSpec>, SimOptions), FieldError> {
+    let (list_json, options) = match doc.get("scenarios") {
+        Some(list) => {
+            let options = match doc.get("options") {
+                Some(v) => {
+                    SimOptions::from_json(v).map_err(|e| (e.to_string(), Some("options")))?
+                }
+                None => SimOptions::new(DEFAULT_MAX_OPS),
+            };
+            (list.clone(), options)
+        }
+        None => (doc.clone(), SimOptions::new(DEFAULT_MAX_OPS)),
+    };
+    let items: Vec<Json> = match list_json {
+        Json::Arr(items) => items,
+        obj @ Json::Obj(_) => vec![obj],
+        _ => {
+            return Err((
+                "scenarios: expected a scenario object or an array of them".to_string(),
+                Some("scenarios"),
+            ))
+        }
+    };
+    if items.is_empty() {
+        return Err((
+            "scenarios: empty scenario list".to_string(),
+            Some("scenarios"),
+        ));
+    }
+    let mut specs: Vec<ScenarioSpec> = Vec::with_capacity(items.len());
+    for item in &items {
+        let spec = ScenarioSpec::from_json(item).map_err(|e| (e.to_string(), Some("scenarios")))?;
+        spec.validate()
+            .map_err(|e| (e.to_string(), Some("scenarios")))?;
+        // Same rule as the CLI's scenario loader: duplicate ids would
+        // produce indistinguishable report rows.
+        if specs.iter().any(|s| s.id == spec.id) {
+            return Err((
+                format!("duplicate scenario id `{}`", spec.id),
+                Some("scenarios"),
+            ));
+        }
+        specs.push(spec);
+    }
+    Ok((specs, options))
+}
+
+/// Shared submission tail: drain fence, admission, 202/400/429.
+fn submit(state: &Arc<ServerState>, stream: &mut TcpStream, kind: JobKind) -> std::io::Result<()> {
+    if state.draining.load(Ordering::SeqCst) {
+        return respond_error(
+            stream,
+            503,
+            "server is draining; not accepting new jobs",
+            None,
+            &[],
+        );
+    }
+    match state.manager.submit(kind) {
+        Ok(sub) => respond_json(
+            stream,
+            202,
+            &[],
+            &Json::obj(vec![
+                ("job", Json::Num(sub.job as f64)),
+                ("state", Json::Str(sub.state.as_str().to_string())),
+                ("joined", Json::Bool(sub.joined)),
+                ("status_url", Json::Str(format!("/v1/jobs/{}", sub.job))),
+                (
+                    "events_url",
+                    Json::Str(format!("/v1/jobs/{}/events", sub.job)),
+                ),
+            ]),
+        ),
+        Err(Reject::Budget { message, field }) => {
+            respond_error(stream, 400, &message, Some(field), &[])
+        }
+        Err(Reject::Busy {
+            queued,
+            capacity,
+            retry_after_s,
+        }) => respond_json(
+            stream,
+            429,
+            &[("retry-after", retry_after_s.to_string())],
+            &Json::obj(vec![
+                (
+                    "error",
+                    Json::Str(format!(
+                        "job queue is full ({queued}/{capacity}); retry after {retry_after_s}s"
+                    )),
+                ),
+                ("queued", Json::Num(queued as f64)),
+                ("capacity", Json::Num(capacity as f64)),
+                ("retry_after_s", Json::Num(retry_after_s as f64)),
+            ]),
+        ),
+    }
+}
+
+/// UTF-8 body or an error response already written (`None`).
+fn body_text<'a>(stream: &mut TcpStream, request: &'a Request) -> std::io::Result<Option<&'a str>> {
+    if request.body.is_empty() {
+        respond_error(stream, 400, "request body required", None, &[])?;
+        return Ok(None);
+    }
+    match std::str::from_utf8(&request.body) {
+        Ok(text) => Ok(Some(text)),
+        Err(_) => {
+            respond_error(stream, 400, "request body is not valid UTF-8", None, &[])?;
+            Ok(None)
+        }
+    }
+}
+
+fn job_status(state: &Arc<ServerState>, stream: &mut TcpStream, id: u64) -> std::io::Result<()> {
+    let Some(snap) = state.manager.snapshot(id) else {
+        return respond_error(stream, 404, &format!("no such job {id}"), None, &[]);
+    };
+    respond_json(stream, 200, &[], &job_document(&snap))
+}
+
+fn job_document(snap: &JobSnapshot) -> Json {
+    let mut fields = vec![
+        ("job", Json::Num(snap.id as f64)),
+        ("kind", Json::Str(snap.kind.to_string())),
+        ("name", Json::Str(snap.name.clone())),
+        ("state", Json::Str(snap.state.as_str().to_string())),
+        ("joined", Json::Num(snap.joined as f64)),
+        ("digest", Json::Str(format!("{:016x}", snap.digest))),
+    ];
+    if let Some(position) = snap.queue_position {
+        fields.push(("queue_position", Json::Num(position as f64)));
+    }
+    if let Some(wait) = snap.queue_wait_s {
+        fields.push(("queue_wait_s", Json::Num(wait)));
+    }
+    if let Some(wall) = snap.wall_s {
+        fields.push(("wall_s", Json::Num(wall)));
+    }
+    if let Some(error) = &snap.error {
+        fields.push(("error", Json::Str(error.clone())));
+    }
+    if let Some(report) = &snap.report {
+        fields.push(("report", report.clone()));
+    }
+    Json::obj(fields)
+}
+
+/// The bare report document — exactly what `belenos campaign run
+/// --json` prints for the same spec, so clients can diff bytes.
+fn job_report(state: &Arc<ServerState>, stream: &mut TcpStream, id: u64) -> std::io::Result<()> {
+    let Some(snap) = state.manager.snapshot(id) else {
+        return respond_error(stream, 404, &format!("no such job {id}"), None, &[]);
+    };
+    match (&snap.report, snap.state) {
+        (Some(report), _) => respond_json(stream, 200, &[], report),
+        (None, JobState::Failed) => respond_error(
+            stream,
+            409,
+            snap.error.as_deref().unwrap_or("job failed"),
+            None,
+            &[],
+        ),
+        (None, state) => respond_error(
+            stream,
+            409,
+            &format!("job {id} is {}; no report yet", state.as_str()),
+            None,
+            &[],
+        ),
+    }
+}
+
+/// NDJSON event stream: buffered backlog first, then live lines until
+/// the job finishes (the stream then ends) or the client hangs up.
+fn job_events(state: &Arc<ServerState>, stream: &mut TcpStream, id: u64) -> std::io::Result<()> {
+    let Some(subscription) = state.router.subscribe(id) else {
+        return respond_error(stream, 404, &format!("no such job {id}"), None, &[]);
+    };
+    // Live delivery can idle while a long simulation computes; don't
+    // let the handler's read timeout semantics apply to writes.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    start_ndjson(stream)?;
+    for line in &subscription.backlog {
+        write_ndjson_line(stream, line)?;
+    }
+    if let Some(live) = subscription.live {
+        // Ends when the router disconnects the watchers (job finished)
+        // or the write fails (client gone).
+        while let Ok(line) = live.recv() {
+            write_ndjson_line(stream, &line)?;
+        }
+    }
+    Ok(())
+}
+
+fn stats_document(state: &Arc<ServerState>) -> Json {
+    let stats = &state.stats;
+    let [submitted, joined, completed, failed, rejected_busy, rejected_invalid] =
+        stats.job_counts();
+    let [gc_sweeps, gc_files, gc_bytes] = stats.gc_counts();
+    let (wait_p50, wait_p95) = stats.queue_wait_percentiles_s();
+    let (wall_p50, wall_p95) = stats.job_wall_percentiles_s();
+    let cache = state.runner.cache().stats();
+    let lookups = cache.lookups();
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        cache.hits as f64 / lookups as f64
+    };
+    Json::obj(vec![
+        ("uptime_s", Json::Num(stats.uptime_s())),
+        ("workers", Json::Num(state.manager.workers() as f64)),
+        ("queue_depth", Json::Num(state.config.queue_depth as f64)),
+        ("queued", Json::Num(state.manager.queued() as f64)),
+        ("running", Json::Num(state.manager.running() as f64)),
+        (
+            "draining",
+            Json::Bool(state.draining.load(Ordering::SeqCst)),
+        ),
+        (
+            "jobs",
+            Json::obj(vec![
+                ("submitted", Json::Num(submitted as f64)),
+                ("joined", Json::Num(joined as f64)),
+                ("completed", Json::Num(completed as f64)),
+                ("failed", Json::Num(failed as f64)),
+                ("rejected_queue_full", Json::Num(rejected_busy as f64)),
+                ("rejected_invalid", Json::Num(rejected_invalid as f64)),
+            ]),
+        ),
+        (
+            "queue_wait_s",
+            Json::obj(vec![
+                ("p50", Json::Num(wait_p50)),
+                ("p95", Json::Num(wait_p95)),
+            ]),
+        ),
+        (
+            "job_wall_s",
+            Json::obj(vec![
+                ("p50", Json::Num(wall_p50)),
+                ("p95", Json::Num(wall_p95)),
+            ]),
+        ),
+        (
+            "worker_utilization",
+            Json::Num(stats.worker_utilization(state.manager.workers())),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hits", Json::Num(cache.hits as f64)),
+                ("misses", Json::Num(cache.misses as f64)),
+                ("lookups", Json::Num(lookups as f64)),
+                ("hit_rate", Json::Num(hit_rate)),
+                ("entries", Json::Num(state.runner.cache().len() as f64)),
+            ]),
+        ),
+        (
+            "gc",
+            Json::obj(vec![
+                ("sweeps", Json::Num(gc_sweeps as f64)),
+                ("deleted_files", Json::Num(gc_files as f64)),
+                ("deleted_bytes", Json::Num(gc_bytes as f64)),
+            ]),
+        ),
+    ])
+}

@@ -118,6 +118,10 @@ enum Output {
     Stderr,
     File(std::fs::File),
     Buffer(Arc<Mutex<Vec<u8>>>),
+    /// Each rendered line is handed (without its newline) to a callback
+    /// — the serve layer's per-job event router. The callback runs under
+    /// the sink lock, so it must not emit telemetry back into this sink.
+    Callback(Box<dyn Fn(&str) + Send + Sync>),
 }
 
 struct Sink {
@@ -134,6 +138,10 @@ impl Sink {
             Output::Stderr => writeln!(std::io::stderr(), "{line}"),
             Output::File(f) => writeln!(f, "{line}"),
             Output::Buffer(buf) => writeln!(buf.lock().unwrap(), "{line}"),
+            Output::Callback(f) => {
+                f(line);
+                Ok(())
+            }
         };
     }
 }
@@ -221,6 +229,29 @@ impl Telemetry {
         let buf = Arc::new(Mutex::new(Vec::new()));
         let t = Telemetry::with_output(Output::Buffer(buf.clone()));
         (t, TelemetryBuffer(buf))
+    }
+
+    /// A handle delivering each rendered JSONL line (without its
+    /// newline) to `f` — how the serve layer routes every event through
+    /// its per-job dispatcher while the simulation stack keeps emitting
+    /// through the ordinary [`global`] handle.
+    ///
+    /// `f` runs under the sink's line lock: lines arrive whole and in
+    /// emission order, and `f` must not emit telemetry back into this
+    /// same handle (forwarding to a *different* handle via
+    /// [`Telemetry::emit_raw`] is fine).
+    pub fn to_callback(f: impl Fn(&str) + Send + Sync + 'static) -> Telemetry {
+        Telemetry::with_output(Output::Callback(Box::new(f)))
+    }
+
+    /// Writes an already-rendered JSONL event line verbatim (no-op when
+    /// disabled). This is the fan-out primitive: a callback sink that
+    /// also wants events in a file/stderr/buffer sink forwards each line
+    /// here instead of re-rendering it.
+    pub fn emit_raw(&self, line: &str) {
+        if let Some(sink) = &self.sink {
+            sink.write_line(line);
+        }
     }
 
     fn with_output(out: Output) -> Telemetry {
@@ -545,6 +576,40 @@ mod tests {
         let text = std::fs::read_to_string(&dir).unwrap();
         assert!(text.contains("\"counter\""));
         let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn callback_sink_sees_whole_lines_in_order() {
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = seen.clone();
+        let t = Telemetry::to_callback(move |line| sink.lock().unwrap().push(line.to_string()));
+        assert!(t.enabled());
+        let span = t.span("batch", &[("jobs", 2usize.into())]);
+        t.counter("cache_hits", 1, &[]);
+        drop(span);
+        let lines = seen.lock().unwrap().clone();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let e = Json::parse(line).expect("callback lines are single JSON events");
+            assert!(e.get("ev").is_some());
+        }
+        assert_eq!(
+            Json::parse(&lines[1])
+                .unwrap()
+                .get("name")
+                .unwrap()
+                .as_str(),
+            Some("cache_hits")
+        );
+    }
+
+    #[test]
+    fn emit_raw_forwards_lines_verbatim() {
+        let (t, buf) = Telemetry::to_buffer();
+        t.emit_raw(r#"{"ev":"counter","name":"x","value":1}"#);
+        assert_eq!(buf.lines(), [r#"{"ev":"counter","name":"x","value":1}"#]);
+        // Disabled handles stay no-ops.
+        Telemetry::disabled().emit_raw("dropped");
     }
 
     #[test]

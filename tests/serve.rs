@@ -1,0 +1,344 @@
+//! End-to-end tests of `belenos serve` over real TCP sockets.
+//!
+//! Each test binds an ephemeral port, drives the full HTTP surface with
+//! a hand-rolled one-request-per-connection client (mirroring what curl
+//! does against the server), and shuts down gracefully. The worker
+//! pause seam (`ServerHandle::pause_workers`) makes the concurrency
+//! cases — in-flight dedup, queue-full 429 — deterministic instead of
+//! timing-dependent.
+//!
+//! The tests are serialized by a process-wide lock: binding a server
+//! swaps the global telemetry handle for the event router's callback
+//! sink, which concurrent servers would contend over.
+
+use belenos::campaign::CampaignSpec;
+use belenos_json::{Json, ToJson};
+use belenos_runner::Runner;
+use belenos_serve::{ServeConfig, Server, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn smoke_spec_text() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/smoke.json");
+    std::fs::read_to_string(path).expect("read examples/smoke.json")
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 4,
+        runner_threads: 2,
+        ..ServeConfig::default()
+    }
+}
+
+fn start(config: ServeConfig) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind server");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, thread)
+}
+
+/// One request over its own connection (the server speaks
+/// `Connection: close`); returns status, headers, body.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: test\r\n");
+    if let Some(body) = body {
+        head.push_str(&format!(
+            "content-type: application/json\r\ncontent-length: {}\r\n",
+            body.len()
+        ));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes()).expect("write head");
+    if let Some(body) = body {
+        stream.write_all(body.as_bytes()).expect("write body");
+    }
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> (u16, Vec<(String, String)>, String) {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete response head");
+    let head = std::str::from_utf8(&raw[..split]).expect("utf-8 head");
+    let body = String::from_utf8(raw[split + 4..].to_vec()).expect("utf-8 body");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body)
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn json(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("bad JSON body `{body}`: {e}"))
+}
+
+fn num(doc: &Json, key: &str) -> f64 {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing number `{key}` in {doc:?}"))
+}
+
+fn poll_until_state(addr: SocketAddr, job: u64, want: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, _, body) = request(addr, "GET", &format!("/v1/jobs/{job}"), None);
+        assert_eq!(status, 200, "job status poll: {body}");
+        let doc = json(&body);
+        let state = doc.get("state").and_then(Json::as_str).unwrap().to_string();
+        if state == want {
+            return doc;
+        }
+        assert!(
+            state == "queued" || state == "running",
+            "job reached `{state}` while waiting for `{want}`: {body}"
+        );
+        assert!(Instant::now() < deadline, "timed out waiting for `{want}`");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn shutdown(addr: SocketAddr, thread: std::thread::JoinHandle<()>) {
+    let (status, _, _) = request(addr, "POST", "/v1/shutdown", None);
+    assert_eq!(status, 200);
+    thread.join().expect("server thread");
+}
+
+/// The tentpole acceptance path: submit `examples/smoke.json` over a
+/// real socket, watch its NDJSON event stream, and verify the final
+/// report is byte-equivalent to running the same spec directly (what
+/// `belenos campaign run --json` prints).
+#[test]
+fn submit_stream_and_report_byte_equivalence() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let text = smoke_spec_text();
+    // The reference run happens before the server exists: telemetry is
+    // off, so the report carries no rollup — the exact document the CLI
+    // prints under --format json.
+    let spec = CampaignSpec::parse(&text).expect("smoke spec parses");
+    let reference = spec.prepare().expect("prepare").run(&Runner::isolated(2));
+    assert!(
+        reference.rollup.is_none(),
+        "reference run must be telemetry-off"
+    );
+    let expected = ToJson::to_json(&reference).pretty();
+
+    let (addr, handle, thread) = start(test_config());
+    let (status, _, body) = request(addr, "GET", "/v1/healthz", None);
+    assert_eq!((status, body.contains("true")), (200, true));
+
+    // Hold the workers so the event subscription provably starts before
+    // the job does (a live stream, not just a replayed backlog).
+    handle.pause_workers(true);
+    let (status, _, body) = request(addr, "POST", "/v1/campaigns", Some(&text));
+    assert_eq!(status, 202, "submit: {body}");
+    let accepted = json(&body);
+    let job = num(&accepted, "job") as u64;
+    assert_eq!(accepted.get("joined").and_then(Json::as_bool), Some(false));
+    assert_eq!(accepted.get("state").and_then(Json::as_str), Some("queued"));
+
+    let mut events = TcpStream::connect(addr).expect("connect events");
+    events
+        .write_all(format!("GET /v1/jobs/{job}/events HTTP/1.1\r\nhost: test\r\n\r\n").as_bytes())
+        .expect("request events");
+    handle.pause_workers(false);
+    // The stream ends when the job finishes; EOF bounds the read.
+    let mut raw = Vec::new();
+    events.read_to_end(&mut raw).expect("read event stream");
+    let (status, headers, stream_body) = parse_response(&raw);
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "content-type"),
+        Some("application/x-ndjson")
+    );
+    let lines: Vec<&str> = stream_body.lines().collect();
+    assert!(
+        lines.iter().any(|l| l.contains("serve_job")),
+        "stream should carry the job's root span: {stream_body}"
+    );
+    let last = lines.last().expect("at least one event line");
+    assert!(
+        last.contains("job_state") && last.contains("completed"),
+        "stream should end with the terminal state: {last}"
+    );
+
+    let done = poll_until_state(addr, job, "completed");
+    assert!(done.get("report").is_some(), "status carries the report");
+    let (status, _, report_body) = request(addr, "GET", &format!("/v1/jobs/{job}/report"), None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        report_body, expected,
+        "served report must be byte-equivalent to the direct CLI rendering"
+    );
+
+    shutdown(addr, thread);
+}
+
+/// Concurrent duplicate submissions share one execution: the second
+/// joins the first's job, both watchers read the full report, and the
+/// server's counters pin exactly one simulation.
+#[test]
+fn duplicate_submission_joins_the_inflight_job() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let text = smoke_spec_text();
+    let (addr, handle, thread) = start(test_config());
+
+    handle.pause_workers(true);
+    let (status, _, body) = request(addr, "POST", "/v1/campaigns", Some(&text));
+    assert_eq!(status, 202, "first submit: {body}");
+    let first = json(&body);
+    let job = num(&first, "job") as u64;
+
+    let (status, _, body) = request(addr, "POST", "/v1/campaigns", Some(&text));
+    assert_eq!(status, 202, "duplicate submit: {body}");
+    let second = json(&body);
+    assert_eq!(num(&second, "job") as u64, job, "dedup joins the same job");
+    assert_eq!(second.get("joined").and_then(Json::as_bool), Some(true));
+
+    handle.pause_workers(false);
+    poll_until_state(addr, job, "completed");
+
+    // Both clients fetch the full report.
+    let (status_a, _, report_a) = request(addr, "GET", &format!("/v1/jobs/{job}/report"), None);
+    let (status_b, _, report_b) = request(addr, "GET", &format!("/v1/jobs/{job}/report"), None);
+    assert_eq!((status_a, status_b), (200, 200));
+    assert!(!report_a.is_empty());
+    assert_eq!(report_a, report_b);
+
+    // The dedup pin: one accepted job, one join, one completion — the
+    // duplicate performed zero additional simulations.
+    let (status, _, body) = request(addr, "GET", "/v1/stats", None);
+    assert_eq!(status, 200);
+    let stats = json(&body);
+    let jobs = stats.get("jobs").expect("jobs block");
+    assert_eq!(num(jobs, "submitted"), 1.0);
+    assert_eq!(num(jobs, "joined"), 1.0);
+    assert_eq!(num(jobs, "completed"), 1.0);
+    assert_eq!(num(jobs, "failed"), 0.0);
+    let status_doc = poll_until_state(addr, job, "completed");
+    assert_eq!(num(&status_doc, "joined"), 1.0);
+
+    shutdown(addr, thread);
+}
+
+/// A full queue answers 429 with a Retry-After hint instead of
+/// buffering without bound.
+#[test]
+fn full_queue_rejects_with_429_and_retry_after() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let text = smoke_spec_text();
+    let other = text.replace("\"name\": \"smoke\"", "\"name\": \"smoke-overflow\"");
+    assert_ne!(text, other, "overflow spec must differ");
+    let config = ServeConfig {
+        queue_depth: 1,
+        ..test_config()
+    };
+    let (addr, handle, thread) = start(config);
+
+    handle.pause_workers(true);
+    let (status, _, body) = request(addr, "POST", "/v1/campaigns", Some(&text));
+    assert_eq!(status, 202, "first submit fills the queue: {body}");
+    let job = num(&json(&body), "job") as u64;
+
+    let (status, headers, body) = request(addr, "POST", "/v1/campaigns", Some(&other));
+    assert_eq!(status, 429, "queue-full submit: {body}");
+    let retry: u64 = header(&headers, "retry-after")
+        .expect("429 carries Retry-After")
+        .parse()
+        .expect("Retry-After is seconds");
+    assert!(retry >= 1);
+    let doc = json(&body);
+    assert_eq!(num(&doc, "capacity"), 1.0);
+
+    // The rejected job left no record behind; the accepted one drains
+    // to completion on shutdown.
+    handle.pause_workers(false);
+    poll_until_state(addr, job, "completed");
+    let (status, _, _) = request(addr, "GET", &format!("/v1/jobs/{}", job + 1), None);
+    assert_eq!(status, 404);
+
+    shutdown(addr, thread);
+}
+
+/// Admission control and the scenario endpoint: an over-ceiling op
+/// budget is a structured 400 naming `options.max_ops`; a scenario
+/// batch within budget runs end to end.
+#[test]
+fn budget_rejection_names_the_field_and_scenarios_run() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let text = smoke_spec_text();
+    let config = ServeConfig {
+        op_budget_ceiling: 10_000, // smoke asks for 20_000
+        ..test_config()
+    };
+    let (addr, _handle, thread) = start(config);
+
+    let (status, _, body) = request(addr, "POST", "/v1/campaigns", Some(&text));
+    assert_eq!(status, 400, "over-ceiling submit: {body}");
+    let doc = json(&body);
+    assert_eq!(
+        doc.get("field").and_then(Json::as_str),
+        Some("options.max_ops"),
+        "rejection names the offending field: {body}"
+    );
+    assert!(doc
+        .get("error")
+        .and_then(Json::as_str)
+        .is_some_and(|e| e.contains("ceiling")));
+
+    // Malformed JSON is a clean 400, not a hung connection.
+    let (status, _, _) = request(addr, "POST", "/v1/campaigns", Some("{not json"));
+    assert_eq!(status, 400);
+
+    // A scenario batch under the ceiling runs end to end.
+    let preset = belenos_workloads::by_id("bp07").expect("catalog preset bp07");
+    let submission = Json::obj(vec![
+        ("scenarios", Json::Arr(vec![ToJson::to_json(&preset)])),
+        ("options", Json::obj(vec![("max_ops", Json::Num(5_000.0))])),
+    ])
+    .render();
+    let (status, _, body) = request(addr, "POST", "/v1/scenarios/run", Some(&submission));
+    assert_eq!(status, 202, "scenario submit: {body}");
+    let job = num(&json(&body), "job") as u64;
+    let done = poll_until_state(addr, job, "completed");
+    assert_eq!(
+        done.get("kind").and_then(Json::as_str),
+        Some("scenario_run")
+    );
+    let report = done.get("report").expect("scenario report");
+    assert!(
+        report.render().contains("Scenario runs"),
+        "report carries the scenario section"
+    );
+
+    shutdown(addr, thread);
+}
