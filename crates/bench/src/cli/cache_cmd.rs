@@ -7,7 +7,8 @@
 //! `B` bytes remain (in-flight write temps are never touched — see
 //! [`belenos_runner::gc`]).
 
-use super::{serve_cmd::store_dirs, Invocation};
+use super::{serve_cmd::store_dirs, worker_cmd, Invocation};
+use belenos_dist::board_stats;
 use belenos_runner::gc;
 
 /// `belenos cache <stats|gc> [--max-bytes B]`.
@@ -32,7 +33,14 @@ fn dirs_or_usage(inv: &Invocation) -> Result<Vec<std::path::PathBuf>, String> {
 }
 
 fn stats(inv: &Invocation) -> Result<(), String> {
-    let dirs = dirs_or_usage(inv)?;
+    // A configured dist dir is a store in its own right: its census
+    // prints even when no cache/trace store is configured separately.
+    let dist = worker_cmd::dist_dir(inv);
+    let dirs = match dirs_or_usage(inv) {
+        Ok(dirs) => dirs,
+        Err(_) if dist.is_some() => Vec::new(),
+        Err(e) => return Err(e),
+    };
     let mut total = gc::DirUsage::default();
     for dir in &dirs {
         let usage = gc::dir_usage(dir).map_err(|e| format!("cache: {}: {e}", dir.display()))?;
@@ -45,9 +53,49 @@ fn stats(inv: &Invocation) -> Result<(), String> {
         total.files += usage.files;
         total.bytes += usage.bytes;
     }
+    if !dirs.is_empty() {
+        println!(
+            "{:<40} {:>8} file(s) {:>14} bytes",
+            "total", total.files, total.bytes
+        );
+    }
+    if let Some(dist) = dist {
+        dist_stats(inv, &dist)?;
+    }
+    Ok(())
+}
+
+/// The `cache stats` job-board census: dist dir size plus the board's
+/// open/claimed/stale/done counts under the effective lease TTL.
+fn dist_stats(inv: &Invocation, dist: &str) -> Result<(), String> {
+    let cfg = worker_cmd::dist_config(inv, "census")?;
+    // `dir_usage` is flat by design (the stores it was built for are);
+    // the dist dir is all subdirectories, so sum the layout's pieces.
+    let mut usage = gc::DirUsage::default();
+    for sub in [
+        cfg.board_dir(),
+        cfg.leases_dir(),
+        cfg.done_dir(),
+        cfg.cache_dir(),
+        cfg.traces_dir(),
+    ] {
+        if let Ok(part) = gc::dir_usage(&sub) {
+            usage.files += part.files;
+            usage.bytes += part.bytes;
+        }
+    }
+    let board = board_stats(&cfg.dir, cfg.lease_ttl);
     println!(
-        "{:<40} {:>8} file(s) {:>14} bytes",
-        "total", total.files, total.bytes
+        "dist {:<35} {:>8} file(s) {:>14} bytes",
+        dist, usage.files, usage.bytes
+    );
+    println!(
+        "  job board: {} open, {} claimed ({} stale at ttl {:.1}s), {} done",
+        board.open,
+        board.claimed,
+        board.stale,
+        cfg.lease_ttl.as_secs_f64(),
+        board.done
     );
     Ok(())
 }

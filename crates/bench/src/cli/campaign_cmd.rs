@@ -9,10 +9,12 @@
 //! explicit CLI flags override the spec — `--max-ops 2000` turns any
 //! campaign into a smoke run.
 
-use super::{figures_cmd, Invocation};
+use super::{figures_cmd, worker_cmd, Invocation};
 use belenos::campaign::CampaignSpec;
 use belenos::env::DEFAULT_MAX_OPS;
 use belenos::SimOptions;
+use belenos_dist::Coordinator;
+use std::sync::Arc;
 
 /// `belenos campaign run|example|validate ...`.
 pub fn run(inv: &Invocation) -> Result<(), String> {
@@ -51,8 +53,37 @@ fn run_spec(inv: &Invocation) -> Result<(), String> {
     if let Some(workloads) = &inv.workloads {
         spec.workloads = workloads.clone();
     }
-    figures_cmd::emit_campaign(inv, spec)?;
+    if inv.distributed {
+        run_spec_distributed(inv, spec)?;
+    } else {
+        figures_cmd::emit_campaign(inv, spec)?;
+    }
     crate::print_run_summary();
+    Ok(())
+}
+
+/// `campaign run --distributed`: same campaign, but the cache-miss
+/// jobs route through the shared job board, where in-process workers
+/// and any number of external `belenos worker` processes claim them.
+/// Results are bit-identical to a single-process run — the report only
+/// gains a `distributed` roll-up section when telemetry is on.
+fn run_spec_distributed(inv: &Invocation, spec: CampaignSpec) -> Result<(), String> {
+    let cfg = worker_cmd::dist_config(inv, &worker_cmd::worker_name(inv))?;
+    // The shared stores move into the dist dir (unless explicitly
+    // configured) so this coordinator, its local workers, and every
+    // external worker resolve the same cache keys to the same files —
+    // that is what makes kill -9 + rerun a pure cache replay.
+    worker_cmd::install_shared_stores(inv, &cfg);
+    let coordinator =
+        Arc::new(Coordinator::new(cfg).with_local_workers(inv.local_workers.unwrap_or(1)));
+    let runner = inv.runner().with_distributor(Arc::clone(&coordinator) as _);
+    let cache = runner.cache().clone();
+    figures_cmd::emit_campaign_with(inv, spec, &runner, |report| {
+        if let Some(rollup) = report.rollup.as_mut() {
+            coordinator.append_rollup(rollup, &cache.stats());
+        }
+    })?;
+    coordinator.print_summary();
     Ok(())
 }
 

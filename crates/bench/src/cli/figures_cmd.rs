@@ -11,8 +11,25 @@ use belenos::campaign::{Analysis, CampaignSpec};
 /// Runs a prepared single-or-multi-analysis campaign and emits it in
 /// the invocation's format(s).
 pub(crate) fn emit_campaign(inv: &Invocation, spec: CampaignSpec) -> Result<(), String> {
+    emit_campaign_with(inv, spec, &inv.runner(), |_| {})
+}
+
+/// [`emit_campaign`] against an explicit runner (a distributed
+/// campaign installs its coordinator on it), with a decoration hook
+/// applied to the finished report before any rendering — the
+/// distributed path folds its merged cross-worker summary into the
+/// telemetry roll-up there, keeping telemetry-off reports byte-
+/// identical to single-process runs.
+pub(crate) fn emit_campaign_with(
+    inv: &Invocation,
+    spec: CampaignSpec,
+    runner: &belenos_runner::Runner,
+    decorate: impl FnOnce(&mut belenos::campaign::CampaignReport),
+) -> Result<(), String> {
     let campaign = spec.prepare().map_err(|e| e.to_string())?;
-    let report = campaign.run(&inv.runner());
+    let mut report = campaign.run(runner);
+    decorate(&mut report);
+    let report = report;
     match inv.format {
         Format::Text => print!("{}", report.to_text()),
         Format::Json => print!("{}", report.to_json()),

@@ -37,6 +37,7 @@ mod list;
 mod sampling;
 mod scenario_cmd;
 mod serve_cmd;
+mod worker_cmd;
 
 use belenos::campaign::WorkloadSet;
 use belenos::env::{parse_sampling, EnvOverrides};
@@ -95,6 +96,25 @@ pub struct Invocation {
     pub cache_budget: Option<u64>,
     /// `--max-bytes BYTES`: `cache gc` target size.
     pub max_bytes: Option<u64>,
+    /// `--dist-dir PATH`: shared distributed job-board directory.
+    /// `None` = the `BELENOS_DIST_DIR` selection, if any.
+    pub dist_dir: Option<String>,
+    /// `--distributed`: route `campaign run` cache misses through the
+    /// job board instead of the local thread pool.
+    pub distributed: bool,
+    /// `--lease-ttl SECONDS`: age past which an unheartbeated lease is
+    /// stealable.
+    pub lease_ttl: Option<std::time::Duration>,
+    /// `--heartbeat SECONDS`: lease mtime refresh interval.
+    pub heartbeat: Option<std::time::Duration>,
+    /// `--local-workers N`: in-process workers a distributed
+    /// coordinator hosts alongside external `belenos worker`s.
+    pub local_workers: Option<usize>,
+    /// `--name ID`: worker name (defaults to a per-process unique id).
+    pub worker_name: Option<String>,
+    /// `--idle-timeout SECONDS`: a `belenos worker` exits after the
+    /// board yields nothing for this long (default: run until killed).
+    pub idle_timeout: Option<std::time::Duration>,
 }
 
 impl Invocation {
@@ -125,6 +145,14 @@ pub(crate) fn parse_byte_size(value: &str) -> Option<u64> {
         _ => (v, 1),
     };
     digits.trim().parse::<u64>().ok()?.checked_mul(multiplier)
+}
+
+/// Parses a positive seconds value (fractions allowed: `0.25`).
+fn parse_seconds(flag: &str, value: &str) -> Result<std::time::Duration, String> {
+    match value.parse::<f64>() {
+        Ok(s) if s > 0.0 && s.is_finite() => Ok(std::time::Duration::from_secs_f64(s)),
+        _ => Err(format!("{flag}: `{value}` is not a positive seconds value")),
+    }
 }
 
 fn parse_workloads(value: &str) -> Result<WorkloadSet, String> {
@@ -248,6 +276,28 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
                     format!("--max-bytes: `{v}` is not a byte size (K/M/G suffixes ok)")
                 })?);
             }
+            "--dist-dir" => inv.dist_dir = Some(value(&mut it, "--dist-dir")?),
+            "--distributed" => inv.distributed = true,
+            "--lease-ttl" => {
+                let v = value(&mut it, "--lease-ttl")?;
+                inv.lease_ttl = Some(parse_seconds("--lease-ttl", &v)?);
+            }
+            "--heartbeat" => {
+                let v = value(&mut it, "--heartbeat")?;
+                inv.heartbeat = Some(parse_seconds("--heartbeat", &v)?);
+            }
+            "--idle-timeout" => {
+                let v = value(&mut it, "--idle-timeout")?;
+                inv.idle_timeout = Some(parse_seconds("--idle-timeout", &v)?);
+            }
+            "--local-workers" => {
+                let v = value(&mut it, "--local-workers")?;
+                inv.local_workers = Some(
+                    v.parse()
+                        .map_err(|_| format!("--local-workers: `{v}` is not a worker count"))?,
+                );
+            }
+            "--name" => inv.worker_name = Some(value(&mut it, "--name")?),
             "--help" | "-h" => {
                 inv.positionals = vec!["help".into()];
                 return Ok(inv);
@@ -294,7 +344,11 @@ SUBCOMMANDS
   serve                       long-running HTTP simulation server: submit
                               campaign/scenario specs, poll jobs, stream
                               NDJSON telemetry (see README \"Serving\")
+  worker --dist-dir D         distributed campaign worker: claim jobs off the
+                              shared board, simulate, publish results (see
+                              README \"Distributed campaigns\")
   cache stats                 disk result cache + trace store usage
+                              (+ job-board census when a dist dir is set)
   cache gc --max-bytes B      LRU-evict the stores down to a byte budget
 
 FLAGS (shared; flags override BELENOS_* environment variables)
@@ -317,6 +371,15 @@ SERVE / CACHE FLAGS
   --op-ceiling N     per-request max_ops ceiling, 0 = unlimited        [100000000]
   --cache-budget B   background GC byte budget (K/M/G ok), 0 = off     [off]
   --max-bytes B      cache gc target size (K/M/G ok)
+
+DISTRIBUTED FLAGS
+  --dist-dir D       shared job-board directory         [BELENOS_DIST_DIR]
+  --distributed      campaign run: execute via the job board
+  --local-workers N  in-process workers beside the coordinator         [1]
+  --lease-ttl S      steal leases unheartbeated for S seconds          [30]
+  --heartbeat S      lease refresh interval                            [ttl/4]
+  --name ID          worker name (lease files, merged summary)  [w<pid>-<rand>]
+  --idle-timeout S   worker exits after S idle seconds       [run until killed]
 ";
 
 /// Runs the CLI; returns the process exit code.
@@ -379,6 +442,7 @@ pub fn main(args: Vec<String>) -> i32 {
         "ablation" => ablation::run(&inv),
         "bench" => bench_cmd::run(&inv),
         "serve" => serve_cmd::run(&inv),
+        "worker" => worker_cmd::run(&inv),
         "cache" => cache_cmd::run(&inv),
         other => Err(format!("unknown subcommand `{other}`")),
     };
@@ -513,6 +577,46 @@ mod tests {
         assert_eq!(parse_byte_size(""), None);
         assert_eq!(parse_byte_size("G"), None);
         assert_eq!(parse_byte_size("-1"), None);
+    }
+
+    #[test]
+    fn dist_flags_parse() {
+        let inv = parse(&args(&[
+            "campaign",
+            "run",
+            "spec.json",
+            "--distributed",
+            "--dist-dir",
+            "/tmp/dist",
+            "--local-workers",
+            "0",
+            "--lease-ttl",
+            "2.5",
+            "--heartbeat",
+            "0.5",
+        ]))
+        .unwrap();
+        assert!(inv.distributed);
+        assert_eq!(inv.dist_dir.as_deref(), Some("/tmp/dist"));
+        assert_eq!(inv.local_workers, Some(0));
+        assert_eq!(inv.lease_ttl, Some(std::time::Duration::from_millis(2500)));
+        assert_eq!(inv.heartbeat, Some(std::time::Duration::from_millis(500)));
+        let inv = parse(&args(&[
+            "worker",
+            "--dist-dir",
+            "/tmp/dist",
+            "--name",
+            "w1",
+            "--idle-timeout",
+            "10",
+        ]))
+        .unwrap();
+        assert_eq!(inv.positionals, ["worker"]);
+        assert_eq!(inv.worker_name.as_deref(), Some("w1"));
+        assert_eq!(inv.idle_timeout, Some(std::time::Duration::from_secs(10)));
+        assert!(parse(&args(&["worker", "--lease-ttl", "0"])).is_err());
+        assert!(parse(&args(&["worker", "--lease-ttl", "soon"])).is_err());
+        assert!(parse(&args(&["worker", "--local-workers", "two"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! `belenos worker` — join a distributed campaign as a worker process.
+//!
+//! Thin assembly over [`belenos_dist::run_worker`]: resolve the dist
+//! directory and lease knobs, point the shared stores (result cache,
+//! trace store) inside it unless the operator configured them
+//! elsewhere, install the SIGTERM/SIGINT flag so a drain finishes the
+//! in-flight job before exiting, and loop.
+
+use super::Invocation;
+use belenos_dist::{run_worker, DistConfig};
+use belenos_serve::signal;
+use std::time::SystemTime;
+
+/// `belenos worker --dist-dir D [--name ID] [--lease-ttl S]
+/// [--heartbeat S] [--idle-timeout S]`.
+pub fn run(inv: &Invocation) -> Result<(), String> {
+    let cfg = dist_config(inv, &worker_name(inv))?;
+    // The shared stores default to living inside the dist dir so every
+    // participant resolves identical cache keys to identical files; an
+    // explicit --cache-dir/--trace-dir (or env) still wins.
+    install_shared_stores(inv, &cfg);
+    eprintln!(
+        "belenos worker {}: board {} (lease-ttl {:.1}s, heartbeat {:.1}s)",
+        cfg.worker,
+        cfg.dir.display(),
+        cfg.lease_ttl.as_secs_f64(),
+        cfg.heartbeat.as_secs_f64()
+    );
+    let stop = signal::termination_flag();
+    let summary = run_worker(&cfg, &stop, inv.idle_timeout)
+        .map_err(|e| format!("worker: dist dir {}: {e}", cfg.dir.display()))?;
+    eprintln!(
+        "belenos worker {}: executed {} job(s) ({} stolen, {} failed, {:.2}s busy)",
+        summary.worker,
+        summary.executed,
+        summary.stolen,
+        summary.failed,
+        summary.busy.as_secs_f64()
+    );
+    Ok(())
+}
+
+/// Resolves the dist directory (`--dist-dir` wins over
+/// `BELENOS_DIST_DIR`) and lease knobs into a [`DistConfig`].
+///
+/// # Errors
+///
+/// A usage-shaped message when no dist directory is configured.
+pub(crate) fn dist_config(inv: &Invocation, worker: &str) -> Result<DistConfig, String> {
+    let dir = dist_dir(inv).ok_or(
+        "usage: a dist directory is required — pass --dist-dir PATH or set BELENOS_DIST_DIR",
+    )?;
+    let mut cfg = DistConfig::new(dir, worker);
+    if let Some(ttl) = inv.lease_ttl {
+        cfg = cfg.with_lease_ttl(ttl);
+    }
+    if let Some(hb) = inv.heartbeat {
+        cfg = cfg.with_heartbeat(hb);
+    }
+    Ok(cfg)
+}
+
+/// The configured dist directory, if any (flag wins over environment).
+pub(crate) fn dist_dir(inv: &Invocation) -> Option<String> {
+    inv.dist_dir.clone().or_else(|| {
+        std::env::var("BELENOS_DIST_DIR")
+            .ok()
+            .filter(|d| !d.is_empty())
+    })
+}
+
+/// Points the process-wide result cache and trace store into the dist
+/// directory unless the operator already chose locations (flags were
+/// installed by `cli::main` before dispatch; env counts as chosen).
+pub(crate) fn install_shared_stores(inv: &Invocation, cfg: &DistConfig) {
+    let unset = |var: &str| std::env::var(var).map(|v| v.is_empty()).unwrap_or(true);
+    if inv.cache_dir.is_none() && unset("BELENOS_CACHE_DIR") {
+        std::env::set_var("BELENOS_CACHE_DIR", cfg.cache_dir());
+    }
+    if inv.trace_dir.is_none() && unset("BELENOS_TRACE_DIR") {
+        belenos::trace_store::install_dir(cfg.traces_dir());
+    }
+}
+
+/// `--name`, or a name unique enough for one shared board: pid plus a
+/// clock-derived suffix (two workers launched the same nanosecond on
+/// different hosts still differ by pid).
+pub(crate) fn worker_name(inv: &Invocation) -> String {
+    if let Some(name) = &inv.worker_name {
+        return name.clone();
+    }
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    format!("w{}-{:04x}", std::process::id(), nanos & 0xffff)
+}

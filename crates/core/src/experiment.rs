@@ -744,6 +744,14 @@ impl belenos_runner::Simulate for Experiment {
     fn simulate(&self, config: &CoreConfig, max_ops: usize, sampling: &SamplingConfig) -> SimStats {
         Experiment::simulate_sampled(self, config, max_ops, sampling)
     }
+
+    /// The scenario's explicit JSON normal form: a worker process on
+    /// another host can `ScenarioSpec::parse` + `Experiment::prepare` it
+    /// and land on the same deterministic model (same trace fingerprint,
+    /// same cache key), which is what makes experiments distributable.
+    fn scenario_json(&self) -> Option<String> {
+        Some(self.scenario.to_json())
+    }
 }
 
 /// Iterator adapter counting consumed items, so the sampling driver knows

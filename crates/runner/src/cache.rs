@@ -202,8 +202,17 @@ impl std::fmt::Debug for Cache {
     }
 }
 
+/// File name of `key`'s disk-tier entry (`{workload}-{address}.stats`).
+///
+/// Public so out-of-process coordination layers (the dist job board)
+/// can watch for a result landing without routing polls through
+/// [`Cache::lookup`] — which would count every poll as a miss.
+pub fn entry_file_name(key: &CacheKey) -> String {
+    format!("{}-{:016x}.stats", key.workload, key.address())
+}
+
 fn entry_path(dir: &Path, key: &CacheKey) -> PathBuf {
-    dir.join(format!("{}-{:016x}.stats", key.workload, key.address()))
+    dir.join(entry_file_name(key))
 }
 
 // --- on-disk SimStats serialization ------------------------------------

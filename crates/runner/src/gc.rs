@@ -73,11 +73,16 @@ fn scan(dir: &Path) -> std::io::Result<Vec<Entry>> {
     for item in read {
         let item = item?;
         let path = item.path();
-        let is_tmp = path
+        // In-flight write-then-rename temps plus the dist coordination
+        // files (job board entries, live leases, done markers) are never
+        // GC candidates: deleting a `.lease` would look like a worker
+        // crash and re-run its job, deleting a `.job` would silently
+        // drop a planned simulation.
+        let protected = path
             .extension()
             .and_then(|e| e.to_str())
-            .is_some_and(|e| e.starts_with("tmp"));
-        if is_tmp {
+            .is_some_and(|e| e.starts_with("tmp") || matches!(e, "job" | "lease" | "done"));
+        if protected {
             continue;
         }
         // A file can vanish between readdir and stat (concurrent GC or
@@ -324,6 +329,35 @@ mod tests {
         let outcome = gc_dir(&dir, 0).unwrap();
         assert_eq!(outcome.deleted_files, 1);
         assert!(dir.join("entry.tmp12345").exists());
+        assert!(!dir.join("entry.stats").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dist_board_and_lease_files_are_never_touched() {
+        let dir = tmpdir("dist");
+        put(&dir, "entry.stats", 100, Duration::from_secs(5));
+        // Older than every entry: prime LRU victims if they were eligible.
+        put(&dir, "0123456789abcdef.job", 200, Duration::from_secs(1));
+        put(
+            &dir,
+            "0123456789abcdef.w1.lease",
+            200,
+            Duration::from_secs(2),
+        );
+        put(&dir, "0123456789abcdef.done", 200, Duration::from_secs(3));
+        assert_eq!(
+            dir_usage(&dir).unwrap(),
+            DirUsage {
+                files: 1,
+                bytes: 100
+            }
+        );
+        let outcome = gc_dir(&dir, 0).unwrap();
+        assert_eq!(outcome.deleted_files, 1);
+        assert!(dir.join("0123456789abcdef.job").exists());
+        assert!(dir.join("0123456789abcdef.w1.lease").exists());
+        assert!(dir.join("0123456789abcdef.done").exists());
         assert!(!dir.join("entry.stats").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }

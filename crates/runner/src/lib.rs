@@ -104,6 +104,51 @@ pub trait Simulate: Sync {
     /// detailed ops, placed per `sampling` (prefix truncation when off,
     /// SMARTS-style systematic intervals otherwise).
     fn simulate(&self, config: &CoreConfig, max_ops: usize, sampling: &SamplingConfig) -> SimStats;
+
+    /// Self-contained JSON document from which another process can
+    /// rebuild this workload (a scenario document for experiments).
+    ///
+    /// `Some(doc)` opts the workload into distributed execution: a
+    /// [`DistExecutor`]-equipped runner may publish its jobs to a shared
+    /// job board instead of simulating them locally. The default `None`
+    /// keeps every job local — right for closures and synthetic
+    /// workloads that only exist in this process.
+    fn scenario_json(&self) -> Option<String> {
+        None
+    }
+}
+
+/// One job handed to a [`DistExecutor`]: everything a worker in another
+/// process needs to reproduce the simulation, plus where the result goes.
+#[derive(Debug)]
+pub struct DistJob<'a> {
+    /// Index into the submitting [`RunPlan`].
+    pub index: usize,
+    /// Content identity of the simulation (digest names the board entry).
+    pub key: &'a CacheKey,
+    /// The planned job: label, machine configuration, budget, sampling.
+    pub spec: &'a JobSpec,
+    /// Self-contained scenario document ([`Simulate::scenario_json`]).
+    pub scenario: String,
+}
+
+/// A cooperative execution backend for the cache-miss subset of a plan.
+///
+/// [`Runner::with_distributor`] installs one; `run_with_summary` then
+/// routes every to-simulate job whose workload is reconstructible
+/// ([`Simulate::scenario_json`]` != None`) through it instead of the
+/// local worker pool. Implementations must return one row per submitted
+/// job, each carrying the plan index it answers, the outcome, and the
+/// job's execution wall time; results must be bit-identical to local
+/// execution (the belenos-dist job board satisfies this by running the
+/// same deterministic simulations behind a shared content-addressed
+/// cache).
+pub trait DistExecutor: Send + Sync {
+    /// Executes `jobs` cooperatively, blocking until all are resolved.
+    fn execute_dist(
+        &self,
+        jobs: &[DistJob<'_>],
+    ) -> Vec<(usize, Result<SimStats, String>, Duration)>;
 }
 
 /// One simulation job: which workload, under which machine, how long.
@@ -351,16 +396,29 @@ impl RunnerConfig {
             threads: self.threads.unwrap_or_else(default_parallelism),
             cache: Cache::global(),
             progress: self.progress,
+            distributor: None,
         }
     }
 }
 
 /// The batch-execution engine: a worker pool in front of a result cache.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Runner {
     threads: usize,
     cache: Cache,
     progress: bool,
+    distributor: Option<std::sync::Arc<dyn DistExecutor>>,
+}
+
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("threads", &self.threads)
+            .field("cache", &self.cache)
+            .field("progress", &self.progress)
+            .field("distributed", &self.distributor.is_some())
+            .finish()
+    }
 }
 
 impl Runner {
@@ -377,7 +435,19 @@ impl Runner {
             threads,
             cache,
             progress: false,
+            distributor: None,
         }
+    }
+
+    /// Installs a distributed execution backend: to-simulate jobs whose
+    /// workloads are reconstructible in another process
+    /// ([`Simulate::scenario_json`]) route through `dist` instead of the
+    /// local worker pool. Jobs already answered by the cache never reach
+    /// the distributor, so a re-run of a finished campaign stays local
+    /// and free.
+    pub fn with_distributor(mut self, dist: std::sync::Arc<dyn DistExecutor>) -> Self {
+        self.distributor = Some(dist);
+        self
     }
 
     /// Engine with `threads` workers and a private fresh cache — runs are
@@ -468,7 +538,42 @@ impl Runner {
         // Workers pull in submission order (so one worker == serial order).
         todo.sort_unstable();
 
-        let fresh = self.execute(
+        // Route reconstructible jobs through the distributor (when one is
+        // installed); everything else simulates on the local pool.
+        let mut dist_rows: Vec<ExecRow> = Vec::new();
+        if let Some(dist) = &self.distributor {
+            let mut dist_jobs: Vec<DistJob<'_>> = Vec::new();
+            let mut local: Vec<usize> = Vec::new();
+            for &idx in &todo {
+                let job = &plan.jobs()[idx];
+                match workloads[job.workload].scenario_json() {
+                    Some(scenario) => dist_jobs.push(DistJob {
+                        index: idx,
+                        key: &keys[idx],
+                        spec: job,
+                        scenario,
+                    }),
+                    None => local.push(idx),
+                }
+            }
+            if !dist_jobs.is_empty() {
+                for (idx, outcome, exec) in dist.execute_dist(&dist_jobs) {
+                    // Queue wait is a local-pool concept; board wait time
+                    // is the distributor's own telemetry's business.
+                    dist_rows.push((
+                        idx,
+                        outcome,
+                        ExecTiming {
+                            queue_wait: Duration::ZERO,
+                            exec,
+                        },
+                    ));
+                }
+            }
+            todo = local;
+        }
+
+        let mut fresh = self.execute(
             workloads,
             plan,
             &keys,
@@ -478,6 +583,7 @@ impl Runner {
             &tele,
             batch.id(),
         );
+        fresh.extend(dist_rows);
         let mut failed = 0usize;
         let mut queue_wait = Duration::ZERO;
         let mut exec_walls: Vec<Duration> = Vec::with_capacity(fresh.len());

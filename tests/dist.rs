@@ -1,0 +1,189 @@
+//! End-to-end tests of distributed campaign execution: a runner with a
+//! coordinator installed, real experiments, a real shared dist
+//! directory — bit-identical results, lease stealing after a
+//! (simulated) SIGKILL, and crash-safe resume with zero re-simulation.
+//!
+//! No test here mutates process environment variables: caches, stores
+//! and boards are all passed explicitly so the tests can run in
+//! parallel with the rest of the suite.
+
+use belenos::Experiment;
+use belenos_dist::{board, Coordinator, DistConfig, JobDoc};
+use belenos_runner::{Cache, CacheKey, JobSpec, RunPlan, Runner, Simulate};
+use belenos_uarch::{CoreConfig, SamplingConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_dist(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("belenos-dist-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A tiny but real workload: the `pd` preset at a small budget.
+fn experiments() -> Vec<Experiment> {
+    let spec = belenos_workloads::by_id("pd").expect("pd preset");
+    vec![Experiment::prepare(&spec).expect("prepare pd")]
+}
+
+fn plan() -> RunPlan {
+    let mut plan = RunPlan::new();
+    plan.job(0, "base", CoreConfig::gem5_baseline(), 4000);
+    plan.job(
+        0,
+        "fast",
+        CoreConfig::gem5_baseline().with_frequency(3.5),
+        4000,
+    );
+    plan.job(
+        0,
+        "narrow",
+        CoreConfig::gem5_baseline().with_pipeline_width(2),
+        4000,
+    );
+    plan
+}
+
+#[test]
+fn distributed_run_is_bit_identical_and_resumes_without_resimulation() {
+    let dir = temp_dist("identical");
+    let exps = experiments();
+    let plan = plan();
+
+    // Ground truth: a plain single-process run on a private cache.
+    let expected = Runner::isolated(1).run(&exps, &plan);
+
+    // Distributed run: every cache miss goes over the job board and is
+    // executed by the coordinator's in-process worker.
+    let cfg = DistConfig::new(&dir, "coord").with_lease_ttl(Duration::from_secs(10));
+    let coordinator = Arc::new(Coordinator::new(cfg.clone()).with_local_workers(1));
+    let runner = Runner::new(1, Cache::with_disk(cfg.cache_dir()))
+        .with_distributor(Arc::clone(&coordinator) as _);
+    let (results, summary) = runner.run_with_summary(&exps, &plan);
+
+    assert_eq!(summary.simulated, 3, "all three jobs execute via the board");
+    assert_eq!(summary.cache_hits, 0);
+    assert_eq!(results.len(), expected.len());
+    for (got, want) in results.iter().zip(&expected) {
+        assert!(got.error.is_none(), "{:?}", got.error);
+        assert_eq!(got.stats, want.stats, "job '{}' diverged", want.label);
+    }
+    let merged = coordinator.merged();
+    assert_eq!(merged.jobs(), 3);
+    assert_eq!(merged.per_worker.len(), 1, "one local worker did it all");
+    assert!(merged.per_worker.contains_key("coord-l0"));
+
+    // The board drained: nothing open, nothing leased, markers consumed.
+    let census = belenos_dist::board_stats(&dir, Duration::from_secs(10));
+    assert_eq!((census.open, census.claimed, census.done), (0, 0, 0));
+
+    // Crash-safe resume: a restarted coordinator process re-plans the
+    // campaign against the same shared disk cache and must re-simulate
+    // nothing — every job is a disk hit, the board is never touched.
+    let resumed = Runner::new(1, Cache::with_disk(cfg.cache_dir()));
+    let (replay, resumed_summary) = resumed.run_with_summary(&exps, &plan);
+    assert_eq!(
+        resumed_summary.simulated, 0,
+        "resume must be a pure cache replay"
+    );
+    assert_eq!(resumed_summary.cache_hits, 3);
+    for (got, want) in replay.iter().zip(&expected) {
+        assert_eq!(got.stats, want.stats);
+        assert!(got.cached);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkilled_workers_lease_is_stolen_and_the_job_still_completes() {
+    let dir = temp_dist("steal");
+    let exps = experiments();
+    let config = CoreConfig::gem5_baseline().with_frequency(1.5);
+    let mut plan = RunPlan::new();
+    plan.push(JobSpec::new(0, "orphaned", config.clone(), 4000));
+
+    // A phantom worker claims the job and then "dies" (never
+    // heartbeats; its lease is backdated past the TTL — exactly the
+    // on-disk state a SIGKILL leaves behind).
+    let key = CacheKey::new(
+        exps[0].workload_id(),
+        exps[0].fingerprint(),
+        &config,
+        4000,
+        &SamplingConfig::off(),
+    );
+    let dead = DistConfig::new(&dir, "dead").with_lease_ttl(Duration::from_millis(200));
+    dead.ensure_layout().unwrap();
+    board::publish(
+        &dead,
+        &JobDoc {
+            digest: key.address(),
+            workload: key.workload.clone(),
+            label: "orphaned".into(),
+            scenario: belenos_workloads::by_id("pd").unwrap(),
+            config: config.clone(),
+            max_ops: 4000,
+            sampling: SamplingConfig::off(),
+        },
+    )
+    .unwrap();
+    let claimed = board::claim_open(&dead).expect("phantom claim");
+    assert!(!claimed.stolen);
+    board::backdate(&dead.lease_path(key.address()), Duration::from_secs(60)).unwrap();
+
+    // The coordinator sees an existing lease, publishes nothing, and
+    // its local worker steals the expired lease and runs the job.
+    let cfg = DistConfig::new(&dir, "rescue").with_lease_ttl(Duration::from_millis(200));
+    let coordinator = Arc::new(Coordinator::new(cfg.clone()).with_local_workers(1));
+    let runner = Runner::new(1, Cache::with_disk(cfg.cache_dir()))
+        .with_distributor(Arc::clone(&coordinator) as _);
+    let (results, summary) = runner.run_with_summary(&exps, &plan);
+
+    assert_eq!(summary.simulated, 1);
+    assert!(results[0].error.is_none(), "{:?}", results[0].error);
+    let expected = Runner::isolated(1).run(&exps, &plan);
+    assert_eq!(results[0].stats, expected[0].stats);
+
+    let merged = coordinator.merged();
+    assert!(
+        merged.stolen() >= 1,
+        "the orphaned lease must be acquired by stealing: {merged:?}"
+    );
+    assert_eq!(merged.jobs(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_coordinator_workers_split_a_board_without_duplicating_work() {
+    let dir = temp_dist("split");
+    let exps = experiments();
+    let mut plan = RunPlan::new();
+    for (i, freq) in [1.0, 1.25, 1.75, 2.25, 2.75, 3.25].iter().enumerate() {
+        plan.push(JobSpec::new(
+            0,
+            format!("f{i}"),
+            CoreConfig::gem5_baseline().with_frequency(*freq),
+            3000,
+        ));
+    }
+
+    let cfg = DistConfig::new(&dir, "pair").with_lease_ttl(Duration::from_secs(10));
+    let coordinator = Arc::new(Coordinator::new(cfg.clone()).with_local_workers(2));
+    let runner = Runner::new(1, Cache::with_disk(cfg.cache_dir()))
+        .with_distributor(Arc::clone(&coordinator) as _);
+    let (results, summary) = runner.run_with_summary(&exps, &plan);
+
+    assert_eq!(summary.simulated, 6);
+    assert!(results.iter().all(|r| r.error.is_none()));
+    let merged = coordinator.merged();
+    // Exactly six completions across however many workers got slots —
+    // a duplicated execution would show up as a seventh done marker.
+    assert_eq!(merged.jobs(), 6, "{merged:?}");
+    assert_eq!(merged.stolen(), 0, "nothing expires under a 10s TTL");
+    let expected = Runner::isolated(2).run(&exps, &plan);
+    for (got, want) in results.iter().zip(&expected) {
+        assert_eq!(got.stats, want.stats, "job '{}' diverged", want.label);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
